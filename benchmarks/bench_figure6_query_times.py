@@ -1,0 +1,51 @@
+"""Figure 6 — query response times for Q1–Q8 (warm cache).
+
+The paper's observations:
+
+* Q1–Q7 execute in under 0.2 s;
+* Q8 — the join bridging email and filesystem — is the slowest (~0.5 s)
+  because forward expansion processes many intermediate results;
+* everything stays under the 1-second interactive bound [39].
+
+We assert the same ordering: all queries are interactive, the join
+queries (Q7, Q8) do the most expansion work, and Q8 processes more
+intermediate views than any other query.
+"""
+
+import pytest
+
+from repro.bench import PAPER_FIGURE6, PAPER_QUERIES, format_table
+
+
+def test_figure6_shape(harness):
+    measurements = harness.run_queries(warm_runs=3)
+
+    # interactive response times at bench scale (paper bound: 1 s)
+    for qid, measurement in measurements.items():
+        assert measurement.warm_seconds < 1.0, qid
+
+    # Q8 expands the most intermediate views — the paper's explanation
+    # for why the cross-subsystem join is the slowest query
+    expansions = {qid: m.expanded_views for qid, m in measurements.items()}
+    assert expansions["Q8"] == max(expansions.values())
+    # index-only queries expand nothing at all
+    assert expansions["Q1"] == expansions["Q2"] == expansions["Q3"] == 0
+
+    rows = [[qid, PAPER_FIGURE6[qid], m.warm_seconds, m.cold_seconds,
+             m.expanded_views, m.results]
+            for qid, m in measurements.items()]
+    print()
+    print(format_table(
+        ["query", "paper [s]", "warm [s]", "cold [s]",
+         "expanded views", "results"],
+        rows, title=f"Figure 6 (scale={harness.scale})",
+    ))
+
+
+@pytest.mark.parametrize("query_id", list(PAPER_QUERIES))
+def test_query_response_time(harness, benchmark, query_id):
+    """One pytest-benchmark series per query — the figure's bars."""
+    iql = PAPER_QUERIES[query_id]
+    harness.dataspace.query(iql)  # warm the cache like the paper does
+    result = benchmark(harness.dataspace.query, iql)
+    assert result.elapsed_seconds < 1.0

@@ -1,0 +1,80 @@
+"""Benchmarks for the infrastructure extensions: persistence snapshots,
+standing-query throughput, and ranked search."""
+
+import pytest
+
+from repro.query.standing import StandingQueries
+from repro.query.ranking import ranked_search
+from repro.rvm import ResourceViewManager
+from repro.rvm.persistence import load_state, save_state
+
+
+class TestPersistence:
+    def test_save_speed(self, harness, benchmark, tmp_path_factory):
+        rvm = harness.dataspace.rvm
+
+        def save():
+            return save_state(rvm, tmp_path_factory.mktemp("snap"))
+
+        manifest = benchmark.pedantic(save, rounds=3, iterations=1)
+        assert manifest["counts"]["catalog"] > 0
+
+    def test_load_speed(self, harness, benchmark, tmp_path_factory):
+        base = tmp_path_factory.mktemp("snapshot")
+        save_state(harness.dataspace.rvm, base)
+
+        def load():
+            restored = ResourceViewManager()
+            load_state(restored, base)
+            return restored
+
+        restored = benchmark.pedantic(load, rounds=3, iterations=1)
+        assert len(restored.catalog) == len(harness.dataspace.rvm.catalog)
+
+    def test_snapshot_smaller_than_live(self, harness, tmp_path):
+        """The snapshot's on-disk size should be the same order as the
+        in-memory accounting (sanity of both estimates)."""
+        manifest = save_state(harness.dataspace.rvm, tmp_path)
+        on_disk = sum(f.stat().st_size for f in tmp_path.iterdir())
+        accounted = harness.dataspace.index_sizes()["total"]
+        print(f"\nsnapshot bytes={on_disk} accounted bytes={accounted}")
+        assert on_disk > 0
+        assert 0.05 < on_disk / accounted < 20
+
+
+class TestStandingQueryThroughput:
+    def test_event_matching_rate(self, harness, benchmark):
+        """Events per second through 20 registered standing queries."""
+        rvm = harness.dataspace.rvm
+        standing = StandingQueries(rvm.bus)
+        for index in range(20):
+            standing.register(f'"term{index}" and "database"',
+                              lambda n: None)
+        views = list(rvm.sync.live_views.values())[:200]
+        from repro.pushops import ChangeEvent, ChangeKind, ComponentKind
+
+        def pump():
+            for view in views:
+                rvm.bus.publish(ChangeEvent(
+                    view.view_id, ComponentKind.CONTENT,
+                    ChangeKind.ADDED, payload=view,
+                ))
+            return len(views)
+
+        assert benchmark.pedantic(pump, rounds=3, iterations=1) == 200
+
+
+class TestRankedSearch:
+    def test_search_speed(self, harness, benchmark):
+        hits = benchmark(ranked_search, harness.dataspace.rvm,
+                         "database indexing time", limit=10)
+        assert hits
+
+    def test_filtered_search_speed(self, harness, benchmark):
+        within = set(harness.dataspace.query("//papers//*.tex").uris())
+
+        def run():
+            return ranked_search(harness.dataspace.rvm, "database",
+                                 limit=10, within=within)
+
+        benchmark(run)

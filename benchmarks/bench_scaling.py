@@ -1,0 +1,97 @@
+"""Scaling behaviour of indexing and querying.
+
+Not a paper table — the paper evaluates a single dataset — but the
+natural follow-up question for a PDSMS: how do view counts, index build
+time and query latency grow with the dataspace? The generator's scale
+knob makes this a controlled sweep; we assert the shapes a healthy
+system must show:
+
+* derived-view counts grow roughly linearly with the profile scale;
+* index build throughput (views/second) does not collapse at the larger
+  scale (no superlinear blowup);
+* warm keyword-query latency grows sublinearly relative to the view
+  count (index-backed lookups, not scans).
+"""
+
+import time
+
+import pytest
+
+from repro.bench import PAPER_QUERIES
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+
+#: Scales above the profile floors (tiny profiles are floor-dominated,
+#: which would mask the linear growth this sweep asserts).
+SCALES = (0.02, 0.06, 0.12)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    points = []
+    for scale in SCALES:
+        dataspace = Dataspace.generate(scale=scale, seed=42,
+                                       imap_latency=no_latency())
+        started = time.perf_counter()
+        dataspace.sync()
+        build_seconds = time.perf_counter() - started
+        dataspace.query(PAPER_QUERIES["Q1"])  # warm
+        started = time.perf_counter()
+        result = dataspace.query(PAPER_QUERIES["Q1"])
+        query_seconds = time.perf_counter() - started
+        points.append({
+            "scale": scale,
+            "views": dataspace.view_count,
+            "build_seconds": build_seconds,
+            "q1_seconds": query_seconds,
+            "q1_results": len(result),
+        })
+    return points
+
+
+class TestScalingShape:
+    def test_views_grow_with_scale(self, sweep):
+        views = [p["views"] for p in sweep]
+        assert views == sorted(views)
+        # roughly linear: 6x the scale gives at least 2.5x the views
+        # (the fixed planted entities damp the ratio a little)
+        assert views[-1] > views[0] * 2.5
+
+    def test_build_throughput_stable(self, sweep):
+        throughputs = [p["views"] / p["build_seconds"] for p in sweep]
+        print("\nscale sweep:")
+        for point, throughput in zip(sweep, throughputs):
+            print(f"  scale={point['scale']:.2f} views={point['views']:6d} "
+                  f"build={point['build_seconds']:.2f}s "
+                  f"({throughput:,.0f} views/s) "
+                  f"q1={point['q1_seconds'] * 1000:.2f}ms "
+                  f"({point['q1_results']} hits)")
+        # throughput at the largest scale stays within 4x of the smallest
+        assert throughputs[-1] > throughputs[0] / 4
+
+    def test_query_latency_tracks_results_not_views(self, sweep):
+        """Index-backed retrieval: latency is driven by the result set
+        (hits must be materialized), not by dataspace size. At sub-ms
+        latencies timing is noisy, so the bound is generous."""
+        small, large = sweep[0], sweep[-1]
+        result_growth = large["q1_results"] / max(1, small["q1_results"])
+        latency_growth = large["q1_seconds"] / max(small["q1_seconds"],
+                                                   1e-6)
+        assert latency_growth < max(result_growth, 1.0) * 3
+
+    def test_q1_results_grow(self, sweep):
+        results = [p["q1_results"] for p in sweep]
+        assert results == sorted(results)
+
+
+def test_sync_at_double_scale(benchmark):
+    """One timed point at 2x the default bench scale."""
+
+    def build():
+        dataspace = Dataspace.generate(scale=0.04, seed=42,
+                                       imap_latency=no_latency())
+        dataspace.sync()
+        return dataspace.view_count
+
+    views = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert views > 0

@@ -1,0 +1,32 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Scale defaults to 2% of the paper's dataset so the whole harness runs in
+minutes on a laptop; set ``REPRO_BENCH_SCALE`` (e.g. ``0.1``) to grow it.
+The synthetic dataset preserves the paper's *structure statistics*, so
+shape assertions hold at any scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import EvaluationHarness
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.02"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+@pytest.fixture(scope="session")
+def harness() -> EvaluationHarness:
+    """One shared harness with a synced dataspace (for read-only
+    experiments: Tables 2-4, Figure 6)."""
+    harness = EvaluationHarness(scale=BENCH_SCALE, seed=BENCH_SEED)
+    harness.ensure_synced()
+    return harness
+
+
+def fresh_harness() -> EvaluationHarness:
+    """An unsynced harness (for experiments that time the sync itself)."""
+    return EvaluationHarness(scale=BENCH_SCALE, seed=BENCH_SEED)

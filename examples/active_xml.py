@@ -1,0 +1,67 @@
+"""The ActiveXML use-case (Section 4.3.1): intensional data in iDM.
+
+An ActiveXML document embeds web-service calls; the result of a call is
+inserted into the document when the service runs. iDM models this with
+an ``axml`` element whose group is ``<V_sc [, V_scresult]>`` — and,
+because every component is lazy, the service is only invoked when
+someone actually asks.
+
+Run:  python examples/active_xml.py
+"""
+
+from repro.core.graph import descendants, to_dot
+from repro.core.intensional import ServiceRegistry, intensional_view
+from repro.core.resource_view import ResourceView
+from repro.datamodel import axml_document
+
+# -- a simulated remote-service world ---------------------------------------
+registry = ServiceRegistry()
+registry.register(
+    "web.server.com/GetDepartments",
+    lambda: ("<deplist>"
+             "<entry><name>Accounting</name></entry>"
+             "<entry><name>Research</name></entry>"
+             "<entry><name>Sales</name></entry>"
+             "</deplist>"),
+)
+
+print("=" * 70)
+print("The paper's <dep> document")
+print("=" * 70)
+dep = axml_document("dep", "web.server.com/GetDepartments", registry)
+print("before the call, the group holds only the service-call view:")
+print(f"  {[v.name for v in dep.view.group]}")
+print(f"  service invocations so far: "
+      f"{registry.calls_to('web.server.com/GetDepartments')}")
+
+print("\ncalling the service inserts <scresult> into the document:")
+dep.call_service()
+print(f"  {[v.name for v in dep.view.group]}")
+names = sorted(v.text() for v in descendants(dep.view)
+               if v.class_name == "xmltext")
+print(f"  departments: {names}")
+print(f"  invocations: "
+      f"{registry.calls_to('web.server.com/GetDepartments')} "
+      "(idempotent — calling again stays at 1):")
+dep.call_service()
+print(f"  invocations: "
+      f"{registry.calls_to('web.server.com/GetDepartments')}")
+
+print()
+print("=" * 70)
+print("Intensional views: dynamic folders backed by queries")
+print("=" * 70)
+# iDM is not restricted to XML: ANY group component may be intensional.
+# Here a "dynamic folder" computes its members on demand.
+catalog = [ResourceView(f"report_{year}.txt", content=f"report for {year}")
+           for year in (2004, 2005, 2006)]
+
+recent = intensional_view(
+    "Recent Reports",
+    lambda: [v for v in catalog if "2005" in v.name or "2006" in v.name],
+)
+print(f"dynamic folder '{recent.name}' members: "
+      f"{[v.name for v in recent.group]}")
+
+print("\nresource view graph of the ActiveXML document (DOT):")
+print(to_dot(dep.view, max_views=12))

@@ -1,0 +1,78 @@
+"""The email use-case (Section 4.4.1): state vs stream modelling.
+
+Option 1 models the *state* of the INBOX — a finite, re-readable window.
+Option 2 models the message *stream* itself — infinite, single-shot,
+consuming messages off the server.
+
+Run:  python examples/email_dataspace.py
+"""
+
+from datetime import datetime
+
+from repro.core.graph import find_by_name
+from repro.datamodel import inbox_state_view, inbox_stream_view
+from repro.datamodel.latexmodel import latexfile_group_provider
+from repro.imapsim import Attachment, EmailMessage, ImapServer, LatencyModel
+
+REPORT_TEX = r"""
+\begin{document}
+\section{Status Report}
+Everything on schedule for the OLAP project.
+\begin{figure}\caption{Indexing Time by week}\label{fig:w}\end{figure}
+\end{document}
+"""
+
+server = ImapServer(latency=LatencyModel())
+for week in range(1, 4):
+    server.deliver("INBOX", EmailMessage(
+        subject=f"week {week} report",
+        sender="alice@dbis.edu", to=("jens@ethz.ch",),
+        date=datetime(2005, 3, week * 7),
+        body=f"status for week {week}, database work continues",
+        attachments=(Attachment("report.tex", REPORT_TEX, "text/x-tex"),),
+    ))
+
+print("=" * 70)
+print("Option 1: model the STATE of the INBOX (re-readable window)")
+print("=" * 70)
+server.connect()
+server_state = server  # same server; the state view does not consume
+inbox = inbox_state_view(server_state, "INBOX",
+                         content_converter=latexfile_group_provider)
+messages = list(inbox.group)
+print(f"window holds {len(messages)} messages:")
+for message in messages:
+    print(f"  {message.name:16s} from {message.tuple_component['from']}")
+# reading the state again is fine — nothing was consumed
+print(f"second read sees {len(list(inbox.group))} messages (unchanged)")
+
+# attachments carry full structural subgraphs, like files on disk:
+attachment = next(iter(messages[0].group))
+sections = find_by_name(attachment, "Status Report")
+print(f"attachment '{attachment.name}' contains section "
+      f"'{sections[0].name}' with text: {sections[0].text()[:50]}...")
+print(f"simulated IMAP time so far: "
+      f"{server.latency.simulated_seconds:.2f} s "
+      f"({server.latency.operations} operations)")
+
+print()
+print("=" * 70)
+print("Option 2: model the message STREAM (single-shot, consuming)")
+print("=" * 70)
+stream_server = ImapServer(latency=LatencyModel())
+for index in range(3):
+    stream_server.deliver("INBOX", EmailMessage(
+        subject=f"streamed {index}", sender="a@b", to=("c@d",),
+        date=datetime(2005, 4, index + 1), body="stream payload",
+    ))
+stream_server.connect()
+stream = inbox_stream_view(stream_server, "INBOX")
+print("consuming the stream:")
+for message in stream.group.take(10):
+    print(f"  -> {message.name}")
+print(f"INBOX now holds {stream_server.select('INBOX')} messages "
+      "(the stream removed them)")
+try:
+    stream.group.take(1)
+except Exception as error:  # single-shot: a second read is an error
+    print(f"second read raises: {type(error).__name__}: {error}")

@@ -1,0 +1,77 @@
+"""PIM applications on the platform: reconciliation and clustering.
+
+The paper's closing outlook: "we are planning to explore PIM
+applications such as reference reconciliation and clustering on top of
+the iMeMex platform." Both run here against a small dataspace.
+
+Run:  python examples/pim_applications.py
+"""
+
+from datetime import datetime
+
+from repro.apps import cluster_by_content, reconcile_names, reconcile_views
+from repro.imapsim import EmailMessage, ImapServer
+from repro.imapsim.latency import no_latency
+from repro.rvm import ResourceViewManager
+from repro.rvm.plugins import FilesystemPlugin, ImapPlugin
+from repro.vfs import VirtualFileSystem
+
+print("=" * 70)
+print("Reference reconciliation: who is the same person?")
+print("=" * 70)
+mentions = [
+    "Jens Dittrich <jens.dittrich@inf.ethz.ch>",
+    "Dittrich, Jens",
+    "J. Dittrich",
+    "jens.dittrich@inf.ethz.ch",
+    "Marcos Antonio Vaz Salles",
+    "Marcos Salles <marcos@ethz.ch>",
+    "Mike Franklin",
+    "M. Franklin",
+    "Donald Knuth",
+]
+for cluster in reconcile_names(mentions):
+    print(f"  person: {cluster}")
+
+print()
+print("=" * 70)
+print("Reconciliation across the live dataspace (email senders)")
+print("=" * 70)
+imap = ImapServer(latency=no_latency())
+for sender, subject in [
+    ("Jens Dittrich <jens@ethz.ch>", "draft v1"),
+    ("Dittrich, Jens", "draft v2"),
+    ("Mike Franklin <franklin@berkeley.edu>", "dataspace vision"),
+    ("M. Franklin", "re: dataspace vision"),
+]:
+    imap.deliver("INBOX", EmailMessage(
+        subject=subject, sender=sender, to=("me@ethz.ch",),
+        date=datetime(2005, 4, 1), body="hello",
+    ))
+rvm = ResourceViewManager()
+rvm.register_plugin(ImapPlugin(imap))
+rvm.sync_all()
+for cluster in reconcile_views(rvm, attributes=("from",)):
+    names = sorted({mention for mention, _ in cluster})
+    messages = sorted({uri for _, uri in cluster})
+    print(f"  {names}")
+    print(f"    appearing in: {messages}")
+
+print()
+print("=" * 70)
+print("Content clustering: drafts of the same document group together")
+print("=" * 70)
+fs = VirtualFileSystem()
+fs.mkdir("/work", parents=True)
+draft = ("unified versatile data model for personal dataspace management "
+         "resource views components lazy evaluation")
+fs.write_file("/work/paper_v1.txt", draft)
+fs.write_file("/work/paper_v2.txt", draft + " now with experiments")
+fs.write_file("/work/paper_final.txt", draft + " camera ready version")
+fs.write_file("/work/shopping.txt", "milk bread eggs coffee apples")
+fs.write_file("/work/travel.txt", "flight hotel conference seoul korea")
+fs_rvm = ResourceViewManager()
+fs_rvm.register_plugin(FilesystemPlugin(fs))
+fs_rvm.sync_all()
+for cluster in cluster_by_content(fs_rvm, threshold=0.5):
+    print(f"  cluster: {[uri.rsplit('/', 1)[-1] for uri in cluster]}")

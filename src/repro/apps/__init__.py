@@ -1,0 +1,20 @@
+"""PIM applications on top of the iMeMex platform.
+
+The paper closes with: "we are planning to explore PIM applications
+such as reference reconciliation and clustering on top of the iMeMex
+platform." This package implements both:
+
+* :mod:`reconciliation` — entity resolution over name-like strings
+  (email senders, author fields): "Jens Dittrich <jens@ethz.ch>",
+  "Dittrich, Jens" and "J. Dittrich" end up in one cluster;
+* :mod:`clustering` — grouping views by content similarity using the
+  full-text index's term statistics.
+"""
+
+from .clustering import cluster_by_content
+from .reconciliation import normalize_person, reconcile_names, reconcile_views
+
+__all__ = [
+    "cluster_by_content", "normalize_person", "reconcile_names",
+    "reconcile_views",
+]

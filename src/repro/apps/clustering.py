@@ -1,0 +1,98 @@
+"""Content clustering over the dataspace.
+
+Groups views whose content components are lexically similar — the
+"clustering" half of the paper's closing PIM-applications outlook.
+
+The algorithm is greedy centroid clustering over TF-IDF vectors built
+from the content index's term statistics: views are processed in a
+deterministic order; each joins the first cluster whose centroid is
+within the similarity threshold, else founds a new cluster. Simple,
+deterministic, and good enough to pull together drafts of the same
+document — the dominant duplication pattern in personal data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..rvm.manager import ResourceViewManager
+
+
+def _tfidf_vector(rvm: ResourceViewManager, uri: str) -> dict[str, float]:
+    index = rvm.indexes.content_index
+    doc = index.doc_of(uri)
+    if doc is None:
+        return {}
+    doc_count = max(1, index.document_count)
+    vector: dict[str, float] = {}
+    # reconstruct the document's term frequencies from the postings
+    for term in index.terms_matching(lambda t: True):
+        postings = index.postings(term)
+        posting = postings.get(doc) if postings else None
+        if posting is None:
+            continue
+        idf = 1.0 + math.log(doc_count / (1 + postings.document_frequency))
+        vector[term] = posting.term_frequency * idf
+    norm = math.sqrt(sum(v * v for v in vector.values()))
+    if norm > 0:
+        vector = {t: v / norm for t, v in vector.items()}
+    return vector
+
+
+def _cosine(a: dict[str, float], b: dict[str, float]) -> float:
+    if len(b) < len(a):
+        a, b = b, a
+    return sum(value * b.get(term, 0.0) for term, value in a.items())
+
+
+@dataclass
+class _Cluster:
+    members: list[str] = field(default_factory=list)
+    centroid: dict[str, float] = field(default_factory=dict)
+
+    def add(self, uri: str, vector: dict[str, float]) -> None:
+        self.members.append(uri)
+        size = len(self.members)
+        terms = set(self.centroid) | set(vector)
+        self.centroid = {
+            term: ((self.centroid.get(term, 0.0) * (size - 1)
+                    + vector.get(term, 0.0)) / size)
+            for term in terms
+        }
+
+
+def cluster_by_content(rvm: ResourceViewManager,
+                       uris: Iterable[str] | None = None, *,
+                       threshold: float = 0.6,
+                       min_cluster_size: int = 1) -> list[list[str]]:
+    """Cluster views by content similarity.
+
+    ``uris`` defaults to every content-indexed view. Returns clusters
+    (lists of URIs) with at least ``min_cluster_size`` members, largest
+    first. ``threshold`` is the cosine similarity a view must reach to
+    join an existing cluster — higher means tighter clusters.
+    """
+    if uris is None:
+        candidates = sorted(rvm.indexes.content_index.keys())
+    else:
+        candidates = sorted(set(uris))
+    clusters: list[_Cluster] = []
+    for uri in candidates:
+        vector = _tfidf_vector(rvm, uri)
+        if not vector:
+            continue
+        best: _Cluster | None = None
+        best_score = threshold
+        for cluster in clusters:
+            score = _cosine(vector, cluster.centroid)
+            if score >= best_score:
+                best, best_score = cluster, score
+        if best is None:
+            best = _Cluster()
+            clusters.append(best)
+        best.add(uri, vector)
+    out = [c.members for c in clusters if len(c.members) >= min_cluster_size]
+    out.sort(key=lambda members: (-len(members), members[0]))
+    return out

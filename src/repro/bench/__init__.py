@@ -1,0 +1,19 @@
+"""The evaluation harness: regenerates every table and figure of §7."""
+
+from .harness import (
+    PAPER_FIGURE5,
+    PAPER_FIGURE6,
+    PAPER_QUERIES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    EvaluationHarness,
+)
+from .reporting import format_comparison, format_table
+
+__all__ = [
+    "EvaluationHarness", "PAPER_QUERIES",
+    "PAPER_TABLE2", "PAPER_TABLE3", "PAPER_TABLE4",
+    "PAPER_FIGURE5", "PAPER_FIGURE6",
+    "format_comparison", "format_table",
+]

@@ -1,0 +1,59 @@
+"""Plain-text table rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 *, title: str | None = None) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str], numeric: Sequence[bool]) -> str:
+        out = []
+        for cell, width, right in zip(cells, widths, numeric):
+            out.append(cell.rjust(width) if right else cell.ljust(width))
+        return "  ".join(out).rstrip()
+
+    numeric_columns = [
+        all(_is_numeric(row[index]) for row in rows) if rows else False
+        for index in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers), [False] * len(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(render_row(row, numeric_columns))
+    return "\n".join(lines)
+
+
+def format_comparison(label: str, paper_value: Any, measured_value: Any,
+                      *, unit: str = "") -> str:
+    """One 'paper vs measured' line."""
+    suffix = f" {unit}" if unit else ""
+    return (f"{label}: paper={_cell(paper_value)}{suffix}  "
+            f"measured={_cell(measured_value)}{suffix}")
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:,.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float))

@@ -1,0 +1,186 @@
+"""Command-line interface: explore a synthetic personal dataspace.
+
+Usage (module form)::
+
+    python -m repro stats  --scale 0.02
+    python -m repro query  '//papers//*Vision/*["Franklin"]'
+    python -m repro query  '"database tuning"' --explain
+    python -m repro search 'indexing time' --limit 5
+    python -m repro tables --scale 0.05
+
+Dataspaces are generated in memory, deterministically from
+``--scale``/``--seed``, so every invocation is reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .bench import (
+    EvaluationHarness,
+    PAPER_QUERIES,
+    PAPER_TABLE4,
+    format_table,
+)
+from .facade import Dataspace
+from .imapsim.latency import no_latency
+
+
+def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="fraction of the paper's dataset (default 0.02)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="generator seed (default 42)")
+
+
+def _build(args: argparse.Namespace) -> Dataspace:
+    dataspace = Dataspace.generate(scale=args.scale, seed=args.seed,
+                                   imap_latency=no_latency())
+    dataspace.sync()
+    return dataspace
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    dataspace = _build(args)
+    report = dataspace.last_sync_report
+    assert report is not None
+    rows = []
+    for authority, source in report.sources.items():
+        rows.append([authority, source.views_base,
+                     source.views_derived_xml, source.views_derived_latex,
+                     source.views_total])
+    print(format_table(
+        ["source", "base", "xml-derived", "latex-derived", "total"],
+        rows, title=f"dataspace (scale={args.scale}, seed={args.seed})",
+    ))
+    sizes = dataspace.index_sizes()
+    print()
+    print(format_table(
+        ["structure", "bytes"],
+        [[key, int(sizes[key])]
+         for key in ("name", "tuple", "content", "group", "catalog",
+                     "total", "net_input")],
+        title="index sizes",
+    ))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataspace = _build(args)
+    if args.explain:
+        print(dataspace.explain(args.iql))
+        return 0
+    result = dataspace.query(args.iql)
+    if result.pairs:
+        for pair in result.pairs[:args.limit]:
+            print(f"{pair.left.uri}  <->  {pair.right.uri}")
+    else:
+        for hit in result.hits[:args.limit]:
+            label = f"  ({hit.name})" if hit.name else ""
+            print(f"{hit.uri}{label}")
+    shown = min(len(result), args.limit)
+    print(f"-- {len(result)} result(s) ({shown} shown), "
+          f"{result.elapsed_seconds * 1000:.1f} ms, "
+          f"{result.expanded_views} views expanded")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    dataspace = _build(args)
+    hits = dataspace.search(args.text, limit=args.limit)
+    for hit in hits:
+        label = hit.name or "(unnamed)"
+        print(f"{hit.score:8.3f}  {label}  [{hit.uri}]")
+    if not hits:
+        print("no matches")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    harness = EvaluationHarness(scale=args.scale, seed=args.seed)
+    harness.ensure_synced()
+
+    table2 = harness.table2()
+    print(format_table(
+        ["source", "base", "xml", "latex", "total"],
+        [[name, row["base"], row["xml"], row["latex"], row["total"]]
+         for name, row in table2.items()],
+        title="Table 2 — dataset characteristics",
+    ))
+    print()
+
+    breakdown = harness.figure5()
+    print(format_table(
+        ["source", "catalog [s]", "indexing [s]", "access [s]", "total [s]"],
+        [[name, row["catalog"], row["indexing"], row["access"],
+          row["total"]] for name, row in breakdown.items()],
+        title="Figure 5 — indexing time breakdown",
+    ))
+    print()
+
+    sizes = harness.table3()
+    mb = 1024 * 1024
+    print(format_table(
+        ["structure", "MB"],
+        [[key, sizes[key] / mb]
+         for key in ("net_input", "name", "tuple", "content", "group",
+                     "catalog", "total")],
+        title="Table 3 — index sizes",
+    ))
+    print()
+
+    measurements = harness.run_queries(warm_runs=2)
+    print(format_table(
+        ["query", "paper #", "measured #", "warm [ms]"],
+        [[qid, PAPER_TABLE4[qid], m.results, m.warm_seconds * 1000]
+         for qid, m in measurements.items()],
+        title="Table 4 / Figure 6 — queries",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iDM personal dataspace reproduction (VLDB 2006)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stats = commands.add_parser("stats", help="dataset and index statistics")
+    _add_dataset_options(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
+    query = commands.add_parser("query", help="run one iQL query")
+    query.add_argument("iql", help="the iQL query text")
+    query.add_argument("--limit", type=int, default=20,
+                       help="max results to print (default 20)")
+    query.add_argument("--explain", action="store_true",
+                       help="print the physical plan instead of executing")
+    _add_dataset_options(query)
+    query.set_defaults(handler=_cmd_query)
+
+    search = commands.add_parser("search", help="ranked free-text search")
+    search.add_argument("text", help="search text")
+    search.add_argument("--limit", type=int, default=10)
+    _add_dataset_options(search)
+    search.set_defaults(handler=_cmd_search)
+
+    tables = commands.add_parser(
+        "tables", help="regenerate the paper's evaluation tables"
+    )
+    _add_dataset_options(tables)
+    tables.set_defaults(handler=_cmd_tables)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

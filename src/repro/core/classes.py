@@ -1,0 +1,513 @@
+"""Resource view classes — Definition 2 of the paper.
+
+A resource view class is a set of formal restrictions on the four
+components of a view:
+
+1. *emptiness* of components,
+2. the *schema* of the tuple component,
+3. *finiteness* of the content or group component,
+4. the *classes of directly related* resource views.
+
+Classes may be organized in generalization hierarchies: a view obeying a
+class automatically obeys all of its generalizations. Not every view
+needs a class — iDM supports schema-first, schema-later and schema-never
+modeling — so conformance checking is always an explicit operation, never
+an implicit gate.
+
+:data:`BUILTIN_REGISTRY` ships every class of the paper's Table 1 (file,
+folder, tuple, relation, reldb, xmltext, xmlelem, xmldoc, xmlfile,
+datstream, tupstream, rssatom) plus the classes the evaluation queries
+reference (latexfile, latex_section, figure, environment, texref,
+emailmessage, emailfolder, axml and friends).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .components import (
+    DATE,
+    INTEGER,
+    STRING,
+    Attribute,
+    ContentComponent,
+    GroupComponent,
+    Schema,
+    ViewSequence,
+)
+from .errors import ClassConformanceError, UnknownClassError
+from .resource_view import ResourceView
+
+
+class Emptiness(enum.Enum):
+    """Restriction 1: must a component be empty, non-empty, or either?"""
+
+    EMPTY = "empty"
+    NON_EMPTY = "non-empty"
+    ANY = "any"
+
+
+class Finiteness(enum.Enum):
+    """Restriction 3: must a content/group part be finite, infinite, empty?"""
+
+    EMPTY = "empty"
+    FINITE = "finite"            # finite, possibly empty
+    FINITE_NON_EMPTY = "finite-non-empty"
+    INFINITE = "infinite"
+    ANY = "any"
+
+
+#: The filesystem-level schema ``W_FS`` of Section 3.2. The paper lists
+#: size, creation time and last modified time with a trailing ellipsis;
+#: classes therefore require these attributes as a subset rather than an
+#: exact schema.
+W_FS = Schema([
+    Attribute("size", INTEGER),
+    Attribute("created", DATE),
+    Attribute("modified", DATE),
+])
+
+#: Extra attributes the filesystem plugin records beyond ``W_FS``.
+W_FS_FULL = Schema(list(W_FS) + [Attribute("path", STRING)])
+
+
+@dataclass(frozen=True)
+class ResourceViewClass:
+    """One resource view class: a named bundle of component restrictions.
+
+    ``required_attributes`` implements restriction 2 as a subset
+    constraint (the view's tuple schema must contain these attributes
+    with compatible domains); ``exact_schema`` pins the schema exactly.
+    ``related_classes`` implements restriction 4: when not ``None``, every
+    directly related view carrying a class must carry one of the listed
+    classes (or a specialization of one). Unclassed related views are
+    permitted unless ``require_related_classed`` is set, preserving the
+    schema-later philosophy.
+    """
+
+    name: str
+    parent: str | None = None
+    name_emptiness: Emptiness = Emptiness.ANY
+    tuple_emptiness: Emptiness = Emptiness.ANY
+    content_emptiness: Emptiness = Emptiness.ANY
+    group_emptiness: Emptiness = Emptiness.ANY
+    required_attributes: Schema | None = None
+    exact_schema: Schema | None = None
+    content_finiteness: Finiteness = Finiteness.ANY
+    group_set_finiteness: Finiteness = Finiteness.ANY
+    group_seq_finiteness: Finiteness = Finiteness.ANY
+    related_classes: frozenset[str] | None = None
+    require_related_classed: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.required_attributes is not None and self.exact_schema is not None:
+            raise ClassConformanceError(
+                f"class {self.name!r}: give required_attributes or exact_schema, "
+                "not both"
+            )
+
+
+class ClassRegistry:
+    """A name→class mapping with generalization-aware lookups."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, ResourceViewClass] = {}
+
+    def register(self, cls: ResourceViewClass) -> ResourceViewClass:
+        if cls.name in self._classes:
+            raise ClassConformanceError(f"class {cls.name!r} already registered")
+        if cls.parent is not None and cls.parent not in self._classes:
+            raise UnknownClassError(
+                f"class {cls.name!r} names unknown parent {cls.parent!r}"
+            )
+        self._classes[cls.name] = cls
+        return cls
+
+    def get(self, name: str) -> ResourceViewClass:
+        try:
+            return self._classes[name]
+        except KeyError:
+            raise UnknownClassError(f"unknown resource view class: {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._classes
+
+    def __iter__(self) -> Iterator[ResourceViewClass]:
+        return iter(self._classes.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._classes)
+
+    def ancestors(self, name: str) -> list[str]:
+        """All generalizations of ``name``, nearest first (excludes name)."""
+        out: list[str] = []
+        current = self.get(name).parent
+        while current is not None:
+            out.append(current)
+            current = self.get(current).parent
+        return out
+
+    def is_subclass(self, name: str, ancestor: str) -> bool:
+        """True when ``name`` is ``ancestor`` or one of its specializations."""
+        return name == ancestor or ancestor in self.ancestors(name)
+
+    def classes_of(self, view: ResourceView) -> list[str]:
+        """All classes the view obeys: its direct class plus generalizations."""
+        if view.class_name is None or view.class_name not in self._classes:
+            return []
+        return [view.class_name, *self.ancestors(view.class_name)]
+
+    # -- conformance ---------------------------------------------------------
+
+    def violations(self, view: ResourceView, class_name: str | None = None, *,
+                   check_related: bool = True,
+                   infinite_sample: int = 64) -> list[str]:
+        """Return human-readable restriction violations (empty = conforms).
+
+        Checks the view against ``class_name`` (default: the view's own
+        class) *and all of its generalizations*. Infinite group parts are
+        sampled up to ``infinite_sample`` members for restriction 4.
+        """
+        name = class_name if class_name is not None else view.class_name
+        if name is None:
+            return ["view has no resource view class"]
+        problems: list[str] = []
+        for cls_name in [name, *self.ancestors(name)]:
+            problems.extend(
+                self._check_one(view, self.get(cls_name),
+                                check_related=check_related,
+                                infinite_sample=infinite_sample)
+            )
+        return problems
+
+    def conforms(self, view: ResourceView, class_name: str | None = None,
+                 **kwargs: object) -> bool:
+        """True when :meth:`violations` is empty."""
+        return not self.violations(view, class_name, **kwargs)  # type: ignore[arg-type]
+
+    def validate(self, view: ResourceView, class_name: str | None = None) -> None:
+        """Raise :class:`ClassConformanceError` on the first violation."""
+        problems = self.violations(view, class_name)
+        if problems:
+            raise ClassConformanceError(
+                f"view {view.view_id} violates class "
+                f"{class_name or view.class_name!r}: " + "; ".join(problems)
+            )
+
+    def _check_one(self, view: ResourceView, cls: ResourceViewClass, *,
+                   check_related: bool, infinite_sample: int) -> list[str]:
+        problems: list[str] = []
+        prefix = f"[{cls.name}] "
+
+        _check_emptiness(problems, prefix + "name", cls.name_emptiness,
+                         view.name == "")
+        tau = view.tuple_component
+        _check_emptiness(problems, prefix + "tuple", cls.tuple_emptiness,
+                         tau.is_empty)
+        chi = view.content
+        chi_empty = chi.is_finite and chi.is_empty
+        _check_emptiness(problems, prefix + "content", cls.content_emptiness,
+                         chi_empty)
+        gamma = view.group
+        _check_emptiness(problems, prefix + "group", cls.group_emptiness,
+                         gamma.is_empty)
+
+        if cls.exact_schema is not None:
+            if tau.is_empty:
+                problems.append(prefix + "tuple component is empty but a schema "
+                                "is required")
+            elif tau.schema != cls.exact_schema:
+                problems.append(prefix + f"schema {tau.schema!r} differs from "
+                                f"required {cls.exact_schema!r}")
+        if cls.required_attributes is not None:
+            if tau.is_empty:
+                problems.append(prefix + "tuple component is empty but "
+                                "attributes are required")
+            else:
+                for attr in cls.required_attributes:
+                    if attr.name not in tau.schema:
+                        problems.append(
+                            prefix + f"missing required attribute {attr.name!r}"
+                        )
+
+        _check_finiteness(problems, prefix + "content", cls.content_finiteness,
+                          is_finite=chi.is_finite, is_empty=chi_empty)
+        _check_finiteness(problems, prefix + "group set",
+                          cls.group_set_finiteness,
+                          is_finite=gamma.set_part.is_finite,
+                          is_empty=gamma.set_part.is_empty)
+        _check_finiteness(problems, prefix + "group sequence",
+                          cls.group_seq_finiteness,
+                          is_finite=gamma.seq_part.is_finite,
+                          is_empty=gamma.seq_part.is_empty)
+
+        if check_related and cls.related_classes is not None:
+            problems.extend(
+                self._check_related(view, cls, prefix, infinite_sample)
+            )
+        return problems
+
+    def _check_related(self, view: ResourceView, cls: ResourceViewClass,
+                       prefix: str, infinite_sample: int) -> list[str]:
+        problems: list[str] = []
+        gamma = view.group
+        members: Iterable[ResourceView]
+        if gamma.is_finite:
+            members = gamma.related()
+        else:
+            members = gamma.take(infinite_sample)
+        for member in members:
+            if member.class_name is None:
+                if cls.require_related_classed:
+                    problems.append(
+                        prefix + f"related view {member.view_id} carries no class"
+                    )
+                continue
+            if member.class_name not in self._classes:
+                problems.append(
+                    prefix + f"related view {member.view_id} has unknown class "
+                    f"{member.class_name!r}"
+                )
+                continue
+            if not any(self.is_subclass(member.class_name, allowed)
+                       for allowed in cls.related_classes or ()):
+                problems.append(
+                    prefix + f"related view {member.view_id} has class "
+                    f"{member.class_name!r}, expected one of "
+                    f"{sorted(cls.related_classes or ())}"
+                )
+        return problems
+
+
+def _check_emptiness(problems: list[str], label: str, rule: Emptiness,
+                     is_empty: bool) -> None:
+    if rule is Emptiness.EMPTY and not is_empty:
+        problems.append(f"{label} component must be empty")
+    elif rule is Emptiness.NON_EMPTY and is_empty:
+        problems.append(f"{label} component must be non-empty")
+
+
+def _check_finiteness(problems: list[str], label: str, rule: Finiteness, *,
+                      is_finite: bool, is_empty: bool) -> None:
+    if rule is Finiteness.ANY:
+        return
+    if rule is Finiteness.EMPTY and not is_empty:
+        problems.append(f"{label} must be empty")
+    elif rule is Finiteness.FINITE and not is_finite:
+        problems.append(f"{label} must be finite")
+    elif rule is Finiteness.FINITE_NON_EMPTY and (not is_finite or is_empty):
+        problems.append(f"{label} must be finite and non-empty")
+    elif rule is Finiteness.INFINITE and is_finite:
+        problems.append(f"{label} must be infinite")
+
+
+def build_builtin_registry() -> ClassRegistry:
+    """Build a registry containing every class of the paper's Table 1.
+
+    Also registers the document-structure and email classes that the
+    evaluation queries (Table 4) reference.
+    """
+    registry = ClassRegistry()
+
+    # --- files & folders (Section 3.2) ------------------------------------
+    registry.register(ResourceViewClass(
+        "file",
+        name_emptiness=Emptiness.NON_EMPTY,
+        required_attributes=W_FS,
+        content_finiteness=Finiteness.FINITE,
+        description="A file: name N_f, tuple (W_FS, T_f), content C_f.",
+    ))
+    registry.register(ResourceViewClass(
+        "folder",
+        name_emptiness=Emptiness.NON_EMPTY,
+        required_attributes=W_FS,
+        content_emptiness=Emptiness.EMPTY,
+        group_seq_finiteness=Finiteness.EMPTY,
+        related_classes=frozenset({"file", "folder"}),
+        description="A folder: children (files or folders) in the group set S.",
+    ))
+
+    # --- relational data (Table 1) -----------------------------------------
+    registry.register(ResourceViewClass(
+        "tuple",
+        name_emptiness=Emptiness.EMPTY,
+        tuple_emptiness=Emptiness.NON_EMPTY,
+        content_emptiness=Emptiness.EMPTY,
+        group_emptiness=Emptiness.EMPTY,
+        description="One relational tuple: tau = (W_R, t_i), all else empty.",
+    ))
+    registry.register(ResourceViewClass(
+        "relation",
+        name_emptiness=Emptiness.NON_EMPTY,
+        tuple_emptiness=Emptiness.EMPTY,
+        content_emptiness=Emptiness.EMPTY,
+        group_seq_finiteness=Finiteness.EMPTY,
+        related_classes=frozenset({"tuple"}),
+        description="A relation: named set of tuple views in S.",
+    ))
+    registry.register(ResourceViewClass(
+        "reldb",
+        name_emptiness=Emptiness.NON_EMPTY,
+        tuple_emptiness=Emptiness.EMPTY,
+        content_emptiness=Emptiness.EMPTY,
+        group_seq_finiteness=Finiteness.EMPTY,
+        related_classes=frozenset({"relation"}),
+        description="A relational database: named set of relation views in S.",
+    ))
+
+    # --- XML (Section 3.3) ---------------------------------------------------
+    registry.register(ResourceViewClass(
+        "xmltext",
+        name_emptiness=Emptiness.EMPTY,
+        tuple_emptiness=Emptiness.EMPTY,
+        content_finiteness=Finiteness.FINITE,
+        group_emptiness=Emptiness.EMPTY,
+        description="A character information item: chi = C_t, all else empty.",
+    ))
+    registry.register(ResourceViewClass(
+        "xmlelem",
+        name_emptiness=Emptiness.NON_EMPTY,
+        content_emptiness=Emptiness.EMPTY,
+        group_set_finiteness=Finiteness.EMPTY,
+        group_seq_finiteness=Finiteness.FINITE,
+        related_classes=frozenset({"xmltext", "xmlelem"}),
+        description="An element: name N_E, attributes in tau, children in Q.",
+    ))
+    registry.register(ResourceViewClass(
+        "xmldoc",
+        name_emptiness=Emptiness.EMPTY,
+        tuple_emptiness=Emptiness.EMPTY,
+        content_emptiness=Emptiness.EMPTY,
+        group_set_finiteness=Finiteness.EMPTY,
+        group_seq_finiteness=Finiteness.FINITE_NON_EMPTY,
+        related_classes=frozenset({"xmlelem"}),
+        description="A document: Q = <V_root^xmlelem>.",
+    ))
+    registry.register(ResourceViewClass(
+        "xmlfile",
+        parent="file",
+        group_set_finiteness=Finiteness.EMPTY,
+        group_seq_finiteness=Finiteness.FINITE_NON_EMPTY,
+        related_classes=frozenset({"xmldoc"}),
+        description="A file whose content parses as XML; Q = <V_doc^xmldoc>.",
+    ))
+
+    # --- data streams (Section 3.4) ------------------------------------------
+    registry.register(ResourceViewClass(
+        "datstream",
+        name_emptiness=Emptiness.EMPTY,
+        tuple_emptiness=Emptiness.EMPTY,
+        content_emptiness=Emptiness.EMPTY,
+        group_set_finiteness=Finiteness.EMPTY,
+        group_seq_finiteness=Finiteness.INFINITE,
+        description="A generic data stream: Q is an infinite view sequence.",
+    ))
+    registry.register(ResourceViewClass(
+        "tupstream",
+        parent="datstream",
+        related_classes=frozenset({"tuple"}),
+        description="A stream delivering relational tuples.",
+    ))
+    registry.register(ResourceViewClass(
+        "rssatom",
+        parent="datstream",
+        related_classes=frozenset({"xmldoc"}),
+        description="An RSS/ATOM stream delivering XML documents.",
+    ))
+
+    # --- LaTeX document structure (Section 2.3 / queries Q4-Q7) -------------
+    registry.register(ResourceViewClass(
+        "latexfile",
+        parent="file",
+        description="A file whose content parses as LaTeX; structural "
+                    "subgraph hangs off the group component.",
+    ))
+    registry.register(ResourceViewClass(
+        "latex_document",
+        name_emptiness=Emptiness.ANY,
+        description="The document environment of a LaTeX file.",
+    ))
+    registry.register(ResourceViewClass(
+        "latex_section",
+        name_emptiness=Emptiness.NON_EMPTY,
+        description="A \\section or \\subsection: name = title, content = text.",
+    ))
+    registry.register(ResourceViewClass(
+        "environment",
+        name_emptiness=Emptiness.ANY,
+        description="A LaTeX environment (\\begin{...}...\\end{...}).",
+    ))
+    registry.register(ResourceViewClass(
+        "figure",
+        parent="environment",
+        description="A figure environment: caption text in content, "
+                    "label in the tuple component.",
+    ))
+    registry.register(ResourceViewClass(
+        "latex_meta",
+        name_emptiness=Emptiness.NON_EMPTY,
+        description="Document metadata extracted from a LaTeX preamble "
+                    "(documentclass, title, abstract).",
+    ))
+    registry.register(ResourceViewClass(
+        "latex_text",
+        name_emptiness=Emptiness.EMPTY,
+        tuple_emptiness=Emptiness.EMPTY,
+        content_emptiness=Emptiness.NON_EMPTY,
+        group_emptiness=Emptiness.EMPTY,
+        description="A paragraph of LaTeX body text (the LaTeX analogue "
+                    "of xmltext).",
+    ))
+    registry.register(ResourceViewClass(
+        "texref",
+        name_emptiness=Emptiness.NON_EMPTY,
+        description="A \\ref{...}: name = referenced label; the group "
+                    "component points at the target view (graph edge).",
+    ))
+
+    # --- email (Section 4.4.1) ------------------------------------------------
+    registry.register(ResourceViewClass(
+        "emailmessage",
+        name_emptiness=Emptiness.NON_EMPTY,
+        tuple_emptiness=Emptiness.NON_EMPTY,
+        description="One message: name = subject, headers in tau, body in "
+                    "content, attachments in the group component.",
+    ))
+    registry.register(ResourceViewClass(
+        "emailfolder",
+        name_emptiness=Emptiness.NON_EMPTY,
+        related_classes=frozenset({"emailmessage", "emailfolder"}),
+        description="An IMAP mailbox (Option 1, modelling the state).",
+    ))
+    registry.register(ResourceViewClass(
+        "attachment",
+        parent="file",
+        description="An email attachment, exposed with file semantics.",
+    ))
+
+    # --- ActiveXML (Section 4.3.1) --------------------------------------------
+    registry.register(ResourceViewClass(
+        "sc",
+        name_emptiness=Emptiness.NON_EMPTY,
+        description="A web service call element of an ActiveXML document.",
+    ))
+    registry.register(ResourceViewClass(
+        "scresult",
+        description="The materialized result of a web service call.",
+    ))
+    registry.register(ResourceViewClass(
+        "axml",
+        parent="xmlelem",
+        related_classes=frozenset({"sc", "scresult", "xmltext", "xmlelem"}),
+        description="An ActiveXML element: Q = <V_sc [, V_scresult]>.",
+    ))
+
+    return registry
+
+
+#: The registry with every built-in class. Most call sites share this
+#: instance; tests needing isolation call :func:`build_builtin_registry`.
+BUILTIN_REGISTRY = build_builtin_registry()

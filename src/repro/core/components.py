@@ -1,0 +1,517 @@
+"""The four components of a resource view (Definition 1 of the paper).
+
+A resource view is a 4-tuple ``(eta, tau, chi, gamma)``:
+
+* ``eta`` — the *name component*, a finite string;
+* ``tau`` — the *tuple component*, a pair ``(W, T)`` of a schema and one
+  tuple conforming to it;
+* ``chi`` — the *content component*, a finite or infinite sequence of
+  symbols;
+* ``gamma`` — the *group component*, a pair ``(S, Q)`` of a set and an
+  ordered sequence of resource views, each possibly infinite.
+
+This module defines the component value types. They deliberately mirror
+the paper's definitions: schemas are per-tuple (not per-set — schematic
+information is added back via resource view classes), content is just a
+symbol sequence, and the group component is the only source of graph
+structure.
+
+Infinite components are represented by *iterator factories*: a zero-
+argument callable returning a fresh iterator. A factory may be consumed
+many times (modelling the paper's "state" Option 1 for email) or be
+marked single-shot (Option 2, a true stream whose items cannot be
+retrieved twice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import date, datetime
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
+
+from .errors import ComponentError, InfiniteComponentError, SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .resource_view import ResourceView
+
+
+# ---------------------------------------------------------------------------
+# Domains, attributes and schemas (the tuple component's W)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Domain:
+    """A named set of atomic values, per the relational definitions in [19].
+
+    ``python_types`` lists the Python types whose instances belong to the
+    domain; membership of ``None`` is controlled by ``nullable``.
+    """
+
+    name: str
+    python_types: tuple[type, ...]
+    nullable: bool = True
+
+    def contains(self, value: Any) -> bool:
+        """Return True when ``value`` is an element of this domain."""
+        if value is None:
+            return self.nullable
+        # bool is an int subclass; keep the domains disjoint.
+        if isinstance(value, bool) and bool not in self.python_types:
+            return False
+        return isinstance(value, self.python_types)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The atomic domains used throughout the library. The paper's examples
+#: use integers, dates and strings; we add floats, booleans and bytes for
+#: completeness (file metadata, scores, raw content digests).
+STRING = Domain("string", (str,))
+INTEGER = Domain("integer", (int,))
+FLOAT = Domain("float", (float, int))
+BOOLEAN = Domain("boolean", (bool,))
+DATE = Domain("date", (date, datetime))
+BYTES = Domain("bytes", (bytes,))
+ANY = Domain("any", (object,))
+
+_DOMAINS_BY_NAME = {
+    d.name: d for d in (STRING, INTEGER, FLOAT, BOOLEAN, DATE, BYTES, ANY)
+}
+
+
+def domain_by_name(name: str) -> Domain:
+    """Look up one of the built-in domains by its name."""
+    try:
+        return _DOMAINS_BY_NAME[name]
+    except KeyError:
+        raise ComponentError(f"unknown domain: {name!r}") from None
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """An attribute is the name of a role played by some domain (Def. 1)."""
+
+    name: str
+    domain: Domain = STRING
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.domain}"
+
+
+class Schema:
+    """An ordered sequence of attributes — the ``W`` of a tuple component.
+
+    Unlike the relational model, a schema is defined *per tuple*; sets of
+    views sharing structure are described by resource view classes
+    instead (Section 3 of the paper).
+    """
+
+    __slots__ = ("_attributes", "_positions")
+
+    def __init__(self, attributes: Iterable[Attribute | tuple[str, Domain] | str]):
+        normalized: list[Attribute] = []
+        for attr in attributes:
+            if isinstance(attr, Attribute):
+                normalized.append(attr)
+            elif isinstance(attr, tuple):
+                name, domain = attr
+                normalized.append(Attribute(name, domain))
+            elif isinstance(attr, str):
+                normalized.append(Attribute(attr, ANY))
+            else:
+                raise ComponentError(f"cannot build attribute from {attr!r}")
+        self._attributes = tuple(normalized)
+        self._positions = {a.name: i for i, a in enumerate(self._attributes)}
+        if len(self._positions) != len(self._attributes):
+            raise SchemaError("duplicate attribute names in schema")
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self._attributes)
+
+    def position(self, name: str) -> int:
+        """Return the index of attribute ``name`` (raises SchemaError)."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._positions
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def validate(self, values: Sequence[Any]) -> None:
+        """Raise :class:`SchemaError` unless ``values`` conforms to this schema."""
+        if len(values) != len(self._attributes):
+            raise SchemaError(
+                f"expected {len(self._attributes)} values, got {len(values)}"
+            )
+        for attribute, value in zip(self._attributes, values):
+            if not attribute.domain.contains(value):
+                raise SchemaError(
+                    f"value {value!r} is not in domain {attribute.domain} "
+                    f"of attribute {attribute.name!r}"
+                )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(a) for a in self._attributes)
+        return f"Schema({inner})"
+
+
+class TupleComponent:
+    """The ``tau`` component: one schema ``W`` and one conforming tuple ``T``.
+
+    The empty tuple component (denoted ``()`` in the paper) is obtained
+    from :meth:`empty` and answers True to :attr:`is_empty`.
+    """
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema | None, values: Sequence[Any] | None):
+        if (schema is None) != (values is None):
+            raise ComponentError("schema and values must both be given or both omitted")
+        if schema is not None and values is not None:
+            schema.validate(values)
+            self._schema: Schema | None = schema
+            self._values: tuple[Any, ...] | None = tuple(values)
+        else:
+            self._schema = None
+            self._values = None
+
+    @classmethod
+    def empty(cls) -> "TupleComponent":
+        return cls(None, None)
+
+    @classmethod
+    def from_dict(cls, mapping: dict[str, Any],
+                  domains: dict[str, Domain] | None = None) -> "TupleComponent":
+        """Build a tuple component from a name→value mapping.
+
+        Domains default to ANY unless overridden via ``domains``.
+        """
+        domains = domains or {}
+        schema = Schema(
+            Attribute(name, domains.get(name, ANY)) for name in mapping
+        )
+        return cls(schema, tuple(mapping.values()))
+
+    @property
+    def is_empty(self) -> bool:
+        return self._schema is None
+
+    @property
+    def schema(self) -> Schema:
+        if self._schema is None:
+            raise ComponentError("empty tuple component has no schema")
+        return self._schema
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        if self._values is None:
+            raise ComponentError("empty tuple component has no values")
+        return self._values
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Return the value of ``attribute``, or ``default`` when absent."""
+        if self._schema is None or attribute not in self._schema:
+            return default
+        return self._values[self._schema.position(attribute)]  # type: ignore[index]
+
+    def __getitem__(self, attribute: str) -> Any:
+        return self.values[self.schema.position(attribute)]
+
+    def __contains__(self, attribute: object) -> bool:
+        return self._schema is not None and attribute in self._schema
+
+    def as_dict(self) -> dict[str, Any]:
+        """Return the tuple as an attribute→value mapping (empty if empty)."""
+        if self._schema is None:
+            return {}
+        return dict(zip(self._schema.names, self._values))  # type: ignore[arg-type]
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TupleComponent)
+            and self._schema == other._schema
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._schema, self._values))
+
+    def __repr__(self) -> str:
+        if self.is_empty:
+            return "TupleComponent.empty()"
+        pairs = ", ".join(f"{k}={v!r}" for k, v in self.as_dict().items())
+        return f"TupleComponent({pairs})"
+
+
+# ---------------------------------------------------------------------------
+# Content component (chi)
+# ---------------------------------------------------------------------------
+
+IteratorFactory = Callable[[], Iterator[str]]
+
+
+class ContentComponent:
+    """The ``chi`` component: a finite or infinite sequence of symbols.
+
+    Finite content wraps a plain string. Infinite (or merely unbounded)
+    content wraps an *iterator factory* — a callable returning a fresh
+    iterator of symbols — so the sequence is produced lazily and may be
+    re-read. A single-shot factory (``reusable=False``) models true
+    streams whose symbols cannot be observed twice.
+    """
+
+    __slots__ = ("_text", "_factory", "_reusable", "_consumed")
+
+    def __init__(self, text: str | None = None, *,
+                 factory: IteratorFactory | None = None,
+                 reusable: bool = True):
+        if (text is None) == (factory is None):
+            raise ComponentError("exactly one of text/factory must be given")
+        self._text = text
+        self._factory = factory
+        self._reusable = reusable
+        self._consumed = False
+
+    @classmethod
+    def empty(cls) -> "ContentComponent":
+        return cls("")
+
+    @classmethod
+    def of(cls, text: str) -> "ContentComponent":
+        return cls(text)
+
+    @classmethod
+    def infinite(cls, factory: IteratorFactory, *,
+                 reusable: bool = True) -> "ContentComponent":
+        """Wrap an iterator factory producing an unbounded symbol sequence."""
+        return cls(factory=factory, reusable=reusable)
+
+    @property
+    def is_finite(self) -> bool:
+        return self._text is not None
+
+    @property
+    def is_empty(self) -> bool:
+        return self._text == ""
+
+    def text(self) -> str:
+        """Return the full content; only legal for finite content."""
+        if self._text is None:
+            raise InfiniteComponentError(
+                "cannot materialize an infinite content component; use take()"
+            )
+        return self._text
+
+    def __iter__(self) -> Iterator[str]:
+        if self._text is not None:
+            return iter(self._text)
+        if self._consumed and not self._reusable:
+            raise InfiniteComponentError(
+                "single-shot content stream was already consumed"
+            )
+        self._consumed = True
+        return self._factory()  # type: ignore[misc]
+
+    def take(self, n: int) -> str:
+        """Return the first ``n`` symbols (works for infinite content)."""
+        out: list[str] = []
+        for symbol in self:
+            if len(out) >= n:
+                break
+            out.append(symbol)
+        return "".join(out)
+
+    def __len__(self) -> int:
+        if self._text is None:
+            raise InfiniteComponentError("infinite content has no length")
+        return len(self._text)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContentComponent):
+            return NotImplemented
+        if self.is_finite and other.is_finite:
+            return self._text == other._text
+        return self is other
+
+    def __hash__(self) -> int:
+        return hash(self._text) if self.is_finite else id(self)
+
+    def __repr__(self) -> str:
+        if self._text is not None:
+            preview = self._text[:32]
+            suffix = "..." if len(self._text) > 32 else ""
+            return f"ContentComponent({preview!r}{suffix})"
+        return "ContentComponent(<infinite>)"
+
+
+# ---------------------------------------------------------------------------
+# Group component (gamma)
+# ---------------------------------------------------------------------------
+
+ViewIteratorFactory = Callable[[], Iterator["ResourceView"]]
+
+
+class ViewSequence:
+    """A finite or infinite ordered collection of resource views.
+
+    Used both for the set ``S`` and the sequence ``Q`` of a group
+    component (for ``S`` the iteration order is an implementation
+    artifact; only membership matters semantically).
+    """
+
+    __slots__ = ("_items", "_factory", "_reusable", "_consumed")
+
+    def __init__(self, items: Sequence["ResourceView"] | None = None, *,
+                 factory: ViewIteratorFactory | None = None,
+                 reusable: bool = True):
+        if items is not None and factory is not None:
+            raise ComponentError("give items or a factory, not both")
+        self._items = tuple(items) if items is not None else None
+        self._factory = factory
+        self._reusable = reusable
+        self._consumed = False
+
+    @classmethod
+    def empty(cls) -> "ViewSequence":
+        return cls(())
+
+    @classmethod
+    def of(cls, *views: "ResourceView") -> "ViewSequence":
+        return cls(views)
+
+    @classmethod
+    def infinite(cls, factory: ViewIteratorFactory, *,
+                 reusable: bool = True) -> "ViewSequence":
+        return cls(factory=factory, reusable=reusable)
+
+    @property
+    def is_finite(self) -> bool:
+        return self._items is not None
+
+    @property
+    def is_empty(self) -> bool:
+        return self._items == ()
+
+    def __iter__(self) -> Iterator["ResourceView"]:
+        if self._items is not None:
+            return iter(self._items)
+        if self._consumed and not self._reusable:
+            raise InfiniteComponentError(
+                "single-shot view stream was already consumed"
+            )
+        self._consumed = True
+        return self._factory()  # type: ignore[misc]
+
+    def take(self, n: int) -> list["ResourceView"]:
+        """Return the first ``n`` views (safe on infinite sequences)."""
+        out: list["ResourceView"] = []
+        for view in self:
+            if len(out) >= n:
+                break
+            out.append(view)
+        return out
+
+    def items(self) -> tuple["ResourceView", ...]:
+        """Return all views; only legal when finite."""
+        if self._items is None:
+            raise InfiniteComponentError(
+                "cannot materialize an infinite view sequence; use take()"
+            )
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self.items())
+
+    def __repr__(self) -> str:
+        if self._items is not None:
+            return f"ViewSequence(<{len(self._items)} views>)"
+        return "ViewSequence(<infinite>)"
+
+
+@dataclass(slots=True)
+class GroupComponent:
+    """The ``gamma`` component: an unordered set ``S`` plus a sequence ``Q``.
+
+    Connections induce the resource view graph: every view reachable
+    through ``S`` or ``Q`` is *directly related* to the owner. The paper
+    requires ``S`` and ``Q`` to be disjoint; we enforce this whenever both
+    are finite (for infinite parts the constraint is the producer's
+    obligation, since checking it would require materialization).
+    """
+
+    set_part: ViewSequence = field(default_factory=ViewSequence.empty)
+    seq_part: ViewSequence = field(default_factory=ViewSequence.empty)
+
+    def __post_init__(self) -> None:
+        if self.set_part.is_finite and self.seq_part.is_finite:
+            s_ids = {id(v) for v in self.set_part.items()}
+            q_ids = {id(v) for v in self.seq_part.items()}
+            if s_ids & q_ids:
+                raise ComponentError("S and Q of a group component must be disjoint")
+
+    @classmethod
+    def empty(cls) -> "GroupComponent":
+        return cls()
+
+    @classmethod
+    def of_set(cls, views: Iterable["ResourceView"]) -> "GroupComponent":
+        return cls(set_part=ViewSequence(tuple(views)))
+
+    @classmethod
+    def of_sequence(cls, views: Iterable["ResourceView"]) -> "GroupComponent":
+        return cls(seq_part=ViewSequence(tuple(views)))
+
+    @classmethod
+    def of_stream(cls, factory: ViewIteratorFactory, *,
+                  reusable: bool = True) -> "GroupComponent":
+        """A group component whose ``Q`` is an infinite stream of views."""
+        return cls(seq_part=ViewSequence.infinite(factory, reusable=reusable))
+
+    @property
+    def is_empty(self) -> bool:
+        return self.set_part.is_empty and self.seq_part.is_empty
+
+    @property
+    def is_finite(self) -> bool:
+        return self.set_part.is_finite and self.seq_part.is_finite
+
+    def __iter__(self) -> Iterator["ResourceView"]:
+        """Iterate all directly related views: first S, then Q."""
+        yield from self.set_part
+        yield from self.seq_part
+
+    def take(self, n: int) -> list["ResourceView"]:
+        """First ``n`` related views, never materializing infinite parts."""
+        out = self.set_part.take(n)
+        if len(out) < n:
+            out.extend(self.seq_part.take(n - len(out)))
+        return out
+
+    def related(self) -> tuple["ResourceView", ...]:
+        """All directly related views; requires finiteness."""
+        return tuple(self.set_part.items()) + tuple(self.seq_part.items())
+
+    def __len__(self) -> int:
+        return len(self.set_part) + len(self.seq_part)
+
+    def __repr__(self) -> str:
+        return f"GroupComponent(S={self.set_part!r}, Q={self.seq_part!r})"

@@ -1,0 +1,123 @@
+"""Exception hierarchy for the iDM reproduction.
+
+All exceptions raised by this library derive from :class:`IdmError`, so
+callers may catch a single base class. Subsystems define narrower types
+here rather than in their own modules so that the hierarchy stays visible
+in one place.
+"""
+
+from __future__ import annotations
+
+
+class IdmError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ComponentError(IdmError):
+    """A resource-view component is malformed or used incorrectly."""
+
+
+class SchemaError(ComponentError):
+    """A tuple component's values do not conform to its schema."""
+
+
+class InfiniteComponentError(ComponentError):
+    """An operation requiring finiteness was applied to an infinite component."""
+
+
+class ClassConformanceError(IdmError):
+    """A resource view violates the restrictions of a resource view class."""
+
+
+class UnknownClassError(IdmError):
+    """A resource view class name is not present in the registry."""
+
+
+class GraphError(IdmError):
+    """A structural error in a resource view graph."""
+
+
+class ParseError(IdmError):
+    """Base class for parser failures (XML, LaTeX, iQL, feeds, messages)."""
+
+    def __init__(self, message: str, *, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class XmlParseError(ParseError):
+    """The XML parser rejected its input."""
+
+
+class LatexParseError(ParseError):
+    """The LaTeX structure parser rejected its input."""
+
+
+class QueryError(IdmError):
+    """Base class for iQL errors."""
+
+
+class QuerySyntaxError(QueryError, ParseError):
+    """The iQL parser rejected the query text."""
+
+
+class QueryPlanError(QueryError):
+    """A logical plan could not be converted into an executable plan."""
+
+
+class QueryExecutionError(QueryError):
+    """A runtime failure while executing a query plan."""
+
+
+class StoreError(IdmError):
+    """Base class for the embedded relational store."""
+
+
+class TableError(StoreError):
+    """A table-level failure (duplicate key, unknown column, ...)."""
+
+
+class IndexError_(StoreError):
+    """An index-level failure in the embedded store.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class FullTextError(IdmError):
+    """A failure inside the full-text engine."""
+
+
+class DataSourceError(IdmError):
+    """A data-source plugin failed to enumerate or fetch items."""
+
+
+class VfsError(DataSourceError):
+    """Virtual filesystem failure (missing path, duplicate entry, ...)."""
+
+
+class ImapError(DataSourceError):
+    """Simulated IMAP server failure."""
+
+
+class FeedError(DataSourceError):
+    """RSS/ATOM feed failure."""
+
+
+class SyncError(IdmError):
+    """The synchronization manager hit an unrecoverable inconsistency."""
+
+
+class VersioningError(IdmError):
+    """Dataspace versioning failure (unknown version, conflict, ...)."""
+
+
+class LineageError(IdmError):
+    """Lineage tracking failure (unknown view, cyclic derivation, ...)."""

@@ -1,0 +1,315 @@
+"""Resource view graph utilities.
+
+The group components of resource views induce an arbitrary directed
+graph: trees (classic files&folders), DAGs (a view referenced from two
+parents, like the paper's ``V_Preliminaries``) and cycles (the
+``V_Projects -> V_PIM -> V_All Projects -> V_Projects`` folder-link cycle
+of Figure 1). This module provides traversals that are safe on all three
+shapes and bounded on infinite group components.
+
+The paper's *indirectly related* relation (``V_i ->> V_k``) is the
+transitive closure of *directly related*; :func:`is_indirectly_related`
+and :func:`descendants` compute it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+from .errors import GraphError
+from .identity import ViewId
+from .resource_view import ResourceView
+
+#: How many members of an infinite group part a traversal samples before
+#: moving on. Traversals over streams are necessarily approximations;
+#: callers needing more control pass ``infinite_sample`` explicitly.
+DEFAULT_INFINITE_SAMPLE = 256
+
+
+def children(view: ResourceView, *,
+             infinite_sample: int = DEFAULT_INFINITE_SAMPLE) -> list[ResourceView]:
+    """The views directly related to ``view`` (bounded on infinite groups)."""
+    group = view.group
+    if group.is_finite:
+        return list(group.related())
+    return group.take(infinite_sample)
+
+
+def traverse(
+    roots: ResourceView | Iterable[ResourceView],
+    *,
+    order: str = "bfs",
+    max_depth: int | None = None,
+    max_views: int | None = None,
+    infinite_sample: int = DEFAULT_INFINITE_SAMPLE,
+) -> Iterator[tuple[ResourceView, int]]:
+    """Yield ``(view, depth)`` pairs reachable from ``roots``.
+
+    Cycle-safe: each view (keyed by its id) is visited at most once.
+    ``order`` is ``"bfs"`` or ``"dfs"``; ``max_depth`` bounds edge
+    distance from the roots, ``max_views`` the total yield count.
+    """
+    if order not in ("bfs", "dfs"):
+        raise GraphError(f"unknown traversal order: {order!r}")
+    if isinstance(roots, ResourceView):
+        roots = [roots]
+    queue: deque[tuple[ResourceView, int]] = deque((r, 0) for r in roots)
+    seen: set[ViewId] = set()
+    yielded = 0
+    while queue:
+        view, depth = queue.popleft() if order == "bfs" else queue.pop()
+        if view.view_id in seen:
+            continue
+        seen.add(view.view_id)
+        yield view, depth
+        yielded += 1
+        if max_views is not None and yielded >= max_views:
+            return
+        if max_depth is not None and depth >= max_depth:
+            continue
+        for child in children(view, infinite_sample=infinite_sample):
+            if child.view_id not in seen:
+                queue.append((child, depth + 1))
+
+
+def descendants(root: ResourceView, **kwargs: object) -> list[ResourceView]:
+    """All views indirectly related to ``root`` (excluding ``root`` itself,
+    unless it lies on a cycle through itself)."""
+    out = []
+    for view, depth in traverse(root, **kwargs):  # type: ignore[arg-type]
+        if depth > 0:
+            out.append(view)
+    return out
+
+
+def is_indirectly_related(source: ResourceView, target: ResourceView,
+                          **kwargs: object) -> bool:
+    """``V_i ->> V_k``: is there a non-empty path of direct relations?
+
+    Starts from the source's children so that a view on a cycle through
+    itself is correctly indirectly related to itself.
+    """
+    sample = kwargs.get("infinite_sample", DEFAULT_INFINITE_SAMPLE)
+    starts = children(source, infinite_sample=int(sample))  # type: ignore[arg-type]
+    for view, _ in traverse(starts, **kwargs):  # type: ignore[arg-type]
+        if view.view_id == target.view_id:
+            return True
+    return False
+
+
+def find_by_name(roots: ResourceView | Iterable[ResourceView], name: str,
+                 **kwargs: object) -> list[ResourceView]:
+    """All reachable views whose name component equals ``name``."""
+    return [v for v, _ in traverse(roots, **kwargs)  # type: ignore[arg-type]
+            if v.name == name]
+
+
+def find(roots: ResourceView | Iterable[ResourceView],
+         predicate: Callable[[ResourceView], bool],
+         **kwargs: object) -> list[ResourceView]:
+    """All reachable views satisfying ``predicate``."""
+    return [v for v, _ in traverse(roots, **kwargs)  # type: ignore[arg-type]
+            if predicate(v)]
+
+
+def count_views(roots: ResourceView | Iterable[ResourceView],
+                **kwargs: object) -> int:
+    """Number of distinct reachable views."""
+    return sum(1 for _ in traverse(roots, **kwargs))  # type: ignore[arg-type]
+
+
+def has_cycle(root: ResourceView, *,
+              infinite_sample: int = DEFAULT_INFINITE_SAMPLE) -> bool:
+    """True when a directed cycle is reachable from ``root``.
+
+    Iterative three-color DFS (white/grey/black) keyed on view ids.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: dict[ViewId, int] = {}
+    stack: list[tuple[ResourceView, Iterator[ResourceView]]] = []
+
+    def push(view: ResourceView) -> None:
+        color[view.view_id] = GREY
+        stack.append((view, iter(children(view, infinite_sample=infinite_sample))))
+
+    push(root)
+    while stack:
+        view, child_iter = stack[-1]
+        advanced = False
+        for child in child_iter:
+            state = color.get(child.view_id, WHITE)
+            if state == GREY:
+                return True
+            if state == WHITE:
+                push(child)
+                advanced = True
+                break
+        if not advanced:
+            color[view.view_id] = BLACK
+            stack.pop()
+    return False
+
+
+def paths_between(source: ResourceView, target: ResourceView, *,
+                  max_paths: int = 100, max_depth: int = 32,
+                  infinite_sample: int = DEFAULT_INFINITE_SAMPLE,
+                  ) -> list[list[ResourceView]]:
+    """Enumerate simple paths from ``source`` to ``target`` (bounded).
+
+    Used by tests to verify DAG-shaped sharing (a view reachable along
+    two distinct paths, like ``V_Preliminaries`` in Figure 1(b)).
+    """
+    results: list[list[ResourceView]] = []
+    path: list[ResourceView] = [source]
+    on_path: set[ViewId] = {source.view_id}
+
+    def walk(view: ResourceView, depth: int) -> None:
+        if len(results) >= max_paths or depth > max_depth:
+            return
+        if view.view_id == target.view_id and len(path) > 1:
+            results.append(list(path))
+            return
+        for child in children(view, infinite_sample=infinite_sample):
+            if child.view_id in on_path:
+                if child.view_id == target.view_id:
+                    results.append(list(path) + [child])
+                continue
+            path.append(child)
+            on_path.add(child.view_id)
+            walk(child, depth + 1)
+            on_path.discard(child.view_id)
+            path.pop()
+
+    for child in children(source, infinite_sample=infinite_sample):
+        if child.view_id == target.view_id:
+            results.append([source, child])
+            continue
+        path.append(child)
+        on_path.add(child.view_id)
+        walk(child, 1)
+        on_path.discard(child.view_id)
+        path.pop()
+    return results[:max_paths]
+
+
+def to_dot(roots: ResourceView | Iterable[ResourceView], *,
+           max_views: int = 500,
+           infinite_sample: int = DEFAULT_INFINITE_SAMPLE) -> str:
+    """Render the reachable subgraph in Graphviz DOT format.
+
+    Node labels carry the name component and class; edges distinguish
+    set (solid) from sequence (dashed, ordered) membership.
+    """
+    if isinstance(roots, ResourceView):
+        roots = [roots]
+    lines = ["digraph idm {", "  rankdir=TB;", "  node [shape=box];"]
+    included: dict[ViewId, str] = {}
+    order: list[ResourceView] = []
+    for view, _ in traverse(roots, max_views=max_views,
+                            infinite_sample=infinite_sample):
+        node = f"n{len(included)}"
+        included[view.view_id] = node
+        order.append(view)
+        label = view.name.replace('"', r'\"') or "(unnamed)"
+        if view.class_name:
+            label += f"\\n[{view.class_name}]"
+        lines.append(f'  {node} [label="{label}"];')
+    for view in order:
+        source = included[view.view_id]
+        group = view.group
+        set_members = (group.set_part.items() if group.set_part.is_finite
+                       else group.set_part.take(infinite_sample))
+        for member in set_members:
+            node = included.get(member.view_id)
+            if node:
+                lines.append(f"  {source} -> {node};")
+        seq_members = (group.seq_part.items() if group.seq_part.is_finite
+                       else group.seq_part.take(infinite_sample))
+        for position, member in enumerate(seq_members):
+            node = included.get(member.view_id)
+            if node:
+                lines.append(
+                    f'  {source} -> {node} [style=dashed, label="{position}"];'
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def collect_index(roots: ResourceView | Iterable[ResourceView],
+                  **kwargs: object) -> dict[ViewId, ResourceView]:
+    """Materialize the reachable subgraph as an id→view mapping."""
+    return {v.view_id: v
+            for v, _ in traverse(roots, **kwargs)}  # type: ignore[arg-type]
+
+
+def _xml_escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;").replace('"', "&quot;"))
+
+
+def to_graphml(roots: ResourceView | Iterable[ResourceView], *,
+               max_views: int = 500,
+               infinite_sample: int = DEFAULT_INFINITE_SAMPLE) -> str:
+    """Render the reachable subgraph as GraphML.
+
+    Nodes carry ``name`` and ``class`` attributes; edges carry ``part``
+    ("set" or "seq") and, for sequence edges, ``position``. The output
+    loads in yEd/Gephi/networkx for inspection of dataspace structure.
+    """
+    if isinstance(roots, ResourceView):
+        roots = [roots]
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">',
+        '  <key id="name" for="node" attr.name="name" attr.type="string"/>',
+        '  <key id="class" for="node" attr.name="class" attr.type="string"/>',
+        '  <key id="part" for="edge" attr.name="part" attr.type="string"/>',
+        '  <key id="position" for="edge" attr.name="position"'
+        ' attr.type="int"/>',
+        '  <graph edgedefault="directed">',
+    ]
+    included: dict[ViewId, str] = {}
+    order: list[ResourceView] = []
+    for view, _ in traverse(roots, max_views=max_views,
+                            infinite_sample=infinite_sample):
+        node = f"n{len(included)}"
+        included[view.view_id] = node
+        order.append(view)
+        lines.append(f'    <node id="{node}">')
+        lines.append(f'      <data key="name">{_xml_escape(view.name)}'
+                     "</data>")
+        if view.class_name:
+            lines.append(
+                f'      <data key="class">{_xml_escape(view.class_name)}'
+                "</data>"
+            )
+        lines.append("    </node>")
+    edge_ordinal = 0
+    for view in order:
+        source = included[view.view_id]
+        group = view.group
+        set_members = (group.set_part.items() if group.set_part.is_finite
+                       else group.set_part.take(infinite_sample))
+        for member in set_members:
+            target = included.get(member.view_id)
+            if target:
+                lines.append(
+                    f'    <edge id="e{edge_ordinal}" source="{source}"'
+                    f' target="{target}"><data key="part">set</data></edge>'
+                )
+                edge_ordinal += 1
+        seq_members = (group.seq_part.items() if group.seq_part.is_finite
+                       else group.seq_part.take(infinite_sample))
+        for position, member in enumerate(seq_members):
+            target = included.get(member.view_id)
+            if target:
+                lines.append(
+                    f'    <edge id="e{edge_ordinal}" source="{source}"'
+                    f' target="{target}"><data key="part">seq</data>'
+                    f'<data key="position">{position}</data></edge>'
+                )
+                edge_ordinal += 1
+    lines.append("  </graph>")
+    lines.append("</graphml>")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Intensional components — Section 4.3 of the paper.
+
+Extensional components return base facts (bytes on disk, catalog rows);
+intensional components require *query processing*: evaluating a local
+query or calling a remote service. On the logical iDM level a
+materialized result is still intensional data — materialization is an
+orthogonal, physical concern. This module captures that distinction:
+
+* :class:`IntensionalGroup` / :class:`IntensionalContent` wrap a
+  computation and expose it as a group/content provider suitable for a
+  lazy :class:`~repro.core.resource_view.ResourceView`. Each records
+  whether it has been *materialized* (cached) and how often it was
+  computed.
+* :class:`ServiceRegistry` simulates the remote-web-service world used by
+  the ActiveXML use-case (Section 4.3.1): named endpoints mapping call
+  arguments to results, with an invocation log.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from .components import ContentComponent, GroupComponent
+from .errors import IdmError
+from .resource_view import ResourceView
+
+
+class IntensionalContent:
+    """A content component computed by a query.
+
+    ``provider`` runs the computation; with ``materialize=True`` the
+    first result is cached (a materialized view in the paper's sense —
+    still logically intensional). ``computations`` counts actual runs.
+    """
+
+    def __init__(self, provider: Callable[[], str], *, materialize: bool = True):
+        self._provider = provider
+        self._materialize = materialize
+        self._cache: str | None = None
+        self.computations = 0
+
+    def __call__(self) -> ContentComponent:
+        if self._cache is not None:
+            return ContentComponent.of(self._cache)
+        self.computations += 1
+        result = self._provider()
+        if self._materialize:
+            self._cache = result
+        return ContentComponent.of(result)
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._cache is not None
+
+    def invalidate(self) -> None:
+        """Drop the materialization; the next access recomputes."""
+        self._cache = None
+
+
+class IntensionalGroup:
+    """A group component computed by a query over other views.
+
+    The canonical example is a database view defined over base tables, or
+    a saved iQL query whose results form a dynamic folder. ``provider``
+    must return the member views; they are exposed through the group's
+    set part (result order is not semantically meaningful unless the
+    caller opts into ``ordered=True``).
+    """
+
+    def __init__(self, provider: Callable[[], Iterable[ResourceView]], *,
+                 materialize: bool = True, ordered: bool = False):
+        self._provider = provider
+        self._materialize = materialize
+        self._ordered = ordered
+        self._cache: tuple[ResourceView, ...] | None = None
+        self.computations = 0
+
+    def __call__(self) -> GroupComponent:
+        members = self._members()
+        if self._ordered:
+            return GroupComponent.of_sequence(members)
+        return GroupComponent.of_set(members)
+
+    def _members(self) -> Sequence[ResourceView]:
+        if self._cache is not None:
+            return self._cache
+        self.computations += 1
+        result = tuple(self._provider())
+        if self._materialize:
+            self._cache = result
+        return result
+
+    @property
+    def is_materialized(self) -> bool:
+        return self._cache is not None
+
+    def invalidate(self) -> None:
+        self._cache = None
+
+
+def intensional_view(name: str,
+                     provider: Callable[[], Iterable[ResourceView]], *,
+                     materialize: bool = True,
+                     class_name: str | None = None) -> ResourceView:
+    """A view whose members are the (lazily computed) result of a query.
+
+    This models the paper's "dynamic folder" / saved-search use-case: the
+    view looks like a folder, but its children are recomputed from the
+    provider (or served from the materialization).
+    """
+    return ResourceView(
+        name=name,
+        group=IntensionalGroup(provider, materialize=materialize),
+        class_name=class_name,
+    )
+
+
+class ServiceError(IdmError):
+    """A simulated web service call failed (unknown endpoint, handler error)."""
+
+
+class ServiceRegistry:
+    """A simulated remote-service world for intensional components.
+
+    The paper's ActiveXML use-case embeds calls like
+    ``web.server.com/GetDepartments()`` in documents. Since this
+    reproduction runs offline, endpoints are plain Python callables
+    registered under their URL; every invocation is logged so tests can
+    assert *when* a service was called (lazily, once, ...).
+    """
+
+    def __init__(self) -> None:
+        self._endpoints: dict[str, Callable[..., Any]] = {}
+        self.call_log: list[tuple[str, tuple[Any, ...]]] = []
+
+    def register(self, url: str,
+                 handler: Callable[..., Any]) -> Callable[..., Any]:
+        """Register ``handler`` under ``url``; returns the handler so the
+        method can be used as a decorator factory target."""
+        self._endpoints[url] = handler
+        return handler
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._endpoints)
+
+    def call(self, url: str, *args: Any) -> Any:
+        """Invoke the endpoint, recording the call."""
+        try:
+            handler = self._endpoints[url]
+        except KeyError:
+            raise ServiceError(f"unknown service endpoint: {url!r}") from None
+        self.call_log.append((url, args))
+        return handler(*args)
+
+    def calls_to(self, url: str) -> int:
+        return sum(1 for logged_url, _ in self.call_log if logged_url == url)

@@ -1,0 +1,81 @@
+"""Lazy component evaluation (Section 4.1 of the paper).
+
+Every component of a resource view may be computed on demand: the paper
+models a view as an interface of four ``get*Component`` methods that hide
+how, when and where each component is produced. :class:`LazyValue` is the
+mechanism behind that interface — a memoizing thunk. A component given as
+a plain value is wrapped in an already-forced :class:`LazyValue`; a
+component given as a zero-argument callable is forced at most once, on
+first access.
+
+:class:`CountingProvider` wraps a provider and counts invocations; tests
+and benchmarks use it to assert laziness ("the LaTeX file is only parsed
+when getGroupComponent() is called").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+_UNSET = object()
+
+
+class LazyValue(Generic[T]):
+    """A memoizing thunk: computes its value at most once.
+
+    ``LazyValue.of(value)`` builds an already-forced instance carrying a
+    plain value; ``LazyValue(provider)`` defers to ``provider()`` on the
+    first :meth:`get`.
+    """
+
+    __slots__ = ("_provider", "_value")
+
+    def __init__(self, provider: Callable[[], T]):
+        self._provider: Callable[[], T] | None = provider
+        self._value: Any = _UNSET
+
+    @classmethod
+    def of(cls, value: T) -> "LazyValue[T]":
+        lazy: LazyValue[T] = cls.__new__(cls)
+        lazy._provider = None
+        lazy._value = value
+        return lazy
+
+    @property
+    def is_forced(self) -> bool:
+        """True once the value has been computed (or was given eagerly)."""
+        return self._value is not _UNSET
+
+    def get(self) -> T:
+        """Return the value, computing and caching it on first access."""
+        if self._value is _UNSET:
+            assert self._provider is not None
+            self._value = self._provider()
+            self._provider = None  # allow the closure to be collected
+        return self._value
+
+    def __repr__(self) -> str:
+        if self.is_forced:
+            return f"LazyValue({self._value!r})"
+        return "LazyValue(<unforced>)"
+
+
+class CountingProvider(Generic[T]):
+    """A provider wrapper that counts how many times it was invoked.
+
+    Because :class:`LazyValue` memoizes, a lazily-declared component
+    should report ``calls == 0`` until first access and ``calls == 1``
+    afterwards — the invariant the laziness tests assert.
+    """
+
+    __slots__ = ("_provider", "calls")
+
+    def __init__(self, provider: Callable[[], T]):
+        self._provider = provider
+        self.calls = 0
+
+    def __call__(self) -> T:
+        self.calls += 1
+        return self._provider()

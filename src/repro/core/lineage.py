@@ -1,0 +1,144 @@
+"""Data lineage — Section 8, issue (2), of the paper.
+
+"Data lineage refers to keeping the history of all data transformations
+that originated a given resource view." With a unified model such as
+iDM, lineage can be kept *across data sources and formats*: a view
+extracted from a LaTeX file by a converter, copied to an email
+attachment, then surfaced by a query keeps one provenance chain.
+
+:class:`LineageTracker` records :class:`Derivation` edges — (outputs,
+operation, inputs) — and answers ancestry/descendant queries over the
+resulting derivation DAG.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterable
+
+from .errors import LineageError
+from .identity import ViewId
+from .resource_view import ResourceView
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One transformation: ``inputs`` were turned into ``outputs``.
+
+    ``operation`` names the transformation ("copy", "latex2idm",
+    "query:Q4", ...); ``sequence`` is a store-local monotonic ordinal so
+    lineage chains are totally ordered without wall-clock time.
+    """
+
+    sequence: int
+    operation: str
+    inputs: tuple[ViewId, ...]
+    outputs: tuple[ViewId, ...]
+
+
+def _ids(views: Iterable[ResourceView | ViewId]) -> tuple[ViewId, ...]:
+    out = []
+    for item in views:
+        out.append(item.view_id if isinstance(item, ResourceView) else item)
+    return tuple(out)
+
+
+class LineageTracker:
+    """Records derivations and answers provenance queries.
+
+    The derivation graph must stay acyclic — a view cannot be (transitively)
+    derived from itself — which :meth:`record` enforces.
+    """
+
+    def __init__(self) -> None:
+        self._derivations: list[Derivation] = []
+        self._producing: dict[ViewId, list[Derivation]] = {}
+        self._consuming: dict[ViewId, list[Derivation]] = {}
+        self._counter = itertools.count()
+
+    def record(self, operation: str,
+               inputs: Iterable[ResourceView | ViewId],
+               outputs: Iterable[ResourceView | ViewId]) -> Derivation:
+        """Record one transformation from ``inputs`` to ``outputs``."""
+        input_ids = _ids(inputs)
+        output_ids = _ids(outputs)
+        if not output_ids:
+            raise LineageError("a derivation must produce at least one view")
+        overlap = set(input_ids) & set(output_ids)
+        if overlap:
+            raise LineageError(f"derivation outputs overlap inputs: {overlap}")
+        # Reject cycles: an input must not be derived from any output.
+        for input_id in input_ids:
+            ancestry = self.ancestors(input_id) | {input_id}
+            if ancestry & set(output_ids):
+                raise LineageError(
+                    f"cyclic lineage: {input_id} already derives from an output"
+                )
+        derivation = Derivation(next(self._counter), operation,
+                                input_ids, output_ids)
+        self._derivations.append(derivation)
+        for output in output_ids:
+            self._producing.setdefault(output, []).append(derivation)
+        for input_id in input_ids:
+            self._consuming.setdefault(input_id, []).append(derivation)
+        return derivation
+
+    def derivations(self) -> list[Derivation]:
+        return list(self._derivations)
+
+    def producers_of(self, view: ResourceView | ViewId) -> list[Derivation]:
+        """Derivations that directly produced this view."""
+        view_id = view.view_id if isinstance(view, ResourceView) else view
+        return list(self._producing.get(view_id, []))
+
+    def ancestors(self, view: ResourceView | ViewId) -> set[ViewId]:
+        """All views this one (transitively) derives from."""
+        view_id = view.view_id if isinstance(view, ResourceView) else view
+        seen: set[ViewId] = set()
+        queue: deque[ViewId] = deque([view_id])
+        while queue:
+            current = queue.popleft()
+            for derivation in self._producing.get(current, []):
+                for parent in derivation.inputs:
+                    if parent not in seen:
+                        seen.add(parent)
+                        queue.append(parent)
+        return seen
+
+    def descendants(self, view: ResourceView | ViewId) -> set[ViewId]:
+        """All views (transitively) derived from this one."""
+        view_id = view.view_id if isinstance(view, ResourceView) else view
+        seen: set[ViewId] = set()
+        queue: deque[ViewId] = deque([view_id])
+        while queue:
+            current = queue.popleft()
+            for derivation in self._consuming.get(current, []):
+                for child in derivation.outputs:
+                    if child not in seen:
+                        seen.add(child)
+                        queue.append(child)
+        return seen
+
+    def chain(self, view: ResourceView | ViewId) -> list[Derivation]:
+        """The full provenance of a view: every derivation on some path
+        from an underived base view to it, in recording order."""
+        view_id = view.view_id if isinstance(view, ResourceView) else view
+        relevant: set[int] = set()
+        queue: deque[ViewId] = deque([view_id])
+        visited: set[ViewId] = set()
+        while queue:
+            current = queue.popleft()
+            if current in visited:
+                continue
+            visited.add(current)
+            for derivation in self._producing.get(current, []):
+                relevant.add(derivation.sequence)
+                queue.extend(derivation.inputs)
+        return [d for d in self._derivations if d.sequence in relevant]
+
+    def is_base(self, view: ResourceView | ViewId) -> bool:
+        """True when the view was never produced by a derivation."""
+        view_id = view.view_id if isinstance(view, ResourceView) else view
+        return view_id not in self._producing

@@ -1,0 +1,219 @@
+"""Resource views — Definition 1 of the paper.
+
+A resource view ``V_i`` is a 4-tuple ``(eta_i, tau_i, chi_i, gamma_i)``
+of a name, a tuple, a content and a group component. This module provides
+the :class:`ResourceView` class, which
+
+* exposes the four components through the paper's interface
+  (``get_name_component`` ... ``get_group_component``) as well as through
+  Python properties,
+* accepts each component either as a plain value or as a zero-argument
+  callable, making every component lazily computable (Section 4.1),
+* carries a stable :class:`~repro.core.identity.ViewId` and an optional
+  resource view class name (Section 3.1).
+
+Construction is deliberately permissive about input shapes: names may be
+``None`` (the empty name), tuple components may be given as dicts,
+contents as strings, groups as iterables of views. Normalization happens
+once in the constructor so the rest of the library deals with the proper
+component types only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Union
+
+from .components import (
+    ContentComponent,
+    GroupComponent,
+    TupleComponent,
+    ViewSequence,
+)
+from .errors import ComponentError
+from .identity import DEFAULT_ID_GENERATOR, ViewId
+from .lazy import LazyValue
+
+NameInput = Union[str, None, Callable[[], Union[str, None]]]
+TupleInput = Union[TupleComponent, Mapping[str, Any], None,
+                   Callable[[], Union[TupleComponent, Mapping[str, Any], None]]]
+ContentInput = Union[ContentComponent, str, None,
+                     Callable[[], Union[ContentComponent, str, None]]]
+GroupInput = Union[GroupComponent, Iterable["ResourceView"], None,
+                   Callable[[], Union[GroupComponent, Iterable["ResourceView"], None]]]
+
+
+def _normalize_name(value: str | None) -> str:
+    if value is None:
+        return ""
+    if not isinstance(value, str):
+        raise ComponentError(f"name component must be a string, got {type(value)}")
+    return value
+
+
+def _normalize_tuple(value: TupleComponent | Mapping[str, Any] | None) -> TupleComponent:
+    if value is None:
+        return TupleComponent.empty()
+    if isinstance(value, TupleComponent):
+        return value
+    if isinstance(value, Mapping):
+        if not value:
+            return TupleComponent.empty()
+        return TupleComponent.from_dict(dict(value))
+    raise ComponentError(f"cannot build a tuple component from {type(value)}")
+
+
+def _normalize_content(value: ContentComponent | str | None) -> ContentComponent:
+    if value is None:
+        return ContentComponent.empty()
+    if isinstance(value, ContentComponent):
+        return value
+    if isinstance(value, str):
+        return ContentComponent.of(value)
+    raise ComponentError(f"cannot build a content component from {type(value)}")
+
+
+def _normalize_group(
+    value: GroupComponent | Iterable["ResourceView"] | None,
+) -> GroupComponent:
+    if value is None:
+        return GroupComponent.empty()
+    if isinstance(value, GroupComponent):
+        return value
+    if isinstance(value, ViewSequence):
+        return GroupComponent(seq_part=value)
+    views = tuple(value)
+    for view in views:
+        if not isinstance(view, ResourceView):
+            raise ComponentError(
+                f"group component members must be resource views, got {type(view)}"
+            )
+    return GroupComponent.of_set(views)
+
+
+def _lazify(value: Any, normalize: Callable[[Any], Any]) -> LazyValue[Any]:
+    if callable(value) and not isinstance(
+        value, (TupleComponent, ContentComponent, GroupComponent)
+    ):
+        return LazyValue(lambda: normalize(value()))
+    return LazyValue.of(normalize(value))
+
+
+class ResourceView:
+    """One node of the resource view graph.
+
+    Each of the four components may be passed as a plain value (eager) or
+    as a zero-argument callable (lazy, computed once on first access).
+    ``class_name`` attaches the view to a resource view class ("a given
+    resource view may obey directly to only one class"); ``view_id``
+    identifies the view in the catalog and defaults to a fresh anonymous
+    id.
+    """
+
+    __slots__ = ("view_id", "class_name", "_name", "_tuple", "_content", "_group")
+
+    def __init__(
+        self,
+        name: NameInput = None,
+        tuple_component: TupleInput = None,
+        content: ContentInput = None,
+        group: GroupInput = None,
+        *,
+        class_name: str | None = None,
+        view_id: ViewId | None = None,
+    ) -> None:
+        self.view_id = view_id if view_id is not None else DEFAULT_ID_GENERATOR.next_id()
+        self.class_name = class_name
+        self._name = _lazify(name, _normalize_name)
+        self._tuple = _lazify(tuple_component, _normalize_tuple)
+        self._content = _lazify(content, _normalize_content)
+        self._group = _lazify(group, _normalize_group)
+
+    # -- the paper's interface ---------------------------------------------
+
+    def get_name_component(self) -> str:
+        """Return ``eta`` — the (possibly empty) name string."""
+        return self._name.get()
+
+    def get_tuple_component(self) -> TupleComponent:
+        """Return ``tau`` — schema plus one conforming tuple."""
+        return self._tuple.get()
+
+    def get_content_component(self) -> ContentComponent:
+        """Return ``chi`` — the finite or infinite symbol sequence."""
+        return self._content.get()
+
+    def get_group_component(self) -> GroupComponent:
+        """Return ``gamma`` — the set/sequence of directly related views."""
+        return self._group.get()
+
+    # -- pythonic accessors -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.get_name_component()
+
+    @property
+    def tuple_component(self) -> TupleComponent:
+        return self.get_tuple_component()
+
+    @property
+    def content(self) -> ContentComponent:
+        return self.get_content_component()
+
+    @property
+    def group(self) -> GroupComponent:
+        return self.get_group_component()
+
+    # -- laziness introspection ----------------------------------------------
+
+    def forced_components(self) -> dict[str, bool]:
+        """Which components have been computed so far (for tests/inspection)."""
+        return {
+            "name": self._name.is_forced,
+            "tuple": self._tuple.is_forced,
+            "content": self._content.is_forced,
+            "group": self._group.is_forced,
+        }
+
+    # -- graph helpers --------------------------------------------------------
+
+    def directly_related(self) -> Iterator["ResourceView"]:
+        """Iterate the views this view is directly related to (``V_i -> V_k``)."""
+        return iter(self.group)
+
+    def is_directly_related(self, other: "ResourceView") -> bool:
+        """True when ``other`` appears in this view's group component.
+
+        Only inspects finite group parts; infinite parts are sampled up
+        to a bounded prefix (they are streams — membership is generally
+        undecidable).
+        """
+        group = self.group
+        if group.is_finite:
+            return any(v is other or v.view_id == other.view_id
+                       for v in group.related())
+        return any(v is other or v.view_id == other.view_id
+                   for v in group.take(10_000))
+
+    def attribute(self, name: str, default: Any = None) -> Any:
+        """Shortcut: value of a tuple-component attribute."""
+        return self.tuple_component.get(name, default)
+
+    def text(self) -> str:
+        """Shortcut: the finite content text (empty string when no content)."""
+        return self.content.text()
+
+    def __repr__(self) -> str:
+        label = self.name if self._name.is_forced else "<lazy>"
+        cls = f", class={self.class_name!r}" if self.class_name else ""
+        return f"ResourceView({label!r}, id={self.view_id}{cls})"
+
+
+def view(name: str | None = None, **kwargs: Any) -> ResourceView:
+    """Convenience constructor mirroring the paper's shorthand notation.
+
+    ``view("PIM", tuple_component={...}, group=[...])`` builds the
+    ``V_PIM = ('PIM', tau_PIM, gamma_PIM)`` of the paper's Section 2.3,
+    with omitted components empty.
+    """
+    return ResourceView(name=name, **kwargs)

@@ -1,0 +1,192 @@
+"""Dataspace versioning — Section 8, issue (1), of the paper.
+
+"A PDSMS keeps track of all changes made to the dataspace. As with
+classical versioning techniques, logically, each change creates a new
+version of the whole dataspace." Because iDM represents the entire
+dataspace in one model, versioning reduces to a change log over view
+records.
+
+:class:`VersionStore` implements that: it records immutable
+:class:`ViewRecord` snapshots of a view's components keyed by
+``(view_id, version)``. Each commit of a batch of changes produces a new
+dataspace version number; any historical version can be reconstructed as
+the set of records visible at that version (standard temporal "valid
+from/to" bookkeeping). The content of lazily/infinitely computed
+components is summarized by a digest rather than copied, which keeps the
+store applicable to intensional and stream views.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .errors import VersioningError
+from .identity import ViewId
+from .resource_view import ResourceView
+
+
+def _content_digest(view: ResourceView, *, sample: int = 4096) -> str:
+    """A stable digest of the content component (sampled when infinite)."""
+    content = view.content
+    text = content.text() if content.is_finite else content.take(sample)
+    return hashlib.sha1(text.encode("utf-8", "replace")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ViewRecord:
+    """An immutable snapshot of one view's observable state."""
+
+    view_id: ViewId
+    name: str
+    tuple_values: tuple[tuple[str, Any], ...]
+    content_digest: str
+    related_ids: tuple[ViewId, ...]
+    class_name: str | None
+
+    @classmethod
+    def capture(cls, view: ResourceView, *,
+                infinite_sample: int = 256) -> "ViewRecord":
+        group = view.group
+        if group.is_finite:
+            related = tuple(v.view_id for v in group.related())
+        else:
+            related = tuple(v.view_id for v in group.take(infinite_sample))
+        return cls(
+            view_id=view.view_id,
+            name=view.name,
+            tuple_values=tuple(sorted(view.tuple_component.as_dict().items())),
+            content_digest=_content_digest(view),
+            related_ids=related,
+            class_name=view.class_name,
+        )
+
+
+@dataclass
+class _Entry:
+    record: ViewRecord
+    valid_from: int
+    valid_to: int | None = None  # None = still current
+
+
+class VersionStore:
+    """A temporal store of view records with whole-dataspace versions.
+
+    Usage: stage changes with :meth:`record` / :meth:`record_deletion`,
+    then :meth:`commit` them; the commit returns the new version number.
+    Reads (:meth:`get`, :meth:`snapshot`, :meth:`history`) accept any
+    committed version.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[ViewId, list[_Entry]] = {}
+        self._staged: dict[ViewId, ViewRecord | None] = {}
+        self._version = 0
+
+    @property
+    def current_version(self) -> int:
+        return self._version
+
+    def record(self, view: ResourceView) -> None:
+        """Stage the current state of ``view`` for the next commit.
+
+        Unchanged views (identical record) are skipped, so repeatedly
+        recording a stable dataspace does not create empty versions.
+        """
+        record = ViewRecord.capture(view)
+        current = self._current_record(view.view_id)
+        if current == record:
+            self._staged.pop(view.view_id, None)
+            return
+        self._staged[view.view_id] = record
+
+    def record_deletion(self, view_id: ViewId) -> None:
+        """Stage the removal of a view."""
+        if self._current_record(view_id) is None and view_id not in self._staged:
+            raise VersioningError(f"cannot delete unknown view {view_id}")
+        self._staged[view_id] = None
+
+    def has_staged_changes(self) -> bool:
+        return bool(self._staged)
+
+    def commit(self) -> int:
+        """Apply staged changes as one new dataspace version."""
+        if not self._staged:
+            return self._version
+        self._version += 1
+        for view_id, record in self._staged.items():
+            history = self._entries.setdefault(view_id, [])
+            if history and history[-1].valid_to is None:
+                history[-1].valid_to = self._version
+            if record is not None:
+                history.append(_Entry(record, valid_from=self._version))
+        self._staged.clear()
+        return self._version
+
+    # -- reads ---------------------------------------------------------------
+
+    def _current_record(self, view_id: ViewId) -> ViewRecord | None:
+        history = self._entries.get(view_id)
+        if history and history[-1].valid_to is None:
+            return history[-1].record
+        return None
+
+    def get(self, view_id: ViewId, version: int | None = None) -> ViewRecord:
+        """The record of ``view_id`` at ``version`` (default: current)."""
+        version = self._check_version(version)
+        for entry in reversed(self._entries.get(view_id, [])):
+            if entry.valid_from <= version and (
+                entry.valid_to is None or entry.valid_to > version
+            ):
+                return entry.record
+        raise VersioningError(
+            f"view {view_id} does not exist at version {version}"
+        )
+
+    def exists(self, view_id: ViewId, version: int | None = None) -> bool:
+        try:
+            self.get(view_id, version)
+            return True
+        except VersioningError:
+            return False
+
+    def snapshot(self, version: int | None = None) -> dict[ViewId, ViewRecord]:
+        """All records visible at ``version`` — one logical dataspace state."""
+        version = self._check_version(version)
+        out: dict[ViewId, ViewRecord] = {}
+        for view_id, history in self._entries.items():
+            for entry in reversed(history):
+                if entry.valid_from <= version and (
+                    entry.valid_to is None or entry.valid_to > version
+                ):
+                    out[view_id] = entry.record
+                    break
+        return out
+
+    def history(self, view_id: ViewId) -> Iterator[tuple[int, ViewRecord]]:
+        """Yield ``(version, record)`` for every change of one view."""
+        for entry in self._entries.get(view_id, []):
+            yield entry.valid_from, entry.record
+
+    def changed_between(self, old: int, new: int) -> set[ViewId]:
+        """Ids of views created, modified or deleted in ``(old, new]``."""
+        self._check_version(old)
+        self._check_version(new)
+        changed: set[ViewId] = set()
+        for view_id, history in self._entries.items():
+            for entry in history:
+                if old < entry.valid_from <= new:
+                    changed.add(view_id)
+                elif entry.valid_to is not None and old < entry.valid_to <= new:
+                    changed.add(view_id)
+        return changed
+
+    def _check_version(self, version: int | None) -> int:
+        if version is None:
+            return self._version
+        if not 0 <= version <= self._version:
+            raise VersioningError(
+                f"unknown version {version} (current is {self._version})"
+            )
+        return version

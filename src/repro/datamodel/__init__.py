@@ -1,0 +1,37 @@
+"""Instantiations of specialized data models in iDM (Section 3).
+
+Each module maps one kind of underlying data to resource view graphs
+conforming to the classes of Table 1:
+
+* :mod:`filesystem` — files&folders (plus folder links → graph cycles);
+* :mod:`relational` — tuples, relations, relational databases;
+* :mod:`xmlmodel` — XML documents, elements, text nodes, XML files;
+* :mod:`latexmodel` — LaTeX structural subgraphs with ``\\ref`` edges;
+* :mod:`streams` — generic data streams, tuple streams, RSS/ATOM;
+* :mod:`email_model` — the email use-case (state and stream options);
+* :mod:`activexml` — the ActiveXML use-case of Section 4.3.1.
+"""
+
+from .filesystem import FilesystemMapper
+from .relational import database_to_view, relation_to_view, tuple_to_view
+from .xmlmodel import xml_to_views, xmlfile_group_provider
+from .latexmodel import latex_to_views, latexfile_group_provider
+from .streams import rss_stream_view, stream_view, tuple_stream_view
+from .email_model import (
+    attachment_to_view,
+    inbox_state_view,
+    inbox_stream_view,
+    message_to_view,
+)
+from .activexml import ActiveXmlElement, axml_document
+
+__all__ = [
+    "FilesystemMapper",
+    "database_to_view", "relation_to_view", "tuple_to_view",
+    "xml_to_views", "xmlfile_group_provider",
+    "latex_to_views", "latexfile_group_provider",
+    "rss_stream_view", "stream_view", "tuple_stream_view",
+    "attachment_to_view", "inbox_state_view", "inbox_stream_view",
+    "message_to_view",
+    "ActiveXmlElement", "axml_document",
+]

@@ -1,0 +1,147 @@
+"""The email use-case (Section 4.4.1 of the paper).
+
+Two modelling options for an INBOX:
+
+* **Option 1 (state)** — :func:`inbox_state_view`: a finite view of the
+  mailbox's current message window. Retrievable many times; the right
+  choice when several clients read the same mailbox.
+* **Option 2 (stream)** — :func:`inbox_stream_view`: the infinite
+  message stream itself, bypassing the state window. Single-shot:
+  messages delivered by the stream are removed from the server and
+  cannot be retrieved again.
+
+A message becomes an ``emailmessage`` view (subject as the name, headers
+in the tuple component, body text as content, attachments in the group
+set); attachments become ``attachment`` views with file semantics, so an
+attached ``.tex`` document grows the same structural subgraph as one on
+the filesystem — queries bridge the two subsystems (Example 2 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Sequence
+
+from ..core.components import ContentComponent, GroupComponent, TupleComponent
+from ..core.identity import ViewId
+from ..core.resource_view import ResourceView
+from ..imapsim import Attachment, EmailMessage, ImapServer, parse_rfc822
+
+#: Same contract as the filesystem's ContentConverter: turn attachment
+#: content into a structural subgraph, or None.
+ContentConverter = Callable[[str, str, ViewId], Sequence[ResourceView] | None]
+
+
+def attachment_to_view(attachment: Attachment, view_id: ViewId, *,
+                       content_converter: ContentConverter | None = None,
+                       ) -> ResourceView:
+    """One attachment as an ``attachment`` (file-specialized) view."""
+
+    def group_provider() -> GroupComponent:
+        if content_converter is None:
+            return GroupComponent.empty()
+        subgraph = content_converter(
+            attachment.filename, attachment.content, view_id
+        )
+        if not subgraph:
+            return GroupComponent.empty()
+        return GroupComponent.of_sequence(subgraph)
+
+    return ResourceView(
+        name=attachment.filename,
+        tuple_component=TupleComponent.from_dict({
+            "size": attachment.size,
+            "mime_type": attachment.mime_type,
+        }),
+        content=attachment.content,
+        group=group_provider,
+        class_name="attachment",
+        view_id=view_id,
+    )
+
+
+def message_to_view(message: EmailMessage, view_id: ViewId, *,
+                    content_converter: ContentConverter | None = None,
+                    ) -> ResourceView:
+    """One message as an ``emailmessage`` view."""
+    attachments = [
+        attachment_to_view(
+            attachment, view_id.child(f"a{index}"),
+            content_converter=content_converter,
+        )
+        for index, attachment in enumerate(message.attachments)
+    ]
+    return ResourceView(
+        name=message.subject,
+        tuple_component=TupleComponent.from_dict({
+            "from": message.sender,
+            "to": ", ".join(message.to),
+            "date": message.date,
+            "size": message.size,
+        }),
+        content=message.body,
+        group=GroupComponent.of_set(attachments),
+        class_name="emailmessage",
+        view_id=view_id,
+    )
+
+
+def inbox_state_view(server: ImapServer, mailbox: str, *,
+                     authority: str = "imap",
+                     content_converter: ContentConverter | None = None,
+                     ) -> ResourceView:
+    """Option 1: model the **state** of a mailbox.
+
+    The group component enumerates the current message window through
+    latency-charged client fetches, lazily — calling the method twice
+    observes the window twice (and pays twice), exactly the semantics
+    the paper describes for multi-client setups.
+    """
+    view_id = ViewId(authority, mailbox)
+
+    def group_provider() -> GroupComponent:
+        messages = []
+        for uid in server.uids(mailbox):
+            wire = server.fetch_message(mailbox, uid)
+            message = parse_rfc822(wire)
+            message.uid = uid
+            messages.append(message_to_view(
+                message, view_id.child(str(uid)),
+                content_converter=content_converter,
+            ))
+        return GroupComponent.of_sequence(messages)
+
+    return ResourceView(
+        name=mailbox,
+        group=group_provider,
+        class_name="emailfolder",
+        view_id=view_id,
+    )
+
+
+def inbox_stream_view(server: ImapServer, mailbox: str, *,
+                      authority: str = "imap",
+                      content_converter: ContentConverter | None = None,
+                      ) -> ResourceView:
+    """Option 2: model the message **stream** itself.
+
+    Single-shot: iterating the group sequence consumes messages from the
+    server (they are deleted as they stream); a second iteration raises,
+    matching "messages delivered by the stream cannot be retrieved a
+    second time".
+    """
+    view_id = ViewId(authority, f"{mailbox}/stream")
+
+    def factory() -> Iterator[ResourceView]:
+        for message in server.message_stream(mailbox):
+            yield message_to_view(
+                message, view_id.child(str(message.uid)),
+                content_converter=content_converter,
+            )
+
+    return ResourceView(
+        name=mailbox,
+        group=GroupComponent.of_stream(factory, reusable=False),
+        class_name="datstream",
+        view_id=view_id,
+    )

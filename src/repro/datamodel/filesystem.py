@@ -1,0 +1,140 @@
+"""Files&folders in iDM (Section 3.2 of the paper).
+
+A file ``f`` becomes ``V^file = (N_f, (W_FS, T_f), C_f)``; a folder
+``F`` becomes ``V^folder = (N_F, (W_FS, T_F), gamma)`` whose group set
+``S`` holds the child views. Folder *links* resolve to the view of the
+target folder — the same view object, so a link inside ``/Projects/PIM``
+back to ``/Projects`` closes a genuine cycle in the resource view graph
+(Figure 1 of the paper).
+
+The mapper is lazy end to end: a folder's children are only enumerated
+when its group component is first requested, and a file's content is
+only read when its content component is requested. A pluggable
+``content_converter`` turns file content into structural subgraphs (the
+Content2iDM converters of the RVM wire in here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.components import ContentComponent, GroupComponent, TupleComponent
+from ..core.identity import ViewId
+from ..core.resource_view import ResourceView
+from ..vfs import VirtualFileSystem
+
+#: Given (file name, content text, file view id), return the views of the
+#: content subgraph (ordered, go into the file's group sequence Q), or
+#: None when the converter does not apply to this file.
+ContentConverter = Callable[[str, str, ViewId], Sequence[ResourceView] | None]
+
+
+class FilesystemMapper:
+    """Maps a :class:`~repro.vfs.VirtualFileSystem` to resource views.
+
+    Views are cached per path, so repeated traversals and resolved links
+    share nodes — which is what turns the mapped tree into a graph.
+    ``authority`` prefixes the view ids (default ``"fs"``).
+    """
+
+    def __init__(self, vfs: VirtualFileSystem, *,
+                 authority: str = "fs",
+                 content_converter: ContentConverter | None = None):
+        self.vfs = vfs
+        self.authority = authority
+        self.content_converter = content_converter
+        self._cache: dict[str, ResourceView] = {}
+
+    def root_view(self) -> ResourceView:
+        """The view of the filesystem root folder."""
+        return self.view_for("/")
+
+    def view_for(self, path: str) -> ResourceView:
+        """The (cached) view of the entry at ``path``.
+
+        Links are resolved transparently: the view of a link *is* the
+        view of its target folder/file.
+        """
+        if self.vfs.is_link(path):
+            return self.view_for(self.vfs.resolve_link(path))
+        cached = self._cache.get(path)
+        if cached is not None:
+            return cached
+        if self.vfs.is_dir(path):
+            view = self._folder_view(path)
+        else:
+            view = self._file_view(path)
+        self._cache[path] = view
+        return view
+
+    def invalidate(self, path: str) -> None:
+        """Forget the cached view of ``path`` (after a change event)."""
+        self._cache.pop(path, None)
+
+    def cached_paths(self) -> list[str]:
+        return sorted(self._cache)
+
+    # -- builders --------------------------------------------------------------
+
+    def _metadata(self, path: str) -> TupleComponent:
+        stat = self.vfs.stat(path)
+        return TupleComponent.from_dict({
+            "size": stat["size"],
+            "created": stat["created"],
+            "modified": stat["modified"],
+            "path": stat["path"],
+        })
+
+    def _name_of(self, path: str) -> str:
+        parts = [p for p in path.split("/") if p]
+        return parts[-1] if parts else "/"
+
+    def _folder_view(self, path: str) -> ResourceView:
+        view_id = ViewId(self.authority, path)
+
+        def group_provider() -> GroupComponent:
+            children = []
+            for name in self.vfs.listdir(path):
+                child_path = path.rstrip("/") + "/" + name
+                children.append(self.view_for(child_path))
+            return GroupComponent.of_set(children)
+
+        return ResourceView(
+            name=self._name_of(path),
+            tuple_component=lambda: self._metadata(path),
+            group=group_provider,
+            class_name="folder",
+            view_id=view_id,
+        )
+
+    def _file_view(self, path: str) -> ResourceView:
+        view_id = ViewId(self.authority, path)
+        name = self._name_of(path)
+
+        def content_provider() -> ContentComponent:
+            return ContentComponent.of(self.vfs.read(path))
+
+        def group_provider() -> GroupComponent:
+            if self.content_converter is None:
+                return GroupComponent.empty()
+            subgraph = self.content_converter(name, self.vfs.read(path), view_id)
+            if not subgraph:
+                return GroupComponent.empty()
+            return GroupComponent.of_sequence(subgraph)
+
+        return ResourceView(
+            name=name,
+            tuple_component=lambda: self._metadata(path),
+            content=content_provider,
+            group=group_provider,
+            class_name=self._class_for(name),
+            view_id=view_id,
+        )
+
+    def _class_for(self, file_name: str) -> str:
+        lowered = file_name.lower()
+        if lowered.endswith(".xml"):
+            return "xmlfile"
+        if lowered.endswith(".tex"):
+            return "latexfile"
+        return "file"

@@ -1,0 +1,193 @@
+"""LaTeX content in iDM — the LaTeX2iDM instantiation of Figure 1.
+
+A LaTeX file's content graph becomes:
+
+* top-level metadata views (``documentclass``, ``title``, ``abstract``)
+  plus one ``document`` view, in the file's group sequence;
+* one ``latex_section`` view per (sub)section — name is the section
+  title, label in the tuple component, own text in the content
+  component, body items in the group sequence;
+* one ``environment`` view per environment (class ``figure`` for figure
+  environments), named ``figure1``, ``table2``, ... with the label in
+  the tuple component and the caption in the content component;
+* one ``latex_text`` view per paragraph;
+* one ``texref`` view per ``\\ref`` — named after the referenced label,
+  and *directly related to the referenced view*: these are the cross
+  edges that make the content a graph rather than a tree (the paper's
+  ``V_Preliminaries`` reachable from both ``V_document`` and
+  ``V_ref``).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.components import GroupComponent, TupleComponent
+from ..core.errors import LatexParseError
+from ..core.identity import ViewId
+from ..core.resource_view import ResourceView
+from ..latexp import Environment, LatexDocument, Paragraph, Reference, Section
+from ..latexp import parse as parse_latex
+from ..latexp.structure import StructureNode
+
+
+def latex_to_views(document: LatexDocument | str,
+                   base_id: ViewId) -> list[ResourceView]:
+    """Instantiate a LaTeX document as the file-level view sequence.
+
+    Returns the ordered views for the file's group component ``Q``:
+    metadata views first, then the ``document`` view rooting the section
+    structure.
+    """
+    if isinstance(document, str):
+        document = parse_latex(document)
+    builder = _Builder(document, base_id)
+    return builder.build()
+
+
+class _Builder:
+    def __init__(self, document: LatexDocument, base_id: ViewId):
+        self.document = document
+        self.base_id = base_id
+        self._views_by_node: dict[int, ResourceView] = {}
+        self._env_counters: dict[str, itertools.count] = {}
+        self._id_counter = itertools.count()
+
+    def _next_id(self, tag: str) -> ViewId:
+        return self.base_id.child(f"{tag}{next(self._id_counter)}")
+
+    def build(self) -> list[ResourceView]:
+        top: list[ResourceView] = []
+        if self.document.document_class:
+            top.append(ResourceView(
+                name="documentclass",
+                content=self.document.document_class,
+                class_name="latex_meta",
+                view_id=self._next_id("m"),
+            ))
+        if self.document.title:
+            top.append(ResourceView(
+                name="title",
+                content=self.document.title,
+                class_name="latex_meta",
+                view_id=self._next_id("m"),
+            ))
+        if self.document.abstract:
+            top.append(ResourceView(
+                name="abstract",
+                content=self.document.abstract,
+                class_name="latex_meta",
+                view_id=self._next_id("m"),
+            ))
+        body_views = self._body_views(self.document.body)
+        top.append(ResourceView(
+            name="document",
+            group=GroupComponent.of_sequence(body_views),
+            class_name="latex_document",
+            view_id=self._next_id("m"),
+        ))
+        return top
+
+    def _body_views(self, nodes: list[StructureNode]) -> list[ResourceView]:
+        views = []
+        for node in nodes:
+            view = self._node_view(node)
+            if view is not None:
+                views.append(view)
+        return views
+
+    def _node_view(self, node: StructureNode) -> ResourceView | None:
+        if isinstance(node, Section):
+            return self._section_view(node)
+        if isinstance(node, Environment):
+            return self._environment_view(node)
+        if isinstance(node, Paragraph):
+            return self._paragraph_view(node)
+        if isinstance(node, Reference):
+            return self._reference_view(node)
+        return None
+
+    def _section_view(self, section: Section) -> ResourceView:
+        cached = self._views_by_node.get(id(section))
+        if cached is not None:
+            return cached
+        attributes: dict[str, object] = {"level": section.level}
+        if section.label:
+            attributes["label"] = section.label
+        view = ResourceView(
+            name=section.title,
+            tuple_component=TupleComponent.from_dict(attributes),
+            content=section.text(),
+            group=GroupComponent.of_sequence(self._body_views(section.body)),
+            class_name="latex_section",
+            view_id=self._next_id("s"),
+        )
+        self._views_by_node[id(section)] = view
+        return view
+
+    def _environment_view(self, environment: Environment) -> ResourceView:
+        cached = self._views_by_node.get(id(environment))
+        if cached is not None:
+            return cached
+        counter = self._env_counters.setdefault(
+            environment.name, itertools.count(1)
+        )
+        name = f"{environment.name}{next(counter)}"
+        attributes: dict[str, object] = {"environment": environment.name}
+        if environment.label:
+            attributes["label"] = environment.label
+        content = environment.caption or environment.text()
+        view = ResourceView(
+            name=name,
+            tuple_component=TupleComponent.from_dict(attributes),
+            content=content,
+            group=GroupComponent.of_sequence(
+                self._body_views(environment.body)
+            ),
+            class_name="figure" if environment.name == "figure" else "environment",
+            view_id=self._next_id("e"),
+        )
+        self._views_by_node[id(environment)] = view
+        return view
+
+    def _paragraph_view(self, paragraph: Paragraph) -> ResourceView | None:
+        if not paragraph.text.strip():
+            return None
+        return ResourceView(
+            content=paragraph.text,
+            class_name="latex_text",
+            view_id=self._next_id("p"),
+        )
+
+    def _reference_view(self, reference: Reference) -> ResourceView:
+        target = reference.target
+
+        def group_provider() -> GroupComponent:
+            # Lazy: the target section/environment view may be created
+            # after this ref during the walk (forward references).
+            if target is None:
+                return GroupComponent.empty()
+            target_view = self._views_by_node.get(id(target))
+            if target_view is None:
+                target_view = self._node_view(target)
+            if target_view is None:
+                return GroupComponent.empty()
+            return GroupComponent.of_set([target_view])
+
+        return ResourceView(
+            name=reference.label,
+            group=group_provider,
+            class_name="texref",
+            view_id=self._next_id("r"),
+        )
+
+
+def latexfile_group_provider(name: str, content: str,
+                             view_id: ViewId) -> list[ResourceView] | None:
+    """A :data:`~repro.datamodel.filesystem.ContentConverter` for LaTeX."""
+    if not name.lower().endswith(".tex"):
+        return None
+    try:
+        return latex_to_views(content, view_id)
+    except LatexParseError:
+        return None

@@ -1,0 +1,82 @@
+"""Data streams in iDM (Section 3.4 of the paper).
+
+A data stream is a view whose group sequence ``Q`` is infinite:
+
+* ``datstream`` — items of any class;
+* ``tupstream`` — items are ``tuple`` views;
+* ``rssatom`` — items are ``xmldoc`` views.
+
+Streams are iterator factories. A *reusable* factory models re-readable
+sources; ``reusable=False`` models true streams whose items cannot be
+observed twice (the email Option 2 semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from ..core.components import GroupComponent, Schema
+from ..core.identity import IdGenerator, ViewId
+from ..core.resource_view import ResourceView
+from ..rss.poller import FeedPoller
+from ..xmlp import XmlDocument, XmlElement, XmlText
+from ..xmlp.writer import serialize
+from .relational import tuple_to_view
+from .xmlmodel import xml_to_views
+
+
+def stream_view(factory: Callable[[], Iterator[ResourceView]], *,
+                class_name: str = "datstream",
+                reusable: bool = True,
+                view_id: ViewId | None = None) -> ResourceView:
+    """A generic data stream view over an item-view iterator factory."""
+    return ResourceView(
+        group=GroupComponent.of_stream(factory, reusable=reusable),
+        class_name=class_name,
+        view_id=view_id,
+    )
+
+
+def tuple_stream_view(schema: Schema,
+                      rows: Callable[[], Iterator[Sequence[Any]]], *,
+                      authority: str = "stream",
+                      reusable: bool = True,
+                      view_id: ViewId | None = None) -> ResourceView:
+    """A ``tupstream`` view: each delivered row becomes a ``tuple`` view."""
+
+    def factory() -> Iterator[ResourceView]:
+        ids = IdGenerator(authority)
+        for row in rows():
+            yield tuple_to_view(schema, tuple(row), view_id=ids.next_id("t"))
+
+    return stream_view(factory, class_name="tupstream",
+                       reusable=reusable, view_id=view_id)
+
+
+def rss_stream_view(poller: FeedPoller, *, max_polls: int = 1,
+                    view_id: ViewId | None = None) -> ResourceView:
+    """An ``rssatom`` view over a feed poller's pseudo-stream.
+
+    Each new entry discovered by polling becomes one ``xmldoc`` view
+    (an RSS item is itself a small XML document). The stream is
+    single-shot: like the paper says, streamed items are not retrievable
+    a second time — re-polling only yields *new* entries.
+    """
+    base_id = view_id if view_id is not None else ViewId("rss", poller.url)
+
+    def factory() -> Iterator[ResourceView]:
+        ordinal = 0
+        for entry in poller.stream(max_polls=max_polls):
+            item = XmlElement("item")
+            for tag, text in (("guid", entry.guid), ("title", entry.title),
+                              ("description", entry.description),
+                              ("pubDate", entry.published.isoformat())):
+                child = XmlElement(tag)
+                child.append(XmlText(text))
+                item.append(child)
+            xml_text = serialize(XmlDocument(root=item))
+            yield xml_to_views(xml_text, base_id.child(f"i{ordinal}"))
+            ordinal += 1
+
+    return stream_view(factory, class_name="rssatom",
+                       reusable=False, view_id=base_id)

@@ -1,0 +1,96 @@
+"""XML in iDM (Section 3.3 of the paper).
+
+* a character information item → ``xmltext`` view (content only);
+* an element information item → ``xmlelem`` view: name ``N_E``,
+  attributes as the tuple component ``(W_E, T_E)``, children as the
+  ordered group sequence ``Q``;
+* a document information item → ``xmldoc`` view with ``Q = <V_root>``;
+* an XML file → ``xmlfile`` view (a ``file`` specialization) whose
+  ``Q = <V_doc^xmldoc>``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.components import TupleComponent
+from ..core.errors import XmlParseError
+from ..core.identity import ViewId
+from ..core.resource_view import ResourceView
+from ..xmlp import XmlDocument, XmlElement, XmlText, parse
+from ..xmlp.infoset import XmlNode
+
+
+def xml_to_views(document: XmlDocument | str, base_id: ViewId,
+                 ) -> ResourceView:
+    """Instantiate an XML document as an ``xmldoc`` resource view.
+
+    ``base_id`` roots the derived view ids (``base#root``,
+    ``base#root/0``, ...), keeping extracted views addressable and
+    stable across re-conversions of unchanged content.
+    """
+    if isinstance(document, str):
+        document = parse(document)
+    root_view = _element_view(document.root, base_id.child("root"))
+    return ResourceView(
+        group=_ordered([root_view]),
+        class_name="xmldoc",
+        view_id=base_id.child("doc"),
+    )
+
+
+def _ordered(views: Sequence[ResourceView]):
+    from ..core.components import GroupComponent
+    return GroupComponent.of_sequence(views)
+
+
+def _element_view(element: XmlElement, view_id: ViewId) -> ResourceView:
+    children: list[ResourceView] = []
+    ordinal = 0
+    for node in element.children:
+        child = _node_view(node, view_id.child(str(ordinal)))
+        if child is not None:
+            children.append(child)
+            ordinal += 1
+    if element.attributes:
+        tuple_component = TupleComponent.from_dict(dict(element.attributes))
+    else:
+        tuple_component = TupleComponent.empty()
+    return ResourceView(
+        name=element.name,
+        tuple_component=tuple_component,
+        group=_ordered(children),
+        class_name="xmlelem",
+        view_id=view_id,
+    )
+
+
+def _node_view(node: XmlNode, view_id: ViewId) -> ResourceView | None:
+    if isinstance(node, XmlElement):
+        return _element_view(node, view_id)
+    if isinstance(node, XmlText):
+        if not node.text.strip():
+            return None  # ignorable whitespace between elements
+        return ResourceView(
+            content=node.text,
+            class_name="xmltext",
+            view_id=view_id,
+        )
+    return None  # comments and PIs carry no iDM structure
+
+
+def xmlfile_group_provider(name: str, content: str,
+                           view_id: ViewId) -> list[ResourceView] | None:
+    """A :data:`~repro.datamodel.filesystem.ContentConverter` for XML.
+
+    Returns ``[V_doc^xmldoc]`` for well-formed ``.xml`` content and
+    ``None`` otherwise (the file stays a plain ``file`` view — a
+    converter must never make a file unreachable just because its
+    content does not parse).
+    """
+    if not name.lower().endswith(".xml"):
+        return None
+    try:
+        return [xml_to_views(content, view_id)]
+    except XmlParseError:
+        return None

@@ -1,0 +1,140 @@
+"""Deterministic text generation for the synthetic dataspace.
+
+A small English+systems vocabulary plus a seeded RNG produce sentences,
+paragraphs, titles and names. Benchmarked queries need *planted*
+phrases (``"database tuning"``, ``"Mike Franklin"``, ``"Indexing
+time"``); :meth:`Corpus.paragraph` can inject them at controlled rates
+so result counts are non-trivial and stable across runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+_COMMON = (
+    "the a of to and in for with on at from into over about after during "
+    "between without under through system data model query index search "
+    "result approach user file folder document section figure table email "
+    "message server client storage memory disk network graph tree node "
+    "edge path structure content component view resource schema attribute "
+    "value tuple relation stream feed update change event time process "
+    "management information personal desktop project paper work draft "
+    "note report plan idea design implementation evaluation experiment "
+    "measure performance efficient fast slow large small new old good "
+    "simple complex powerful versatile unified heterogeneous structured "
+    "semistructured unstructured logical physical lazy intensional "
+    "extensional infinite finite"
+).split()
+
+_TECH = (
+    "database databases indexing retrieval ranking keyword fulltext "
+    "optimizer operator pipeline iterator hash btree partition replica "
+    "catalog transaction concurrency recovery buffer cache latency "
+    "throughput scalability benchmark workload dataset corpus parser "
+    "tokenizer converter plugin subsystem protocol imap smtp rss atom "
+    "xml latex unicode metadata namespace hierarchy dataspace pim "
+    "filesystem versioning lineage provenance synchronization"
+).split()
+
+_FIRST_NAMES = (
+    "Jens Marcos Donald Michael Anna Laura Peter David Maria Thomas "
+    "Susan Robert Karen James Linda Carlos Julia Martin Sofia Andreas"
+).split()
+
+_LAST_NAMES = (
+    "Dittrich Salles Kossmann Franklin Halevy Maier Knuth Gray Codd "
+    "Stonebraker Widom Naughton Weikum Fischer Blunschi Girard Steybe"
+).split()
+
+_TITLE_WORDS = (
+    "Unified Versatile Adaptive Scalable Efficient Personal Structured "
+    "Dynamic Lazy Incremental Distributed Semantic Flexible Modular"
+).split()
+
+_TITLE_NOUNS = (
+    "Dataspaces Indexing Queries Streams Views Models Systems Search "
+    "Integration Storage Management Processing Optimization Replication"
+).split()
+
+
+class Corpus:
+    """Seeded text generator. All output is a pure function of the seed
+    and the call sequence."""
+
+    def __init__(self, seed: int = 42):
+        self.rng = random.Random(seed)
+        self._vocabulary = _COMMON + _TECH
+
+    # -- words and names ---------------------------------------------------------
+
+    def word(self) -> str:
+        return self.rng.choice(self._vocabulary)
+
+    def words(self, count: int) -> list[str]:
+        return [self.word() for _ in range(count)]
+
+    def person_name(self) -> str:
+        return (f"{self.rng.choice(_FIRST_NAMES)} "
+                f"{self.rng.choice(_LAST_NAMES)}")
+
+    def email_address(self) -> str:
+        name = self.rng.choice(_FIRST_NAMES).lower()
+        host = self.rng.choice(
+            ["ethz.ch", "example.org", "dbis.edu", "imemex.org", "mail.com"]
+        )
+        return f"{name}.{self.rng.choice(_LAST_NAMES).lower()}@{host}"
+
+    def title(self, *, words: int = 4) -> str:
+        parts = [self.rng.choice(_TITLE_WORDS)
+                 for _ in range(max(1, words - 1))]
+        parts.append(self.rng.choice(_TITLE_NOUNS))
+        return " ".join(parts)
+
+    def identifier(self, prefix: str = "item") -> str:
+        return f"{prefix}{self.rng.randrange(10_000):04d}"
+
+    # -- sentences and paragraphs -----------------------------------------------------
+
+    def sentence(self, *, min_words: int = 6, max_words: int = 16) -> str:
+        count = self.rng.randint(min_words, max_words)
+        words = self.words(count)
+        words[0] = words[0].capitalize()
+        return " ".join(words) + "."
+
+    def paragraph(self, *, sentences: int = 4,
+                  plant: list[str] | None = None) -> str:
+        """A paragraph; each phrase in ``plant`` is injected as its own
+        sentence at a random position."""
+        parts = [self.sentence() for _ in range(max(1, sentences))]
+        for phrase in plant or []:
+            position = self.rng.randrange(len(parts) + 1)
+            parts.insert(position, f"{phrase.capitalize().rstrip('.')}." if not phrase[0].isupper() else f"{phrase.rstrip('.')}." )
+        return " ".join(parts)
+
+    def text(self, *, paragraphs: int = 3,
+             plant: list[str] | None = None) -> str:
+        """Multi-paragraph text with the planted phrases spread across it."""
+        plant = list(plant or [])
+        self.rng.shuffle(plant)
+        blocks = []
+        for index in range(max(1, paragraphs)):
+            share = plant[index::max(1, paragraphs)]
+            blocks.append(self.paragraph(sentences=self.rng.randint(2, 6),
+                                         plant=share))
+        return "\n\n".join(blocks)
+
+    # -- file names ----------------------------------------------------------------------
+
+    def file_name(self, extension: str) -> str:
+        stem = "_".join(self.words(self.rng.randint(1, 3)))
+        return f"{stem}_{self.rng.randrange(1000):03d}.{extension}"
+
+    def folder_name(self) -> str:
+        return "_".join(w.capitalize() for w in self.words(self.rng.randint(1, 2)))
+
+    # -- pseudo-binary content ---------------------------------------------------------------
+
+    def binary_blob(self, size: int) -> str:
+        """Content that fails the text sniffer (simulated image/audio)."""
+        rng = self.rng
+        return "".join(chr(rng.randrange(0x00, 0x09)) for _ in range(size))

@@ -1,0 +1,505 @@
+"""The personal dataspace generator.
+
+Builds a virtual filesystem and a simulated IMAP server (plus optional
+RSS feeds) whose structure statistics follow a
+:class:`~repro.dataset.profiles.DatasetProfile`, and plants the entities
+the evaluation queries reference:
+
+* Q1 ``"database"`` — a vocabulary word, so it occurs organically at a
+  high rate (the paper's most frequent keyword, 941 hits);
+* Q2 ``"database tuning"`` — a phrase planted at a controlled low rate;
+* Q3 ``[size > 420000 and lastmodified < @12.06.2005]`` — a fixed
+  number of oversized files (all timestamps fall in early 2005, so the
+  date conjunct holds for them, as it did for the paper's 88 hits);
+* Q4 ``//papers//*Vision/*["Franklin"]`` — exactly two ``... Vision``
+  sections under ``/papers`` with "Mike Franklin" in a child paragraph;
+* Q5 ``//VLDB200?//?onclusion*/*["systems"]`` — "Conclusions" sections
+  with "systems" planted in a child paragraph of VLDB-year papers;
+* Q6 ``union(//VLDB2005//*["documents"], //VLDB2006//*["documents"])``
+  — the word "documents" planted in those papers only;
+* Q7 — VLDB2006 papers carry figures wrapped in ``center`` environments
+  with labels and captions ("Indexing time"), each referenced by a
+  ``\\ref`` (texref name = figure label);
+* Q8 — a set of ``.tex`` files that exist both under ``/papers`` and as
+  email attachments with identical names;
+* the Figure 1 folder-link cycle (``/Projects/PIM/All Projects`` →
+  ``/Projects``).
+
+Everything is a pure function of the profile and the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..imapsim import Attachment, EmailMessage, ImapServer, LatencyModel
+from ..rss import FeedEntry, FeedServer
+from ..vfs import LogicalClock, VirtualFileSystem
+from .corpus import Corpus
+from .profiles import DatasetProfile
+
+#: Fraction of generated filesystem entries that are folders.
+_FOLDER_FRACTION = 0.12
+
+_TEXT_EXTENSIONS = ("txt", "md", "log", "csv")
+_BINARY_EXTENSIONS = ("jpg", "png", "mp3", "zip", "pdf")
+
+
+@dataclass
+class GeneratedDataspace:
+    """The generated subsystems plus bookkeeping for assertions."""
+
+    vfs: VirtualFileSystem
+    imap: ImapServer
+    feeds: FeedServer
+    profile: DatasetProfile
+    seed: int
+    #: planted ground truth: query tag -> expected minimum hits
+    planted: dict[str, int] = field(default_factory=dict)
+    #: generated counts: files, folders, links, emails, attachments...
+    counts: dict[str, int] = field(default_factory=dict)
+
+
+class PersonalDataspaceGenerator:
+    """Generates one personal dataspace from a profile and a seed."""
+
+    def __init__(self, profile: DatasetProfile, *, seed: int = 42,
+                 imap_latency: LatencyModel | None = None):
+        self.profile = profile
+        self.seed = seed
+        self.corpus = Corpus(seed)
+        self.rng = self.corpus.rng
+        clock = LogicalClock()
+        self.vfs = VirtualFileSystem(clock=clock)
+        self.imap = ImapServer(
+            latency=imap_latency if imap_latency is not None else LatencyModel(),
+            clock=clock,
+        )
+        self.feeds = FeedServer()
+        self.planted: dict[str, int] = {}
+        self.counts: dict[str, int] = {"files": 0, "folders": 0, "links": 0,
+                                       "emails": 0, "attachments": 0}
+        self._paper_tex_files: list[tuple[str, str]] = []  # (name, source)
+
+    # -- public API -----------------------------------------------------------
+
+    def generate(self) -> GeneratedDataspace:
+        self._build_skeleton()
+        self._plant_conference_papers()
+        self._plant_pim_project()
+        self._fill_filesystem()
+        self._plant_large_files()
+        self._generate_email()
+        self._generate_feeds()
+        return GeneratedDataspace(
+            vfs=self.vfs, imap=self.imap, feeds=self.feeds,
+            profile=self.profile, seed=self.seed,
+            planted=dict(self.planted), counts=dict(self.counts),
+        )
+
+    # -- skeleton -----------------------------------------------------------------
+
+    _TOP_FOLDERS = (
+        "/papers/VLDB2005", "/papers/VLDB2006", "/papers/SIGMOD2005",
+        "/papers/CIDR2005", "/Projects/PIM", "/Projects/OLAP",
+        "/Teaching", "/Admin", "/Pictures", "/Music", "/src",
+    )
+
+    def _build_skeleton(self) -> None:
+        for path in self._TOP_FOLDERS:
+            self.vfs.mkdir(path, parents=True)
+        self.counts["folders"] += sum(p.count("/") for p in self._TOP_FOLDERS) - 3
+        # recount precisely later from the vfs itself
+
+    # -- LaTeX sources ----------------------------------------------------------------
+
+    def _latex_paper(self, *, venue_year: str, vision_section: bool,
+                     plant_documents: bool, figure_count: int,
+                     conclusions_systems: bool) -> tuple[str, list[str]]:
+        """One generated paper; returns (source, figure labels)."""
+        corpus = self.corpus
+        words_budget = self.profile.words_per_latex_doc
+        lines = [
+            r"\documentclass{article}",
+            rf"\title{{{corpus.title()}}}",
+            rf"\author{{{corpus.person_name()} and {corpus.person_name()}}}",
+            r"\begin{document}",
+            r"\begin{abstract}",
+            corpus.paragraph(sentences=2),
+            r"\end{abstract}",
+        ]
+        labels: list[str] = []
+        figure_ordinal = 0
+
+        def figure_block(caption_plant: str | None) -> str:
+            nonlocal figure_ordinal
+            figure_ordinal += 1
+            label = f"fig:{venue_year.lower()}{self.rng.randrange(10_000):04d}"
+            labels.append(label)
+            caption = corpus.sentence(min_words=4, max_words=8)
+            if caption_plant:
+                caption = f"{caption_plant} {caption}"
+            # wrapped in a center environment so the figure sits *inside*
+            # an environment-class view (what Q7's path requires)
+            return "\n".join([
+                r"\begin{center}",
+                r"\begin{figure}",
+                rf"\caption{{{caption}}}",
+                rf"\label{{{label}}}",
+                r"\end{figure}",
+                r"\end{center}",
+            ])
+
+        plant_docs_word = ["documents from the repository"] if plant_documents else []
+        lines.append(r"\section{Introduction}")
+        lines.append(rf"\label{{sec:intro{self.rng.randrange(10_000)}}}")
+        lines.append(corpus.text(paragraphs=2, plant=plant_docs_word))
+
+        if vision_section:
+            lines.append(rf"\section{{The {venue_year} Vision}}")
+            lines.append(corpus.paragraph(
+                sentences=3, plant=["as Mike Franklin argues"]
+            ))
+
+        lines.append(r"\section{Preliminaries}")
+        lines.append(corpus.text(
+            paragraphs=max(1, words_budget // 200),
+            plant=(["documents and folders"] if plant_documents else []),
+        ))
+        for index in range(figure_count):
+            caption_plant = "Indexing time" if index == 0 else None
+            lines.append(figure_block(caption_plant))
+            lines.append(corpus.paragraph(sentences=2))
+
+        lines.append(r"\section{Evaluation}")
+        eval_text = [corpus.paragraph(sentences=3)]
+        for label in labels:
+            eval_text.append(rf"Results appear in Figure~\ref{{{label}}}.")
+        lines.append(" ".join(eval_text))
+
+        lines.append(r"\section{Conclusions}")
+        conclusion_plant = (["powerful systems of the future"]
+                            if conclusions_systems else [])
+        lines.append(corpus.paragraph(sentences=3, plant=conclusion_plant))
+        lines.append(r"\end{document}")
+        return "\n".join(lines), labels
+
+    def _generic_latex(self) -> str:
+        """A filler LaTeX document without planted query targets."""
+        corpus = self.corpus
+        lines = [
+            r"\documentclass{article}",
+            rf"\title{{{corpus.title()}}}",
+            r"\begin{document}",
+        ]
+        for _ in range(self.rng.randint(2, 4)):
+            lines.append(rf"\section{{{corpus.title(words=3)}}}")
+            lines.append(corpus.text(
+                paragraphs=max(1, self.profile.words_per_latex_doc // 250)
+            ))
+        lines.append(r"\end{document}")
+        return "\n".join(lines)
+
+    def _generic_xml(self, *, min_entries: int = 2,
+                     max_entries: int = 6) -> str:
+        corpus = self.corpus
+        items = []
+        for _ in range(self.rng.randint(min_entries, max_entries)):
+            items.append(
+                f"<entry id=\"{corpus.identifier('e')}\">"
+                f"<title>{corpus.title(words=3)}</title>"
+                f"<body>{corpus.sentence()}</body>"
+                f"</entry>"
+            )
+        return (f"<catalog owner=\"{corpus.person_name()}\">"
+                + "".join(items) + "</catalog>")
+
+    # -- planted content ----------------------------------------------------------------
+
+    def _plant_conference_papers(self) -> None:
+        """VLDB2005/VLDB2006 papers carrying the Q4–Q7 targets."""
+        profile = self.profile
+        vldb2006_papers = max(2, profile.fs_latex_docs // 20)
+        vldb2005_papers = max(2, profile.fs_latex_docs // 28)
+
+        q7_pairs = 0
+        for index in range(vldb2006_papers):
+            source, labels = self._latex_paper(
+                venue_year="VLDB2006",
+                vision_section=(index == 0),
+                plant_documents=True,
+                figure_count=2,
+                conclusions_systems=(index == 0),
+            )
+            name = f"vldb2006_{index:02d}.tex"
+            self.vfs.write_file(f"/papers/VLDB2006/{name}", source)
+            self.counts["files"] += 1
+            self._paper_tex_files.append((name, source))
+            q7_pairs += len(labels)
+
+        for index in range(vldb2005_papers):
+            source, _ = self._latex_paper(
+                venue_year="VLDB2005",
+                vision_section=False,
+                plant_documents=True,
+                figure_count=1,
+                conclusions_systems=(index == 0),
+            )
+            name = f"vldb2005_{index:02d}.tex"
+            self.vfs.write_file(f"/papers/VLDB2005/{name}", source)
+            self.counts["files"] += 1
+            self._paper_tex_files.append((name, source))
+
+        # second *Vision section for Q4, under a different /papers subtree
+        source, _ = self._latex_paper(
+            venue_year="SIGMOD2005", vision_section=True,
+            plant_documents=False, figure_count=1,
+            conclusions_systems=False,
+        )
+        self.vfs.write_file("/papers/SIGMOD2005/vision_paper.tex", source)
+        self.counts["files"] += 1
+        self._paper_tex_files.append(("vision_paper.tex", source))
+
+        self.planted["q4_vision_sections"] = 2
+        self.planted["q5_conclusion_sections"] = 2
+        self.planted["q7_figure_refs"] = q7_pairs
+        self.planted["latex_planted"] = (vldb2006_papers + vldb2005_papers + 1)
+
+    def _plant_pim_project(self) -> None:
+        """The Figure 1 scenario: the PIM project folder with the paper
+        draft ("Mike Franklin" in the Introduction), a grant document,
+        and the folder-link cycle."""
+        corpus = self.corpus
+        lines = [
+            r"\documentclass{article}",
+            r"\title{A Unified Data Model for Personal Dataspace Management}",
+            r"\begin{document}",
+            r"\section{Introduction}",
+            corpus.paragraph(
+                sentences=3,
+                plant=["discussions with Mike Franklin about dataspaces",
+                       "database tuning for the desktop"],
+            ),
+            r"\section{The Problem}",
+            corpus.paragraph(sentences=3),
+            r"\section{Preliminaries}\label{sec:prelim}",
+            corpus.paragraph(sentences=2),
+            r"See also Section~\ref{sec:prelim}.",
+            r"\end{document}",
+        ]
+        self.vfs.write_file("/Projects/PIM/vldb2006.tex", "\n".join(lines))
+        self.vfs.write_file(
+            "/Projects/PIM/Grant.txt",
+            corpus.text(paragraphs=3, plant=["database tuning grant"]),
+        )
+        self.vfs.make_link("/Projects/PIM/All Projects", "/Projects")
+        self.counts["files"] += 2
+        self.counts["links"] += 1
+        self.planted["pim_intro_franklin"] = 1
+        self.planted["latex_planted"] = self.planted.get("latex_planted", 0) + 1
+
+    def _plant_large_files(self) -> None:
+        """Q3's oversized files (> 420,000 bytes, early-2005 mtimes)."""
+        filler = " ".join(self.corpus.words(200))
+        body = (filler + "\n") * (420_000 // len(filler) + 2)
+        assert len(body.encode()) > 420_000
+        for index in range(self.profile.large_files):
+            self.vfs.write_file(f"/Admin/archive_{index:03d}.log", body)
+            self.counts["files"] += 1
+        self.planted["q3_large_files"] = self.profile.large_files
+
+    # -- bulk filesystem ---------------------------------------------------------------
+
+    def _fill_filesystem(self) -> None:
+        profile = self.profile
+        remaining_latex = max(
+            0, profile.fs_latex_docs - self.planted.get("latex_planted", 0)
+        )
+        remaining_xml = profile.fs_xml_docs
+        counts = self.vfs.count_entries()
+        already = counts["files"] + counts["dirs"] + counts["links"]
+        budget = max(0, profile.fs_entries - already
+                     - remaining_latex - remaining_xml - profile.large_files)
+        folder_budget = int(budget * _FOLDER_FRACTION)
+        file_budget = budget - folder_budget
+
+        folders = list(self._TOP_FOLDERS)
+        for _ in range(folder_budget):
+            parent = self.rng.choice(folders)
+            name = self.corpus.folder_name()
+            path = f"{parent}/{name}"
+            if self.vfs.exists(path):
+                continue
+            self.vfs.mkdir(path)
+            folders.append(path)
+            self.counts["folders"] += 1
+
+        # scatter the remaining LaTeX and XML documents
+        for index in range(remaining_latex):
+            parent = self.rng.choice(folders)
+            name = self.corpus.file_name("tex")
+            if not self.vfs.exists(f"{parent}/{name}"):
+                source = self._generic_latex()
+                self.vfs.write_file(f"{parent}/{name}", source)
+                self.counts["files"] += 1
+                if index < 4:  # a few candidates for email sharing (Q8)
+                    self._paper_tex_files.append((name, source))
+        for _ in range(remaining_xml):
+            parent = self.rng.choice(folders)
+            name = self.corpus.file_name("xml")
+            if not self.vfs.exists(f"{parent}/{name}"):
+                # filesystem XML documents are data exports — large, in
+                # line with the paper's 117,298 derived views from only
+                # 47 XML documents (~2,500 views each)
+                self.vfs.write_file(
+                    f"{parent}/{name}",
+                    self._generic_xml(min_entries=40, max_entries=160),
+                )
+                self.counts["files"] += 1
+
+        # plain text and binary files
+        tuning_quota = max(3, round(file_budget * 0.01))
+        planted_tuning = 0
+        for index in range(file_budget):
+            parent = self.rng.choice(folders)
+            if self.rng.random() < profile.binary_fraction:
+                name = self.corpus.file_name(self.rng.choice(_BINARY_EXTENSIONS))
+                content = self.corpus.binary_blob(
+                    self.rng.randint(2_000, 20_000)
+                )
+            else:
+                name = self.corpus.file_name(self.rng.choice(_TEXT_EXTENSIONS))
+                plant = []
+                if planted_tuning < tuning_quota and self.rng.random() < 0.05:
+                    plant = ["notes on database tuning"]
+                    planted_tuning += 1
+                content = self.corpus.text(
+                    paragraphs=max(1, profile.words_per_text_file // 60),
+                    plant=plant,
+                )
+            path = f"{parent}/{name}"
+            if not self.vfs.exists(path):
+                self.vfs.write_file(path, content)
+                self.counts["files"] += 1
+        self.planted["q2_tuning_files"] = planted_tuning
+
+    # -- email --------------------------------------------------------------------------
+
+    _MAILBOXES = ("INBOX", "Sent", "Projects")
+
+    def _generate_email(self) -> None:
+        profile = self.profile
+        for mailbox in self._MAILBOXES:
+            if mailbox != "INBOX":
+                self.imap.create_mailbox(mailbox)
+
+        # Q8: .tex files that exist both under /papers and as email
+        # attachments with identical names (draft-review threads)
+        shared = self._paper_tex_files[:max(2, profile.email_latex_docs)]
+        q8_pairs = 0
+        for name, source in shared:
+            message = self._message(
+                subject=f"draft review {name}",
+                body_plant=["comments on the attached database draft"],
+                attachments=(Attachment(name, source, "text/x-tex"),),
+            )
+            self.imap.deliver("INBOX", message)
+            self.counts["emails"] += 1
+            self.counts["attachments"] += 1
+            q8_pairs += 1
+        self.planted["q8_shared_tex"] = q8_pairs
+
+        # the OLAP project thread of the paper's Example 2: the message is
+        # the project's container on the mail side (name component "OLAP"),
+        # its attachment carries a figure captioned "Indexing time"; the
+        # same project also has a document under /Projects/OLAP on disk.
+        olap_tex, _ = self._latex_paper(
+            venue_year="OLAP", vision_section=False, plant_documents=False,
+            figure_count=1, conclusions_systems=False,
+        )
+        self.imap.deliver("Projects", self._message(
+            subject="OLAP",
+            body_plant=["figures attached for the OLAP project"],
+            attachments=(Attachment("olap_eval.tex", olap_tex, "text/x-tex"),),
+        ))
+        self.counts["emails"] += 1
+        self.counts["attachments"] += 1
+        olap_fs_tex, _ = self._latex_paper(
+            venue_year="OLAP", vision_section=False, plant_documents=False,
+            figure_count=1, conclusions_systems=False,
+        )
+        self.vfs.write_file("/Projects/OLAP/olap_report.tex", olap_fs_tex)
+        self.counts["files"] += 1
+        self.planted["olap_figures"] = 2
+
+        # XML attachments
+        for index in range(profile.email_xml_docs):
+            self.imap.deliver("INBOX", self._message(
+                subject=f"data export {index}",
+                attachments=(Attachment(
+                    self.corpus.file_name("xml"), self._generic_xml(),
+                    "application/xml",
+                ),),
+            ))
+            self.counts["emails"] += 1
+            self.counts["attachments"] += 1
+
+        # remaining LaTeX attachments beyond the shared ones
+        fresh_latex = max(0, profile.email_latex_docs - len(shared))
+        for _ in range(fresh_latex):
+            self.imap.deliver("INBOX", self._message(
+                subject="lecture notes",
+                attachments=(Attachment(
+                    self.corpus.file_name("tex"), self._generic_latex(),
+                    "text/x-tex",
+                ),),
+            ))
+            self.counts["emails"] += 1
+            self.counts["attachments"] += 1
+
+        # bulk messages
+        remaining = max(0, profile.emails - self.counts["emails"])
+        tuning_quota = max(2, round(remaining * 0.005))
+        planted_tuning = 0
+        for index in range(remaining):
+            mailbox = self.rng.choices(
+                self._MAILBOXES, weights=(0.7, 0.2, 0.1)
+            )[0]
+            plant = []
+            if planted_tuning < tuning_quota and self.rng.random() < 0.02:
+                plant = ["database tuning session notes"]
+                planted_tuning += 1
+            self.imap.deliver(mailbox, self._message(body_plant=plant))
+            self.counts["emails"] += 1
+        self.planted["q2_tuning_emails"] = planted_tuning
+
+    def _message(self, *, subject: str | None = None,
+                 body_plant: list[str] | None = None,
+                 attachments: tuple[Attachment, ...] = ()) -> EmailMessage:
+        corpus = self.corpus
+        return EmailMessage(
+            subject=subject if subject is not None else corpus.title(words=3),
+            sender=corpus.email_address(),
+            to=(corpus.email_address(),),
+            cc=(corpus.email_address(),) if self.rng.random() < 0.3 else (),
+            date=self.vfs.clock.tick(),
+            body=corpus.text(
+                paragraphs=max(1, self.profile.words_per_email // 40),
+                plant=body_plant,
+            ),
+            attachments=attachments,
+        )
+
+    # -- feeds ---------------------------------------------------------------------------
+
+    def _generate_feeds(self) -> None:
+        for index in range(self.profile.feeds):
+            url = f"feeds.example.org/channel{index}"
+            self.feeds.publish(url, self.corpus.title(words=2))
+            for _ in range(self.rng.randint(3, 8)):
+                self.feeds.add_entry(url, FeedEntry(
+                    guid=self.corpus.identifier("guid"),
+                    title=self.corpus.title(words=3),
+                    description=self.corpus.sentence(),
+                    published=self.vfs.clock.tick(),
+                ))

@@ -1,0 +1,145 @@
+"""The top-level facade: one object for the whole PDSMS.
+
+:class:`Dataspace` wires the subsystems together the way the iMeMex
+architecture diagram (Figure 4) does: data sources behind plugins, the
+Resource View Manager with its catalog/replicas/indexes, and the iQL
+query processor on top.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from .dataset import (
+    DatasetProfile,
+    GeneratedDataspace,
+    PersonalDataspaceGenerator,
+    TINY_PROFILE,
+    scaled_profile,
+)
+from .imapsim import ImapServer, LatencyModel
+from .query import QueryProcessor, QueryResult
+from .rss import FeedServer
+from .rvm import ResourceViewManager, default_content_converter
+from .rvm.manager import SyncReport
+from .rvm.plugins import FilesystemPlugin, ImapPlugin, RssPlugin
+from .vfs import VirtualFileSystem
+
+
+class Dataspace:
+    """A personal dataspace: sources + RVM + query processor.
+
+    Create one from existing subsystems, or use :meth:`demo` /
+    :meth:`generate` for a synthetic personal dataspace. Call
+    :meth:`sync` once to index everything, then :meth:`query`.
+    """
+
+    def __init__(self, *, vfs: VirtualFileSystem | None = None,
+                 imap: ImapServer | None = None,
+                 feeds: FeedServer | None = None,
+                 reference_datetime: datetime | None = None,
+                 policy=None, optimizer: str = "rule",
+                 expansion: str = "forward"):
+        self.vfs = vfs
+        self.imap = imap
+        self.feeds = feeds
+        self.rvm = ResourceViewManager(policy=policy)
+        self.converter = default_content_converter()
+        if vfs is not None:
+            self.rvm.register_plugin(FilesystemPlugin(
+                vfs, content_converter=self.converter
+            ))
+        if imap is not None:
+            self.rvm.register_plugin(ImapPlugin(
+                imap, content_converter=self.converter
+            ))
+        if feeds is not None:
+            self.rvm.register_plugin(RssPlugin(feeds))
+        self.processor = QueryProcessor(
+            self.rvm, reference_datetime=reference_datetime,
+            optimizer=optimizer, expansion=expansion,
+        )
+        self._synced = False
+        self.last_sync_report: SyncReport | None = None
+        self.generated: GeneratedDataspace | None = None
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def demo(cls, *, seed: int = 42) -> "Dataspace":
+        """A small synthetic dataspace (fast; for examples and tests)."""
+        return cls.generate(profile=TINY_PROFILE, seed=seed)
+
+    @classmethod
+    def generate(cls, *, scale: float | None = None,
+                 profile: DatasetProfile | None = None,
+                 seed: int = 42,
+                 imap_latency: LatencyModel | None = None,
+                 **kwargs) -> "Dataspace":
+        """A synthetic dataspace from a profile (or a paper-scale factor).
+
+        Extra keyword arguments (``policy``, ``optimizer``,
+        ``expansion``) pass through to the constructor.
+        """
+        if profile is None:
+            profile = scaled_profile(scale if scale is not None else 0.02)
+        generated = PersonalDataspaceGenerator(
+            profile, seed=seed, imap_latency=imap_latency
+        ).generate()
+        dataspace = cls(vfs=generated.vfs, imap=generated.imap,
+                        feeds=generated.feeds, **kwargs)
+        dataspace.generated = generated
+        return dataspace
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def sync(self) -> SyncReport:
+        """Scan and index all data sources (idempotent re-sync)."""
+        report = self.rvm.sync_all()
+        self.last_sync_report = report
+        self._synced = True
+        return report
+
+    def watch(self) -> dict[str, bool]:
+        """Subscribe to change notifications where sources support them."""
+        return self.rvm.subscribe_all()
+
+    def refresh(self) -> int:
+        """Process queued notifications and poll the rest."""
+        processed = self.rvm.process_notifications()
+        processed += self.rvm.poll_and_process()
+        return processed
+
+    # -- queries ------------------------------------------------------------------------
+
+    def query(self, iql: str) -> QueryResult:
+        """Execute one iQL query (auto-syncs on first use)."""
+        if not self._synced:
+            self.sync()
+        return self.processor.execute(iql)
+
+    def explain(self, iql: str) -> str:
+        return self.processor.explain(iql)
+
+    def search(self, text: str, *, limit: int = 10, iql: str | None = None):
+        """Ranked free-text search over name and content components.
+
+        With ``iql`` given, the query filters (structure) and the text
+        ranks (relevance) — the paper's planned search/ranking blend.
+        """
+        from .query.ranking import ranked_search
+        if not self._synced:
+            self.sync()
+        within = None
+        if iql is not None:
+            within = set(self.processor.execute(iql).uris())
+        return ranked_search(self.rvm, text, limit=limit, within=within)
+
+    # -- introspection ----------------------------------------------------------------------
+
+    @property
+    def view_count(self) -> int:
+        return self.rvm.registered_count
+
+    def index_sizes(self) -> dict[str, int]:
+        return self.rvm.index_size_report()

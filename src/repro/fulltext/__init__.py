@@ -1,0 +1,38 @@
+"""A from-scratch full-text engine (the reproduction's Apache Lucene).
+
+The paper's iMeMex prototype builds its Name Index and Content Index on
+Lucene 1.4.3: analyzed inverted keyword lists with positional postings.
+This package provides the same functional contract:
+
+* :mod:`analyzer` — tokenization and normalization;
+* :mod:`postings` — positional postings lists;
+* :mod:`index` — the inverted index with add/remove/size accounting
+  (size accounting feeds Table 3 of the evaluation);
+* :mod:`query` — term, phrase, wildcard and boolean queries;
+* :mod:`scoring` — TF-IDF ranking.
+
+The content index is *not* a replica: like the paper's, it cannot return
+the original content, only the document keys that match.
+"""
+
+from .analyzer import Analyzer, Token, tokenize
+from .index import InvertedIndex
+from .query import (
+    And,
+    MatchAll,
+    Not,
+    Or,
+    Phrase,
+    Query,
+    Term,
+    Wildcard,
+    parse_query,
+)
+from .scoring import score_tfidf
+
+__all__ = [
+    "Analyzer", "Token", "tokenize",
+    "InvertedIndex",
+    "And", "MatchAll", "Not", "Or", "Phrase", "Query", "Term", "Wildcard",
+    "parse_query", "score_tfidf",
+]

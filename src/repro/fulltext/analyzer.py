@@ -1,0 +1,87 @@
+"""Tokenization and normalization for the full-text engine.
+
+The default analyzer mirrors Lucene's StandardAnalyzer in spirit:
+alphanumeric runs become terms, terms are lowercased, and an optional
+stopword list drops high-frequency function words. Positions are
+token ordinals (not byte offsets), which is what phrase matching needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+#: A small English stopword list. Disabled by default: the paper's
+#: queries include phrases ("database tuning") whose terms must all be
+#: indexed, and Lucene 1.4's default list famously broke phrases like
+#: "to be or not to be" — we keep the default index exhaustive.
+DEFAULT_STOPWORDS = frozenset({
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if",
+    "in", "into", "is", "it", "no", "not", "of", "on", "or", "such",
+    "that", "the", "their", "then", "there", "these", "they", "this",
+    "to", "was", "will", "with",
+})
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One analyzed term occurrence: the term and its token position."""
+
+    term: str
+    position: int
+
+
+def _iter_words(text: str) -> Iterator[str]:
+    word: list[str] = []
+    for ch in text:
+        if ch.isalnum():
+            word.append(ch)
+        elif word:
+            yield "".join(word)
+            word.clear()
+    if word:
+        yield "".join(word)
+
+
+class Analyzer:
+    """Turns raw text into a normalized token stream.
+
+    ``min_length`` drops noise tokens (single characters by default keep
+    — names like "C" appear in personal data — so the default is 1).
+    """
+
+    def __init__(self, *, stopwords: Iterable[str] | None = None,
+                 lowercase: bool = True, min_length: int = 1,
+                 max_length: int = 64):
+        self.stopwords = frozenset(stopwords) if stopwords is not None else frozenset()
+        self.lowercase = lowercase
+        self.min_length = min_length
+        self.max_length = max_length
+
+    def tokens(self, text: str) -> Iterator[Token]:
+        """Yield analyzed tokens with consecutive positions.
+
+        Positions count *emitted* words: stopword removal leaves gaps,
+        matching Lucene's position-increment behavior, so phrases cannot
+        falsely match across a removed stopword.
+        """
+        for position, word in enumerate(_iter_words(text)):
+            term = word.lower() if self.lowercase else word
+            if not self.min_length <= len(term) <= self.max_length:
+                continue
+            if term in self.stopwords:
+                continue
+            yield Token(term, position)
+
+    def terms(self, text: str) -> list[str]:
+        """Just the term strings, in order."""
+        return [token.term for token in self.tokens(text)]
+
+
+#: The analyzer used across the library unless a caller overrides it.
+DEFAULT_ANALYZER = Analyzer()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize with the default analyzer."""
+    return list(DEFAULT_ANALYZER.tokens(text))

@@ -1,0 +1,160 @@
+"""The inverted index.
+
+Documents are added under an external string key (in iMeMex: the view
+id's URI); the index assigns dense internal ids and maintains one
+positional postings list per term. Optionally the index also *stores*
+the original text per document, turning it into an index+replica (the
+paper's Name Index & Replica does this; the Content Index does not).
+
+Size accounting (:meth:`InvertedIndex.size_bytes`) approximates an
+uncompressed on-disk layout and feeds Table 3 of the evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..core.errors import FullTextError
+from .analyzer import DEFAULT_ANALYZER, Analyzer
+from .postings import PostingsList
+
+
+class InvertedIndex:
+    """A positional inverted index over string-keyed documents."""
+
+    def __init__(self, *, analyzer: Analyzer | None = None,
+                 store_text: bool = False):
+        self.analyzer = analyzer if analyzer is not None else DEFAULT_ANALYZER
+        self.store_text = store_text
+        self._terms: dict[str, PostingsList] = {}
+        self._key_to_doc: dict[str, int] = {}
+        self._doc_to_key: dict[int, str] = {}
+        self._doc_lengths: dict[int, int] = {}
+        self._stored_text: dict[int, str] = {}
+        self._next_doc = 0
+        self._total_input_bytes = 0
+
+    # -- write path -----------------------------------------------------------
+
+    def add(self, key: str, text: str) -> int:
+        """Index ``text`` under ``key``; re-adding a key replaces it."""
+        if key in self._key_to_doc:
+            self.remove(key)
+        doc = self._next_doc
+        self._next_doc += 1
+        self._key_to_doc[key] = doc
+        self._doc_to_key[doc] = key
+        length = 0
+        for token in self.analyzer.tokens(text):
+            self._terms.setdefault(token.term, PostingsList()).add(
+                doc, token.position
+            )
+            length += 1
+        self._doc_lengths[doc] = length
+        self._total_input_bytes += len(text.encode("utf-8", "replace"))
+        if self.store_text:
+            self._stored_text[doc] = text
+        return doc
+
+    def remove(self, key: str) -> bool:
+        """Remove a document; returns True when it was present."""
+        doc = self._key_to_doc.pop(key, None)
+        if doc is None:
+            return False
+        del self._doc_to_key[doc]
+        self._doc_lengths.pop(doc, None)
+        self._stored_text.pop(doc, None)
+        empty_terms = []
+        for term, postings in self._terms.items():
+            if postings.remove_doc(doc) and not postings:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._terms[term]
+        return True
+
+    # -- read path --------------------------------------------------------------
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._key_to_doc
+
+    def __len__(self) -> int:
+        return len(self._key_to_doc)
+
+    @property
+    def document_count(self) -> int:
+        return len(self._key_to_doc)
+
+    @property
+    def term_count(self) -> int:
+        return len(self._terms)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._key_to_doc)
+
+    def postings(self, term: str) -> PostingsList | None:
+        """The postings list for an *analyzed* term, or None."""
+        return self._terms.get(term)
+
+    def terms_matching(self, predicate) -> Iterator[str]:
+        """All dictionary terms satisfying ``predicate`` (for wildcards)."""
+        return (term for term in self._terms if predicate(term))
+
+    def key_of(self, doc: int) -> str:
+        try:
+            return self._doc_to_key[doc]
+        except KeyError:
+            raise FullTextError(f"unknown internal doc id {doc}") from None
+
+    def doc_of(self, key: str) -> int | None:
+        return self._key_to_doc.get(key)
+
+    def doc_length(self, doc: int) -> int:
+        return self._doc_lengths.get(doc, 0)
+
+    def stored_text(self, key: str) -> str:
+        """Return the replicated text (only when ``store_text=True``)."""
+        if not self.store_text:
+            raise FullTextError(
+                "this index is not a replica: original text is not stored"
+            )
+        doc = self._key_to_doc.get(key)
+        if doc is None:
+            raise FullTextError(f"unknown document key {key!r}")
+        return self._stored_text[doc]
+
+    def all_doc_ids(self) -> list[int]:
+        return sorted(self._doc_to_key)
+
+    def stored_items(self) -> Iterator[tuple[str, str]]:
+        """Iterate ``(key, original text)`` pairs (replica indexes only)."""
+        if not self.store_text:
+            raise FullTextError(
+                "this index is not a replica: original text is not stored"
+            )
+        for doc, text in self._stored_text.items():
+            yield self._doc_to_key[doc], text
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def total_input_bytes(self) -> int:
+        """Total UTF-8 bytes of all text ever fed to :meth:`add` (net
+        input size in the paper's Table 3 terminology)."""
+        return self._total_input_bytes
+
+    def size_bytes(self) -> int:
+        """Approximate index size: dictionary + postings (+ stored text)."""
+        dictionary = sum(len(term.encode("utf-8")) + 8 for term in self._terms)
+        postings = sum(p.size_bytes() for p in self._terms.values())
+        stored = sum(len(t.encode("utf-8", "replace"))
+                     for t in self._stored_text.values())
+        keymap = sum(len(k.encode("utf-8")) + 4 for k in self._key_to_doc)
+        return dictionary + postings + stored + keymap
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "documents": self.document_count,
+            "terms": self.term_count,
+            "size_bytes": self.size_bytes(),
+            "input_bytes": self.total_input_bytes,
+        }

@@ -1,0 +1,89 @@
+"""Positional postings lists.
+
+A postings list maps one term to the documents containing it, keeping
+per-document occurrence positions for phrase matching. Documents are
+identified by dense integer ids assigned by the index; lists stay sorted
+by doc id so boolean operations can merge efficiently.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+
+
+@dataclass(slots=True)
+class Posting:
+    """One (document, positions) entry of a postings list."""
+
+    doc: int
+    positions: list[int] = field(default_factory=list)
+
+    @property
+    def term_frequency(self) -> int:
+        return len(self.positions)
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size: 4-byte doc id + 4 bytes/position.
+
+        The estimate mirrors an uncompressed on-disk layout; Table 3 of
+        the paper reports index sizes, and this is what we sum there.
+        """
+        return 4 + 4 * len(self.positions)
+
+
+class PostingsList:
+    """The postings of one term, sorted by document id."""
+
+    __slots__ = ("_postings", "_doc_ids")
+
+    def __init__(self) -> None:
+        self._postings: list[Posting] = []
+        self._doc_ids: list[int] = []
+
+    def add(self, doc: int, position: int) -> None:
+        """Record one occurrence of the term in ``doc`` at ``position``.
+
+        Occurrences for one document may arrive in any order; documents
+        are kept sorted by id.
+        """
+        index = bisect_left(self._doc_ids, doc)
+        if index < len(self._doc_ids) and self._doc_ids[index] == doc:
+            insort(self._postings[index].positions, position)
+        else:
+            self._doc_ids.insert(index, doc)
+            self._postings.insert(index, Posting(doc, [position]))
+
+    def remove_doc(self, doc: int) -> bool:
+        """Drop a document's posting; returns True when it existed."""
+        index = bisect_left(self._doc_ids, doc)
+        if index < len(self._doc_ids) and self._doc_ids[index] == doc:
+            del self._doc_ids[index]
+            del self._postings[index]
+            return True
+        return False
+
+    def get(self, doc: int) -> Posting | None:
+        index = bisect_left(self._doc_ids, doc)
+        if index < len(self._doc_ids) and self._doc_ids[index] == doc:
+            return self._postings[index]
+        return None
+
+    def doc_ids(self) -> list[int]:
+        return list(self._doc_ids)
+
+    @property
+    def document_frequency(self) -> int:
+        return len(self._postings)
+
+    def __iter__(self):
+        return iter(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __bool__(self) -> bool:
+        return bool(self._postings)
+
+    def size_bytes(self) -> int:
+        return sum(p.size_bytes() for p in self._postings)

@@ -1,0 +1,68 @@
+"""TF-IDF ranking for the full-text engine.
+
+Set-based retrieval (:mod:`repro.fulltext.query`) answers *which*
+documents match; ranking answers *in what order*. The paper mentions
+result ranking as ongoing work for iQL — we provide the classic
+``tf-idf`` with length normalization (close to Lucene 1.4's practical
+scoring) so examples and extensions can rank.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .index import InvertedIndex
+from .query import Query, Term
+
+
+def score_tfidf(index: InvertedIndex, terms: list[str] | str,
+                *, limit: int | None = None) -> list[tuple[str, float]]:
+    """Rank documents by TF-IDF against a bag of query terms.
+
+    ``terms`` may be raw text (analyzed with the index's analyzer) or a
+    pre-analyzed term list. Returns ``(key, score)`` pairs sorted by
+    descending score (ties broken by key for determinism).
+    """
+    if isinstance(terms, str):
+        terms = index.analyzer.terms(terms)
+    doc_count = index.document_count
+    if doc_count == 0 or not terms:
+        return []
+    scores: dict[int, float] = {}
+    for term in terms:
+        postings = index.postings(term)
+        if postings is None:
+            continue
+        idf = 1.0 + math.log(doc_count / (1 + postings.document_frequency))
+        for posting in postings:
+            tf = math.sqrt(posting.term_frequency)
+            scores[posting.doc] = scores.get(posting.doc, 0.0) + tf * idf
+    ranked = []
+    for doc, score in scores.items():
+        length = index.doc_length(doc)
+        norm = 1.0 / math.sqrt(length) if length else 1.0
+        ranked.append((index.key_of(doc), score * norm))
+    ranked.sort(key=lambda pair: (-pair[1], pair[0]))
+    return ranked[:limit] if limit is not None else ranked
+
+
+def score_query(index: InvertedIndex, query: Query,
+                rank_terms: list[str] | str = "",
+                *, limit: int | None = None) -> list[tuple[str, float]]:
+    """Filter with ``query`` then rank the survivors by ``rank_terms``.
+
+    When ``rank_terms`` is empty and the query is a plain term, the term
+    itself ranks; otherwise unranked survivors come back with score 0 in
+    key order.
+    """
+    keys = query.keys(index)
+    if not rank_terms and isinstance(query, Term):
+        rank_terms = query.term
+    if rank_terms:
+        ranked = [(key, score) for key, score in score_tfidf(index, rank_terms)
+                  if key in keys]
+        covered = {key for key, _ in ranked}
+        ranked.extend((key, 0.0) for key in sorted(keys - covered))
+    else:
+        ranked = [(key, 0.0) for key in sorted(keys)]
+    return ranked[:limit] if limit is not None else ranked

@@ -1,0 +1,56 @@
+"""Email messages and attachments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+
+@dataclass(frozen=True, slots=True)
+class Attachment:
+    """One MIME part attached to a message."""
+
+    filename: str
+    content: str
+    mime_type: str = "application/octet-stream"
+
+    @property
+    def size(self) -> int:
+        return len(self.content.encode("utf-8", "replace"))
+
+
+@dataclass(slots=True)
+class EmailMessage:
+    """One message: headers, body text, attachments.
+
+    ``uid`` is assigned by the mailbox on append (IMAP semantics: unique
+    within a mailbox, never reused).
+    """
+
+    subject: str
+    sender: str
+    to: tuple[str, ...]
+    date: datetime
+    body: str = ""
+    cc: tuple[str, ...] = ()
+    attachments: tuple[Attachment, ...] = ()
+    uid: int = 0
+    message_id: str = ""
+
+    @property
+    def size(self) -> int:
+        base = len(self.body.encode("utf-8", "replace"))
+        return base + sum(a.size for a in self.attachments)
+
+    def headers(self) -> dict[str, str]:
+        out = {
+            "Subject": self.subject,
+            "From": self.sender,
+            "To": ", ".join(self.to),
+            "Date": self.date.isoformat(),
+        }
+        if self.cc:
+            out["Cc"] = ", ".join(self.cc)
+        if self.message_id:
+            out["Message-ID"] = self.message_id
+        return out

@@ -1,0 +1,135 @@
+"""A simplified RFC822/MIME wire format.
+
+Messages travel between the simulated server and clients as text in a
+simplified-but-faithful RFC822 shape: header block, blank line, body;
+multipart messages use a boundary marker with one part per attachment.
+:func:`serialize_rfc822` and :func:`parse_rfc822` round-trip, which the
+property tests exercise.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from ..core.errors import ParseError
+from .messages import Attachment, EmailMessage
+
+_BOUNDARY = "=_idm_boundary_7d1"
+
+
+def serialize_rfc822(message: EmailMessage) -> str:
+    """Render a message (and its attachments) as RFC822-style text."""
+    lines = [f"{name}: {value}" for name, value in message.headers().items()]
+    if not message.attachments:
+        lines.append("Content-Type: text/plain; charset=utf-8")
+        lines.append("")
+        lines.append(message.body)
+        return "\n".join(lines)
+    lines.append(f'Content-Type: multipart/mixed; boundary="{_BOUNDARY}"')
+    lines.append("")
+    lines.append(f"--{_BOUNDARY}")
+    lines.append("Content-Type: text/plain; charset=utf-8")
+    lines.append("")
+    lines.append(message.body)
+    for attachment in message.attachments:
+        lines.append(f"--{_BOUNDARY}")
+        lines.append(f"Content-Type: {attachment.mime_type}")
+        lines.append(
+            f'Content-Disposition: attachment; filename="{attachment.filename}"'
+        )
+        lines.append("")
+        lines.append(attachment.content)
+    lines.append(f"--{_BOUNDARY}--")
+    return "\n".join(lines)
+
+
+def parse_rfc822(text: str) -> EmailMessage:
+    """Parse RFC822-style text back into an :class:`EmailMessage`."""
+    headers, _, rest = text.partition("\n\n")
+    header_map = _parse_headers(headers)
+    subject = header_map.get("subject", "")
+    sender = header_map.get("from", "")
+    to = _parse_addresses(header_map.get("to", ""))
+    cc = _parse_addresses(header_map.get("cc", ""))
+    date_text = header_map.get("date")
+    if not date_text:
+        raise ParseError("message has no Date header")
+    try:
+        date = datetime.fromisoformat(date_text)
+    except ValueError:
+        raise ParseError(f"bad Date header: {date_text!r}") from None
+
+    content_type = header_map.get("content-type", "text/plain")
+    body = rest
+    attachments: list[Attachment] = []
+    if content_type.startswith("multipart/mixed"):
+        boundary = _extract_boundary(content_type)
+        body, attachments = _parse_multipart(rest, boundary)
+    return EmailMessage(
+        subject=subject, sender=sender, to=to, cc=cc, date=date,
+        body=body, attachments=tuple(attachments),
+        message_id=header_map.get("message-id", ""),
+    )
+
+
+def _parse_headers(block: str) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for line in block.splitlines():
+        if not line.strip():
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise ParseError(f"malformed header line: {line!r}")
+        out[name.strip().lower()] = value.strip()
+    return out
+
+
+def _parse_addresses(value: str) -> tuple[str, ...]:
+    return tuple(a.strip() for a in value.split(",") if a.strip())
+
+
+def _extract_boundary(content_type: str) -> str:
+    marker = 'boundary="'
+    start = content_type.find(marker)
+    if start < 0:
+        raise ParseError("multipart message without boundary")
+    start += len(marker)
+    end = content_type.find('"', start)
+    if end < 0:
+        raise ParseError("unterminated boundary parameter")
+    return content_type[start:end]
+
+
+def _parse_multipart(body: str, boundary: str) -> tuple[str, list[Attachment]]:
+    delimiter = f"--{boundary}"
+    closing = f"--{boundary}--"
+    segments = body.split(delimiter)
+    text_body = ""
+    attachments: list[Attachment] = []
+    for segment in segments:
+        segment = segment.strip("\n")
+        if not segment or segment == "--" or segment.startswith("--\n"):
+            continue
+        if segment == closing or segment.rstrip() == "--":
+            continue
+        headers, _, content = segment.partition("\n\n")
+        header_map = _parse_headers(headers)
+        disposition = header_map.get("content-disposition", "")
+        if disposition.startswith("attachment"):
+            filename = "attachment"
+            marker = 'filename="'
+            start = disposition.find(marker)
+            if start >= 0:
+                start += len(marker)
+                end = disposition.find('"', start)
+                if end >= 0:
+                    filename = disposition[start:end]
+            attachments.append(Attachment(
+                filename=filename,
+                content=content,
+                mime_type=header_map.get("content-type",
+                                         "application/octet-stream"),
+            ))
+        else:
+            text_body = content
+    return text_body, attachments

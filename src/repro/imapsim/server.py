@@ -1,0 +1,177 @@
+"""The simulated IMAP server.
+
+Exposes the slice of IMAP the prototype's email plugin needs: mailbox
+listing, UID-based header and full-message fetches, append/delete with
+notifications, and an Option-2 message *stream* (Section 4.4.1 of the
+paper) that bypasses the mailbox state window.
+
+Every client-visible operation is charged to the server's
+:class:`~repro.imapsim.latency.LatencyModel`; fetches transfer the
+serialized RFC822 text, so transfer cost scales with message size like a
+real IMAP FETCH.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from ..core.errors import ImapError
+from ..vfs.clock import LogicalClock
+from .latency import LatencyModel
+from .messages import EmailMessage
+from .mime import serialize_rfc822
+
+
+class Mailbox:
+    """One IMAP mailbox: a UID-ordered window of messages."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._messages: dict[int, EmailMessage] = {}
+        self._next_uid = 1
+
+    def append(self, message: EmailMessage) -> int:
+        uid = self._next_uid
+        self._next_uid += 1
+        message.uid = uid
+        self._messages[uid] = message
+        return uid
+
+    def delete(self, uid: int) -> bool:
+        return self._messages.pop(uid, None) is not None
+
+    def get(self, uid: int) -> EmailMessage:
+        try:
+            return self._messages[uid]
+        except KeyError:
+            raise ImapError(f"no message {uid} in {self.name!r}") from None
+
+    def uids(self) -> list[int]:
+        return sorted(self._messages)
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __iter__(self) -> Iterator[EmailMessage]:
+        for uid in self.uids():
+            yield self._messages[uid]
+
+
+NewMessageCallback = Callable[[str, EmailMessage], None]
+
+
+class ImapServer:
+    """The server: named mailboxes plus a latency-charged client API."""
+
+    def __init__(self, *, latency: LatencyModel | None = None,
+                 clock: LogicalClock | None = None):
+        self.latency = latency if latency is not None else LatencyModel()
+        self.clock = clock if clock is not None else LogicalClock()
+        self._mailboxes: dict[str, Mailbox] = {"INBOX": Mailbox("INBOX")}
+        self._subscribers: list[NewMessageCallback] = []
+        self._connected = False
+
+    # -- server-side administration (no latency: not client operations) ------
+
+    def create_mailbox(self, name: str) -> Mailbox:
+        if name in self._mailboxes:
+            raise ImapError(f"mailbox exists: {name!r}")
+        mailbox = Mailbox(name)
+        self._mailboxes[name] = mailbox
+        return mailbox
+
+    def deliver(self, mailbox_name: str, message: EmailMessage) -> int:
+        """Server-side delivery of a new message (triggers notifications)."""
+        mailbox = self._mailbox(mailbox_name)
+        if message.date is None:  # pragma: no cover - defensive
+            raise ImapError("message needs a date")
+        uid = mailbox.append(message)
+        for callback in list(self._subscribers):
+            callback(mailbox_name, message)
+        return uid
+
+    def subscribe(self, callback: NewMessageCallback) -> Callable[[], None]:
+        """Register for new-message notifications (IMAP IDLE analogue)."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def _mailbox(self, name: str) -> Mailbox:
+        try:
+            return self._mailboxes[name]
+        except KeyError:
+            raise ImapError(f"no mailbox {name!r}") from None
+
+    # -- client API (latency-charged) --------------------------------------------
+
+    def connect(self) -> None:
+        self.latency.charge_connect()
+        self._connected = True
+
+    def _require_connection(self) -> None:
+        if not self._connected:
+            raise ImapError("not connected; call connect() first")
+
+    def list_mailboxes(self) -> list[str]:
+        self._require_connection()
+        self.latency.charge()
+        return sorted(self._mailboxes)
+
+    def select(self, mailbox_name: str) -> int:
+        """Select a mailbox; returns its message count."""
+        self._require_connection()
+        self.latency.charge()
+        return len(self._mailbox(mailbox_name))
+
+    def uids(self, mailbox_name: str) -> list[int]:
+        self._require_connection()
+        self.latency.charge()
+        return self._mailbox(mailbox_name).uids()
+
+    def fetch_headers(self, mailbox_name: str, uid: int) -> dict[str, str]:
+        self._require_connection()
+        message = self._mailbox(mailbox_name).get(uid)
+        headers = message.headers()
+        size = sum(len(k) + len(v) + 4 for k, v in headers.items())
+        self.latency.charge(bytes_transferred=size)
+        return headers
+
+    def fetch_message(self, mailbox_name: str, uid: int) -> str:
+        """Fetch the full RFC822 text of one message."""
+        self._require_connection()
+        message = self._mailbox(mailbox_name).get(uid)
+        wire = serialize_rfc822(message)
+        self.latency.charge(bytes_transferred=len(wire.encode("utf-8", "replace")))
+        return wire
+
+    def delete_message(self, mailbox_name: str, uid: int) -> bool:
+        self._require_connection()
+        self.latency.charge()
+        return self._mailbox(mailbox_name).delete(uid)
+
+    def message_stream(self, mailbox_name: str) -> Iterator[EmailMessage]:
+        """Option 2 of Section 4.4.1: the message *stream*.
+
+        Yields and **removes** messages from the mailbox: streamed
+        messages cannot be retrieved a second time; new deliveries keep
+        the stream going. The iterator ends when the window is empty
+        (a real stream would block; the simulation cannot).
+        """
+        self._require_connection()
+        mailbox = self._mailbox(mailbox_name)
+        while True:
+            uids = mailbox.uids()
+            if not uids:
+                return
+            for uid in uids:
+                message = mailbox.get(uid)
+                wire_size = message.size
+                self.latency.charge(bytes_transferred=wire_size)
+                mailbox.delete(uid)
+                yield message

@@ -1,0 +1,25 @@
+"""A from-scratch LaTeX structure parser.
+
+The paper's Content2iDM converters include a LaTeX2iDM converter that
+turns the *graph-structured* content of ``.tex`` files (sections,
+subsections, figure environments, ``\\label``/``\\ref`` cross links) into
+resource view subgraphs. This package provides the parsing substrate:
+:func:`parse` produces a :class:`LatexDocument` structure tree with
+resolved label→ref links.
+"""
+
+from .lexer import Token, TokenType, tokenize
+from .structure import (
+    Environment,
+    LatexDocument,
+    Paragraph,
+    Reference,
+    Section,
+    StructureNode,
+)
+from .parser import parse
+
+__all__ = [
+    "Environment", "LatexDocument", "Paragraph", "Reference", "Section",
+    "StructureNode", "Token", "TokenType", "tokenize", "parse",
+]

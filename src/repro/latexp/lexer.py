@@ -1,0 +1,132 @@
+"""Tokenizer for LaTeX source.
+
+Produces a flat token stream of commands, group delimiters, math spans
+and text runs. Comments (``%`` to end of line) are dropped; escaped
+specials (``\\%``, ``\\&``, ...) become text. The structure parser on top
+only interprets the commands it knows and treats everything else as
+text, which is the right robustness trade-off for personal documents.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+_ESCAPABLE = set("%&$#_{}~^\\ ")
+
+
+class TokenType(enum.Enum):
+    COMMAND = "command"        # \section, \label, ...
+    BEGIN_GROUP = "begin"      # {
+    END_GROUP = "end"          # }
+    OPTION_START = "["         # [  (only meaningful after a command)
+    OPTION_END = "]"           # ]
+    MATH = "math"              # $...$ or $$...$$, verbatim body
+    TEXT = "text"              # everything else
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize LaTeX source into a list of tokens."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    length = len(source)
+    text_start = i
+    text_parts: list[str] = []
+
+    def flush_text(upto: int) -> Iterator[Token]:
+        nonlocal text_parts
+        pending = source[text_start:upto]
+        if pending:
+            text_parts.append(pending)
+        if text_parts:
+            merged = "".join(text_parts)
+            text_parts = []
+            if merged:
+                yield Token(TokenType.TEXT, merged, line)
+
+    while i < length:
+        ch = source[i]
+        if ch == "\\":
+            next_ch = source[i + 1] if i + 1 < length else ""
+            if next_ch in _ESCAPABLE and not next_ch.isalpha():
+                # an escaped special: contributes literal text
+                yield from flush_text(i)
+                text_parts.append(next_ch if next_ch != "\\" else "\n")
+                i += 2
+                text_start = i
+                continue
+            yield from flush_text(i)
+            j = i + 1
+            while j < length and source[j].isalpha():
+                j += 1
+            if j == i + 1:
+                # lone backslash followed by non-letter: treat as text
+                text_parts.append(next_ch)
+                i += 2 if next_ch else 1
+                text_start = i
+                continue
+            name = source[i + 1:j]
+            # swallow a trailing '*' (starred variants) into the name
+            if j < length and source[j] == "*":
+                name += "*"
+                j += 1
+            yield Token(TokenType.COMMAND, name, line)
+            i = j
+            text_start = i
+        elif ch == "%":
+            yield from flush_text(i)
+            end = source.find("\n", i)
+            i = length if end < 0 else end + 1
+            line += 1 if end >= 0 else 0
+            text_start = i
+        elif ch == "{":
+            yield from flush_text(i)
+            yield Token(TokenType.BEGIN_GROUP, "{", line)
+            i += 1
+            text_start = i
+        elif ch == "}":
+            yield from flush_text(i)
+            yield Token(TokenType.END_GROUP, "}", line)
+            i += 1
+            text_start = i
+        elif ch == "[":
+            yield from flush_text(i)
+            yield Token(TokenType.OPTION_START, "[", line)
+            i += 1
+            text_start = i
+        elif ch == "]":
+            yield from flush_text(i)
+            yield Token(TokenType.OPTION_END, "]", line)
+            i += 1
+            text_start = i
+        elif ch == "$":
+            yield from flush_text(i)
+            double = source.startswith("$$", i)
+            delim = "$$" if double else "$"
+            start = i + len(delim)
+            end = source.find(delim, start)
+            if end < 0:
+                # unbalanced math: treat the rest as math body
+                end = length
+            body = source[start:end]
+            line += body.count("\n")
+            yield Token(TokenType.MATH, body, line)
+            i = min(end + len(delim), length)
+            text_start = i
+        else:
+            if ch == "\n":
+                line += 1
+            i += 1
+    yield from flush_text(length)

@@ -1,0 +1,256 @@
+"""Structure parser for LaTeX token streams.
+
+Interprets the structural commands personal documents actually use —
+``\\documentclass``, ``\\title``, ``\\author``, sectioning commands,
+``\\begin``/``\\end`` environments, ``\\caption``, ``\\label``, ``\\ref``
+— and treats everything else as text. After the walk, labels are
+resolved so every :class:`Reference` points at its target section or
+environment (the cross edges of the content graph).
+
+The parser is deliberately forgiving: unbalanced environments close at
+end of input, unknown commands contribute their arguments as text. A
+converter over heterogeneous personal files cannot afford to reject a
+document over a missing ``\\end{...}``.
+"""
+
+from __future__ import annotations
+
+from .lexer import Token, TokenType, tokenize
+from .structure import (
+    Environment,
+    LatexDocument,
+    Paragraph,
+    Reference,
+    Section,
+    StructureNode,
+)
+
+_SECTION_LEVELS = {
+    "part": 0,
+    "chapter": 0,
+    "section": 1,
+    "subsection": 2,
+    "subsubsection": 3,
+    "paragraph": 4,
+}
+
+#: Commands whose single argument is swallowed without contributing text.
+_IGNORED_WITH_ARG = {
+    "usepackage", "input", "include", "bibliography", "bibliographystyle",
+    "pagestyle", "thispagestyle", "vspace", "hspace", "includegraphics",
+    "cite", "bibitem", "footnote",
+}
+
+#: Commands that are dropped entirely (no argument).
+_IGNORED_BARE = {
+    "maketitle", "tableofcontents", "newpage", "clearpage", "noindent",
+    "centering", "itemsep", "item", "hline",
+}
+
+
+class _TokenCursor:
+    __slots__ = ("tokens", "pos")
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    @property
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def read_group_text(self) -> str:
+        """Read one ``{...}`` group and return its flattened text.
+
+        Nested groups flatten; commands inside the group contribute their
+        own group arguments' text (handles ``\\section{The \\emph{X}}``).
+        If the next token is not a group, returns "".
+        """
+        token = self.peek()
+        if token is None or token.type is not TokenType.BEGIN_GROUP:
+            return ""
+        self.next()
+        depth = 1
+        parts: list[str] = []
+        while not self.at_end and depth > 0:
+            token = self.next()
+            if token.type is TokenType.BEGIN_GROUP:
+                depth += 1
+            elif token.type is TokenType.END_GROUP:
+                depth -= 1
+            elif token.type is TokenType.TEXT:
+                parts.append(token.value)
+            elif token.type is TokenType.MATH:
+                parts.append(token.value)
+            # commands inside a group: skip, their groups flatten naturally
+        return _squash(" ".join(parts) if parts else "")
+
+    def skip_option(self) -> None:
+        """Skip a ``[...]`` optional argument if present."""
+        token = self.peek()
+        if token is None or token.type is not TokenType.OPTION_START:
+            return
+        depth = 0
+        while not self.at_end:
+            token = self.next()
+            if token.type is TokenType.OPTION_START:
+                depth += 1
+            elif token.type is TokenType.OPTION_END:
+                depth -= 1
+                if depth == 0:
+                    return
+
+
+def _squash(text: str) -> str:
+    return " ".join(text.split())
+
+
+def parse(source: str) -> LatexDocument:
+    """Parse LaTeX source into a :class:`LatexDocument`."""
+    cursor = _TokenCursor(tokenize(source))
+    document = LatexDocument()
+
+    # Stack of open containers: the innermost receives new nodes.
+    # Sections additionally track their level for auto-closing.
+    containers: list[list[StructureNode]] = [document.body]
+    section_stack: list[Section] = []
+    environment_stack: list[Environment] = []
+    text_buffer: list[str] = []
+
+    def flush_text() -> None:
+        if text_buffer:
+            merged = _squash(" ".join(text_buffer))
+            text_buffer.clear()
+            if merged:
+                containers[-1].append(Paragraph(merged))
+
+    def open_section(level: int, title: str) -> None:
+        flush_text()
+        # close any environments opened inside the outgoing section scope
+        while section_stack and section_stack[-1].level >= level:
+            _close_section()
+        section = Section(level=level, title=title)
+        containers[-1].append(section)
+        containers.append(section.body)
+        section_stack.append(section)
+
+    def _close_section() -> None:
+        section_stack.pop()
+        containers.pop()
+
+    def open_environment(name: str) -> None:
+        flush_text()
+        env = Environment(name=name)
+        containers[-1].append(env)
+        containers.append(env.body)
+        environment_stack.append(env)
+
+    def close_environment(name: str) -> None:
+        flush_text()
+        # close intervening sections opened inside the environment (rare,
+        # malformed input) and then the environment itself if it matches.
+        for index in range(len(environment_stack) - 1, -1, -1):
+            if environment_stack[index].name == name:
+                while len(environment_stack) > index + 1:
+                    environment_stack.pop()
+                    containers.pop()
+                environment_stack.pop()
+                containers.pop()
+                return
+        # unmatched \end: ignore
+
+    while not cursor.at_end:
+        token = cursor.next()
+        if token.type is TokenType.TEXT:
+            text_buffer.append(token.value)
+        elif token.type is TokenType.MATH:
+            text_buffer.append(token.value)
+        elif token.type in (TokenType.BEGIN_GROUP, TokenType.END_GROUP,
+                            TokenType.OPTION_START, TokenType.OPTION_END):
+            continue  # stray braces/brackets outside known commands
+        elif token.type is TokenType.COMMAND:
+            name = token.value.rstrip("*")
+            if name == "documentclass":
+                cursor.skip_option()
+                document.document_class = cursor.read_group_text()
+            elif name == "title":
+                document.title = cursor.read_group_text()
+            elif name == "author":
+                author_text = cursor.read_group_text()
+                document.authors = [
+                    _squash(a) for a in author_text.split(" and ") if _squash(a)
+                ]
+            elif name in _SECTION_LEVELS:
+                cursor.skip_option()
+                open_section(_SECTION_LEVELS[name], cursor.read_group_text())
+            elif name == "begin":
+                env_name = cursor.read_group_text()
+                if env_name == "document":
+                    continue  # body starts; preamble commands already handled
+                if env_name == "abstract":
+                    open_environment("abstract")
+                else:
+                    cursor.skip_option()
+                    open_environment(env_name)
+            elif name == "end":
+                env_name = cursor.read_group_text()
+                if env_name == "document":
+                    continue
+                close_environment(env_name)
+            elif name == "caption":
+                caption = cursor.read_group_text()
+                if environment_stack:
+                    environment_stack[-1].caption = caption
+                else:
+                    text_buffer.append(caption)
+            elif name == "label":
+                label = cursor.read_group_text()
+                if environment_stack:
+                    environment_stack[-1].label = label
+                elif section_stack:
+                    section_stack[-1].label = label
+            elif name in ("ref", "autoref", "eqref", "pageref"):
+                flush_text()
+                containers[-1].append(Reference(cursor.read_group_text()))
+            elif name in _IGNORED_WITH_ARG:
+                cursor.skip_option()
+                cursor.read_group_text()
+            elif name in _IGNORED_BARE:
+                continue
+            else:
+                # Unknown command: its brace arguments flatten into text
+                # (e.g. \emph{important} -> "important").
+                argument = cursor.read_group_text()
+                if argument:
+                    text_buffer.append(argument)
+
+    flush_text()
+
+    # Pull the abstract environment up into the document metadata.
+    for node in list(document.body):
+        if isinstance(node, Environment) and node.name == "abstract":
+            document.abstract = node.text()
+            document.body.remove(node)
+            break
+    _resolve_labels(document)
+    return document
+
+
+def _resolve_labels(document: LatexDocument) -> None:
+    """Fill ``document.labels`` and point every reference at its target."""
+    for section in document.all_sections():
+        if section.label:
+            document.labels.setdefault(section.label, section)
+    for environment in document.all_environments():
+        if environment.label:
+            document.labels.setdefault(environment.label, environment)
+    for reference in document.all_references():
+        reference.target = document.labels.get(reference.label)

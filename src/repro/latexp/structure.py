@@ -1,0 +1,150 @@
+"""Structure tree produced by the LaTeX parser.
+
+The tree mirrors the subgraphs shown in Figure 1 of the paper: a
+document node holding metadata (class, title), sections nesting by level,
+environments (figure, table, ...) carrying captions and labels, and
+``\\ref`` nodes whose resolved targets add the *cross* edges that make
+LaTeX content graph-structured rather than tree-structured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class StructureNode:
+    """Base class of all structure tree nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(slots=True)
+class Paragraph(StructureNode):
+    """A run of body text between structural markers."""
+
+    text: str
+
+
+@dataclass(slots=True)
+class Reference(StructureNode):
+    """A ``\\ref{label}``; ``target`` is filled in by label resolution."""
+
+    label: str
+    target: "Section | Environment | None" = None
+
+
+@dataclass(slots=True)
+class Environment(StructureNode):
+    """A ``\\begin{name} ... \\end{name}`` block.
+
+    ``caption`` and ``label`` come from ``\\caption{...}``/``\\label{...}``
+    inside the environment; ``body`` collects nested structure.
+    """
+
+    name: str
+    caption: str = ""
+    label: str = ""
+    body: list[StructureNode] = field(default_factory=list)
+
+    def text(self) -> str:
+        return _collect_text(self.body)
+
+
+@dataclass(slots=True)
+class Section(StructureNode):
+    """A sectioning command: level 1 = ``\\section``, 2 = ``\\subsection``,
+    3 = ``\\subsubsection``."""
+
+    level: int
+    title: str
+    label: str = ""
+    body: list[StructureNode] = field(default_factory=list)
+
+    def subsections(self) -> list["Section"]:
+        return [n for n in self.body if isinstance(n, Section)]
+
+    def environments(self) -> list[Environment]:
+        return [n for n in self.body if isinstance(n, Environment)]
+
+    def references(self) -> list[Reference]:
+        out: list[Reference] = []
+        for node in self.body:
+            if isinstance(node, Reference):
+                out.append(node)
+            elif isinstance(node, Environment):
+                out.extend(r for r in node.body if isinstance(r, Reference))
+        return out
+
+    def text(self) -> str:
+        """Text of this section excluding nested subsections."""
+        return _collect_text(
+            n for n in self.body if not isinstance(n, Section)
+        )
+
+
+@dataclass(slots=True)
+class LatexDocument(StructureNode):
+    """The parsed document: preamble metadata plus the body structure."""
+
+    document_class: str = ""
+    title: str = ""
+    authors: list[str] = field(default_factory=list)
+    abstract: str = ""
+    body: list[StructureNode] = field(default_factory=list)
+    labels: dict[str, "Section | Environment"] = field(default_factory=dict)
+
+    def sections(self) -> list[Section]:
+        """Top-level sections (level 1)."""
+        return [n for n in self.body if isinstance(n, Section)]
+
+    def all_sections(self) -> Iterator[Section]:
+        """All sections at any nesting depth, document order."""
+        stack: list[StructureNode] = list(reversed(self.body))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Section):
+                yield node
+                stack.extend(reversed(node.body))
+            elif isinstance(node, Environment):
+                stack.extend(reversed(node.body))
+
+    def all_environments(self) -> Iterator[Environment]:
+        """All environments at any nesting depth, document order."""
+        stack: list[StructureNode] = list(reversed(self.body))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Environment):
+                yield node
+                stack.extend(reversed(node.body))
+            elif isinstance(node, Section):
+                stack.extend(reversed(node.body))
+
+    def all_references(self) -> Iterator[Reference]:
+        stack: list[StructureNode] = list(reversed(self.body))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Reference):
+                yield node
+            elif isinstance(node, (Section, Environment)):
+                stack.extend(reversed(node.body))
+
+    def text(self) -> str:
+        return _collect_text(self.body)
+
+
+def _collect_text(nodes) -> str:
+    parts: list[str] = []
+    stack: list[StructureNode] = list(reversed(list(nodes)))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Paragraph):
+            parts.append(node.text)
+        elif isinstance(node, Environment):
+            if node.caption:
+                parts.append(node.caption)
+            stack.extend(reversed(node.body))
+        elif isinstance(node, Section):
+            parts.append(node.title)
+            stack.extend(reversed(node.body))
+    return " ".join(p.strip() for p in parts if p.strip())

@@ -1,0 +1,12 @@
+"""Similarity indexing for non-text content.
+
+"Content indexes are not restricted to text indexes. An example of that
+is a content index that uses histogram information to index pictures
+based on image similarity [6]" (QBIC). This package provides that kind
+of content-component index: byte-distribution histograms with
+cosine-similarity search over them.
+"""
+
+from .histogram import HistogramIndex, compute_histogram, cosine_similarity
+
+__all__ = ["HistogramIndex", "compute_histogram", "cosine_similarity"]

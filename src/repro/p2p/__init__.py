@@ -1,0 +1,12 @@
+"""Networks of PDSMS instances (the paper's P2P future work).
+
+"In addition, we are planning to extend our system to enable networks
+of P2P instances." This package provides that extension: several
+:class:`~repro.facade.Dataspace` instances (say, a laptop, a desktop and
+an office machine) form a :class:`PeerNetwork`; iQL queries fan out to
+all peers (or a named subset) and results merge with peer provenance.
+"""
+
+from .network import FederatedResult, Peer, PeerHit, PeerNetwork
+
+__all__ = ["FederatedResult", "Peer", "PeerHit", "PeerNetwork"]

@@ -1,0 +1,177 @@
+"""Federated querying across peer dataspaces.
+
+Each peer wraps one dataspace behind a small message-passing surface
+(query in, hits out) with an optional per-peer latency model, so remote
+peers cost something — the data-vs-query-shipping trade-off extends
+naturally from indexes (within one PDSMS) to peers (across them).
+
+Federation semantics are deliberately simple and deterministic:
+
+* unary queries — the union of per-peer results, each hit tagged with
+  its peer of origin;
+* join queries — evaluated *per peer* (a cross-peer join would need
+  shipping component data between peers; the prototype-faithful
+  behavior is local joins, like running the same query on each
+  machine);
+* ranked search — per-peer TF-IDF scores merged by score (scores from
+  different corpora are only roughly comparable; the paper leaves
+  ranking as ongoing work, and cross-corpus calibration with it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..core.errors import IdmError
+from ..facade import Dataspace
+from ..imapsim.latency import LatencyModel
+from ..query.executor import Hit, JoinHit
+
+
+class PeerError(IdmError):
+    """A federation-level failure (unknown peer, duplicate name)."""
+
+
+@dataclass(frozen=True)
+class PeerHit:
+    """One federated result: a hit plus the peer it came from."""
+
+    peer: str
+    hit: Hit
+
+    @property
+    def uri(self) -> str:
+        return self.hit.uri
+
+    @property
+    def global_uri(self) -> str:
+        """A network-wide identifier: ``peer-name!view-uri``."""
+        return f"{self.peer}!{self.hit.uri}"
+
+
+@dataclass
+class FederatedResult:
+    """The merged result of one federated query."""
+
+    query: str
+    hits: list[PeerHit] = field(default_factory=list)
+    join_pairs: list[tuple[str, JoinHit]] = field(default_factory=list)
+    peers_asked: tuple[str, ...] = ()
+    simulated_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.join_pairs) if self.join_pairs else len(self.hits)
+
+    def by_peer(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for hit in self.hits:
+            counts[hit.peer] = counts.get(hit.peer, 0) + 1
+        for peer, _ in self.join_pairs:
+            counts[peer] = counts.get(peer, 0) + 1
+        return counts
+
+
+class Peer:
+    """One network participant: a named dataspace plus link latency."""
+
+    def __init__(self, name: str, dataspace: Dataspace, *,
+                 latency: LatencyModel | None = None):
+        if not name or "!" in name:
+            raise PeerError(f"bad peer name {name!r}")
+        self.name = name
+        self.dataspace = dataspace
+        self.latency = latency if latency is not None else LatencyModel(
+            connect=0.0, per_operation=0.0, per_kilobyte=0.0
+        )
+
+    def query(self, iql: str):
+        """Answer one query, charging the link latency model."""
+        self.latency.charge()
+        result = self.dataspace.query(iql)
+        payload = sum(len(h.uri) for h in result.hits)
+        self.latency.charge(bytes_transferred=payload)
+        return result
+
+    def search(self, text: str, *, limit: int):
+        self.latency.charge()
+        return self.dataspace.search(text, limit=limit)
+
+
+class PeerNetwork:
+    """A set of peers answering federated queries."""
+
+    def __init__(self) -> None:
+        self._peers: dict[str, Peer] = {}
+
+    def add_peer(self, peer: Peer) -> Peer:
+        if peer.name in self._peers:
+            raise PeerError(f"peer {peer.name!r} already joined")
+        self._peers[peer.name] = peer
+        return peer
+
+    def join(self, name: str, dataspace: Dataspace, *,
+             latency: LatencyModel | None = None) -> Peer:
+        """Convenience: wrap and add a dataspace in one call."""
+        return self.add_peer(Peer(name, dataspace, latency=latency))
+
+    def leave(self, name: str) -> None:
+        if name not in self._peers:
+            raise PeerError(f"no peer {name!r}")
+        del self._peers[name]
+
+    def peers(self) -> list[str]:
+        return sorted(self._peers)
+
+    def peer(self, name: str) -> Peer:
+        try:
+            return self._peers[name]
+        except KeyError:
+            raise PeerError(f"no peer {name!r}") from None
+
+    # -- federated operations ------------------------------------------------
+
+    def query(self, iql: str, *,
+              peers: Iterable[str] | None = None) -> FederatedResult:
+        """Fan one iQL query out to (a subset of) the network."""
+        names = self._select(peers)
+        federated = FederatedResult(query=iql, peers_asked=tuple(names))
+        for name in names:
+            peer = self._peers[name]
+            before = peer.latency.simulated_seconds
+            result = peer.query(iql)
+            federated.simulated_seconds += (
+                peer.latency.simulated_seconds - before
+            )
+            federated.hits.extend(
+                PeerHit(peer=name, hit=hit) for hit in result.hits
+            )
+            federated.join_pairs.extend(
+                (name, pair) for pair in result.pairs
+            )
+        federated.hits.sort(key=lambda h: h.global_uri)
+        return federated
+
+    def search(self, text: str, *, limit: int = 10,
+               peers: Iterable[str] | None = None) -> list[PeerHit]:
+        """Federated ranked search, merged by score."""
+        scored: list[tuple[float, PeerHit]] = []
+        for name in self._select(peers):
+            peer = self._peers[name]
+            for hit in peer.search(text, limit=limit):
+                scored.append((hit.score, PeerHit(
+                    peer=name,
+                    hit=Hit(uri=hit.uri, name=hit.name,
+                            class_name=hit.class_name),
+                )))
+        scored.sort(key=lambda pair: (-pair[0], pair[1].global_uri))
+        return [hit for _, hit in scored[:limit]]
+
+    def _select(self, peers: Iterable[str] | None) -> list[str]:
+        if peers is None:
+            return self.peers()
+        names = list(peers)
+        for name in names:
+            if name not in self._peers:
+                raise PeerError(f"no peer {name!r}")
+        return names

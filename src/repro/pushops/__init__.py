@@ -1,0 +1,31 @@
+"""Push-based stream processing (Section 4.4.2 of the paper).
+
+"In order to efficiently support stream processing, any system
+implementing iDM graphs has to provide push-based protocols. ... Our
+push-operators may register for changes on any of the components of a
+resource view. Incoming change events ... will then be passed to all
+subscribed push-operators. They will process those events immediately."
+
+This package provides that machinery: a change-event bus keyed by view
+and component, composable push operators (filter, map, window
+aggregates, stream join) and sinks, in the spirit of the DSMS
+literature the paper cites (Aurora [1]).
+"""
+
+from .bus import ChangeEvent, ChangeKind, ComponentKind, PushBus
+from .operators import (
+    CollectSink,
+    CountingSink,
+    FilterOperator,
+    JoinOperator,
+    MapOperator,
+    PushOperator,
+    WindowAggregate,
+)
+from .window import CountWindow
+
+__all__ = [
+    "ChangeEvent", "ChangeKind", "ComponentKind", "PushBus",
+    "CollectSink", "CountingSink", "FilterOperator", "JoinOperator",
+    "MapOperator", "PushOperator", "WindowAggregate", "CountWindow",
+]

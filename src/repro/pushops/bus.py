@@ -1,0 +1,91 @@
+"""The change-event bus.
+
+Producers (data-source plugins, the synchronization manager, stream
+sources) publish :class:`ChangeEvent`\\ s; push operators subscribe by
+component kind and optionally by view id. Delivery is synchronous and
+in subscription order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.identity import ViewId
+
+
+class ComponentKind(enum.Enum):
+    """Which of the four components an event concerns."""
+
+    NAME = "name"
+    TUPLE = "tuple"
+    CONTENT = "content"
+    GROUP = "group"
+
+
+class ChangeKind(enum.Enum):
+    ADDED = "added"          # a new view / new group member appeared
+    MODIFIED = "modified"    # a component's value changed
+    REMOVED = "removed"
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeEvent:
+    """One change on one component of one resource view.
+
+    ``payload`` carries the event's data — a new group member view, a
+    tuple component, a content fragment — whatever the producer deems
+    useful for immediate processing (the consumer may always go back to
+    the view through the catalog).
+    """
+
+    view_id: ViewId
+    component: ComponentKind
+    kind: ChangeKind
+    payload: Any = None
+
+
+Subscriber = Callable[[ChangeEvent], None]
+
+
+class PushBus:
+    """Routes change events to subscribed push operators."""
+
+    def __init__(self) -> None:
+        # (component or None) -> list of (view filter or None, callback)
+        self._subscriptions: list[
+            tuple[ComponentKind | None, ViewId | None, Subscriber]
+        ] = []
+        self.delivered = 0
+
+    def subscribe(self, callback: Subscriber, *,
+                  component: ComponentKind | None = None,
+                  view_id: ViewId | None = None) -> Callable[[], None]:
+        """Subscribe to events, optionally narrowed by component and view.
+
+        Returns an unsubscribe function.
+        """
+        entry = (component, view_id, callback)
+        self._subscriptions.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscriptions.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, event: ChangeEvent) -> int:
+        """Deliver ``event``; returns the number of receivers."""
+        receivers = 0
+        for component, view_id, callback in list(self._subscriptions):
+            if component is not None and component is not event.component:
+                continue
+            if view_id is not None and view_id != event.view_id:
+                continue
+            callback(event)
+            receivers += 1
+        self.delivered += receivers
+        return receivers

@@ -1,0 +1,165 @@
+"""Composable push operators.
+
+Operators form pipelines: each processes an incoming change event (or
+value) immediately and pushes results to its downstream operators —
+data-driven processing "in the spirit of specialized data stream
+management systems" as the paper puts it.
+
+An operator subscribes to a :class:`~repro.pushops.bus.PushBus` with
+:meth:`PushOperator.attach`, or receives values directly via
+:meth:`PushOperator.push` when composed into a pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from .bus import ChangeEvent, ComponentKind, PushBus
+from .window import CountWindow
+
+
+class PushOperator:
+    """Base class: receives values, pushes derived values downstream."""
+
+    def __init__(self) -> None:
+        self._downstream: list["PushOperator"] = []
+        self.received = 0
+
+    def connect(self, operator: "PushOperator") -> "PushOperator":
+        """Wire ``operator`` downstream; returns it for chaining."""
+        self._downstream.append(operator)
+        return operator
+
+    def attach(self, bus: PushBus, *,
+               component: ComponentKind | None = None) -> Callable[[], None]:
+        """Subscribe this operator to a bus (events become inputs)."""
+        return bus.subscribe(self.push, component=component)
+
+    def push(self, value: Any) -> None:
+        """Receive one value; default behavior forwards unchanged."""
+        self.received += 1
+        self._process(value)
+
+    def _process(self, value: Any) -> None:
+        self._emit(value)
+
+    def _emit(self, value: Any) -> None:
+        for operator in self._downstream:
+            operator.push(value)
+
+
+class FilterOperator(PushOperator):
+    """Forwards only values satisfying the predicate."""
+
+    def __init__(self, predicate: Callable[[Any], bool]):
+        super().__init__()
+        self.predicate = predicate
+        self.passed = 0
+
+    def _process(self, value: Any) -> None:
+        if self.predicate(value):
+            self.passed += 1
+            self._emit(value)
+
+
+class MapOperator(PushOperator):
+    """Forwards ``function(value)``."""
+
+    def __init__(self, function: Callable[[Any], Any]):
+        super().__init__()
+        self.function = function
+
+    def _process(self, value: Any) -> None:
+        self._emit(self.function(value))
+
+
+class WindowAggregate(PushOperator):
+    """Maintains a count window and emits an aggregate on every push.
+
+    ``aggregate`` maps the window's items to one output value (count,
+    mean, max, a custom reducer).
+    """
+
+    def __init__(self, capacity: int,
+                 aggregate: Callable[[list[Any]], Any] = len):
+        super().__init__()
+        self.window = CountWindow(capacity)
+        self.aggregate = aggregate
+
+    def _process(self, value: Any) -> None:
+        self.window.push(value)
+        self._emit(self.aggregate(self.window.items()))
+
+
+class JoinOperator(PushOperator):
+    """A symmetric hash join over two windowed input streams.
+
+    Values arrive through :meth:`push_left` / :meth:`push_right`; each
+    new value probes the opposite window on its join key and emits
+    ``(left, right)`` pairs immediately (classic symmetric hash join,
+    the streaming analogue of the paper's user-defined joins).
+    """
+
+    def __init__(self, left_key: Callable[[Any], Any],
+                 right_key: Callable[[Any], Any], *, window: int = 1024):
+        super().__init__()
+        self.left_key = left_key
+        self.right_key = right_key
+        self._left = CountWindow(window)
+        self._right = CountWindow(window)
+
+    def push(self, value: Any) -> None:  # pragma: no cover - guidance
+        raise TypeError("use push_left/push_right on a JoinOperator")
+
+    def push_left(self, value: Any) -> None:
+        self.received += 1
+        self._left.push(value)
+        key = self.left_key(value)
+        for candidate in self._right:
+            if self.right_key(candidate) == key:
+                self._emit((value, candidate))
+
+    def push_right(self, value: Any) -> None:
+        self.received += 1
+        self._right.push(value)
+        key = self.right_key(value)
+        for candidate in self._left:
+            if self.left_key(candidate) == key:
+                self._emit((candidate, value))
+
+    def left_input(self) -> Callable[[Any], None]:
+        return self.push_left
+
+    def right_input(self) -> Callable[[Any], None]:
+        return self.push_right
+
+
+class CollectSink(PushOperator):
+    """Terminal operator collecting everything it receives."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.items: list[Any] = []
+
+    def _process(self, value: Any) -> None:
+        self.items.append(value)
+
+
+class CountingSink(PushOperator):
+    """Terminal operator counting (but not keeping) values."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.count = 0
+
+    def _process(self, value: Any) -> None:
+        self.count += 1
+
+
+def pipeline(*operators: PushOperator) -> PushOperator:
+    """Wire operators in a chain; returns the head (push into it)."""
+    if not operators:
+        raise ValueError("pipeline needs at least one operator")
+    for upstream, downstream in zip(operators, operators[1:]):
+        upstream.connect(downstream)
+    return operators[0]

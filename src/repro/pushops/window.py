@@ -1,0 +1,44 @@
+"""Stream windows.
+
+Infinite group components cannot be materialized; windows hold the
+bounded recent slice operators work over — the paper's Replica&Indexes
+module "manages infinite group components using a stream window".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+
+class CountWindow:
+    """A sliding window of the most recent ``capacity`` items."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("window capacity must be positive")
+        self.capacity = capacity
+        self._items: deque[Any] = deque(maxlen=capacity)
+        self.total_seen = 0
+
+    def push(self, item: Any) -> Any | None:
+        """Add an item; returns the evicted item, if any."""
+        evicted = None
+        if len(self._items) == self.capacity:
+            evicted = self._items[0]
+        self._items.append(item)
+        self.total_seen += 1
+        return evicted
+
+    def items(self) -> list[Any]:
+        return list(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) == self.capacity

@@ -1,0 +1,45 @@
+"""iQL — the iMeMex Query Language (Section 5.1 of the paper).
+
+iQL extends IR keyword search with path expressions and predicates on
+attributes (in the spirit of NEXI): casual users type keywords, advanced
+users add structure. The examples from the paper all work::
+
+    "Donald Knuth"
+    "Donald" and "Knuth"
+    [size > 42000 and lastmodified < yesterday()]
+    //Introduction[class="latex_section"]
+    //PIM//Introduction[class="latex_section" and "Mike Franklin"]
+    //OLAP//[class="figure" and "Indexing time"]
+    union( //VLDB2005//*["documents"], //VLDB2006//*["documents"] )
+    join( //VLDB2006//*[class="texref"] as A,
+          //VLDB2006//*[class="environment"]//figure* as B,
+          A.name = B.tuple.label )
+
+The processor is layered like iMeMex's: :mod:`lexer`/:mod:`parser`
+produce an AST, the rule-based :mod:`optimizer` orders predicates by
+estimated selectivity, :mod:`plan` builds a physical operator tree over
+the RVM's indexes and replicas, and :mod:`executor` runs it.
+"""
+
+from .ast import (
+    Comparison,
+    JoinExpr,
+    KeywordAtom,
+    PathExpr,
+    PredAnd,
+    PredNot,
+    PredOr,
+    PredicateExpr,
+    QualifiedRef,
+    Step,
+    UnionExpr,
+)
+from .executor import Hit, JoinHit, QueryProcessor, QueryResult
+from .parser import parse_iql
+
+__all__ = [
+    "Comparison", "JoinExpr", "KeywordAtom", "PathExpr", "PredAnd",
+    "PredNot", "PredOr", "PredicateExpr", "QualifiedRef", "Step",
+    "UnionExpr", "Hit", "JoinHit", "QueryProcessor", "QueryResult",
+    "parse_iql",
+]

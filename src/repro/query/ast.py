@@ -1,0 +1,163 @@
+"""The iQL abstract syntax tree."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from datetime import date
+from typing import Any, Union
+
+
+# ---------------------------------------------------------------------------
+# Predicates (the [...] language)
+# ---------------------------------------------------------------------------
+
+class CompareOp(enum.Enum):
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal operand: string, number or date."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A function operand like ``yesterday()`` — resolved at execution."""
+
+    name: str
+    args: tuple[Any, ...] = ()
+
+
+@dataclass(frozen=True)
+class QualifiedRef:
+    """A reference to a component of a join variable.
+
+    ``A.name`` → kind "name"; ``A.tuple.label`` → kind "tuple", attr
+    "label"; ``A.class`` → kind "class"; ``A.content`` → kind "content".
+    """
+
+    variable: str
+    kind: str
+    attribute: str | None = None
+
+
+Operand = Union[Literal, FunctionCall, QualifiedRef]
+
+
+@dataclass(frozen=True)
+class KeywordAtom:
+    """A content constraint: a phrase (quoted) or single keyword.
+
+    ``wildcard`` marks patterns like ``index*`` (term-level wildcards).
+    """
+
+    text: str
+    is_phrase: bool = True
+    wildcard: bool = False
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``lhs op rhs``. ``lhs`` is an attribute path: "class" and "name"
+    address those components, anything else a tuple attribute."""
+
+    attribute: str
+    op: CompareOp
+    operand: Operand
+
+
+@dataclass(frozen=True)
+class PredAnd:
+    parts: tuple["Predicate", ...]
+
+
+@dataclass(frozen=True)
+class PredOr:
+    parts: tuple["Predicate", ...]
+
+
+@dataclass(frozen=True)
+class PredNot:
+    part: "Predicate"
+
+
+Predicate = Union[KeywordAtom, Comparison, PredAnd, PredOr, PredNot]
+
+
+# ---------------------------------------------------------------------------
+# Path expressions
+# ---------------------------------------------------------------------------
+
+class Axis(enum.Enum):
+    DESCENDANT = "//"
+    CHILD = "/"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One path step: axis, optional name test (``*``/``?`` wildcards,
+    None = any name), optional predicate."""
+
+    axis: Axis
+    name_test: str | None = None
+    predicate: Predicate | None = None
+
+    @property
+    def has_wildcard(self) -> bool:
+        return (self.name_test is not None
+                and ("*" in self.name_test or "?" in self.name_test))
+
+
+# ---------------------------------------------------------------------------
+# Top-level query forms
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PathExpr:
+    steps: tuple[Step, ...]
+
+
+@dataclass(frozen=True)
+class PredicateExpr:
+    """A bare predicate over all views: ``[size > 42000]`` or keywords."""
+
+    predicate: Predicate
+
+
+@dataclass(frozen=True)
+class UnionExpr:
+    parts: tuple["QueryExpr", ...]
+
+
+@dataclass(frozen=True)
+class IntersectExpr:
+    parts: tuple["QueryExpr", ...]
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    left: QualifiedRef
+    op: CompareOp
+    right: Operand
+
+
+@dataclass(frozen=True)
+class JoinExpr:
+    """``join(q1 as A, q2 as B, A.name = B.tuple.label)``."""
+
+    left: "QueryExpr"
+    left_var: str
+    right: "QueryExpr"
+    right_var: str
+    condition: JoinCondition
+
+
+QueryExpr = Union[PathExpr, PredicateExpr, UnionExpr, IntersectExpr, JoinExpr]

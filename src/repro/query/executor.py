@@ -1,0 +1,518 @@
+"""The iQL query processor.
+
+:class:`QueryProcessor` parses a query, builds and optimizes a physical
+plan over the RVM's indexes and replicas, executes it and returns a
+:class:`QueryResult`. The execution strategy mirrors the prototype's:
+"after fetching the data via index accesses, our query processor obtains
+indirectly related resource views by forward expansion".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from ..core.errors import QueryExecutionError
+from ..core.resource_view import ResourceView
+from ..fulltext.query import Phrase, Term, Wildcard
+from ..rvm.manager import ResourceViewManager
+from .ast import (
+    Axis,
+    CompareOp,
+    Comparison,
+    FunctionCall,
+    IntersectExpr,
+    JoinExpr,
+    KeywordAtom,
+    Literal,
+    PathExpr,
+    PredAnd,
+    Predicate,
+    PredicateExpr,
+    PredNot,
+    PredOr,
+    QualifiedRef,
+    QueryExpr,
+    UnionExpr,
+)
+from .functions import FunctionTable
+from .optimizer import optimize
+from .parser import parse_iql
+from .plan import (
+    AllViews,
+    ClassLookup,
+    Complement,
+    ContentSearch,
+    ExpandStep,
+    Intersect,
+    JoinPlan,
+    NameEquals,
+    NamePattern,
+    PlanNode,
+    RootViews,
+    TupleCompare,
+    Union,
+    compare_values,
+    wildcard_regex,
+)
+
+#: Attribute spellings the paper uses mapped onto the plugin schemas.
+ATTRIBUTE_ALIASES = {
+    "lastmodified": "modified",
+    "creationtime": "created",
+    "creation": "created",
+}
+
+
+def canonical_attribute(name: str) -> str:
+    return ATTRIBUTE_ALIASES.get(name.lower(), name)
+
+
+class ExecutionContext:
+    """Index accessors shared by all plan nodes of one execution."""
+
+    def __init__(self, rvm: ResourceViewManager, functions: FunctionTable):
+        self.rvm = rvm
+        self.functions = functions
+        self.group_replica = rvm.indexes.group_replica
+        self.expanded_views = 0  # intermediate-result accounting (Q8!)
+        self._all_uris: set[str] | None = None
+
+    def all_uris(self) -> set[str]:
+        if self._all_uris is None:
+            self._all_uris = set(self.rvm.catalog.all_uris())
+        return self._all_uris
+
+    def root_uris(self) -> set[str]:
+        roots = set()
+        for plugin in self.rvm.proxy.plugins():
+            for view in plugin.root_views():
+                roots.add(view.view_id.uri)
+        return roots
+
+    def content_search(self, text: str, *, is_phrase: bool,
+                       wildcard: bool) -> set[str]:
+        if not self.rvm.indexes.policy.index_content:
+            return self._content_scan(text, is_phrase=is_phrase,
+                                      wildcard=wildcard)
+        index = self.rvm.indexes.content_index
+        if wildcard:
+            return Wildcard(text).keys(index)
+        if is_phrase:
+            return Phrase.of(text, index).keys(index)
+        return Term(text).keys(index)
+
+    def _content_scan(self, text: str, *, is_phrase: bool,
+                      wildcard: bool) -> set[str]:
+        """Query shipping: no content index, scan live views instead."""
+        from ..fulltext import InvertedIndex
+        probe = InvertedIndex()
+        for uri, view in self.rvm.sync.live_views.items():
+            content = view.content
+            body = (content.text() if content.is_finite
+                    else content.take(4096))
+            if body:
+                probe.add(uri, body)
+        if wildcard:
+            return Wildcard(text).keys(probe)
+        if is_phrase:
+            return Phrase.of(text, probe).keys(probe)
+        return Term(text).keys(probe)
+
+    def content_estimate(self, text: str, *, is_phrase: bool,
+                         wildcard: bool) -> int:
+        """Cardinality estimate from document frequencies: a phrase (or
+        conjunction) matches at most min(df) documents."""
+        index = self.rvm.indexes.content_index
+        if wildcard:
+            return index.document_count  # pattern dfs are not kept
+        terms = index.analyzer.terms(text)
+        if not terms:
+            return 0
+        frequencies = []
+        for term in terms:
+            postings = index.postings(term)
+            if postings is None:
+                return 0
+            frequencies.append(postings.document_frequency)
+        return min(frequencies)
+
+    def class_estimate(self, class_name: str) -> int:
+        from ..core.classes import BUILTIN_REGISTRY
+        names = [class_name]
+        if class_name in BUILTIN_REGISTRY:
+            names = [cls.name for cls in BUILTIN_REGISTRY
+                     if BUILTIN_REGISTRY.is_subclass(cls.name, class_name)]
+        return sum(len(self.rvm.catalog.by_class(name)) for name in names)
+
+    def tuple_estimate(self, attribute: str, op: CompareOp) -> int:
+        """Upper bound: views carrying the attribute at all (halved for
+        range predicates, the textbook default selectivity)."""
+        attribute = canonical_attribute(attribute)
+        carriers = len(self.rvm.indexes.tuple_index.keys_with_attribute(
+            attribute
+        ))
+        if op in (CompareOp.EQ, CompareOp.NE):
+            return max(1, carriers // 10) if op is CompareOp.EQ else carriers
+        return max(1, carriers // 2)
+
+    def name_equals(self, name: str) -> set[str]:
+        return {record.uri for record in self.rvm.catalog.by_name(name)}
+
+    def name_pattern(self, pattern: str) -> set[str]:
+        regex = wildcard_regex(pattern)
+        matched = set()
+        if self.rvm.indexes.policy.index_names:
+            for uri, name in self.rvm.indexes.name_index.stored_items():
+                if regex.match(name):
+                    matched.add(uri)
+            return matched
+        # no name replica: fall back to the catalog's metadata
+        for record in self.rvm.catalog.all_records():
+            if record.name and regex.match(record.name):
+                matched.add(record.uri)
+        return matched
+
+    # -- group navigation (replica or live fallback) -------------------------
+
+    def children_of(self, uri: str) -> tuple[str, ...]:
+        if self.rvm.indexes.policy.replicate_groups:
+            return self.group_replica.children(uri)
+        view = self.rvm.view(uri)
+        if view is None:
+            return ()
+        group = view.group
+        members = (group.related() if group.is_finite
+                   else tuple(group.take(256)))
+        return tuple(v.view_id.uri for v in members)
+
+    def parents_of(self, uri: str) -> set[str]:
+        if not self.rvm.indexes.policy.replicate_groups:
+            raise QueryExecutionError(
+                "backward expansion needs the group replica's reverse "
+                "edges; enable replicate_groups or use forward expansion"
+            )
+        return self.group_replica.parents(uri)
+
+    def class_lookup(self, class_name: str) -> set[str]:
+        from ..core.classes import BUILTIN_REGISTRY
+        names = [class_name]
+        if class_name in BUILTIN_REGISTRY:
+            names = [
+                cls.name for cls in BUILTIN_REGISTRY
+                if BUILTIN_REGISTRY.is_subclass(cls.name, class_name)
+            ]
+        matched: set[str] = set()
+        for name in names:
+            matched.update(r.uri for r in self.rvm.catalog.by_class(name))
+        return matched
+
+    def tuple_compare(self, attribute: str, op: CompareOp,
+                      value: object) -> set[str]:
+        attribute = canonical_attribute(attribute)
+        if not self.rvm.indexes.policy.index_tuples:
+            return self._tuple_scan(attribute, op, value)
+        index = self.rvm.indexes.tuple_index
+        if op is CompareOp.EQ:
+            return index.equals(attribute, value)
+        if op is CompareOp.NE:
+            return index.keys_with_attribute(attribute) - index.equals(
+                attribute, value
+            )
+        if op is CompareOp.GT:
+            return index.greater_than(attribute, value)
+        if op is CompareOp.GE:
+            return index.greater_than(attribute, value, inclusive=True)
+        if op is CompareOp.LT:
+            return index.less_than(attribute, value)
+        if op is CompareOp.LE:
+            return index.less_than(attribute, value, inclusive=True)
+        raise QueryExecutionError(f"unsupported operator {op}")
+
+    def _tuple_scan(self, attribute: str, op: CompareOp,
+                    value: object) -> set[str]:
+        """Query shipping: evaluate the predicate over live views."""
+        from ..query.plan import compare_values
+        matched: set[str] = set()
+        for uri, view in self.rvm.sync.live_views.items():
+            candidate = view.tuple_component.get(attribute)
+            if candidate is None:
+                continue
+            try:
+                if compare_values(op, candidate, value):
+                    matched.add(uri)
+            except QueryExecutionError:
+                continue  # incomparable types never match
+        return matched
+
+    def component_value(self, uri: str, ref: QualifiedRef) -> object:
+        """Resolve ``A.name`` / ``A.tuple.attr`` / ``A.class`` /
+        ``A.content`` for a join key."""
+        if ref.kind == "name":
+            return self.rvm.indexes.name_of(uri) or None
+        if ref.kind == "class":
+            record = self.rvm.catalog.get(uri)
+            return record.class_name if record else None
+        if ref.kind == "tuple":
+            component = self.rvm.indexes.tuple_index.tuple_of(uri)
+            if component is None or component.is_empty:
+                return None
+            return component.get(canonical_attribute(ref.attribute or ""))
+        if ref.kind == "content":
+            view = self.rvm.view(uri)
+            if view is None:
+                return None
+            content = view.content
+            return content.text() if content.is_finite else content.take(4096)
+        raise QueryExecutionError(f"unknown component reference {ref.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Hit:
+    """One unary query result."""
+
+    uri: str
+    name: str
+    class_name: str
+
+    def view(self, rvm: ResourceViewManager) -> ResourceView | None:
+        return rvm.view(self.uri)
+
+
+@dataclass(frozen=True)
+class JoinHit:
+    """One join result pair."""
+
+    left: Hit
+    right: Hit
+
+
+@dataclass
+class QueryResult:
+    """The result of one iQL execution."""
+
+    query: str
+    hits: list[Hit] = field(default_factory=list)
+    pairs: list[JoinHit] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    expanded_views: int = 0
+    plan_text: str = ""
+
+    @property
+    def is_join(self) -> bool:
+        return self.plan_text.startswith("Join")
+
+    def __len__(self) -> int:
+        return len(self.pairs) if self.pairs else len(self.hits)
+
+    def uris(self) -> list[str]:
+        return [h.uri for h in self.hits]
+
+
+# ---------------------------------------------------------------------------
+# The processor
+# ---------------------------------------------------------------------------
+
+class QueryProcessor:
+    """Parses, plans, optimizes and executes iQL queries over one RVM.
+
+    ``optimizer`` selects plan refinement: ``"rule"`` is the 2006
+    prototype's rule-based pass; ``"cost"`` additionally reorders
+    intersections by live index statistics (the paper's future work).
+    ``expansion`` selects the path-navigation strategy per [30]:
+    ``"forward"`` (the prototype), ``"backward"``, or ``"auto"``
+    (bidirectional heuristic).
+    """
+
+    def __init__(self, rvm: ResourceViewManager, *,
+                 reference_datetime: datetime | None = None,
+                 optimizer: str = "rule",
+                 expansion: str = "forward"):
+        if optimizer not in ("rule", "cost"):
+            raise QueryExecutionError(f"unknown optimizer {optimizer!r}")
+        if expansion not in ("forward", "backward", "auto"):
+            raise QueryExecutionError(f"unknown expansion {expansion!r}")
+        self.rvm = rvm
+        self.functions = FunctionTable(reference_datetime)
+        self.optimizer_mode = optimizer
+        self.expansion = expansion
+
+    def _optimize(self, plan: PlanNode,
+                  ctx: ExecutionContext | None = None) -> PlanNode:
+        if self.optimizer_mode == "cost":
+            from .optimizer import optimize_with_statistics
+            context = ctx if ctx is not None else ExecutionContext(
+                self.rvm, self.functions
+            )
+            return optimize_with_statistics(plan, context)
+        return optimize(plan)
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, query_text: str) -> QueryResult:
+        ast = parse_iql(query_text)
+        ctx = ExecutionContext(self.rvm, self.functions)
+        started = time.perf_counter()
+        if isinstance(ast, JoinExpr):
+            plan = self._build_join(ast, ctx)
+            pairs = plan.execute_pairs(ctx)
+            elapsed = time.perf_counter() - started
+            return QueryResult(
+                query=query_text,
+                pairs=[JoinHit(self._hit(l), self._hit(r)) for l, r in pairs],
+                elapsed_seconds=elapsed,
+                expanded_views=ctx.expanded_views,
+                plan_text=plan.explain(),
+            )
+        plan = self._optimize(self._build(ast), ctx)
+        uris = plan.execute(ctx)
+        elapsed = time.perf_counter() - started
+        hits = sorted((self._hit(uri) for uri in uris),
+                      key=lambda h: h.uri)
+        return QueryResult(
+            query=query_text, hits=hits, elapsed_seconds=elapsed,
+            expanded_views=ctx.expanded_views, plan_text=plan.explain(),
+        )
+
+    def explain(self, query_text: str) -> str:
+        """The optimized physical plan, without executing it."""
+        ast = parse_iql(query_text)
+        if isinstance(ast, JoinExpr):
+            return self._build_join(ast).explain()
+        return self._optimize(self._build(ast)).explain()
+
+    def _hit(self, uri: str) -> Hit:
+        record = self.rvm.catalog.get(uri)
+        if record is None:
+            return Hit(uri=uri, name="", class_name="")
+        return Hit(uri=uri, name=record.name, class_name=record.class_name)
+
+    # -- AST -> plan ---------------------------------------------------------------
+
+    def _build(self, ast: QueryExpr) -> PlanNode:
+        if isinstance(ast, PredicateExpr):
+            return self._build_predicate(ast.predicate)
+        if isinstance(ast, PathExpr):
+            return self._build_path(ast)
+        if isinstance(ast, UnionExpr):
+            return Union(tuple(self._build(p) for p in ast.parts))
+        if isinstance(ast, IntersectExpr):
+            return Intersect(tuple(self._build(p) for p in ast.parts))
+        if isinstance(ast, JoinExpr):
+            raise QueryExecutionError(
+                "joins are only supported at the top level"
+            )
+        raise QueryExecutionError(f"cannot plan {type(ast).__name__}")
+
+    def _build_path(self, path: PathExpr) -> PlanNode:
+        first, *rest = path.steps
+        plan = self._step_candidates(first, at_root=True)
+        for step in rest:
+            plan = ExpandStep(
+                input=plan, axis=step.axis,
+                candidates=self._step_filter(step),
+                strategy=self.expansion,
+            )
+        return plan
+
+    def _step_candidates(self, step, *, at_root: bool) -> PlanNode:
+        """The index-computed candidate set of one step."""
+        filter_plan = self._step_filter(step)
+        if step.axis is Axis.CHILD and at_root:
+            roots = RootViews()
+            if filter_plan is None:
+                return roots
+            return Intersect((roots, filter_plan))
+        # descendant from the dataspace root = any registered view
+        return filter_plan if filter_plan is not None else AllViews()
+
+    def _step_filter(self, step) -> PlanNode | None:
+        parts: list[PlanNode] = []
+        if step.name_test is not None:
+            if step.has_wildcard:
+                parts.append(NamePattern(pattern=step.name_test))
+            else:
+                parts.append(NameEquals(name=step.name_test))
+        if step.predicate is not None:
+            parts.append(self._build_predicate(step.predicate))
+        if not parts:
+            return None
+        if len(parts) == 1:
+            return parts[0]
+        return Intersect(tuple(parts))
+
+    def _build_predicate(self, predicate: Predicate) -> PlanNode:
+        if isinstance(predicate, KeywordAtom):
+            return ContentSearch(text=predicate.text,
+                                 is_phrase=predicate.is_phrase,
+                                 wildcard=predicate.wildcard)
+        if isinstance(predicate, Comparison):
+            return self._build_comparison(predicate)
+        if isinstance(predicate, PredAnd):
+            return Intersect(tuple(self._build_predicate(p)
+                                   for p in predicate.parts))
+        if isinstance(predicate, PredOr):
+            return Union(tuple(self._build_predicate(p)
+                               for p in predicate.parts))
+        if isinstance(predicate, PredNot):
+            return Complement(self._build_predicate(predicate.part))
+        raise QueryExecutionError(
+            f"cannot plan predicate {type(predicate).__name__}"
+        )
+
+    def _build_comparison(self, comparison: Comparison) -> PlanNode:
+        value = self._operand_value(comparison.operand)
+        attribute = comparison.attribute.lower()
+        if attribute == "class":
+            if comparison.op is CompareOp.EQ:
+                return ClassLookup(class_name=str(value))
+            if comparison.op is CompareOp.NE:
+                return Complement(ClassLookup(class_name=str(value)))
+            raise QueryExecutionError("class supports = and != only")
+        if attribute == "name":
+            text = str(value)
+            if comparison.op is CompareOp.EQ:
+                if "*" in text or "?" in text:
+                    return NamePattern(pattern=text)
+                return NameEquals(name=text)
+            if comparison.op is CompareOp.NE:
+                return Complement(NameEquals(name=text))
+            raise QueryExecutionError("name supports = and != only")
+        return TupleCompare(attribute=comparison.attribute,
+                            op=comparison.op, value=value)
+
+    def _operand_value(self, operand) -> object:
+        if isinstance(operand, Literal):
+            return operand.value
+        if isinstance(operand, FunctionCall):
+            return self.functions.call(operand.name)
+        raise QueryExecutionError(
+            "qualified references are only valid in join conditions"
+        )
+
+    def _build_join(self, join: JoinExpr,
+                    ctx: ExecutionContext | None = None) -> JoinPlan:
+        left_plan = self._optimize(self._build(join.left), ctx)
+        right_plan = self._optimize(self._build(join.right), ctx)
+        condition = join.condition
+        # Normalize so left_ref refers to the left variable.
+        left_ref: object = condition.left
+        right_ref: object
+        if isinstance(condition.right, QualifiedRef):
+            right_ref = condition.right
+        elif isinstance(condition.right, Literal):
+            right_ref = condition.right.value
+        elif isinstance(condition.right, FunctionCall):
+            right_ref = self.functions.call(condition.right.name)
+        else:
+            raise QueryExecutionError("malformed join condition")
+        if condition.left.variable == join.right_var:
+            left_ref, right_ref = right_ref, left_ref
+        return JoinPlan(left=left_plan, right=right_plan,
+                        left_ref=left_ref, right_ref=right_ref,
+                        op=condition.op)

@@ -1,0 +1,49 @@
+"""Built-in iQL functions.
+
+The paper's example predicate ``lastmodified < yesterday()`` needs a
+time anchor. Wall-clock time would make query results non-deterministic
+across runs, so functions resolve against a *reference datetime* the
+query processor is configured with (it defaults to just after the
+simulated dataset's last timestamp).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+from typing import Any, Callable
+
+from ..core.errors import QueryExecutionError
+
+#: The default reference instant: "today" for a query processor that is
+#: not told otherwise. Chosen to postdate the default logical clock's
+#: range so date predicates behave as a user in late 2005 would expect.
+DEFAULT_REFERENCE = datetime(2005, 12, 31, 12, 0, 0)
+
+
+class FunctionTable:
+    """Named zero-argument functions usable in iQL predicates."""
+
+    def __init__(self, reference: datetime | None = None):
+        self.reference = reference if reference is not None else DEFAULT_REFERENCE
+        self._functions: dict[str, Callable[[], Any]] = {
+            "now": lambda: self.reference,
+            "today": lambda: self.reference.replace(
+                hour=0, minute=0, second=0, microsecond=0
+            ),
+            "yesterday": lambda: self.reference.replace(
+                hour=0, minute=0, second=0, microsecond=0
+            ) - timedelta(days=1),
+        }
+
+    def register(self, name: str, function: Callable[[], Any]) -> None:
+        self._functions[name] = function
+
+    def call(self, name: str) -> Any:
+        try:
+            function = self._functions[name]
+        except KeyError:
+            raise QueryExecutionError(f"unknown function {name!r}()") from None
+        return function()
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)

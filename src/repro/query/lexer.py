@@ -1,0 +1,124 @@
+"""Tokenizer for iQL.
+
+Token kinds: path separators (``//``, ``/``), brackets, parentheses,
+commas, comparison operators, quoted strings, date literals
+(``@DD.MM.YYYY``), numbers, and words. Words may contain wildcards and
+dots (``*Vision``, ``?onclusion*``, ``*.tex``, ``A.tuple.label``) — the
+parser decides what they mean by context.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.errors import QuerySyntaxError
+
+#: Characters allowed inside a word token. Dots support qualified refs
+#: and extension patterns; wildcards support name tests.
+_WORD_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    "_-*?."
+)
+
+
+class TokenKind(enum.Enum):
+    DSLASH = "//"
+    SLASH = "/"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    STRING = "string"
+    NUMBER = "number"
+    DATE = "date"
+    WORD = "word"
+    OP = "op"          # = != < <= > >=
+    END = "end"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+
+def tokenize_iql(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if text.startswith("//", i):
+            tokens.append(Token(TokenKind.DSLASH, "//", i))
+            i += 2
+        elif ch == "/":
+            tokens.append(Token(TokenKind.SLASH, "/", i))
+            i += 1
+        elif ch == "[":
+            tokens.append(Token(TokenKind.LBRACKET, "[", i))
+            i += 1
+        elif ch == "]":
+            tokens.append(Token(TokenKind.RBRACKET, "]", i))
+            i += 1
+        elif ch == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", i))
+            i += 1
+        elif ch == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", i))
+            i += 1
+        elif ch == ",":
+            tokens.append(Token(TokenKind.COMMA, ",", i))
+            i += 1
+        elif ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise QuerySyntaxError(f"unterminated string at offset {i}")
+            tokens.append(Token(TokenKind.STRING, text[i + 1:end], i))
+            i = end + 1
+        elif ch == "@":
+            start = i + 1
+            j = start
+            while j < length and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            if j == start:
+                raise QuerySyntaxError(f"bad date literal at offset {i}")
+            tokens.append(Token(TokenKind.DATE, text[start:j], i))
+            i = j
+        elif text.startswith("!=", i):
+            tokens.append(Token(TokenKind.OP, "!=", i))
+            i += 2
+        elif text.startswith("<=", i):
+            tokens.append(Token(TokenKind.OP, "<=", i))
+            i += 2
+        elif text.startswith(">=", i):
+            tokens.append(Token(TokenKind.OP, ">=", i))
+            i += 2
+        elif ch in "=<>":
+            tokens.append(Token(TokenKind.OP, ch, i))
+            i += 1
+        elif ch in _WORD_CHARS:
+            j = i
+            while j < length and text[j] in _WORD_CHARS:
+                j += 1
+            word = text[i:j]
+            kind = TokenKind.NUMBER if _is_number(word) else TokenKind.WORD
+            tokens.append(Token(kind, word, i))
+            i = j
+        else:
+            raise QuerySyntaxError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens
+
+
+def _is_number(word: str) -> bool:
+    try:
+        float(word)
+        return True
+    except ValueError:
+        return False

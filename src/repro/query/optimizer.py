@@ -1,0 +1,110 @@
+"""Rule-based plan optimization.
+
+The 2006 prototype used rule-based optimization (cost-based was future
+work); we implement the same flavour:
+
+* **flatten** nested intersections/unions;
+* **reorder** intersection inputs so cheap, selective index lookups
+  (class, exact name) run before full-text search, tuple ranges, name
+  scans, and complements — the first input seeds the running
+  intersection, and every later input benefits from early emptiness;
+* **short-circuit** degenerate shapes (single-child inner nodes).
+"""
+
+from __future__ import annotations
+
+from .plan import (
+    AllViews,
+    Complement,
+    ExpandStep,
+    Intersect,
+    PlanNode,
+    Union,
+)
+
+
+def optimize(plan: PlanNode) -> PlanNode:
+    """Apply all rewrite rules bottom-up until stable (single pass is
+    sufficient for this rule set)."""
+    return _rewrite(plan)
+
+
+def _rewrite(node: PlanNode) -> PlanNode:
+    if isinstance(node, Intersect):
+        parts = _flatten_intersect([_rewrite(p) for p in node.parts])
+        parts.sort(key=lambda p: p.COST)
+        if len(parts) == 1:
+            return parts[0]
+        return Intersect(tuple(parts))
+    if isinstance(node, Union):
+        parts = _flatten_union([_rewrite(p) for p in node.parts])
+        if len(parts) == 1:
+            return parts[0]
+        return Union(tuple(parts))
+    if isinstance(node, Complement):
+        inner = _rewrite(node.part)
+        if isinstance(inner, Complement):
+            return inner.part  # NOT NOT x = x
+        return Complement(inner)
+    if isinstance(node, ExpandStep):
+        candidates = (_rewrite(node.candidates)
+                      if node.candidates is not None else None)
+        if isinstance(candidates, AllViews):
+            candidates = None  # expansion already yields all reached views
+        return ExpandStep(input=_rewrite(node.input), axis=node.axis,
+                          candidates=candidates, strategy=node.strategy)
+    return node
+
+
+def optimize_with_statistics(plan: PlanNode, ctx) -> PlanNode:
+    """Cost-based refinement (the paper's "avenue of future work").
+
+    After the rule pass, intersection inputs are re-ordered by *actual*
+    estimated cardinalities pulled from the live indexes — document
+    frequencies, catalog class counts, attribute column sizes — instead
+    of the static cost classes. A very common class test then correctly
+    runs after a rare keyword, which the rule optimizer gets wrong.
+    """
+    plan = _rewrite(plan)
+    return _reorder_by_estimates(plan, ctx)
+
+
+def _reorder_by_estimates(node: PlanNode, ctx) -> PlanNode:
+    if isinstance(node, Intersect):
+        parts = [_reorder_by_estimates(p, ctx) for p in node.parts]
+        parts.sort(key=lambda p: p.estimate(ctx))
+        return Intersect(tuple(parts))
+    if isinstance(node, Union):
+        return Union(tuple(_reorder_by_estimates(p, ctx)
+                           for p in node.parts))
+    if isinstance(node, Complement):
+        return Complement(_reorder_by_estimates(node.part, ctx))
+    if isinstance(node, ExpandStep):
+        candidates = (_reorder_by_estimates(node.candidates, ctx)
+                      if node.candidates is not None else None)
+        return ExpandStep(input=_reorder_by_estimates(node.input, ctx),
+                          axis=node.axis, candidates=candidates,
+                          strategy=node.strategy)
+    return node
+
+
+def _flatten_intersect(parts: list[PlanNode]) -> list[PlanNode]:
+    out: list[PlanNode] = []
+    for part in parts:
+        if isinstance(part, Intersect):
+            out.extend(part.parts)
+        elif isinstance(part, AllViews):
+            continue  # intersecting with the universe is a no-op
+        else:
+            out.append(part)
+    return out or [AllViews()]
+
+
+def _flatten_union(parts: list[PlanNode]) -> list[PlanNode]:
+    out: list[PlanNode] = []
+    for part in parts:
+        if isinstance(part, Union):
+            out.extend(part.parts)
+        else:
+            out.append(part)
+    return out

@@ -1,0 +1,293 @@
+"""Recursive-descent parser for iQL.
+
+See :mod:`repro.query` for the grammar by example. Produces the AST of
+:mod:`repro.query.ast`; raises
+:class:`~repro.core.errors.QuerySyntaxError` on malformed input.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from ..core.errors import QuerySyntaxError
+from .ast import (
+    Axis,
+    CompareOp,
+    Comparison,
+    FunctionCall,
+    IntersectExpr,
+    JoinCondition,
+    JoinExpr,
+    KeywordAtom,
+    Literal,
+    Operand,
+    PathExpr,
+    PredAnd,
+    Predicate,
+    PredicateExpr,
+    PredNot,
+    PredOr,
+    QualifiedRef,
+    QueryExpr,
+    Step,
+    UnionExpr,
+)
+from .lexer import Token, TokenKind, tokenize_iql
+
+_REF_KINDS = {"name", "tuple", "class", "content"}
+
+
+def parse_iql(text: str) -> QueryExpr:
+    """Parse one iQL query."""
+    if not text.strip():
+        raise QuerySyntaxError("empty query")
+    parser = _Parser(tokenize_iql(text))
+    query = parser.parse_query()
+    parser.expect(TokenKind.END)
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- cursor helpers -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.END:
+            self.pos += 1
+        return token
+
+    def expect(self, kind: TokenKind, value: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind is not kind or (value is not None and token.value != value):
+            wanted = value if value is not None else kind.value
+            raise QuerySyntaxError(
+                f"expected {wanted!r}, got {token.value!r}",
+                column=token.position,
+            )
+        return self.next()
+
+    def _at_word(self, *values: str) -> bool:
+        token = self.peek()
+        return token.kind is TokenKind.WORD and token.value.lower() in values
+
+    # -- top level ------------------------------------------------------------
+
+    def parse_query(self) -> QueryExpr:
+        token = self.peek()
+        if token.kind in (TokenKind.DSLASH, TokenKind.SLASH):
+            return self.parse_path()
+        if token.kind is TokenKind.LBRACKET:
+            self.next()
+            predicate = self.parse_predicate()
+            self.expect(TokenKind.RBRACKET)
+            return PredicateExpr(predicate)
+        if self._at_word("union") and self.peek(1).kind is TokenKind.LPAREN:
+            return self._parse_multi(UnionExpr)
+        if self._at_word("intersect") and self.peek(1).kind is TokenKind.LPAREN:
+            return self._parse_multi(IntersectExpr)
+        if self._at_word("join") and self.peek(1).kind is TokenKind.LPAREN:
+            return self.parse_join()
+        # bare keyword query like: "Donald" and "Knuth"
+        return PredicateExpr(self.parse_predicate())
+
+    def _parse_multi(self, node_type):
+        self.next()  # union / intersect
+        self.expect(TokenKind.LPAREN)
+        parts = [self.parse_query()]
+        while self.peek().kind is TokenKind.COMMA:
+            self.next()
+            parts.append(self.parse_query())
+        self.expect(TokenKind.RPAREN)
+        if len(parts) < 2:
+            raise QuerySyntaxError(f"{node_type.__name__} needs two operands")
+        return node_type(tuple(parts))
+
+    def parse_join(self) -> JoinExpr:
+        self.next()  # join
+        self.expect(TokenKind.LPAREN)
+        left = self.parse_query()
+        left_var = self._parse_as()
+        self.expect(TokenKind.COMMA)
+        right = self.parse_query()
+        right_var = self._parse_as()
+        self.expect(TokenKind.COMMA)
+        condition = self.parse_join_condition({left_var, right_var})
+        self.expect(TokenKind.RPAREN)
+        return JoinExpr(left, left_var, right, right_var, condition)
+
+    def _parse_as(self) -> str:
+        if not self._at_word("as"):
+            raise QuerySyntaxError("expected 'as <variable>' in join",
+                                   column=self.peek().position)
+        self.next()
+        token = self.expect(TokenKind.WORD)
+        return token.value
+
+    def parse_join_condition(self, variables: set[str]) -> JoinCondition:
+        left = self._parse_qualified_ref(variables)
+        op_token = self.expect(TokenKind.OP)
+        op = CompareOp(op_token.value)
+        token = self.peek()
+        right: Operand
+        if token.kind is TokenKind.WORD and token.value.split(".")[0] in variables:
+            right = self._parse_qualified_ref(variables)
+        else:
+            right = self._parse_literal_operand()
+        return JoinCondition(left, op, right)
+
+    def _parse_qualified_ref(self, variables: set[str]) -> QualifiedRef:
+        token = self.expect(TokenKind.WORD)
+        parts = token.value.split(".")
+        if len(parts) < 2:
+            raise QuerySyntaxError(
+                f"expected a qualified reference like A.name, got {token.value!r}",
+                column=token.position,
+            )
+        variable, kind = parts[0], parts[1]
+        if variable not in variables:
+            raise QuerySyntaxError(f"unknown join variable {variable!r}",
+                                   column=token.position)
+        if kind not in _REF_KINDS:
+            raise QuerySyntaxError(
+                f"unknown component {kind!r} (use name/tuple/class/content)",
+                column=token.position,
+            )
+        attribute = None
+        if kind == "tuple":
+            if len(parts) != 3:
+                raise QuerySyntaxError(
+                    "tuple references need an attribute: A.tuple.<attr>",
+                    column=token.position,
+                )
+            attribute = parts[2]
+        elif len(parts) != 2:
+            raise QuerySyntaxError(f"malformed reference {token.value!r}",
+                                   column=token.position)
+        return QualifiedRef(variable, kind, attribute)
+
+    # -- paths -------------------------------------------------------------------
+
+    def parse_path(self) -> PathExpr:
+        steps: list[Step] = []
+        while self.peek().kind in (TokenKind.DSLASH, TokenKind.SLASH):
+            axis_token = self.next()
+            axis = (Axis.DESCENDANT if axis_token.kind is TokenKind.DSLASH
+                    else Axis.CHILD)
+            name_test: str | None = None
+            token = self.peek()
+            if token.kind is TokenKind.WORD:
+                name_test = self.next().value
+            elif token.kind is TokenKind.STRING:
+                name_test = self.next().value
+            elif token.kind is TokenKind.NUMBER:
+                name_test = self.next().value
+            if name_test == "*":
+                name_test = None  # '*' = any view, same as an empty test
+            predicate = None
+            if self.peek().kind is TokenKind.LBRACKET:
+                self.next()
+                predicate = self.parse_predicate()
+                self.expect(TokenKind.RBRACKET)
+            steps.append(Step(axis, name_test, predicate))
+        if not steps:
+            raise QuerySyntaxError("empty path expression")
+        return PathExpr(tuple(steps))
+
+    # -- predicates ----------------------------------------------------------------
+
+    def parse_predicate(self) -> Predicate:
+        return self._parse_or()
+
+    def _parse_or(self) -> Predicate:
+        parts = [self._parse_and()]
+        while self._at_word("or"):
+            self.next()
+            parts.append(self._parse_and())
+        return parts[0] if len(parts) == 1 else PredOr(tuple(parts))
+
+    def _parse_and(self) -> Predicate:
+        parts = [self._parse_unary()]
+        while self._at_word("and"):
+            self.next()
+            parts.append(self._parse_unary())
+        return parts[0] if len(parts) == 1 else PredAnd(tuple(parts))
+
+    def _parse_unary(self) -> Predicate:
+        if self._at_word("not"):
+            self.next()
+            return PredNot(self._parse_unary())
+        return self._parse_atom()
+
+    def _parse_atom(self) -> Predicate:
+        token = self.peek()
+        if token.kind is TokenKind.LPAREN:
+            self.next()
+            inner = self.parse_predicate()
+            self.expect(TokenKind.RPAREN)
+            return inner
+        if token.kind is TokenKind.STRING:
+            self.next()
+            return KeywordAtom(token.value, is_phrase=True)
+        if token.kind in (TokenKind.WORD, TokenKind.NUMBER):
+            if self.peek(1).kind is TokenKind.OP:
+                return self._parse_comparison()
+            self.next()
+            wildcard = "*" in token.value or "?" in token.value
+            return KeywordAtom(token.value, is_phrase=False, wildcard=wildcard)
+        raise QuerySyntaxError(
+            f"unexpected token {token.value!r} in predicate",
+            column=token.position,
+        )
+
+    def _parse_comparison(self) -> Comparison:
+        attr_token = self.expect(TokenKind.WORD)
+        op_token = self.expect(TokenKind.OP)
+        op = CompareOp(op_token.value)
+        operand = self._parse_literal_operand()
+        return Comparison(attr_token.value, op, operand)
+
+    def _parse_literal_operand(self) -> Operand:
+        token = self.peek()
+        if token.kind is TokenKind.STRING:
+            self.next()
+            return Literal(token.value)
+        if token.kind is TokenKind.NUMBER:
+            self.next()
+            number = float(token.value)
+            return Literal(int(number) if number.is_integer() else number)
+        if token.kind is TokenKind.DATE:
+            self.next()
+            return Literal(_parse_date(token.value, token.position))
+        if token.kind is TokenKind.WORD:
+            if self.peek(1).kind is TokenKind.LPAREN:
+                name = self.next().value
+                self.expect(TokenKind.LPAREN)
+                self.expect(TokenKind.RPAREN)
+                return FunctionCall(name)
+            self.next()
+            return Literal(token.value)  # bare word literal, e.g. class=figure
+        raise QuerySyntaxError(
+            f"expected a literal, got {token.value!r}",
+            column=token.position,
+        )
+
+
+def _parse_date(text: str, position: int) -> datetime:
+    """``DD.MM.YYYY`` (the paper's Q3 uses ``@12.06.2005``)."""
+    parts = text.split(".")
+    if len(parts) != 3:
+        raise QuerySyntaxError(f"bad date literal @{text}", column=position)
+    try:
+        day, month, year = (int(p) for p in parts)
+        return datetime(year, month, day)
+    except ValueError:
+        raise QuerySyntaxError(f"bad date literal @{text}",
+                               column=position) from None

@@ -1,0 +1,457 @@
+"""Physical query plans over the RVM's indexes and replicas.
+
+Every plan node computes a set of view URIs. Leaf nodes hit one index:
+the content full-text index, the name index/replica, the catalog's class
+index, or the vertically partitioned tuple index. Inner nodes combine
+sets (intersect/union/complement) or navigate the group replica
+(:class:`ExpandStep` — the prototype's *forward expansion*).
+
+Cost estimates are deliberately coarse (rule-based optimization, like
+the 2006 prototype — "cost based optimization will be explored as
+another avenue of future work"): each node reports an ordinal cost class
+used to order intersections.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from datetime import date, datetime
+from typing import TYPE_CHECKING
+
+from ..core.errors import QueryExecutionError
+from .ast import Axis, CompareOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .executor import ExecutionContext
+
+
+def wildcard_regex(pattern: str) -> re.Pattern[str]:
+    """Compile a ``*``/``?`` name pattern into an anchored regex."""
+    parts = []
+    for ch in pattern:
+        if ch == "*":
+            parts.append(".*")
+        elif ch == "?":
+            parts.append(".")
+        else:
+            parts.append(re.escape(ch))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+class PlanNode:
+    """Base class: :meth:`execute` returns matching URIs."""
+
+    #: ordinal cost class; lower executes earlier inside intersections
+    COST = 5
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        raise NotImplementedError
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        """Estimated result cardinality (for cost-based ordering).
+
+        The default is pessimistic (the whole dataspace); leaves backed
+        by an index override with real statistics.
+        """
+        return len(ctx.all_uris())
+
+    def explain(self, indent: int = 0) -> str:
+        return "  " * indent + self.describe()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class AllViews(PlanNode):
+    """Every registered view (the complement's universe)."""
+
+    COST = 6
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        return set(ctx.all_uris())
+
+    def describe(self) -> str:
+        return "AllViews"
+
+
+@dataclass
+class RootViews(PlanNode):
+    """The data sources' root views (a leading child-axis step)."""
+
+    COST = 1
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        return ctx.root_uris()
+
+    def describe(self) -> str:
+        return "RootViews"
+
+
+@dataclass
+class ContentSearch(PlanNode):
+    """Full-text lookup on the content index."""
+
+    COST = 3
+    text: str = ""
+    is_phrase: bool = True
+    wildcard: bool = False
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        return ctx.content_search(self.text, is_phrase=self.is_phrase,
+                                  wildcard=self.wildcard)
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return ctx.content_estimate(self.text, is_phrase=self.is_phrase,
+                                    wildcard=self.wildcard)
+
+    def describe(self) -> str:
+        form = "phrase" if self.is_phrase else ("wildcard" if self.wildcard
+                                                else "term")
+        return f"ContentSearch({form}: {self.text!r})"
+
+
+@dataclass
+class NameEquals(PlanNode):
+    """Exact name lookup through the catalog's name index."""
+
+    COST = 1
+    name: str = ""
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        return ctx.name_equals(self.name)
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return len(ctx.name_equals(self.name))
+
+    def describe(self) -> str:
+        return f"NameEquals({self.name!r})"
+
+
+@dataclass
+class NamePattern(PlanNode):
+    """Wildcard name match — a scan over the name replica."""
+
+    COST = 4
+    pattern: str = ""
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        return ctx.name_pattern(self.pattern)
+
+    def describe(self) -> str:
+        return f"NamePattern({self.pattern!r})"
+
+
+@dataclass
+class ClassLookup(PlanNode):
+    """Class-index lookup, subclass-aware (a view of class ``figure``
+    matches ``[class="environment"]`` when figure specializes it)."""
+
+    COST = 1
+    class_name: str = ""
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        return ctx.class_lookup(self.class_name)
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return ctx.class_estimate(self.class_name)
+
+    def describe(self) -> str:
+        return f"ClassLookup({self.class_name!r})"
+
+
+@dataclass
+class TupleCompare(PlanNode):
+    """Comparison on a tuple-component attribute via the tuple index."""
+
+    COST = 2
+    attribute: str = ""
+    op: CompareOp = CompareOp.EQ
+    value: object = None
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        return ctx.tuple_compare(self.attribute, self.op, self.value)
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return ctx.tuple_estimate(self.attribute, self.op)
+
+    def describe(self) -> str:
+        return f"TupleCompare({self.attribute} {self.op.value} {self.value!r})"
+
+
+@dataclass
+class Intersect(PlanNode):
+    parts: tuple[PlanNode, ...] = ()
+
+    @property
+    def COST(self) -> int:  # type: ignore[override]
+        return min((p.COST for p in self.parts), default=5)
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        result: set[str] | None = None
+        for part in self.parts:
+            uris = part.execute(ctx)
+            result = uris if result is None else result & uris
+            if not result:
+                return set()
+        return result if result is not None else set()
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return min((p.estimate(ctx) for p in self.parts),
+                   default=len(ctx.all_uris()))
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + "Intersect"]
+        lines += [p.explain(indent + 1) for p in self.parts]
+        return "\n".join(lines)
+
+
+@dataclass
+class Union(PlanNode):
+    parts: tuple[PlanNode, ...] = ()
+
+    @property
+    def COST(self) -> int:  # type: ignore[override]
+        return max((p.COST for p in self.parts), default=5)
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        result: set[str] = set()
+        for part in self.parts:
+            result |= part.execute(ctx)
+        return result
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return min(len(ctx.all_uris()),
+                   sum(p.estimate(ctx) for p in self.parts))
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + "Union"]
+        lines += [p.explain(indent + 1) for p in self.parts]
+        return "\n".join(lines)
+
+
+@dataclass
+class Complement(PlanNode):
+    """All views not matched by the inner plan (NOT)."""
+
+    part: PlanNode = field(default_factory=AllViews)
+    COST = 6
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        return set(ctx.all_uris()) - self.part.execute(ctx)
+
+    def explain(self, indent: int = 0) -> str:
+        return "  " * indent + "Complement\n" + self.part.explain(indent + 1)
+
+
+@dataclass
+class ExpandStep(PlanNode):
+    """Path-step navigation over the group replica.
+
+    ``axis=DESCENDANT`` relates transitively, ``axis=CHILD`` over one
+    hop. The candidate set is index-computed from the step's name test
+    and predicate — navigation never touches data sources ("queries
+    referring to the group component ... exploit the replicas only").
+
+    Three strategies, after [30] (Kacholia et al.), which the paper
+    names as the planned fix for Q8's forward-expansion cost:
+
+    * ``forward`` — the 2006 prototype's strategy: multi-source BFS from
+      the input set, intersect with the candidates;
+    * ``backward`` — start from the (index-computed) candidates and walk
+      *up* the reverse edges until an input is met;
+    * ``auto`` (bidirectional heuristic) — materialize both sides and
+      expand from the smaller frontier.
+    """
+
+    input: PlanNode = field(default_factory=AllViews)
+    axis: Axis = Axis.DESCENDANT
+    candidates: PlanNode | None = None
+    strategy: str = "forward"  # forward | backward | auto
+    COST = 5
+
+    def execute(self, ctx: "ExecutionContext") -> set[str]:
+        sources = self.input.execute(ctx)
+        if self.strategy == "forward" or self.candidates is None:
+            return self._forward(ctx, sources)
+        candidates = self.candidates.execute(ctx)
+        if self.strategy == "backward":
+            return self._backward(ctx, sources, candidates)
+        # auto: pick the smaller frontier (bidirectional heuristic)
+        if len(candidates) < len(sources):
+            return self._backward(ctx, sources, candidates)
+        return self._forward(ctx, sources, candidates)
+
+    # -- forward expansion -------------------------------------------------
+
+    def _forward(self, ctx: "ExecutionContext", sources: set[str],
+                 candidates: set[str] | None = None) -> set[str]:
+        if self.axis is Axis.CHILD:
+            reached: set[str] = set()
+            for uri in sources:
+                reached.update(ctx.children_of(uri))
+        else:
+            # Multi-source BFS. A node reachable over >= 1 edge belongs in
+            # the result even when it is itself a source (e.g. a figure
+            # view that is both environment-classed and inside a center
+            # environment), so the processed-set is tracked separately.
+            reached = set()
+            processed: set[str] = set()
+            frontier = list(sources)
+            while frontier:
+                uri = frontier.pop()
+                if uri in processed:
+                    continue
+                processed.add(uri)
+                for child in ctx.children_of(uri):
+                    if child not in reached:
+                        reached.add(child)
+                        frontier.append(child)
+        ctx.expanded_views += len(reached)
+        if candidates is not None:
+            return reached & candidates
+        if self.candidates is None:
+            return reached
+        return reached & self.candidates.execute(ctx)
+
+    # -- backward expansion --------------------------------------------------
+
+    def _backward(self, ctx: "ExecutionContext", sources: set[str],
+                  candidates: set[str]) -> set[str]:
+        out: set[str] = set()
+        if self.axis is Axis.CHILD:
+            for uri in candidates:
+                parents = ctx.parents_of(uri)
+                ctx.expanded_views += len(parents)
+                if parents & sources:
+                    out.add(uri)
+            return out
+        for uri in candidates:
+            # BFS up the reverse edges, early-exiting on the first source
+            seen: set[str] = set()
+            frontier = [uri]
+            hit = False
+            while frontier and not hit:
+                current = frontier.pop()
+                for parent in ctx.parents_of(current):
+                    if parent in sources:
+                        hit = True
+                        break
+                    if parent not in seen:
+                        seen.add(parent)
+                        frontier.append(parent)
+            ctx.expanded_views += len(seen)
+            if hit:
+                out.add(uri)
+        return out
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [f"{pad}ExpandStep(axis={self.axis.value}, "
+                 f"strategy={self.strategy})",
+                 self.input.explain(indent + 1)]
+        if self.candidates is not None:
+            lines.append(f"{pad}  candidates:")
+            lines.append(self.candidates.explain(indent + 2))
+        return "\n".join(lines)
+
+
+@dataclass
+class JoinPlan:
+    """A binary join producing (left URI, right URI) pairs.
+
+    Equality conditions run as hash joins (build on the smaller side);
+    inequalities fall back to a nested loop. Key extraction follows the
+    qualified references of the condition.
+    """
+
+    left: PlanNode
+    right: PlanNode
+    left_ref: "object"
+    right_ref: "object"
+    op: CompareOp = CompareOp.EQ
+
+    def execute_pairs(self, ctx: "ExecutionContext") -> list[tuple[str, str]]:
+        from .ast import QualifiedRef
+
+        left_uris = sorted(self.left.execute(ctx))
+        right_uris = sorted(self.right.execute(ctx))
+
+        def key_of(uri: str, ref: object) -> object:
+            if isinstance(ref, QualifiedRef):
+                return ctx.component_value(uri, ref)
+            return ref  # a literal operand
+
+        pairs: list[tuple[str, str]] = []
+        if self.op is CompareOp.EQ:
+            # hash join: build on the smaller input
+            build_left = len(left_uris) <= len(right_uris)
+            build, probe = ((left_uris, right_uris) if build_left
+                            else (right_uris, left_uris))
+            build_ref = self.left_ref if build_left else self.right_ref
+            probe_ref = self.right_ref if build_left else self.left_ref
+            table: dict[object, list[str]] = {}
+            for uri in build:
+                key = key_of(uri, build_ref)
+                if key is not None:
+                    table.setdefault(key, []).append(uri)
+            for uri in probe:
+                key = key_of(uri, probe_ref)
+                if key is None:
+                    continue
+                for match in table.get(key, ()):
+                    pairs.append((match, uri) if build_left else (uri, match))
+        else:
+            compare = _COMPARATORS[self.op]
+            for left_uri in left_uris:
+                left_key = key_of(left_uri, self.left_ref)
+                if left_key is None:
+                    continue
+                for right_uri in right_uris:
+                    right_key = key_of(right_uri, self.right_ref)
+                    if right_key is None:
+                        continue
+                    try:
+                        if compare(left_key, right_key):
+                            pairs.append((left_uri, right_uri))
+                    except TypeError:
+                        continue
+        return sorted(set(pairs))
+
+    def explain(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        return "\n".join([
+            f"{pad}Join({self.op.value})",
+            self.left.explain(indent + 1),
+            self.right.explain(indent + 1),
+        ])
+
+
+def compare_values(op: CompareOp, left: object, right: object) -> bool:
+    """Apply a comparison, tolerating date/datetime mixes."""
+    left, right = _coerce_pair(left, right)
+    try:
+        return _COMPARATORS[op](left, right)
+    except TypeError:
+        raise QueryExecutionError(
+            f"cannot compare {left!r} {op.value} {right!r}"
+        ) from None
+
+
+def _coerce_pair(left: object, right: object) -> tuple[object, object]:
+    if isinstance(left, datetime) and isinstance(right, date) and not isinstance(right, datetime):
+        right = datetime(right.year, right.month, right.day)
+    if isinstance(right, datetime) and isinstance(left, date) and not isinstance(left, datetime):
+        left = datetime(left.year, left.month, left.day)
+    return left, right
+
+
+_COMPARATORS = {
+    CompareOp.EQ: lambda a, b: a == b,
+    CompareOp.NE: lambda a, b: a != b,
+    CompareOp.LT: lambda a, b: a < b,
+    CompareOp.LE: lambda a, b: a <= b,
+    CompareOp.GT: lambda a, b: a > b,
+    CompareOp.GE: lambda a, b: a >= b,
+}

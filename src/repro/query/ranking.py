@@ -1,0 +1,60 @@
+"""Ranked retrieval over resource views.
+
+Section 5.1: "As ongoing work, we are extending iQL to support search
+over all resource view components and ranking of query results." This
+module implements that extension: :func:`ranked_search` scores views by
+a weighted blend of TF-IDF over the content index and over the name
+index (name hits weigh more — a file *called* ``budget.xls`` beats a
+file that merely mentions budgets), optionally filtered by an iQL
+query's result set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..fulltext.scoring import score_tfidf
+from ..rvm.manager import ResourceViewManager
+
+#: Weight of a name-component match relative to a content match.
+NAME_BOOST = 2.0
+
+
+@dataclass(frozen=True)
+class ScoredHit:
+    """One ranked result."""
+
+    uri: str
+    name: str
+    class_name: str
+    score: float
+
+
+def ranked_search(rvm: ResourceViewManager, text: str, *,
+                  limit: int = 10,
+                  within: set[str] | None = None,
+                  name_boost: float = NAME_BOOST) -> list[ScoredHit]:
+    """Rank views against free text, across name and content components.
+
+    ``within`` restricts scoring to a pre-computed URI set (typically an
+    iQL query's result — structure filters, ranking orders).
+    """
+    scores: dict[str, float] = {}
+    for uri, score in score_tfidf(rvm.indexes.content_index, text):
+        if within is None or uri in within:
+            scores[uri] = scores.get(uri, 0.0) + score
+    for uri, score in score_tfidf(rvm.indexes.name_index, text):
+        if within is None or uri in within:
+            scores[uri] = scores.get(uri, 0.0) + name_boost * score
+
+    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    out = []
+    for uri, score in ranked[:limit]:
+        record = rvm.catalog.get(uri)
+        out.append(ScoredHit(
+            uri=uri,
+            name=record.name if record else "",
+            class_name=record.class_name if record else "",
+            score=score,
+        ))
+    return out

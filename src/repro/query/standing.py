@@ -1,0 +1,219 @@
+"""Standing queries: information-filter notifications over the push bus.
+
+The paper lists "publish/subscribe or information filter message
+notifications [15]" among the stream use-cases, and its push operators
+"may register for changes on any of the components of a resource view".
+This module combines the two with iQL: a *standing query* is a
+predicate registered once; every view that enters (or changes in) the
+dataspace is matched against it immediately, and subscribers are
+notified — AGILE-style filtering on top of iDM.
+
+Standing queries use the predicate sub-language (keywords, phrases,
+class/name/tuple comparisons, and/or/not); path navigation would need
+graph context that a single change event does not carry.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.classes import BUILTIN_REGISTRY
+from ..core.errors import QueryError
+from ..core.resource_view import ResourceView
+from ..fulltext.analyzer import DEFAULT_ANALYZER
+from ..pushops import ChangeEvent, ChangeKind, PushBus
+from .ast import (
+    CompareOp,
+    Comparison,
+    FunctionCall,
+    KeywordAtom,
+    Literal,
+    PredAnd,
+    Predicate,
+    PredicateExpr,
+    PredNot,
+    PredOr,
+)
+from .executor import canonical_attribute
+from .functions import FunctionTable
+from .parser import parse_iql
+from .plan import compare_values, wildcard_regex
+
+
+def matches_view(predicate: Predicate, view: ResourceView, *,
+                 functions: FunctionTable | None = None,
+                 content_window: int = 4096,
+                 _terms: list[str] | None = None) -> bool:
+    """Evaluate a predicate against one view, without any index.
+
+    ``_terms`` lets callers that match many predicates against the same
+    view (the standing-query registry) analyze its content only once.
+    """
+    functions = functions if functions is not None else FunctionTable()
+    if isinstance(predicate, PredAnd):
+        return all(matches_view(p, view, functions=functions,
+                                content_window=content_window,
+                                _terms=_terms)
+                   for p in predicate.parts)
+    if isinstance(predicate, PredOr):
+        return any(matches_view(p, view, functions=functions,
+                                content_window=content_window,
+                                _terms=_terms)
+                   for p in predicate.parts)
+    if isinstance(predicate, PredNot):
+        return not matches_view(predicate.part, view, functions=functions,
+                                content_window=content_window,
+                                _terms=_terms)
+    if isinstance(predicate, KeywordAtom):
+        return _matches_keyword(predicate, view, content_window, _terms)
+    if isinstance(predicate, Comparison):
+        return _matches_comparison(predicate, view, functions)
+    raise QueryError(f"cannot match {type(predicate).__name__}")
+
+
+def analyzed_terms(view: ResourceView, *,
+                   content_window: int = 4096) -> list[str]:
+    """The analyzed content terms of one view (for repeated matching)."""
+    content = view.content
+    text = (content.text() if content.is_finite
+            else content.take(content_window))
+    return DEFAULT_ANALYZER.terms(text)
+
+
+def _matches_keyword(atom: KeywordAtom, view: ResourceView,
+                     content_window: int,
+                     terms: list[str] | None = None) -> bool:
+    if terms is None:
+        terms = analyzed_terms(view, content_window=content_window)
+    if atom.wildcard:
+        regex = wildcard_regex(atom.text.lower())
+        return any(regex.match(term) for term in terms)
+    needle = DEFAULT_ANALYZER.terms(atom.text)
+    if not needle:
+        return False
+    if len(needle) == 1 and not atom.is_phrase:
+        return needle[0] in terms
+    # phrase: consecutive positions
+    for start in range(len(terms) - len(needle) + 1):
+        if terms[start:start + len(needle)] == needle:
+            return True
+    return False
+
+
+def _matches_comparison(comparison: Comparison, view: ResourceView,
+                        functions: FunctionTable) -> bool:
+    operand = comparison.operand
+    if isinstance(operand, Literal):
+        value = operand.value
+    elif isinstance(operand, FunctionCall):
+        value = functions.call(operand.name)
+    else:
+        raise QueryError("standing queries cannot use join references")
+
+    attribute = comparison.attribute.lower()
+    if attribute == "class":
+        if comparison.op not in (CompareOp.EQ, CompareOp.NE):
+            raise QueryError("class supports = and != only")
+        matches = (view.class_name is not None
+                   and view.class_name in BUILTIN_REGISTRY
+                   and BUILTIN_REGISTRY.is_subclass(view.class_name,
+                                                    str(value)))
+        if view.class_name == value:
+            matches = True
+        return matches if comparison.op is CompareOp.EQ else not matches
+    if attribute == "name":
+        if comparison.op not in (CompareOp.EQ, CompareOp.NE):
+            raise QueryError("name supports = and != only")
+        text = str(value)
+        if "*" in text or "?" in text:
+            matches = bool(wildcard_regex(text).match(view.name))
+        else:
+            matches = view.name == text
+        return matches if comparison.op is CompareOp.EQ else not matches
+
+    candidate = view.tuple_component.get(
+        canonical_attribute(comparison.attribute)
+    )
+    if candidate is None:
+        return False
+    try:
+        return compare_values(comparison.op, candidate, value)
+    except QueryError:
+        return False
+
+
+@dataclass(frozen=True)
+class Notification:
+    """One standing-query match."""
+
+    subscription_id: int
+    query: str
+    view: ResourceView
+    kind: ChangeKind
+
+
+class StandingQueries:
+    """A registry of standing queries attached to a push bus.
+
+    Events whose payload carries a :class:`ResourceView` (the sync
+    manager publishes the view on registration) are matched against all
+    registered predicates; matching subscribers are called synchronously
+    with a :class:`Notification`.
+    """
+
+    def __init__(self, bus: PushBus, *,
+                 functions: FunctionTable | None = None):
+        self.bus = bus
+        self.functions = functions if functions is not None else FunctionTable()
+        self._subscriptions: dict[
+            int, tuple[str, Predicate, Callable[[Notification], None],
+                       frozenset[ChangeKind]]
+        ] = {}
+        self._ids = itertools.count(1)
+        self.matched = 0
+        bus.subscribe(self._on_event)
+
+    def register(self, query_text: str,
+                 callback: Callable[[Notification], None], *,
+                 on: frozenset[ChangeKind] = frozenset({ChangeKind.ADDED}),
+                 ) -> int:
+        """Register a predicate; returns a subscription id."""
+        ast = parse_iql(query_text)
+        if not isinstance(ast, PredicateExpr):
+            raise QueryError(
+                "standing queries must be predicates (keywords, "
+                "comparisons, boolean combinations)"
+            )
+        subscription_id = next(self._ids)
+        self._subscriptions[subscription_id] = (
+            query_text, ast.predicate, callback, on
+        )
+        return subscription_id
+
+    def cancel(self, subscription_id: int) -> bool:
+        return self._subscriptions.pop(subscription_id, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def _on_event(self, event: ChangeEvent) -> None:
+        view = event.payload
+        if not isinstance(view, ResourceView):
+            return
+        terms: list[str] | None = None
+        for subscription_id, (text, predicate, callback, kinds) in list(
+            self._subscriptions.items()
+        ):
+            if event.kind not in kinds:
+                continue
+            if terms is None:
+                terms = analyzed_terms(view)
+            if matches_view(predicate, view, functions=self.functions,
+                            _terms=terms):
+                self.matched += 1
+                callback(Notification(
+                    subscription_id=subscription_id, query=text,
+                    view=view, kind=event.kind,
+                ))

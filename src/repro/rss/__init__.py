@@ -1,0 +1,15 @@
+"""RSS/ATOM feeds.
+
+The paper notes that RSS/ATOM "streams" are really just XML documents
+republished on a web server — clients must poll. This package provides
+a feed server holding RSS 2.0-shaped XML documents, a generator for feed
+entries, and the generic *polling facility* (Section 4.4.1) that turns
+the polled state into a pseudo data stream of new entries.
+"""
+
+from .feed import FeedEntry, FeedServer, build_feed_xml, parse_feed_xml
+from .poller import FeedPoller
+
+__all__ = [
+    "FeedEntry", "FeedServer", "FeedPoller", "build_feed_xml", "parse_feed_xml",
+]

@@ -1,0 +1,112 @@
+"""RSS 2.0-shaped feed documents.
+
+Feeds are genuine XML, produced and consumed through :mod:`repro.xmlp`,
+so the RSS plugin exercises the same XML substrate as file content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from ..core.errors import FeedError
+from ..xmlp import XmlDocument, XmlElement, XmlText, parse, serialize
+
+
+@dataclass(frozen=True, slots=True)
+class FeedEntry:
+    """One feed item."""
+
+    guid: str
+    title: str
+    description: str
+    published: datetime
+
+
+def build_feed_xml(title: str, entries: list[FeedEntry]) -> str:
+    """Render a feed as RSS 2.0 XML text."""
+    channel = XmlElement("channel")
+    channel.append(_text_element("title", title))
+    for entry in entries:
+        item = XmlElement("item")
+        item.append(_text_element("guid", entry.guid))
+        item.append(_text_element("title", entry.title))
+        item.append(_text_element("description", entry.description))
+        item.append(_text_element("pubDate", entry.published.isoformat()))
+        channel.append(item)
+    rss = XmlElement("rss", attributes={"version": "2.0"})
+    rss.append(channel)
+    return serialize(XmlDocument(root=rss, declaration={"version": "1.0"}))
+
+
+def _text_element(name: str, text: str) -> XmlElement:
+    element = XmlElement(name)
+    element.append(XmlText(text))
+    return element
+
+
+def parse_feed_xml(xml_text: str) -> tuple[str, list[FeedEntry]]:
+    """Parse RSS 2.0 XML back into (channel title, entries)."""
+    document = parse(xml_text)
+    if document.root.name != "rss":
+        raise FeedError(f"not an RSS document (root {document.root.name!r})")
+    channel = document.root.find("channel")
+    if channel is None:
+        raise FeedError("RSS document has no channel")
+    title_element = channel.find("title")
+    title = title_element.text() if title_element is not None else ""
+    entries = []
+    for item in channel.find_all("item"):
+        published_text = _child_text(item, "pubDate")
+        try:
+            published = datetime.fromisoformat(published_text)
+        except ValueError:
+            raise FeedError(f"bad pubDate: {published_text!r}") from None
+        entries.append(FeedEntry(
+            guid=_child_text(item, "guid"),
+            title=_child_text(item, "title"),
+            description=_child_text(item, "description"),
+            published=published,
+        ))
+    return title, entries
+
+
+def _child_text(element: XmlElement, name: str) -> str:
+    child = element.find(name)
+    return child.text() if child is not None else ""
+
+
+class FeedServer:
+    """An in-process "web server" republishing feed documents.
+
+    There is no notification mechanism — exactly like real RSS — so
+    consumers must poll :meth:`get` and diff (see
+    :class:`~repro.rss.poller.FeedPoller`).
+    """
+
+    def __init__(self) -> None:
+        self._feeds: dict[str, tuple[str, list[FeedEntry]]] = {}
+        self.fetch_count = 0
+
+    def publish(self, url: str, title: str,
+                entries: list[FeedEntry] | None = None) -> None:
+        self._feeds[url] = (title, list(entries or []))
+
+    def add_entry(self, url: str, entry: FeedEntry) -> None:
+        try:
+            title, entries = self._feeds[url]
+        except KeyError:
+            raise FeedError(f"no feed at {url!r}") from None
+        entries.append(entry)
+
+    def urls(self) -> list[str]:
+        return sorted(self._feeds)
+
+    def get(self, url: str) -> str:
+        """Fetch the current XML document of a feed (a poll)."""
+        try:
+            title, entries = self._feeds[url]
+        except KeyError:
+            raise FeedError(f"no feed at {url!r}") from None
+        self.fetch_count += 1
+        return build_feed_xml(title, entries)

@@ -1,0 +1,49 @@
+"""The generic polling facility (Section 4.4.1 of the paper).
+
+"If we are not able to obtain a real data stream, we may convert a
+state into a pseudo data stream using a generic polling facility."
+:class:`FeedPoller` does that for RSS: every :meth:`poll` fetches the
+feed document, diffs entry GUIDs against what it has already seen and
+emits only the *new* entries — turning the republished-document state
+into a stream of items.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from .feed import FeedEntry, FeedServer, parse_feed_xml
+
+
+class FeedPoller:
+    """Converts polled feed state into a pseudo stream of new entries."""
+
+    def __init__(self, server: FeedServer, url: str):
+        self.server = server
+        self.url = url
+        self._seen: set[str] = set()
+        self._listeners: list[Callable[[FeedEntry], None]] = []
+
+    def subscribe(self, callback: Callable[[FeedEntry], None]) -> None:
+        """New entries found by future polls are pushed to ``callback``."""
+        self._listeners.append(callback)
+
+    def poll(self) -> list[FeedEntry]:
+        """Fetch, diff, and return (and push) the new entries."""
+        _, entries = parse_feed_xml(self.server.get(self.url))
+        fresh = [e for e in entries if e.guid not in self._seen]
+        for entry in fresh:
+            self._seen.add(entry.guid)
+            for listener in self._listeners:
+                listener(entry)
+        return fresh
+
+    def stream(self, *, max_polls: int) -> Iterator[FeedEntry]:
+        """A bounded pseudo-stream: poll ``max_polls`` times, yielding
+        each new entry as it is discovered."""
+        for _ in range(max_polls):
+            yield from self.poll()
+
+    @property
+    def seen_count(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,147 @@
+"""The Resource View Catalog.
+
+"All resource views managed are registered in that catalog." iMeMex
+implements it on Apache Derby; we implement it on the embedded
+relational store (:mod:`repro.store`), with secondary indexes on name,
+class and authority. The catalog stores *metadata only* — components
+live in their replicas/indexes — and its size contributes the
+"RV Catalog" column of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.identity import ViewId
+from ..core.resource_view import ResourceView
+from ..store import Column, Database, INT, TEXT
+
+
+@dataclass(frozen=True, slots=True)
+class CatalogRecord:
+    """One registered view's catalog metadata."""
+
+    uri: str
+    name: str
+    class_name: str
+    authority: str
+    kind: str           # "base" (from a data source) or "derived" (converter)
+    size: int           # content size in bytes when known
+    child_count: int
+
+    @property
+    def view_id(self) -> ViewId:
+        return ViewId.parse(self.uri)
+
+
+class ResourceViewCatalog:
+    """The catalog table plus typed accessors."""
+
+    def __init__(self) -> None:
+        self._db = Database("rv_catalog")
+        self._table = self._db.create_table(
+            "views",
+            [
+                Column("uri", TEXT, nullable=False),
+                Column("name", TEXT),
+                Column("class_name", TEXT),
+                Column("authority", TEXT),
+                Column("kind", TEXT),
+                Column("size", INT),
+                Column("child_count", INT),
+            ],
+            primary_key="uri",
+        )
+        self._table.create_index("by_name", "name", kind="hash")
+        self._table.create_index("by_class", "class_name", kind="hash")
+        self._table.create_index("by_authority", "authority", kind="hash")
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, view: ResourceView, *, kind: str,
+                 size: int = 0, child_count: int = 0) -> CatalogRecord:
+        """Register (or re-register) one view."""
+        record = CatalogRecord(
+            uri=view.view_id.uri,
+            name=view.name,
+            class_name=view.class_name or "",
+            authority=view.view_id.authority,
+            kind=kind,
+            size=size,
+            child_count=child_count,
+        )
+        row = {
+            "uri": record.uri,
+            "name": record.name,
+            "class_name": record.class_name,
+            "authority": record.authority,
+            "kind": record.kind,
+            "size": record.size,
+            "child_count": record.child_count,
+        }
+        if self._table.get(record.uri) is not None:
+            self._table.update(record.uri, row)
+        else:
+            self._table.insert(row)
+        return record
+
+    def unregister(self, view_id: ViewId | str) -> bool:
+        uri = view_id if isinstance(view_id, str) else view_id.uri
+        return self._table.delete(uri)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def __contains__(self, view_id: object) -> bool:
+        uri = view_id.uri if isinstance(view_id, ViewId) else view_id
+        return self._table.get(uri) is not None
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, view_id: ViewId | str) -> CatalogRecord | None:
+        uri = view_id if isinstance(view_id, str) else view_id.uri
+        row = self._table.get(uri)
+        return self._record(row) if row is not None else None
+
+    def by_name(self, name: str) -> list[CatalogRecord]:
+        return [self._record(r) for r in self._table.lookup("by_name", name)]
+
+    def by_class(self, class_name: str) -> list[CatalogRecord]:
+        return [self._record(r)
+                for r in self._table.lookup("by_class", class_name)]
+
+    def by_authority(self, authority: str) -> list[CatalogRecord]:
+        return [self._record(r)
+                for r in self._table.lookup("by_authority", authority)]
+
+    def all_records(self) -> Iterator[CatalogRecord]:
+        return (self._record(row) for row in self._table.scan())
+
+    def all_uris(self) -> list[str]:
+        return [row["uri"] for row in self._table.scan()]
+
+    @staticmethod
+    def _record(row: dict) -> CatalogRecord:
+        return CatalogRecord(
+            uri=row["uri"], name=row["name"], class_name=row["class_name"],
+            authority=row["authority"], kind=row["kind"], size=row["size"],
+            child_count=row["child_count"],
+        )
+
+    # -- statistics -----------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        return self._db.size_bytes()
+
+    def counts_by_authority(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.all_records():
+            counts[record.authority] = counts.get(record.authority, 0) + 1
+        return counts
+
+    def counts_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for record in self.all_records():
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts

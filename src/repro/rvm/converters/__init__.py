@@ -1,0 +1,47 @@
+"""Content2iDM converters.
+
+"The Content2iDM Converter further enriches the iDM graph provided by
+the data source proxy ... by converting content components to iDM
+subgraphs that reflect the structural information. Currently we provide
+converters for XML and LaTeX." — and so do we, plus a registry so
+applications can add converters for further formats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ...core.identity import ViewId
+from ...core.resource_view import ResourceView
+from ...datamodel.latexmodel import latexfile_group_provider
+from ...datamodel.xmlmodel import xmlfile_group_provider
+
+#: (file name, content, base view id) -> subgraph views or None
+Converter = Callable[[str, str, ViewId], Sequence[ResourceView] | None]
+
+
+class ConverterRegistry:
+    """An ordered chain of converters; the first that applies wins."""
+
+    def __init__(self, converters: Sequence[Converter] = ()):
+        self._converters: list[Converter] = list(converters)
+
+    def register(self, converter: Converter) -> None:
+        self._converters.append(converter)
+
+    def __call__(self, name: str, content: str,
+                 view_id: ViewId) -> Sequence[ResourceView] | None:
+        for converter in self._converters:
+            subgraph = converter(name, content, view_id)
+            if subgraph:
+                return subgraph
+        return None
+
+    def __len__(self) -> int:
+        return len(self._converters)
+
+
+def default_content_converter() -> ConverterRegistry:
+    """The prototype's converter set: LaTeX and XML."""
+    return ConverterRegistry([latexfile_group_provider,
+                              xmlfile_group_provider])

@@ -1,0 +1,236 @@
+"""Saving and loading the RVM's state.
+
+The 2006 prototype kept its catalog in Derby and its full-text indexes
+in Lucene — both durable on disk, so iMeMex did not re-scan the whole
+dataspace on every start. This module gives the reproduction the same
+property: :func:`save_state` serializes the catalog and all four
+index/replica structures to a directory of JSON-lines files, and
+:func:`load_state` restores them into a fresh
+:class:`~repro.rvm.manager.ResourceViewManager`.
+
+A restored RVM answers every index-backed query immediately; live view
+objects are *not* persisted (they are lazy handles into data sources) —
+they re-resolve through the plugins on demand, exactly like after a
+restart of the original system.
+
+The format is deliberately plain: one ``manifest.json`` plus one
+``.jsonl`` file per structure, with ISO-tagged datetimes. It is a
+snapshot format, not a WAL — call :func:`save_state` after syncs.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date, datetime
+from pathlib import Path
+from typing import Any
+
+from ..core.components import TupleComponent
+from ..core.errors import StoreError
+from ..core.identity import ViewId
+from ..core.resource_view import ResourceView
+from .manager import ResourceViewManager
+
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# value (de)serialization
+# ---------------------------------------------------------------------------
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, datetime):
+        return {"__dt__": value.isoformat()}
+    if isinstance(value, date):
+        return {"__date__": value.isoformat()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__dt__" in value:
+            return datetime.fromisoformat(value["__dt__"])
+        if "__date__" in value:
+            return date.fromisoformat(value["__date__"])
+    return value
+
+
+def _write_jsonl(path: Path, rows) -> int:
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row, ensure_ascii=False) + "\n")
+            count += 1
+    return count
+
+
+def _read_jsonl(path: Path):
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+# ---------------------------------------------------------------------------
+# save
+# ---------------------------------------------------------------------------
+
+def save_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
+    """Serialize the RVM's catalog and indexes under ``directory``.
+
+    Returns the manifest that was written.
+    """
+    base = Path(directory)
+    base.mkdir(parents=True, exist_ok=True)
+
+    catalog_rows = (
+        {
+            "uri": record.uri, "name": record.name,
+            "class_name": record.class_name, "authority": record.authority,
+            "kind": record.kind, "size": record.size,
+            "child_count": record.child_count,
+        }
+        for record in rvm.catalog.all_records()
+    )
+    counts = {"catalog": _write_jsonl(base / "catalog.jsonl", catalog_rows)}
+
+    indexes = rvm.indexes
+    counts["names"] = _write_jsonl(
+        base / "names.jsonl",
+        ({"uri": uri, "name": name}
+         for uri, name in indexes.name_index.stored_items()),
+    )
+    # the content index is NOT a replica; persist its postings directly
+    content = indexes.content_index
+    content_rows = (
+        {
+            "term": term,
+            "postings": [[content.key_of(p.doc), p.positions]
+                         for p in content.postings(term)],
+        }
+        for term in sorted(content.terms_matching(lambda t: True))
+    )
+    counts["content_terms"] = _write_jsonl(base / "content.jsonl",
+                                           content_rows)
+    counts["content_docs"] = _write_jsonl(
+        base / "content_docs.jsonl",
+        ({"uri": content.key_of(doc), "length": content.doc_length(doc)}
+         for doc in content.all_doc_ids()),
+    )
+
+    tuple_rows = []
+    for uri in sorted(indexes.tuple_index.all_keys()):
+        component = indexes.tuple_index.tuple_of(uri)
+        assert component is not None
+        tuple_rows.append({
+            "uri": uri,
+            "values": {k: _encode_value(v)
+                       for k, v in component.as_dict().items()},
+        })
+    counts["tuples"] = _write_jsonl(base / "tuples.jsonl", iter(tuple_rows))
+
+    replica = indexes.group_replica
+    group_rows = (
+        {
+            "uri": uri,
+            "children": list(replica.children(uri)),
+            "sequence": list(replica.sequence_children(uri)),
+        }
+        for uri in sorted(replica.uris())
+    )
+    counts["groups"] = _write_jsonl(base / "groups.jsonl", group_rows)
+
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "net_input_bytes": indexes.net_input_bytes,
+        "counts": counts,
+    }
+    (base / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    return manifest
+
+
+# ---------------------------------------------------------------------------
+# load
+# ---------------------------------------------------------------------------
+
+def load_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
+    """Restore a snapshot written by :func:`save_state` into ``rvm``.
+
+    The RVM should be freshly constructed (existing index contents are
+    kept, so loading into a used RVM merges — usually not what you
+    want). Returns the manifest.
+    """
+    base = Path(directory)
+    manifest_path = base / "manifest.json"
+    if not manifest_path.exists():
+        raise StoreError(f"no saved state at {base}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise StoreError(
+            f"unsupported snapshot version {manifest.get('format_version')}"
+        )
+
+    for row in _read_jsonl(base / "catalog.jsonl"):
+        view = ResourceView(
+            row["name"], class_name=row["class_name"] or None,
+            view_id=ViewId.parse(row["uri"]),
+        )
+        rvm.catalog.register(view, kind=row["kind"], size=row["size"],
+                             child_count=row["child_count"])
+
+    for row in _read_jsonl(base / "names.jsonl"):
+        rvm.indexes.name_index.add(row["uri"], row["name"])
+
+    content = rvm.indexes.content_index
+    # register documents first so lengths and ids survive, then postings
+    doc_lengths = {row["uri"]: row["length"]
+                   for row in _read_jsonl(base / "content_docs.jsonl")}
+    for uri in doc_lengths:
+        content.add(uri, "")
+    from ..fulltext.postings import PostingsList
+    for row in _read_jsonl(base / "content.jsonl"):
+        postings = content._terms.setdefault(  # noqa: SLF001 - snapshot restore
+            row["term"], PostingsList()
+        )
+        for uri, positions in row["postings"]:
+            doc = content.doc_of(uri)
+            if doc is None:  # pragma: no cover - defensive
+                continue
+            for position in positions:
+                postings.add(doc, position)
+    # restore document lengths
+    for uri, length in doc_lengths.items():
+        doc = content.doc_of(uri)
+        if doc is not None:
+            content._doc_lengths[doc] = length  # noqa: SLF001
+
+    for row in _read_jsonl(base / "tuples.jsonl"):
+        values = {k: _decode_value(v) for k, v in row["values"].items()}
+        component = (TupleComponent.from_dict(values) if values
+                     else TupleComponent.empty())
+        rvm.indexes.tuple_index.add(row["uri"], component)
+
+    replica = rvm.indexes.group_replica
+    for row in _read_jsonl(base / "groups.jsonl"):
+        children = [_StubView(uri) for uri in row["children"]
+                    if uri not in row["sequence"]]
+        sequence = [_StubView(uri) for uri in row["sequence"]]
+        from ..core.components import GroupComponent, ViewSequence
+        replica.add_group(
+            ViewId.parse(row["uri"]),
+            GroupComponent(set_part=ViewSequence(children),
+                           seq_part=ViewSequence(sequence)),
+        )
+
+    rvm.indexes._net_input_bytes = manifest.get("net_input_bytes", 0)  # noqa: SLF001
+    return manifest
+
+
+class _StubView:
+    """A minimal view-shaped carrier of an id, for replica restoration."""
+
+    __slots__ = ("view_id",)
+
+    def __init__(self, uri: str):
+        self.view_id = ViewId.parse(uri)

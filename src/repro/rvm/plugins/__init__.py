@@ -1,0 +1,11 @@
+"""Data source plugins: filesystem, IMAP email, RSS feeds.
+
+"Currently we provide plugins for file systems, IMAP email servers and
+RSS feeds" — so do we.
+"""
+
+from .fs_plugin import FilesystemPlugin
+from .imap_plugin import ImapPlugin
+from .rss_plugin import RssPlugin
+
+__all__ = ["FilesystemPlugin", "ImapPlugin", "RssPlugin"]

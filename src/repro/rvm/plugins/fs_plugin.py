@@ -1,0 +1,75 @@
+"""The filesystem data source plugin.
+
+Wraps a :class:`~repro.datamodel.filesystem.FilesystemMapper` over a
+virtual filesystem. Supports change notifications (the vfs event bus —
+the analogue of the prototype's Mac OS X file events) and keeps a dirty
+queue for pollers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...core.identity import ViewId
+from ...core.resource_view import ResourceView
+from ...datamodel.filesystem import ContentConverter, FilesystemMapper
+from ...vfs import FsEvent, FsEventKind, VirtualFileSystem
+
+
+class FilesystemPlugin:
+    """Exposes a virtual filesystem as an initial iDM graph."""
+
+    def __init__(self, vfs: VirtualFileSystem, *, authority: str = "fs",
+                 content_converter: ContentConverter | None = None,
+                 root_path: str = "/"):
+        self.authority = authority
+        self.vfs = vfs
+        self.root_path = root_path
+        self.mapper = FilesystemMapper(
+            vfs, authority=authority, content_converter=content_converter
+        )
+        self._callbacks: list[Callable[[ViewId], None]] = []
+        self._dirty: list[ViewId] = []
+        vfs.events.subscribe(self._on_fs_event)
+
+    # -- DataSourcePlugin contract ---------------------------------------------
+
+    def root_views(self) -> list[ResourceView]:
+        return [self.mapper.view_for(self.root_path)]
+
+    def resolve(self, view_id: ViewId) -> ResourceView | None:
+        path = view_id.path.split("#", 1)[0]
+        if not self.vfs.exists(path):
+            return None
+        return self.mapper.view_for(path)
+
+    def subscribe_changes(self, callback: Callable[[ViewId], None]) -> bool:
+        self._callbacks.append(callback)
+        return True
+
+    def poll_changes(self) -> list[ViewId]:
+        changes, self._dirty = self._dirty, []
+        return changes
+
+    def data_source_seconds(self) -> float:
+        return 0.0  # local disk access is part of measured CPU time
+
+    # -- event handling -------------------------------------------------------------
+
+    def _on_fs_event(self, event: FsEvent) -> None:
+        # Invalidate cached views of the changed path and its parents
+        # (a new child changes the parent's group component).
+        paths = [event.path]
+        if event.old_path:
+            paths.append(event.old_path)
+        for path in paths:
+            self.mapper.invalidate(path)
+            parent = path.rsplit("/", 1)[0] or "/"
+            self.mapper.invalidate(parent)
+            view_id = ViewId(self.authority, path)
+            self._dirty.append(view_id)
+            for callback in list(self._callbacks):
+                callback(view_id)
+
+    def deleted(self, event: FsEvent) -> bool:
+        return event.kind is FsEventKind.DELETED

@@ -1,0 +1,83 @@
+"""The RSS feed data source plugin.
+
+RSS has no notification mechanism (the paper's footnote 5), so this
+plugin is polling-only: ``subscribe_changes`` returns False, and
+``poll_changes`` uses one :class:`~repro.rss.poller.FeedPoller` per feed
+to detect new entries.
+
+Each feed is exposed with the paper's alternative representation — the
+feed *state* as an XML document view (name = feed URL, group
+``Q = <V^xmldoc>`` of the current feed document).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ...core.components import GroupComponent
+from ...core.identity import ViewId
+from ...core.resource_view import ResourceView
+from ...datamodel.xmlmodel import xml_to_views
+from ...rss import FeedPoller, FeedServer
+
+
+class RssPlugin:
+    """Exposes the feeds of a feed server as an initial iDM graph."""
+
+    def __init__(self, server: FeedServer, *, authority: str = "rss"):
+        self.authority = authority
+        self.server = server
+        self._pollers: dict[str, FeedPoller] = {}
+        self._versions: dict[str, int] = {}
+
+    def _poller(self, url: str) -> FeedPoller:
+        poller = self._pollers.get(url)
+        if poller is None:
+            poller = self._pollers[url] = FeedPoller(self.server, url)
+        return poller
+
+    def _feed_view(self, url: str) -> ResourceView:
+        view_id = ViewId(self.authority, url)
+        version = self._versions.get(url, 0)
+
+        def group_provider() -> GroupComponent:
+            xml_text = self.server.get(url)
+            document_view = xml_to_views(
+                xml_text, view_id.child(f"v{version}")
+            )
+            return GroupComponent.of_sequence([document_view])
+
+        return ResourceView(
+            name=url,
+            group=group_provider,
+            # The stream form would be class "rssatom"; the state form is
+            # a plain view over an xmldoc (Table 1's alternative).
+            class_name=None,
+            view_id=view_id,
+        )
+
+    # -- DataSourcePlugin contract -----------------------------------------------
+
+    def root_views(self) -> list[ResourceView]:
+        return [self._feed_view(url) for url in self.server.urls()]
+
+    def resolve(self, view_id: ViewId) -> ResourceView | None:
+        url = view_id.path.split("#", 1)[0]
+        if url not in self.server.urls():
+            return None
+        return self._feed_view(url)
+
+    def subscribe_changes(self, callback: Callable[[ViewId], None]) -> bool:
+        return False  # RSS servers push nothing; clients must poll
+
+    def poll_changes(self) -> list[ViewId]:
+        changed = []
+        for url in self.server.urls():
+            fresh = self._poller(url).poll()
+            if fresh:
+                self._versions[url] = self._versions.get(url, 0) + 1
+                changed.append(ViewId(self.authority, url))
+        return changed
+
+    def data_source_seconds(self) -> float:
+        return 0.0

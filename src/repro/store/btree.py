@@ -1,0 +1,271 @@
+"""A B+-tree.
+
+The paper notes that "for tuple component indexes hash-tables or
+B+-trees can be used to provide efficient access"; the embedded store
+uses this tree for secondary indexes and range scans. Keys are arbitrary
+totally-ordered Python values (tuples for composite keys); values are
+lists of row ids (duplicates allowed, as a secondary index requires).
+
+Classic order-``b`` B+-tree: internal nodes hold separator keys, leaves
+hold (key, [row ids]) pairs and are chained for range scans. Deletion
+uses the standard borrow/merge rebalancing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Iterator
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: list[Any] = []
+        self.children: list["_Node"] = []      # internal nodes only
+        self.values: list[list[Any]] = []      # leaves only
+        self.next_leaf: "_Node | None" = None  # leaves only
+
+
+class BPlusTree:
+    """A B+-tree mapping keys to lists of values (duplicate-friendly)."""
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise ValueError("B+-tree order must be >= 4")
+        self.order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0  # number of (key, value) pairs
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _find_leaf(self, key: Any) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            index = bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def get(self, key: Any) -> list[Any]:
+        """All values stored under ``key`` (empty list when absent)."""
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        if index < len(leaf.keys) and leaf.keys[index] == key:
+            return list(leaf.values[index])
+        return []
+
+    def __contains__(self, key: object) -> bool:
+        leaf = self._find_leaf(key)
+        index = bisect_left(leaf.keys, key)
+        return index < len(leaf.keys) and leaf.keys[index] == key
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def key_count(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[Any]:
+        """All keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    def items(self) -> Iterator[tuple[Any, list[Any]]]:
+        """All ``(key, values)`` pairs in ascending key order."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    def range(self, low: Any = None, high: Any = None, *,
+              include_low: bool = True,
+              include_high: bool = True) -> Iterator[tuple[Any, list[Any]]]:
+        """Pairs with ``low <= key <= high`` (bounds optional/exclusive-able)."""
+        if low is None:
+            node = self._root
+            while not node.is_leaf:
+                node = node.children[0]
+            index = 0
+        else:
+            node = self._find_leaf(low)
+            index = (bisect_left(node.keys, low) if include_low
+                     else bisect_right(node.keys, low))
+        while node is not None:
+            while index < len(node.keys):
+                key = node.keys[index]
+                if high is not None:
+                    if key > high or (key == high and not include_high):
+                        return
+                yield key, node.values[index]
+                index += 1
+            node = node.next_leaf
+            index = 0
+
+    # -- insert ---------------------------------------------------------------
+
+    def insert(self, key: Any, value: Any) -> None:
+        """Add ``value`` under ``key`` (duplicates accumulate)."""
+        root = self._root
+        if len(root.keys) >= self.order:
+            new_root = _Node(is_leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, value)
+        self._size += 1
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while not node.is_leaf:
+            index = bisect_right(node.keys, key)
+            child = node.children[index]
+            if len(child.keys) >= self.order:
+                self._split_child(node, index)
+                if key >= node.keys[index]:
+                    index += 1
+            node = node.children[index]
+        index = bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            node.values[index].append(value)
+        else:
+            node.keys.insert(index, key)
+            node.values.insert(index, [value])
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        middle = len(child.keys) // 2
+        sibling = _Node(is_leaf=child.is_leaf)
+        if child.is_leaf:
+            sibling.keys = child.keys[middle:]
+            sibling.values = child.values[middle:]
+            child.keys = child.keys[:middle]
+            child.values = child.values[:middle]
+            sibling.next_leaf = child.next_leaf
+            child.next_leaf = sibling
+            separator = sibling.keys[0]
+        else:
+            separator = child.keys[middle]
+            sibling.keys = child.keys[middle + 1:]
+            sibling.children = child.children[middle + 1:]
+            child.keys = child.keys[:middle]
+            child.children = child.children[:middle + 1]
+        parent.keys.insert(index, separator)
+        parent.children.insert(index + 1, sibling)
+
+    # -- delete ---------------------------------------------------------------
+
+    def remove(self, key: Any, value: Any | None = None) -> bool:
+        """Remove one value (or the whole key when ``value is None``).
+
+        Returns True when something was removed. Rebalances so that the
+        tree stays within B+-tree occupancy invariants.
+        """
+        removed = self._remove(self._root, key, value)
+        if removed:
+            if not self._root.is_leaf and len(self._root.children) == 1:
+                self._root = self._root.children[0]
+        return removed
+
+    def _remove(self, node: _Node, key: Any, value: Any | None) -> bool:
+        if node.is_leaf:
+            index = bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                return False
+            if value is None:
+                self._size -= len(node.values[index])
+                del node.keys[index]
+                del node.values[index]
+            else:
+                try:
+                    node.values[index].remove(value)
+                except ValueError:
+                    return False
+                self._size -= 1
+                if not node.values[index]:
+                    del node.keys[index]
+                    del node.values[index]
+            return True
+        index = bisect_right(node.keys, key)
+        child = node.children[index]
+        removed = self._remove(child, key, value)
+        if removed:
+            minimum = self.order // 2
+            if len(child.keys) < minimum // 2:
+                self._rebalance(node, index)
+        return removed
+
+    def _rebalance(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        left = parent.children[index - 1] if index > 0 else None
+        right = parent.children[index + 1] if index + 1 < len(parent.children) else None
+        minimum = max(1, self.order // 4)
+
+        if left is not None and len(left.keys) > minimum:
+            # borrow from left sibling
+            if child.is_leaf:
+                child.keys.insert(0, left.keys.pop())
+                child.values.insert(0, left.values.pop())
+                parent.keys[index - 1] = child.keys[0]
+            else:
+                child.keys.insert(0, parent.keys[index - 1])
+                parent.keys[index - 1] = left.keys.pop()
+                child.children.insert(0, left.children.pop())
+            return
+        if right is not None and len(right.keys) > minimum:
+            # borrow from right sibling
+            if child.is_leaf:
+                child.keys.append(right.keys.pop(0))
+                child.values.append(right.values.pop(0))
+                parent.keys[index] = right.keys[0]
+            else:
+                child.keys.append(parent.keys[index])
+                parent.keys[index] = right.keys.pop(0)
+                child.children.append(right.children.pop(0))
+            return
+        # merge with a sibling
+        if left is not None:
+            self._merge(parent, index - 1)
+        elif right is not None:
+            self._merge(parent, index)
+
+    def _merge(self, parent: _Node, index: int) -> None:
+        left = parent.children[index]
+        right = parent.children[index + 1]
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        del parent.keys[index]
+        del parent.children[index + 1]
+
+    # -- statistics --------------------------------------------------------------
+
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def size_bytes(self) -> int:
+        """Approximate memory/disk footprint for size accounting."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += 16  # node header
+            total += 8 * len(node.keys)
+            if node.is_leaf:
+                total += sum(8 * len(v) for v in node.values)
+            else:
+                total += 8 * len(node.children)
+                stack.extend(node.children)
+        return total

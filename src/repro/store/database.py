@@ -1,0 +1,50 @@
+"""The embedded database: a named collection of tables."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..core.errors import TableError
+from .schema import Column, TableSchema
+from .table import Table
+
+
+class Database:
+    """A single-process, in-memory relational database."""
+
+    def __init__(self, name: str = "idm"):
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[Column],
+                     primary_key: Sequence[str] | str | None = None) -> Table:
+        if name in self._tables:
+            raise TableError(f"table {name!r} already exists")
+        table = Table(name, TableSchema(columns, primary_key))
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise TableError(f"no table {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableError(f"no table {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._tables
+
+    def tables(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def size_bytes(self) -> int:
+        """Total footprint of all tables (feeds the RV Catalog column of
+        Table 3)."""
+        return sum(table.size_bytes() for table in self._tables.values())

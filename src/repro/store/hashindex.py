@@ -1,0 +1,61 @@
+"""A hash index: equality lookups only, duplicate-friendly.
+
+The lighter sibling of :class:`~repro.store.btree.BPlusTree` — the paper
+names both as suitable tuple-component index structures. Used by the
+catalog for exact-match columns (class name, authority).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class HashIndex:
+    """Maps hashable keys to lists of values."""
+
+    __slots__ = ("_buckets", "_size")
+
+    def __init__(self) -> None:
+        self._buckets: dict[Any, list[Any]] = {}
+        self._size = 0
+
+    def insert(self, key: Any, value: Any) -> None:
+        self._buckets.setdefault(key, []).append(value)
+        self._size += 1
+
+    def get(self, key: Any) -> list[Any]:
+        return list(self._buckets.get(key, ()))
+
+    def remove(self, key: Any, value: Any | None = None) -> bool:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return False
+        if value is None:
+            self._size -= len(bucket)
+            del self._buckets[key]
+            return True
+        try:
+            bucket.remove(value)
+        except ValueError:
+            return False
+        self._size -= 1
+        if not bucket:
+            del self._buckets[key]
+        return True
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._buckets
+
+    def __len__(self) -> int:
+        return self._size
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._buckets)
+
+    def size_bytes(self) -> int:
+        total = 0
+        for key, values in self._buckets.items():
+            key_size = (len(key.encode("utf-8", "replace")) + 4
+                        if isinstance(key, str) else 8)
+            total += key_size + 8 * len(values) + 16
+        return total

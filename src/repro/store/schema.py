@@ -1,0 +1,103 @@
+"""Table schemas for the embedded store."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+from ..core.errors import TableError
+from .types import ColumnType
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """One column: name, type, nullability."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = True
+
+    def __str__(self) -> str:
+        null = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.type.name}{null}"
+
+
+class TableSchema:
+    """An ordered list of columns plus an optional primary key.
+
+    Primary key columns are implicitly NOT NULL, mirroring SQL.
+    """
+
+    __slots__ = ("_columns", "_positions", "primary_key")
+
+    def __init__(self, columns: Sequence[Column],
+                 primary_key: Sequence[str] | str | None = None):
+        if not columns:
+            raise TableError("a table needs at least one column")
+        self._positions: dict[str, int] = {}
+        normalized: list[Column] = []
+        if isinstance(primary_key, str):
+            primary_key = (primary_key,)
+        key = tuple(primary_key) if primary_key else ()
+        for column in columns:
+            if column.name in self._positions:
+                raise TableError(f"duplicate column {column.name!r}")
+            if column.name in key and column.nullable:
+                column = Column(column.name, column.type, nullable=False)
+            self._positions[column.name] = len(normalized)
+            normalized.append(column)
+        self._columns = tuple(normalized)
+        for name in key:
+            if name not in self._positions:
+                raise TableError(f"primary key column {name!r} not in schema")
+        self.primary_key = key
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def position(self, name: str) -> int:
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise TableError(f"unknown column {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._positions
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def validate_row(self, values: Sequence[Any]) -> tuple[Any, ...]:
+        """Validate and normalize one row; returns the stored tuple."""
+        if len(values) != len(self._columns):
+            raise TableError(
+                f"expected {len(self._columns)} values, got {len(values)}"
+            )
+        for column, value in zip(self._columns, values):
+            column.type.validate(value, nullable=column.nullable)
+        return tuple(values)
+
+    def row_from_dict(self, mapping: dict[str, Any]) -> tuple[Any, ...]:
+        """Build a row from a name→value dict; missing columns get NULL."""
+        unknown = set(mapping) - set(self._positions)
+        if unknown:
+            raise TableError(f"unknown columns: {sorted(unknown)}")
+        return self.validate_row(
+            tuple(mapping.get(c.name) for c in self._columns)
+        )
+
+    def key_of(self, row: Sequence[Any]) -> tuple[Any, ...]:
+        """Extract the primary key values of a row."""
+        return tuple(row[self._positions[name]] for name in self.primary_key)
+
+    def row_size(self, row: Sequence[Any]) -> int:
+        """Approximate serialized row size (plus a small header)."""
+        return 8 + sum(c.type.size_of(v) for c, v in zip(self._columns, row))

@@ -1,0 +1,64 @@
+"""Column types for the embedded store.
+
+Each type validates Python values and estimates their serialized size;
+size estimates roll up through rows and tables into the page-based
+numbers the benchmark harness reports for the Resource View Catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime
+from typing import Any
+
+from ..core.errors import TableError
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnType:
+    """A column type: name, accepted Python types, size estimator."""
+
+    name: str
+    python_types: tuple[type, ...]
+    fixed_size: int | None = None  # bytes; None = variable length
+
+    def validate(self, value: Any, *, nullable: bool) -> None:
+        if value is None:
+            if not nullable:
+                raise TableError(f"NULL not allowed for type {self.name}")
+            return
+        if isinstance(value, bool) and bool not in self.python_types:
+            raise TableError(f"value {value!r} is not a {self.name}")
+        if not isinstance(value, self.python_types):
+            raise TableError(
+                f"value {value!r} ({type(value).__name__}) is not a {self.name}"
+            )
+
+    def size_of(self, value: Any) -> int:
+        """Approximate serialized size of one value (1 byte for NULL)."""
+        if value is None:
+            return 1
+        if self.fixed_size is not None:
+            return self.fixed_size
+        if isinstance(value, str):
+            return len(value.encode("utf-8", "replace")) + 4
+        if isinstance(value, bytes):
+            return len(value) + 4
+        return 8
+
+
+INT = ColumnType("int", (int,), fixed_size=8)
+REAL = ColumnType("real", (float, int), fixed_size=8)
+BOOL = ColumnType("bool", (bool,), fixed_size=1)
+TEXT = ColumnType("text", (str,))
+BLOB = ColumnType("blob", (bytes,))
+DATE = ColumnType("date", (date, datetime), fixed_size=8)
+
+_BY_NAME = {t.name: t for t in (INT, REAL, BOOL, TEXT, BLOB, DATE)}
+
+
+def type_by_name(name: str) -> ColumnType:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise TableError(f"unknown column type {name!r}") from None

@@ -1,0 +1,13 @@
+"""The tuple-component index & replica.
+
+iMeMex keeps "a replica of all resource views' tuple components ...
+in-memory and an auxiliary sorted index structure ... based on vertical
+partitioning [11]" (the Copeland/Khoshafian decomposition storage
+model). This package reproduces that structure: one sorted column per
+attribute with binary-search equality and range lookups, plus the
+in-memory replica the queries' tuple predicates evaluate against.
+"""
+
+from .vertical import TupleIndex, VerticalColumn
+
+__all__ = ["TupleIndex", "VerticalColumn"]

@@ -1,0 +1,234 @@
+"""Vertically partitioned tuple index (decomposition storage model).
+
+Every attribute that appears in any indexed tuple component gets its own
+:class:`VerticalColumn`: a sorted array of ``(value, key)`` pairs.
+Because schemas in iDM are per-tuple, different views contribute
+different attribute subsets — vertical partitioning handles that
+naturally, with each view appearing only in the columns of attributes it
+actually has.
+
+Values of mixed types sort within type groups (all ints/floats/dates
+together, all strings together); cross-type comparisons never happen
+because each query predicate compares against one concrete value and
+only scans that value's group.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from datetime import date, datetime
+from typing import Any, Iterator
+
+from ..core.components import TupleComponent
+
+#: Sort-group tags. Within a column, pairs are ordered by (group, value).
+_GROUP_NUMBER = 0
+_GROUP_TEXT = 1
+_GROUP_OTHER = 2
+
+
+def _sort_key(value: Any) -> tuple[int, Any]:
+    if isinstance(value, bool):
+        return (_GROUP_NUMBER, float(value))
+    if isinstance(value, (int, float)):
+        return (_GROUP_NUMBER, float(value))
+    if isinstance(value, datetime):
+        return (_GROUP_NUMBER, value.timestamp())
+    if isinstance(value, date):
+        return (_GROUP_NUMBER,
+                datetime(value.year, value.month, value.day).timestamp())
+    if isinstance(value, str):
+        return (_GROUP_TEXT, value)
+    return (_GROUP_OTHER, repr(value))
+
+
+class VerticalColumn:
+    """One attribute's sorted column of ``(value, key)`` pairs."""
+
+    __slots__ = ("name", "_entries")
+
+    def __init__(self, name: str):
+        self.name = name
+        # entries are ((group, comparable), key, original_value)
+        self._entries: list[tuple[tuple[int, Any], str, Any]] = []
+
+    def insert(self, key: str, value: Any) -> None:
+        insort(self._entries, (_sort_key(value), key, value))
+
+    def remove(self, key: str, value: Any) -> bool:
+        probe = (_sort_key(value), key, value)
+        index = bisect_left(self._entries, probe)
+        if index < len(self._entries) and self._entries[index] == probe:
+            del self._entries[index]
+            return True
+        # fall back: same sort key, any position (e.g. equal-sorting values)
+        sort_key = _sort_key(value)
+        index = bisect_left(self._entries, (sort_key,))
+        while index < len(self._entries) and self._entries[index][0] == sort_key:
+            if self._entries[index][1] == key:
+                del self._entries[index]
+                return True
+            index += 1
+        return False
+
+    def equals(self, value: Any) -> list[str]:
+        sort_key = _sort_key(value)
+        low = bisect_left(self._entries, (sort_key,))
+        out = []
+        while low < len(self._entries) and self._entries[low][0] == sort_key:
+            out.append(self._entries[low][1])
+            low += 1
+        return out
+
+    def range(self, low: Any = None, high: Any = None, *,
+              include_low: bool = True, include_high: bool = True) -> list[str]:
+        """Keys with ``low <= value <= high`` (one type group only)."""
+        if low is None and high is None:
+            return [key for _, key, _ in self._entries]
+        anchor = low if low is not None else high
+        group = _sort_key(anchor)[0]
+        if low is not None:
+            start = bisect_left(self._entries, (_sort_key(low),))
+        else:
+            start = bisect_left(self._entries, ((group,),))
+        out = []
+        for index in range(start, len(self._entries)):
+            sort_key, key, _ = self._entries[index]
+            if sort_key[0] != group:
+                break
+            if high is not None:
+                high_key = _sort_key(high)
+                if sort_key > high_key or (sort_key == high_key and not include_high):
+                    break
+            if low is not None and not include_low and sort_key == _sort_key(low):
+                continue
+            out.append(key)
+        return out
+
+    def values(self) -> Iterator[tuple[Any, str]]:
+        for _, key, value in self._entries:
+            yield value, key
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def size_bytes(self) -> int:
+        total = 0
+        for _, key, value in self._entries:
+            total += len(key.encode("utf-8")) + 8
+            if isinstance(value, str):
+                total += len(value.encode("utf-8", "replace")) + 4
+            else:
+                total += 8
+        return total
+
+
+class TupleIndex:
+    """Replica + vertically partitioned index of tuple components.
+
+    ``add(key, tuple_component)`` replicates the component and spreads
+    its attributes over the per-attribute sorted columns. Lookups return
+    external keys; :meth:`tuple_of` serves the replica (this structure,
+    unlike the content index, *is* a replica — queries can read tuple
+    values back without touching the data source).
+    """
+
+    def __init__(self) -> None:
+        self._columns: dict[str, VerticalColumn] = {}
+        self._replica: dict[str, TupleComponent] = {}
+
+    # -- writes -----------------------------------------------------------------
+
+    def add(self, key: str, component: TupleComponent) -> None:
+        if key in self._replica:
+            self.remove(key)
+        self._replica[key] = component
+        if component.is_empty:
+            return
+        for attribute, value in component.as_dict().items():
+            if value is None:
+                continue
+            column = self._columns.get(attribute)
+            if column is None:
+                column = self._columns[attribute] = VerticalColumn(attribute)
+            column.insert(key, value)
+
+    def remove(self, key: str) -> bool:
+        component = self._replica.pop(key, None)
+        if component is None:
+            return False
+        if not component.is_empty:
+            for attribute, value in component.as_dict().items():
+                if value is None:
+                    continue
+                column = self._columns.get(attribute)
+                if column is not None:
+                    column.remove(key, value)
+                    if not len(column):
+                        del self._columns[attribute]
+        return True
+
+    # -- reads -------------------------------------------------------------------
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._replica
+
+    def __len__(self) -> int:
+        return len(self._replica)
+
+    def tuple_of(self, key: str) -> TupleComponent | None:
+        """Serve the replicated tuple component."""
+        return self._replica.get(key)
+
+    def attributes(self) -> list[str]:
+        return sorted(self._columns)
+
+    def equals(self, attribute: str, value: Any) -> set[str]:
+        column = self._columns.get(attribute)
+        return set(column.equals(value)) if column else set()
+
+    def range(self, attribute: str, low: Any = None, high: Any = None,
+              **bounds: bool) -> set[str]:
+        column = self._columns.get(attribute)
+        return set(column.range(low, high, **bounds)) if column else set()
+
+    def greater_than(self, attribute: str, value: Any, *,
+                     inclusive: bool = False) -> set[str]:
+        return self.range(attribute, low=value, include_low=inclusive)
+
+    def less_than(self, attribute: str, value: Any, *,
+                  inclusive: bool = False) -> set[str]:
+        return self.range(attribute, high=value, include_high=inclusive)
+
+    def keys_with_attribute(self, attribute: str) -> set[str]:
+        column = self._columns.get(attribute)
+        if column is None:
+            return set()
+        return {key for _, key in column.values()}
+
+    def all_keys(self) -> set[str]:
+        return set(self._replica)
+
+    # -- statistics -----------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Replica + columns footprint (the Tuple column of Table 3)."""
+        replica = 0
+        for key, component in self._replica.items():
+            replica += len(key.encode("utf-8")) + 16
+            if not component.is_empty:
+                for attribute, value in component.as_dict().items():
+                    replica += len(attribute.encode("utf-8")) + 4
+                    if isinstance(value, str):
+                        replica += len(value.encode("utf-8", "replace")) + 4
+                    else:
+                        replica += 8
+        columns = sum(c.size_bytes() for c in self._columns.values())
+        return replica + columns
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "tuples": len(self._replica),
+            "attributes": len(self._columns),
+            "size_bytes": self.size_bytes(),
+        }

@@ -1,0 +1,19 @@
+"""A virtual filesystem with metadata and change notifications.
+
+The paper's prototype scans an NTFS volume and subscribes to Mac OS X
+file events. This package provides the equivalent in-process substrate:
+a hierarchical namespace of files, folders and folder *links* (which
+create the cyclic graph of Figure 1), per-node metadata matching the
+paper's ``W_FS`` (size, creation time, last modified time), a
+deterministic logical clock, and an event bus the Synchronization
+Manager subscribes to.
+"""
+
+from .clock import LogicalClock
+from .events import FsEvent, FsEventKind
+from .vfs import DirectoryEntry, FileEntry, LinkEntry, VirtualFileSystem
+
+__all__ = [
+    "LogicalClock", "FsEvent", "FsEventKind",
+    "DirectoryEntry", "FileEntry", "LinkEntry", "VirtualFileSystem",
+]

@@ -1,0 +1,44 @@
+"""A deterministic logical clock.
+
+Simulated subsystems (filesystem, IMAP server, feeds) need timestamps,
+but wall-clock time would make datasets and benchmarks non-reproducible.
+:class:`LogicalClock` hands out strictly increasing datetimes derived
+from a tick counter anchored at a fixed epoch (the paper's era, 2005).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+
+class LogicalClock:
+    """Strictly increasing, deterministic datetimes."""
+
+    #: One tick's worth of simulated time.
+    DEFAULT_STEP = timedelta(seconds=61)
+
+    def __init__(self, epoch: datetime | None = None,
+                 step: timedelta | None = None):
+        self.epoch = epoch if epoch is not None else datetime(2005, 1, 1, 8, 0, 0)
+        self.step = step if step is not None else self.DEFAULT_STEP
+        self._ticks = 0
+
+    def now(self) -> datetime:
+        """The current simulated time (does not advance)."""
+        return self.epoch + self._ticks * self.step
+
+    def tick(self) -> datetime:
+        """Advance one step and return the new time."""
+        self._ticks += 1
+        return self.now()
+
+    def advance(self, ticks: int) -> datetime:
+        """Advance several steps at once."""
+        if ticks < 0:
+            raise ValueError("the clock cannot go backwards")
+        self._ticks += ticks
+        return self.now()
+
+    @property
+    def ticks(self) -> int:
+        return self._ticks

@@ -1,0 +1,63 @@
+"""Filesystem change events.
+
+The paper's Synchronization Manager "is able to subscribe to file events
+of the hpfs file system created by Mac OS X"; the virtual filesystem
+reproduces that contract with an in-process event bus.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+
+class FsEventKind(enum.Enum):
+    CREATED = "created"
+    MODIFIED = "modified"
+    DELETED = "deleted"
+    MOVED = "moved"
+
+
+@dataclass(frozen=True, slots=True)
+class FsEvent:
+    """One change notification. ``old_path`` is set for moves."""
+
+    kind: FsEventKind
+    path: str
+    old_path: str | None = None
+
+
+Subscriber = Callable[[FsEvent], None]
+
+
+class EventBus:
+    """Synchronous fan-out of events to subscribers.
+
+    Delivery is in subscription order and synchronous — the simulated
+    subsystems are single-threaded, as was the prototype's indexing
+    pipeline.
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[Subscriber] = []
+
+    def subscribe(self, callback: Subscriber) -> Callable[[], None]:
+        """Register ``callback``; returns an unsubscribe function."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def publish(self, event: FsEvent) -> None:
+        for callback in list(self._subscribers):
+            callback(event)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)

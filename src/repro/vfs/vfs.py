@@ -1,0 +1,305 @@
+"""The virtual filesystem.
+
+A hierarchical namespace of three entry kinds:
+
+* :class:`FileEntry` — name, text content, ``W_FS`` metadata;
+* :class:`DirectoryEntry` — named children;
+* :class:`LinkEntry` — a folder link pointing at another absolute path.
+  Links are what let a files&folders tree become a *graph*: the paper's
+  Figure 1 shows an 'All Projects' link inside 'PIM' pointing back at
+  the top-level 'Projects' folder, closing a cycle.
+
+Paths are ``/``-separated absolute strings. All mutation methods emit
+:class:`~repro.vfs.events.FsEvent` notifications and advance the
+filesystem's logical clock, so creation/modification times are
+deterministic and strictly ordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Iterator
+
+from ..core.errors import VfsError
+from .clock import LogicalClock
+from .events import EventBus, FsEvent, FsEventKind
+
+
+@dataclass
+class _Entry:
+    name: str
+    created: datetime
+    modified: datetime
+
+
+@dataclass
+class FileEntry(_Entry):
+    content: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.content.encode("utf-8", "replace"))
+
+
+@dataclass
+class DirectoryEntry(_Entry):
+    children: dict[str, "_Entry"] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return 4096  # conventional directory size, as in the paper's example
+
+
+@dataclass
+class LinkEntry(_Entry):
+    target: str = "/"
+
+    @property
+    def size(self) -> int:
+        return len(self.target)
+
+
+def _split(path: str) -> list[str]:
+    if not path.startswith("/"):
+        raise VfsError(f"path must be absolute: {path!r}")
+    return [part for part in path.split("/") if part]
+
+
+def _normalize(path: str) -> str:
+    return "/" + "/".join(_split(path))
+
+
+class VirtualFileSystem:
+    """An in-memory filesystem with events and deterministic times."""
+
+    def __init__(self, clock: LogicalClock | None = None):
+        self.clock = clock if clock is not None else LogicalClock()
+        now = self.clock.now()
+        self._root = DirectoryEntry(name="", created=now, modified=now)
+        self.events = EventBus()
+
+    # -- navigation ---------------------------------------------------------
+
+    def _lookup(self, path: str) -> _Entry:
+        entry: _Entry = self._root
+        for part in _split(path):
+            if not isinstance(entry, DirectoryEntry):
+                raise VfsError(f"not a directory on the way to {path!r}")
+            try:
+                entry = entry.children[part]
+            except KeyError:
+                raise VfsError(f"no such entry: {path!r}") from None
+        return entry
+
+    def _parent_of(self, path: str) -> tuple[DirectoryEntry, str]:
+        parts = _split(path)
+        if not parts:
+            raise VfsError("the root has no parent")
+        parent = self._lookup("/" + "/".join(parts[:-1]))
+        if not isinstance(parent, DirectoryEntry):
+            raise VfsError(f"parent of {path!r} is not a directory")
+        return parent, parts[-1]
+
+    def exists(self, path: str) -> bool:
+        try:
+            self._lookup(path)
+            return True
+        except VfsError:
+            return False
+
+    def is_dir(self, path: str) -> bool:
+        try:
+            return isinstance(self._lookup(path), DirectoryEntry)
+        except VfsError:
+            return False
+
+    def is_file(self, path: str) -> bool:
+        try:
+            return isinstance(self._lookup(path), FileEntry)
+        except VfsError:
+            return False
+
+    def is_link(self, path: str) -> bool:
+        try:
+            return isinstance(self._lookup(path), LinkEntry)
+        except VfsError:
+            return False
+
+    def entry(self, path: str) -> _Entry:
+        """The raw entry at ``path`` (no link resolution)."""
+        return self._lookup(path)
+
+    def resolve_link(self, path: str) -> str:
+        entry = self._lookup(path)
+        if not isinstance(entry, LinkEntry):
+            raise VfsError(f"{path!r} is not a link")
+        return entry.target
+
+    def listdir(self, path: str = "/") -> list[str]:
+        entry = self._lookup(path)
+        if not isinstance(entry, DirectoryEntry):
+            raise VfsError(f"{path!r} is not a directory")
+        return sorted(entry.children)
+
+    def stat(self, path: str) -> dict[str, object]:
+        """``W_FS``-shaped metadata: size, created, modified, kind, path."""
+        entry = self._lookup(path)
+        kind = ("dir" if isinstance(entry, DirectoryEntry)
+                else "link" if isinstance(entry, LinkEntry) else "file")
+        return {
+            "size": entry.size,
+            "created": entry.created,
+            "modified": entry.modified,
+            "kind": kind,
+            "path": _normalize(path),
+        }
+
+    def read(self, path: str) -> str:
+        entry = self._lookup(path)
+        if not isinstance(entry, FileEntry):
+            raise VfsError(f"{path!r} is not a file")
+        return entry.content
+
+    def walk(self, path: str = "/") -> Iterator[tuple[str, list[str], list[str]]]:
+        """Like :func:`os.walk`: yields (dirpath, dirnames, filenames).
+
+        Links are reported with the files (they are leaves of the tree
+        walk; the graph structure they add is the converter's business).
+        """
+        entry = self._lookup(path)
+        if not isinstance(entry, DirectoryEntry):
+            raise VfsError(f"{path!r} is not a directory")
+        normalized = _normalize(path)
+        directories = []
+        files = []
+        for name, child in sorted(entry.children.items()):
+            if isinstance(child, DirectoryEntry):
+                directories.append(name)
+            else:
+                files.append(name)
+        yield normalized, directories, files
+        for name in directories:
+            child_path = normalized.rstrip("/") + "/" + name
+            yield from self.walk(child_path)
+
+    # -- mutation --------------------------------------------------------------
+
+    def mkdir(self, path: str, *, parents: bool = False) -> None:
+        parts = _split(path)
+        entry: _Entry = self._root
+        walked: list[str] = []
+        for index, part in enumerate(parts):
+            if not isinstance(entry, DirectoryEntry):
+                raise VfsError(f"not a directory: /{'/'.join(walked)}")
+            walked.append(part)
+            child = entry.children.get(part)
+            is_last = index == len(parts) - 1
+            if child is None:
+                if not is_last and not parents:
+                    raise VfsError(f"missing parent: /{'/'.join(walked)}")
+                now = self.clock.tick()
+                child = DirectoryEntry(name=part, created=now, modified=now)
+                entry.children[part] = child
+                self.events.publish(
+                    FsEvent(FsEventKind.CREATED, "/" + "/".join(walked))
+                )
+            elif is_last:
+                raise VfsError(f"entry exists: {path!r}")
+            entry = child
+
+    def write_file(self, path: str, content: str, *,
+                   parents: bool = False) -> None:
+        """Create or overwrite a file."""
+        parts = _split(path)
+        if parents and len(parts) > 1:
+            parent_path = "/" + "/".join(parts[:-1])
+            if not self.exists(parent_path):
+                self.mkdir(parent_path, parents=True)
+        parent, name = self._parent_of(path)
+        existing = parent.children.get(name)
+        now = self.clock.tick()
+        if existing is None:
+            parent.children[name] = FileEntry(
+                name=name, created=now, modified=now, content=content
+            )
+            parent.modified = now
+            self.events.publish(FsEvent(FsEventKind.CREATED, _normalize(path)))
+        elif isinstance(existing, FileEntry):
+            existing.content = content
+            existing.modified = now
+            self.events.publish(FsEvent(FsEventKind.MODIFIED, _normalize(path)))
+        else:
+            raise VfsError(f"{path!r} exists and is not a file")
+
+    def make_link(self, path: str, target: str) -> None:
+        """Create a folder link at ``path`` pointing to ``target``."""
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise VfsError(f"entry exists: {path!r}")
+        target = _normalize(target)
+        now = self.clock.tick()
+        parent.children[name] = LinkEntry(
+            name=name, created=now, modified=now, target=target
+        )
+        parent.modified = now
+        self.events.publish(FsEvent(FsEventKind.CREATED, _normalize(path)))
+
+    def delete(self, path: str, *, recursive: bool = False) -> None:
+        parent, name = self._parent_of(path)
+        entry = parent.children.get(name)
+        if entry is None:
+            raise VfsError(f"no such entry: {path!r}")
+        if isinstance(entry, DirectoryEntry) and entry.children and not recursive:
+            raise VfsError(f"directory not empty: {path!r}")
+        del parent.children[name]
+        parent.modified = self.clock.tick()
+        self.events.publish(FsEvent(FsEventKind.DELETED, _normalize(path)))
+
+    def move(self, source: str, destination: str) -> None:
+        source_parent, source_name = self._parent_of(source)
+        entry = source_parent.children.get(source_name)
+        if entry is None:
+            raise VfsError(f"no such entry: {source!r}")
+        dest_parent, dest_name = self._parent_of(destination)
+        if dest_name in dest_parent.children:
+            raise VfsError(f"entry exists: {destination!r}")
+        del source_parent.children[source_name]
+        entry.name = dest_name
+        dest_parent.children[dest_name] = entry
+        now = self.clock.tick()
+        source_parent.modified = now
+        dest_parent.modified = now
+        self.events.publish(FsEvent(
+            FsEventKind.MOVED, _normalize(destination),
+            old_path=_normalize(source),
+        ))
+
+    # -- statistics ---------------------------------------------------------------
+
+    def count_entries(self) -> dict[str, int]:
+        """Counts of files, directories and links in the whole tree."""
+        counts = {"files": 0, "dirs": 0, "links": 0}
+        stack: list[_Entry] = [self._root]
+        while stack:
+            entry = stack.pop()
+            if isinstance(entry, DirectoryEntry):
+                counts["dirs"] += 1
+                stack.extend(entry.children.values())
+            elif isinstance(entry, LinkEntry):
+                counts["links"] += 1
+            else:
+                counts["files"] += 1
+        counts["dirs"] -= 1  # do not count the root itself
+        return counts
+
+    def total_content_bytes(self) -> int:
+        total = 0
+        stack: list[_Entry] = [self._root]
+        while stack:
+            entry = stack.pop()
+            if isinstance(entry, DirectoryEntry):
+                stack.extend(entry.children.values())
+            elif isinstance(entry, FileEntry):
+                total += entry.size
+        return total

@@ -1,0 +1,17 @@
+"""A from-scratch XML parser producing an Infoset-like tree.
+
+The paper instantiates the core subset of the XML Information Set
+(document, element, attribute, character items) in iDM; this package
+provides the parsing substrate: :func:`parse` turns XML text into
+:class:`XmlDocument` / :class:`XmlElement` / :class:`XmlText` nodes, and
+:func:`serialize` writes a tree back out.
+"""
+
+from .infoset import XmlComment, XmlDocument, XmlElement, XmlNode, XmlPI, XmlText
+from .parser import parse
+from .writer import serialize
+
+__all__ = [
+    "XmlComment", "XmlDocument", "XmlElement", "XmlNode", "XmlPI", "XmlText",
+    "parse", "serialize",
+]

@@ -1,0 +1,112 @@
+"""Node types mirroring the XML Information Set's core items.
+
+The paper (Section 3.3) instantiates document, element, attribute and
+character information items in iDM. We additionally keep comments and
+processing instructions so round-tripping is lossless, but converters may
+ignore them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class XmlNode:
+    """Base class for all information items."""
+
+    __slots__ = ()
+
+
+@dataclass(slots=True)
+class XmlText(XmlNode):
+    """A character information item: a run of text content."""
+
+    text: str
+
+    def __repr__(self) -> str:
+        preview = self.text[:24] + ("..." if len(self.text) > 24 else "")
+        return f"XmlText({preview!r})"
+
+
+@dataclass(slots=True)
+class XmlComment(XmlNode):
+    """A comment (``<!-- ... -->``). Preserved for round-tripping."""
+
+    text: str
+
+
+@dataclass(slots=True)
+class XmlPI(XmlNode):
+    """A processing instruction (``<?target data?>``)."""
+
+    target: str
+    data: str
+
+
+@dataclass(slots=True)
+class XmlElement(XmlNode):
+    """An element information item: name, attributes and ordered children."""
+
+    name: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list[XmlNode] = field(default_factory=list)
+
+    def append(self, child: XmlNode) -> XmlNode:
+        self.children.append(child)
+        return child
+
+    def child_elements(self) -> list["XmlElement"]:
+        return [c for c in self.children if isinstance(c, XmlElement)]
+
+    def find(self, name: str) -> "XmlElement | None":
+        """First direct child element with the given name."""
+        for child in self.children:
+            if isinstance(child, XmlElement) and child.name == name:
+                return child
+        return None
+
+    def find_all(self, name: str) -> list["XmlElement"]:
+        """All direct child elements with the given name."""
+        return [c for c in self.children
+                if isinstance(c, XmlElement) and c.name == name]
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for child in self.children:
+            if isinstance(child, XmlElement):
+                yield from child.iter()
+
+    def text(self) -> str:
+        """Concatenated character data of this subtree (document order)."""
+        parts: list[str] = []
+        stack: list[XmlNode] = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, XmlText):
+                parts.append(node.text)
+            elif isinstance(node, XmlElement):
+                stack.extend(reversed(node.children))
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return (f"XmlElement({self.name!r}, attrs={len(self.attributes)}, "
+                f"children={len(self.children)})")
+
+
+@dataclass(slots=True)
+class XmlDocument(XmlNode):
+    """A document information item: one root element plus prolog/epilog
+    miscellany (comments and PIs)."""
+
+    root: XmlElement
+    prolog: list[XmlNode] = field(default_factory=list)
+    epilog: list[XmlNode] = field(default_factory=list)
+    declaration: dict[str, str] | None = None
+
+    def iter(self) -> Iterator[XmlElement]:
+        return self.root.iter()
+
+    def __repr__(self) -> str:
+        return f"XmlDocument(root={self.root.name!r})"

@@ -1,0 +1,288 @@
+"""A recursive-descent XML parser.
+
+Covers the subset of XML 1.0 needed for the personal-dataspace workloads:
+elements, attributes (single- or double-quoted), character data, CDATA
+sections, comments, processing instructions, the XML declaration, the
+five predefined entities plus decimal/hexadecimal character references,
+and a DOCTYPE declaration (skipped, internal subsets included). Namespace
+prefixes are kept verbatim in names — the converters treat names as
+opaque strings, matching the paper's treatment.
+
+Errors raise :class:`~repro.core.errors.XmlParseError` with line/column.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import XmlParseError
+from .infoset import XmlComment, XmlDocument, XmlElement, XmlNode, XmlPI, XmlText
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"',
+}
+
+_NAME_START_EXTRA = set("_:")
+_NAME_EXTRA = set("_:.-")
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Scanner:
+    """Character cursor with line/column tracking for error messages."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self) -> tuple[int, int]:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> XmlParseError:
+        line, column = self.location()
+        return XmlParseError(message, line=line, column=column)
+
+    @property
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < self.length else ""
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def starts_with(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.starts_with(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.at_end or not _is_name_start(self.text[self.pos]):
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and _is_name_char(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def read_until(self, token: str, *, what: str) -> str:
+        index = self.text.find(token, self.pos)
+        if index < 0:
+            raise self.error(f"unterminated {what}: missing {token!r}")
+        out = self.text[self.pos:index]
+        self.pos = index + len(token)
+        return out
+
+
+def _decode_entities(raw: str, scanner: _Scanner) -> str:
+    """Resolve entity and character references in text or attribute values."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i + 1)
+        if end < 0:
+            raise scanner.error("unterminated entity reference")
+        body = raw[i + 1:end]
+        if body.startswith("#x") or body.startswith("#X"):
+            try:
+                out.append(chr(int(body[2:], 16)))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{body};") from None
+        elif body.startswith("#"):
+            try:
+                out.append(chr(int(body[1:])))
+            except ValueError:
+                raise scanner.error(f"bad character reference &{body};") from None
+        elif body in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[body])
+        else:
+            raise scanner.error(f"unknown entity &{body};")
+        i = end + 1
+    return "".join(out)
+
+
+def parse(text: str) -> XmlDocument:
+    """Parse XML text into an :class:`XmlDocument`.
+
+    Raises :class:`~repro.core.errors.XmlParseError` on malformed input.
+    """
+    scanner = _Scanner(text)
+    declaration = _parse_declaration(scanner)
+    prolog: list[XmlNode] = []
+    root: XmlElement | None = None
+    epilog: list[XmlNode] = []
+
+    while not scanner.at_end:
+        scanner.skip_whitespace()
+        if scanner.at_end:
+            break
+        if scanner.starts_with("<!--"):
+            node: XmlNode = _parse_comment(scanner)
+        elif scanner.starts_with("<!DOCTYPE"):
+            _skip_doctype(scanner)
+            continue
+        elif scanner.starts_with("<?"):
+            node = _parse_pi(scanner)
+        elif scanner.peek() == "<":
+            if root is not None:
+                raise scanner.error("multiple root elements")
+            root = _parse_element(scanner)
+            continue
+        else:
+            raise scanner.error("content outside the root element")
+        (prolog if root is None else epilog).append(node)
+
+    if root is None:
+        raise scanner.error("document has no root element")
+    return XmlDocument(root=root, prolog=prolog, epilog=epilog,
+                       declaration=declaration)
+
+
+def _parse_declaration(scanner: _Scanner) -> dict[str, str] | None:
+    scanner.skip_whitespace()
+    if not scanner.starts_with("<?xml"):
+        return None
+    # <?xml must be followed by whitespace (else it is a PI named xml...)
+    after = scanner.peek(5)
+    if after not in " \t\r\n":
+        return None
+    scanner.advance(5)
+    declaration: dict[str, str] = {}
+    while True:
+        scanner.skip_whitespace()
+        if scanner.starts_with("?>"):
+            scanner.advance(2)
+            return declaration
+        if scanner.at_end:
+            raise scanner.error("unterminated XML declaration")
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        declaration[name] = _parse_quoted(scanner)
+
+
+def _parse_quoted(scanner: _Scanner) -> str:
+    quote = scanner.peek()
+    if quote not in ("'", '"'):
+        raise scanner.error("expected a quoted value")
+    scanner.advance()
+    raw = scanner.read_until(quote, what="attribute value")
+    if "<" in raw:
+        raise scanner.error("'<' is not allowed in attribute values")
+    return _decode_entities(raw, scanner)
+
+
+def _parse_comment(scanner: _Scanner) -> XmlComment:
+    scanner.expect("<!--")
+    body = scanner.read_until("-->", what="comment")
+    if "--" in body:
+        raise scanner.error("'--' is not allowed inside comments")
+    return XmlComment(body)
+
+
+def _parse_pi(scanner: _Scanner) -> XmlPI:
+    scanner.expect("<?")
+    target = scanner.read_name()
+    if target.lower() == "xml":
+        raise scanner.error("processing instruction may not be named 'xml'")
+    scanner.skip_whitespace()
+    data = scanner.read_until("?>", what="processing instruction")
+    return XmlPI(target, data)
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    scanner.expect("<!DOCTYPE")
+    depth = 1
+    while depth > 0:
+        if scanner.at_end:
+            raise scanner.error("unterminated DOCTYPE")
+        ch = scanner.peek()
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+        scanner.advance()
+
+
+def _parse_element(scanner: _Scanner) -> XmlElement:
+    scanner.expect("<")
+    name = scanner.read_name()
+    element = XmlElement(name)
+    # attributes
+    while True:
+        scanner.skip_whitespace()
+        if scanner.starts_with("/>"):
+            scanner.advance(2)
+            return element
+        if scanner.starts_with(">"):
+            scanner.advance(1)
+            break
+        if scanner.at_end:
+            raise scanner.error(f"unterminated start tag <{name}>")
+        attr_name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        if attr_name in element.attributes:
+            raise scanner.error(f"duplicate attribute {attr_name!r}")
+        element.attributes[attr_name] = _parse_quoted(scanner)
+    # content
+    while True:
+        if scanner.at_end:
+            raise scanner.error(f"missing end tag </{name}>")
+        if scanner.starts_with("</"):
+            scanner.advance(2)
+            end_name = scanner.read_name()
+            if end_name != name:
+                raise scanner.error(
+                    f"mismatched end tag: expected </{name}>, got </{end_name}>"
+                )
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            return element
+        if scanner.starts_with("<!--"):
+            element.append(_parse_comment(scanner))
+        elif scanner.starts_with("<![CDATA["):
+            scanner.advance(len("<![CDATA["))
+            element.append(XmlText(scanner.read_until("]]>", what="CDATA section")))
+        elif scanner.starts_with("<?"):
+            element.append(_parse_pi(scanner))
+        elif scanner.peek() == "<":
+            element.append(_parse_element(scanner))
+        else:
+            start = scanner.pos
+            index = scanner.text.find("<", start)
+            if index < 0:
+                index = scanner.length
+            raw = scanner.text[start:index]
+            scanner.pos = index
+            if "]]>" in raw:
+                raise scanner.error("']]>' is not allowed in character data")
+            element.append(XmlText(_decode_entities(raw, scanner)))

@@ -1,0 +1,63 @@
+"""Serialize an Infoset tree back to XML text.
+
+The writer pairs with :mod:`repro.xmlp.parser` to provide round-tripping:
+``parse(serialize(doc))`` reproduces the tree (whitespace inside text is
+preserved verbatim; attribute order follows the dict).
+"""
+
+from __future__ import annotations
+
+from .infoset import XmlComment, XmlDocument, XmlElement, XmlNode, XmlPI, XmlText
+
+
+def _escape_text(text: str) -> str:
+    return (text.replace("&", "&amp;")
+                .replace("<", "&lt;")
+                .replace(">", "&gt;"))
+
+
+def _escape_attribute(value: str) -> str:
+    return (value.replace("&", "&amp;")
+                 .replace("<", "&lt;")
+                 .replace('"', "&quot;"))
+
+
+def serialize(node: XmlNode | XmlDocument, *, declaration: bool = False) -> str:
+    """Render a node (or whole document) as XML text."""
+    parts: list[str] = []
+    if isinstance(node, XmlDocument):
+        if declaration or node.declaration:
+            decl = node.declaration or {"version": "1.0"}
+            attrs = " ".join(f'{k}="{_escape_attribute(v)}"'
+                             for k, v in decl.items())
+            parts.append(f"<?xml {attrs}?>")
+        for misc in node.prolog:
+            _write(misc, parts)
+        _write(node.root, parts)
+        for misc in node.epilog:
+            _write(misc, parts)
+    else:
+        _write(node, parts)
+    return "".join(parts)
+
+
+def _write(node: XmlNode, parts: list[str]) -> None:
+    if isinstance(node, XmlText):
+        parts.append(_escape_text(node.text))
+    elif isinstance(node, XmlComment):
+        parts.append(f"<!--{node.text}-->")
+    elif isinstance(node, XmlPI):
+        data = f" {node.data}" if node.data else ""
+        parts.append(f"<?{node.target}{data}?>")
+    elif isinstance(node, XmlElement):
+        attrs = "".join(f' {name}="{_escape_attribute(value)}"'
+                        for name, value in node.attributes.items())
+        if not node.children:
+            parts.append(f"<{node.name}{attrs}/>")
+            return
+        parts.append(f"<{node.name}{attrs}>")
+        for child in node.children:
+            _write(child, parts)
+        parts.append(f"</{node.name}>")
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"cannot serialize {type(node)}")

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import TINY_PROFILE, PersonalDataspaceGenerator
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+
+
+@pytest.fixture(scope="session")
+def tiny_dataspace() -> Dataspace:
+    """One synced tiny dataspace shared by read-only integration tests."""
+    dataspace = Dataspace.generate(profile=TINY_PROFILE, seed=7,
+                                   imap_latency=no_latency())
+    dataspace.sync()
+    return dataspace
+
+
+@pytest.fixture()
+def generated_tiny():
+    """A fresh (unsynced) generated dataspace for mutation tests."""
+    return PersonalDataspaceGenerator(
+        TINY_PROFILE, seed=11, imap_latency=no_latency()
+    ).generate()

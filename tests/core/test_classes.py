@@ -1,0 +1,216 @@
+"""Tests for resource view classes (Definition 2) and Table 1 builtins."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.classes import (
+    BUILTIN_REGISTRY,
+    ClassRegistry,
+    Emptiness,
+    Finiteness,
+    ResourceViewClass,
+    build_builtin_registry,
+)
+from repro.core.components import GroupComponent, Schema, TupleComponent
+from repro.core.errors import ClassConformanceError, UnknownClassError
+from repro.core.resource_view import ResourceView
+
+
+def _file_view(name="a.txt", content="abc"):
+    return ResourceView(
+        name,
+        tuple_component={"size": len(content),
+                         "created": datetime(2005, 1, 1),
+                         "modified": datetime(2005, 1, 2)},
+        content=content,
+        class_name="file",
+    )
+
+
+class TestRegistry:
+    def test_builtin_has_table1_classes(self):
+        for name in ("file", "folder", "tuple", "relation", "reldb",
+                     "xmltext", "xmlelem", "xmldoc", "xmlfile",
+                     "datstream", "tupstream", "rssatom"):
+            assert name in BUILTIN_REGISTRY
+
+    def test_duplicate_registration_rejected(self):
+        registry = ClassRegistry()
+        registry.register(ResourceViewClass("x"))
+        with pytest.raises(ClassConformanceError):
+            registry.register(ResourceViewClass("x"))
+
+    def test_unknown_parent_rejected(self):
+        registry = ClassRegistry()
+        with pytest.raises(UnknownClassError):
+            registry.register(ResourceViewClass("kid", parent="ghost"))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(UnknownClassError):
+            BUILTIN_REGISTRY.get("no-such-class")
+
+    def test_ancestors_chain(self):
+        registry = ClassRegistry()
+        registry.register(ResourceViewClass("a"))
+        registry.register(ResourceViewClass("b", parent="a"))
+        registry.register(ResourceViewClass("c", parent="b"))
+        assert registry.ancestors("c") == ["b", "a"]
+
+    def test_is_subclass_reflexive_and_transitive(self):
+        assert BUILTIN_REGISTRY.is_subclass("xmlfile", "xmlfile")
+        assert BUILTIN_REGISTRY.is_subclass("xmlfile", "file")
+        assert not BUILTIN_REGISTRY.is_subclass("file", "xmlfile")
+
+    def test_figure_specializes_environment(self):
+        assert BUILTIN_REGISTRY.is_subclass("figure", "environment")
+
+    def test_classes_of_includes_generalizations(self):
+        v = ResourceView("f", class_name="xmlfile")
+        assert BUILTIN_REGISTRY.classes_of(v) == ["xmlfile", "file"]
+
+    def test_classes_of_unclassed_view_empty(self):
+        assert BUILTIN_REGISTRY.classes_of(ResourceView("x")) == []
+
+    def test_builtin_registry_builder_is_fresh(self):
+        assert build_builtin_registry() is not BUILTIN_REGISTRY
+
+
+class TestConformance:
+    def test_conforming_file(self):
+        assert BUILTIN_REGISTRY.conforms(_file_view())
+
+    def test_file_missing_attributes_fails(self):
+        v = ResourceView("a.txt", content="x", class_name="file")
+        violations = BUILTIN_REGISTRY.violations(v)
+        assert any("required" in p for p in violations)
+
+    def test_file_empty_name_fails(self):
+        v = ResourceView(
+            tuple_component={"size": 1, "created": datetime(2005, 1, 1),
+                             "modified": datetime(2005, 1, 1)},
+            content="x", class_name="file",
+        )
+        assert not BUILTIN_REGISTRY.conforms(v)
+
+    def test_unclassed_view_reports_no_class(self):
+        assert BUILTIN_REGISTRY.violations(ResourceView("x")) == \
+            ["view has no resource view class"]
+
+    def test_explicit_class_name_overrides(self):
+        v = _file_view()
+        # checking a file view against the tuple class must fail (tuple
+        # views have empty name and content)
+        assert not BUILTIN_REGISTRY.conforms(v, "tuple")
+
+    def test_validate_raises_with_details(self):
+        v = ResourceView("x", class_name="tuple")
+        with pytest.raises(ClassConformanceError):
+            BUILTIN_REGISTRY.validate(v)
+
+    def test_folder_related_class_restriction(self):
+        bad_child = ResourceView("t", class_name="tuple",
+                                 tuple_component={"a": 1})
+        folder = ResourceView(
+            "dir",
+            tuple_component={"size": 4096, "created": datetime(2005, 1, 1),
+                             "modified": datetime(2005, 1, 1)},
+            group=[bad_child],
+            class_name="folder",
+        )
+        violations = BUILTIN_REGISTRY.violations(folder)
+        assert any("expected one of" in p for p in violations)
+
+    def test_folder_accepts_file_and_folder_children(self):
+        child = _file_view()
+        folder = ResourceView(
+            "dir",
+            tuple_component={"size": 4096, "created": datetime(2005, 1, 1),
+                             "modified": datetime(2005, 1, 1)},
+            group=[child],
+            class_name="folder",
+        )
+        assert BUILTIN_REGISTRY.conforms(folder)
+
+    def test_related_subclass_accepted(self):
+        """xmlfile children satisfy a folder's {file, folder} restriction
+        because xmlfile specializes file."""
+        child = _file_view()
+        child.class_name = "xmlfile"
+        # xmlfile also needs a non-empty group of one xmldoc; relax by
+        # checking only the folder here (check_related applies classes
+        # of children, not their own conformance)
+        folder = ResourceView(
+            "dir",
+            tuple_component={"size": 4096, "created": datetime(2005, 1, 1),
+                             "modified": datetime(2005, 1, 1)},
+            group=[child],
+            class_name="folder",
+        )
+        assert BUILTIN_REGISTRY.conforms(folder)
+
+    def test_subclass_inherits_parent_restrictions(self):
+        # xmlfile without the file attributes violates the parent class
+        v = ResourceView("a.xml", content="<a/>", class_name="xmlfile")
+        violations = BUILTIN_REGISTRY.violations(v, check_related=False)
+        assert any("[file]" in p for p in violations)
+
+    def test_datstream_requires_infinite_sequence(self):
+        finite = ResourceView(group=GroupComponent.of_sequence(
+            [ResourceView("x")]
+        ), class_name="datstream")
+        assert not BUILTIN_REGISTRY.conforms(finite)
+
+    def test_datstream_accepts_infinite(self):
+        def forever():
+            while True:
+                yield ResourceView(tuple_component={"v": 1},
+                                   class_name="tuple")
+
+        stream = ResourceView(
+            group=GroupComponent.of_stream(forever),
+            class_name="datstream",
+        )
+        assert BUILTIN_REGISTRY.conforms(stream)
+
+    def test_tuple_class(self):
+        t = ResourceView(tuple_component={"a": 1}, class_name="tuple")
+        assert BUILTIN_REGISTRY.conforms(t)
+
+    def test_tuple_class_rejects_name(self):
+        t = ResourceView("named", tuple_component={"a": 1},
+                         class_name="tuple")
+        assert not BUILTIN_REGISTRY.conforms(t)
+
+    def test_relation_holds_tuples(self):
+        tuples = [ResourceView(tuple_component={"a": i}, class_name="tuple")
+                  for i in range(3)]
+        relation = ResourceView("R", group=tuples, class_name="relation")
+        assert BUILTIN_REGISTRY.conforms(relation)
+
+    def test_exact_schema_restriction(self):
+        registry = ClassRegistry()
+        registry.register(ResourceViewClass(
+            "pair", exact_schema=Schema(["x", "y"]),
+        ))
+        good = ResourceView(tuple_component=TupleComponent.from_dict(
+            {"x": 1, "y": 2}
+        ), class_name="pair")
+        bad = ResourceView(tuple_component=TupleComponent.from_dict(
+            {"x": 1}
+        ), class_name="pair")
+        assert registry.conforms(good)
+        assert not registry.conforms(bad)
+
+    def test_exact_and_required_schema_mutually_exclusive(self):
+        with pytest.raises(ClassConformanceError):
+            ResourceViewClass("broken",
+                              exact_schema=Schema(["a"]),
+                              required_attributes=Schema(["a"]))
+
+    def test_emptiness_any_allows_both(self):
+        cls = ResourceViewClass("loose")
+        registry = ClassRegistry()
+        registry.register(cls)
+        assert registry.conforms(ResourceView(), "loose")
+        assert registry.conforms(ResourceView("x", content="y"), "loose")

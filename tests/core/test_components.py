@@ -1,0 +1,273 @@
+"""Tests for the four resource view component types (Definition 1)."""
+
+import pytest
+from datetime import date
+
+from repro.core.components import (
+    ANY,
+    Attribute,
+    ContentComponent,
+    DATE,
+    Domain,
+    GroupComponent,
+    INTEGER,
+    STRING,
+    Schema,
+    TupleComponent,
+    ViewSequence,
+    domain_by_name,
+)
+from repro.core.errors import (
+    ComponentError,
+    InfiniteComponentError,
+    SchemaError,
+)
+from repro.core.resource_view import ResourceView
+
+
+class TestDomains:
+    def test_string_domain_accepts_strings(self):
+        assert STRING.contains("hello")
+
+    def test_string_domain_rejects_ints(self):
+        assert not STRING.contains(7)
+
+    def test_integer_domain_rejects_bool(self):
+        # bool is an int subclass in Python; the domains stay disjoint
+        assert not INTEGER.contains(True)
+
+    def test_date_domain_accepts_date(self):
+        assert DATE.contains(date(2005, 3, 19))
+
+    def test_nullable_by_default(self):
+        assert STRING.contains(None)
+
+    def test_non_nullable(self):
+        strict = Domain("strict", (str,), nullable=False)
+        assert not strict.contains(None)
+
+    def test_lookup_by_name(self):
+        assert domain_by_name("integer") is INTEGER
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(ComponentError):
+            domain_by_name("quaternion")
+
+
+class TestSchema:
+    def test_attribute_order_preserved(self):
+        schema = Schema([("b", STRING), ("a", INTEGER)])
+        assert schema.names == ("b", "a")
+
+    def test_position(self):
+        schema = Schema(["x", "y", "z"])
+        assert schema.position("y") == 1
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["x"]).position("y")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_validate_accepts_conforming(self):
+        schema = Schema([("size", INTEGER), ("name", STRING)])
+        schema.validate((42, "x"))  # must not raise
+
+    def test_validate_rejects_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).validate((1, 2))
+
+    def test_validate_rejects_wrong_domain(self):
+        schema = Schema([("size", INTEGER)])
+        with pytest.raises(SchemaError):
+            schema.validate(("big",))
+
+    def test_equality_is_structural(self):
+        assert Schema([("a", STRING)]) == Schema([("a", STRING)])
+        assert Schema([("a", STRING)]) != Schema([("a", INTEGER)])
+
+    def test_hashable(self):
+        assert {Schema(["a"]): 1}[Schema(["a"])] == 1
+
+    def test_contains(self):
+        assert "a" in Schema(["a", "b"])
+        assert "c" not in Schema(["a", "b"])
+
+
+class TestTupleComponent:
+    def test_empty(self):
+        tau = TupleComponent.empty()
+        assert tau.is_empty
+        assert tau.as_dict() == {}
+
+    def test_empty_has_no_schema(self):
+        with pytest.raises(ComponentError):
+            TupleComponent.empty().schema
+
+    def test_mismatched_schema_values(self):
+        with pytest.raises(ComponentError):
+            TupleComponent(Schema(["a"]), None)
+
+    def test_paper_example_pim_folder(self):
+        # the V_PIM tuple component from Section 2.3
+        schema = Schema([
+            ("creation time", DATE), ("size", INTEGER),
+            ("last modified time", DATE),
+        ])
+        tau = TupleComponent(
+            schema, (date(2005, 3, 19), 4096, date(2005, 9, 22))
+        )
+        assert tau["size"] == 4096
+        assert tau.get("creation time") == date(2005, 3, 19)
+
+    def test_get_with_default(self):
+        tau = TupleComponent.from_dict({"a": 1})
+        assert tau.get("missing", "dflt") == "dflt"
+
+    def test_from_dict_roundtrip(self):
+        values = {"size": 10, "name": "x"}
+        assert TupleComponent.from_dict(values).as_dict() == values
+
+    def test_from_dict_with_domains_enforces(self):
+        with pytest.raises(SchemaError):
+            TupleComponent.from_dict({"size": "big"}, domains={"size": INTEGER})
+
+    def test_contains(self):
+        tau = TupleComponent.from_dict({"a": 1})
+        assert "a" in tau and "b" not in tau
+
+    def test_equality(self):
+        assert (TupleComponent.from_dict({"a": 1})
+                == TupleComponent.from_dict({"a": 1}))
+
+
+class TestContentComponent:
+    def test_finite_text(self):
+        chi = ContentComponent.of("hello")
+        assert chi.is_finite
+        assert chi.text() == "hello"
+        assert len(chi) == 5
+
+    def test_empty(self):
+        assert ContentComponent.empty().is_empty
+
+    def test_iteration_yields_symbols(self):
+        assert list(ContentComponent.of("ab")) == ["a", "b"]
+
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ComponentError):
+            ContentComponent("x", factory=lambda: iter("y"))
+        with pytest.raises(ComponentError):
+            ContentComponent()
+
+    def test_infinite_take(self):
+        def naturals():
+            i = 0
+            while True:
+                yield str(i % 10)
+                i += 1
+
+        chi = ContentComponent.infinite(naturals)
+        assert chi.take(5) == "01234"
+        assert not chi.is_finite
+
+    def test_infinite_text_raises(self):
+        chi = ContentComponent.infinite(lambda: iter("abc"))
+        with pytest.raises(InfiniteComponentError):
+            chi.text()
+
+    def test_infinite_len_raises(self):
+        chi = ContentComponent.infinite(lambda: iter("abc"))
+        with pytest.raises(InfiniteComponentError):
+            len(chi)
+
+    def test_reusable_stream_rereads(self):
+        chi = ContentComponent.infinite(lambda: iter("xyz"))
+        assert chi.take(2) == "xy"
+        assert chi.take(2) == "xy"
+
+    def test_single_shot_stream_consumed_once(self):
+        chi = ContentComponent.infinite(lambda: iter("xyz"), reusable=False)
+        assert chi.take(3) == "xyz"
+        with pytest.raises(InfiniteComponentError):
+            chi.take(1)
+
+    def test_finite_equality(self):
+        assert ContentComponent.of("a") == ContentComponent.of("a")
+        assert ContentComponent.of("a") != ContentComponent.of("b")
+
+
+class TestViewSequence:
+    def test_finite_items(self):
+        views = (ResourceView("a"), ResourceView("b"))
+        seq = ViewSequence(views)
+        assert seq.items() == views
+        assert len(seq) == 2
+
+    def test_infinite_take(self):
+        def forever():
+            while True:
+                yield ResourceView("x")
+
+        seq = ViewSequence.infinite(forever)
+        assert len(seq.take(7)) == 7
+        assert not seq.is_finite
+
+    def test_infinite_items_raises(self):
+        seq = ViewSequence.infinite(lambda: iter(()))
+        with pytest.raises(InfiniteComponentError):
+            seq.items()
+
+    def test_both_sources_rejected(self):
+        with pytest.raises(ComponentError):
+            ViewSequence((), factory=lambda: iter(()))
+
+    def test_single_shot(self):
+        pool = [ResourceView("a")]
+        seq = ViewSequence.infinite(lambda: iter(pool), reusable=False)
+        assert len(seq.take(1)) == 1
+        with pytest.raises(InfiniteComponentError):
+            seq.take(1)
+
+
+class TestGroupComponent:
+    def test_empty(self):
+        assert GroupComponent.empty().is_empty
+
+    def test_set_and_sequence_disjointness_enforced(self):
+        shared = ResourceView("shared")
+        with pytest.raises(ComponentError):
+            GroupComponent(
+                set_part=ViewSequence((shared,)),
+                seq_part=ViewSequence((shared,)),
+            )
+
+    def test_iteration_order_set_then_sequence(self):
+        a, b, c = ResourceView("a"), ResourceView("b"), ResourceView("c")
+        gamma = GroupComponent(set_part=ViewSequence((a,)),
+                               seq_part=ViewSequence((b, c)))
+        assert [v.name for v in gamma] == ["a", "b", "c"]
+
+    def test_related_requires_finite(self):
+        gamma = GroupComponent.of_stream(lambda: iter(()))
+        with pytest.raises(InfiniteComponentError):
+            gamma.related()
+
+    def test_take_spans_set_and_sequence(self):
+        a, b = ResourceView("a"), ResourceView("b")
+        gamma = GroupComponent(set_part=ViewSequence((a,)),
+                               seq_part=ViewSequence((b,)))
+        assert [v.name for v in gamma.take(2)] == ["a", "b"]
+
+    def test_of_stream_is_infinite(self):
+        gamma = GroupComponent.of_stream(lambda: iter(()))
+        assert not gamma.is_finite
+
+    def test_len_counts_both_parts(self):
+        gamma = GroupComponent(
+            set_part=ViewSequence((ResourceView("a"),)),
+            seq_part=ViewSequence((ResourceView("b"), ResourceView("c"))),
+        )
+        assert len(gamma) == 3

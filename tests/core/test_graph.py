@@ -1,0 +1,232 @@
+"""Tests for resource view graph traversal (trees, DAGs, cycles)."""
+
+import pytest
+
+from repro.core.components import GroupComponent
+from repro.core.errors import GraphError
+from repro.core.graph import (
+    children,
+    collect_index,
+    count_views,
+    descendants,
+    find,
+    find_by_name,
+    has_cycle,
+    is_indirectly_related,
+    paths_between,
+    to_dot,
+    traverse,
+)
+from repro.core.resource_view import ResourceView
+
+
+def _tree():
+    """root -> (a -> (a1, a2), b)"""
+    a1, a2 = ResourceView("a1"), ResourceView("a2")
+    a = ResourceView("a", group=[a1, a2])
+    b = ResourceView("b")
+    root = ResourceView("root", group=[a, b])
+    return root, a, b, a1, a2
+
+
+def _figure1_cycle():
+    """The paper's Projects -> PIM -> All Projects -> Projects cycle."""
+    holder = {}
+    projects = ResourceView("Projects",
+                            group=lambda: [holder["pim"]])
+    all_projects = ResourceView("All Projects",
+                                group=lambda: [projects])
+    holder["pim"] = ResourceView("PIM", group=[all_projects])
+    return projects, holder["pim"], all_projects
+
+
+def _shared_diamond():
+    """document -> (problem -> prelim, prelim): a DAG with sharing."""
+    prelim = ResourceView("Preliminaries")
+    ref = ResourceView("ref", group=[prelim])
+    problem = ResourceView("The Problem", group=[ref])
+    document = ResourceView("document", group=[problem, prelim])
+    return document, problem, ref, prelim
+
+
+class TestTraverse:
+    def test_bfs_visits_all(self):
+        root, *_ = _tree()
+        assert count_views(root) == 5
+
+    def test_bfs_depths(self):
+        root, *_ = _tree()
+        depths = {v.name: d for v, d in traverse(root)}
+        assert depths == {"root": 0, "a": 1, "b": 1, "a1": 2, "a2": 2}
+
+    def test_dfs_visits_all(self):
+        root, *_ = _tree()
+        assert sum(1 for _ in traverse(root, order="dfs")) == 5
+
+    def test_bad_order_raises(self):
+        with pytest.raises(GraphError):
+            list(traverse(ResourceView(), order="sideways"))
+
+    def test_max_depth(self):
+        root, *_ = _tree()
+        names = {v.name for v, _ in traverse(root, max_depth=1)}
+        assert names == {"root", "a", "b"}
+
+    def test_max_views(self):
+        root, *_ = _tree()
+        assert sum(1 for _ in traverse(root, max_views=2)) == 2
+
+    def test_cycle_terminates(self):
+        projects, pim, all_projects = _figure1_cycle()
+        assert count_views(projects) == 3
+
+    def test_multiple_roots(self):
+        a, b = ResourceView("a"), ResourceView("b")
+        assert count_views([a, b]) == 2
+
+    def test_shared_node_visited_once(self):
+        document, *_ = _shared_diamond()
+        assert count_views(document) == 4
+
+    def test_infinite_group_bounded(self):
+        def forever():
+            while True:
+                yield ResourceView("item")
+
+        stream = ResourceView(group=GroupComponent.of_stream(forever))
+        total = count_views(stream, infinite_sample=10)
+        assert total == 11  # the stream view + 10 sampled items
+
+
+class TestRelations:
+    def test_is_indirectly_related_transitive(self):
+        root, a, b, a1, a2 = _tree()
+        assert is_indirectly_related(root, a1)
+
+    def test_not_related_to_sibling(self):
+        root, a, b, a1, a2 = _tree()
+        assert not is_indirectly_related(a1, a2)
+
+    def test_cycle_self_reachable(self):
+        projects, pim, all_projects = _figure1_cycle()
+        # following the cycle, Projects is indirectly related to itself
+        assert is_indirectly_related(projects, projects)
+
+    def test_descendants_exclude_root(self):
+        root, *_ = _tree()
+        assert {v.name for v in descendants(root)} == {"a", "b", "a1", "a2"}
+
+    def test_children_helper(self):
+        root, a, b, a1, a2 = _tree()
+        assert {v.name for v in children(root)} == {"a", "b"}
+
+
+class TestSearch:
+    def test_find_by_name(self):
+        root, *_ = _tree()
+        assert len(find_by_name(root, "a1")) == 1
+
+    def test_find_by_name_missing(self):
+        root, *_ = _tree()
+        assert find_by_name(root, "zzz") == []
+
+    def test_find_with_predicate(self):
+        root, *_ = _tree()
+        deep = find(root, lambda v: v.name.startswith("a"))
+        assert {v.name for v in deep} == {"a", "a1", "a2"}
+
+    def test_collect_index_keys_by_id(self):
+        root, a, *_ = _tree()
+        index = collect_index(root)
+        assert index[a.view_id] is a
+
+
+class TestCycleDetection:
+    def test_tree_has_no_cycle(self):
+        root, *_ = _tree()
+        assert not has_cycle(root)
+
+    def test_figure1_cycle_detected(self):
+        projects, *_ = _figure1_cycle()
+        assert has_cycle(projects)
+
+    def test_dag_sharing_is_not_a_cycle(self):
+        document, *_ = _shared_diamond()
+        assert not has_cycle(document)
+
+    def test_self_loop(self):
+        holder = {}
+        selfish = ResourceView("s", group=lambda: [holder["s"]])
+        holder["s"] = selfish
+        assert has_cycle(selfish)
+
+
+class TestPaths:
+    def test_two_paths_to_shared_view(self):
+        document, problem, ref, prelim = _shared_diamond()
+        paths = paths_between(document, prelim)
+        assert len(paths) == 2
+        lengths = sorted(len(p) for p in paths)
+        assert lengths == [2, 4]  # direct and via problem -> ref
+
+    def test_no_path(self):
+        a, b = ResourceView("a"), ResourceView("b")
+        assert paths_between(a, b) == []
+
+    def test_max_paths_bound(self):
+        document, problem, ref, prelim = _shared_diamond()
+        assert len(paths_between(document, prelim, max_paths=1)) == 1
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self):
+        root, *_ = _tree()
+        dot = to_dot(root)
+        assert dot.startswith("digraph idm {")
+        assert dot.count("->") == 4
+        assert "a1" in dot
+
+    def test_dot_escapes_quotes(self):
+        v = ResourceView('say "hi"')
+        assert '\\"hi\\"' in to_dot(v)
+
+    def test_dot_sequence_edges_dashed(self):
+        child = ResourceView("c")
+        parent = ResourceView(
+            "p", group=GroupComponent.of_sequence([child])
+        )
+        assert "style=dashed" in to_dot(parent)
+
+
+class TestGraphml:
+    def test_graphml_well_formed_xml(self):
+        from repro.core.graph import to_graphml
+        from repro.xmlp import parse
+        root, *_ = _tree()
+        document = parse(to_graphml(root))
+        assert document.root.name == "graphml"
+
+    def test_graphml_nodes_and_edges(self):
+        from repro.core.graph import to_graphml
+        from repro.xmlp import parse
+        root, *_ = _tree()
+        document = parse(to_graphml(root))
+        graph = document.root.find("graph")
+        assert len(graph.find_all("node")) == 5
+        assert len(graph.find_all("edge")) == 4
+
+    def test_graphml_sequence_edges_carry_position(self):
+        from repro.core.graph import to_graphml
+        child = ResourceView("c")
+        parent = ResourceView(
+            "p", group=GroupComponent.of_sequence([child])
+        )
+        text = to_graphml(parent)
+        assert '<data key="part">seq</data>' in text
+        assert '<data key="position">0</data>' in text
+
+    def test_graphml_escapes_names(self):
+        from repro.core.graph import to_graphml
+        view = ResourceView('a<b>&"c"')
+        text = to_graphml(view)
+        assert "&lt;b&gt;" in text and "&amp;" in text

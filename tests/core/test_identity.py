@@ -1,0 +1,45 @@
+"""Tests for view identities."""
+
+import pytest
+
+from repro.core.identity import IdGenerator, ViewId
+
+
+class TestViewId:
+    def test_uri_roundtrip(self):
+        vid = ViewId("imap", "INBOX/42")
+        assert ViewId.parse(vid.uri) == vid
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            ViewId.parse("no-scheme-here")
+
+    def test_child_uses_fragment_first(self):
+        vid = ViewId("fs", "/a/b.tex")
+        assert vid.child("s0").path == "/a/b.tex#s0"
+
+    def test_nested_children_use_slash(self):
+        vid = ViewId("fs", "/a/b.tex").child("s0").child("p1")
+        assert vid.path == "/a/b.tex#s0/p1"
+
+    def test_hashable_and_equal(self):
+        assert ViewId("a", "x") == ViewId("a", "x")
+        assert len({ViewId("a", "x"), ViewId("a", "x")}) == 1
+
+    def test_str_is_uri(self):
+        assert str(ViewId("fs", "/p")) == "fs:///p"
+
+
+class TestIdGenerator:
+    def test_sequential(self):
+        gen = IdGenerator("mem")
+        assert gen.next_id().path == "v0"
+        assert gen.next_id().path == "v1"
+
+    def test_deterministic_per_instance(self):
+        a = [IdGenerator("m").next_id() for _ in range(3)]
+        b = [IdGenerator("m").next_id() for _ in range(3)]
+        assert a == b
+
+    def test_prefix(self):
+        assert IdGenerator().next_id("t").path == "t0"

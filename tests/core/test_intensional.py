@@ -1,0 +1,95 @@
+"""Tests for intensional components and the simulated service world."""
+
+import pytest
+
+from repro.core.intensional import (
+    IntensionalContent,
+    IntensionalGroup,
+    ServiceError,
+    ServiceRegistry,
+    intensional_view,
+)
+from repro.core.resource_view import ResourceView
+
+
+class TestIntensionalContent:
+    def test_computed_on_access(self):
+        provider = IntensionalContent(lambda: "result")
+        assert provider.computations == 0
+        assert provider().text() == "result"
+        assert provider.computations == 1
+
+    def test_materialized_serves_cache(self):
+        provider = IntensionalContent(lambda: "r")
+        provider()
+        provider()
+        assert provider.computations == 1
+        assert provider.is_materialized
+
+    def test_unmaterialized_recomputes(self):
+        provider = IntensionalContent(lambda: "r", materialize=False)
+        provider()
+        provider()
+        assert provider.computations == 2
+
+    def test_invalidate_forces_recompute(self):
+        provider = IntensionalContent(lambda: "r")
+        provider()
+        provider.invalidate()
+        provider()
+        assert provider.computations == 2
+
+
+class TestIntensionalGroup:
+    def test_results_become_group_members(self):
+        members = [ResourceView("m1"), ResourceView("m2")]
+        provider = IntensionalGroup(lambda: members)
+        assert {v.name for v in provider()} == {"m1", "m2"}
+
+    def test_ordered_results(self):
+        members = [ResourceView("a"), ResourceView("b")]
+        provider = IntensionalGroup(lambda: members, ordered=True)
+        gamma = provider()
+        assert [v.name for v in gamma.seq_part.items()] == ["a", "b"]
+
+    def test_materialization_counts(self):
+        provider = IntensionalGroup(lambda: [ResourceView("m")])
+        provider()
+        provider()
+        assert provider.computations == 1
+
+    def test_intensional_view_is_lazy(self):
+        calls = []
+
+        def query():
+            calls.append(1)
+            return [ResourceView("hit")]
+
+        v = intensional_view("saved-search", query)
+        assert calls == []
+        assert [c.name for c in v.group] == ["hit"]
+        assert calls == [1]
+
+
+class TestServiceRegistry:
+    def test_call_returns_handler_result(self):
+        registry = ServiceRegistry()
+        registry.register("svc/Get", lambda: "<r/>")
+        assert registry.call("svc/Get") == "<r/>"
+
+    def test_unknown_endpoint_raises(self):
+        with pytest.raises(ServiceError):
+            ServiceRegistry().call("nowhere")
+
+    def test_call_log_records(self):
+        registry = ServiceRegistry()
+        registry.register("svc/Echo", lambda x: x)
+        registry.call("svc/Echo", 42)
+        assert registry.call_log == [("svc/Echo", (42,))]
+        assert registry.calls_to("svc/Echo") == 1
+
+    def test_endpoints_sorted(self):
+        registry = ServiceRegistry()
+        registry.register("b", lambda: 1)
+        registry.register("a", lambda: 2)
+        assert registry.endpoints() == ["a", "b"]

@@ -1,0 +1,49 @@
+"""Tests for lazy values and counting providers (Section 4.1)."""
+
+from repro.core.lazy import CountingProvider, LazyValue
+
+
+class TestLazyValue:
+    def test_deferred_until_get(self):
+        calls = []
+        lazy = LazyValue(lambda: calls.append(1) or "v")
+        assert calls == []
+        assert lazy.get() == "v"
+        assert calls == [1]
+
+    def test_memoized(self):
+        counter = CountingProvider(lambda: object())
+        lazy = LazyValue(counter)
+        assert lazy.get() is lazy.get()
+        assert counter.calls == 1
+
+    def test_of_is_forced(self):
+        lazy = LazyValue.of(42)
+        assert lazy.is_forced
+        assert lazy.get() == 42
+
+    def test_is_forced_transitions(self):
+        lazy = LazyValue(lambda: 1)
+        assert not lazy.is_forced
+        lazy.get()
+        assert lazy.is_forced
+
+    def test_none_value_is_cached(self):
+        counter = CountingProvider(lambda: None)
+        lazy = LazyValue(counter)
+        assert lazy.get() is None
+        assert lazy.get() is None
+        assert counter.calls == 1
+
+    def test_repr(self):
+        assert "unforced" in repr(LazyValue(lambda: 1))
+        assert "42" in repr(LazyValue.of(42))
+
+
+class TestCountingProvider:
+    def test_counts_invocations(self):
+        provider = CountingProvider(lambda: "x")
+        assert provider.calls == 0
+        provider()
+        provider()
+        assert provider.calls == 2

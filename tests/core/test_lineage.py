@@ -1,0 +1,98 @@
+"""Tests for lineage tracking (Section 8, issue 2)."""
+
+import pytest
+
+from repro.core.errors import LineageError
+from repro.core.identity import ViewId
+from repro.core.lineage import LineageTracker
+from repro.core.resource_view import ResourceView
+
+
+def _v(name: str) -> ResourceView:
+    return ResourceView(name, view_id=ViewId("mem", name))
+
+
+class TestRecording:
+    def test_simple_derivation(self):
+        tracker = LineageTracker()
+        source, copy = _v("src"), _v("copy")
+        derivation = tracker.record("copy", [source], [copy])
+        assert derivation.operation == "copy"
+        assert tracker.producers_of(copy) == [derivation]
+
+    def test_outputs_required(self):
+        with pytest.raises(LineageError):
+            LineageTracker().record("noop", [_v("a")], [])
+
+    def test_inputs_outputs_disjoint(self):
+        tracker = LineageTracker()
+        v = _v("x")
+        with pytest.raises(LineageError):
+            tracker.record("id", [v], [v])
+
+    def test_cycle_rejected(self):
+        tracker = LineageTracker()
+        a, b = _v("a"), _v("b")
+        tracker.record("t", [a], [b])
+        with pytest.raises(LineageError):
+            tracker.record("t", [b], [a])
+
+    def test_base_views(self):
+        tracker = LineageTracker()
+        a, b = _v("a"), _v("b")
+        tracker.record("t", [a], [b])
+        assert tracker.is_base(a)
+        assert not tracker.is_base(b)
+
+
+class TestQueries:
+    def _chain(self):
+        """file -> latex2idm -> section; section + email -> merge -> note"""
+        tracker = LineageTracker()
+        file_v, section, email, note = _v("f"), _v("s"), _v("e"), _v("n")
+        tracker.record("latex2idm", [file_v], [section])
+        tracker.record("merge", [section, email], [note])
+        return tracker, file_v, section, email, note
+
+    def test_ancestors_transitive(self):
+        tracker, file_v, section, email, note = self._chain()
+        assert tracker.ancestors(note) == {
+            file_v.view_id, section.view_id, email.view_id
+        }
+
+    def test_descendants_transitive(self):
+        tracker, file_v, section, email, note = self._chain()
+        assert tracker.descendants(file_v) == {
+            section.view_id, note.view_id
+        }
+
+    def test_chain_lists_all_relevant_derivations(self):
+        tracker, file_v, section, email, note = self._chain()
+        operations = [d.operation for d in tracker.chain(note)]
+        assert operations == ["latex2idm", "merge"]
+
+    def test_chain_of_base_view_empty(self):
+        tracker, file_v, *_ = self._chain()
+        assert tracker.chain(file_v) == []
+
+    def test_multi_output_derivation(self):
+        tracker = LineageTracker()
+        source = _v("doc")
+        outs = [_v("sec1"), _v("sec2")]
+        tracker.record("split", [source], outs)
+        for out in outs:
+            assert tracker.ancestors(out) == {source.view_id}
+
+    def test_cross_source_lineage(self):
+        """The paper's selling point: lineage across data sources."""
+        tracker = LineageTracker()
+        fs_file = ResourceView("draft.tex", view_id=ViewId("fs", "/draft.tex"))
+        attachment = ResourceView("draft.tex",
+                                  view_id=ViewId("imap", "INBOX/1#a0"))
+        tracker.record("attach", [fs_file], [attachment])
+        assert fs_file.view_id in tracker.ancestors(attachment)
+
+    def test_accepts_raw_view_ids(self):
+        tracker = LineageTracker()
+        tracker.record("t", [ViewId("x", "1")], [ViewId("x", "2")])
+        assert tracker.ancestors(ViewId("x", "2")) == {ViewId("x", "1")}

@@ -1,0 +1,137 @@
+"""Tests for ResourceView construction, laziness and the paper interface."""
+
+import pytest
+
+from repro.core.components import ContentComponent, GroupComponent, TupleComponent
+from repro.core.errors import ComponentError
+from repro.core.identity import ViewId
+from repro.core.lazy import CountingProvider
+from repro.core.resource_view import ResourceView, view
+
+
+class TestConstruction:
+    def test_all_components_default_empty(self):
+        v = ResourceView()
+        assert v.name == ""
+        assert v.tuple_component.is_empty
+        assert v.content.is_empty
+        assert v.group.is_empty
+
+    def test_name_from_string(self):
+        assert ResourceView("PIM").name == "PIM"
+
+    def test_tuple_from_dict(self):
+        v = ResourceView(tuple_component={"size": 4096})
+        assert v.tuple_component["size"] == 4096
+
+    def test_content_from_string(self):
+        assert ResourceView(content="abc").content.text() == "abc"
+
+    def test_group_from_iterable(self):
+        child = ResourceView("child")
+        v = ResourceView(group=[child])
+        assert [c.name for c in v.group] == ["child"]
+
+    def test_group_rejects_non_views(self):
+        with pytest.raises(ComponentError):
+            ResourceView(group=["not a view"]).group
+
+    def test_name_must_be_string(self):
+        with pytest.raises(ComponentError):
+            ResourceView(name=lambda: 42).name
+
+    def test_explicit_view_id(self):
+        vid = ViewId("fs", "/a/b")
+        assert ResourceView("b", view_id=vid).view_id is vid
+
+    def test_fresh_ids_differ(self):
+        assert ResourceView().view_id != ResourceView().view_id
+
+    def test_view_shorthand(self):
+        v = view("PIM", tuple_component={"size": 1})
+        assert v.name == "PIM"
+        assert v.attribute("size") == 1
+
+
+class TestPaperInterface:
+    """Section 4.1: the four get*Component methods."""
+
+    def test_get_name_component(self):
+        assert ResourceView("x").get_name_component() == "x"
+
+    def test_get_tuple_component(self):
+        assert isinstance(ResourceView().get_tuple_component(), TupleComponent)
+
+    def test_get_content_component(self):
+        assert isinstance(ResourceView().get_content_component(),
+                          ContentComponent)
+
+    def test_get_group_component(self):
+        assert isinstance(ResourceView().get_group_component(), GroupComponent)
+
+
+class TestLaziness:
+    """Components given as callables are computed once, on demand."""
+
+    def test_lazy_content_not_forced_at_construction(self):
+        provider = CountingProvider(lambda: "expensive")
+        v = ResourceView(content=provider)
+        assert provider.calls == 0
+        assert not v.forced_components()["content"]
+
+    def test_lazy_content_forced_once(self):
+        provider = CountingProvider(lambda: "expensive")
+        v = ResourceView(content=provider)
+        assert v.content.text() == "expensive"
+        assert v.content.text() == "expensive"
+        assert provider.calls == 1
+
+    def test_lazy_group_memoized(self):
+        provider = CountingProvider(lambda: [ResourceView("kid")])
+        v = ResourceView(group=provider)
+        list(v.group)
+        list(v.group)
+        assert provider.calls == 1
+
+    def test_accessing_one_component_leaves_others_unforced(self):
+        v = ResourceView(
+            name=lambda: "n", content=lambda: "c",
+            group=lambda: [], tuple_component=lambda: {"a": 1},
+        )
+        _ = v.name
+        forced = v.forced_components()
+        assert forced == {"name": True, "tuple": False,
+                          "content": False, "group": False}
+
+    def test_lazy_normalization_applies(self):
+        v = ResourceView(tuple_component=lambda: {"size": 3})
+        assert v.tuple_component["size"] == 3
+
+
+class TestGraphHelpers:
+    def test_directly_related(self):
+        child = ResourceView("c")
+        parent = ResourceView("p", group=[child])
+        assert parent.is_directly_related(child)
+
+    def test_not_directly_related(self):
+        assert not ResourceView("a").is_directly_related(ResourceView("b"))
+
+    def test_directly_related_iterates(self):
+        kids = [ResourceView(str(i)) for i in range(3)]
+        parent = ResourceView("p", group=kids)
+        assert {v.name for v in parent.directly_related()} == {"0", "1", "2"}
+
+    def test_attribute_shortcut(self):
+        v = ResourceView(tuple_component={"size": 9})
+        assert v.attribute("size") == 9
+        assert v.attribute("other", -1) == -1
+
+    def test_text_shortcut(self):
+        assert ResourceView(content="hi").text() == "hi"
+
+    def test_repr_shows_unforced_name(self):
+        v = ResourceView(name=lambda: "lazy")
+        assert "<lazy>" in repr(v)
+        _ = v.name
+        assert "lazy" in repr(v)

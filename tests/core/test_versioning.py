@@ -1,0 +1,141 @@
+"""Tests for dataspace versioning (Section 8, issue 1)."""
+
+import pytest
+
+from repro.core.errors import VersioningError
+from repro.core.identity import ViewId
+from repro.core.resource_view import ResourceView
+from repro.core.versioning import VersionStore, ViewRecord
+
+
+def _view(name: str, content: str = "", vid: str | None = None):
+    return ResourceView(
+        name, content=content,
+        view_id=ViewId("fs", vid or f"/{name}"),
+    )
+
+
+class TestCommitLifecycle:
+    def test_initial_version_zero(self):
+        assert VersionStore().current_version == 0
+
+    def test_commit_advances_version(self):
+        store = VersionStore()
+        store.record(_view("a"))
+        assert store.commit() == 1
+
+    def test_empty_commit_is_noop(self):
+        store = VersionStore()
+        assert store.commit() == 0
+
+    def test_unchanged_view_not_staged(self):
+        store = VersionStore()
+        v = _view("a", "text")
+        store.record(v)
+        store.commit()
+        store.record(v)  # identical state
+        assert not store.has_staged_changes()
+        assert store.commit() == 1
+
+    def test_changed_content_creates_version(self):
+        store = VersionStore()
+        vid = ViewId("fs", "/a")
+        store.record(ResourceView("a", content="v1", view_id=vid))
+        store.commit()
+        store.record(ResourceView("a", content="v2", view_id=vid))
+        assert store.commit() == 2
+
+
+class TestReads:
+    def test_get_current(self):
+        store = VersionStore()
+        v = _view("a", "hello")
+        store.record(v)
+        store.commit()
+        record = store.get(v.view_id)
+        assert record.name == "a"
+
+    def test_get_historical(self):
+        store = VersionStore()
+        vid = ViewId("fs", "/a")
+        store.record(ResourceView("a", content="old", view_id=vid))
+        store.commit()
+        store.record(ResourceView("a", content="new", view_id=vid))
+        store.commit()
+        old = store.get(vid, version=1)
+        new = store.get(vid, version=2)
+        assert old.content_digest != new.content_digest
+
+    def test_get_before_creation_raises(self):
+        store = VersionStore()
+        a = _view("a")
+        store.record(a)
+        store.commit()
+        b = _view("b")
+        store.record(b)
+        store.commit()
+        with pytest.raises(VersioningError):
+            store.get(b.view_id, version=1)
+
+    def test_unknown_version_raises(self):
+        store = VersionStore()
+        with pytest.raises(VersioningError):
+            store.get(ViewId("fs", "/x"), version=5)
+
+    def test_deleted_view_absent_from_later_versions(self):
+        store = VersionStore()
+        v = _view("a")
+        store.record(v)
+        store.commit()
+        store.record_deletion(v.view_id)
+        store.commit()
+        assert store.exists(v.view_id, version=1)
+        assert not store.exists(v.view_id, version=2)
+
+    def test_delete_unknown_raises(self):
+        with pytest.raises(VersioningError):
+            VersionStore().record_deletion(ViewId("fs", "/ghost"))
+
+    def test_snapshot_reconstructs_state(self):
+        store = VersionStore()
+        a, b = _view("a"), _view("b")
+        store.record(a)
+        store.commit()           # v1: {a}
+        store.record(b)
+        store.record_deletion(a.view_id)
+        store.commit()           # v2: {b}
+        assert set(store.snapshot(1)) == {a.view_id}
+        assert set(store.snapshot(2)) == {b.view_id}
+
+    def test_history_lists_changes(self):
+        store = VersionStore()
+        vid = ViewId("fs", "/a")
+        store.record(ResourceView("a", content="1", view_id=vid))
+        store.commit()
+        store.record(ResourceView("a", content="2", view_id=vid))
+        store.commit()
+        versions = [v for v, _ in store.history(vid)]
+        assert versions == [1, 2]
+
+    def test_changed_between(self):
+        store = VersionStore()
+        a, b = _view("a"), _view("b")
+        store.record(a)
+        store.commit()  # 1
+        store.record(b)
+        store.commit()  # 2
+        assert store.changed_between(1, 2) == {b.view_id}
+        assert store.changed_between(0, 2) == {a.view_id, b.view_id}
+
+
+class TestViewRecord:
+    def test_capture_includes_related_ids(self):
+        child = _view("child")
+        parent = ResourceView("p", group=[child],
+                              view_id=ViewId("fs", "/p"))
+        record = ViewRecord.capture(parent)
+        assert record.related_ids == (child.view_id,)
+
+    def test_capture_is_value_equal(self):
+        v = _view("a", "same")
+        assert ViewRecord.capture(v) == ViewRecord.capture(v)

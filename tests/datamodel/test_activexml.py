@@ -1,0 +1,84 @@
+"""Tests for the ActiveXML use-case (Section 4.3.1)."""
+
+import pytest
+
+from repro.core.graph import descendants
+from repro.core.intensional import ServiceError, ServiceRegistry
+from repro.datamodel.activexml import axml_document
+
+DEPARTMENTS_XML = (
+    "<deplist><entry><name>Accounting</name></entry>"
+    "<entry><name>Research</name></entry></deplist>"
+)
+
+
+@pytest.fixture()
+def registry():
+    registry = ServiceRegistry()
+    registry.register("web.server.com/GetDepartments",
+                      lambda: DEPARTMENTS_XML)
+    return registry
+
+
+class TestBeforeCall:
+    def test_group_contains_only_sc(self, registry):
+        element = axml_document("dep", "web.server.com/GetDepartments",
+                                registry)
+        assert [v.name for v in element.view.group] == ["sc"]
+
+    def test_sc_view_carries_url(self, registry):
+        element = axml_document("dep", "web.server.com/GetDepartments",
+                                registry)
+        sc = next(iter(element.view.group))
+        assert sc.text() == "web.server.com/GetDepartments"
+        assert sc.class_name == "sc"
+
+    def test_service_not_called_lazily(self, registry):
+        element = axml_document("dep", "web.server.com/GetDepartments",
+                                registry)
+        list(element.view.group)  # group access alone must not call out
+        assert registry.calls_to("web.server.com/GetDepartments") == 0
+        assert not element.is_materialized
+
+
+class TestAfterCall:
+    def test_result_inserted_into_group(self, registry):
+        element = axml_document("dep", "web.server.com/GetDepartments",
+                                registry)
+        element.call_service()
+        assert [v.name for v in element.view.group] == ["sc", "scresult"]
+
+    def test_result_subtree_parsed(self, registry):
+        element = axml_document("dep", "web.server.com/GetDepartments",
+                                registry)
+        element.call_service()
+        names = {v.name for v in descendants(element.view)}
+        assert {"deplist", "entry", "name"} <= names
+
+    def test_idempotent(self, registry):
+        element = axml_document("dep", "web.server.com/GetDepartments",
+                                registry)
+        element.call_service()
+        element.call_service()
+        assert registry.calls_to("web.server.com/GetDepartments") == 1
+
+    def test_pubsub_callback(self, registry):
+        received = []
+        element = axml_document(
+            "dep", "web.server.com/GetDepartments", registry,
+            on_result=received.append,
+        )
+        element.call_service()
+        assert len(received) == 1
+        assert received[0].name == "scresult"
+
+    def test_unknown_service_raises(self):
+        element = axml_document("dep", "nowhere/NoService",
+                                ServiceRegistry())
+        with pytest.raises(ServiceError):
+            element.call_service()
+
+    def test_class_is_axml(self, registry):
+        element = axml_document("dep", "web.server.com/GetDepartments",
+                                registry)
+        assert element.view.class_name == "axml"

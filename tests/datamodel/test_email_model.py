@@ -1,0 +1,131 @@
+"""Tests for the email use-case (Section 4.4.1, Options 1 and 2)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.classes import BUILTIN_REGISTRY
+from repro.core.errors import InfiniteComponentError
+from repro.core.graph import find_by_name
+from repro.core.identity import ViewId
+from repro.datamodel.email_model import (
+    attachment_to_view,
+    inbox_state_view,
+    inbox_stream_view,
+    message_to_view,
+)
+from repro.datamodel.latexmodel import latexfile_group_provider
+from repro.imapsim import Attachment, EmailMessage, ImapServer
+from repro.imapsim.latency import no_latency
+
+TEX = r"\begin{document}\section{Report}Results.\end{document}"
+
+
+def _message(subject="Status", attachments=()):
+    return EmailMessage(
+        subject=subject, sender="alice@x.org", to=("bob@y.org",),
+        date=datetime(2005, 4, 2, 10, 0), body="body with database",
+        attachments=tuple(attachments),
+    )
+
+
+def _server(*messages):
+    server = ImapServer(latency=no_latency())
+    for message in messages:
+        server.deliver("INBOX", message)
+    server.connect()
+    return server
+
+
+class TestMessageView:
+    def test_components(self):
+        view = message_to_view(_message(), ViewId("imap", "INBOX/1"))
+        assert view.name == "Status"
+        assert view.class_name == "emailmessage"
+        assert view.tuple_component["from"] == "alice@x.org"
+        assert view.tuple_component["date"] == datetime(2005, 4, 2, 10, 0)
+        assert "database" in view.text()
+
+    def test_conforms(self):
+        view = message_to_view(_message(), ViewId("imap", "INBOX/1"))
+        assert BUILTIN_REGISTRY.conforms(view)
+
+    def test_attachments_in_group(self):
+        message = _message(attachments=[Attachment("r.tex", TEX)])
+        view = message_to_view(message, ViewId("imap", "INBOX/1"))
+        attachments = list(view.group)
+        assert [a.name for a in attachments] == ["r.tex"]
+        assert attachments[0].class_name == "attachment"
+
+
+class TestAttachmentView:
+    def test_components(self):
+        view = attachment_to_view(
+            Attachment("r.tex", TEX, "text/x-tex"),
+            ViewId("imap", "INBOX/1#a0"),
+        )
+        assert view.name == "r.tex"
+        assert view.attribute("mime_type") == "text/x-tex"
+        assert view.text() == TEX
+
+    def test_content_conversion_builds_subgraph(self):
+        view = attachment_to_view(
+            Attachment("r.tex", TEX), ViewId("imap", "INBOX/1#a0"),
+            content_converter=latexfile_group_provider,
+        )
+        assert find_by_name(view, "Report")
+
+    def test_no_converter_leaves_group_empty(self):
+        view = attachment_to_view(
+            Attachment("r.tex", TEX), ViewId("imap", "INBOX/1#a0"),
+        )
+        assert view.group.is_empty
+
+
+class TestOption1State:
+    def test_messages_in_window_order(self):
+        server = _server(_message("m1"), _message("m2"))
+        inbox = inbox_state_view(server, "INBOX")
+        assert [m.name for m in inbox.group] == ["m1", "m2"]
+
+    def test_state_retrievable_multiple_times(self):
+        server = _server(_message("m1"))
+        inbox = inbox_state_view(server, "INBOX")
+        assert len(list(inbox.group)) == 1
+        # re-resolve the state (a second client reading the same mailbox)
+        inbox2 = inbox_state_view(server, "INBOX")
+        assert len(list(inbox2.group)) == 1
+        assert server.select("INBOX") == 1  # nothing was consumed
+
+    def test_class_is_emailfolder(self):
+        server = _server()
+        assert inbox_state_view(server, "INBOX").class_name == "emailfolder"
+
+    def test_lazy_no_fetch_until_group_access(self):
+        server = _server(_message())
+        before = server.latency.operations
+        inbox = inbox_state_view(server, "INBOX")
+        assert server.latency.operations == before
+        list(inbox.group)
+        assert server.latency.operations > before
+
+
+class TestOption2Stream:
+    def test_stream_consumes_server_window(self):
+        server = _server(_message("m1"), _message("m2"))
+        stream = inbox_stream_view(server, "INBOX")
+        names = [m.name for m in stream.group.take(10)]
+        assert names == ["m1", "m2"]
+        assert server.select("INBOX") == 0
+
+    def test_second_read_raises(self):
+        server = _server(_message("m1"))
+        stream = inbox_stream_view(server, "INBOX")
+        stream.group.take(10)
+        with pytest.raises(InfiniteComponentError):
+            stream.group.take(1)
+
+    def test_group_is_infinite(self):
+        server = _server()
+        stream = inbox_stream_view(server, "INBOX")
+        assert not stream.group.is_finite

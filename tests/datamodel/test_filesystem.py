@@ -1,0 +1,152 @@
+"""Tests for the files&folders instantiation (Section 3.2)."""
+
+import pytest
+
+from repro.core.classes import BUILTIN_REGISTRY
+from repro.core.graph import count_views, find_by_name, has_cycle
+from repro.core.identity import ViewId
+from repro.datamodel.filesystem import FilesystemMapper
+from repro.datamodel.latexmodel import latexfile_group_provider
+from repro.vfs import VirtualFileSystem
+
+
+@pytest.fixture()
+def fs():
+    fs = VirtualFileSystem()
+    fs.mkdir("/Projects/PIM", parents=True)
+    fs.write_file("/Projects/PIM/vldb2006.tex",
+                  r"\begin{document}\section{Intro}text\end{document}")
+    fs.write_file("/Projects/PIM/Grant.txt", "grant proposal text")
+    fs.make_link("/Projects/PIM/All Projects", "/Projects")
+    return fs
+
+
+class TestMapping:
+    def test_folder_view_class(self, fs):
+        mapper = FilesystemMapper(fs)
+        view = mapper.view_for("/Projects/PIM")
+        assert view.class_name == "folder"
+        assert view.name == "PIM"
+
+    def test_folder_conforms_to_class(self, fs):
+        mapper = FilesystemMapper(fs)
+        view = mapper.view_for("/Projects/PIM")
+        assert BUILTIN_REGISTRY.conforms(view, check_related=False)
+
+    def test_file_view_components(self, fs):
+        mapper = FilesystemMapper(fs)
+        view = mapper.view_for("/Projects/PIM/Grant.txt")
+        assert view.class_name == "file"
+        assert view.text() == "grant proposal text"
+        assert view.attribute("size") == len("grant proposal text")
+        assert view.attribute("path") == "/Projects/PIM/Grant.txt"
+
+    def test_file_conforms_to_class(self, fs):
+        mapper = FilesystemMapper(fs)
+        view = mapper.view_for("/Projects/PIM/Grant.txt")
+        assert BUILTIN_REGISTRY.conforms(view)
+
+    def test_extension_classes(self, fs):
+        fs.write_file("/Projects/PIM/d.xml", "<a/>")
+        mapper = FilesystemMapper(fs)
+        assert mapper.view_for("/Projects/PIM/vldb2006.tex").class_name == \
+            "latexfile"
+        assert mapper.view_for("/Projects/PIM/d.xml").class_name == "xmlfile"
+
+    def test_folder_children(self, fs):
+        mapper = FilesystemMapper(fs)
+        pim = mapper.view_for("/Projects/PIM")
+        names = {v.name for v in pim.group}
+        # the link resolves to the Projects folder view
+        assert names == {"vldb2006.tex", "Grant.txt", "Projects"}
+
+    def test_view_ids_stable(self, fs):
+        mapper = FilesystemMapper(fs)
+        view = mapper.view_for("/Projects/PIM/Grant.txt")
+        assert view.view_id == ViewId("fs", "/Projects/PIM/Grant.txt")
+
+
+class TestGraphShape:
+    def test_link_creates_cycle(self, fs):
+        mapper = FilesystemMapper(fs)
+        assert has_cycle(mapper.root_view())
+
+    def test_link_shares_view_object(self, fs):
+        mapper = FilesystemMapper(fs)
+        direct = mapper.view_for("/Projects")
+        via_link = mapper.view_for("/Projects/PIM/All Projects")
+        assert direct is via_link
+
+    def test_traversal_terminates_despite_cycle(self, fs):
+        mapper = FilesystemMapper(fs)
+        assert count_views(mapper.root_view()) == 5  # /, Projects, PIM, 2 files
+
+
+class TestLaziness:
+    def test_group_not_forced_until_accessed(self, fs):
+        mapper = FilesystemMapper(fs)
+        view = mapper.view_for("/Projects/PIM")
+        assert not view.forced_components()["group"]
+        list(view.group)
+        assert view.forced_components()["group"]
+
+    def test_content_read_lazily(self, fs):
+        reads = []
+        original = fs.read
+
+        def counting_read(path):
+            reads.append(path)
+            return original(path)
+
+        fs.read = counting_read  # type: ignore[method-assign]
+        mapper = FilesystemMapper(fs)
+        view = mapper.view_for("/Projects/PIM/Grant.txt")
+        assert reads == []
+        view.text()
+        assert reads == ["/Projects/PIM/Grant.txt"]
+
+
+class TestContentConversion:
+    def test_converter_builds_subgraph(self, fs):
+        mapper = FilesystemMapper(fs,
+                                  content_converter=latexfile_group_provider)
+        tex = mapper.view_for("/Projects/PIM/vldb2006.tex")
+        sections = find_by_name(tex, "Intro")
+        assert len(sections) == 1
+        assert sections[0].class_name == "latex_section"
+
+    def test_converter_skips_other_files(self, fs):
+        mapper = FilesystemMapper(fs,
+                                  content_converter=latexfile_group_provider)
+        txt = mapper.view_for("/Projects/PIM/Grant.txt")
+        assert txt.group.is_empty
+
+    def test_no_converter_leaves_group_empty(self, fs):
+        mapper = FilesystemMapper(fs)
+        tex = mapper.view_for("/Projects/PIM/vldb2006.tex")
+        assert tex.group.is_empty
+
+    def test_derived_ids_extend_file_id(self, fs):
+        mapper = FilesystemMapper(fs,
+                                  content_converter=latexfile_group_provider)
+        tex = mapper.view_for("/Projects/PIM/vldb2006.tex")
+        for child in tex.group:
+            assert child.view_id.path.startswith(
+                "/Projects/PIM/vldb2006.tex#"
+            )
+
+
+class TestInvalidation:
+    def test_invalidate_refreshes_view(self, fs):
+        mapper = FilesystemMapper(fs)
+        old = mapper.view_for("/Projects/PIM/Grant.txt")
+        fs.write_file("/Projects/PIM/Grant.txt", "new content")
+        mapper.invalidate("/Projects/PIM/Grant.txt")
+        fresh = mapper.view_for("/Projects/PIM/Grant.txt")
+        assert fresh is not old
+        assert fresh.text() == "new content"
+
+    def test_cached_paths(self, fs):
+        mapper = FilesystemMapper(fs)
+        mapper.view_for("/Projects")
+        assert "/Projects" in mapper.cached_paths()

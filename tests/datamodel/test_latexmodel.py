@@ -1,0 +1,166 @@
+"""Tests for the LaTeX instantiation (the Figure 1 content subgraphs)."""
+
+import pytest
+
+from repro.core.graph import descendants, find_by_name, traverse
+from repro.core.identity import ViewId
+from repro.datamodel.latexmodel import latex_to_views, latexfile_group_provider
+
+BASE = ViewId("fs", "/paper.tex")
+
+SOURCE = r"""
+\documentclass{article}
+\title{A Unified Model}
+\begin{document}
+\begin{abstract}Short abstract.\end{abstract}
+\section{Introduction}\label{sec:intro}
+Opening text with Mike Franklin.
+\subsection{The Problem}
+Problem text, see Section~\ref{sec:prelim}.
+\section{Preliminaries}\label{sec:prelim}
+Definitions.
+\begin{center}
+\begin{figure}
+\caption{Indexing time growth}
+\label{fig:growth}
+\end{figure}
+\end{center}
+As shown in \ref{fig:growth}.
+\end{document}
+"""
+
+
+@pytest.fixture()
+def views():
+    return latex_to_views(SOURCE, BASE)
+
+
+def _all(views):
+    return [v for v, _ in traverse(views)]
+
+
+class TestTopLevel:
+    def test_metadata_views_first(self, views):
+        names = [v.name for v in views]
+        assert names == ["documentclass", "title", "abstract", "document"]
+
+    def test_documentclass_content(self, views):
+        assert views[0].text() == "article"
+
+    def test_title_content(self, views):
+        assert views[1].text() == "A Unified Model"
+
+    def test_abstract_content(self, views):
+        assert views[2].text() == "Short abstract."
+
+    def test_document_view_class(self, views):
+        assert views[3].class_name == "latex_document"
+
+
+class TestSections:
+    def test_sections_under_document(self, views):
+        document = views[3]
+        titles = [v.name for v in document.group.seq_part.items()]
+        assert titles == ["Introduction", "Preliminaries"]
+
+    def test_section_class_and_label(self, views):
+        intro = find_by_name(views, "Introduction")[0]
+        assert intro.class_name == "latex_section"
+        assert intro.tuple_component["label"] == "sec:intro"
+        assert intro.tuple_component["level"] == 1
+
+    def test_section_content_is_own_text(self, views):
+        intro = find_by_name(views, "Introduction")[0]
+        assert "Mike Franklin" in intro.text()
+        assert "Problem text" not in intro.text()
+
+    def test_subsection_nested(self, views):
+        intro = find_by_name(views, "Introduction")[0]
+        sub = [v for v in intro.group if v.name == "The Problem"]
+        assert len(sub) == 1
+        assert sub[0].tuple_component["level"] == 2
+
+    def test_paragraphs_become_child_views(self, views):
+        intro = find_by_name(views, "Introduction")[0]
+        texts = [v for v in intro.group if v.class_name == "latex_text"]
+        assert len(texts) == 1
+        assert "Mike Franklin" in texts[0].text()
+
+
+class TestEnvironments:
+    def test_figure_view(self, views):
+        figure = find_by_name(views, "figure1")[0]
+        assert figure.class_name == "figure"
+        assert figure.tuple_component["label"] == "fig:growth"
+        assert figure.text() == "Indexing time growth"
+
+    def test_center_wraps_figure(self, views):
+        center = find_by_name(views, "center1")[0]
+        assert center.class_name == "environment"
+        children = [v.name for v in center.group]
+        assert children == ["figure1"]
+
+    def test_environment_ordinals_unique(self):
+        double = latex_to_views(
+            r"\begin{document}\begin{figure}\end{figure}"
+            r"\begin{figure}\end{figure}\end{document}", BASE,
+        )
+        names = {v.name for v in _all(double) if v.class_name == "figure"}
+        assert names == {"figure1", "figure2"}
+
+
+class TestReferences:
+    def test_texref_named_by_label(self, views):
+        refs = [v for v in _all(views) if v.class_name == "texref"]
+        assert {r.name for r in refs} == {"sec:prelim", "fig:growth"}
+
+    def test_ref_links_to_target_view(self, views):
+        ref = [v for v in _all(views) if v.name == "sec:prelim"][0]
+        targets = list(ref.group)
+        assert len(targets) == 1
+        assert targets[0].name == "Preliminaries"
+
+    def test_ref_creates_dag_sharing(self, views):
+        """Preliminaries is reachable both from the document and from
+        the ref inside The Problem — the paper's Figure 1 shape."""
+        prelim = find_by_name(views, "Preliminaries")[0]
+        parents = [
+            v for v in _all(views)
+            if any(c.view_id == prelim.view_id for c in v.group)
+        ]
+        assert len(parents) == 2
+
+    def test_unresolved_ref_has_empty_group(self):
+        views = latex_to_views(
+            r"\begin{document}\section{A}\ref{ghost}\end{document}", BASE
+        )
+        ref = [v for v in _all(views) if v.class_name == "texref"][0]
+        assert ref.group.is_empty
+
+    def test_figure_ref_target(self, views):
+        ref = [v for v in _all(views) if v.name == "fig:growth"][0]
+        assert [t.name for t in ref.group] == ["figure1"]
+
+
+class TestIds:
+    def test_all_ids_rooted_at_base(self, views):
+        for view in _all(views):
+            assert view.view_id.path.startswith("/paper.tex#")
+
+    def test_ids_unique(self, views):
+        ids = [v.view_id for v in _all(views)]
+        assert len(ids) == len(set(ids))
+
+
+class TestConverter:
+    def test_applies_to_tex(self):
+        result = latexfile_group_provider("p.tex", SOURCE, BASE)
+        assert result is not None
+        assert result[-1].class_name == "latex_document"
+
+    def test_skips_other_extensions(self):
+        assert latexfile_group_provider("p.txt", SOURCE, BASE) is None
+
+    def test_total_view_count(self, views):
+        # 4 top + 2 sections + 1 subsection + 2 envs + refs + paragraphs
+        assert len(_all(views)) >= 12

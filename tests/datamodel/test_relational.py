@@ -1,0 +1,87 @@
+"""Tests for the relational instantiation (Table 1)."""
+
+from repro.core.classes import BUILTIN_REGISTRY
+from repro.core.components import Schema
+from repro.datamodel.relational import (
+    database_to_view,
+    relation_to_view,
+    table_to_view,
+    tuple_to_view,
+)
+from repro.store import Column, Database, INT, TEXT
+
+SCHEMA = Schema(["name", "dept"])
+ROWS = [("alice", "db"), ("bob", "os"), ("carol", "db")]
+
+
+class TestTupleView:
+    def test_components(self):
+        view = tuple_to_view(SCHEMA, ("alice", "db"))
+        assert view.name == ""
+        assert view.tuple_component["name"] == "alice"
+        assert view.content.is_empty
+        assert view.group.is_empty
+
+    def test_conforms(self):
+        view = tuple_to_view(SCHEMA, ("alice", "db"))
+        assert BUILTIN_REGISTRY.conforms(view)
+
+
+class TestRelationView:
+    def test_members_are_tuple_views(self):
+        relation = relation_to_view("emp", SCHEMA, ROWS)
+        members = list(relation.group)
+        assert len(members) == 3
+        assert all(m.class_name == "tuple" for m in members)
+
+    def test_shared_schema(self):
+        relation = relation_to_view("emp", SCHEMA, ROWS)
+        schemas = {m.tuple_component.schema for m in relation.group}
+        assert schemas == {SCHEMA}
+
+    def test_conforms(self):
+        relation = relation_to_view("emp", SCHEMA, ROWS)
+        assert BUILTIN_REGISTRY.conforms(relation)
+
+    def test_member_ids_derived(self):
+        relation = relation_to_view("emp", SCHEMA, ROWS)
+        for member in relation.group:
+            assert member.view_id.path.startswith("emp#")
+
+
+class TestDatabaseView:
+    def test_holds_relations(self):
+        emp = relation_to_view("emp", SCHEMA, ROWS)
+        db = database_to_view("company", [emp])
+        assert [r.name for r in db.group] == ["emp"]
+        assert db.class_name == "reldb"
+
+    def test_conforms(self):
+        emp = relation_to_view("emp", SCHEMA, ROWS)
+        db = database_to_view("company", [emp])
+        assert BUILTIN_REGISTRY.conforms(db)
+
+
+class TestTableBridge:
+    def test_reflects_live_table(self):
+        db = Database()
+        table = db.create_table(
+            "emp", [Column("name", TEXT), Column("age", INT)],
+            primary_key="name",
+        )
+        table.insert({"name": "alice", "age": 30})
+        view = table_to_view(table)
+        assert len(list(view.group)) == 1
+        # lazy: the group is computed at access, but memoized afterwards;
+        # a fresh bridge view sees new rows
+        table.insert({"name": "bob", "age": 40})
+        fresh = table_to_view(table)
+        assert len(list(fresh.group)) == 2
+
+    def test_tuple_values_match_rows(self):
+        db = Database()
+        table = db.create_table("t", [Column("x", INT)], primary_key="x")
+        table.insert({"x": 7})
+        view = table_to_view(table)
+        member = next(iter(view.group))
+        assert member.tuple_component["x"] == 7

@@ -1,0 +1,105 @@
+"""Tests for the data stream instantiations (Section 3.4)."""
+
+from datetime import datetime
+
+import itertools
+
+from repro.core.classes import BUILTIN_REGISTRY
+from repro.core.components import Schema
+from repro.core.resource_view import ResourceView
+from repro.datamodel.streams import (
+    rss_stream_view,
+    stream_view,
+    tuple_stream_view,
+)
+from repro.rss import FeedEntry, FeedPoller, FeedServer
+
+
+class TestGenericStream:
+    def test_infinite_group(self):
+        def items():
+            for i in itertools.count():
+                yield ResourceView(f"item{i}")
+
+        stream = stream_view(items)
+        assert not stream.group.is_finite
+        assert stream.class_name == "datstream"
+
+    def test_take_bounded(self):
+        def items():
+            for i in itertools.count():
+                yield ResourceView(f"item{i}")
+
+        stream = stream_view(items)
+        names = [v.name for v in stream.group.take(3)]
+        assert names == ["item0", "item1", "item2"]
+
+    def test_conforms_to_datstream(self):
+        def items():
+            while True:
+                yield ResourceView(tuple_component={"x": 1},
+                                   class_name="tuple")
+
+        assert BUILTIN_REGISTRY.conforms(stream_view(items))
+
+
+class TestTupleStream:
+    SCHEMA = Schema(["symbol", "price"])
+
+    def _rows(self):
+        def rows():
+            for i in itertools.count():
+                yield ("ABC", float(i))
+        return rows
+
+    def test_items_are_tuple_views(self):
+        stream = tuple_stream_view(self.SCHEMA, self._rows())
+        items = stream.group.take(4)
+        assert all(v.class_name == "tuple" for v in items)
+        assert items[2].tuple_component["price"] == 2.0
+
+    def test_class_is_tupstream(self):
+        stream = tuple_stream_view(self.SCHEMA, self._rows())
+        assert stream.class_name == "tupstream"
+        assert BUILTIN_REGISTRY.conforms(stream)
+
+    def test_reusable_stream_restarts(self):
+        stream = tuple_stream_view(self.SCHEMA, self._rows())
+        first = [v.tuple_component["price"] for v in stream.group.take(2)]
+        second = [v.tuple_component["price"] for v in stream.group.take(2)]
+        assert first == second == [0.0, 1.0]
+
+
+class TestRssStream:
+    def _poller(self):
+        server = FeedServer()
+        server.publish("u", "Chan", [
+            FeedEntry("g1", "One", "d1", datetime(2006, 1, 1)),
+            FeedEntry("g2", "Two", "d2", datetime(2006, 1, 2)),
+        ])
+        return FeedPoller(server, "u")
+
+    def test_items_are_xmldocs(self):
+        stream = rss_stream_view(self._poller())
+        items = stream.group.take(10)
+        assert len(items) == 2
+        assert all(v.class_name == "xmldoc" for v in items)
+
+    def test_stream_is_single_shot(self):
+        import pytest
+        from repro.core.errors import InfiniteComponentError
+        stream = rss_stream_view(self._poller())
+        stream.group.take(10)
+        with pytest.raises(InfiniteComponentError):
+            stream.group.take(1)
+
+    def test_item_content_preserved(self):
+        stream = rss_stream_view(self._poller())
+        first = stream.group.take(1)[0]
+        from repro.core.graph import traverse
+        texts = [v.text() for v, _ in traverse(first)
+                 if v.class_name == "xmltext"]
+        assert "One" in texts
+
+    def test_class_is_rssatom(self):
+        assert rss_stream_view(self._poller()).class_name == "rssatom"

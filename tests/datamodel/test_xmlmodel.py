@@ -1,0 +1,84 @@
+"""Tests for the XML instantiation (Section 3.3, Figure 2)."""
+
+from repro.core.classes import BUILTIN_REGISTRY
+from repro.core.graph import traverse
+from repro.core.identity import ViewId
+from repro.datamodel.xmlmodel import xml_to_views, xmlfile_group_provider
+
+BASE = ViewId("fs", "/doc.xml")
+
+FRAGMENT = (
+    '<article id="a7"><title>iDM</title>'
+    "<body>Personal <em>dataspace</em> management</body></article>"
+)
+
+
+class TestXmlToViews:
+    def test_document_view_class(self):
+        doc = xml_to_views(FRAGMENT, BASE)
+        assert doc.class_name == "xmldoc"
+        assert doc.name == ""
+
+    def test_document_has_single_root_in_sequence(self):
+        doc = xml_to_views(FRAGMENT, BASE)
+        roots = doc.group.seq_part.items()
+        assert len(roots) == 1
+        assert roots[0].name == "article"
+
+    def test_element_attributes_in_tuple(self):
+        doc = xml_to_views(FRAGMENT, BASE)
+        root = doc.group.seq_part.items()[0]
+        assert root.tuple_component["id"] == "a7"
+
+    def test_children_ordered(self):
+        doc = xml_to_views(FRAGMENT, BASE)
+        root = doc.group.seq_part.items()[0]
+        assert [c.name for c in root.group.seq_part.items()] == \
+            ["title", "body"]
+
+    def test_text_nodes_are_xmltext(self):
+        doc = xml_to_views(FRAGMENT, BASE)
+        classes = {v.class_name for v, _ in traverse(doc)}
+        assert "xmltext" in classes
+
+    def test_mixed_content_order_preserved(self):
+        doc = xml_to_views(FRAGMENT, BASE)
+        body = [v for v, _ in traverse(doc) if v.name == "body"][0]
+        kinds = [c.class_name for c in body.group.seq_part.items()]
+        assert kinds == ["xmltext", "xmlelem", "xmltext"]
+
+    def test_whitespace_only_text_dropped(self):
+        doc = xml_to_views("<a>\n  <b/>\n</a>", BASE)
+        root = doc.group.seq_part.items()[0]
+        assert [c.name for c in root.group.seq_part.items()] == ["b"]
+
+    def test_conformance_to_table1_classes(self):
+        doc = xml_to_views(FRAGMENT, BASE)
+        for view, _ in traverse(doc):
+            assert BUILTIN_REGISTRY.conforms(view), view
+
+    def test_derived_ids_rooted_at_base(self):
+        doc = xml_to_views(FRAGMENT, BASE)
+        for view, _ in traverse(doc):
+            assert view.view_id.path.startswith("/doc.xml#")
+
+    def test_accepts_parsed_document(self):
+        from repro.xmlp import parse
+        doc = xml_to_views(parse(FRAGMENT), BASE)
+        assert doc.class_name == "xmldoc"
+
+
+class TestConverter:
+    def test_applies_to_xml_files(self):
+        result = xmlfile_group_provider("data.xml", "<a/>", BASE)
+        assert result is not None
+        assert result[0].class_name == "xmldoc"
+
+    def test_skips_other_extensions(self):
+        assert xmlfile_group_provider("data.txt", "<a/>", BASE) is None
+
+    def test_malformed_xml_returns_none(self):
+        assert xmlfile_group_provider("data.xml", "<a><b></a>", BASE) is None
+
+    def test_case_insensitive_extension(self):
+        assert xmlfile_group_provider("DATA.XML", "<a/>", BASE) is not None

@@ -1,0 +1,96 @@
+"""Integration: live changes propagate through sync into query results."""
+
+from datetime import datetime
+
+from repro.facade import Dataspace
+from repro.imapsim import Attachment, EmailMessage
+from repro.rss import FeedEntry
+
+
+class TestFilesystemPropagation:
+    def test_new_file_becomes_queryable(self, generated_tiny):
+        ds = Dataspace(vfs=generated_tiny.vfs, imap=generated_tiny.imap)
+        ds.sync()
+        ds.watch()
+        generated_tiny.vfs.write_file(
+            "/Projects/PIM/breaking.txt", "zanzibar discovery notes"
+        )
+        ds.refresh()
+        assert len(ds.query('"zanzibar"')) == 1
+
+    def test_new_tex_file_grows_subgraph(self, generated_tiny):
+        ds = Dataspace(vfs=generated_tiny.vfs, imap=generated_tiny.imap)
+        ds.sync()
+        ds.watch()
+        generated_tiny.vfs.write_file(
+            "/Projects/PIM/fresh.tex",
+            r"\begin{document}\section{Novelty}xylophone text\end{document}",
+        )
+        ds.refresh()
+        hits = ds.query('//Novelty[class="latex_section"]')
+        assert len(hits) == 1
+
+    def test_deletion_removes_results(self, generated_tiny):
+        ds = Dataspace(vfs=generated_tiny.vfs, imap=generated_tiny.imap)
+        ds.sync()
+        ds.watch()
+        generated_tiny.vfs.write_file("/Projects/tmp.txt", "quokka facts")
+        ds.refresh()
+        assert len(ds.query('"quokka"')) == 1
+        generated_tiny.vfs.delete("/Projects/tmp.txt")
+        ds.refresh()
+        assert len(ds.query('"quokka"')) == 0
+
+    def test_modification_replaces_index_entries(self, generated_tiny):
+        ds = Dataspace(vfs=generated_tiny.vfs, imap=generated_tiny.imap)
+        ds.sync()
+        ds.watch()
+        generated_tiny.vfs.write_file("/Projects/v.txt", "veritas one")
+        ds.refresh()
+        generated_tiny.vfs.write_file("/Projects/v.txt", "mutatis two")
+        ds.refresh()
+        assert len(ds.query('"veritas"')) == 0
+        assert len(ds.query('"mutatis"')) == 1
+
+
+class TestEmailPropagation:
+    def test_delivered_message_queryable(self, generated_tiny):
+        ds = Dataspace(vfs=generated_tiny.vfs, imap=generated_tiny.imap)
+        ds.sync()
+        ds.watch()
+        generated_tiny.imap.deliver("INBOX", EmailMessage(
+            subject="urgent flamingo", sender="x@y", to=("z@w",),
+            date=datetime(2005, 9, 1), body="flamingo sighting report",
+        ))
+        ds.refresh()
+        assert len(ds.query('"flamingo"')) >= 1
+
+    def test_attachment_subgraph_queryable(self, generated_tiny):
+        ds = Dataspace(vfs=generated_tiny.vfs, imap=generated_tiny.imap)
+        ds.sync()
+        ds.watch()
+        generated_tiny.imap.deliver("INBOX", EmailMessage(
+            subject="doc", sender="x@y", to=("z@w",),
+            date=datetime(2005, 9, 1), body="see attachment",
+            attachments=(Attachment(
+                "late.tex",
+                r"\begin{document}\section{Aardwolf}rare text\end{document}",
+            ),),
+        ))
+        ds.refresh()
+        assert len(ds.query('//Aardwolf[class="latex_section"]')) == 1
+
+
+class TestFeedPropagation:
+    def test_new_entry_found_by_polling(self, generated_tiny):
+        ds = Dataspace(vfs=generated_tiny.vfs, imap=generated_tiny.imap,
+                       feeds=generated_tiny.feeds)
+        ds.sync()
+        ds.refresh()  # baseline poll
+        url = generated_tiny.feeds.urls()[0]
+        generated_tiny.feeds.add_entry(url, FeedEntry(
+            "brandnew", "Okapi special", "okapi description",
+            datetime(2006, 5, 5),
+        ))
+        ds.refresh()
+        assert len(ds.query('"okapi"')) >= 1

@@ -1,0 +1,96 @@
+"""End-to-end integration: generate → sync → query, and the facade."""
+
+from repro.bench.harness import PAPER_QUERIES
+
+
+class TestFacadeLifecycle:
+    def test_sync_reports_all_sources(self, tiny_dataspace):
+        report = tiny_dataspace.last_sync_report
+        assert set(report.sources) == {"fs", "imap", "rss"}
+        assert report.views_total == tiny_dataspace.view_count
+
+    def test_view_count_substantial(self, tiny_dataspace):
+        # derived views multiply base items
+        assert tiny_dataspace.view_count > 200
+
+    def test_index_sizes_consistent(self, tiny_dataspace):
+        sizes = tiny_dataspace.index_sizes()
+        assert sizes["total"] == (sizes["name"] + sizes["tuple"]
+                                  + sizes["content"] + sizes["group"]
+                                  + sizes["catalog"])
+        assert sizes["content"] > 0
+        assert sizes["net_input"] > 0
+
+    def test_explain_without_execution(self, tiny_dataspace):
+        assert "ContentSearch" in tiny_dataspace.explain('"database"')
+
+
+class TestPaperQueriesEndToEnd:
+    """Every Table 4 query must run and return its planted ground truth."""
+
+    def test_q1_database_many_hits(self, tiny_dataspace):
+        result = tiny_dataspace.query(PAPER_QUERIES["Q1"])
+        assert len(result) > 20
+
+    def test_q2_phrase_fewer_than_q1(self, tiny_dataspace):
+        q1 = tiny_dataspace.query(PAPER_QUERIES["Q1"])
+        q2 = tiny_dataspace.query(PAPER_QUERIES["Q2"])
+        assert 0 < len(q2) < len(q1)
+
+    def test_q3_matches_planted_large_files(self, tiny_dataspace):
+        result = tiny_dataspace.query(PAPER_QUERIES["Q3"])
+        assert len(result) == \
+            tiny_dataspace.generated.planted["q3_large_files"]
+
+    def test_q4_vision_sections(self, tiny_dataspace):
+        result = tiny_dataspace.query(PAPER_QUERIES["Q4"])
+        assert len(result) == \
+            tiny_dataspace.generated.planted["q4_vision_sections"]
+
+    def test_q5_conclusion_sections(self, tiny_dataspace):
+        result = tiny_dataspace.query(PAPER_QUERIES["Q5"])
+        assert len(result) == \
+            tiny_dataspace.generated.planted["q5_conclusion_sections"]
+
+    def test_q6_union_nonempty(self, tiny_dataspace):
+        result = tiny_dataspace.query(PAPER_QUERIES["Q6"])
+        assert len(result) >= 2
+
+    def test_q7_figure_join(self, tiny_dataspace):
+        result = tiny_dataspace.query(PAPER_QUERIES["Q7"])
+        assert len(result) == \
+            tiny_dataspace.generated.planted["q7_figure_refs"]
+        for pair in result.pairs:
+            assert pair.left.class_name == "texref"
+            assert pair.right.class_name == "figure"
+
+    def test_q8_cross_subsystem_join(self, tiny_dataspace):
+        result = tiny_dataspace.query(PAPER_QUERIES["Q8"])
+        assert len(result) == \
+            tiny_dataspace.generated.planted["q8_shared_tex"]
+        for pair in result.pairs:
+            assert pair.left.uri.startswith("imap://")
+            assert pair.right.uri.startswith("fs://")
+
+    def test_all_queries_under_a_second(self, tiny_dataspace):
+        for iql in PAPER_QUERIES.values():
+            result = tiny_dataspace.query(iql)
+            assert result.elapsed_seconds < 1.0  # the paper's HCI bound
+
+
+class TestIntroExamples:
+    """The two motivating queries from the paper's introduction."""
+
+    def test_example1_inside_outside(self, tiny_dataspace):
+        result = tiny_dataspace.query(
+            '//PIM//Introduction[class="latex_section" and "Mike Franklin"]'
+        )
+        assert len(result) == 1
+        assert result.hits[0].uri.startswith("fs:///Projects/PIM/")
+
+    def test_example2_files_vs_attachments(self, tiny_dataspace):
+        result = tiny_dataspace.query(
+            '//OLAP//[class="figure" and "Indexing Time"]'
+        )
+        assert len(result) >= 1
+        assert any(h.uri.startswith("imap://") for h in result.hits)

@@ -1,0 +1,73 @@
+"""Property-based tests: B+-tree behaves like a sorted multimap."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.store import BPlusTree
+
+_OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 60),
+                  st.integers(0, 1000)),
+        st.tuples(st.just("remove"), st.integers(0, 60),
+                  st.integers(0, 1000)),
+    ),
+    max_size=300,
+)
+
+
+def _apply(operations, order):
+    tree = BPlusTree(order=order)
+    model: dict[int, list[int]] = defaultdict(list)
+    for op, key, value in operations:
+        if op == "insert":
+            tree.insert(key, value)
+            model[key].append(value)
+        else:
+            removed = tree.remove(key, value)
+            if value in model.get(key, []):
+                assert removed
+                model[key].remove(value)
+                if not model[key]:
+                    del model[key]
+            else:
+                assert not removed
+    return tree, {k: v for k, v in model.items() if v}
+
+
+class TestAgainstModel:
+    @given(_OPERATIONS, st.sampled_from([4, 5, 8, 32]))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_multimap_model(self, operations, order):
+        tree, model = _apply(operations, order)
+        assert list(tree.keys()) == sorted(model)
+        for key, values in model.items():
+            assert sorted(tree.get(key)) == sorted(values)
+        assert len(tree) == sum(len(v) for v in model.values())
+
+    @given(_OPERATIONS, st.integers(0, 60), st.integers(0, 60))
+    @settings(max_examples=100, deadline=None)
+    def test_range_matches_model(self, operations, low, high):
+        low, high = min(low, high), max(low, high)
+        tree, model = _apply(operations, 6)
+        got = [key for key, _ in tree.range(low, high)]
+        expected = [key for key in sorted(model) if low <= key <= high]
+        assert got == expected
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_keys_always_sorted_unique(self, keys):
+        tree = BPlusTree(order=4)
+        for key in keys:
+            tree.insert(key, key)
+        out = list(tree.keys())
+        assert out == sorted(set(keys))
+
+    @given(st.lists(st.text(max_size=5), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_string_keys(self, keys):
+        tree = BPlusTree(order=5)
+        for key in keys:
+            tree.insert(key, 1)
+        assert list(tree.keys()) == sorted(set(keys))

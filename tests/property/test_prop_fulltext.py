@@ -1,0 +1,94 @@
+"""Property-based tests: full-text engine invariants."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fulltext import And, InvertedIndex, Not, Phrase, Term
+from repro.fulltext.analyzer import DEFAULT_ANALYZER
+
+_WORDS = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+_DOCS = st.lists(
+    st.lists(_WORDS, min_size=1, max_size=20).map(" ".join),
+    min_size=1, max_size=12,
+)
+
+
+def _build(texts):
+    index = InvertedIndex()
+    for position, text in enumerate(texts):
+        index.add(f"d{position}", text)
+    return index
+
+
+class TestRetrievalCompleteness:
+    @given(_DOCS)
+    @settings(max_examples=100, deadline=None)
+    def test_every_token_is_findable(self, texts):
+        """Any document containing a token is returned for that token."""
+        index = _build(texts)
+        for position, text in enumerate(texts):
+            for term in set(DEFAULT_ANALYZER.terms(text)):
+                assert f"d{position}" in Term(term).keys(index)
+
+    @given(_DOCS)
+    @settings(max_examples=100, deadline=None)
+    def test_no_false_positives(self, texts):
+        index = _build(texts)
+        vocabulary = {t for text in texts for t in DEFAULT_ANALYZER.terms(text)}
+        for term in vocabulary:
+            for key in Term(term).keys(index):
+                doc_terms = DEFAULT_ANALYZER.terms(
+                    texts[int(key[1:])]
+                )
+                assert term in doc_terms
+
+
+class TestAlgebraicLaws:
+    @given(_DOCS, _WORDS, _WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_phrase_subset_of_conjunction(self, texts, w1, w2):
+        index = _build(texts)
+        phrase = Phrase((w1, w2)).docs(index)
+        conjunction = And((Term(w1), Term(w2))).docs(index)
+        assert phrase <= conjunction
+
+    @given(_DOCS, _WORDS)
+    @settings(max_examples=100, deadline=None)
+    def test_not_is_complement(self, texts, word):
+        index = _build(texts)
+        matched = Term(word).docs(index)
+        complement = Not(Term(word)).docs(index)
+        assert matched | complement == set(index.all_doc_ids())
+        assert matched & complement == set()
+
+    @given(_DOCS)
+    @settings(max_examples=50, deadline=None)
+    def test_two_word_phrases_match_adjacent_pairs(self, texts):
+        index = _build(texts)
+        for position, text in enumerate(texts):
+            terms = DEFAULT_ANALYZER.terms(text)
+            for left, right in zip(terms, terms[1:]):
+                assert f"d{position}" in Phrase((left, right)).keys(index)
+
+
+class TestRemovalInvariants:
+    @given(_DOCS)
+    @settings(max_examples=50, deadline=None)
+    def test_removed_docs_never_returned(self, texts):
+        index = _build(texts)
+        index.remove("d0")
+        vocabulary = {t for text in texts for t in DEFAULT_ANALYZER.terms(text)}
+        for term in vocabulary:
+            assert "d0" not in Term(term).keys(index)
+
+    @given(_DOCS)
+    @settings(max_examples=50, deadline=None)
+    def test_add_remove_restores_emptiness(self, texts):
+        index = InvertedIndex()
+        for position, text in enumerate(texts):
+            index.add(f"d{position}", text)
+        for position in range(len(texts)):
+            index.remove(f"d{position}")
+        assert index.document_count == 0
+        assert index.term_count == 0

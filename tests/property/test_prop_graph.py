@@ -1,0 +1,100 @@
+"""Property-based tests: graph traversal invariants on random digraphs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graph import (
+    children,
+    descendants,
+    is_indirectly_related,
+    traverse,
+)
+from repro.core.identity import ViewId
+from repro.core.resource_view import ResourceView
+
+_EDGE_SETS = st.sets(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)),
+    max_size=30,
+)
+
+
+def _build(edges):
+    """Materialize an adjacency-list digraph as resource views."""
+    nodes = sorted({n for e in edges for n in e} | {0})
+    adjacency = {n: sorted({b for a, b in edges if a == n}) for n in nodes}
+    views: dict[int, ResourceView] = {}
+
+    def make(node: int) -> ResourceView:
+        if node not in views:
+            views[node] = ResourceView(
+                str(node),
+                group=lambda n=node: [make(m) for m in adjacency[n]],
+                view_id=ViewId("g", str(node)),
+            )
+        return views[node]
+
+    for node in nodes:
+        make(node)
+    return views, adjacency
+
+
+def _reachable(adjacency, start):
+    """Transitive closure via plain BFS on the adjacency dict."""
+    seen, frontier = set(), list(adjacency.get(start, []))
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(adjacency.get(node, []))
+    return seen
+
+
+class TestTraversalInvariants:
+    @given(_EDGE_SETS)
+    @settings(max_examples=100, deadline=None)
+    def test_indirect_relation_is_transitive_closure(self, edges):
+        views, adjacency = _build(edges)
+        start = views[0]
+        expected = _reachable(adjacency, 0)
+        for node, view in views.items():
+            assert is_indirectly_related(start, view) == (node in expected)
+
+    @given(_EDGE_SETS)
+    @settings(max_examples=100, deadline=None)
+    def test_traverse_visits_each_view_once(self, edges):
+        views, _ = _build(edges)
+        visited = [v.view_id for v, _ in traverse(views[0])]
+        assert len(visited) == len(set(visited))
+
+    @given(_EDGE_SETS)
+    @settings(max_examples=100, deadline=None)
+    def test_descendants_match_closure(self, edges):
+        views, adjacency = _build(edges)
+        got = {int(v.name) for v in descendants(views[0])}
+        # descendants() always excludes the traversal root itself (it is
+        # visited once, at depth 0, even when a cycle returns to it)
+        assert got == _reachable(adjacency, 0) - {0}
+
+    @given(_EDGE_SETS)
+    @settings(max_examples=100, deadline=None)
+    def test_bfs_depth_is_shortest_path(self, edges):
+        views, adjacency = _build(edges)
+        depths = {int(v.name): d for v, d in traverse(views[0])}
+        # verify via BFS on the adjacency dict
+        expected = {0: 0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop(0)
+            for neighbor in adjacency.get(node, []):
+                if neighbor not in expected:
+                    expected[neighbor] = expected[node] + 1
+                    frontier.append(neighbor)
+        assert depths == expected
+
+    @given(_EDGE_SETS)
+    @settings(max_examples=50, deadline=None)
+    def test_children_equal_adjacency(self, edges):
+        views, adjacency = _build(edges)
+        for node, view in views.items():
+            assert sorted(int(c.name) for c in children(view)) == \
+                adjacency[node]

@@ -1,0 +1,133 @@
+"""Property-based tests: iQL parse/unparse round-tripping on generated ASTs."""
+
+import string
+from datetime import datetime
+
+from hypothesis import given, settings, strategies as st
+
+from repro.query.ast import (
+    Axis,
+    CompareOp,
+    Comparison,
+    FunctionCall,
+    JoinCondition,
+    JoinExpr,
+    KeywordAtom,
+    Literal,
+    PathExpr,
+    PredAnd,
+    PredicateExpr,
+    PredNot,
+    PredOr,
+    QualifiedRef,
+    Step,
+    UnionExpr,
+)
+from repro.query.parser import parse_iql
+from repro.query.unparse import unparse
+
+_WORDS = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8)
+_PHRASES = st.lists(_WORDS, min_size=1, max_size=3).map(" ".join)
+_NAME_TESTS = st.one_of(
+    _WORDS,
+    _WORDS.map(lambda w: w + "*"),
+    _WORDS.map(lambda w: "?" + w),
+    st.just("*.tex"),
+)
+_ATTRIBUTES = st.sampled_from(["size", "modified", "label", "level"])
+_OPS = st.sampled_from(list(CompareOp))
+
+
+def _literals():
+    return st.one_of(
+        st.integers(0, 10_000).map(Literal),
+        _PHRASES.map(Literal),
+        st.dates(min_value=datetime(1990, 1, 1).date(),
+                 max_value=datetime(2020, 1, 1).date())
+          .map(lambda d: Literal(datetime(d.year, d.month, d.day))),
+        st.sampled_from(["now", "today", "yesterday"])
+          .map(lambda n: FunctionCall(n)),
+    )
+
+
+@st.composite
+def _predicates(draw, depth=0):
+    if depth >= 2:
+        choices = st.one_of(
+            _PHRASES.map(lambda t: KeywordAtom(t, is_phrase=True)),
+            st.builds(Comparison, _ATTRIBUTES, _OPS, _literals()),
+        )
+        return draw(choices)
+    kind = draw(st.sampled_from(["atom", "cmp", "and", "or", "not"]))
+    if kind == "atom":
+        return KeywordAtom(draw(_PHRASES), is_phrase=True)
+    if kind == "cmp":
+        return Comparison(draw(_ATTRIBUTES), draw(_OPS), draw(_literals()))
+    if kind == "not":
+        return PredNot(draw(_predicates(depth=depth + 1)))
+    parts = tuple(draw(st.lists(_predicates(depth=depth + 1),
+                                min_size=2, max_size=3)))
+    return PredAnd(parts) if kind == "and" else PredOr(parts)
+
+
+@st.composite
+def _paths(draw):
+    steps = []
+    count = draw(st.integers(1, 3))
+    for index in range(count):
+        axis = draw(st.sampled_from([Axis.DESCENDANT, Axis.CHILD]))
+        if index == 0:
+            axis = Axis.DESCENDANT  # leading '/' has root semantics
+        name = draw(st.one_of(st.none(), _NAME_TESTS))
+        predicate = draw(st.one_of(st.none(), _predicates()))
+        if name is None and predicate is None:
+            name = draw(_NAME_TESTS)
+        steps.append(Step(axis, name, predicate))
+    return PathExpr(tuple(steps))
+
+
+_QUERIES = st.one_of(
+    _paths(),
+    _predicates().map(PredicateExpr),
+    st.builds(lambda a, b: UnionExpr((a, b)), _paths(), _paths()),
+    st.builds(
+        lambda a, b, attr: JoinExpr(
+            a, "A", b, "B",
+            JoinCondition(QualifiedRef("A", "name"), CompareOp.EQ,
+                          QualifiedRef("B", "tuple", attr)),
+        ),
+        _paths(), _paths(), _ATTRIBUTES,
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(_QUERIES)
+    @settings(max_examples=250, deadline=None)
+    def test_parse_unparse_fixpoint(self, query):
+        text = unparse(query)
+        reparsed = parse_iql(text)
+        assert unparse(reparsed) == text
+
+    @given(_predicates())
+    @settings(max_examples=250, deadline=None)
+    def test_predicate_semantics_preserved(self, predicate):
+        """The reparsed predicate is structurally identical."""
+        text = unparse(PredicateExpr(predicate))
+        reparsed = parse_iql(text)
+        assert isinstance(reparsed, PredicateExpr)
+        # compare through a second unparse: normalization is idempotent
+        assert unparse(reparsed) == text
+
+    @given(_paths())
+    @settings(max_examples=250, deadline=None)
+    def test_paths_reparse_to_same_steps(self, path):
+        reparsed = parse_iql(unparse(path))
+        assert isinstance(reparsed, PathExpr)
+        assert len(reparsed.steps) == len(path.steps)
+        for original, parsed in zip(path.steps, reparsed.steps):
+            assert parsed.axis == original.axis
+            # '*' normalizes to None (any view) — both mean the same
+            expected = (None if original.name_test == "*"
+                        else original.name_test)
+            assert parsed.name_test == expected

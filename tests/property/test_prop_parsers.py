@@ -1,0 +1,103 @@
+"""Property-based robustness tests: LaTeX, MIME and iQL never crash on
+inputs they should accept, and round-trip where round-trips exist."""
+
+import string
+from datetime import datetime
+
+from hypothesis import given, settings, strategies as st
+
+from repro.imapsim import Attachment, EmailMessage, parse_rfc822, serialize_rfc822
+from repro.latexp import parse as parse_latex
+from repro.query.lexer import tokenize_iql
+from repro.query.parser import parse_iql
+
+_SAFE_TEXT = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,;:!?",
+    min_size=0, max_size=60,
+)
+_LATEX_SOUP = st.text(
+    alphabet=string.ascii_letters + " \\{}[]%$&_^~\n",
+    max_size=200,
+)
+
+
+class TestLatexRobustness:
+    @given(_LATEX_SOUP)
+    @settings(max_examples=200, deadline=None)
+    def test_parser_never_crashes(self, soup):
+        document = parse_latex(soup)  # must not raise
+        document.text()
+        list(document.all_sections())
+        list(document.all_environments())
+
+    @given(_SAFE_TEXT, _SAFE_TEXT)
+    @settings(max_examples=100, deadline=None)
+    def test_section_title_preserved(self, title, body):
+        title = " ".join(title.split())
+        source = f"\\section{{{title}}}\n{body}"
+        document = parse_latex(source)
+        if title:
+            assert document.sections()[0].title == title
+
+
+class TestMimeRoundTrip:
+    _names = st.text(alphabet=string.ascii_letters + ".", min_size=1,
+                     max_size=12)
+    _bodies = st.text(
+        alphabet=string.ascii_letters + string.digits + " .,\n",
+        max_size=100,
+    ).filter(lambda s: "\n\n" not in s)
+
+    @given(_names, _bodies, st.lists(
+        st.tuples(_names, _bodies), max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, subject, body, attachment_specs):
+        message = EmailMessage(
+            subject=" ".join(subject.split()),
+            sender="a@b.c", to=("d@e.f",),
+            date=datetime(2005, 6, 1, 12, 0),
+            body=body.strip("\n"),
+            attachments=tuple(
+                Attachment(name, content.strip("\n"))
+                for name, content in attachment_specs
+            ),
+        )
+        parsed = parse_rfc822(serialize_rfc822(message))
+        assert parsed.subject == message.subject
+        assert parsed.body == message.body
+        assert [a.filename for a in parsed.attachments] == \
+            [a.filename for a in message.attachments]
+        assert [a.content for a in parsed.attachments] == \
+            [a.content for a in message.attachments]
+
+
+class TestIqlLexing:
+    _queries = st.sampled_from([
+        '"database"',
+        '"database tuning"',
+        '[size > 420000 and lastmodified < @12.06.2005]',
+        '//papers//*Vision/*["Franklin"]',
+        '//VLDB200?//?onclusion*/*["systems"]',
+        'union( //A//["x"], //B//["y"])',
+        'join( //X as A, //Y as B, A.name = B.tuple.label )',
+        '[class="figure" and "Indexing time"]',
+        'not ("a" or "b") and "c"',
+    ])
+
+    @given(_queries)
+    @settings(max_examples=50, deadline=None)
+    def test_paper_queries_tokenize_and_parse(self, query):
+        tokens = tokenize_iql(query)
+        assert tokens[-1].kind.name == "END"
+        parse_iql(query)  # must not raise
+
+    @given(st.text(alphabet=string.ascii_letters + ' "/[]()*?', max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_lexer_total_or_syntax_error(self, soup):
+        """The lexer either tokenizes or raises QuerySyntaxError — never
+        anything else."""
+        from repro.core.errors import QuerySyntaxError
+        try:
+            tokenize_iql(soup)
+        except QuerySyntaxError:
+            pass

@@ -1,0 +1,74 @@
+"""Property-based tests: tuple index equals naive predicate evaluation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.components import TupleComponent
+from repro.tupleindex import TupleIndex
+
+_ROWS = st.lists(
+    st.dictionaries(
+        keys=st.sampled_from(["size", "count", "score"]),
+        values=st.integers(-100, 100),
+        max_size=3,
+    ),
+    min_size=1, max_size=40,
+)
+
+
+def _build(rows):
+    index = TupleIndex()
+    for position, row in enumerate(rows):
+        index.add(f"k{position}", TupleComponent.from_dict(row))
+    return index
+
+
+class TestEquivalenceWithScan:
+    @given(_ROWS, st.sampled_from(["size", "count"]), st.integers(-100, 100))
+    @settings(max_examples=150, deadline=None)
+    def test_greater_than(self, rows, attribute, threshold):
+        index = _build(rows)
+        naive = {f"k{i}" for i, row in enumerate(rows)
+                 if attribute in row and row[attribute] > threshold}
+        assert index.greater_than(attribute, threshold) == naive
+
+    @given(_ROWS, st.sampled_from(["size", "count"]), st.integers(-100, 100))
+    @settings(max_examples=150, deadline=None)
+    def test_less_than_inclusive(self, rows, attribute, threshold):
+        index = _build(rows)
+        naive = {f"k{i}" for i, row in enumerate(rows)
+                 if attribute in row and row[attribute] <= threshold}
+        assert index.less_than(attribute, threshold,
+                               inclusive=True) == naive
+
+    @given(_ROWS, st.integers(-100, 100))
+    @settings(max_examples=150, deadline=None)
+    def test_equals(self, rows, value):
+        index = _build(rows)
+        naive = {f"k{i}" for i, row in enumerate(rows)
+                 if row.get("size") == value}
+        assert index.equals("size", value) == naive
+
+    @given(_ROWS)
+    @settings(max_examples=100, deadline=None)
+    def test_replica_faithful(self, rows):
+        index = _build(rows)
+        for position, row in enumerate(rows):
+            assert index.tuple_of(f"k{position}").as_dict() == row
+
+    @given(_ROWS)
+    @settings(max_examples=100, deadline=None)
+    def test_remove_all_leaves_empty(self, rows):
+        index = _build(rows)
+        for position in range(len(rows)):
+            assert index.remove(f"k{position}")
+        assert len(index) == 0
+        assert index.attributes() == []
+
+    @given(_ROWS, st.integers(-50, 50), st.integers(-50, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_range_window(self, rows, a, b):
+        low, high = min(a, b), max(a, b)
+        index = _build(rows)
+        naive = {f"k{i}" for i, row in enumerate(rows)
+                 if "size" in row and low <= row["size"] <= high}
+        assert index.range("size", low, high) == naive

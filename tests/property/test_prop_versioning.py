@@ -1,0 +1,80 @@
+"""Property-based tests: the version store against a dict-of-dicts model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.identity import ViewId
+from repro.core.resource_view import ResourceView
+from repro.core.versioning import VersionStore
+
+_VIEW_KEYS = st.sampled_from(["a", "b", "c", "d"])
+_CONTENTS = st.sampled_from(["v1", "v2", "v3"])
+
+# an operation batch: list of (key, content-or-None) pairs; None = delete
+_BATCHES = st.lists(
+    st.lists(st.tuples(_VIEW_KEYS, st.one_of(st.none(), _CONTENTS)),
+             min_size=1, max_size=4),
+    min_size=1, max_size=8,
+)
+
+
+def _run(batches):
+    """Apply batches to both the store and a snapshot-per-version model."""
+    store = VersionStore()
+    model_states: list[dict[str, str]] = [{}]  # index = version number
+    current: dict[str, str] = {}
+    for batch in batches:
+        for key, content in batch:
+            view_id = ViewId("m", key)
+            if content is None:
+                if key in current:
+                    store.record_deletion(view_id)
+                    del current[key]
+            else:
+                store.record(ResourceView(key, content=content,
+                                          view_id=view_id))
+                current[key] = content
+        version = store.commit()
+        # commits without effective changes do not create versions
+        while len(model_states) <= version:
+            model_states.append(dict(current))
+        model_states[version] = dict(current)
+    return store, model_states
+
+
+class TestAgainstModel:
+    @given(_BATCHES)
+    @settings(max_examples=100, deadline=None)
+    def test_every_version_reconstructable(self, batches):
+        store, model_states = _run(batches)
+        for version in range(len(model_states)):
+            if version > store.current_version:
+                break
+            snapshot = store.snapshot(version)
+            expected = model_states[version]
+            assert {vid.path for vid in snapshot} == set(expected)
+
+    @given(_BATCHES)
+    @settings(max_examples=100, deadline=None)
+    def test_existence_matches_model(self, batches):
+        store, model_states = _run(batches)
+        for version, expected in enumerate(model_states):
+            if version > store.current_version:
+                break
+            for key in ("a", "b", "c", "d"):
+                assert store.exists(ViewId("m", key), version) == \
+                    (key in expected)
+
+    @given(_BATCHES)
+    @settings(max_examples=100, deadline=None)
+    def test_versions_monotonic(self, batches):
+        store, model_states = _run(batches)
+        assert store.current_version <= sum(len(b) for b in batches)
+
+    @given(_BATCHES)
+    @settings(max_examples=50, deadline=None)
+    def test_history_versions_increasing(self, batches):
+        store, _ = _run(batches)
+        for key in ("a", "b", "c", "d"):
+            versions = [v for v, _ in store.history(ViewId("m", key))]
+            assert versions == sorted(versions)
+            assert len(versions) == len(set(versions))

@@ -1,0 +1,79 @@
+"""Property-based tests: XML round-tripping on generated trees."""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlp import XmlDocument, XmlElement, XmlText, parse, serialize
+
+_NAMES = st.text(alphabet=string.ascii_letters, min_size=1, max_size=8)
+_TEXTS = st.text(
+    alphabet=string.ascii_letters + string.digits + " &<>'\"",
+    min_size=1, max_size=30,
+).filter(lambda s: s.strip())
+_ATTR_VALUES = st.text(
+    alphabet=string.ascii_letters + string.digits + " &<'",
+    max_size=20,
+)
+
+
+@st.composite
+def _elements(draw, depth=0):
+    element = XmlElement(draw(_NAMES))
+    for name in draw(st.lists(_NAMES, max_size=3, unique=True)):
+        element.attributes[name] = draw(_ATTR_VALUES)
+    if depth < 3:
+        children = draw(st.lists(st.one_of(
+            _TEXTS.map(XmlText),
+            _elements(depth=depth + 1),  # type: ignore[call-arg]
+        ), max_size=3))
+        element.children = list(children)
+    return element
+
+
+def _shape(element: XmlElement):
+    """Structure signature: names, attrs, children — with adjacent text
+    nodes coalesced, since XML serialization merges them by nature."""
+    children = []
+    for child in element.children:
+        if isinstance(child, XmlElement):
+            children.append(_shape(child))
+        elif children and isinstance(children[-1], str):
+            children[-1] += child.text
+        else:
+            children.append(child.text)
+    return (
+        element.name,
+        tuple(sorted(element.attributes.items())),
+        tuple(children),
+    )
+
+
+class TestRoundTrip:
+    @given(_elements())
+    @settings(max_examples=150, deadline=None)
+    def test_serialize_parse_preserves_structure(self, element):
+        document = XmlDocument(root=element)
+        parsed = parse(serialize(document))
+        assert _shape(parsed.root) == _shape(element)
+
+    @given(_elements())
+    @settings(max_examples=50, deadline=None)
+    def test_serialization_fixpoint(self, element):
+        once = serialize(XmlDocument(root=element))
+        twice = serialize(parse(once))
+        assert once == twice
+
+    @given(_TEXTS)
+    @settings(max_examples=100, deadline=None)
+    def test_text_escaping_roundtrips(self, text):
+        document = XmlDocument(root=XmlElement("r", children=[XmlText(text)]))
+        assert parse(serialize(document)).root.text() == text
+
+    @given(_ATTR_VALUES)
+    @settings(max_examples=100, deadline=None)
+    def test_attribute_escaping_roundtrips(self, value):
+        document = XmlDocument(
+            root=XmlElement("r", attributes={"a": value})
+        )
+        assert parse(serialize(document)).root.attributes["a"] == value

@@ -1,0 +1,218 @@
+"""Tests for the query-engine extensions: expansion strategies,
+cost-based optimization, and ranked search."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.errors import QueryExecutionError
+from repro.imapsim import ImapServer
+from repro.imapsim.latency import no_latency
+from repro.query import QueryProcessor
+from repro.query.ranking import ranked_search
+from repro.rvm import IndexingPolicy, ResourceViewManager, default_content_converter
+from repro.rvm.plugins import FilesystemPlugin
+from repro.vfs import VirtualFileSystem
+
+TEX = r"""
+\documentclass{article}
+\begin{document}
+\section{Introduction}
+Rare xenolith keyword appears here with database words.
+\begin{center}\begin{figure}\caption{Indexing time}\label{f:1}
+\end{figure}\end{center}
+\section{Conclusions}
+systems text, see \ref{f:1}.
+\end{document}
+"""
+
+
+@pytest.fixture(scope="module")
+def rvm():
+    fs = VirtualFileSystem()
+    fs.mkdir("/papers/VLDB2006", parents=True)
+    fs.write_file("/papers/VLDB2006/a.tex", TEX)
+    fs.write_file("/papers/VLDB2006/b.tex",
+                  TEX.replace("xenolith", "ordinary"))
+    fs.write_file("/papers/notes.txt", "database notes, nothing else")
+    manager = ResourceViewManager()
+    manager.register_plugin(FilesystemPlugin(
+        fs, content_converter=default_content_converter()
+    ))
+    manager.sync_all()
+    return manager
+
+
+PATH_QUERIES = [
+    '//papers//Introduction',
+    '//VLDB2006//*[class="environment"]//figure*',
+    '//papers//*[class="texref"]',
+    '//papers//Conclusions/*["systems"]',
+]
+
+
+class TestExpansionStrategies:
+    @pytest.mark.parametrize("query", PATH_QUERIES)
+    def test_all_strategies_agree(self, rvm, query):
+        results = {}
+        for strategy in ("forward", "backward", "auto"):
+            qp = QueryProcessor(rvm, expansion=strategy)
+            results[strategy] = set(qp.execute(query).uris())
+        assert results["forward"] == results["backward"] == results["auto"]
+
+    def test_backward_visits_fewer_for_selective_targets(self, rvm):
+        """With few candidates and many sources, backward expansion
+        touches fewer intermediate views — [30]'s observation."""
+        query = '//papers//*[class="texref"]'
+        forward = QueryProcessor(rvm, expansion="forward").execute(query)
+        backward = QueryProcessor(rvm, expansion="backward").execute(query)
+        assert len(forward) == len(backward)
+        assert backward.expanded_views < forward.expanded_views
+
+    def test_auto_never_expands_more_than_both(self, rvm):
+        """The bidirectional heuristic picks the smaller frontier, so it
+        does at most the work of the direction it selects."""
+        query = '//papers//*[class="texref"]'
+        forward = QueryProcessor(rvm, expansion="forward").execute(query)
+        backward = QueryProcessor(rvm, expansion="backward").execute(query)
+        auto = QueryProcessor(rvm, expansion="auto").execute(query)
+        assert set(auto.uris()) == set(forward.uris())
+        assert auto.expanded_views <= max(forward.expanded_views,
+                                          backward.expanded_views)
+        assert auto.expanded_views in (forward.expanded_views,
+                                       backward.expanded_views)
+
+    def test_strategy_shows_in_plan(self, rvm):
+        qp = QueryProcessor(rvm, expansion="backward")
+        assert "strategy=backward" in qp.explain("//papers//Introduction")
+
+    def test_unknown_strategy_rejected(self, rvm):
+        with pytest.raises(QueryExecutionError):
+            QueryProcessor(rvm, expansion="sideways")
+
+    def test_backward_without_replica_rejected(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/a/x.txt", "content", parents=True)
+        manager = ResourceViewManager(policy=IndexingPolicy(
+            replicate_groups=False
+        ))
+        manager.register_plugin(FilesystemPlugin(fs))
+        manager.sync_all()
+        qp = QueryProcessor(manager, expansion="backward")
+        with pytest.raises(QueryExecutionError):
+            qp.execute("//a//x.txt")
+
+
+class TestCostBasedOptimizer:
+    def test_results_match_rule_optimizer(self, rvm):
+        queries = [
+            '[class="latex_section" and "xenolith"]',
+            '"database" and not "xenolith"',
+            '//papers//Introduction[class="latex_section"]',
+        ]
+        for query in queries:
+            rule = QueryProcessor(rvm, optimizer="rule").execute(query)
+            cost = QueryProcessor(rvm, optimizer="cost").execute(query)
+            assert set(rule.uris()) == set(cost.uris()), query
+
+    def test_rare_term_ordered_first(self, rvm):
+        """'xenolith' occurs in one document only; the latex_section
+        class matches more views — cost-based ordering puts the rare
+        term first, rule-based puts the class lookup first."""
+        query = '[class="latex_section" and "xenolith"]'
+        rule_plan = QueryProcessor(rvm, optimizer="rule").explain(query)
+        cost_plan = QueryProcessor(rvm, optimizer="cost").explain(query)
+        assert rule_plan.splitlines()[1].strip().startswith("ClassLookup")
+        assert cost_plan.splitlines()[1].strip().startswith("ContentSearch")
+
+    def test_estimates_reflect_document_frequency(self, rvm):
+        from repro.query.executor import ExecutionContext
+        from repro.query.functions import FunctionTable
+        ctx = ExecutionContext(rvm, FunctionTable())
+        rare = ctx.content_estimate("xenolith", is_phrase=True,
+                                    wildcard=False)
+        common = ctx.content_estimate("database", is_phrase=True,
+                                      wildcard=False)
+        assert 0 < rare < common
+
+    def test_unknown_term_estimates_zero(self, rvm):
+        from repro.query.executor import ExecutionContext
+        from repro.query.functions import FunctionTable
+        ctx = ExecutionContext(rvm, FunctionTable())
+        assert ctx.content_estimate("zzzznope", is_phrase=True,
+                                    wildcard=False) == 0
+
+    def test_unknown_optimizer_rejected(self, rvm):
+        with pytest.raises(QueryExecutionError):
+            QueryProcessor(rvm, optimizer="quantum")
+
+
+class TestRankedSearch:
+    def test_scores_descending(self, rvm):
+        hits = ranked_search(rvm, "database indexing", limit=10)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+        assert all(s > 0 for s in scores)
+
+    def test_name_matches_boosted(self, rvm):
+        # 'notes.txt' matches "notes" in both name and content; content
+        # views that merely mention the word rank below it
+        hits = ranked_search(rvm, "notes", limit=5)
+        assert hits[0].uri == "fs:///papers/notes.txt"
+
+    def test_limit_respected(self, rvm):
+        assert len(ranked_search(rvm, "database", limit=2)) == 2
+
+    def test_within_filters(self, rvm):
+        everything = ranked_search(rvm, "database", limit=50)
+        only_notes = ranked_search(
+            rvm, "database", limit=50,
+            within={"fs:///papers/notes.txt"},
+        )
+        assert len(only_notes) == 1
+        assert len(everything) > 1
+
+    def test_no_matches(self, rvm):
+        assert ranked_search(rvm, "qqqqq", limit=5) == []
+
+
+class TestPolicyFallbacks:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        def build(policy):
+            fs = VirtualFileSystem()
+            fs.mkdir("/docs", parents=True)
+            fs.write_file("/docs/a.tex", TEX)
+            fs.write_file("/docs/n.txt", "database tuning text")
+            manager = ResourceViewManager(policy=policy)
+            manager.register_plugin(FilesystemPlugin(
+                fs, content_converter=default_content_converter()
+            ))
+            manager.sync_all()
+            return manager
+
+        return build(None), build(IndexingPolicy.minimal())
+
+    @pytest.mark.parametrize("query", [
+        '"database tuning"',
+        '[size > 10]',
+        '//docs//Introduction',
+        '//docs//?onclusion*',
+    ])
+    def test_minimal_policy_equivalent(self, pair, query):
+        full, minimal = pair
+        full_result = QueryProcessor(full).execute(query)
+        minimal_result = QueryProcessor(minimal).execute(query)
+        assert set(full_result.uris()) == set(minimal_result.uris())
+
+    def test_minimal_policy_smaller_indexes(self, pair):
+        full, minimal = pair
+        assert minimal.indexes.total_size_bytes() < \
+            full.indexes.total_size_bytes()
+
+    def test_minimal_skips_structures(self, pair):
+        _, minimal = pair
+        assert minimal.indexes.content_index.document_count == 0
+        assert minimal.indexes.name_index.document_count == 0
+        assert len(minimal.indexes.tuple_index) == 0
+        assert len(minimal.indexes.group_replica) == 0

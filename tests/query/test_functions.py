@@ -1,0 +1,48 @@
+"""Tests for the iQL function table."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.errors import QueryExecutionError
+from repro.query.functions import DEFAULT_REFERENCE, FunctionTable
+
+
+class TestBuiltins:
+    def test_now_is_reference(self):
+        reference = datetime(2005, 9, 23, 14, 30)
+        table = FunctionTable(reference)
+        assert table.call("now") == reference
+
+    def test_today_truncates(self):
+        table = FunctionTable(datetime(2005, 9, 23, 14, 30))
+        assert table.call("today") == datetime(2005, 9, 23)
+
+    def test_yesterday(self):
+        table = FunctionTable(datetime(2005, 9, 23, 14, 30))
+        assert table.call("yesterday") == datetime(2005, 9, 22)
+
+    def test_default_reference(self):
+        assert FunctionTable().call("now") == DEFAULT_REFERENCE
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryExecutionError):
+            FunctionTable().call("fortnight")
+
+    def test_register_custom(self):
+        table = FunctionTable()
+        table.register("answer", lambda: 42)
+        assert table.call("answer") == 42
+        assert "answer" in table.names()
+
+    def test_names_sorted(self):
+        names = FunctionTable().names()
+        assert names == sorted(names)
+        assert {"now", "today", "yesterday"} <= set(names)
+
+
+class TestDeterminism:
+    def test_same_reference_same_results(self):
+        a = FunctionTable(datetime(2005, 1, 1))
+        b = FunctionTable(datetime(2005, 1, 1))
+        assert a.call("yesterday") == b.call("yesterday")

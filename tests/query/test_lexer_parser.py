@@ -1,0 +1,227 @@
+"""Tests for the iQL lexer and parser."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.errors import QuerySyntaxError
+from repro.query.ast import (
+    Axis,
+    CompareOp,
+    Comparison,
+    FunctionCall,
+    IntersectExpr,
+    JoinExpr,
+    KeywordAtom,
+    Literal,
+    PathExpr,
+    PredAnd,
+    PredNot,
+    PredOr,
+    PredicateExpr,
+    QualifiedRef,
+    UnionExpr,
+)
+from repro.query.lexer import TokenKind, tokenize_iql
+from repro.query.parser import parse_iql
+
+
+class TestLexer:
+    def test_path_tokens(self):
+        kinds = [t.kind for t in tokenize_iql("//a/b")]
+        assert kinds == [TokenKind.DSLASH, TokenKind.WORD, TokenKind.SLASH,
+                         TokenKind.WORD, TokenKind.END]
+
+    def test_string_token(self):
+        tokens = tokenize_iql('"Mike Franklin"')
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "Mike Franklin"
+
+    def test_unterminated_string(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_iql('"oops')
+
+    def test_date_token(self):
+        tokens = tokenize_iql("@12.06.2005")
+        assert tokens[0].kind is TokenKind.DATE
+        assert tokens[0].value == "12.06.2005"
+
+    def test_number_token(self):
+        tokens = tokenize_iql("42000")
+        assert tokens[0].kind is TokenKind.NUMBER
+
+    def test_wildcard_words(self):
+        tokens = tokenize_iql("*Vision ?onclusion* *.tex")
+        assert all(t.kind is TokenKind.WORD for t in tokens[:-1])
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize_iql("a != b <= c >= d")]
+        assert "!=" in values and "<=" in values and ">=" in values
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize_iql("a # b")
+
+
+class TestKeywordQueries:
+    def test_phrase(self):
+        ast = parse_iql('"Donald Knuth"')
+        assert isinstance(ast, PredicateExpr)
+        assert ast.predicate == KeywordAtom("Donald Knuth", is_phrase=True)
+
+    def test_and_of_phrases(self):
+        ast = parse_iql('"Donald" and "Knuth"')
+        assert isinstance(ast.predicate, PredAnd)
+        assert len(ast.predicate.parts) == 2
+
+    def test_or_precedence(self):
+        ast = parse_iql('"a" and "b" or "c"')
+        assert isinstance(ast.predicate, PredOr)
+        assert isinstance(ast.predicate.parts[0], PredAnd)
+
+    def test_not(self):
+        ast = parse_iql('not "spam"')
+        assert isinstance(ast.predicate, PredNot)
+
+    def test_parens_override(self):
+        ast = parse_iql('"a" and ("b" or "c")')
+        assert isinstance(ast.predicate, PredAnd)
+        assert isinstance(ast.predicate.parts[1], PredOr)
+
+    def test_bare_word_keyword(self):
+        ast = parse_iql("database")
+        assert ast.predicate == KeywordAtom("database", is_phrase=False)
+
+    def test_wildcard_keyword(self):
+        ast = parse_iql("index*")
+        assert ast.predicate.wildcard
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_iql("  ")
+
+
+class TestPredicateExpressions:
+    def test_size_comparison(self):
+        ast = parse_iql("[size > 42000]")
+        cmp_ = ast.predicate
+        assert isinstance(cmp_, Comparison)
+        assert cmp_.attribute == "size"
+        assert cmp_.op is CompareOp.GT
+        assert cmp_.operand == Literal(42000)
+
+    def test_paper_q3(self):
+        ast = parse_iql("[size > 420000 and lastmodified < @12.06.2005]")
+        parts = ast.predicate.parts
+        assert parts[1].operand == Literal(datetime(2005, 6, 12))
+
+    def test_function_operand(self):
+        ast = parse_iql("[lastmodified < yesterday()]")
+        assert ast.predicate.operand == FunctionCall("yesterday")
+
+    def test_class_equality(self):
+        ast = parse_iql('[class="latex_section"]')
+        assert ast.predicate == Comparison(
+            "class", CompareOp.EQ, Literal("latex_section")
+        )
+
+    def test_bad_date_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_iql("[x < @99.99]")
+
+    def test_float_literal(self):
+        ast = parse_iql("[score >= 0.5]")
+        assert ast.predicate.operand == Literal(0.5)
+
+
+class TestPathExpressions:
+    def test_single_step(self):
+        ast = parse_iql("//Introduction")
+        assert isinstance(ast, PathExpr)
+        step = ast.steps[0]
+        assert step.axis is Axis.DESCENDANT
+        assert step.name_test == "Introduction"
+        assert step.predicate is None
+
+    def test_step_with_predicate(self):
+        ast = parse_iql('//Introduction[class="latex_section"]')
+        assert ast.steps[0].predicate is not None
+
+    def test_multi_step(self):
+        ast = parse_iql('//PIM//Introduction')
+        assert len(ast.steps) == 2
+
+    def test_child_axis(self):
+        ast = parse_iql('//papers//*Vision/*["Franklin"]')
+        assert [s.axis for s in ast.steps] == [
+            Axis.DESCENDANT, Axis.DESCENDANT, Axis.CHILD
+        ]
+        assert ast.steps[1].name_test == "*Vision"
+        assert ast.steps[2].name_test is None  # '*' = any
+
+    def test_predicate_only_step(self):
+        ast = parse_iql('//OLAP//[class="figure" and "Indexing time"]')
+        assert ast.steps[1].name_test is None
+        assert isinstance(ast.steps[1].predicate, PredAnd)
+
+    def test_quoted_name_test(self):
+        ast = parse_iql('//"All Projects"')
+        assert ast.steps[0].name_test == "All Projects"
+
+    def test_wildcard_detection(self):
+        ast = parse_iql("//VLDB200?//?onclusion*")
+        assert ast.steps[0].has_wildcard
+        assert ast.steps[1].has_wildcard
+
+    def test_extension_pattern(self):
+        ast = parse_iql("//*.tex")
+        assert ast.steps[0].name_test == "*.tex"
+
+
+class TestCompoundQueries:
+    def test_union(self):
+        ast = parse_iql('union( //A//["x"], //B//["x"])')
+        assert isinstance(ast, UnionExpr)
+        assert len(ast.parts) == 2
+
+    def test_intersect(self):
+        ast = parse_iql('intersect( "a", "b" )')
+        assert isinstance(ast, IntersectExpr)
+
+    def test_union_needs_two_parts(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_iql('union( "a" )')
+
+    def test_join_structure(self):
+        ast = parse_iql(
+            'join( //X//*[class="texref"] as A, //Y//figure* as B, '
+            "A.name = B.tuple.label )"
+        )
+        assert isinstance(ast, JoinExpr)
+        assert ast.left_var == "A" and ast.right_var == "B"
+        assert ast.condition.left == QualifiedRef("A", "name")
+        assert ast.condition.right == QualifiedRef("B", "tuple", "label")
+
+    def test_join_unknown_variable_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_iql('join( "a" as A, "b" as B, C.name = B.name )')
+
+    def test_join_bad_component_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_iql('join( "a" as A, "b" as B, A.banana = B.name )')
+
+    def test_tuple_ref_needs_attribute(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_iql('join( "a" as A, "b" as B, A.tuple = B.name )')
+
+    def test_join_with_literal_rhs(self):
+        ast = parse_iql('join( "a" as A, "b" as B, A.name = "x" )')
+        assert ast.condition.right == Literal("x")
+
+    def test_word_union_without_paren_is_keyword(self):
+        ast = parse_iql("union")
+        assert isinstance(ast, PredicateExpr)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_iql('"a" ]')

@@ -1,0 +1,234 @@
+"""Tests for standing queries (information-filter notifications)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.resource_view import ResourceView
+from repro.pushops import ChangeKind
+from repro.query.parser import parse_iql
+from repro.query.standing import StandingQueries, matches_view
+from repro.rvm import ResourceViewManager, default_content_converter
+from repro.rvm.plugins import FilesystemPlugin
+from repro.vfs import VirtualFileSystem
+
+
+def _predicate(text: str):
+    return parse_iql(text).predicate
+
+
+class TestMatchesView:
+    def test_phrase_match(self):
+        view = ResourceView("n", content="the database tuning guide")
+        assert matches_view(_predicate('"database tuning"'), view)
+        assert not matches_view(_predicate('"tuning database"'), view)
+
+    def test_single_keyword(self):
+        view = ResourceView("n", content="Database systems!")
+        assert matches_view(_predicate("database"), view)
+        assert not matches_view(_predicate("filesystems"), view)
+
+    def test_wildcard_keyword(self):
+        view = ResourceView("n", content="indexing matters")
+        assert matches_view(_predicate("index*"), view)
+
+    def test_boolean_combinations(self):
+        view = ResourceView("n", content="alpha beta")
+        assert matches_view(_predicate('"alpha" and "beta"'), view)
+        assert matches_view(_predicate('"alpha" or "gamma"'), view)
+        assert matches_view(_predicate('not "gamma"'), view)
+        assert not matches_view(_predicate('"alpha" and "gamma"'), view)
+
+    def test_name_comparison(self):
+        view = ResourceView("report.txt")
+        assert matches_view(_predicate('[name = "report.txt"]'), view)
+        assert matches_view(_predicate('[name = "*.txt"]'), view)
+        assert matches_view(_predicate('[name != "other"]'), view)
+
+    def test_class_comparison_subclass_aware(self):
+        view = ResourceView("f", class_name="figure")
+        assert matches_view(_predicate('[class = "figure"]'), view)
+        assert matches_view(_predicate('[class = "environment"]'), view)
+        assert not matches_view(_predicate('[class = "latex_section"]'),
+                                view)
+
+    def test_tuple_comparison_with_alias(self):
+        view = ResourceView("f", tuple_component={
+            "size": 900, "modified": datetime(2005, 2, 1),
+        })
+        assert matches_view(_predicate("[size > 800]"), view)
+        assert matches_view(
+            _predicate("[lastmodified < @01.01.2006]"), view
+        )
+        assert not matches_view(_predicate("[size < 800]"), view)
+
+    def test_missing_attribute_never_matches(self):
+        view = ResourceView("f")
+        assert not matches_view(_predicate("[size > 0]"), view)
+
+    def test_incomparable_types_never_match(self):
+        view = ResourceView("f", tuple_component={"size": "large"})
+        assert not matches_view(_predicate("[size > 10]"), view)
+
+    def test_function_operand(self):
+        view = ResourceView("f", tuple_component={
+            "modified": datetime(2004, 1, 1),
+        })
+        assert matches_view(_predicate("[modified < yesterday()]"), view)
+
+    def test_infinite_content_sampled(self):
+        from repro.core.components import ContentComponent
+
+        def forever():
+            while True:
+                yield from "needle "
+
+        view = ResourceView("s", content=ContentComponent.infinite(forever))
+        assert matches_view(_predicate('"needle"'), view)
+
+
+class TestStandingQueryRegistry:
+    def _world(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/seed.txt", "boring seed", parents=True)
+        rvm = ResourceViewManager()
+        rvm.register_plugin(FilesystemPlugin(
+            fs, content_converter=default_content_converter()
+        ))
+        rvm.sync_all()
+        rvm.subscribe_all()
+        return fs, rvm
+
+    def test_new_view_triggers_notification(self):
+        fs, rvm = self._world()
+        standing = StandingQueries(rvm.bus)
+        received = []
+        standing.register('"urgent"', received.append)
+        fs.write_file("/mail.txt", "urgent business proposal")
+        rvm.process_notifications()
+        assert len(received) == 1
+        assert received[0].view.name == "mail.txt"
+        assert received[0].kind is ChangeKind.ADDED
+
+    def test_non_matching_view_silent(self):
+        fs, rvm = self._world()
+        standing = StandingQueries(rvm.bus)
+        received = []
+        standing.register('"urgent"', received.append)
+        fs.write_file("/other.txt", "nothing special")
+        rvm.process_notifications()
+        assert received == []
+
+    def test_initial_scan_views_also_match(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/pre.txt", "urgent pre-existing", parents=True)
+        rvm = ResourceViewManager()
+        rvm.register_plugin(FilesystemPlugin(fs))
+        standing = StandingQueries(rvm.bus)
+        received = []
+        standing.register('"urgent"', received.append)
+        rvm.sync_all()  # scan publishes ADDED events for every view
+        assert len(received) == 1
+
+    def test_structural_predicate(self):
+        fs, rvm = self._world()
+        standing = StandingQueries(rvm.bus)
+        received = []
+        standing.register('[class = "latex_section" and "budget"]',
+                          received.append)
+        fs.write_file(
+            "/new.tex",
+            r"\begin{document}\section{Plan}budget discussion"
+            r"\end{document}",
+        )
+        rvm.process_notifications()
+        assert len(received) == 1
+        assert received[0].view.class_name == "latex_section"
+
+    def test_cancel(self):
+        fs, rvm = self._world()
+        standing = StandingQueries(rvm.bus)
+        received = []
+        subscription = standing.register('"urgent"', received.append)
+        assert standing.cancel(subscription)
+        assert not standing.cancel(subscription)
+        fs.write_file("/late.txt", "urgent!")
+        rvm.process_notifications()
+        assert received == []
+
+    def test_multiple_subscriptions_independent(self):
+        fs, rvm = self._world()
+        standing = StandingQueries(rvm.bus)
+        a_hits, b_hits = [], []
+        standing.register('"alpha"', a_hits.append)
+        standing.register('"beta"', b_hits.append)
+        fs.write_file("/x.txt", "alpha only")
+        rvm.process_notifications()
+        assert len(a_hits) == 1 and len(b_hits) == 0
+        assert len(standing) == 2
+
+    def test_path_query_rejected(self):
+        fs, rvm = self._world()
+        standing = StandingQueries(rvm.bus)
+        with pytest.raises(QueryError):
+            standing.register("//papers//x", lambda n: None)
+
+    def test_match_counter(self):
+        fs, rvm = self._world()
+        standing = StandingQueries(rvm.bus)
+        standing.register('"zebra"', lambda n: None)
+        fs.write_file("/z1.txt", "zebra one")
+        fs.write_file("/z2.txt", "zebra two")
+        rvm.process_notifications()
+        assert standing.matched == 2
+
+
+class TestNotificationSemantics:
+    def test_exactly_once_per_new_file(self):
+        """A file write dirties both the file and its parent; the
+        standing query must still fire exactly once (ADDED semantics)."""
+        fs = VirtualFileSystem()
+        fs.write_file("/seed.txt", "seed", parents=True)
+        rvm = ResourceViewManager()
+        rvm.register_plugin(FilesystemPlugin(fs))
+        rvm.sync_all()
+        rvm.subscribe_all()
+        standing = StandingQueries(rvm.bus)
+        received = []
+        standing.register('"vacation"', received.append)
+        fs.write_file("/plan.txt", "vacation plan")
+        rvm.process_notifications()
+        assert len(received) == 1
+
+    def test_modified_kind_available(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/doc.txt", "original prose", parents=True)
+        rvm = ResourceViewManager()
+        rvm.register_plugin(FilesystemPlugin(fs))
+        rvm.sync_all()
+        rvm.subscribe_all()
+        standing = StandingQueries(rvm.bus)
+        received = []
+        standing.register(
+            '"edited"', received.append,
+            on=frozenset({ChangeKind.ADDED, ChangeKind.MODIFIED}),
+        )
+        fs.write_file("/doc.txt", "edited prose")
+        rvm.process_notifications()
+        assert len(received) == 1
+        assert received[0].kind is ChangeKind.MODIFIED
+
+    def test_added_only_ignores_modifications(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/doc.txt", "payload word", parents=True)
+        rvm = ResourceViewManager()
+        rvm.register_plugin(FilesystemPlugin(fs))
+        rvm.sync_all()
+        rvm.subscribe_all()
+        standing = StandingQueries(rvm.bus)
+        received = []
+        standing.register('"payload"', received.append)  # ADDED only
+        fs.write_file("/doc.txt", "payload again")
+        rvm.process_notifications()
+        assert received == []

@@ -1,0 +1,89 @@
+"""Unit tests for the iQL unparser (round-trips are property-tested)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.bench import PAPER_QUERIES
+from repro.query.ast import (
+    Comparison,
+    CompareOp,
+    FunctionCall,
+    KeywordAtom,
+    Literal,
+    PredicateExpr,
+    QualifiedRef,
+)
+from repro.query.parser import parse_iql
+from repro.query.unparse import unparse
+
+
+class TestCanonicalForms:
+    def test_phrase(self):
+        assert unparse(parse_iql('"Donald Knuth"')) == '"Donald Knuth"'
+
+    def test_keyword_and(self):
+        assert unparse(parse_iql('"a" and "b"')) == '"a" and "b"'
+
+    def test_comparisons_bracketed(self):
+        text = unparse(parse_iql("[size > 42000]"))
+        assert text == '[size > 42000]'
+
+    def test_date_literal(self):
+        text = unparse(parse_iql("[lastmodified < @12.06.2005]"))
+        assert "@12.06.2005" in text
+
+    def test_function(self):
+        text = unparse(parse_iql("[modified < yesterday()]"))
+        assert "yesterday()" in text
+
+    def test_path_with_predicate(self):
+        text = unparse(parse_iql('//Introduction[class="latex_section"]'))
+        assert text == '//Introduction[class = "latex_section"]'
+
+    def test_quoted_name_test(self):
+        text = unparse(parse_iql('//"All Projects"'))
+        assert text == '//"All Projects"'
+
+    def test_union(self):
+        text = unparse(parse_iql('union( //A, //B )'))
+        assert text == "union( //A, //B )"
+
+    def test_join(self):
+        text = unparse(parse_iql(
+            'join( //X as A, //Y as B, A.name = B.tuple.label )'
+        ))
+        assert "as A" in text and "A.name = B.tuple.label" in text
+
+    def test_nested_boolean_parenthesized(self):
+        text = unparse(parse_iql('"a" and ("b" or "c")'))
+        reparsed = parse_iql(text)
+        assert unparse(reparsed) == text
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("query_id", list(PAPER_QUERIES))
+    def test_all_paper_queries_roundtrip(self, query_id):
+        original = parse_iql(PAPER_QUERIES[query_id])
+        text = unparse(original)
+        reparsed = parse_iql(text)
+        assert unparse(reparsed) == text
+
+
+class TestOperands:
+    def test_string_literal_quoted(self):
+        pred = Comparison("label", CompareOp.EQ, Literal("fig:1"))
+        assert '"fig:1"' in unparse(PredicateExpr(pred))
+
+    def test_qualified_ref_forms(self):
+        from repro.query.unparse import _unparse_operand
+        assert _unparse_operand(QualifiedRef("A", "name")) == "A.name"
+        assert _unparse_operand(
+            QualifiedRef("B", "tuple", "label")
+        ) == "B.tuple.label"
+
+    def test_datetime_formats_as_date_literal(self):
+        from repro.query.unparse import _unparse_operand
+        assert _unparse_operand(
+            Literal(datetime(2005, 6, 12))
+        ) == "@12.06.2005"

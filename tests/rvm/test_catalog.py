@@ -1,0 +1,95 @@
+"""Tests for the Resource View Catalog."""
+
+from repro.core.identity import ViewId
+from repro.core.resource_view import ResourceView
+from repro.rvm.catalog import ResourceViewCatalog
+
+
+def _view(name, path=None, class_name=None, authority="fs"):
+    return ResourceView(name, class_name=class_name,
+                        view_id=ViewId(authority, path or f"/{name}"))
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        catalog = ResourceViewCatalog()
+        view = _view("a", class_name="file")
+        catalog.register(view, kind="base", size=10, child_count=0)
+        record = catalog.get(view.view_id)
+        assert record.name == "a"
+        assert record.class_name == "file"
+        assert record.size == 10
+
+    def test_reregister_updates(self):
+        catalog = ResourceViewCatalog()
+        view = _view("a")
+        catalog.register(view, kind="base", size=1)
+        catalog.register(view, kind="base", size=99)
+        assert catalog.get(view.view_id).size == 99
+        assert len(catalog) == 1
+
+    def test_unregister(self):
+        catalog = ResourceViewCatalog()
+        view = _view("a")
+        catalog.register(view, kind="base")
+        assert catalog.unregister(view.view_id)
+        assert view.view_id not in catalog
+        assert not catalog.unregister(view.view_id)
+
+    def test_contains_accepts_uri_strings(self):
+        catalog = ResourceViewCatalog()
+        view = _view("a")
+        catalog.register(view, kind="base")
+        assert view.view_id.uri in catalog
+
+
+class TestLookups:
+    def _catalog(self):
+        catalog = ResourceViewCatalog()
+        catalog.register(_view("intro", "/a#s1", "latex_section"),
+                         kind="derived")
+        catalog.register(_view("intro", "/b#s1", "latex_section"),
+                         kind="derived")
+        catalog.register(_view("fig", "/a#e1", "figure"), kind="derived")
+        catalog.register(_view("mail", "INBOX/1", "emailmessage",
+                               authority="imap"), kind="base")
+        return catalog
+
+    def test_by_name(self):
+        catalog = self._catalog()
+        assert len(catalog.by_name("intro")) == 2
+        assert catalog.by_name("zzz") == []
+
+    def test_by_class(self):
+        catalog = self._catalog()
+        assert len(catalog.by_class("latex_section")) == 2
+        assert len(catalog.by_class("figure")) == 1
+
+    def test_by_authority(self):
+        catalog = self._catalog()
+        assert len(catalog.by_authority("imap")) == 1
+        assert len(catalog.by_authority("fs")) == 3
+
+    def test_all_uris(self):
+        catalog = self._catalog()
+        assert len(catalog.all_uris()) == 4
+
+    def test_counts_by_authority(self):
+        catalog = self._catalog()
+        assert catalog.counts_by_authority() == {"fs": 3, "imap": 1}
+
+    def test_counts_by_kind(self):
+        catalog = self._catalog()
+        assert catalog.counts_by_kind() == {"derived": 3, "base": 1}
+
+    def test_missing_get_is_none(self):
+        assert ResourceViewCatalog().get(ViewId("fs", "/x")) is None
+
+
+class TestSizeAccounting:
+    def test_size_grows_with_registrations(self):
+        catalog = ResourceViewCatalog()
+        empty = catalog.size_bytes()
+        for index in range(100):
+            catalog.register(_view(f"v{index}"), kind="base")
+        assert catalog.size_bytes() > empty

@@ -1,0 +1,130 @@
+"""Tests for saving/loading the RVM state."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.errors import StoreError
+from repro.imapsim import Attachment, EmailMessage, ImapServer
+from repro.imapsim.latency import no_latency
+from repro.query import QueryProcessor
+from repro.rvm import ResourceViewManager, default_content_converter
+from repro.rvm.persistence import load_state, save_state
+from repro.rvm.plugins import FilesystemPlugin, ImapPlugin
+from repro.vfs import VirtualFileSystem
+
+TEX = r"""
+\begin{document}
+\section{Introduction}\label{s1}
+Durable dataspace indexing with database tuning.
+\begin{center}\begin{figure}\caption{Indexing time}\label{f1}
+\end{figure}\end{center}
+\section{Conclusions}
+persistent systems, see \ref{f1}.
+\end{document}
+"""
+
+
+@pytest.fixture()
+def populated_rvm():
+    fs = VirtualFileSystem()
+    fs.mkdir("/papers/VLDB2006", parents=True)
+    fs.write_file("/papers/VLDB2006/p.tex", TEX)
+    fs.write_file("/papers/notes.txt", "database tuning notes")
+    imap = ImapServer(latency=no_latency())
+    imap.deliver("INBOX", EmailMessage(
+        subject="draft", sender="a@b", to=("c@d",),
+        date=datetime(2005, 5, 1), body="database text",
+        attachments=(Attachment("p.tex", TEX),),
+    ))
+    rvm = ResourceViewManager()
+    converter = default_content_converter()
+    rvm.register_plugin(FilesystemPlugin(fs, content_converter=converter))
+    rvm.register_plugin(ImapPlugin(imap, content_converter=converter))
+    rvm.sync_all()
+    return rvm
+
+
+QUERIES = [
+    '"database tuning"',
+    '//Introduction[class="latex_section"]',
+    '[size > 100]',
+    '//papers//?onclusion*',
+    'join( //papers//*[class="texref"] as A, '
+    '//papers//*[class="environment"]//figure* as B, '
+    "A.name = B.tuple.label )",
+]
+
+
+class TestRoundTrip:
+    def test_manifest_written(self, populated_rvm, tmp_path):
+        manifest = save_state(populated_rvm, tmp_path)
+        assert manifest["format_version"] == 1
+        assert manifest["counts"]["catalog"] == len(populated_rvm.catalog)
+        assert (tmp_path / "manifest.json").exists()
+
+    def test_catalog_restored(self, populated_rvm, tmp_path):
+        save_state(populated_rvm, tmp_path)
+        restored = ResourceViewManager()
+        load_state(restored, tmp_path)
+        assert len(restored.catalog) == len(populated_rvm.catalog)
+        original = populated_rvm.catalog.get("fs:///papers/notes.txt")
+        loaded = restored.catalog.get("fs:///papers/notes.txt")
+        assert loaded == original
+
+    def test_queries_equivalent_after_restore(self, populated_rvm, tmp_path):
+        save_state(populated_rvm, tmp_path)
+        restored = ResourceViewManager()
+        load_state(restored, tmp_path)
+        before = QueryProcessor(populated_rvm)
+        after = QueryProcessor(restored)
+        for query in QUERIES:
+            original = before.execute(query)
+            loaded = after.execute(query)
+            if original.pairs:
+                assert [(p.left.uri, p.right.uri) for p in original.pairs] \
+                    == [(p.left.uri, p.right.uri) for p in loaded.pairs]
+            else:
+                assert original.uris() == loaded.uris(), query
+
+    def test_index_sizes_comparable(self, populated_rvm, tmp_path):
+        save_state(populated_rvm, tmp_path)
+        restored = ResourceViewManager()
+        load_state(restored, tmp_path)
+        original = populated_rvm.index_size_report()
+        loaded = restored.index_size_report()
+        assert loaded["net_input"] == original["net_input"]
+        assert loaded["group"] == original["group"]
+
+    def test_tuple_values_preserve_types(self, populated_rvm, tmp_path):
+        save_state(populated_rvm, tmp_path)
+        restored = ResourceViewManager()
+        load_state(restored, tmp_path)
+        component = restored.indexes.tuple_index.tuple_of(
+            "fs:///papers/notes.txt"
+        )
+        assert isinstance(component.get("modified"), datetime)
+        assert isinstance(component.get("size"), int)
+
+    def test_ranking_survives(self, populated_rvm, tmp_path):
+        from repro.query.ranking import ranked_search
+        save_state(populated_rvm, tmp_path)
+        restored = ResourceViewManager()
+        load_state(restored, tmp_path)
+        original = [h.uri for h in ranked_search(populated_rvm, "database",
+                                                 limit=5)]
+        loaded = [h.uri for h in ranked_search(restored, "database",
+                                               limit=5)]
+        assert original == loaded
+
+
+class TestErrors:
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(StoreError):
+            load_state(ResourceViewManager(), tmp_path / "nope")
+
+    def test_load_wrong_version(self, populated_rvm, tmp_path):
+        save_state(populated_rvm, tmp_path)
+        (tmp_path / "manifest.json").write_text('{"format_version": 99}')
+        with pytest.raises(StoreError):
+            load_state(ResourceViewManager(), tmp_path)

@@ -1,0 +1,254 @@
+"""Tests for the group replica and the Replica&Indexes module."""
+
+from repro.core.components import ContentComponent, GroupComponent
+from repro.core.identity import ViewId
+from repro.core.resource_view import ResourceView
+from repro.rvm.indexes import IndexSet, _looks_like_text
+from repro.rvm.replicas import GroupReplica
+
+
+def _view(path, name="", children=(), content=None, tuple_component=None):
+    return ResourceView(
+        name, tuple_component=tuple_component, content=content,
+        group=list(children), view_id=ViewId("fs", path),
+    )
+
+
+class TestGroupReplica:
+    def test_children_recorded(self):
+        child = _view("/a/b", "b")
+        parent = _view("/a", "a", children=[child])
+        replica = GroupReplica()
+        replica.add(parent)
+        assert replica.children(parent.view_id) == (child.view_id.uri,)
+
+    def test_parents_reverse_edges(self):
+        child = _view("/a/b", "b")
+        parent = _view("/a", "a", children=[child])
+        replica = GroupReplica()
+        replica.add(parent)
+        assert replica.parents(child.view_id) == {parent.view_id.uri}
+
+    def test_sequence_order_preserved(self):
+        kids = [_view(f"/k{i}", f"k{i}") for i in range(3)]
+        parent = ResourceView(
+            "p", group=GroupComponent.of_sequence(kids),
+            view_id=ViewId("fs", "/p"),
+        )
+        replica = GroupReplica()
+        replica.add(parent)
+        assert replica.sequence_children("fs:///p") == tuple(
+            k.view_id.uri for k in kids
+        )
+
+    def test_readd_replaces(self):
+        replica = GroupReplica()
+        old_child = _view("/old", "old")
+        parent = _view("/p", "p", children=[old_child])
+        replica.add(parent)
+        new_parent = _view("/p", "p", children=[_view("/new", "new")])
+        replica.add(new_parent)
+        assert replica.children("fs:///p") == ("fs:///new",)
+        assert replica.parents("fs:///old") == set()
+
+    def test_remove(self):
+        child = _view("/c", "c")
+        parent = _view("/p", "p", children=[child])
+        replica = GroupReplica()
+        replica.add(parent)
+        assert replica.remove(parent.view_id)
+        assert replica.children("fs:///p") == ()
+        assert not replica.remove(parent.view_id)
+
+    def test_descendants_forward_expansion(self):
+        leaf = _view("/a/b/c", "c")
+        mid = _view("/a/b", "b", children=[leaf])
+        root = _view("/a", "a", children=[mid])
+        replica = GroupReplica()
+        for view in (root, mid, leaf):
+            replica.add(view)
+        assert replica.descendants("fs:///a") == {
+            "fs:///a/b", "fs:///a/b/c"
+        }
+
+    def test_descendants_cycle_safe(self):
+        replica = GroupReplica()
+        a = _view("/a", "a")
+        b = _view("/b", "b", children=[a])
+        a2 = _view("/a", "a", children=[b])
+        replica.add(a2)
+        replica.add(b)
+        assert replica.descendants("fs:///a") == {"fs:///b", "fs:///a"}
+
+    def test_ancestors_backward_expansion(self):
+        leaf = _view("/a/b/c", "c")
+        mid = _view("/a/b", "b", children=[leaf])
+        root = _view("/a", "a", children=[mid])
+        replica = GroupReplica()
+        for view in (root, mid, leaf):
+            replica.add(view)
+        assert replica.ancestors("fs:///a/b/c") == {"fs:///a/b", "fs:///a"}
+
+    def test_infinite_group_windowed(self):
+        def forever():
+            index = 0
+            while True:
+                yield _view(f"/s/{index}", str(index))
+                index += 1
+
+        stream = ResourceView(
+            group=GroupComponent.of_stream(forever),
+            view_id=ViewId("stream", "s"),
+        )
+        replica = GroupReplica(infinite_window=5)
+        replica.add(stream)
+        assert len(replica.children("stream://s")) == 5
+
+    def test_edge_count_and_size(self):
+        replica = GroupReplica()
+        replica.add(_view("/p", "p", children=[_view("/c", "c")]))
+        assert replica.edge_count() == 1
+        assert replica.size_bytes() > 0
+
+
+class TestTextSniffer:
+    def test_plain_text_accepted(self):
+        assert _looks_like_text("ordinary text with words\n")
+
+    def test_binary_rejected(self):
+        assert not _looks_like_text("\x00\x01\x02" * 100)
+
+    def test_mostly_binary_rejected(self):
+        blob = ("\x00" * 80) + ("a" * 20)
+        assert not _looks_like_text(blob)
+
+
+class TestIndexSet:
+    def _file(self, path="/f.txt", name="f.txt", text="database notes",
+              size=10):
+        return _view(path, name, content=text,
+                     tuple_component={"size": size})
+
+    def test_add_view_feeds_all_structures(self):
+        indexes = IndexSet()
+        view = self._file()
+        indexes.add_view(view)
+        uri = view.view_id.uri
+        assert uri in indexes.name_index
+        assert uri in indexes.content_index
+        assert indexes.tuple_index.tuple_of(uri) is not None
+        assert uri in indexes.group_replica
+
+    def test_unnamed_view_skips_name_index(self):
+        indexes = IndexSet()
+        view = _view("/anon", "", content="text")
+        indexes.add_view(view)
+        assert view.view_id.uri not in indexes.name_index
+
+    def test_name_replica_serves_names(self):
+        indexes = IndexSet()
+        view = self._file(name="Grant Proposal.doc")
+        indexes.add_view(view)
+        assert indexes.name_of(view.view_id) == "Grant Proposal.doc"
+        assert indexes.name_of("fs:///ghost") == ""
+
+    def test_content_index_is_not_a_replica(self):
+        import pytest
+        from repro.core.errors import FullTextError
+        indexes = IndexSet()
+        view = self._file()
+        indexes.add_view(view)
+        with pytest.raises(FullTextError):
+            indexes.content_index.stored_text(view.view_id.uri)
+
+    def test_binary_content_not_indexed(self):
+        indexes = IndexSet()
+        view = _view("/img.jpg", "img.jpg", content="\x00\x01" * 500)
+        indexes.add_view(view)
+        assert view.view_id.uri not in indexes.content_index
+        assert indexes.net_input_bytes == 0
+
+    def test_net_input_counts_text_only(self):
+        indexes = IndexSet()
+        indexes.add_view(self._file(text="abcd"))
+        assert indexes.net_input_bytes == 4
+
+    def test_remove_view_cleans_everything(self):
+        indexes = IndexSet()
+        view = self._file()
+        indexes.add_view(view)
+        indexes.remove_view(view.view_id)
+        uri = view.view_id.uri
+        assert uri not in indexes.name_index
+        assert uri not in indexes.content_index
+        assert indexes.tuple_index.tuple_of(uri) is None
+        assert uri not in indexes.group_replica
+
+    def test_infinite_content_windowed(self):
+        def forever():
+            while True:
+                yield "a"
+
+        view = ResourceView(
+            "stream", content=ContentComponent.infinite(forever),
+            view_id=ViewId("s", "x"),
+        )
+        indexes = IndexSet(infinite_content_window=100)
+        indexes.add_view(view)
+        assert indexes.net_input_bytes == 100
+
+    def test_size_report_keys(self):
+        indexes = IndexSet()
+        assert set(indexes.size_report()) == {
+            "name", "tuple", "content", "group"
+        }
+
+    def test_total_size(self):
+        indexes = IndexSet()
+        indexes.add_view(self._file())
+        report = indexes.size_report()
+        assert indexes.total_size_bytes() == sum(report.values())
+
+
+class TestMediaIndexing:
+    def _binary(self, palette="\x01\x02\x03", size=600):
+        return "".join(palette[i % len(palette)] for i in range(size))
+
+    def test_media_off_by_default(self):
+        indexes = IndexSet()
+        indexes.add_view(_view("/img.jpg", "img.jpg",
+                               content=self._binary()))
+        assert len(indexes.media_index) == 0
+        assert "media" not in indexes.size_report()
+
+    def test_media_policy_indexes_binary_only(self):
+        from repro.rvm.indexes import IndexingPolicy
+        indexes = IndexSet(policy=IndexingPolicy.with_media())
+        indexes.add_view(_view("/img.jpg", "img.jpg",
+                               content=self._binary()))
+        indexes.add_view(_view("/doc.txt", "doc.txt",
+                               content="plain readable text here"))
+        assert "fs:///img.jpg" in indexes.media_index
+        assert "fs:///doc.txt" not in indexes.media_index
+        assert "fs:///doc.txt" in indexes.content_index
+        assert "media" in indexes.size_report()
+
+    def test_similarity_search_over_indexed_media(self):
+        from repro.rvm.indexes import IndexingPolicy
+        indexes = IndexSet(policy=IndexingPolicy.with_media())
+        indexes.add_view(_view("/a.jpg", "a.jpg",
+                               content=self._binary("\x01\x02")))
+        indexes.add_view(_view("/b.jpg", "b.jpg",
+                               content=self._binary("\x01\x02\x02")))
+        indexes.add_view(_view("/c.jpg", "c.jpg",
+                               content=self._binary("\x07\x08")))
+        nearest = indexes.media_index.similar_to_key("fs:///a.jpg", k=1)
+        assert nearest[0][0] == "fs:///b.jpg"
+
+    def test_remove_clears_media(self):
+        from repro.rvm.indexes import IndexingPolicy
+        indexes = IndexSet(policy=IndexingPolicy.with_media())
+        view = _view("/img.jpg", "img.jpg", content=self._binary())
+        indexes.add_view(view)
+        indexes.remove_view(view.view_id)
+        assert "fs:///img.jpg" not in indexes.media_index

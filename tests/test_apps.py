@@ -1,0 +1,168 @@
+"""Tests for the PIM applications: reconciliation and clustering."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.apps import (
+    cluster_by_content,
+    normalize_person,
+    reconcile_names,
+    reconcile_views,
+)
+from repro.imapsim import EmailMessage, ImapServer
+from repro.imapsim.latency import no_latency
+from repro.rvm import ResourceViewManager
+from repro.rvm.plugins import FilesystemPlugin, ImapPlugin
+from repro.vfs import VirtualFileSystem
+
+
+class TestNormalization:
+    def test_plain_name(self):
+        assert normalize_person("Jens Dittrich") == ("jens", "dittrich")
+
+    def test_angle_address_stripped(self):
+        assert normalize_person("Jens Dittrich <jens@ethz.ch>") == \
+            ("jens", "dittrich")
+
+    def test_last_first_inverted(self):
+        assert normalize_person("Dittrich, Jens") == ("jens", "dittrich")
+
+    def test_initials_dotted(self):
+        assert normalize_person("J. Dittrich") == ("j", "dittrich")
+
+    def test_bare_address_uses_local_part(self):
+        assert normalize_person("jens.dittrich@ethz.ch") == \
+            ("jens", "dittrich")
+
+    def test_empty(self):
+        assert normalize_person("   ") == ()
+
+
+class TestReconcileNames:
+    def test_spelling_variants_cluster(self):
+        clusters = reconcile_names([
+            "Jens Dittrich <jens@ethz.ch>",
+            "Dittrich, Jens",
+            "J. Dittrich",
+            "jens.dittrich@ethz.ch",
+            "Donald Knuth",
+        ])
+        assert len(clusters) == 2
+        assert len(clusters[0]) == 4  # all the Dittrich variants
+        assert clusters[1] == ["Donald Knuth"]
+
+    def test_different_surnames_never_merge(self):
+        clusters = reconcile_names(["Anna Gray", "Anna Codd"])
+        assert len(clusters) == 2
+
+    def test_same_surname_different_first_names_separate(self):
+        clusters = reconcile_names(["Anna Gray", "Robert Gray"])
+        assert len(clusters) == 2
+
+    def test_initial_expands_to_full_name(self):
+        clusters = reconcile_names(["M. Franklin", "Mike Franklin"])
+        assert len(clusters) == 1
+
+    def test_middle_name_subset(self):
+        clusters = reconcile_names([
+            "Marcos Antonio Vaz Salles" , "Marcos Salles",
+        ])
+        # shared surname 'salles'; 'marcos' matches, extra middles drop
+        assert len(clusters) == 1
+
+    def test_deterministic_order(self):
+        mentions = ["B Last", "A Last", "C Other"]
+        assert reconcile_names(mentions) == reconcile_names(mentions)
+
+    def test_empty_input(self):
+        assert reconcile_names([]) == []
+
+
+class TestReconcileViews:
+    def test_clusters_email_senders(self):
+        imap = ImapServer(latency=no_latency())
+        for sender in ("Jens Dittrich <jens@ethz.ch>",
+                       "Dittrich, Jens",
+                       "Donald Knuth <don@stanford.edu>"):
+            imap.deliver("INBOX", EmailMessage(
+                subject="s", sender=sender, to=("x@y.z",),
+                date=datetime(2005, 1, 1), body="b",
+            ))
+        rvm = ResourceViewManager()
+        rvm.register_plugin(ImapPlugin(imap))
+        rvm.sync_all()
+        clusters = reconcile_views(rvm, attributes=("from",))
+        assert len(clusters) == 1  # only the Dittrich variants co-refer
+        mentions = {mention for mention, _ in clusters[0]}
+        assert mentions == {"Jens Dittrich <jens@ethz.ch>",
+                            "Dittrich, Jens"}
+
+    def test_uris_attached(self):
+        imap = ImapServer(latency=no_latency())
+        imap.deliver("INBOX", EmailMessage(
+            subject="s", sender="A. Gray", to=("x@y.z",),
+            date=datetime(2005, 1, 1), body="b",
+        ))
+        imap.deliver("INBOX", EmailMessage(
+            subject="s2", sender="Anna Gray", to=("x@y.z",),
+            date=datetime(2005, 1, 2), body="b",
+        ))
+        rvm = ResourceViewManager()
+        rvm.register_plugin(ImapPlugin(imap))
+        rvm.sync_all()
+        clusters = reconcile_views(rvm, attributes=("from",))
+        assert len(clusters) == 1
+        uris = {uri for _, uri in clusters[0]}
+        assert all(uri.startswith("imap://INBOX") for uri in uris)
+
+
+class TestContentClustering:
+    @pytest.fixture()
+    def rvm(self):
+        fs = VirtualFileSystem()
+        fs.mkdir("/d", parents=True)
+        draft = ("the unified dataspace model for personal information "
+                 "management with resource views and components")
+        fs.write_file("/d/draft_v1.txt", draft)
+        fs.write_file("/d/draft_v2.txt", draft + " plus one new sentence")
+        fs.write_file("/d/recipe.txt",
+                      "carrots onions garlic simmer soup dinner kitchen")
+        fs.write_file("/d/groceries.txt",
+                      "carrots onions garlic bread milk kitchen list")
+        manager = ResourceViewManager()
+        manager.register_plugin(FilesystemPlugin(fs))
+        manager.sync_all()
+        return manager
+
+    def test_near_duplicates_cluster(self, rvm):
+        clusters = cluster_by_content(rvm, threshold=0.5)
+        by_member = {uri: tuple(c) for c in clusters for uri in c}
+        assert by_member["fs:///d/draft_v1.txt"] == \
+            by_member["fs:///d/draft_v2.txt"]
+
+    def test_unrelated_content_separate(self, rvm):
+        clusters = cluster_by_content(rvm, threshold=0.5)
+        by_member = {uri: tuple(c) for c in clusters for uri in c}
+        assert by_member["fs:///d/draft_v1.txt"] != \
+            by_member["fs:///d/recipe.txt"]
+
+    def test_high_threshold_splits(self, rvm):
+        loose = cluster_by_content(rvm, threshold=0.3)
+        tight = cluster_by_content(rvm, threshold=0.99)
+        assert len(tight) >= len(loose)
+
+    def test_min_cluster_size_filter(self, rvm):
+        multi = cluster_by_content(rvm, threshold=0.5, min_cluster_size=2)
+        assert all(len(c) >= 2 for c in multi)
+
+    def test_explicit_uris_subset(self, rvm):
+        clusters = cluster_by_content(
+            rvm, ["fs:///d/recipe.txt", "fs:///d/groceries.txt"],
+            threshold=0.3,
+        )
+        members = {uri for c in clusters for uri in c}
+        assert members == {"fs:///d/recipe.txt", "fs:///d/groceries.txt"}
+
+    def test_deterministic(self, rvm):
+        assert cluster_by_content(rvm) == cluster_by_content(rvm)

@@ -1,0 +1,107 @@
+"""Tests for the evaluation harness and its reporting helpers."""
+
+import pytest
+
+from repro.bench import (
+    EvaluationHarness,
+    PAPER_QUERIES,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    format_comparison,
+    format_table,
+)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "count"],
+                            [["alpha", 1], ["b", 22_000]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "22,000" in text
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_columns_right_aligned(self):
+        text = format_table(["n"], [[5], [500]])
+        rows = text.splitlines()[2:]
+        assert rows[0].endswith("5")
+        assert rows[1].endswith("500")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.1234567], [12.3], [1234.5]])
+        assert "0.1235" in text
+        assert "12.30" in text
+        assert "1,235" in text or "1,234" in text
+
+    def test_format_comparison(self):
+        line = format_comparison("total", 100, 42, unit="MB")
+        assert "paper=100 MB" in line
+        assert "measured=42 MB" in line
+
+
+class TestPaperConstants:
+    def test_eight_queries(self):
+        assert list(PAPER_QUERIES) == [f"Q{i}" for i in range(1, 9)]
+
+    def test_table2_totals_consistent(self):
+        fs, imap, total = (PAPER_TABLE2["fs"], PAPER_TABLE2["imap"],
+                           PAPER_TABLE2["total"])
+        for key in ("base", "xml", "latex", "total"):
+            assert fs[key] + imap[key] == total[key]
+
+    def test_table3_total_sums(self):
+        parts = sum(PAPER_TABLE3[k] for k in
+                    ("name_mb", "tuple_mb", "content_mb", "group_mb",
+                     "catalog_mb"))
+        assert parts == pytest.approx(PAPER_TABLE3["total_mb"], abs=0.1)
+
+    def test_table4_q1_is_largest(self):
+        assert PAPER_TABLE4["Q1"] == max(PAPER_TABLE4.values())
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        harness = EvaluationHarness(scale=0.001, seed=5)
+        harness.ensure_synced()
+        return harness
+
+    def test_sync_memoized(self, harness):
+        first = harness.ensure_synced()
+        assert harness.ensure_synced() is first
+
+    def test_table2_totals(self, harness):
+        table = harness.table2()
+        total = table["total"]
+        assert total["total"] == sum(
+            row["total"] for name, row in table.items() if name != "total"
+        )
+
+    def test_figure5_sources(self, harness):
+        breakdown = harness.figure5()
+        assert {"fs", "imap", "rss"} <= set(breakdown)
+        for row in breakdown.values():
+            assert row["total"] == pytest.approx(
+                row["catalog"] + row["indexing"] + row["access"]
+            )
+
+    def test_table3_keys(self, harness):
+        sizes = harness.table3()
+        assert {"name", "tuple", "content", "group", "catalog",
+                "total", "net_input"} <= set(sizes)
+
+    def test_run_queries_measures_everything(self, harness):
+        measurements = harness.run_queries(warm_runs=1)
+        assert set(measurements) == set(PAPER_QUERIES)
+        for measurement in measurements.values():
+            assert measurement.cold_seconds > 0
+            assert measurement.warm_seconds > 0
+            assert measurement.results >= 0
+
+    def test_table4_is_counts(self, harness):
+        counts = harness.table4()
+        assert all(isinstance(v, int) for v in counts.values())

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["query", '"x"'])
+        assert args.iql == '"x"'
+        assert args.scale == 0.02
+        assert args.limit == 20
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["stats", "--scale", "0.01"])
+        assert args.scale == 0.01
+
+
+@pytest.fixture(scope="module")
+def tiny_args():
+    # the smallest dataspace the profiles allow, to keep CLI tests quick
+    return ["--scale", "0.001", "--seed", "3"]
+
+
+class TestCommands:
+    def test_stats(self, capsys, tiny_args):
+        assert main(["stats", *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "index sizes" in out
+        assert "content" in out
+
+    def test_query_prints_hits(self, capsys, tiny_args):
+        assert main(["query", '"database"', *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "result(s)" in out
+        assert "fs://" in out or "imap://" in out
+
+    def test_query_limit(self, capsys, tiny_args):
+        assert main(["query", '"database"', "--limit", "1", *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "(1 shown)" in out
+
+    def test_query_explain(self, capsys, tiny_args):
+        assert main(["query", '//papers//*.tex', "--explain",
+                     *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "ExpandStep" in out
+
+    def test_query_join(self, capsys, tiny_args):
+        assert main([
+            "query",
+            'join( //*[class = "emailmessage"]//*.tex as A, '
+            "//papers//*.tex as B, A.name = B.name )",
+            *tiny_args,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "<->" in out
+
+    def test_search(self, capsys, tiny_args):
+        assert main(["search", "database tuning", "--limit", "3",
+                     *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "fs://" in out or "imap://" in out or "no matches" in out
+
+    def test_tables(self, capsys, tiny_args):
+        assert main(["tables", *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 5" in out
+        assert "Table 4" in out

@@ -1,0 +1,147 @@
+"""Tests for the synthetic personal dataspace generator."""
+
+import pytest
+
+from repro.dataset import (
+    Corpus,
+    PAPER_PROFILE,
+    PersonalDataspaceGenerator,
+    TINY_PROFILE,
+    scaled_profile,
+)
+from repro.imapsim.latency import no_latency
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        a, b = Corpus(5), Corpus(5)
+        assert a.paragraph() == b.paragraph()
+        assert a.person_name() == b.person_name()
+
+    def test_seeds_differ(self):
+        assert Corpus(1).paragraph() != Corpus(2).paragraph()
+
+    def test_plant_injects_phrase(self):
+        text = Corpus(3).paragraph(plant=["database tuning"])
+        assert "Database tuning" in text or "database tuning" in text
+
+    def test_text_spreads_plants(self):
+        text = Corpus(3).text(paragraphs=3, plant=["alpha beta", "gamma delta"])
+        assert "lpha beta" in text and "amma delta" in text
+
+    def test_file_name_extension(self):
+        assert Corpus(1).file_name("tex").endswith(".tex")
+
+    def test_binary_blob_not_texty(self):
+        blob = Corpus(1).binary_blob(300)
+        printable = sum(1 for c in blob if c.isprintable())
+        assert printable / len(blob) < 0.3
+
+    def test_title_capitalized(self):
+        title = Corpus(1).title()
+        assert title[0].isupper()
+
+
+class TestProfiles:
+    def test_paper_profile_matches_table2(self):
+        assert PAPER_PROFILE.fs_entries == 14_297
+        assert PAPER_PROFILE.emails == 6_335
+        assert PAPER_PROFILE.fs_latex_docs == 282
+        assert PAPER_PROFILE.fs_xml_docs == 47
+
+    def test_scaling_proportional(self):
+        half = scaled_profile(0.5)
+        assert half.fs_entries == round(14_297 * 0.5)
+
+    def test_scaling_floors(self):
+        tiny = scaled_profile(0.0001)
+        assert tiny.fs_latex_docs >= 8
+        assert tiny.emails >= 20
+
+
+class TestGenerator:
+    @pytest.fixture(scope="class")
+    def generated(self):
+        return PersonalDataspaceGenerator(
+            TINY_PROFILE, seed=13, imap_latency=no_latency()
+        ).generate()
+
+    def test_deterministic_across_runs(self):
+        a = PersonalDataspaceGenerator(
+            TINY_PROFILE, seed=13, imap_latency=no_latency()
+        ).generate()
+        b = PersonalDataspaceGenerator(
+            TINY_PROFILE, seed=13, imap_latency=no_latency()
+        ).generate()
+        assert a.counts == b.counts
+        assert a.vfs.count_entries() == b.vfs.count_entries()
+        assert a.vfs.read("/Projects/PIM/vldb2006.tex") == \
+            b.vfs.read("/Projects/PIM/vldb2006.tex")
+
+    def test_entry_budget_respected(self, generated):
+        counts = generated.vfs.count_entries()
+        total = counts["files"] + counts["dirs"] + counts["links"]
+        profile = generated.profile
+        assert total == pytest.approx(profile.fs_entries, rel=0.25)
+
+    def test_email_count(self, generated):
+        total = sum(
+            len(generated.imap._mailboxes[m])  # noqa: SLF001 - test probe
+            for m in ("INBOX", "Sent", "Projects")
+        )
+        assert total == generated.counts["emails"]
+        assert total >= generated.profile.emails
+
+    def test_pim_cycle_planted(self, generated):
+        assert generated.vfs.is_link("/Projects/PIM/All Projects")
+        assert generated.vfs.resolve_link(
+            "/Projects/PIM/All Projects"
+        ) == "/Projects"
+
+    def test_q3_large_files(self, generated):
+        large = [
+            path for path, _, files in generated.vfs.walk("/")
+            for _ in ()
+        ]
+        count = 0
+        for dirpath, _, files in generated.vfs.walk("/"):
+            for name in files:
+                full = dirpath.rstrip("/") + "/" + name
+                if generated.vfs.is_file(full) and \
+                        generated.vfs.stat(full)["size"] > 420_000:
+                    count += 1
+        assert count == generated.planted["q3_large_files"]
+
+    def test_latex_docs_present(self, generated):
+        tex_files = [
+            name for _, _, files in generated.vfs.walk("/")
+            for name in files if name.endswith(".tex")
+        ]
+        assert len(tex_files) >= generated.profile.fs_latex_docs
+
+    def test_xml_docs_present(self, generated):
+        xml_files = [
+            name for _, _, files in generated.vfs.walk("/")
+            for name in files if name.endswith(".xml")
+        ]
+        assert len(xml_files) >= generated.profile.fs_xml_docs
+
+    def test_shared_tex_names_for_q8(self, generated):
+        fs_tex = {
+            name for _, _, files in generated.vfs.walk("/papers")
+            for name in files if name.endswith(".tex")
+        }
+        mailbox = generated.imap._mailboxes["INBOX"]  # noqa: SLF001
+        attached = {
+            a.filename for m in mailbox for a in m.attachments
+            if a.filename.endswith(".tex")
+        }
+        assert fs_tex & attached
+
+    def test_feeds_published(self, generated):
+        assert len(generated.feeds.urls()) == generated.profile.feeds
+
+    def test_planted_ground_truth_keys(self, generated):
+        assert {"q3_large_files", "q4_vision_sections",
+                "q5_conclusion_sections", "q7_figure_refs",
+                "q8_shared_tex"} <= set(generated.planted)

@@ -1,0 +1,106 @@
+"""Tests for the Dataspace facade."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.facade import Dataspace
+from repro.imapsim import EmailMessage, ImapServer
+from repro.imapsim.latency import no_latency
+from repro.rvm import IndexingPolicy
+from repro.vfs import VirtualFileSystem
+
+
+class TestConstruction:
+    def test_empty_dataspace(self):
+        dataspace = Dataspace()
+        report = dataspace.sync()
+        assert report.views_total == 0
+        assert dataspace.view_count == 0
+
+    def test_fs_only(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/a.txt", "hello", parents=True)
+        dataspace = Dataspace(vfs=fs)
+        dataspace.sync()
+        assert dataspace.view_count == 2  # root + file
+
+    def test_imap_only(self):
+        imap = ImapServer(latency=no_latency())
+        imap.deliver("INBOX", EmailMessage(
+            subject="hi", sender="a@b", to=("c@d",),
+            date=datetime(2005, 1, 1), body="text",
+        ))
+        dataspace = Dataspace(imap=imap)
+        dataspace.sync()
+        assert dataspace.view_count == 2  # INBOX + message
+
+    def test_generate_passthrough_kwargs(self):
+        dataspace = Dataspace.generate(
+            scale=0.001, imap_latency=no_latency(),
+            policy=IndexingPolicy.minimal(), optimizer="cost",
+            expansion="auto",
+        )
+        assert dataspace.processor.optimizer_mode == "cost"
+        assert dataspace.processor.expansion == "auto"
+        assert not dataspace.rvm.indexes.policy.index_content
+
+    def test_demo_reproducible(self):
+        a = Dataspace.demo(seed=9)
+        b = Dataspace.demo(seed=9)
+        assert a.sync().views_total == b.sync().views_total
+
+
+class TestQuerying:
+    def test_query_autosyncs(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/x.txt", "needle content", parents=True)
+        dataspace = Dataspace(vfs=fs)
+        # no explicit sync()
+        assert len(dataspace.query('"needle"')) == 1
+
+    def test_search_with_iql_filter(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/a/in.txt", "target words here", parents=True)
+        fs.write_file("/b/out.txt", "target words there", parents=True)
+        dataspace = Dataspace(vfs=fs)
+        dataspace.sync()
+        everything = dataspace.search("target")
+        filtered = dataspace.search("target", iql="//a//*.txt")
+        assert len(filtered) == 1
+        assert filtered[0].uri == "fs:///a/in.txt"
+        assert len(everything) == 2
+
+    def test_explain(self):
+        dataspace = Dataspace(vfs=VirtualFileSystem())
+        assert "ContentSearch" in dataspace.explain('"x"')
+
+
+class TestLifecycle:
+    def test_watch_and_refresh(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/seed.txt", "seed", parents=True)
+        dataspace = Dataspace(vfs=fs)
+        dataspace.sync()
+        supported = dataspace.watch()
+        assert supported["fs"] is True
+        fs.write_file("/late.txt", "tardigrade facts")
+        processed = dataspace.refresh()
+        assert processed > 0
+        assert len(dataspace.query('"tardigrade"')) == 1
+
+    def test_resync_idempotent(self):
+        dataspace = Dataspace.generate(scale=0.001,
+                                       imap_latency=no_latency())
+        first = dataspace.sync().views_total
+        second = dataspace.sync().views_total
+        assert first == second
+        assert dataspace.view_count == first
+
+    def test_index_sizes_shape(self):
+        dataspace = Dataspace.generate(scale=0.001,
+                                       imap_latency=no_latency())
+        dataspace.sync()
+        sizes = dataspace.index_sizes()
+        assert sizes["total"] > 0
+        assert sizes["net_input"] > 0

@@ -1,0 +1,215 @@
+"""Tests for the full-text engine (the Lucene substitute)."""
+
+import pytest
+
+from repro.core.errors import FullTextError, QuerySyntaxError
+from repro.fulltext import (
+    Analyzer,
+    And,
+    InvertedIndex,
+    MatchAll,
+    Not,
+    Or,
+    Phrase,
+    Term,
+    Wildcard,
+    parse_query,
+    tokenize,
+)
+from repro.fulltext.analyzer import DEFAULT_STOPWORDS
+from repro.fulltext.query import search
+from repro.fulltext.scoring import score_query, score_tfidf
+
+
+@pytest.fixture()
+def index():
+    idx = InvertedIndex()
+    idx.add("d1", "Database tuning is an art. Database systems rule.")
+    idx.add("d2", "A database stores structured data collections.")
+    idx.add("d3", "Guitar tuning and indexing time both matter.")
+    idx.add("d4", "Completely unrelated text about cooking.")
+    return idx
+
+
+class TestAnalyzer:
+    def test_lowercases(self):
+        assert [t.term for t in tokenize("Hello WORLD")] == ["hello", "world"]
+
+    def test_positions_consecutive(self):
+        assert [t.position for t in tokenize("a b c")] == [0, 1, 2]
+
+    def test_punctuation_splits(self):
+        assert [t.term for t in tokenize("foo-bar,baz")] == ["foo", "bar", "baz"]
+
+    def test_numbers_kept(self):
+        assert [t.term for t in tokenize("VLDB 2006")] == ["vldb", "2006"]
+
+    def test_stopwords_leave_position_gaps(self):
+        analyzer = Analyzer(stopwords=DEFAULT_STOPWORDS)
+        tokens = list(analyzer.tokens("to be or not to be queried"))
+        # the surviving token keeps its original position, so phrases
+        # cannot falsely match across removed words
+        assert tokens[-1].term == "queried"
+        assert tokens[-1].position == 6
+
+    def test_min_length_filter(self):
+        analyzer = Analyzer(min_length=3)
+        assert analyzer.terms("a bb ccc dddd") == ["ccc", "dddd"]
+
+    def test_max_length_filter(self):
+        analyzer = Analyzer(max_length=4)
+        assert analyzer.terms("tiny enormousword") == ["tiny"]
+
+
+class TestIndexWrites:
+    def test_add_and_contains(self, index):
+        assert "d1" in index
+        assert index.document_count == 4
+
+    def test_remove(self, index):
+        assert index.remove("d1")
+        assert "d1" not in index
+        assert Term("art").docs(index) == set()
+
+    def test_remove_missing_returns_false(self, index):
+        assert not index.remove("ghost")
+
+    def test_readd_replaces(self, index):
+        index.add("d1", "entirely new words")
+        assert search(index, "entirely") == {"d1"}
+        assert search(index, "art") == set()
+
+    def test_empty_postings_pruned(self):
+        idx = InvertedIndex()
+        idx.add("only", "solitary")
+        idx.remove("only")
+        assert idx.term_count == 0
+
+    def test_doc_length_tracked(self, index):
+        # "Database tuning is an art. Database systems rule." -> 8 tokens
+        assert index.doc_length(index.doc_of("d1")) == 8
+
+
+class TestQueries:
+    def test_term(self, index):
+        assert search(index, "database") == {"d1", "d2"}
+
+    def test_term_case_insensitive(self, index):
+        assert Term("DATABASE").docs(index) == Term("database").docs(index)
+
+    def test_unknown_term_empty(self, index):
+        assert search(index, "xyzzy") == set()
+
+    def test_phrase(self, index):
+        assert search(index, '"database tuning"') == {"d1"}
+
+    def test_phrase_requires_adjacency(self, index):
+        # d3 has "tuning" and "indexing" but not adjacent in this order
+        assert search(index, '"tuning indexing"') == set()
+        assert search(index, '"tuning and indexing"') == {"d3"}
+
+    def test_phrase_subset_of_and(self, index):
+        phrase = Phrase.of("database tuning").docs(index)
+        conjunction = And((Term("database"), Term("tuning"))).docs(index)
+        assert phrase <= conjunction
+
+    def test_and(self, index):
+        assert search(index, "database and tuning") == {"d1"}
+
+    def test_juxtaposition_is_and(self, index):
+        assert search(index, "database tuning") == {"d1"}
+
+    def test_or(self, index):
+        assert search(index, "cooking or guitar") == {"d3", "d4"}
+
+    def test_not(self, index):
+        assert search(index, "not database") == {"d3", "d4"}
+
+    def test_parens(self, index):
+        result = search(index, "(database or guitar) and tuning")
+        assert result == {"d1", "d3"}
+
+    def test_wildcard_prefix(self, index):
+        assert search(index, "index*") == {"d3"}
+
+    def test_wildcard_question(self, index):
+        assert Wildcard("d?ta").docs(index) == Term("data").docs(index)
+
+    def test_match_all(self, index):
+        assert len(MatchAll().docs(index)) == 4
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("   ")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("(a or b")
+
+    def test_multiword_term_becomes_phrase(self, index):
+        # Term("database tuning") analyzes to two tokens -> phrase
+        assert Term("database tuning").docs(index) == {
+            index.doc_of("d1")
+        }
+
+
+class TestScoring:
+    def test_ranked_by_relevance(self, index):
+        ranked = score_tfidf(index, "database tuning")
+        assert ranked[0][0] == "d1"  # contains both terms, twice
+
+    def test_scores_positive_and_sorted(self, index):
+        ranked = score_tfidf(index, "database")
+        scores = [s for _, s in ranked]
+        assert all(s > 0 for s in scores)
+        assert scores == sorted(scores, reverse=True)
+
+    def test_limit(self, index):
+        assert len(score_tfidf(index, "database", limit=1)) == 1
+
+    def test_empty_index(self):
+        assert score_tfidf(InvertedIndex(), "term") == []
+
+    def test_score_query_filters_then_ranks(self, index):
+        ranked = score_query(index, Term("tuning"), "tuning")
+        assert {key for key, _ in ranked} == {"d1", "d3"}
+
+
+class TestReplicaBehavior:
+    def test_non_replica_cannot_return_text(self, index):
+        with pytest.raises(FullTextError):
+            index.stored_text("d1")
+
+    def test_replica_returns_text(self):
+        idx = InvertedIndex(store_text=True)
+        idx.add("k", "Original Name")
+        assert idx.stored_text("k") == "Original Name"
+
+    def test_stored_items_iterates(self):
+        idx = InvertedIndex(store_text=True)
+        idx.add("a", "x")
+        idx.add("b", "y")
+        assert dict(idx.stored_items()) == {"a": "x", "b": "y"}
+
+    def test_stored_items_requires_replica(self, index):
+        with pytest.raises(FullTextError):
+            list(index.stored_items())
+
+
+class TestSizeAccounting:
+    def test_sizes_grow_with_content(self):
+        idx = InvertedIndex()
+        idx.add("a", "one two three")
+        small = idx.size_bytes()
+        idx.add("b", "four five six seven eight nine ten" * 10)
+        assert idx.size_bytes() > small
+
+    def test_input_bytes_accumulate(self):
+        idx = InvertedIndex()
+        idx.add("a", "abcd")
+        assert idx.total_input_bytes == 4
+
+    def test_stats_keys(self, index):
+        assert set(index.stats()) == {
+            "documents", "terms", "size_bytes", "input_bytes"
+        }

@@ -1,0 +1,274 @@
+"""Tests for the simulated IMAP server, MIME format and latency model."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.errors import ImapError
+from repro.imapsim import (
+    Attachment,
+    EmailMessage,
+    ImapServer,
+    LatencyModel,
+    parse_rfc822,
+    serialize_rfc822,
+)
+from repro.imapsim.latency import no_latency
+
+
+def _message(subject="Hello", attachments=()):
+    return EmailMessage(
+        subject=subject, sender="a@x.org", to=("b@y.org", "c@z.org"),
+        cc=("d@w.org",), date=datetime(2005, 3, 1, 9, 30),
+        body="body text here", attachments=tuple(attachments),
+    )
+
+
+class TestMime:
+    def test_roundtrip_simple(self):
+        message = _message()
+        parsed = parse_rfc822(serialize_rfc822(message))
+        assert parsed.subject == message.subject
+        assert parsed.sender == message.sender
+        assert parsed.to == message.to
+        assert parsed.cc == message.cc
+        assert parsed.date == message.date
+        assert parsed.body == message.body
+
+    def test_roundtrip_with_attachments(self):
+        attachment = Attachment("notes.tex", "\\section{X} body",
+                                "text/x-tex")
+        parsed = parse_rfc822(serialize_rfc822(_message(
+            attachments=[attachment]
+        )))
+        assert len(parsed.attachments) == 1
+        assert parsed.attachments[0].filename == "notes.tex"
+        assert parsed.attachments[0].content == attachment.content
+        assert parsed.attachments[0].mime_type == "text/x-tex"
+
+    def test_multiple_attachments_ordered(self):
+        attachments = [Attachment(f"f{i}.txt", f"c{i}") for i in range(3)]
+        parsed = parse_rfc822(serialize_rfc822(_message(
+            attachments=attachments
+        )))
+        assert [a.filename for a in parsed.attachments] == [
+            "f0.txt", "f1.txt", "f2.txt"
+        ]
+
+    def test_missing_date_rejected(self):
+        from repro.core.errors import ParseError
+        with pytest.raises(ParseError):
+            parse_rfc822("Subject: x\n\nbody")
+
+    def test_message_size_includes_attachments(self):
+        small = _message().size
+        big = _message(attachments=[Attachment("a", "x" * 1000)]).size
+        assert big == small + 1000
+
+
+class TestMailbox:
+    def test_uids_never_reused(self):
+        server = ImapServer(latency=no_latency())
+        uid1 = server.deliver("INBOX", _message("one"))
+        server.connect()
+        server.delete_message("INBOX", uid1)
+        uid2 = server.deliver("INBOX", _message("two"))
+        assert uid2 > uid1
+
+    def test_create_duplicate_mailbox_rejected(self):
+        server = ImapServer(latency=no_latency())
+        with pytest.raises(ImapError):
+            server.create_mailbox("INBOX")
+
+    def test_unknown_mailbox_raises(self):
+        server = ImapServer(latency=no_latency())
+        server.connect()
+        with pytest.raises(ImapError):
+            server.select("Ghost")
+
+
+class TestClientApi:
+    @pytest.fixture()
+    def server(self):
+        server = ImapServer(latency=no_latency())
+        server.create_mailbox("Work")
+        server.deliver("INBOX", _message("first"))
+        server.deliver("INBOX", _message("second"))
+        server.deliver("Work", _message("task"))
+        server.connect()
+        return server
+
+    def test_requires_connection(self):
+        server = ImapServer(latency=no_latency())
+        with pytest.raises(ImapError):
+            server.list_mailboxes()
+
+    def test_list_mailboxes(self, server):
+        assert server.list_mailboxes() == ["INBOX", "Work"]
+
+    def test_select_counts(self, server):
+        assert server.select("INBOX") == 2
+        assert server.select("Work") == 1
+
+    def test_fetch_headers(self, server):
+        headers = server.fetch_headers("INBOX", 1)
+        assert headers["Subject"] == "first"
+
+    def test_fetch_message_roundtrips(self, server):
+        parsed = parse_rfc822(server.fetch_message("INBOX", 2))
+        assert parsed.subject == "second"
+
+    def test_fetch_unknown_uid(self, server):
+        with pytest.raises(ImapError):
+            server.fetch_message("INBOX", 99)
+
+    def test_delete_message(self, server):
+        assert server.delete_message("INBOX", 1)
+        assert server.uids("INBOX") == [2]
+        assert not server.delete_message("INBOX", 1)
+
+
+class TestNotifications:
+    def test_subscription_fires_on_delivery(self):
+        server = ImapServer(latency=no_latency())
+        seen = []
+        server.subscribe(lambda mbox, msg: seen.append((mbox, msg.subject)))
+        server.deliver("INBOX", _message("ping"))
+        assert seen == [("INBOX", "ping")]
+
+    def test_unsubscribe(self):
+        server = ImapServer(latency=no_latency())
+        seen = []
+        unsubscribe = server.subscribe(lambda m, s: seen.append(1))
+        unsubscribe()
+        server.deliver("INBOX", _message())
+        assert seen == []
+
+
+class TestStreamOption:
+    """Option 2 of Section 4.4.1: the message stream consumes."""
+
+    def test_stream_yields_and_removes(self):
+        server = ImapServer(latency=no_latency())
+        server.deliver("INBOX", _message("a"))
+        server.deliver("INBOX", _message("b"))
+        server.connect()
+        subjects = [m.subject for m in server.message_stream("INBOX")]
+        assert subjects == ["a", "b"]
+        assert server.select("INBOX") == 0
+
+    def test_streamed_messages_not_retrievable_again(self):
+        server = ImapServer(latency=no_latency())
+        server.deliver("INBOX", _message("once"))
+        server.connect()
+        list(server.message_stream("INBOX"))
+        assert list(server.message_stream("INBOX")) == []
+
+
+class TestLatencyModel:
+    def test_costs_accumulate(self):
+        model = LatencyModel(connect=0.3, per_operation=0.05,
+                             per_kilobyte=0.01)
+        model.charge_connect()
+        model.charge(bytes_transferred=2048)
+        assert model.simulated_seconds == pytest.approx(0.3 + 0.05 + 0.02)
+        assert model.operations == 2
+
+    def test_server_charges_fetches(self):
+        model = LatencyModel(connect=0.1, per_operation=0.01,
+                             per_kilobyte=0.0)
+        server = ImapServer(latency=model)
+        server.deliver("INBOX", _message())
+        server.connect()
+        server.select("INBOX")
+        server.fetch_message("INBOX", 1)
+        # connect + select + fetch = 0.1 + 0.01 + 0.01
+        assert model.simulated_seconds == pytest.approx(0.12)
+
+    def test_transfer_scales_with_size(self):
+        model = LatencyModel(connect=0.0, per_operation=0.0,
+                             per_kilobyte=1.0)
+        server = ImapServer(latency=model)
+        server.deliver("INBOX", _message(
+            attachments=[Attachment("big", "x" * 10_240)]
+        ))
+        server.connect()
+        server.fetch_message("INBOX", 1)
+        assert model.simulated_seconds > 10  # >10 KB at 1 s/KB
+
+    def test_reset(self):
+        model = LatencyModel()
+        model.charge()
+        model.reset()
+        assert model.simulated_seconds == 0.0
+        assert model.operations == 0
+
+    def test_no_latency_is_free(self):
+        model = no_latency()
+        model.charge_connect()
+        model.charge(bytes_transferred=10_000)
+        assert model.simulated_seconds == 0.0
+
+
+class TestMailboxPoller:
+    """The generic polling facility applied to a mailbox (footnote 5)."""
+
+    def _server(self):
+        server = ImapServer(latency=no_latency())
+        server.deliver("INBOX", _message("first"))
+        server.connect()
+        return server
+
+    def test_first_poll_returns_window(self):
+        from repro.imapsim import MailboxPoller
+        server = self._server()
+        poller = MailboxPoller(server, "INBOX")
+        assert [m.subject for m in poller.poll()] == ["first"]
+
+    def test_repeat_poll_empty_without_changes(self):
+        from repro.imapsim import MailboxPoller
+        server = self._server()
+        poller = MailboxPoller(server, "INBOX")
+        poller.poll()
+        assert poller.poll() == []
+
+    def test_new_delivery_detected(self):
+        from repro.imapsim import MailboxPoller
+        server = self._server()
+        poller = MailboxPoller(server, "INBOX")
+        poller.poll()
+        server.deliver("INBOX", _message("second"))
+        assert [m.subject for m in poller.poll()] == ["second"]
+
+    def test_non_consuming(self):
+        from repro.imapsim import MailboxPoller
+        server = self._server()
+        MailboxPoller(server, "INBOX").poll()
+        assert server.select("INBOX") == 1  # messages stay on the server
+
+    def test_subscribers_pushed(self):
+        from repro.imapsim import MailboxPoller
+        server = self._server()
+        poller = MailboxPoller(server, "INBOX")
+        seen = []
+        poller.subscribe(lambda m: seen.append(m.subject))
+        poller.poll()
+        assert seen == ["first"]
+
+    def test_stream_bounded(self):
+        from repro.imapsim import MailboxPoller
+        server = self._server()
+        poller = MailboxPoller(server, "INBOX")
+        subjects = [m.subject for m in poller.stream(max_polls=3)]
+        assert subjects == ["first"]
+        assert poller.last_uid == 1
+
+    def test_polling_charges_latency(self):
+        from repro.imapsim import MailboxPoller
+        model = LatencyModel(connect=0.0, per_operation=0.01,
+                             per_kilobyte=0.0)
+        server = ImapServer(latency=model)
+        server.deliver("INBOX", _message("x"))
+        server.connect()
+        MailboxPoller(server, "INBOX").poll()
+        assert model.simulated_seconds > 0

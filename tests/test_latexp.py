@@ -1,0 +1,190 @@
+"""Tests for the LaTeX lexer and structure parser."""
+
+from repro.latexp import (
+    Environment,
+    Paragraph,
+    Reference,
+    Section,
+    TokenType,
+    parse,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_command_token(self):
+        tokens = tokenize(r"\section{Intro}")
+        assert tokens[0].type is TokenType.COMMAND
+        assert tokens[0].value == "section"
+
+    def test_starred_command(self):
+        tokens = tokenize(r"\section*{Intro}")
+        assert tokens[0].value == "section*"
+
+    def test_groups(self):
+        kinds = [t.type for t in tokenize("{x}")]
+        assert kinds == [TokenType.BEGIN_GROUP, TokenType.TEXT,
+                         TokenType.END_GROUP]
+
+    def test_comment_dropped(self):
+        tokens = tokenize("before % comment\nafter")
+        text = "".join(t.value for t in tokens if t.type is TokenType.TEXT)
+        assert "comment" not in text
+        assert "before" in text and "after" in text
+
+    def test_escaped_percent_is_text(self):
+        tokens = tokenize(r"100\% sure")
+        text = "".join(t.value for t in tokens if t.type is TokenType.TEXT)
+        assert "%" in text
+
+    def test_math_span(self):
+        tokens = tokenize(r"$x + y$")
+        assert tokens[0].type is TokenType.MATH
+        assert tokens[0].value == "x + y"
+
+    def test_display_math(self):
+        tokens = tokenize("$$a$$")
+        assert tokens[0].type is TokenType.MATH
+
+    def test_options(self):
+        kinds = [t.type for t in tokenize("[11pt]")]
+        assert kinds[0] is TokenType.OPTION_START
+        assert kinds[-1] is TokenType.OPTION_END
+
+
+class TestStructure:
+    SOURCE = r"""
+\documentclass[11pt]{article}
+\title{iDM: A Unified Model}
+\author{Jens Dittrich and Marcos Vaz Salles}
+\begin{document}
+\begin{abstract}
+We present a data model.
+\end{abstract}
+\section{Introduction}\label{sec:intro}
+Personal information is heterogeneous.
+\subsection{The Problem}
+Queries bridge inside and outside, see Section~\ref{sec:prelim}.
+\section{Preliminaries}\label{sec:prelim}
+Definitions follow.
+\begin{figure}
+\caption{Indexing time over dataset size}
+\label{fig:indexing}
+\end{figure}
+The figure is \ref{fig:indexing}.
+\end{document}
+"""
+
+    def test_document_class(self):
+        assert parse(self.SOURCE).document_class == "article"
+
+    def test_title(self):
+        assert parse(self.SOURCE).title == "iDM: A Unified Model"
+
+    def test_authors_split_on_and(self):
+        assert parse(self.SOURCE).authors == [
+            "Jens Dittrich", "Marcos Vaz Salles"
+        ]
+
+    def test_abstract_extracted(self):
+        assert "data model" in parse(self.SOURCE).abstract
+
+    def test_section_nesting(self):
+        doc = parse(self.SOURCE)
+        top = doc.sections()
+        assert [s.title for s in top] == ["Introduction", "Preliminaries"]
+        assert [s.title for s in top[0].subsections()] == ["The Problem"]
+
+    def test_section_levels(self):
+        doc = parse(self.SOURCE)
+        levels = {s.title: s.level for s in doc.all_sections()}
+        assert levels["Introduction"] == 1
+        assert levels["The Problem"] == 2
+
+    def test_section_labels(self):
+        doc = parse(self.SOURCE)
+        labels = {s.title: s.label for s in doc.all_sections()}
+        assert labels["Introduction"] == "sec:intro"
+
+    def test_section_text_excludes_subsections(self):
+        doc = parse(self.SOURCE)
+        intro = doc.sections()[0]
+        assert "heterogeneous" in intro.text()
+        assert "bridge" not in intro.text()
+
+    def test_figure_environment(self):
+        doc = parse(self.SOURCE)
+        figures = [e for e in doc.all_environments() if e.name == "figure"]
+        assert len(figures) == 1
+        assert figures[0].caption.startswith("Indexing time")
+        assert figures[0].label == "fig:indexing"
+
+    def test_labels_resolved(self):
+        doc = parse(self.SOURCE)
+        assert set(doc.labels) == {"sec:intro", "sec:prelim", "fig:indexing"}
+
+    def test_refs_point_at_targets(self):
+        doc = parse(self.SOURCE)
+        targets = {r.label: r.target for r in doc.all_references()}
+        assert isinstance(targets["sec:prelim"], Section)
+        assert targets["sec:prelim"].title == "Preliminaries"
+        assert isinstance(targets["fig:indexing"], Environment)
+
+    def test_unresolved_ref_is_none(self):
+        doc = parse(r"\begin{document}\section{A}See \ref{ghost}.\end{document}")
+        refs = list(doc.all_references())
+        assert refs[0].target is None
+
+
+class TestRobustness:
+    def test_empty_input(self):
+        doc = parse("")
+        assert doc.body == []
+
+    def test_plain_text_without_commands(self):
+        doc = parse("just some words")
+        assert isinstance(doc.body[0], Paragraph)
+
+    def test_unclosed_environment_closes_at_eof(self):
+        doc = parse(r"\begin{itemize} item text")
+        envs = list(doc.all_environments())
+        assert envs[0].name == "itemize"
+        assert "item text" in envs[0].text()
+
+    def test_unmatched_end_ignored(self):
+        doc = parse(r"text \end{itemize} more")
+        assert "more" in doc.text()
+
+    def test_unknown_command_argument_becomes_text(self):
+        doc = parse(r"\emph{important} stuff")
+        assert "important" in doc.text()
+
+    def test_ignored_commands_consume_arguments(self):
+        doc = parse(r"\usepackage{graphicx} body")
+        assert "graphicx" not in doc.text()
+        assert "body" in doc.text()
+
+    def test_nested_environments(self):
+        doc = parse(
+            r"\begin{center}\begin{figure}\caption{C}\label{f}"
+            r"\end{figure}\end{center}"
+        )
+        envs = list(doc.all_environments())
+        assert [e.name for e in envs] == ["center", "figure"]
+        # caption and label attach to the innermost environment
+        assert envs[1].caption == "C"
+        assert envs[0].caption == ""
+
+    def test_section_auto_closes_previous(self):
+        doc = parse(r"\section{A} one \section{B} two")
+        assert [s.title for s in doc.sections()] == ["A", "B"]
+
+    def test_subsection_closes_on_new_section(self):
+        doc = parse(r"\section{A}\subsection{A1}\section{B}")
+        top = doc.sections()
+        assert [s.title for s in top] == ["A", "B"]
+        assert [s.title for s in top[0].subsections()] == ["A1"]
+
+    def test_math_contributes_text(self):
+        doc = parse(r"value $x^2$ here")
+        assert "x^2" in doc.text()

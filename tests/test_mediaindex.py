@@ -1,0 +1,112 @@
+"""Tests for the histogram similarity index (non-text content)."""
+
+import pytest
+
+from repro.core.errors import IdmError
+from repro.mediaindex import (
+    HistogramIndex,
+    compute_histogram,
+    cosine_similarity,
+)
+
+
+def _blob(palette: str, size: int = 400) -> str:
+    """Synthetic 'image': symbols drawn cyclically from a palette."""
+    return "".join(palette[i % len(palette)] for i in range(size))
+
+
+class TestHistogram:
+    def test_normalized(self):
+        histogram = compute_histogram("abcabc")
+        assert sum(histogram) == pytest.approx(1.0)
+
+    def test_empty_content(self):
+        assert sum(compute_histogram("")) == 0.0
+
+    def test_deterministic(self):
+        assert compute_histogram("xyz") == compute_histogram("xyz")
+
+    def test_length_equals_buckets(self):
+        assert len(compute_histogram("abc", buckets=8)) == 8
+
+    def test_invalid_buckets(self):
+        with pytest.raises(IdmError):
+            compute_histogram("abc", buckets=0)
+
+    def test_sampling_bounds_cost(self):
+        short = compute_histogram("ab" * 10, sample=10)
+        assert sum(short) == pytest.approx(1.0)
+
+
+class TestCosine:
+    def test_identical_is_one(self):
+        signature = compute_histogram("same content")
+        assert cosine_similarity(signature, signature) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        a = compute_histogram("\x00" * 50, buckets=4)   # bucket 0 only
+        b = compute_histogram("\x01" * 50, buckets=4)   # bucket 1 only
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_empty_is_zero(self):
+        a = compute_histogram("", buckets=4)
+        b = compute_histogram("x", buckets=4)
+        assert cosine_similarity(a, b) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(IdmError):
+            cosine_similarity((1.0,), (1.0, 0.0))
+
+    def test_symmetric(self):
+        a = compute_histogram("abcd" * 10)
+        b = compute_histogram("wxyz" * 10)
+        assert cosine_similarity(a, b) == pytest.approx(
+            cosine_similarity(b, a)
+        )
+
+
+class TestHistogramIndex:
+    @pytest.fixture()
+    def index(self):
+        index = HistogramIndex()
+        index.add("sunset1", _blob("\x01\x02\x03"))
+        index.add("sunset2", _blob("\x01\x02\x03\x02"))
+        index.add("forest1", _blob("\x08\x09\x0a"))
+        index.add("forest2", _blob("\x08\x09\x0a\x09"))
+        return index
+
+    def test_similar_groups_by_palette(self, index):
+        neighbors = index.similar_to_key("sunset1", k=1)
+        assert neighbors[0][0] == "sunset2"
+        neighbors = index.similar_to_key("forest1", k=1)
+        assert neighbors[0][0] == "forest2"
+
+    def test_self_excluded(self, index):
+        neighbors = index.similar_to_key("sunset1", k=10)
+        assert all(key != "sunset1" for key, _ in neighbors)
+
+    def test_similarity_scores_ordered(self, index):
+        neighbors = index.similar_to_key("sunset1", k=10)
+        scores = [score for _, score in neighbors]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_probe_by_raw_content(self, index):
+        neighbors = index.similar(_blob("\x01\x02\x03"), k=2)
+        assert {key for key, _ in neighbors} == {"sunset1", "sunset2"}
+
+    def test_unknown_key_raises(self, index):
+        with pytest.raises(IdmError):
+            index.similar_to_key("nope")
+
+    def test_remove(self, index):
+        assert index.remove("sunset2")
+        assert "sunset2" not in index
+        assert not index.remove("sunset2")
+
+    def test_k_limits(self, index):
+        assert len(index.similar_to_key("sunset1", k=2)) == 2
+
+    def test_size_accounting(self, index):
+        before = index.size_bytes()
+        index.add("new", _blob("\x04\x05"))
+        assert index.size_bytes() > before

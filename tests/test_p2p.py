@@ -1,0 +1,132 @@
+"""Tests for P2P federation across dataspaces."""
+
+import pytest
+
+from repro.facade import Dataspace
+from repro.imapsim.latency import LatencyModel, no_latency
+from repro.p2p import Peer, PeerNetwork
+from repro.p2p.network import PeerError
+from repro.vfs import VirtualFileSystem
+
+
+def _dataspace(files: dict[str, str]) -> Dataspace:
+    fs = VirtualFileSystem()
+    for path, content in files.items():
+        fs.write_file(path, content, parents=True)
+    dataspace = Dataspace(vfs=fs)
+    dataspace.sync()
+    return dataspace
+
+
+@pytest.fixture()
+def network():
+    network = PeerNetwork()
+    network.join("laptop", _dataspace({
+        "/docs/draft.tex": r"\begin{document}\section{Shared}laptop copy"
+                           r" about databases\end{document}",
+        "/docs/local.txt": "only on the laptop, kumquat notes",
+    }))
+    network.join("desktop", _dataspace({
+        "/docs/draft.tex": r"\begin{document}\section{Shared}desktop copy"
+                           r" about databases\end{document}",
+        "/music/playlist.txt": "desktop only, durian tracks",
+    }))
+    return network
+
+
+class TestMembership:
+    def test_peers_listed(self, network):
+        assert network.peers() == ["desktop", "laptop"]
+
+    def test_duplicate_name_rejected(self, network):
+        with pytest.raises(PeerError):
+            network.join("laptop", _dataspace({}))
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(PeerError):
+            Peer("a!b", _dataspace({}))
+
+    def test_leave(self, network):
+        network.leave("desktop")
+        assert network.peers() == ["laptop"]
+        with pytest.raises(PeerError):
+            network.leave("desktop")
+
+    def test_unknown_peer_lookup(self, network):
+        with pytest.raises(PeerError):
+            network.peer("server")
+
+
+class TestFederatedQueries:
+    def test_union_across_peers(self, network):
+        result = network.query('"databases"')
+        peers_seen = {hit.peer for hit in result.hits}
+        assert peers_seen == {"desktop", "laptop"}
+
+    def test_provenance_preserved(self, network):
+        result = network.query('"kumquat"')
+        assert len(result) == 1
+        assert result.hits[0].peer == "laptop"
+        assert result.hits[0].global_uri.startswith("laptop!fs://")
+
+    def test_peer_subset(self, network):
+        result = network.query('"databases"', peers=["desktop"])
+        assert result.peers_asked == ("desktop",)
+        assert {hit.peer for hit in result.hits} == {"desktop"}
+
+    def test_unknown_peer_in_subset(self, network):
+        with pytest.raises(PeerError):
+            network.query('"x"', peers=["ghost"])
+
+    def test_same_local_uri_on_two_peers_both_kept(self, network):
+        result = network.query("//draft.tex")
+        # both peers hold /docs/draft.tex — the federation keeps both,
+        # distinguished by the peer tag
+        uris = [hit.global_uri for hit in result.hits]
+        assert len(uris) == 2
+        assert len(set(uris)) == 2
+
+    def test_by_peer_counts(self, network):
+        result = network.query('"databases"')
+        counts = result.by_peer()
+        assert set(counts) == {"desktop", "laptop"}
+        assert sum(counts.values()) == len(result)
+
+    def test_structural_queries_federate(self, network):
+        result = network.query('//docs//Shared[class="latex_section"]')
+        assert len(result) == 2
+
+    def test_join_queries_run_per_peer(self, network):
+        result = network.query(
+            'join( //docs//*.tex as A, //docs//*.tex as B, A.name = B.name )'
+        )
+        peers = {peer for peer, _ in result.join_pairs}
+        assert peers == {"desktop", "laptop"}
+
+    def test_empty_result(self, network):
+        assert len(network.query('"zzznothing"')) == 0
+
+
+class TestFederatedSearch:
+    def test_merged_by_score(self, network):
+        hits = network.search("databases", limit=10)
+        assert hits
+        peers_seen = {hit.peer for hit in hits}
+        assert peers_seen == {"desktop", "laptop"}
+
+    def test_limit_applies_to_merge(self, network):
+        assert len(network.search("databases", limit=1)) == 1
+
+
+class TestLatencyAccounting:
+    def test_remote_peer_costs(self):
+        network = PeerNetwork()
+        network.join("local", _dataspace({"/a.txt": "needle here"}),
+                     latency=no_latency())
+        network.join("remote", _dataspace({"/b.txt": "needle there"}),
+                     latency=LatencyModel(connect=0, per_operation=0.05,
+                                          per_kilobyte=0.01))
+        result = network.query('"needle"')
+        assert result.simulated_seconds > 0
+        local_only = network.query('"needle"', peers=["local"])
+        assert local_only.simulated_seconds == 0

@@ -1,0 +1,191 @@
+"""Tests for the push-based stream machinery (Section 4.4.2)."""
+
+import pytest
+
+from repro.core.identity import ViewId
+from repro.pushops import (
+    ChangeEvent,
+    ChangeKind,
+    CollectSink,
+    ComponentKind,
+    CountingSink,
+    CountWindow,
+    FilterOperator,
+    JoinOperator,
+    MapOperator,
+    PushBus,
+    WindowAggregate,
+)
+from repro.pushops.operators import pipeline
+
+
+def _event(path="x", component=ComponentKind.CONTENT):
+    return ChangeEvent(ViewId("fs", path), component, ChangeKind.MODIFIED)
+
+
+class TestBus:
+    def test_publish_reaches_subscriber(self):
+        bus = PushBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish(_event())
+        assert len(seen) == 1
+
+    def test_component_filter(self):
+        bus = PushBus()
+        seen = []
+        bus.subscribe(seen.append, component=ComponentKind.GROUP)
+        bus.publish(_event(component=ComponentKind.CONTENT))
+        assert seen == []
+        bus.publish(_event(component=ComponentKind.GROUP))
+        assert len(seen) == 1
+
+    def test_view_filter(self):
+        bus = PushBus()
+        seen = []
+        bus.subscribe(seen.append, view_id=ViewId("fs", "a"))
+        bus.publish(_event("b"))
+        bus.publish(_event("a"))
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        bus = PushBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        unsubscribe()
+        bus.publish(_event())
+        assert seen == []
+
+    def test_publish_returns_receiver_count(self):
+        bus = PushBus()
+        bus.subscribe(lambda e: None)
+        bus.subscribe(lambda e: None)
+        assert bus.publish(_event()) == 2
+        assert bus.delivered == 2
+
+
+class TestWindow:
+    def test_capacity_enforced(self):
+        window = CountWindow(3)
+        for i in range(5):
+            window.push(i)
+        assert window.items() == [2, 3, 4]
+        assert window.total_seen == 5
+
+    def test_eviction_returned(self):
+        window = CountWindow(2)
+        assert window.push(1) is None
+        assert window.push(2) is None
+        assert window.push(3) == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CountWindow(0)
+
+    def test_is_full(self):
+        window = CountWindow(1)
+        assert not window.is_full
+        window.push(1)
+        assert window.is_full
+
+
+class TestOperators:
+    def test_filter(self):
+        sink = CollectSink()
+        head = pipeline(FilterOperator(lambda x: x > 2), sink)
+        for value in range(5):
+            head.push(value)
+        assert sink.items == [3, 4]
+
+    def test_map(self):
+        sink = CollectSink()
+        head = pipeline(MapOperator(lambda x: x * x), sink)
+        head.push(3)
+        assert sink.items == [9]
+
+    def test_chained_pipeline(self):
+        sink = CountingSink()
+        head = pipeline(
+            FilterOperator(lambda x: x % 2 == 0),
+            MapOperator(lambda x: x + 1),
+            FilterOperator(lambda x: x > 3),
+            sink,
+        )
+        for value in range(10):
+            head.push(value)
+        # evens -> +1 -> {1,3,5,7,9} -> >3 -> {5,7,9}
+        assert sink.count == 3
+
+    def test_window_aggregate(self):
+        sink = CollectSink()
+        head = pipeline(WindowAggregate(3, aggregate=sum), sink)
+        for value in (1, 2, 3, 4):
+            head.push(value)
+        assert sink.items == [1, 3, 6, 9]
+
+    def test_operator_counts_inputs(self):
+        op = FilterOperator(lambda x: True)
+        op.push(1)
+        op.push(2)
+        assert op.received == 2
+        assert op.passed == 2
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline()
+
+
+class TestJoin:
+    def test_symmetric_hash_join(self):
+        join = JoinOperator(lambda l: l["k"], lambda r: r["k"])
+        sink = CollectSink()
+        join.connect(sink)
+        join.push_left({"k": 1, "side": "L"})
+        join.push_right({"k": 1, "side": "R"})
+        join.push_right({"k": 2, "side": "R2"})
+        assert len(sink.items) == 1
+        left, right = sink.items[0]
+        assert left["side"] == "L" and right["side"] == "R"
+
+    def test_join_emits_on_both_directions(self):
+        join = JoinOperator(lambda l: l, lambda r: r)
+        sink = CollectSink()
+        join.connect(sink)
+        join.push_right(7)
+        join.push_left(7)   # arrives second, still matches
+        assert sink.items == [(7, 7)]
+
+    def test_window_bounds_join_state(self):
+        join = JoinOperator(lambda l: l, lambda r: r, window=1)
+        sink = CollectSink()
+        join.connect(sink)
+        join.push_left(1)
+        join.push_left(2)   # evicts 1 from the left window
+        join.push_right(1)
+        assert sink.items == []
+
+    def test_plain_push_rejected(self):
+        with pytest.raises(TypeError):
+            JoinOperator(lambda l: l, lambda r: r).push(1)
+
+
+class TestBusIntegration:
+    def test_operator_attached_to_bus(self):
+        bus = PushBus()
+        sink = CollectSink()
+        head = FilterOperator(
+            lambda e: e.component is ComponentKind.GROUP
+        )
+        head.connect(sink)
+        head.attach(bus)
+        bus.publish(_event(component=ComponentKind.GROUP))
+        bus.publish(_event(component=ComponentKind.NAME))
+        assert len(sink.items) == 1
+
+    def test_attach_with_component_filter(self):
+        bus = PushBus()
+        sink = CollectSink()
+        sink.attach(bus, component=ComponentKind.TUPLE)
+        bus.publish(_event(component=ComponentKind.TUPLE))
+        bus.publish(_event(component=ComponentKind.NAME))
+        assert len(sink.items) == 1

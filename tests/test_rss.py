@@ -1,0 +1,121 @@
+"""Tests for RSS feeds and the polling facility."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.errors import FeedError
+from repro.rss import (
+    FeedEntry,
+    FeedPoller,
+    FeedServer,
+    build_feed_xml,
+    parse_feed_xml,
+)
+
+
+def _entry(guid: str, title: str = "t") -> FeedEntry:
+    return FeedEntry(guid=guid, title=title, description="d",
+                     published=datetime(2006, 1, 1))
+
+
+class TestFeedXml:
+    def test_roundtrip(self):
+        entries = [_entry("g1", "First"), _entry("g2", "Second")]
+        xml = build_feed_xml("My Channel", entries)
+        title, parsed = parse_feed_xml(xml)
+        assert title == "My Channel"
+        assert [e.guid for e in parsed] == ["g1", "g2"]
+        assert parsed[0].title == "First"
+        assert parsed[0].published == datetime(2006, 1, 1)
+
+    def test_is_valid_rss2(self):
+        from repro.xmlp import parse
+        doc = parse(build_feed_xml("C", [_entry("g")]))
+        assert doc.root.name == "rss"
+        assert doc.root.attributes["version"] == "2.0"
+
+    def test_non_rss_rejected(self):
+        with pytest.raises(FeedError):
+            parse_feed_xml("<html/>")
+
+    def test_missing_channel_rejected(self):
+        with pytest.raises(FeedError):
+            parse_feed_xml("<rss version='2.0'/>")
+
+    def test_escaping_in_titles(self):
+        xml = build_feed_xml("A & B", [_entry("g", "1 < 2")])
+        title, entries = parse_feed_xml(xml)
+        assert title == "A & B"
+        assert entries[0].title == "1 < 2"
+
+
+class TestFeedServer:
+    def test_publish_and_get(self):
+        server = FeedServer()
+        server.publish("u", "Chan", [_entry("g")])
+        title, entries = parse_feed_xml(server.get("u"))
+        assert title == "Chan"
+        assert len(entries) == 1
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(FeedError):
+            FeedServer().get("nowhere")
+
+    def test_add_entry_to_unknown_raises(self):
+        with pytest.raises(FeedError):
+            FeedServer().add_entry("nowhere", _entry("g"))
+
+    def test_fetch_count(self):
+        server = FeedServer()
+        server.publish("u", "C")
+        server.get("u")
+        server.get("u")
+        assert server.fetch_count == 2
+
+
+class TestPoller:
+    def test_first_poll_returns_all(self):
+        server = FeedServer()
+        server.publish("u", "C", [_entry("g1"), _entry("g2")])
+        poller = FeedPoller(server, "u")
+        assert [e.guid for e in poller.poll()] == ["g1", "g2"]
+
+    def test_repeat_poll_returns_nothing_new(self):
+        server = FeedServer()
+        server.publish("u", "C", [_entry("g1")])
+        poller = FeedPoller(server, "u")
+        poller.poll()
+        assert poller.poll() == []
+
+    def test_new_entries_detected(self):
+        server = FeedServer()
+        server.publish("u", "C", [_entry("g1")])
+        poller = FeedPoller(server, "u")
+        poller.poll()
+        server.add_entry("u", _entry("g2"))
+        assert [e.guid for e in poller.poll()] == ["g2"]
+
+    def test_subscribers_pushed(self):
+        server = FeedServer()
+        server.publish("u", "C", [_entry("g1")])
+        poller = FeedPoller(server, "u")
+        pushed = []
+        poller.subscribe(lambda entry: pushed.append(entry.guid))
+        poller.poll()
+        assert pushed == ["g1"]
+
+    def test_stream_bounded_polls(self):
+        server = FeedServer()
+        server.publish("u", "C", [_entry("g1")])
+        poller = FeedPoller(server, "u")
+        guids = [e.guid for e in poller.stream(max_polls=3)]
+        assert guids == ["g1"]
+        assert server.fetch_count == 3
+
+    def test_seen_count(self):
+        server = FeedServer()
+        server.publish("u", "C", [_entry("g1"), _entry("g2")])
+        poller = FeedPoller(server, "u")
+        poller.poll()
+        assert poller.seen_count == 2

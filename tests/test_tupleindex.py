@@ -1,0 +1,146 @@
+"""Tests for the vertically partitioned tuple index."""
+
+from datetime import date, datetime
+
+import pytest
+
+from repro.core.components import TupleComponent
+from repro.tupleindex import TupleIndex, VerticalColumn
+
+
+class TestVerticalColumn:
+    def test_equals(self):
+        column = VerticalColumn("size")
+        column.insert("a", 10)
+        column.insert("b", 20)
+        column.insert("c", 10)
+        assert sorted(column.equals(10)) == ["a", "c"]
+
+    def test_range(self):
+        column = VerticalColumn("size")
+        for index, value in enumerate([5, 10, 15, 20]):
+            column.insert(f"k{index}", value)
+        assert sorted(column.range(10, 15)) == ["k1", "k2"]
+
+    def test_range_exclusive(self):
+        column = VerticalColumn("size")
+        for index, value in enumerate([5, 10, 15]):
+            column.insert(f"k{index}", value)
+        assert column.range(5, 15, include_low=False,
+                            include_high=False) == ["k1"]
+
+    def test_open_range(self):
+        column = VerticalColumn("n")
+        for index in range(5):
+            column.insert(f"k{index}", index)
+        assert sorted(column.range(low=3)) == ["k3", "k4"]
+        assert sorted(column.range(high=1)) == ["k0", "k1"]
+
+    def test_remove(self):
+        column = VerticalColumn("x")
+        column.insert("a", 1)
+        assert column.remove("a", 1)
+        assert column.equals(1) == []
+        assert not column.remove("a", 1)
+
+    def test_mixed_types_grouped(self):
+        column = VerticalColumn("v")
+        column.insert("num", 5)
+        column.insert("txt", "five")
+        # a numeric range never sees the string entries
+        assert column.range(0, 10) == ["num"]
+        assert column.equals("five") == ["txt"]
+
+    def test_dates_comparable_with_datetimes(self):
+        column = VerticalColumn("modified")
+        column.insert("d", date(2005, 6, 1))
+        column.insert("dt", datetime(2005, 7, 1, 12))
+        assert sorted(column.range(high=datetime(2005, 6, 15))) == ["d"]
+
+
+class TestTupleIndex:
+    @pytest.fixture()
+    def index(self):
+        idx = TupleIndex()
+        idx.add("file1", TupleComponent.from_dict(
+            {"size": 500_000, "modified": datetime(2005, 5, 1)}
+        ))
+        idx.add("file2", TupleComponent.from_dict(
+            {"size": 100, "modified": datetime(2005, 8, 1)}
+        ))
+        idx.add("elem1", TupleComponent.from_dict({"label": "fig:a"}))
+        idx.add("empty", TupleComponent.empty())
+        return idx
+
+    def test_replica_serves_components(self, index):
+        assert index.tuple_of("file1")["size"] == 500_000
+        assert index.tuple_of("empty").is_empty
+        assert index.tuple_of("ghost") is None
+
+    def test_paper_q3_predicate(self, index):
+        """[size > 420000 and lastmodified < @12.06.2005]"""
+        big = index.greater_than("size", 420_000)
+        old = index.less_than("modified", datetime(2005, 6, 12))
+        assert big & old == {"file1"}
+
+    def test_equals(self, index):
+        assert index.equals("label", "fig:a") == {"elem1"}
+
+    def test_equals_unknown_attribute(self, index):
+        assert index.equals("ghost", 1) == set()
+
+    def test_inclusive_bounds(self, index):
+        assert index.greater_than("size", 100, inclusive=True) >= {"file2"}
+        assert index.less_than("size", 100, inclusive=True) == {"file2"}
+
+    def test_keys_with_attribute(self, index):
+        assert index.keys_with_attribute("size") == {"file1", "file2"}
+
+    def test_sparse_attributes_independent(self, index):
+        # per-tuple schemas: label exists only on elem1
+        assert index.keys_with_attribute("label") == {"elem1"}
+
+    def test_remove_cleans_columns(self, index):
+        index.remove("elem1")
+        assert index.equals("label", "fig:a") == set()
+        assert "label" not in index.attributes()
+
+    def test_readd_replaces(self, index):
+        index.add("file1", TupleComponent.from_dict({"size": 7}))
+        assert index.greater_than("size", 420_000) == set()
+        assert index.equals("size", 7) == {"file1"}
+
+    def test_none_values_not_indexed(self):
+        idx = TupleIndex()
+        idx.add("k", TupleComponent.from_dict({"maybe": None}))
+        assert idx.keys_with_attribute("maybe") == set()
+        assert idx.tuple_of("k").get("maybe") is None
+
+    def test_size_bytes_grows(self, index):
+        before = index.size_bytes()
+        index.add("new", TupleComponent.from_dict(
+            {"size": 1, "extra": "text" * 50}
+        ))
+        assert index.size_bytes() > before
+
+    def test_stats(self, index):
+        stats = index.stats()
+        assert stats["tuples"] == 4
+        assert stats["attributes"] == 3
+
+    def test_equivalence_with_naive_scan(self):
+        """Property-ish: vertical index answers match a full scan."""
+        import random
+        rng = random.Random(5)
+        idx = TupleIndex()
+        rows = {}
+        for i in range(200):
+            row = {"a": rng.randrange(50), "b": rng.random()}
+            rows[f"k{i}"] = row
+            idx.add(f"k{i}", TupleComponent.from_dict(row))
+        threshold = 25
+        naive = {k for k, row in rows.items() if row["a"] > threshold}
+        assert idx.greater_than("a", threshold) == naive
+        value = rows["k0"]["a"]
+        naive_eq = {k for k, row in rows.items() if row["a"] == value}
+        assert idx.equals("a", value) == naive_eq

@@ -1,0 +1,193 @@
+"""Tests for the virtual filesystem substrate."""
+
+import pytest
+
+from repro.core.errors import VfsError
+from repro.vfs import (
+    FsEvent,
+    FsEventKind,
+    LogicalClock,
+    VirtualFileSystem,
+)
+
+
+@pytest.fixture()
+def fs():
+    fs = VirtualFileSystem()
+    fs.mkdir("/Projects/PIM", parents=True)
+    fs.write_file("/Projects/PIM/paper.tex", "content here")
+    return fs
+
+
+class TestClock:
+    def test_strictly_increasing(self):
+        clock = LogicalClock()
+        times = [clock.tick() for _ in range(5)]
+        assert times == sorted(times)
+        assert len(set(times)) == 5
+
+    def test_deterministic(self):
+        assert LogicalClock().tick() == LogicalClock().tick()
+
+    def test_advance(self):
+        clock = LogicalClock()
+        t1 = clock.now()
+        clock.advance(10)
+        assert clock.now() > t1
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+
+class TestNavigation:
+    def test_exists(self, fs):
+        assert fs.exists("/Projects/PIM/paper.tex")
+        assert not fs.exists("/nope")
+
+    def test_kind_predicates(self, fs):
+        assert fs.is_dir("/Projects")
+        assert fs.is_file("/Projects/PIM/paper.tex")
+        assert not fs.is_file("/Projects")
+
+    def test_listdir_sorted(self, fs):
+        fs.write_file("/Projects/PIM/a.txt", "")
+        assert fs.listdir("/Projects/PIM") == ["a.txt", "paper.tex"]
+
+    def test_listdir_on_file_raises(self, fs):
+        with pytest.raises(VfsError):
+            fs.listdir("/Projects/PIM/paper.tex")
+
+    def test_read(self, fs):
+        assert fs.read("/Projects/PIM/paper.tex") == "content here"
+
+    def test_read_directory_raises(self, fs):
+        with pytest.raises(VfsError):
+            fs.read("/Projects")
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(VfsError):
+            fs.read("Projects/PIM/paper.tex")
+
+    def test_stat_shape(self, fs):
+        stat = fs.stat("/Projects/PIM/paper.tex")
+        assert stat["size"] == len("content here")
+        assert stat["kind"] == "file"
+        assert stat["path"] == "/Projects/PIM/paper.tex"
+        assert stat["created"] <= stat["modified"]
+
+    def test_walk_covers_tree(self, fs):
+        fs.mkdir("/Projects/OLAP")
+        walked = list(fs.walk("/"))
+        dirs = [entry[0] for entry in walked]
+        assert "/" in dirs and "/Projects/PIM" in dirs
+        assert any("paper.tex" in files for _, _, files in walked)
+
+
+class TestMutation:
+    def test_mkdir_requires_parents(self):
+        fs = VirtualFileSystem()
+        with pytest.raises(VfsError):
+            fs.mkdir("/a/b")
+        fs.mkdir("/a/b", parents=True)
+        assert fs.is_dir("/a/b")
+
+    def test_mkdir_existing_rejected(self, fs):
+        with pytest.raises(VfsError):
+            fs.mkdir("/Projects")
+
+    def test_overwrite_updates_mtime(self, fs):
+        before = fs.stat("/Projects/PIM/paper.tex")["modified"]
+        fs.write_file("/Projects/PIM/paper.tex", "new")
+        after = fs.stat("/Projects/PIM/paper.tex")
+        assert after["modified"] > before
+        assert fs.read("/Projects/PIM/paper.tex") == "new"
+
+    def test_write_over_directory_rejected(self, fs):
+        with pytest.raises(VfsError):
+            fs.write_file("/Projects", "x")
+
+    def test_delete_file(self, fs):
+        fs.delete("/Projects/PIM/paper.tex")
+        assert not fs.exists("/Projects/PIM/paper.tex")
+
+    def test_delete_nonempty_dir_requires_recursive(self, fs):
+        with pytest.raises(VfsError):
+            fs.delete("/Projects")
+        fs.delete("/Projects", recursive=True)
+        assert not fs.exists("/Projects")
+
+    def test_move(self, fs):
+        fs.move("/Projects/PIM/paper.tex", "/Projects/final.tex")
+        assert fs.read("/Projects/final.tex") == "content here"
+        assert not fs.exists("/Projects/PIM/paper.tex")
+
+    def test_move_onto_existing_rejected(self, fs):
+        fs.write_file("/Projects/other.txt", "x")
+        with pytest.raises(VfsError):
+            fs.move("/Projects/other.txt", "/Projects/PIM/paper.tex")
+
+
+class TestLinks:
+    def test_link_resolves(self, fs):
+        fs.make_link("/Projects/PIM/All Projects", "/Projects")
+        assert fs.is_link("/Projects/PIM/All Projects")
+        assert fs.resolve_link("/Projects/PIM/All Projects") == "/Projects"
+
+    def test_resolve_non_link_raises(self, fs):
+        with pytest.raises(VfsError):
+            fs.resolve_link("/Projects")
+
+    def test_link_over_existing_rejected(self, fs):
+        with pytest.raises(VfsError):
+            fs.make_link("/Projects/PIM/paper.tex", "/Projects")
+
+
+class TestEvents:
+    def test_create_event(self, fs):
+        events: list[FsEvent] = []
+        fs.events.subscribe(events.append)
+        fs.write_file("/Projects/new.txt", "x")
+        assert events[-1].kind is FsEventKind.CREATED
+        assert events[-1].path == "/Projects/new.txt"
+
+    def test_modify_event(self, fs):
+        events: list[FsEvent] = []
+        fs.events.subscribe(events.append)
+        fs.write_file("/Projects/PIM/paper.tex", "y")
+        assert events[-1].kind is FsEventKind.MODIFIED
+
+    def test_delete_event(self, fs):
+        events: list[FsEvent] = []
+        fs.events.subscribe(events.append)
+        fs.delete("/Projects/PIM/paper.tex")
+        assert events[-1].kind is FsEventKind.DELETED
+
+    def test_move_event_carries_old_path(self, fs):
+        events: list[FsEvent] = []
+        fs.events.subscribe(events.append)
+        fs.move("/Projects/PIM/paper.tex", "/Projects/p.tex")
+        assert events[-1].kind is FsEventKind.MOVED
+        assert events[-1].old_path == "/Projects/PIM/paper.tex"
+
+    def test_unsubscribe(self, fs):
+        events: list[FsEvent] = []
+        unsubscribe = fs.events.subscribe(events.append)
+        unsubscribe()
+        fs.write_file("/Projects/x.txt", "x")
+        assert events == []
+
+    def test_mkdir_parents_emits_per_directory(self):
+        fs = VirtualFileSystem()
+        events: list[FsEvent] = []
+        fs.events.subscribe(events.append)
+        fs.mkdir("/a/b/c", parents=True)
+        assert [e.path for e in events] == ["/a", "/a/b", "/a/b/c"]
+
+
+class TestStatistics:
+    def test_count_entries(self, fs):
+        fs.make_link("/Projects/PIM/link", "/Projects")
+        counts = fs.count_entries()
+        assert counts == {"files": 1, "dirs": 2, "links": 1}
+
+    def test_total_content_bytes(self, fs):
+        assert fs.total_content_bytes() == len("content here")

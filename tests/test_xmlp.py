@@ -1,0 +1,170 @@
+"""Tests for the from-scratch XML parser and writer."""
+
+import pytest
+
+from repro.core.errors import XmlParseError
+from repro.xmlp import (
+    XmlComment,
+    XmlElement,
+    XmlPI,
+    XmlText,
+    parse,
+    serialize,
+)
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        doc = parse("<a/>")
+        assert doc.root.name == "a"
+        assert doc.root.children == []
+
+    def test_nested_elements(self):
+        doc = parse("<a><b><c/></b></a>")
+        assert [e.name for e in doc.iter()] == ["a", "b", "c"]
+
+    def test_text_content(self):
+        doc = parse("<a>hello</a>")
+        assert doc.root.text() == "hello"
+
+    def test_mixed_content_order(self):
+        doc = parse("<a>x<b>y</b>z</a>")
+        assert doc.root.text() == "xyz"
+
+    def test_attributes(self):
+        doc = parse('<a x="1" y=\'two\'/>')
+        assert doc.root.attributes == {"x": "1", "y": "two"}
+
+    def test_xml_declaration(self):
+        doc = parse('<?xml version="1.0" encoding="utf-8"?><a/>')
+        assert doc.declaration == {"version": "1.0", "encoding": "utf-8"}
+
+    def test_no_declaration(self):
+        assert parse("<a/>").declaration is None
+
+    def test_comment_preserved(self):
+        doc = parse("<a><!-- note --></a>")
+        assert isinstance(doc.root.children[0], XmlComment)
+
+    def test_prolog_comment(self):
+        doc = parse("<!-- head --><a/>")
+        assert isinstance(doc.prolog[0], XmlComment)
+
+    def test_processing_instruction(self):
+        doc = parse('<a><?style x="y"?></a>')
+        pi = doc.root.children[0]
+        assert isinstance(pi, XmlPI)
+        assert pi.target == "style"
+
+    def test_cdata_is_raw_text(self):
+        doc = parse("<a><![CDATA[<raw> & stuff]]></a>")
+        assert doc.root.text() == "<raw> & stuff"
+
+    def test_doctype_skipped(self):
+        doc = parse('<!DOCTYPE html><a/>')
+        assert doc.root.name == "a"
+
+    def test_namespace_prefixes_kept_verbatim(self):
+        doc = parse('<ns:a xmlns:ns="urn:x"><ns:b/></ns:a>')
+        assert doc.root.name == "ns:a"
+        assert doc.root.attributes["xmlns:ns"] == "urn:x"
+
+
+class TestEntities:
+    def test_predefined_entities(self):
+        doc = parse("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert doc.root.text() == "<>&'\""
+
+    def test_decimal_charref(self):
+        assert parse("<a>&#65;</a>").root.text() == "A"
+
+    def test_hex_charref(self):
+        assert parse("<a>&#x41;</a>").root.text() == "A"
+
+    def test_entities_in_attributes(self):
+        doc = parse('<a x="1 &amp; 2"/>')
+        assert doc.root.attributes["x"] == "1 & 2"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a>&nbsp;</a>")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a>&amp</a>")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",                      # no root
+        "<a>",                   # missing end tag
+        "<a></b>",               # mismatched end tag
+        "<a><b></a></b>",        # crossed nesting
+        "<a/><b/>",              # two roots
+        "text only",             # content outside root
+        '<a x="1" x="2"/>',      # duplicate attribute
+        '<a x=1/>',              # unquoted attribute
+        "<a><!-- -- --></a>",    # double dash in comment
+        '<a x="<"/>',            # < in attribute value
+        "<1tag/>",               # bad name start
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(XmlParseError):
+            parse(bad)
+
+    def test_error_carries_location(self):
+        try:
+            parse("<a>\n<b></c></a>")
+        except XmlParseError as error:
+            assert error.line == 2
+        else:  # pragma: no cover
+            pytest.fail("expected XmlParseError")
+
+
+class TestNavigation:
+    def test_find_first_child(self):
+        doc = parse("<a><b i='1'/><b i='2'/></a>")
+        assert doc.root.find("b").attributes["i"] == "1"
+
+    def test_find_missing_is_none(self):
+        assert parse("<a/>").root.find("b") is None
+
+    def test_find_all(self):
+        doc = parse("<a><b/><c/><b/></a>")
+        assert len(doc.root.find_all("b")) == 2
+
+    def test_child_elements_skips_text(self):
+        doc = parse("<a>t<b/>t</a>")
+        assert [e.name for e in doc.root.child_elements()] == ["b"]
+
+
+class TestSerialization:
+    def test_roundtrip_simple(self):
+        source = '<a x="1"><b>text</b><c/></a>'
+        assert serialize(parse(source)) == source
+
+    def test_roundtrip_escapes(self):
+        doc = parse("<a>&lt;tag&gt; &amp; more</a>")
+        again = parse(serialize(doc))
+        assert again.root.text() == "<tag> & more"
+
+    def test_attribute_quote_escaped(self):
+        element = XmlElement("a", attributes={"x": 'say "hi"'})
+        assert "&quot;" in serialize(element)
+
+    def test_declaration_flag(self):
+        doc = parse("<a/>")
+        assert serialize(doc, declaration=True).startswith("<?xml")
+
+    def test_self_closing_for_empty(self):
+        assert serialize(XmlElement("a")) == "<a/>"
+
+    def test_text_node(self):
+        assert serialize(XmlText("a<b")) == "a&lt;b"
+
+    def test_double_roundtrip_stable(self):
+        source = ('<doc a="1&amp;2"><!--c--><x>one&#65;two</x>'
+                  "<y><![CDATA[z]]></y></doc>")
+        once = serialize(parse(source))
+        twice = serialize(parse(once))
+        assert once == twice
