@@ -1,0 +1,107 @@
+"""Benchmarks for the concurrent query service: warm-cache speedup,
+throughput and tail latency at 1/4/16 clients, and overload behaviour.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_service.py -s``
+to see the tables.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import PAPER_QUERIES, format_table
+from repro.service import run_closed_loop
+
+#: The unary paper queries (joins excluded: a join over the 2% dataset
+#: dominates the mix's runtime and drowns the latency distribution).
+QUERY_MIX = [iql for qid, iql in PAPER_QUERIES.items()
+             if qid not in ("Q7", "Q8")]
+
+
+def _fresh_service(harness, **kwargs):
+    kwargs.setdefault("workers", 4)
+    kwargs.setdefault("max_queue_depth", 32)
+    return harness.dataspace.serve(**kwargs)
+
+
+class TestWarmCacheSpeedup:
+    def test_repeated_query_speedup(self, harness):
+        """A warm result cache must serve repeats >= 5x faster than cold
+        execution (the acceptance bar; in practice it is orders of
+        magnitude)."""
+        with _fresh_service(harness) as service:
+            cold = 0.0
+            for iql in QUERY_MIX:
+                t0 = time.perf_counter()
+                service.execute(iql)
+                cold += time.perf_counter() - t0
+            rounds = 5
+            warm = 0.0
+            for _ in range(rounds):
+                for iql in QUERY_MIX:
+                    t0 = time.perf_counter()
+                    service.execute(iql)
+                    warm += time.perf_counter() - t0
+            warm /= rounds
+            stats = service.stats()
+        speedup = cold / warm if warm > 0 else float("inf")
+        print(f"\ncold={cold * 1000:.2f}ms warm={warm * 1000:.2f}ms "
+              f"speedup={speedup:.1f}x "
+              f"(result hits={stats['cache.result.hits']})")
+        assert stats["cache.result.hits"] >= rounds * len(QUERY_MIX)
+        assert speedup >= 5.0
+
+
+class TestConcurrencyLevels:
+    @pytest.mark.parametrize("use_cache", [True, False],
+                             ids=["cache-on", "cache-off"])
+    def test_throughput_and_tail_latency(self, harness, use_cache):
+        """Throughput and p50/p95/p99 at 1, 4 and 16 closed-loop
+        clients, result cache on and off."""
+        rows = []
+        for clients in (1, 4, 16):
+            with _fresh_service(harness,
+                                cache_results=use_cache) as service:
+                report = run_closed_loop(
+                    service, QUERY_MIX, clients=clients,
+                    requests_per_client=25, use_cache=use_cache,
+                )
+            latency = report.latency_snapshot()
+            rows.append([
+                clients, report.succeeded, report.rejected, report.failed,
+                report.throughput, latency.p50 * 1000,
+                latency.p95 * 1000, latency.p99 * 1000,
+            ])
+            assert report.succeeded + report.rejected + report.failed \
+                == report.requests
+            assert report.succeeded > 0
+            assert report.failed == 0
+        print("\n" + format_table(
+            ["clients", "ok", "rejected", "failed", "q/s",
+             "p50 [ms]", "p95 [ms]", "p99 [ms]"],
+            rows,
+            title=f"service closed loop (cache {'on' if use_cache else 'off'})",
+        ))
+
+
+class TestOverload:
+    def test_saturation_reports_rejections(self, harness):
+        """A tiny service saturated by 16 clients sheds load via typed
+        Overloaded rejections, and the metrics registry counts them."""
+        with _fresh_service(harness, workers=1, max_queue_depth=1,
+                            cache_results=False) as service:
+            report = run_closed_loop(
+                service, QUERY_MIX, clients=16, requests_per_client=20,
+                use_cache=False,
+            )
+            rejected_metric = service.metrics.counter(
+                "admission.rejected"
+            ).value
+        print(f"\nsaturation: ok={report.succeeded} "
+              f"rejected={report.rejected} "
+              f"(metric admission.rejected={rejected_metric})")
+        assert report.rejected > 0
+        assert rejected_metric == report.rejected
+        assert report.succeeded > 0

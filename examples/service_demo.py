@@ -1,0 +1,64 @@
+"""Serving the dataspace: the concurrent query service.
+
+Run:  python examples/service_demo.py
+"""
+
+import threading
+import time
+
+from repro import Dataspace
+from repro.core.errors import Overloaded
+
+# 1. A demo dataspace behind a query service: 4 worker threads, a
+#    bounded admission queue, plan + result caches, metrics.
+print("Generating and serving a demo personal dataspace ...")
+ds = Dataspace.demo(seed=42)
+
+with ds.serve(workers=4, max_queue_depth=16) as service:
+    # 2. Blocking calls — the second one is served from the result cache.
+    t0 = time.perf_counter()
+    cold = service.execute('"database tuning"')
+    cold_ms = (time.perf_counter() - t0) * 1000
+    t0 = time.perf_counter()
+    service.execute('"database tuning"')
+    warm_ms = (time.perf_counter() - t0) * 1000
+    print(f"\ncold: {cold_ms:.2f} ms, warm (cached): {warm_ms:.3f} ms, "
+          f"{len(cold)} hits")
+
+    # 3. Sessions: per-client defaults and statistics.
+    alice = service.open_session("alice", deadline=5.0)
+    bob = service.open_session("bob", use_cache=False)
+    for session in (alice, bob):
+        session.query('//papers//*.tex')
+    print(f"alice served={alice.served}, bob served={bob.served}")
+
+    # 4. Concurrent clients — submit asynchronously, collect tickets.
+    tickets = [service.submit(iql) for iql in (
+        '"database"', '[size > 1000]', '//papers//*.tex',
+    )]
+    for ticket in tickets:
+        print(f"  {ticket.iql:24s} -> {len(ticket.result(10.0))} hits")
+
+    # 5. Changes invalidate cached results — no stale answers, ever.
+    ds.watch()
+    ds.generated.vfs.write_file("/Projects/hot.txt", "database tuning notes")
+    ds.refresh()
+    fresh = service.execute('"database tuning"')
+    print(f"\nafter adding a file: {len(fresh)} hits "
+          f"(was {len(cold)}; the cache entry was flushed, not reused)")
+
+    # 6. Overload: a tiny queue sheds load with typed rejections.
+    def hammer():
+        try:
+            service.submit('"database"', use_cache=False)
+        except Overloaded:
+            pass
+
+    threads = [threading.Thread(target=hammer) for _ in range(64)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    print("\nservice metrics:")
+    print(service.metrics.render())

@@ -7,6 +7,7 @@ Usage (module form)::
     python -m repro query  '"database tuning"' --explain
     python -m repro search 'indexing time' --limit 5
     python -m repro tables --scale 0.05
+    python -m repro serve  --clients 1,4,16 --requests 25
 
 Dataspaces are generated in memory, deterministically from
 ``--scale``/``--seed``, so every invocation is reproducible.
@@ -24,8 +25,12 @@ from .bench import (
     PAPER_TABLE4,
     format_table,
 )
+from .core.errors import QuerySyntaxError
 from .facade import Dataspace
 from .imapsim.latency import no_latency
+
+#: Exit code for a rejected iQL query (argparse itself uses 2).
+EXIT_PARSE_ERROR = 3
 
 
 def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
@@ -69,10 +74,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     dataspace = _build(args)
-    if args.explain:
-        print(dataspace.explain(args.iql))
-        return 0
-    result = dataspace.query(args.iql)
+    try:
+        if args.explain:
+            print(dataspace.explain(args.iql))
+            return 0
+        result = dataspace.query(args.iql)
+    except QuerySyntaxError as error:
+        print(f"iql parse error: {error}", file=sys.stderr)
+        return EXIT_PARSE_ERROR
     if result.pairs:
         for pair in result.pairs[:args.limit]:
             print(f"{pair.left.uri}  <->  {pair.right.uri}")
@@ -141,6 +150,51 @@ def _cmd_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Closed-loop load against the concurrent query service."""
+    from .service import run_closed_loop
+
+    dataspace = _build(args)
+    queries = list(PAPER_QUERIES.values())
+    deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
+    try:
+        levels = [int(level) for level in args.clients.split(",")]
+    except ValueError:
+        print(f"invalid --clients list: {args.clients!r}", file=sys.stderr)
+        return 2
+    rows = []
+    service = None
+    for clients in levels:
+        # a fresh service per level: each row starts from a cold cache
+        service = dataspace.serve(
+            workers=args.workers, max_queue_depth=args.queue_depth,
+            cache_results=not args.no_cache,
+        )
+        with service:
+            report = run_closed_loop(
+                service, queries, clients=clients,
+                requests_per_client=args.requests,
+                use_cache=not args.no_cache, deadline=deadline,
+            )
+        latency = report.latency_snapshot()
+        rows.append([
+            clients, report.succeeded, report.rejected, report.failed,
+            report.throughput, latency.p50 * 1000, latency.p95 * 1000,
+            latency.p99 * 1000,
+        ])
+    print(format_table(
+        ["clients", "ok", "rejected", "failed", "q/s",
+         "p50 [ms]", "p95 [ms]", "p99 [ms]"],
+        rows,
+        title=(f"closed-loop service workload (workers={args.workers}, "
+               f"cache={'off' if args.no_cache else 'on'})"),
+    ))
+    if service is not None:
+        print()
+        print(service.metrics.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -172,6 +226,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dataset_options(tables)
     tables.set_defaults(handler=_cmd_tables)
+
+    serve = commands.add_parser(
+        "serve", help="drive the concurrent query service (closed loop)"
+    )
+    serve.add_argument("--clients", default="1,4",
+                       help="comma-separated concurrency levels "
+                            "(default 1,4)")
+    serve.add_argument("--requests", type=int, default=25,
+                       help="requests per client (default 25)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="service worker threads (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=32,
+                       help="admission queue depth (default 32)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-query deadline in milliseconds")
+    _add_dataset_options(serve)
+    serve.set_defaults(handler=_cmd_serve)
 
     return parser
 

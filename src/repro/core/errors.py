@@ -121,3 +121,33 @@ class VersioningError(IdmError):
 
 class LineageError(IdmError):
     """Lineage tracking failure (unknown view, cyclic derivation, ...)."""
+
+
+class ServiceError(IdmError):
+    """Base class for the concurrent query service (``repro.service``)."""
+
+
+class Overloaded(ServiceError):
+    """The service's admission controller rejected a request.
+
+    Raised when the bounded request queue is full; carries the depth the
+    controller saw so clients can report or back off.
+    """
+
+    def __init__(self, message: str, *, queued: int | None = None,
+                 limit: int | None = None) -> None:
+        super().__init__(message)
+        self.queued = queued
+        self.limit = limit
+
+
+class DeadlineExceeded(ServiceError):
+    """A query missed its deadline (in queue or mid-execution)."""
+
+
+class QueryCancelled(ServiceError):
+    """A query was cooperatively cancelled before it completed."""
+
+
+class ServiceClosed(ServiceError):
+    """The service is shut down (or draining) and accepts no new work."""

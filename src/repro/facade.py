@@ -135,6 +135,21 @@ class Dataspace:
             within = set(self.processor.execute(iql).uris())
         return ranked_search(self.rvm, text, limit=limit, within=within)
 
+    # -- serving ----------------------------------------------------------------------
+
+    def serve(self, *, workers: int = 4, max_queue_depth: int = 32,
+              **kwargs):
+        """A concurrent query service over this dataspace.
+
+        Returns a started :class:`repro.service.DataspaceService`
+        (worker pool, admission control, plan/result caches, metrics);
+        extra keyword arguments pass through to its constructor. Use it
+        as a context manager for a drained shutdown.
+        """
+        from .service import DataspaceService
+        return DataspaceService(self, workers=workers,
+                                max_queue_depth=max_queue_depth, **kwargs)
+
     # -- introspection ----------------------------------------------------------------------
 
     @property

@@ -34,12 +34,12 @@ from .ast import (
     Step,
     UnionExpr,
 )
-from .executor import Hit, JoinHit, QueryProcessor, QueryResult
+from .executor import Hit, JoinHit, PreparedQuery, QueryProcessor, QueryResult
 from .parser import parse_iql
 
 __all__ = [
     "Comparison", "JoinExpr", "KeywordAtom", "PathExpr", "PredAnd",
     "PredNot", "PredOr", "PredicateExpr", "QualifiedRef", "Step",
-    "UnionExpr", "Hit", "JoinHit", "QueryProcessor", "QueryResult",
-    "parse_iql",
+    "UnionExpr", "Hit", "JoinHit", "PreparedQuery", "QueryProcessor",
+    "QueryResult", "parse_iql",
 ]

@@ -70,14 +70,28 @@ def canonical_attribute(name: str) -> str:
 
 
 class ExecutionContext:
-    """Index accessors shared by all plan nodes of one execution."""
+    """Index accessors shared by all plan nodes of one execution.
 
-    def __init__(self, rvm: ResourceViewManager, functions: FunctionTable):
+    ``cancel_token`` is any object with a ``check()`` method that raises
+    when the execution should stop (deadline passed, client gone); the
+    serving layer passes :class:`repro.service.CancellationToken`. Plan
+    nodes call :meth:`checkpoint` from their inner loops so long-running
+    queries abort cooperatively.
+    """
+
+    def __init__(self, rvm: ResourceViewManager, functions: FunctionTable,
+                 *, cancel_token=None):
         self.rvm = rvm
         self.functions = functions
+        self.cancel_token = cancel_token
         self.group_replica = rvm.indexes.group_replica
         self.expanded_views = 0  # intermediate-result accounting (Q8!)
         self._all_uris: set[str] | None = None
+
+    def checkpoint(self) -> None:
+        """Raise if this execution was cancelled or missed its deadline."""
+        if self.cancel_token is not None:
+            self.cancel_token.check()
 
     def all_uris(self) -> set[str]:
         if self._all_uris is None:
@@ -93,6 +107,7 @@ class ExecutionContext:
 
     def content_search(self, text: str, *, is_phrase: bool,
                        wildcard: bool) -> set[str]:
+        self.checkpoint()
         if not self.rvm.indexes.policy.index_content:
             return self._content_scan(text, is_phrase=is_phrase,
                                       wildcard=wildcard)
@@ -109,6 +124,7 @@ class ExecutionContext:
         from ..fulltext import InvertedIndex
         probe = InvertedIndex()
         for uri, view in self.rvm.sync.live_views.items():
+            self.checkpoint()
             content = view.content
             body = (content.text() if content.is_finite
                     else content.take(4096))
@@ -161,6 +177,7 @@ class ExecutionContext:
         return {record.uri for record in self.rvm.catalog.by_name(name)}
 
     def name_pattern(self, pattern: str) -> set[str]:
+        self.checkpoint()
         regex = wildcard_regex(pattern)
         matched = set()
         if self.rvm.indexes.policy.index_names:
@@ -177,6 +194,7 @@ class ExecutionContext:
     # -- group navigation (replica or live fallback) -------------------------
 
     def children_of(self, uri: str) -> tuple[str, ...]:
+        self.checkpoint()
         if self.rvm.indexes.policy.replicate_groups:
             return self.group_replica.children(uri)
         view = self.rvm.view(uri)
@@ -196,6 +214,7 @@ class ExecutionContext:
         return self.group_replica.parents(uri)
 
     def class_lookup(self, class_name: str) -> set[str]:
+        self.checkpoint()
         from ..core.classes import BUILTIN_REGISTRY
         names = [class_name]
         if class_name in BUILTIN_REGISTRY:
@@ -210,6 +229,7 @@ class ExecutionContext:
 
     def tuple_compare(self, attribute: str, op: CompareOp,
                       value: object) -> set[str]:
+        self.checkpoint()
         attribute = canonical_attribute(attribute)
         if not self.rvm.indexes.policy.index_tuples:
             return self._tuple_scan(attribute, op, value)
@@ -314,6 +334,26 @@ class QueryResult:
         return [h.uri for h in self.hits]
 
 
+@dataclass
+class PreparedQuery:
+    """A parsed query, reusable across executions.
+
+    The serving layer's plan cache stores these: parsing (and, under the
+    rule optimizer, planning) happens once per distinct query text. The
+    ``plan`` slot memoizes the physical plan when it is
+    context-independent — rule-mode, non-join queries; cost-mode plans
+    depend on live index statistics and are rebuilt per execution.
+    """
+
+    text: str
+    ast: QueryExpr
+    plan: PlanNode | None = None
+
+    @property
+    def is_join(self) -> bool:
+        return isinstance(self.ast, JoinExpr)
+
+
 # ---------------------------------------------------------------------------
 # The processor
 # ---------------------------------------------------------------------------
@@ -354,30 +394,52 @@ class QueryProcessor:
 
     # -- public API -----------------------------------------------------------
 
-    def execute(self, query_text: str) -> QueryResult:
-        ast = parse_iql(query_text)
-        ctx = ExecutionContext(self.rvm, self.functions)
+    def execute(self, query_text: str, *, cancel_token=None) -> QueryResult:
+        return self.execute_prepared(self.prepare(query_text),
+                                     cancel_token=cancel_token)
+
+    def prepare(self, query_text: str) -> PreparedQuery:
+        """Parse once; the result can be executed many times."""
+        return PreparedQuery(text=query_text, ast=parse_iql(query_text))
+
+    def execute_prepared(self, prepared: PreparedQuery, *,
+                         cancel_token=None) -> QueryResult:
+        ctx = ExecutionContext(self.rvm, self.functions,
+                               cancel_token=cancel_token)
         started = time.perf_counter()
-        if isinstance(ast, JoinExpr):
-            plan = self._build_join(ast, ctx)
+        if isinstance(prepared.ast, JoinExpr):
+            plan = self._prepared_join(prepared, ctx)
             pairs = plan.execute_pairs(ctx)
             elapsed = time.perf_counter() - started
             return QueryResult(
-                query=query_text,
+                query=prepared.text,
                 pairs=[JoinHit(self._hit(l), self._hit(r)) for l, r in pairs],
                 elapsed_seconds=elapsed,
                 expanded_views=ctx.expanded_views,
                 plan_text=plan.explain(),
             )
-        plan = self._optimize(self._build(ast), ctx)
+        plan = prepared.plan
+        if plan is None:
+            plan = self._optimize(self._build(prepared.ast), ctx)
+            if self.optimizer_mode == "rule":
+                prepared.plan = plan
         uris = plan.execute(ctx)
         elapsed = time.perf_counter() - started
         hits = sorted((self._hit(uri) for uri in uris),
                       key=lambda h: h.uri)
         return QueryResult(
-            query=query_text, hits=hits, elapsed_seconds=elapsed,
+            query=prepared.text, hits=hits, elapsed_seconds=elapsed,
             expanded_views=ctx.expanded_views, plan_text=plan.explain(),
         )
+
+    def _prepared_join(self, prepared: PreparedQuery,
+                       ctx: ExecutionContext) -> JoinPlan:
+        if isinstance(prepared.plan, JoinPlan):
+            return prepared.plan
+        plan = self._build_join(prepared.ast, ctx)
+        if self.optimizer_mode == "rule":
+            prepared.plan = plan
+        return plan
 
     def explain(self, query_text: str) -> str:
         """The optimized physical plan, without executing it."""

@@ -1,0 +1,127 @@
+"""Admission control: bounded queueing, deadlines, cancellation.
+
+The service never lets load grow without bound. A fixed worker pool
+caps *concurrency*; this module's :class:`AdmissionController` caps the
+*waiting line* in front of it. A request that arrives when the line is
+full is rejected immediately with a typed
+:class:`~repro.core.errors.Overloaded` error — fail fast beats queueing
+forever (the classic admission-control argument).
+
+Deadlines are enforced twice: a request that expires while still queued
+is failed without ever executing, and a :class:`CancellationToken` is
+threaded into :class:`repro.query.executor.ExecutionContext` so a query
+that is already running aborts cooperatively at its next checkpoint.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+
+from ..core.errors import DeadlineExceeded, Overloaded, QueryCancelled
+
+
+class CancellationToken:
+    """Cooperative cancellation with an optional deadline.
+
+    The executor calls :meth:`check` from plan-node inner loops;
+    anything holding the token may :meth:`cancel` it from another
+    thread. Deadlines are monotonic-clock timestamps.
+    """
+
+    def __init__(self, *, deadline: float | None = None):
+        self.deadline = deadline
+        self._cancelled = False
+        self._reason = ""
+
+    @classmethod
+    def with_timeout(cls, seconds: float) -> "CancellationToken":
+        return cls(deadline=time.monotonic() + seconds)
+
+    def cancel(self, reason: str = "cancelled") -> None:
+        self._cancelled = True
+        self._reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def expired(self) -> bool:
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    def check(self) -> None:
+        """Raise if cancelled (:class:`QueryCancelled`) or past the
+        deadline (:class:`DeadlineExceeded`)."""
+        if self._cancelled:
+            raise QueryCancelled(self._reason or "query cancelled")
+        if self.expired:
+            raise DeadlineExceeded("query deadline exceeded mid-execution")
+
+    def remaining(self) -> float | None:
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+
+class AdmissionController:
+    """A bounded FIFO request queue with overload rejection.
+
+    ``max_queue_depth`` counts requests *waiting* (not executing — the
+    worker pool bounds that separately). :meth:`submit` either enqueues
+    or raises :class:`Overloaded`; workers block in :meth:`take`.
+    ``None`` items are never admitted — :meth:`poison` injects them past
+    the depth check to wake workers up for shutdown.
+    """
+
+    def __init__(self, *, max_queue_depth: int = 32):
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self._items: collections.deque = collections.deque()
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def submit(self, item) -> None:
+        with self._lock:
+            waiting = sum(1 for queued in self._items if queued is not None)
+            if waiting >= self.max_queue_depth:
+                self.rejected += 1
+                raise Overloaded(
+                    f"request queue full ({waiting}/{self.max_queue_depth})",
+                    queued=waiting, limit=self.max_queue_depth,
+                )
+            self._items.append(item)
+            self.admitted += 1
+            self._available.notify()
+
+    def poison(self, count: int = 1) -> None:
+        """Enqueue ``count`` wake-up markers (bypasses the depth check)."""
+        with self._lock:
+            for _ in range(count):
+                self._items.append(None)
+            self._available.notify_all()
+
+    def take(self, timeout: float | None = None):
+        """Dequeue the next item; ``None`` on timeout or poison marker."""
+        with self._lock:
+            if not self._items:
+                self._available.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def drain(self) -> list:
+        """Remove and return every queued item (used on hard shutdown)."""
+        with self._lock:
+            items = [item for item in self._items if item is not None]
+            self._items.clear()
+            return items

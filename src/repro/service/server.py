@@ -1,0 +1,391 @@
+"""The concurrent dataspace query service.
+
+:class:`DataspaceService` wraps one :class:`~repro.facade.Dataspace` in
+a serving layer: a fixed worker thread pool executes iQL queries pulled
+from a bounded admission queue, a plan cache skips re-parsing, a result
+cache (invalidated by the RVM's change events) skips re-execution, and
+a metrics registry counts everything. Sessions carry per-client
+defaults and statistics.
+
+Execution against the RVM is read-only and the pool size bounds
+concurrency, so the single-threaded index structures are shared without
+a global lock; writes (``refresh``/``sync``) are expected from one
+control thread, exactly as in the single-user iMeMex prototype — the
+service adds *concurrent readers*, not concurrent writers.
+
+Life cycle::
+
+    service = dataspace.serve(workers=4, max_queue_depth=32)
+    with service:
+        result = service.execute('"database"')          # blocking
+        ticket = service.submit('//papers//*.tex')      # async
+        result = ticket.result(timeout=5.0)
+    # context exit drains the queue and stops the workers
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from ..core.errors import (
+    DeadlineExceeded,
+    IdmError,
+    QueryCancelled,
+    ServiceClosed,
+)
+from ..query import QueryResult
+from .admission import AdmissionController, CancellationToken
+from .cache import PlanCache, QueryKey, ResultCache
+from .metrics import MetricsRegistry
+
+
+class QueryTicket:
+    """A handle on one submitted query (a minimal future)."""
+
+    def __init__(self, iql: str, *, session: "Session | None" = None):
+        self.iql = iql
+        self.session = session
+        self.token = CancellationToken()
+        self.cached = False
+        self.queue_wait_seconds = 0.0
+        self._done = threading.Event()
+        self._result: QueryResult | None = None
+        self._error: BaseException | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Request cooperative cancellation (queued or running)."""
+        self.token.cancel(reason)
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Block until finished; raises the query's error if it failed."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"query did not finish within {timeout}s: {self.iql!r}"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        self._done.wait(timeout)
+        return self._error
+
+    # -- resolution (service side) -------------------------------------------
+
+    def _resolve(self, result: QueryResult) -> None:
+        self._result = result
+        self._done.set()
+        if self.session is not None:
+            self.session._record(ok=True)
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+        if self.session is not None:
+            self.session._record(ok=False)
+
+
+@dataclass
+class _Request:
+    """One admitted query, queued for a worker."""
+
+    ticket: QueryTicket
+    key: QueryKey
+    use_cache: bool
+    enqueued_at: float
+    deadline: float | None
+
+
+@dataclass
+class Session:
+    """Per-client state: defaults plus submission statistics."""
+
+    session_id: str
+    service: "DataspaceService"
+    default_deadline: float | None = None
+    use_cache: bool = True
+    submitted: int = 0
+    served: int = 0
+    failed: int = 0
+    closed: bool = False
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def submit(self, iql: str, *, deadline: float | None = None,
+               use_cache: bool | None = None) -> QueryTicket:
+        if self.closed:
+            raise ServiceClosed(f"session {self.session_id!r} is closed")
+        with self._lock:
+            self.submitted += 1
+        return self.service.submit(
+            iql, session=self,
+            deadline=deadline if deadline is not None
+            else self.default_deadline,
+            use_cache=self.use_cache if use_cache is None else use_cache,
+        )
+
+    def query(self, iql: str, *, deadline: float | None = None,
+              timeout: float | None = None) -> QueryResult:
+        return self.submit(iql, deadline=deadline).result(timeout)
+
+    def _record(self, *, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self.served += 1
+            else:
+                self.failed += 1
+
+    def close(self) -> None:
+        self.closed = True
+        self.service._sessions.pop(self.session_id, None)
+
+
+class DataspaceService:
+    """A multi-session, concurrent query service over one dataspace."""
+
+    def __init__(self, dataspace, *, workers: int = 4,
+                 max_queue_depth: int = 32,
+                 plan_cache_size: int = 128,
+                 result_cache_size: int = 512,
+                 cache_results: bool = True,
+                 default_deadline: float | None = None,
+                 autostart: bool = True):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.dataspace = dataspace
+        self.processor = dataspace.processor
+        self.workers = workers
+        self.cache_results = cache_results
+        self.default_deadline = default_deadline
+        self.admission = AdmissionController(max_queue_depth=max_queue_depth)
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.result_cache = ResultCache(result_cache_size,
+                                        bus=dataspace.rvm.bus)
+        self.metrics = MetricsRegistry()
+        self._sessions: dict[str, Session] = {}
+        self._session_seq = 0
+        self._threads: list[threading.Thread] = []
+        #: admitted but not yet resolved (queued or executing) — the
+        #: drain condition; covers the gap between dequeue and execute.
+        self._outstanding = 0
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._stopping = False
+        # Index before any worker touches the RVM, so the pool only ever
+        # reads shared structures.
+        if not dataspace._synced:
+            dataspace.sync()
+        if autostart:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._threads)
+
+    def start(self) -> "DataspaceService":
+        if self._closed:
+            raise ServiceClosed("cannot restart a closed service")
+        if self._threads:
+            return self
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"dataspace-worker-{index}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop the service. With ``drain`` (the default) queued queries
+        finish first; without it they fail with :class:`ServiceClosed`."""
+        if self._closed:
+            return
+        self._closed = True  # no new submissions
+        if drain and self._threads:
+            deadline = time.monotonic() + timeout
+            while self._outstanding > 0 and time.monotonic() < deadline:
+                time.sleep(0.002)
+        for request in self.admission.drain():
+            request.ticket._fail(ServiceClosed("service shut down"))
+            with self._state_lock:
+                self._outstanding -= 1
+        self._stopping = True
+        self.admission.poison(len(self._threads) or 1)
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        self.result_cache.detach()
+
+    def __enter__(self) -> "DataspaceService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    # -- sessions ------------------------------------------------------------
+
+    def open_session(self, session_id: str | None = None, *,
+                     deadline: float | None = None,
+                     use_cache: bool = True) -> Session:
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        with self._state_lock:
+            if session_id is None:
+                self._session_seq += 1
+                session_id = f"session-{self._session_seq}"
+            if session_id in self._sessions:
+                raise ValueError(f"session {session_id!r} already open")
+            session = Session(session_id=session_id, service=self,
+                              default_deadline=deadline, use_cache=use_cache)
+            self._sessions[session_id] = session
+        self.metrics.counter("sessions.opened").increment()
+        return session
+
+    @property
+    def session_count(self) -> int:
+        return len(self._sessions)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, iql: str, *, session: Session | None = None,
+               deadline: float | None = None,
+               use_cache: bool = True) -> QueryTicket:
+        """Admit one query; returns immediately with a ticket.
+
+        Raises :class:`~repro.core.errors.Overloaded` when the queue is
+        full and :class:`ServiceClosed` after shutdown began.
+        """
+        if self._closed:
+            raise ServiceClosed("service is closed")
+        self.metrics.counter("queries.submitted").increment()
+        ticket = QueryTicket(iql, session=session)
+        key = QueryKey(text=iql, optimizer=self.processor.optimizer_mode,
+                       expansion=self.processor.expansion)
+        use_cache = use_cache and self.cache_results
+        if use_cache:
+            cached = self.result_cache.get(key)
+            if cached is not None:
+                self.metrics.counter("cache.result.hits").increment()
+                self.metrics.counter("queries.served").increment()
+                self.metrics.histogram("latency.total_seconds").observe(0.0)
+                ticket.cached = True
+                ticket._resolve(cached)
+                return ticket
+            self.metrics.counter("cache.result.misses").increment()
+        if deadline is None:
+            deadline = self.default_deadline
+        absolute = (time.monotonic() + deadline
+                    if deadline is not None else None)
+        ticket.token.deadline = absolute
+        request = _Request(ticket=ticket, key=key, use_cache=use_cache,
+                           enqueued_at=time.monotonic(), deadline=absolute)
+        with self._state_lock:
+            self._outstanding += 1
+        try:
+            self.admission.submit(request)
+        except Exception:
+            with self._state_lock:
+                self._outstanding -= 1
+            self.metrics.counter("admission.rejected").increment()
+            raise
+        if self._stopping:
+            # lost the race against close(): the workers are gone, so
+            # fail anything still queued rather than strand its ticket
+            for stranded in self.admission.drain():
+                stranded.ticket._fail(ServiceClosed("service shut down"))
+                with self._state_lock:
+                    self._outstanding -= 1
+        return ticket
+
+    def execute(self, iql: str, *, deadline: float | None = None,
+                use_cache: bool = True,
+                timeout: float | None = None) -> QueryResult:
+        """Submit and wait: the blocking convenience call."""
+        return self.submit(iql, deadline=deadline,
+                           use_cache=use_cache).result(timeout)
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            request = self.admission.take(timeout=0.1)
+            if request is None:
+                if self._stopping:
+                    return
+                continue
+            try:
+                self._process(request)
+            finally:
+                with self._state_lock:
+                    self._outstanding -= 1
+
+    def _process(self, request: _Request) -> None:
+        ticket = request.ticket
+        waited = time.monotonic() - request.enqueued_at
+        ticket.queue_wait_seconds = waited
+        self.metrics.histogram("latency.queue_seconds").observe(waited)
+        try:
+            ticket.token.check()  # cancelled or expired while queued
+        except (DeadlineExceeded, QueryCancelled) as error:
+            self._count_failure(error)
+            ticket._fail(error)
+            return
+        prepared = self.plan_cache.get(request.key)
+        if prepared is None:
+            self.metrics.counter("cache.plan.misses").increment()
+            try:
+                prepared = self.processor.prepare(request.key.text)
+            except IdmError as error:
+                self.metrics.counter("queries.failed").increment()
+                ticket._fail(error)
+                return
+            self.plan_cache.put(request.key, prepared)
+        else:
+            self.metrics.counter("cache.plan.hits").increment()
+        epoch = self.result_cache.epoch
+        started = time.monotonic()
+        try:
+            result = self.processor.execute_prepared(
+                prepared, cancel_token=ticket.token
+            )
+        except BaseException as error:  # noqa: BLE001 — fail the ticket
+            self._count_failure(error)
+            ticket._fail(error)
+            return
+        elapsed = time.monotonic() - started
+        self.metrics.histogram("latency.execute_seconds").observe(elapsed)
+        self.metrics.histogram("latency.total_seconds").observe(
+            waited + elapsed
+        )
+        self.metrics.counter("queries.served").increment()
+        if request.use_cache:
+            self.result_cache.put(request.key, result, epoch=epoch)
+        ticket._resolve(result)
+
+    def _count_failure(self, error: BaseException) -> None:
+        if isinstance(error, DeadlineExceeded):
+            self.metrics.counter("queries.deadline_missed").increment()
+        elif isinstance(error, QueryCancelled):
+            self.metrics.counter("queries.cancelled").increment()
+        self.metrics.counter("queries.failed").increment()
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Counters, cache sizes and latency snapshots in one dict."""
+        report = self.metrics.snapshot()
+        report["cache.result.size"] = len(self.result_cache)
+        report["cache.plan.size"] = len(self.plan_cache)
+        report["queue.depth"] = self.admission.depth
+        report["sessions.open"] = self.session_count
+        return report

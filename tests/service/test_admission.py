@@ -1,0 +1,150 @@
+"""Tests for admission control, deadlines and cancellation."""
+
+import time
+
+import pytest
+
+from repro.core.errors import (
+    DeadlineExceeded,
+    Overloaded,
+    QueryCancelled,
+)
+from repro.facade import Dataspace
+from repro.service import AdmissionController, CancellationToken
+
+
+@pytest.fixture(scope="module")
+def demo_dataspace():
+    dataspace = Dataspace.demo()
+    dataspace.sync()
+    return dataspace
+
+
+class TestCancellationToken:
+    def test_fresh_token_passes(self):
+        CancellationToken().check()
+
+    def test_cancel_raises(self):
+        token = CancellationToken()
+        token.cancel("client went away")
+        assert token.cancelled
+        with pytest.raises(QueryCancelled, match="client went away"):
+            token.check()
+
+    def test_deadline_raises_after_expiry(self):
+        token = CancellationToken.with_timeout(0.001)
+        time.sleep(0.005)
+        assert token.expired
+        with pytest.raises(DeadlineExceeded):
+            token.check()
+
+    def test_remaining(self):
+        assert CancellationToken().remaining() is None
+        assert CancellationToken.with_timeout(10).remaining() > 9
+
+
+class TestAdmissionController:
+    def test_rejects_beyond_depth(self):
+        controller = AdmissionController(max_queue_depth=2)
+        controller.submit("a")
+        controller.submit("b")
+        with pytest.raises(Overloaded) as exc_info:
+            controller.submit("c")
+        assert exc_info.value.queued == 2
+        assert exc_info.value.limit == 2
+        assert controller.rejected == 1
+        assert controller.admitted == 2
+
+    def test_fifo_order(self):
+        controller = AdmissionController(max_queue_depth=4)
+        for item in ("a", "b", "c"):
+            controller.submit(item)
+        assert [controller.take() for _ in range(3)] == ["a", "b", "c"]
+
+    def test_take_times_out_empty(self):
+        controller = AdmissionController(max_queue_depth=4)
+        assert controller.take(timeout=0.01) is None
+
+    def test_poison_bypasses_depth_check(self):
+        controller = AdmissionController(max_queue_depth=1)
+        controller.submit("a")
+        controller.poison(2)
+        assert controller.take() == "a"
+        assert controller.take() is None
+
+    def test_drain_skips_poison(self):
+        controller = AdmissionController(max_queue_depth=2)
+        controller.submit("a")
+        controller.poison()
+        controller.submit("b")
+        assert controller.drain() == ["a", "b"]
+        assert controller.depth == 0
+
+
+class TestExecutorCancellation:
+    """The token threads into the executor and aborts cooperatively."""
+
+    def test_cancelled_token_aborts_query(self, demo_dataspace):
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(QueryCancelled):
+            demo_dataspace.processor.execute('"database"',
+                                             cancel_token=token)
+
+    def test_expired_deadline_aborts_query(self, demo_dataspace):
+        token = CancellationToken(deadline=time.monotonic() - 1.0)
+        with pytest.raises(DeadlineExceeded):
+            demo_dataspace.processor.execute('//papers//*.tex',
+                                             cancel_token=token)
+
+    def test_live_token_leaves_query_alone(self, demo_dataspace):
+        token = CancellationToken.with_timeout(30.0)
+        result = demo_dataspace.processor.execute('"database"',
+                                                  cancel_token=token)
+        assert len(result) > 0
+
+
+class TestServiceAdmission:
+    """Satellite: saturating the service beyond ``max_queue_depth``
+    yields typed Overloaded rejections, counted by the metrics."""
+
+    def test_saturation_rejects_and_counts(self, demo_dataspace):
+        # workers not started: submissions stay queued deterministically
+        service = demo_dataspace.serve(workers=1, max_queue_depth=2,
+                                       autostart=False)
+        tickets = [service.submit('"database"', use_cache=False)
+                   for _ in range(2)]
+        with pytest.raises(Overloaded) as exc_info:
+            service.submit('"database"', use_cache=False)
+        assert exc_info.value.limit == 2
+        assert service.metrics.counter("admission.rejected").value == 1
+        assert service.stats()["admission.rejected"] == 1
+        # once started, the admitted requests all complete
+        service.start()
+        for ticket in tickets:
+            assert len(ticket.result(timeout=10.0)) > 0
+        service.close()
+
+    def test_queued_deadline_enforced_without_execution(self,
+                                                        demo_dataspace):
+        service = demo_dataspace.serve(workers=1, max_queue_depth=4,
+                                       autostart=False)
+        ticket = service.submit('"database"', deadline=0.001,
+                                use_cache=False)
+        time.sleep(0.01)
+        service.start()
+        with pytest.raises(DeadlineExceeded):
+            ticket.result(timeout=10.0)
+        assert service.metrics.counter("queries.deadline_missed").value == 1
+        service.close()
+
+    def test_queued_ticket_cancellation(self, demo_dataspace):
+        service = demo_dataspace.serve(workers=1, max_queue_depth=4,
+                                       autostart=False)
+        ticket = service.submit('"database"', use_cache=False)
+        ticket.cancel("test cancel")
+        service.start()
+        with pytest.raises(QueryCancelled, match="test cancel"):
+            ticket.result(timeout=10.0)
+        assert service.metrics.counter("queries.cancelled").value == 1
+        service.close()

@@ -1,0 +1,185 @@
+"""Tests for the DataspaceService: concurrency, sessions, shutdown."""
+
+import threading
+
+import pytest
+
+from repro.core.errors import QuerySyntaxError, ServiceClosed
+from repro.facade import Dataspace
+from repro.query import PreparedQuery
+from repro.service import DataspaceService
+
+
+@pytest.fixture(scope="module")
+def demo_dataspace():
+    dataspace = Dataspace.demo()
+    dataspace.sync()
+    return dataspace
+
+
+QUERIES = ['"database"', '//papers//*.tex', '[size > 1000]',
+           '"database" and "tuning"']
+
+
+class TestBasics:
+    def test_execute_matches_direct_query(self, demo_dataspace):
+        with demo_dataspace.serve(workers=2) as service:
+            for iql in QUERIES:
+                direct = demo_dataspace.query(iql)
+                served = service.execute(iql)
+                assert served.uris() == direct.uris(), iql
+
+    def test_serve_syncs_unsynced_dataspace(self):
+        dataspace = Dataspace.demo()
+        assert not dataspace._synced
+        with dataspace.serve(workers=1) as service:
+            assert dataspace._synced
+            assert len(service.execute('"database"')) > 0
+
+    def test_parse_error_fails_the_ticket(self, demo_dataspace):
+        with demo_dataspace.serve(workers=1) as service:
+            with pytest.raises(QuerySyntaxError):
+                service.execute('//[[nonsense')
+            assert service.metrics.counter("queries.failed").value == 1
+
+    def test_ticket_async_interface(self, demo_dataspace):
+        with demo_dataspace.serve(workers=2) as service:
+            ticket = service.submit('"database"')
+            result = ticket.result(timeout=10.0)
+            assert ticket.done
+            assert ticket.exception() is None
+            assert len(result) > 0
+
+
+class TestConcurrentClients:
+    def test_parallel_correctness(self, demo_dataspace):
+        """4 threads x the query mix: every answer matches the
+        single-threaded result."""
+        expected = {iql: demo_dataspace.query(iql).uris()
+                    for iql in QUERIES}
+        failures = []
+
+        with demo_dataspace.serve(workers=4) as service:
+            def client(offset: int) -> None:
+                for step in range(12):
+                    iql = QUERIES[(offset + step) % len(QUERIES)]
+                    served = service.execute(iql, timeout=30.0)
+                    if served.uris() != expected[iql]:
+                        failures.append(iql)
+
+            threads = [threading.Thread(target=client, args=(index,))
+                       for index in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = service.stats()
+        assert not failures
+        assert stats["queries.served"] == 48
+        assert stats["cache.result.hits"] > 0
+
+    def test_plan_cache_reuses_prepared_queries(self, demo_dataspace):
+        with demo_dataspace.serve(workers=1,
+                                  cache_results=False) as service:
+            for _ in range(3):
+                service.execute('//papers//*.tex', use_cache=False)
+            assert service.metrics.counter("cache.plan.misses").value == 1
+            assert service.metrics.counter("cache.plan.hits").value == 2
+
+
+class TestPreparedQueries:
+    def test_rule_mode_plan_memoized(self, demo_dataspace):
+        processor = demo_dataspace.processor
+        prepared = processor.prepare('"database"')
+        assert isinstance(prepared, PreparedQuery)
+        assert prepared.plan is None
+        first = processor.execute_prepared(prepared)
+        assert prepared.plan is not None
+        again = processor.execute_prepared(prepared)
+        assert again.uris() == first.uris()
+
+    def test_join_prepared(self, demo_dataspace):
+        iql = ('join( //*[class = "emailmessage"]//*.tex as A, '
+               '//papers//*.tex as B, A.name = B.name )')
+        prepared = demo_dataspace.processor.prepare(iql)
+        assert prepared.is_join
+        result = demo_dataspace.processor.execute_prepared(prepared)
+        direct = demo_dataspace.query(iql)
+        assert len(result) == len(direct)
+
+
+class TestSessions:
+    def test_session_statistics(self, demo_dataspace):
+        with demo_dataspace.serve(workers=2) as service:
+            session = service.open_session("alice")
+            session.query('"database"')
+            session.query('"database"')
+            assert session.submitted == 2
+            assert session.served == 2
+            assert session.failed == 0
+            assert service.session_count == 1
+            session.close()
+            assert service.session_count == 0
+
+    def test_closed_session_rejects(self, demo_dataspace):
+        with demo_dataspace.serve(workers=1) as service:
+            session = service.open_session()
+            session.close()
+            with pytest.raises(ServiceClosed):
+                session.submit('"database"')
+
+    def test_duplicate_session_id_rejected(self, demo_dataspace):
+        with demo_dataspace.serve(workers=1) as service:
+            service.open_session("bob")
+            with pytest.raises(ValueError):
+                service.open_session("bob")
+
+    def test_session_failure_statistics(self, demo_dataspace):
+        with demo_dataspace.serve(workers=1) as service:
+            session = service.open_session("carol")
+            with pytest.raises(QuerySyntaxError):
+                session.query('//[[broken')
+            assert session.failed == 1
+
+
+class TestShutdown:
+    def test_drain_completes_queued_work(self, demo_dataspace):
+        service = demo_dataspace.serve(workers=1, max_queue_depth=16,
+                                       autostart=False)
+        tickets = [service.submit('"database"', use_cache=False)
+                   for _ in range(8)]
+        service.start()
+        service.close(drain=True)
+        for ticket in tickets:
+            assert len(ticket.result(timeout=1.0)) > 0
+
+    def test_hard_close_fails_queued_tickets(self, demo_dataspace):
+        service = demo_dataspace.serve(workers=1, max_queue_depth=16,
+                                       autostart=False)
+        tickets = [service.submit('"database"', use_cache=False)
+                   for _ in range(4)]
+        service.close(drain=False)
+        failed = sum(
+            1 for ticket in tickets
+            if isinstance(ticket.exception(timeout=1.0), ServiceClosed)
+        )
+        assert failed == 4
+
+    def test_submit_after_close_raises(self, demo_dataspace):
+        service = demo_dataspace.serve(workers=1)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.submit('"database"')
+        with pytest.raises(ServiceClosed):
+            service.open_session()
+
+    def test_close_is_idempotent(self, demo_dataspace):
+        service = demo_dataspace.serve(workers=1)
+        service.close()
+        service.close()
+
+    def test_closed_service_cannot_restart(self, demo_dataspace):
+        service = demo_dataspace.serve(workers=1)
+        service.close()
+        with pytest.raises(ServiceClosed):
+            service.start()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_PARSE_ERROR, build_parser, main
 
 
 class TestParser:
@@ -73,3 +73,30 @@ class TestCommands:
         assert "Table 2" in out
         assert "Figure 5" in out
         assert "Table 4" in out
+
+    def test_serve(self, capsys, tiny_args):
+        assert main(["serve", "--clients", "1,2", "--requests", "3",
+                     "--workers", "2", *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop service workload" in out
+        assert "p99 [ms]" in out
+        assert "queries.served" in out
+
+    def test_serve_rejects_bad_client_list(self, capsys, tiny_args):
+        assert main(["serve", "--clients", "one,two", *tiny_args]) == 2
+        err = capsys.readouterr().err
+        assert "invalid --clients" in err
+
+
+class TestParseErrors:
+    def test_parse_error_exit_code(self, capsys, tiny_args):
+        assert main(["query", "//[[broken", *tiny_args]) == EXIT_PARSE_ERROR
+        captured = capsys.readouterr()
+        assert "iql parse error:" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1  # one clean line
+        assert "Traceback" not in captured.err
+
+    def test_parse_error_in_explain(self, capsys, tiny_args):
+        assert main(["query", "//[[broken", "--explain",
+                     *tiny_args]) == EXIT_PARSE_ERROR
+        assert "iql parse error:" in capsys.readouterr().err
