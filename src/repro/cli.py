@@ -5,6 +5,7 @@ Usage (module form)::
     python -m repro stats  --scale 0.02
     python -m repro query  '//papers//*Vision/*["Franklin"]'
     python -m repro query  '"database tuning"' --explain
+    python -m repro query  '"database tuning"' --explain --analyze
     python -m repro search 'indexing time' --limit 5
     python -m repro tables --scale 0.05
     python -m repro serve  --clients 1,4,16 --requests 25
@@ -75,6 +76,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     dataspace = _build(args)
     try:
+        if args.analyze:
+            # EXPLAIN ANALYZE: execute under a trace, print the
+            # annotated plan tree (per-node actual rows, wall time,
+            # estimate), the rewrite log and the substrate counters
+            print(dataspace.explain_analyze(args.iql).render())
+            return 0
         if args.explain:
             print(dataspace.explain(args.iql))
             return 0
@@ -168,7 +175,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # a fresh service per level: each row starts from a cold cache
         service = dataspace.serve(
             workers=args.workers, max_queue_depth=args.queue_depth,
-            cache_results=not args.no_cache,
+            cache_results=not args.no_cache, trace_queries=args.trace,
         )
         with service:
             report = run_closed_loop(
@@ -212,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max results to print (default 20)")
     query.add_argument("--explain", action="store_true",
                        help="print the physical plan instead of executing")
+    query.add_argument("--analyze", action="store_true",
+                       help="execute under a trace and print the annotated "
+                            "plan (per-node rows, wall time, estimate); "
+                            "implies --explain")
     _add_dataset_options(query)
     query.set_defaults(handler=_cmd_query)
 
@@ -243,6 +254,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the result cache")
     serve.add_argument("--deadline-ms", type=float, default=None,
                        help="per-query deadline in milliseconds")
+    serve.add_argument("--trace", action="store_true",
+                       help="trace every executed query and fold "
+                            "per-operator aggregates into the metrics "
+                            "report")
     _add_dataset_options(serve)
     serve.set_defaults(handler=_cmd_serve)
 

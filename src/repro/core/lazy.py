@@ -11,15 +11,44 @@ first access.
 :class:`CountingProvider` wraps a provider and counts invocations; tests
 and benchmarks use it to assert laziness ("the LaTeX file is only parsed
 when getGroupComponent() is called").
+
+The tracing layer (:mod:`repro.trace`) observes materializations through
+a per-thread *sink*: while a sink is installed, every first-force of a
+*labelled* lazy value reports ``component.<label>.materialized`` to it.
+With no sink installed (the default, and the common case outside traced
+query executions) the only cost is one attribute check on the first
+force — already-forced values never consult the sink at all.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generic, TypeVar
+from contextvars import ContextVar, Token
+from typing import Any, Callable, Generic, Protocol, TypeVar
 
 T = TypeVar("T")
 
 _UNSET = object()
+
+
+class MaterializationSink(Protocol):  # pragma: no cover - typing only
+    def count(self, name: str, amount: int = 1) -> None: ...
+
+
+#: The active sink, if any. A ``ContextVar`` keeps installations local to
+#: the installing thread (each service worker traces its own query).
+_SINK: ContextVar[MaterializationSink | None] = ContextVar(
+    "idm-materialization-sink", default=None
+)
+
+
+def install_materialization_sink(sink: MaterializationSink) -> Token:
+    """Route this thread's materialization events to ``sink``; returns a
+    token for :func:`uninstall_materialization_sink`."""
+    return _SINK.set(sink)
+
+
+def uninstall_materialization_sink(token: Token) -> None:
+    _SINK.reset(token)
 
 
 class LazyValue(Generic[T]):
@@ -27,20 +56,25 @@ class LazyValue(Generic[T]):
 
     ``LazyValue.of(value)`` builds an already-forced instance carrying a
     plain value; ``LazyValue(provider)`` defers to ``provider()`` on the
-    first :meth:`get`.
+    first :meth:`get`. A ``label`` marks the value as an observable
+    component ("name", "content", ...): its first force is reported to
+    the installed materialization sink, if any.
     """
 
-    __slots__ = ("_provider", "_value")
+    __slots__ = ("_provider", "_value", "label")
 
-    def __init__(self, provider: Callable[[], T]):
+    def __init__(self, provider: Callable[[], T],
+                 label: str | None = None):
         self._provider: Callable[[], T] | None = provider
         self._value: Any = _UNSET
+        self.label = label
 
     @classmethod
     def of(cls, value: T) -> "LazyValue[T]":
         lazy: LazyValue[T] = cls.__new__(cls)
         lazy._provider = None
         lazy._value = value
+        lazy.label = None
         return lazy
 
     @property
@@ -52,6 +86,10 @@ class LazyValue(Generic[T]):
         """Return the value, computing and caching it on first access."""
         if self._value is _UNSET:
             assert self._provider is not None
+            if self.label is not None:
+                sink = _SINK.get()
+                if sink is not None:
+                    sink.count(f"component.{self.label}.materialized")
             self._value = self._provider()
             self._provider = None  # allow the closure to be collected
         return self._value

@@ -90,11 +90,13 @@ def _normalize_group(
     return GroupComponent.of_set(views)
 
 
-def _lazify(value: Any, normalize: Callable[[Any], Any]) -> LazyValue[Any]:
+def _lazify(value: Any, normalize: Callable[[Any], Any],
+            label: str | None = None) -> LazyValue[Any]:
     if callable(value) and not isinstance(
         value, (TupleComponent, ContentComponent, GroupComponent)
     ):
-        return LazyValue(lambda: normalize(value()))
+        # labelled so the tracing layer can observe the materialization
+        return LazyValue(lambda: normalize(value()), label)
     return LazyValue.of(normalize(value))
 
 
@@ -123,10 +125,10 @@ class ResourceView:
     ) -> None:
         self.view_id = view_id if view_id is not None else DEFAULT_ID_GENERATOR.next_id()
         self.class_name = class_name
-        self._name = _lazify(name, _normalize_name)
-        self._tuple = _lazify(tuple_component, _normalize_tuple)
-        self._content = _lazify(content, _normalize_content)
-        self._group = _lazify(group, _normalize_group)
+        self._name = _lazify(name, _normalize_name, "name")
+        self._tuple = _lazify(tuple_component, _normalize_tuple, "tuple")
+        self._content = _lazify(content, _normalize_content, "content")
+        self._group = _lazify(group, _normalize_group, "group")
 
     # -- the paper's interface ---------------------------------------------
 

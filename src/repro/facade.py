@@ -121,6 +121,15 @@ class Dataspace:
     def explain(self, iql: str) -> str:
         return self.processor.explain(iql)
 
+    def explain_analyze(self, iql: str):
+        """Execute ``iql`` under a trace and return the
+        :class:`~repro.trace.ExplainAnalyzeReport`: the annotated plan
+        tree (estimate vs. actual rows, per-operator wall time), the
+        optimizer's rewrite log and the substrate counters."""
+        if not self._synced:
+            self.sync()
+        return self.processor.explain_analyze(iql)
+
     def search(self, text: str, *, limit: int = 10, iql: str | None = None):
         """Ranked free-text search over name and content components.
 

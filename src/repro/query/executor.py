@@ -9,7 +9,9 @@ indirectly related resource views by forward expansion".
 
 from __future__ import annotations
 
+import re
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from datetime import datetime
 
@@ -77,16 +79,28 @@ class ExecutionContext:
     serving layer passes :class:`repro.service.CancellationToken`. Plan
     nodes call :meth:`checkpoint` from their inner loops so long-running
     queries abort cooperatively.
+
+    ``trace`` is an optional :class:`~repro.trace.TraceCollector`: when
+    present, every substrate call below records a ``ctx.*`` counter and
+    every plan node wraps itself in a span, turning the execution into
+    an EXPLAIN ANALYZE. When absent the accounting costs one ``is None``
+    check per call site.
     """
 
     def __init__(self, rvm: ResourceViewManager, functions: FunctionTable,
-                 *, cancel_token=None):
+                 *, cancel_token=None, trace=None):
         self.rvm = rvm
         self.functions = functions
         self.cancel_token = cancel_token
+        self.trace = trace
         self.group_replica = rvm.indexes.group_replica
         self.expanded_views = 0  # intermediate-result accounting (Q8!)
         self._all_uris: set[str] | None = None
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Record one substrate call into the trace, if tracing."""
+        if self.trace is not None:
+            self.trace.count(name, amount)
 
     def checkpoint(self) -> None:
         """Raise if this execution was cancelled or missed its deadline."""
@@ -95,10 +109,12 @@ class ExecutionContext:
 
     def all_uris(self) -> set[str]:
         if self._all_uris is None:
+            self.count("ctx.all_uris_materialized")
             self._all_uris = set(self.rvm.catalog.all_uris())
         return self._all_uris
 
     def root_uris(self) -> set[str]:
+        self.count("ctx.root_uris")
         roots = set()
         for plugin in self.rvm.proxy.plugins():
             for view in plugin.root_views():
@@ -108,6 +124,7 @@ class ExecutionContext:
     def content_search(self, text: str, *, is_phrase: bool,
                        wildcard: bool) -> set[str]:
         self.checkpoint()
+        self.count("ctx.content_search")
         if not self.rvm.indexes.policy.index_content:
             return self._content_scan(text, is_phrase=is_phrase,
                                       wildcard=wildcard)
@@ -122,6 +139,7 @@ class ExecutionContext:
                       wildcard: bool) -> set[str]:
         """Query shipping: no content index, scan live views instead."""
         from ..fulltext import InvertedIndex
+        self.count("ctx.content_scan")
         probe = InvertedIndex()
         for uri, view in self.rvm.sync.live_views.items():
             self.checkpoint()
@@ -173,11 +191,41 @@ class ExecutionContext:
             return max(1, carriers // 10) if op is CompareOp.EQ else carriers
         return max(1, carriers // 2)
 
+    def name_pattern_estimate(self, pattern: str) -> int:
+        """Cardinality estimate for a wildcard name match: exact when the
+        pattern is literal, otherwise the count of names carrying the
+        pattern's literal prefix (every match must share it)."""
+        if "*" not in pattern and "?" not in pattern:
+            return len(self.name_equals(pattern))
+        prefix = re.split(r"[*?]", pattern, maxsplit=1)[0]
+        if self.rvm.indexes.policy.index_names:
+            names = (name for _, name
+                     in self.rvm.indexes.name_index.stored_items())
+        else:
+            names = (record.name for record in self.rvm.catalog.all_records()
+                     if record.name)
+        return sum(1 for name in names if name.startswith(prefix))
+
+    def expand_estimate(self, input_estimate: int, axis: Axis) -> int:
+        """Bound on the views reached by one expansion: the input times
+        the replica's average fan-out over one hop, or the universe for
+        the transitive descendant closure."""
+        total = len(self.all_uris())
+        if axis is not Axis.CHILD:
+            return total
+        if not self.rvm.indexes.policy.replicate_groups:
+            return total
+        nodes = max(1, len(self.group_replica))
+        fanout = self.group_replica.edge_count() / nodes
+        return min(total, int(input_estimate * fanout) + 1)
+
     def name_equals(self, name: str) -> set[str]:
+        self.count("ctx.name_equals")
         return {record.uri for record in self.rvm.catalog.by_name(name)}
 
     def name_pattern(self, pattern: str) -> set[str]:
         self.checkpoint()
+        self.count("ctx.name_pattern")
         regex = wildcard_regex(pattern)
         matched = set()
         if self.rvm.indexes.policy.index_names:
@@ -195,6 +243,7 @@ class ExecutionContext:
 
     def children_of(self, uri: str) -> tuple[str, ...]:
         self.checkpoint()
+        self.count("ctx.children_of")
         if self.rvm.indexes.policy.replicate_groups:
             return self.group_replica.children(uri)
         view = self.rvm.view(uri)
@@ -206,6 +255,7 @@ class ExecutionContext:
         return tuple(v.view_id.uri for v in members)
 
     def parents_of(self, uri: str) -> set[str]:
+        self.count("ctx.parents_of")
         if not self.rvm.indexes.policy.replicate_groups:
             raise QueryExecutionError(
                 "backward expansion needs the group replica's reverse "
@@ -215,6 +265,7 @@ class ExecutionContext:
 
     def class_lookup(self, class_name: str) -> set[str]:
         self.checkpoint()
+        self.count("ctx.class_lookup")
         from ..core.classes import BUILTIN_REGISTRY
         names = [class_name]
         if class_name in BUILTIN_REGISTRY:
@@ -230,6 +281,7 @@ class ExecutionContext:
     def tuple_compare(self, attribute: str, op: CompareOp,
                       value: object) -> set[str]:
         self.checkpoint()
+        self.count("ctx.tuple_compare")
         attribute = canonical_attribute(attribute)
         if not self.rvm.indexes.policy.index_tuples:
             return self._tuple_scan(attribute, op, value)
@@ -254,6 +306,7 @@ class ExecutionContext:
                     value: object) -> set[str]:
         """Query shipping: evaluate the predicate over live views."""
         from ..query.plan import compare_values
+        self.count("ctx.tuple_scan")
         matched: set[str] = set()
         for uri, view in self.rvm.sync.live_views.items():
             candidate = view.tuple_component.get(attribute)
@@ -269,6 +322,7 @@ class ExecutionContext:
     def component_value(self, uri: str, ref: QualifiedRef) -> object:
         """Resolve ``A.name`` / ``A.tuple.attr`` / ``A.class`` /
         ``A.content`` for a join key."""
+        self.count(f"ctx.component_value.{ref.kind}")
         if ref.kind == "name":
             return self.rvm.indexes.name_of(uri) or None
         if ref.kind == "class":
@@ -322,6 +376,8 @@ class QueryResult:
     elapsed_seconds: float = 0.0
     expanded_views: int = 0
     plan_text: str = ""
+    #: the TraceCollector of a traced execution (None otherwise)
+    trace: object = None
 
     @property
     def is_join(self) -> bool:
@@ -383,14 +439,20 @@ class QueryProcessor:
         self.expansion = expansion
 
     def _optimize(self, plan: PlanNode,
-                  ctx: ExecutionContext | None = None) -> PlanNode:
+                  ctx: ExecutionContext | None = None,
+                  trace=None) -> PlanNode:
         if self.optimizer_mode == "cost":
             from .optimizer import optimize_with_statistics
             context = ctx if ctx is not None else ExecutionContext(
                 self.rvm, self.functions
             )
-            return optimize_with_statistics(plan, context)
-        return optimize(plan)
+            if trace is not None:
+                # planning-time estimates must not pollute work counters
+                with trace.paused():
+                    return optimize_with_statistics(plan, context,
+                                                    trace=trace)
+            return optimize_with_statistics(plan, context, trace=trace)
+        return optimize(plan, trace=trace)
 
     # -- public API -----------------------------------------------------------
 
@@ -403,40 +465,54 @@ class QueryProcessor:
         return PreparedQuery(text=query_text, ast=parse_iql(query_text))
 
     def execute_prepared(self, prepared: PreparedQuery, *,
-                         cancel_token=None) -> QueryResult:
+                         cancel_token=None, trace=None) -> QueryResult:
+        """Execute a prepared query.
+
+        ``trace`` is an optional :class:`~repro.trace.TraceCollector`;
+        when given, plan nodes record spans, substrate calls record
+        counters, and lazy component materializations are observed for
+        the duration (the collector is installed as this thread's
+        materialization sink).
+        """
         ctx = ExecutionContext(self.rvm, self.functions,
-                               cancel_token=cancel_token)
+                               cancel_token=cancel_token, trace=trace)
+        scope = trace.activate() if trace is not None else nullcontext()
         started = time.perf_counter()
-        if isinstance(prepared.ast, JoinExpr):
-            plan = self._prepared_join(prepared, ctx)
-            pairs = plan.execute_pairs(ctx)
-            elapsed = time.perf_counter() - started
-            return QueryResult(
-                query=prepared.text,
-                pairs=[JoinHit(self._hit(l), self._hit(r)) for l, r in pairs],
-                elapsed_seconds=elapsed,
-                expanded_views=ctx.expanded_views,
-                plan_text=plan.explain(),
-            )
-        plan = prepared.plan
-        if plan is None:
-            plan = self._optimize(self._build(prepared.ast), ctx)
-            if self.optimizer_mode == "rule":
-                prepared.plan = plan
-        uris = plan.execute(ctx)
+        with scope:
+            if isinstance(prepared.ast, JoinExpr):
+                plan = self._prepared_join(prepared, ctx, trace=trace)
+                pairs = plan.execute_pairs(ctx)
+                elapsed = time.perf_counter() - started
+                return QueryResult(
+                    query=prepared.text,
+                    pairs=[JoinHit(self._hit(l), self._hit(r))
+                           for l, r in pairs],
+                    elapsed_seconds=elapsed,
+                    expanded_views=ctx.expanded_views,
+                    plan_text=plan.explain(),
+                    trace=trace,
+                )
+            plan = prepared.plan
+            if plan is None:
+                plan = self._optimize(self._build(prepared.ast), ctx,
+                                      trace=trace)
+                if self.optimizer_mode == "rule":
+                    prepared.plan = plan
+            uris = plan.execute(ctx)
         elapsed = time.perf_counter() - started
         hits = sorted((self._hit(uri) for uri in uris),
                       key=lambda h: h.uri)
         return QueryResult(
             query=prepared.text, hits=hits, elapsed_seconds=elapsed,
             expanded_views=ctx.expanded_views, plan_text=plan.explain(),
+            trace=trace,
         )
 
     def _prepared_join(self, prepared: PreparedQuery,
-                       ctx: ExecutionContext) -> JoinPlan:
+                       ctx: ExecutionContext, trace=None) -> JoinPlan:
         if isinstance(prepared.plan, JoinPlan):
             return prepared.plan
-        plan = self._build_join(prepared.ast, ctx)
+        plan = self._build_join(prepared.ast, ctx, trace=trace)
         if self.optimizer_mode == "rule":
             prepared.plan = plan
         return plan
@@ -447,6 +523,21 @@ class QueryProcessor:
         if isinstance(ast, JoinExpr):
             return self._build_join(ast).explain()
         return self._optimize(self._build(ast)).explain()
+
+    def explain_analyze(self, query_text: str, *, cancel_token=None):
+        """Execute the query under a fresh trace and return an
+        :class:`~repro.trace.ExplainAnalyzeReport` — the annotated plan
+        tree (estimate vs. actual rows, wall time per operator), the
+        optimizer's rewrite log and the substrate counters, plus the
+        ordinary :class:`QueryResult`."""
+        from ..trace import ExplainAnalyzeReport, TraceCollector
+        trace = TraceCollector()
+        # a fresh PreparedQuery (not the cache's): the optimizer runs
+        # under this trace, so applied rewrites land in the report
+        prepared = self.prepare(query_text)
+        result = self.execute_prepared(prepared, cancel_token=cancel_token,
+                                       trace=trace)
+        return ExplainAnalyzeReport(result=result, trace=trace)
 
     def _hit(self, uri: str) -> Hit:
         record = self.rvm.catalog.get(uri)
@@ -558,9 +649,10 @@ class QueryProcessor:
         )
 
     def _build_join(self, join: JoinExpr,
-                    ctx: ExecutionContext | None = None) -> JoinPlan:
-        left_plan = self._optimize(self._build(join.left), ctx)
-        right_plan = self._optimize(self._build(join.right), ctx)
+                    ctx: ExecutionContext | None = None,
+                    trace=None) -> JoinPlan:
+        left_plan = self._optimize(self._build(join.left), ctx, trace=trace)
+        right_plan = self._optimize(self._build(join.right), ctx, trace=trace)
         condition = join.condition
         # Normalize so left_ref refers to the left variable.
         left_ref: object = condition.left

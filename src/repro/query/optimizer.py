@@ -9,6 +9,11 @@ work); we implement the same flavour:
   scans, and complements — the first input seeds the running
   intersection, and every later input benefits from early emptiness;
 * **short-circuit** degenerate shapes (single-child inner nodes).
+
+Every rewrite may be recorded into a
+:class:`~repro.trace.TraceCollector` (pass ``trace=``), which is how
+``EXPLAIN ANALYZE`` shows *which* rules actually fired for a query —
+the reorderings were previously invisible from the outside.
 """
 
 from __future__ import annotations
@@ -23,40 +28,67 @@ from .plan import (
 )
 
 
-def optimize(plan: PlanNode) -> PlanNode:
+def optimize(plan: PlanNode, trace=None) -> PlanNode:
     """Apply all rewrite rules bottom-up until stable (single pass is
-    sufficient for this rule set)."""
-    return _rewrite(plan)
+    sufficient for this rule set). ``trace`` records applied rewrites."""
+    return _rewrite(plan, trace)
 
 
-def _rewrite(node: PlanNode) -> PlanNode:
+def _record(trace, rule: str, detail: str) -> None:
+    if trace is not None:
+        trace.record_rewrite(rule, detail)
+
+
+def _describe_parts(parts: list[PlanNode]) -> str:
+    return "[" + ", ".join(p.describe() for p in parts) + "]"
+
+
+def _rewrite(node: PlanNode, trace=None) -> PlanNode:
     if isinstance(node, Intersect):
-        parts = _flatten_intersect([_rewrite(p) for p in node.parts])
-        parts.sort(key=lambda p: p.COST)
-        if len(parts) == 1:
-            return parts[0]
-        return Intersect(tuple(parts))
+        parts = _flatten_intersect([_rewrite(p, trace) for p in node.parts],
+                                   trace)
+        ordered = sorted(parts, key=lambda p: p.COST)
+        if ordered != parts:
+            _record(trace, "reorder-intersect",
+                    f"{_describe_parts(parts)} -> "
+                    f"{_describe_parts(ordered)}")
+        if len(ordered) == 1:
+            _record(trace, "collapse-single-child",
+                    f"Intersect({ordered[0].describe()}) -> "
+                    f"{ordered[0].describe()}")
+            return ordered[0]
+        return Intersect(tuple(ordered))
     if isinstance(node, Union):
-        parts = _flatten_union([_rewrite(p) for p in node.parts])
+        parts = _flatten_union([_rewrite(p, trace) for p in node.parts],
+                               trace)
         if len(parts) == 1:
+            _record(trace, "collapse-single-child",
+                    f"Union({parts[0].describe()}) -> "
+                    f"{parts[0].describe()}")
             return parts[0]
         return Union(tuple(parts))
     if isinstance(node, Complement):
-        inner = _rewrite(node.part)
+        inner = _rewrite(node.part, trace)
         if isinstance(inner, Complement):
+            _record(trace, "eliminate-double-negation",
+                    f"Complement(Complement({inner.part.describe()})) -> "
+                    f"{inner.part.describe()}")
             return inner.part  # NOT NOT x = x
         return Complement(inner)
     if isinstance(node, ExpandStep):
-        candidates = (_rewrite(node.candidates)
+        candidates = (_rewrite(node.candidates, trace)
                       if node.candidates is not None else None)
         if isinstance(candidates, AllViews):
-            candidates = None  # expansion already yields all reached views
-        return ExpandStep(input=_rewrite(node.input), axis=node.axis,
+            # expansion already yields all reached views
+            _record(trace, "drop-universe-candidates",
+                    "ExpandStep candidates AllViews -> (none)")
+            candidates = None
+        return ExpandStep(input=_rewrite(node.input, trace), axis=node.axis,
                           candidates=candidates, strategy=node.strategy)
     return node
 
 
-def optimize_with_statistics(plan: PlanNode, ctx) -> PlanNode:
+def optimize_with_statistics(plan: PlanNode, ctx, trace=None) -> PlanNode:
     """Cost-based refinement (the paper's "avenue of future work").
 
     After the rule pass, intersection inputs are re-ordered by *actual*
@@ -65,45 +97,56 @@ def optimize_with_statistics(plan: PlanNode, ctx) -> PlanNode:
     of the static cost classes. A very common class test then correctly
     runs after a rare keyword, which the rule optimizer gets wrong.
     """
-    plan = _rewrite(plan)
-    return _reorder_by_estimates(plan, ctx)
+    plan = _rewrite(plan, trace)
+    return _reorder_by_estimates(plan, ctx, trace)
 
 
-def _reorder_by_estimates(node: PlanNode, ctx) -> PlanNode:
+def _reorder_by_estimates(node: PlanNode, ctx, trace=None) -> PlanNode:
     if isinstance(node, Intersect):
-        parts = [_reorder_by_estimates(p, ctx) for p in node.parts]
-        parts.sort(key=lambda p: p.estimate(ctx))
-        return Intersect(tuple(parts))
+        parts = [_reorder_by_estimates(p, ctx, trace) for p in node.parts]
+        ordered = sorted(parts, key=lambda p: p.estimate(ctx))
+        if ordered != parts:
+            _record(trace, "reorder-by-estimate",
+                    f"{_describe_parts(parts)} -> "
+                    f"{_describe_parts(ordered)}")
+        return Intersect(tuple(ordered))
     if isinstance(node, Union):
-        return Union(tuple(_reorder_by_estimates(p, ctx)
+        return Union(tuple(_reorder_by_estimates(p, ctx, trace)
                            for p in node.parts))
     if isinstance(node, Complement):
-        return Complement(_reorder_by_estimates(node.part, ctx))
+        return Complement(_reorder_by_estimates(node.part, ctx, trace))
     if isinstance(node, ExpandStep):
-        candidates = (_reorder_by_estimates(node.candidates, ctx)
+        candidates = (_reorder_by_estimates(node.candidates, ctx, trace)
                       if node.candidates is not None else None)
-        return ExpandStep(input=_reorder_by_estimates(node.input, ctx),
+        return ExpandStep(input=_reorder_by_estimates(node.input, ctx, trace),
                           axis=node.axis, candidates=candidates,
                           strategy=node.strategy)
     return node
 
 
-def _flatten_intersect(parts: list[PlanNode]) -> list[PlanNode]:
+def _flatten_intersect(parts: list[PlanNode], trace=None) -> list[PlanNode]:
     out: list[PlanNode] = []
     for part in parts:
         if isinstance(part, Intersect):
+            _record(trace, "flatten-intersect",
+                    f"inlined {_describe_parts(list(part.parts))}")
             out.extend(part.parts)
         elif isinstance(part, AllViews):
-            continue  # intersecting with the universe is a no-op
+            # intersecting with the universe is a no-op
+            _record(trace, "drop-universe-input",
+                    "Intersect input AllViews dropped")
+            continue
         else:
             out.append(part)
     return out or [AllViews()]
 
 
-def _flatten_union(parts: list[PlanNode]) -> list[PlanNode]:
+def _flatten_union(parts: list[PlanNode], trace=None) -> list[PlanNode]:
     out: list[PlanNode] = []
     for part in parts:
         if isinstance(part, Union):
+            _record(trace, "flatten-union",
+                    f"inlined {_describe_parts(list(part.parts))}")
             out.extend(part.parts)
         else:
             out.append(part)

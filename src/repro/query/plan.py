@@ -40,20 +40,42 @@ def wildcard_regex(pattern: str) -> re.Pattern[str]:
 
 
 class PlanNode:
-    """Base class: :meth:`execute` returns matching URIs."""
+    """Base class: :meth:`execute` returns matching URIs.
+
+    :meth:`execute` is the traced entry point: when the execution
+    context carries a :class:`~repro.trace.TraceCollector` it wraps the
+    node's :meth:`_run` in a span (pre-execution estimate, actual rows,
+    wall time); without one it dispatches straight through, so disabled
+    tracing costs a single ``is None`` check per node.
+    """
 
     #: ordinal cost class; lower executes earlier inside intersections
     COST = 5
 
     def execute(self, ctx: "ExecutionContext") -> set[str]:
+        trace = ctx.trace
+        if trace is None:
+            return self._run(ctx)
+        with trace.paused():  # estimates must not pollute work counters
+            estimate = self.estimate(ctx)
+        span = trace.begin(type(self).__name__, self.describe(),
+                           estimate=estimate)
+        try:
+            result = self._run(ctx)
+        except BaseException as error:
+            trace.abort(span, error)
+            raise
+        trace.finish(span, rows=len(result))
+        return result
+
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         raise NotImplementedError
 
     def estimate(self, ctx: "ExecutionContext") -> int:
-        """Estimated result cardinality (for cost-based ordering).
-
-        The default is pessimistic (the whole dataspace); leaves backed
-        by an index override with real statistics.
-        """
+        """Estimated result cardinality (for cost-based ordering and
+        the analyze output's estimate-vs-actual column). Every concrete
+        node overrides this with its honest best guess; the base default
+        is the whole dataspace."""
         return len(ctx.all_uris())
 
     def explain(self, indent: int = 0) -> str:
@@ -69,8 +91,11 @@ class AllViews(PlanNode):
 
     COST = 6
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         return set(ctx.all_uris())
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return len(ctx.all_uris())  # exact: the universe itself
 
     def describe(self) -> str:
         return "AllViews"
@@ -82,8 +107,11 @@ class RootViews(PlanNode):
 
     COST = 1
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         return ctx.root_uris()
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return len(ctx.root_uris())  # exact: one view per data source
 
     def describe(self) -> str:
         return "RootViews"
@@ -98,7 +126,7 @@ class ContentSearch(PlanNode):
     is_phrase: bool = True
     wildcard: bool = False
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         return ctx.content_search(self.text, is_phrase=self.is_phrase,
                                   wildcard=self.wildcard)
 
@@ -119,7 +147,7 @@ class NameEquals(PlanNode):
     COST = 1
     name: str = ""
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         return ctx.name_equals(self.name)
 
     def estimate(self, ctx: "ExecutionContext") -> int:
@@ -136,8 +164,11 @@ class NamePattern(PlanNode):
     COST = 4
     pattern: str = ""
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         return ctx.name_pattern(self.pattern)
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return ctx.name_pattern_estimate(self.pattern)
 
     def describe(self) -> str:
         return f"NamePattern({self.pattern!r})"
@@ -151,7 +182,7 @@ class ClassLookup(PlanNode):
     COST = 1
     class_name: str = ""
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         return ctx.class_lookup(self.class_name)
 
     def estimate(self, ctx: "ExecutionContext") -> int:
@@ -170,7 +201,7 @@ class TupleCompare(PlanNode):
     op: CompareOp = CompareOp.EQ
     value: object = None
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         return ctx.tuple_compare(self.attribute, self.op, self.value)
 
     def estimate(self, ctx: "ExecutionContext") -> int:
@@ -188,7 +219,7 @@ class Intersect(PlanNode):
     def COST(self) -> int:  # type: ignore[override]
         return min((p.COST for p in self.parts), default=5)
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         result: set[str] | None = None
         for part in self.parts:
             uris = part.execute(ctx)
@@ -215,7 +246,7 @@ class Union(PlanNode):
     def COST(self) -> int:  # type: ignore[override]
         return max((p.COST for p in self.parts), default=5)
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         result: set[str] = set()
         for part in self.parts:
             result |= part.execute(ctx)
@@ -238,8 +269,11 @@ class Complement(PlanNode):
     part: PlanNode = field(default_factory=AllViews)
     COST = 6
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         return set(ctx.all_uris()) - self.part.execute(ctx)
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return max(0, len(ctx.all_uris()) - self.part.estimate(ctx))
 
     def explain(self, indent: int = 0) -> str:
         return "  " * indent + "Complement\n" + self.part.explain(indent + 1)
@@ -271,7 +305,7 @@ class ExpandStep(PlanNode):
     strategy: str = "forward"  # forward | backward | auto
     COST = 5
 
-    def execute(self, ctx: "ExecutionContext") -> set[str]:
+    def _run(self, ctx: "ExecutionContext") -> set[str]:
         sources = self.input.execute(ctx)
         if self.strategy == "forward" or self.candidates is None:
             return self._forward(ctx, sources)
@@ -346,6 +380,18 @@ class ExpandStep(PlanNode):
                 out.add(uri)
         return out
 
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        """With a candidate filter the expansion returns a subset of the
+        candidates; without one it is bounded by the input's fan-out
+        (child axis) or the reachable universe (descendant axis)."""
+        if self.candidates is not None:
+            return self.candidates.estimate(ctx)
+        return ctx.expand_estimate(self.input.estimate(ctx), self.axis)
+
+    def describe(self) -> str:
+        return (f"ExpandStep(axis={self.axis.value}, "
+                f"strategy={self.strategy})")
+
     def explain(self, indent: int = 0) -> str:
         pad = "  " * indent
         lines = [f"{pad}ExpandStep(axis={self.axis.value}, "
@@ -373,6 +419,33 @@ class JoinPlan:
     op: CompareOp = CompareOp.EQ
 
     def execute_pairs(self, ctx: "ExecutionContext") -> list[tuple[str, str]]:
+        trace = ctx.trace
+        if trace is None:
+            return self._run_pairs(ctx)
+        with trace.paused():
+            estimate = self.estimate(ctx)
+        span = trace.begin("Join", self.describe(), estimate=estimate)
+        try:
+            pairs = self._run_pairs(ctx)
+        except BaseException as error:
+            trace.abort(span, error)
+            raise
+        trace.finish(span, rows=len(pairs))
+        return pairs
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        """Equality joins return at most min(|L|, |R|) pairs per matching
+        key side; inequalities are bounded by the cross product."""
+        left = self.left.estimate(ctx)
+        right = self.right.estimate(ctx)
+        if self.op is CompareOp.EQ:
+            return min(left, right)
+        return left * right
+
+    def describe(self) -> str:
+        return f"Join({self.op.value})"
+
+    def _run_pairs(self, ctx: "ExecutionContext") -> list[tuple[str, str]]:
         from .ast import QualifiedRef
 
         left_uris = sorted(self.left.execute(ctx))

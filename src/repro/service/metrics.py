@@ -125,6 +125,14 @@ class MetricsRegistry:
                 histogram = self._histograms[name] = Histogram(name)
             return histogram
 
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Shorthand: bump a named counter."""
+        self.counter(name).increment(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Shorthand: record one observation into a named histogram."""
+        self.histogram(name).observe(value)
+
     def snapshot(self) -> dict[str, object]:
         """Every metric's current value, flat: counters as ints,
         histograms as :class:`HistogramSnapshot`."""

@@ -156,6 +156,7 @@ class DataspaceService:
                  result_cache_size: int = 512,
                  cache_results: bool = True,
                  default_deadline: float | None = None,
+                 trace_queries: bool = False,
                  autostart: bool = True):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -163,6 +164,10 @@ class DataspaceService:
         self.processor = dataspace.processor
         self.workers = workers
         self.cache_results = cache_results
+        #: per-query tracing: each executed query runs under a
+        #: TraceCollector whose per-operator aggregates and substrate
+        #: counters are folded into the metrics registry (``trace.*``)
+        self.trace_queries = trace_queries
         self.default_deadline = default_deadline
         self.admission = AdmissionController(max_queue_depth=max_queue_depth)
         self.plan_cache = PlanCache(plan_cache_size)
@@ -353,16 +358,24 @@ class DataspaceService:
         else:
             self.metrics.counter("cache.plan.hits").increment()
         epoch = self.result_cache.epoch
+        trace = None
+        if self.trace_queries:
+            from ..trace import TraceCollector
+            trace = TraceCollector()
         started = time.monotonic()
         try:
             result = self.processor.execute_prepared(
-                prepared, cancel_token=ticket.token
+                prepared, cancel_token=ticket.token, trace=trace
             )
         except BaseException as error:  # noqa: BLE001 — fail the ticket
+            if trace is not None:
+                self._fold_trace(trace)  # partial traces still count
             self._count_failure(error)
             ticket._fail(error)
             return
         elapsed = time.monotonic() - started
+        if trace is not None:
+            self._fold_trace(trace)
         self.metrics.histogram("latency.execute_seconds").observe(elapsed)
         self.metrics.histogram("latency.total_seconds").observe(
             waited + elapsed
@@ -371,6 +384,23 @@ class DataspaceService:
         if request.use_cache:
             self.result_cache.put(request.key, result, epoch=epoch)
         ticket._resolve(result)
+
+    def _fold_trace(self, trace) -> None:
+        """Aggregate one query's trace into the shared registry: per
+        plan-operator call/row counts and inclusive latency histograms
+        (``trace.op.*``) plus the substrate/laziness counters
+        (``trace.ctx.*``, ``trace.component.*``) — the serve-side view
+        of EXPLAIN ANALYZE, exposed through :meth:`stats` alongside the
+        end-to-end p50/p95/p99."""
+        for operator, agg in trace.aggregates().items():
+            self.metrics.increment(f"trace.op.{operator}.calls",
+                                   int(agg["calls"]))
+            self.metrics.increment(f"trace.op.{operator}.rows",
+                                   int(agg["rows"]))
+            self.metrics.observe(f"trace.op.{operator}.seconds",
+                                 agg["seconds"])
+        for name, value in trace.counters.items():
+            self.metrics.increment(f"trace.{name}", value)
 
     def _count_failure(self, error: BaseException) -> None:
         if isinstance(error, DeadlineExceeded):

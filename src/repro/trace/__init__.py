@@ -1,0 +1,29 @@
+"""Query tracing and profiling (EXPLAIN ANALYZE).
+
+The 2006 prototype — and, until this layer existed, this reproduction —
+reported only end-to-end query times (Table 4 / Figure 6). ``repro.trace``
+opens the black box: every plan-node execution records a :class:`Span`
+(operator, wall time, estimated vs. actual cardinality), every
+:class:`~repro.query.executor.ExecutionContext` substrate call bumps a
+counter, and every lazy component materialization (Section 4.1) is
+observed through :mod:`repro.core.lazy`'s sink hook. The result is an
+annotated plan tree — ``QueryProcessor.explain_analyze()`` / the CLI's
+``repro query --analyze`` — plus per-operator aggregates that the
+serving layer folds into its metrics registry.
+
+Tracing is strictly opt-in: with no collector attached the query path
+pays one ``is None`` check per plan node and nothing else (see
+``benchmarks/bench_trace_overhead.py``).
+"""
+
+from .collector import TraceCollector
+from .render import ExplainAnalyzeReport, render_spans
+from .span import RewriteEvent, Span
+
+__all__ = [
+    "ExplainAnalyzeReport",
+    "RewriteEvent",
+    "Span",
+    "TraceCollector",
+    "render_spans",
+]

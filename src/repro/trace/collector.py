@@ -1,0 +1,137 @@
+"""The trace collector: spans, substrate counters, rewrite log.
+
+One :class:`TraceCollector` covers one query execution. The executor
+hangs it off :class:`~repro.query.executor.ExecutionContext`; plan nodes
+open/close spans through it, context substrate calls (index lookups,
+group navigation) bump its counters, and — while :meth:`activate` is in
+effect — every lazy component materialization observed by
+:mod:`repro.core.lazy` is counted too, which is how extensional vs.
+intensional (lazy) component fetches become visible per query.
+
+The collector is single-threaded by design (one execution, one worker
+thread); the serving layer creates one per request and folds the
+aggregates into its thread-safe metrics registry afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from ..core.errors import DeadlineExceeded, QueryCancelled
+from ..core.lazy import install_materialization_sink, uninstall_materialization_sink
+from .span import RewriteEvent, Span
+
+
+class TraceCollector:
+    """Collects spans, counters and rewrite events for one execution."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self.counters: dict[str, int] = {}
+        self.rewrites: list[RewriteEvent] = []
+        self.cancelled = False
+        self._stack: list[tuple[Span, float]] = []
+        self._paused = 0
+
+    # -- spans ---------------------------------------------------------------
+
+    def begin(self, operator: str, detail: str, *,
+              estimate: int | None = None) -> Span:
+        """Open a span; it nests under the currently-running one."""
+        span = Span(operator=operator, detail=detail,
+                    depth=len(self._stack), estimate=estimate)
+        if self._stack:
+            self._stack[-1][0].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append((span, time.perf_counter()))
+        return span
+
+    def finish(self, span: Span, *, rows: int | None = None) -> None:
+        """Seal a span successfully with its actual output cardinality."""
+        self._pop(span, status="ok", rows=rows)
+
+    def abort(self, span: Span, error: BaseException) -> None:
+        """Seal a span that raised; cancellation is distinguished from
+        genuine errors so aborted traces stay interpretable."""
+        if isinstance(error, (QueryCancelled, DeadlineExceeded)):
+            self.cancelled = True
+            self._pop(span, status="cancelled")
+        else:
+            self._pop(span, status="error")
+
+    def _pop(self, span: Span, *, status: str,
+             rows: int | None = None) -> None:
+        while self._stack:
+            top, started = self._stack.pop()
+            top.elapsed_seconds = time.perf_counter() - started
+            top.status = status
+            top.actual_rows = rows
+            if top is span:
+                return
+            # an inner span was left open (its operator raised without
+            # aborting); seal it with the same status and keep unwinding
+
+    # -- counters ------------------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter (no-op while :meth:`paused`)."""
+        if self._paused:
+            return
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    @contextmanager
+    def paused(self) -> Iterator[None]:
+        """Suspend counting — used while computing estimates, so the
+        substrate counters measure execution work only."""
+        self._paused += 1
+        try:
+            yield
+        finally:
+            self._paused -= 1
+
+    # -- optimizer rewrites ----------------------------------------------------
+
+    def record_rewrite(self, rule: str, detail: str) -> None:
+        self.rewrites.append(RewriteEvent(rule=rule, detail=detail))
+
+    # -- lazy-materialization observation ---------------------------------------
+
+    @contextmanager
+    def activate(self) -> Iterator["TraceCollector"]:
+        """Install this collector as the thread's lazy-materialization
+        sink for the duration (see :mod:`repro.core.lazy`)."""
+        token = install_materialization_sink(self)
+        try:
+            yield self
+        finally:
+            uninstall_materialization_sink(token)
+
+    # -- introspection -----------------------------------------------------------
+
+    def spans(self) -> Iterator[Span]:
+        """All spans, depth-first across the roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    @property
+    def span_count(self) -> int:
+        return sum(1 for _ in self.spans())
+
+    def aggregates(self) -> dict[str, dict[str, float]]:
+        """Per-operator totals: calls, rows produced, inclusive seconds.
+
+        Seconds are *inclusive* of child operators (a parent's time
+        contains its inputs') — the right shape for "where does the wall
+        time go" dashboards; self-time is recoverable from the tree.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for span in self.spans():
+            agg = out.setdefault(span.operator,
+                                 {"calls": 0, "rows": 0, "seconds": 0.0})
+            agg["calls"] += 1
+            agg["rows"] += span.actual_rows or 0
+            agg["seconds"] += span.elapsed_seconds or 0.0
+        return out

@@ -1,0 +1,77 @@
+"""Rendering traced executions: the EXPLAIN ANALYZE output.
+
+The renderer turns a span forest into the classic annotated plan tree —
+one line per operator with estimated vs. actual cardinality and wall
+time — followed by the optimizer's rewrite log and the substrate
+counters. ``redact_timing`` replaces wall times with ``-`` so golden
+tests can compare output byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from .collector import TraceCollector
+from .span import Span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..query.executor import QueryResult
+
+
+def _format_time(seconds: float | None, *, redact: bool) -> str:
+    if redact or seconds is None:
+        return "-"
+    return f"{seconds * 1000:.2f}ms"
+
+
+def format_span(span: Span, *, redact_timing: bool = False) -> str:
+    """One annotated plan line: ``detail  [est=.. rows=.. time=..]``."""
+    fields = [
+        f"est={span.estimate if span.estimate is not None else '?'}",
+        f"rows={span.actual_rows if span.actual_rows is not None else '?'}",
+        f"time={_format_time(span.elapsed_seconds, redact=redact_timing)}",
+    ]
+    line = f"{span.detail}  [{' '.join(fields)}]"
+    if span.status not in ("ok", "running"):
+        line += f"  !{span.status}"
+    return line
+
+
+def render_spans(roots: Iterable[Span], *,
+                 redact_timing: bool = False) -> str:
+    """The annotated plan tree (indentation mirrors plan nesting)."""
+    lines: list[str] = []
+    for root in roots:
+        for span in root.walk():
+            lines.append("  " * span.depth
+                         + format_span(span, redact_timing=redact_timing))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExplainAnalyzeReport:
+    """The result of ``QueryProcessor.explain_analyze()``: the executed
+    query's result plus its full trace, renderable as a report."""
+
+    result: "QueryResult"
+    trace: TraceCollector
+
+    def render(self, *, redact_timing: bool = False) -> str:
+        lines = [render_spans(self.trace.roots,
+                              redact_timing=redact_timing)]
+        if self.trace.rewrites:
+            lines.append("rewrites:")
+            for event in self.trace.rewrites:
+                lines.append(f"  {event.rule}: {event.detail}")
+        if self.trace.counters:
+            lines.append("counters:")
+            for name in sorted(self.trace.counters):
+                lines.append(f"  {name}: {self.trace.counters[name]}")
+        elapsed = _format_time(self.result.elapsed_seconds,
+                               redact=redact_timing)
+        lines.append(f"-- {len(self.result)} result(s) in {elapsed}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

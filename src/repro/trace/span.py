@@ -1,0 +1,48 @@
+"""The span model: one record per plan-node execution.
+
+A span is written in two steps — :meth:`TraceCollector.begin` creates it
+(with the operator's *pre-execution* cardinality estimate) and
+:meth:`TraceCollector.finish`/:meth:`TraceCollector.abort` seal it with
+the actual row count, wall time and final status. Spans nest exactly as
+plan nodes do, so the span forest mirrors the physical plan tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class Span:
+    """One operator execution inside a traced query."""
+
+    operator: str                     #: plan-node class name
+    detail: str                       #: the node's ``describe()`` string
+    depth: int                        #: nesting depth (0 = plan root)
+    estimate: int | None = None       #: pre-execution cardinality estimate
+    actual_rows: int | None = None    #: rows actually produced
+    elapsed_seconds: float | None = None
+    status: str = "running"           #: running | ok | cancelled | error
+    children: list["Span"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and all descendants, depth-first (plan order)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    @property
+    def misestimate(self) -> float | None:
+        """Actual/estimate ratio (``None`` until both sides are known)."""
+        if self.estimate is None or self.actual_rows is None:
+            return None
+        return self.actual_rows / max(1, self.estimate)
+
+
+@dataclass(frozen=True)
+class RewriteEvent:
+    """One optimizer rewrite applied while refining the plan."""
+
+    rule: str    #: e.g. ``eliminate-double-negation``
+    detail: str  #: human-readable before/after summary

@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.dataset import TINY_PROFILE, PersonalDataspaceGenerator
 from repro.facade import Dataspace
 from repro.imapsim.latency import no_latency
+
+# Reproducible property testing: the "ci" profile derandomizes example
+# generation (a fixed seed derived from each test), so a CI failure
+# replays locally with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("ci", deadline=None, derandomize=True,
+                          print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,194 @@
+"""Tests for the tracing layer (repro.trace).
+
+Three angles: the laziness story (tracing proves a name-only query
+never touches content components), cooperative cancellation (spans stop
+at the checkpoint that tripped), and the estimate-vs-actual contract
+(every node type reports both sides, no ``None`` holes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import QueryCancelled
+from repro.core.resource_view import ResourceView
+from repro.dataset import TINY_PROFILE
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+from repro.rvm.indexes import IndexingPolicy
+from repro.trace import TraceCollector
+
+
+@pytest.fixture(scope="module")
+def unindexed_content_dataspace() -> Dataspace:
+    """Content *not* replicated: keyword queries fall back to the
+    query-shipping path (scanning live views) instead of the index."""
+    dataspace = Dataspace.generate(
+        profile=TINY_PROFILE, seed=5, imap_latency=no_latency(),
+        policy=IndexingPolicy(index_content=False),
+    )
+    dataspace.sync()
+    return dataspace
+
+
+class TestLazinessVisibility:
+    def test_name_only_query_fetches_no_content(self, tiny_dataspace):
+        report = tiny_dataspace.explain_analyze("//*.tex")
+        counters = report.trace.counters
+        assert counters.get("ctx.content_search", 0) == 0
+        assert counters.get("component.content.materialized", 0) == 0
+        assert counters.get("ctx.name_pattern", 0) >= 1
+
+    def test_keyword_query_hits_the_content_index_not_the_views(
+            self, tiny_dataspace):
+        """With the content replica in place, even keyword search stays
+        index-only — zero component materializations."""
+        report = tiny_dataspace.explain_analyze('"database"')
+        counters = report.trace.counters
+        assert counters.get("ctx.content_search", 0) >= 1
+        assert counters.get("component.content.materialized", 0) == 0
+
+    def test_query_shipping_falls_back_to_a_content_scan(
+            self, unindexed_content_dataspace):
+        """Without the content index, keyword search must take the
+        query-shipping path — and the trace makes that visible. (The
+        scan reads live views whose components sync already forced, so
+        no *new* materializations occur; first-force accounting is
+        covered by the direct tests below.)"""
+        report = unindexed_content_dataspace.explain_analyze('"database"')
+        counters = report.trace.counters
+        assert counters.get("ctx.content_scan", 0) >= 1
+        assert len(report.result) > 0
+
+    def test_name_only_query_shipping_still_fetches_no_content(
+            self, unindexed_content_dataspace):
+        report = unindexed_content_dataspace.explain_analyze("//*.tex")
+        assert report.trace.counters.get(
+            "component.content.materialized", 0) == 0
+
+    def test_first_force_of_a_lazy_component_is_counted_once(self):
+        trace = TraceCollector()
+        view = ResourceView(name=lambda: "report.tex",
+                            content=lambda: "hello dataspace")
+        with trace.activate():
+            view.content.text()
+            view.content.text()  # second read: already materialized
+            view.name
+        assert trace.counters["component.content.materialized"] == 1
+        assert trace.counters["component.name.materialized"] == 1
+
+    def test_forcing_outside_an_active_trace_counts_nothing(self):
+        trace = TraceCollector()
+        view = ResourceView(content=lambda: "hello")
+        view.content.text()  # forced before the trace activates
+        with trace.activate():
+            view.content.text()
+        assert "component.content.materialized" not in trace.counters
+
+    def test_eager_components_never_report_materialization(self):
+        trace = TraceCollector()
+        view = ResourceView(name="plain", content="eager text")
+        with trace.activate():
+            view.content.text()
+            view.name
+        assert not any(key.startswith("component.")
+                       for key in trace.counters)
+
+
+class _TripAfter:
+    """A cancel token that trips on the n-th checkpoint."""
+
+    def __init__(self, checks: int):
+        self.remaining = checks
+
+    def check(self) -> None:
+        self.remaining -= 1
+        if self.remaining < 0:
+            raise QueryCancelled("tripped by test token")
+
+
+class TestCancellationTracing:
+    def test_cancelled_query_stops_emitting_spans(self, tiny_dataspace):
+        processor = tiny_dataspace.processor
+        query = '"database" or "tuning" or "vision" or "indexing"'
+        # full run: Union + 4 ContentSearch spans
+        full = processor.explain_analyze(query)
+        assert full.trace.span_count == 5
+
+        trace = TraceCollector()
+        prepared = processor.prepare(query)
+        token = _TripAfter(checks=1)  # second content_search checkpoint trips
+        with pytest.raises(QueryCancelled):
+            processor.execute_prepared(prepared, cancel_token=token,
+                                       trace=trace)
+        # spans stop at the checkpoint: Union + first search (ok) +
+        # second search (cancelled); searches 3 and 4 never started
+        assert trace.cancelled
+        spans = list(trace.spans())
+        assert len(spans) == 3
+        statuses = {span.detail: span.status for span in spans}
+        assert "cancelled" in statuses.values()
+        assert all(span.status in ("ok", "cancelled") for span in spans)
+
+    def test_aborted_spans_are_sealed_with_timings(self, tiny_dataspace):
+        trace = TraceCollector()
+        prepared = tiny_dataspace.processor.prepare('"database"')
+        with pytest.raises(QueryCancelled):
+            tiny_dataspace.processor.execute_prepared(
+                prepared, cancel_token=_TripAfter(checks=0), trace=trace)
+        for span in trace.spans():
+            assert span.status != "running"
+            assert span.elapsed_seconds is not None
+
+
+class TestEstimateContract:
+    #: queries that together cover every plan-node type: AllViews,
+    #: RootViews, ContentSearch, NameEquals, NamePattern, ClassLookup,
+    #: TupleCompare, Intersect, Union, Complement, ExpandStep, Join
+    QUERIES = [
+        '"database" and size > 100',
+        'not "database"',
+        '//*[class="latex_section"]//*["figure"]',
+        '/*',                               # RootViews
+        'union( //*[name="README"], //*.tex )',  # NameEquals, NamePattern
+        'join( //*[class="texref"] as A, //*[class="figure"] as B, '
+        'A.name = B.tuple.label )',
+    ]
+
+    def test_every_span_reports_estimate_and_actual(self, tiny_dataspace):
+        seen_operators = set()
+        for query in self.QUERIES:
+            report = tiny_dataspace.explain_analyze(query)
+            for span in report.trace.spans():
+                seen_operators.add(span.operator)
+                assert span.estimate is not None, (query, span.detail)
+                assert span.actual_rows is not None, (query, span.detail)
+                assert span.elapsed_seconds is not None
+                assert span.status == "ok"
+        assert {"ContentSearch", "TupleCompare", "Intersect", "Union",
+                "Complement", "ExpandStep", "Join", "RootViews",
+                "NameEquals", "NamePattern", "ClassLookup"} <= seen_operators
+
+    def test_leaf_estimates_are_exact_for_index_lookups(self, tiny_dataspace):
+        report = tiny_dataspace.explain_analyze('//*[class="figure"]')
+        lookup = next(s for s in report.trace.spans()
+                      if s.operator == "ClassLookup")
+        assert lookup.estimate == lookup.actual_rows
+
+
+class TestServiceTraceMetrics:
+    def test_trace_aggregates_fold_into_service_metrics(self, tiny_dataspace):
+        with tiny_dataspace.serve(workers=2, trace_queries=True) as service:
+            service.execute('"database"', use_cache=False)
+            service.execute('"database" and size > 100', use_cache=False)
+            stats = service.stats()
+        assert stats["trace.op.ContentSearch.calls"] >= 2
+        assert stats["trace.op.ContentSearch.rows"] > 0
+        assert stats["trace.op.ContentSearch.seconds"].count >= 2
+        assert stats["trace.ctx.content_search"] >= 2
+
+    def test_tracing_is_off_by_default(self, tiny_dataspace):
+        with tiny_dataspace.serve(workers=1) as service:
+            service.execute('"database"', use_cache=False)
+            stats = service.stats()
+        assert not any(name.startswith("trace.") for name in stats)
