@@ -1,0 +1,117 @@
+"""Overhead of the resilience layer when nothing is failing.
+
+The source guard (retry + breaker) and the fault-injection wrapper sit
+on every data-source call, so their *no-fault* cost must be noise: a
+healthy dataspace should not pay for the machinery that protects a
+flaky one. This benchmark times the two source-touching phases —
+a full synchronization pass, and a query mix that includes the
+RootViews shapes which reach back to live sources on every execution —
+on a bare dataspace versus one wrapped in both a no-op
+:class:`FaultPlan` and a :class:`ResilienceHub`.
+
+Asserted budget: < 5% wall time for the fully wrapped stack (with the
+same absolute-delta escape hatch as the trace-overhead benchmark).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import PAPER_QUERIES, format_table
+from repro.dataset import TINY_PROFILE, PersonalDataspaceGenerator
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+from repro.resilience import FaultPlan, ResilienceConfig
+
+#: Interleaved measurement rounds; the minimum is reported.
+ROUNDS = 5
+
+#: Absolute escape hatch for vacuously-tight relative bounds.
+ABS_SLACK_SECONDS = 0.020
+
+#: Query-mix passes per timed round (amortizes per-pass noise).
+QUERY_PASSES = 3
+
+#: The paper mix plus the leading-child-axis shapes, which call the
+#: (guarded) plugins' ``root_views`` on every single execution.
+QUERY_MIX = list(PAPER_QUERIES.values()) + ["/*", '/INBOX//*["database"]']
+
+_GENERATED = PersonalDataspaceGenerator(
+    TINY_PROFILE, seed=42, imap_latency=no_latency()
+).generate()
+
+
+def _build(*, wrapped: bool) -> Dataspace:
+    dataspace = Dataspace(
+        vfs=_GENERATED.vfs, imap=_GENERATED.imap, feeds=_GENERATED.feeds,
+        resilience=ResilienceConfig() if wrapped else None,
+    )
+    if wrapped:
+        # a plan that never fires: the per-call decision still runs
+        for authority in dataspace.rvm.proxy.authorities():
+            dataspace.inject_faults(authority, FaultPlan(seed=0))
+    return dataspace
+
+
+def _time_sync_and_queries(*, wrapped: bool) -> tuple[float, float]:
+    dataspace = _build(wrapped=wrapped)
+    start = time.perf_counter()
+    report = dataspace.sync()
+    sync_seconds = time.perf_counter() - start
+    assert not report.is_degraded  # the no-op plan really is a no-op
+
+    prepared = [dataspace.processor.prepare(text) for text in QUERY_MIX]
+    start = time.perf_counter()
+    for _ in range(QUERY_PASSES):
+        for query in prepared:
+            result = dataspace.processor.execute_prepared(query)
+            assert not result.is_degraded
+    return sync_seconds, time.perf_counter() - start
+
+
+def test_unfaulted_resilience_overhead_under_five_percent():
+    _time_sync_and_queries(wrapped=False)  # warm everything
+    bare_sync, bare_query, wrapped_sync, wrapped_query = [], [], [], []
+    for _ in range(ROUNDS):  # interleave so drift hits both modes alike
+        sync_seconds, query_seconds = _time_sync_and_queries(wrapped=False)
+        bare_sync.append(sync_seconds)
+        bare_query.append(query_seconds)
+        sync_seconds, query_seconds = _time_sync_and_queries(wrapped=True)
+        wrapped_sync.append(sync_seconds)
+        wrapped_query.append(query_seconds)
+
+    rows = []
+    failures = []
+    for phase, bare, wrapped in (
+            ("sync", min(bare_sync), min(wrapped_sync)),
+            ("query mix", min(bare_query), min(wrapped_query))):
+        overhead = (wrapped - bare) / bare
+        rows.append([phase, bare * 1000, wrapped * 1000, f"{overhead:+.1%}"])
+        if overhead >= 0.05 and (wrapped - bare) >= ABS_SLACK_SECONDS:
+            failures.append(
+                f"{phase}: {overhead:.1%} "
+                f"({bare * 1000:.1f} ms -> {wrapped * 1000:.1f} ms)")
+    print()
+    print(format_table(
+        ["phase", "bare [ms]", "guard+plan [ms]", "overhead"],
+        rows, title="no-fault resilience overhead (best of 5)",
+    ))
+    assert not failures, (
+        "no-fault resilience overhead above budget: " + "; ".join(failures))
+
+
+def test_wrapped_stack_actually_wraps():
+    """Guard the measurement: the wrapped mode really routes every
+    plugin through the guard and the fault plan."""
+    from repro.resilience.engine import GuardedPlugin
+    from repro.resilience import FaultyPluginWrapper
+
+    dataspace = _build(wrapped=True)
+    dataspace.sync()
+    for authority in dataspace.rvm.proxy.authorities():
+        plugin = dataspace.rvm.proxy.plugin_for(authority)
+        assert isinstance(plugin, GuardedPlugin)
+        assert isinstance(plugin.inner, FaultyPluginWrapper)
+        assert plugin.inner.plan.calls > 0  # the plan saw the sync
+    health = dataspace.health()
+    assert all(row["state"] == "closed" for row in health.values())

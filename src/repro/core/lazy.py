@@ -25,6 +25,8 @@ from __future__ import annotations
 from contextvars import ContextVar, Token
 from typing import Any, Callable, Generic, Protocol, TypeVar
 
+from .errors import ProviderFailed
+
 T = TypeVar("T")
 
 _UNSET = object()
@@ -59,15 +61,31 @@ class LazyValue(Generic[T]):
     first :meth:`get`. A ``label`` marks the value as an observable
     component ("name", "content", ...): its first force is reported to
     the installed materialization sink, if any.
+
+    A provider that raises does **not** poison the value: the failure is
+    recorded (:attr:`is_failed`, :attr:`last_error`) and the next
+    :meth:`get` forces again, up to ``max_attempts`` total attempts.
+    After that the lazy raises :class:`ProviderFailed` immediately
+    instead of hammering a source that keeps failing.
     """
 
-    __slots__ = ("_provider", "_value", "label")
+    #: Bounded re-forcing: total provider attempts before a lazy gives
+    #: up and raises :class:`ProviderFailed` without calling it again.
+    DEFAULT_MAX_ATTEMPTS = 3
+
+    __slots__ = ("_provider", "_value", "label", "_failures",
+                 "_last_error", "max_attempts")
 
     def __init__(self, provider: Callable[[], T],
-                 label: str | None = None):
+                 label: str | None = None,
+                 max_attempts: int | None = None):
         self._provider: Callable[[], T] | None = provider
         self._value: Any = _UNSET
         self.label = label
+        self._failures = 0
+        self._last_error: BaseException | None = None
+        self.max_attempts = (max_attempts if max_attempts is not None
+                             else self.DEFAULT_MAX_ATTEMPTS)
 
     @classmethod
     def of(cls, value: T) -> "LazyValue[T]":
@@ -75,6 +93,9 @@ class LazyValue(Generic[T]):
         lazy._provider = None
         lazy._value = value
         lazy.label = None
+        lazy._failures = 0
+        lazy._last_error = None
+        lazy.max_attempts = cls.DEFAULT_MAX_ATTEMPTS
         return lazy
 
     @property
@@ -82,21 +103,56 @@ class LazyValue(Generic[T]):
         """True once the value has been computed (or was given eagerly)."""
         return self._value is not _UNSET
 
+    @property
+    def is_failed(self) -> bool:
+        """True while the last forcing attempt raised (and no later
+        attempt succeeded)."""
+        return self._value is _UNSET and self._failures > 0
+
+    @property
+    def failures(self) -> int:
+        """How many forcing attempts have raised so far."""
+        return self._failures
+
+    @property
+    def last_error(self) -> BaseException | None:
+        """The most recent provider exception, if any."""
+        return self._last_error
+
     def get(self) -> T:
-        """Return the value, computing and caching it on first access."""
+        """Return the value, computing and caching it on first access.
+
+        A raising provider propagates its exception and leaves the
+        value unforced-but-failed; the next call re-forces, up to
+        ``max_attempts`` attempts in total.
+        """
         if self._value is _UNSET:
+            if self._failures >= self.max_attempts:
+                raise ProviderFailed(
+                    f"component provider failed {self._failures} times; "
+                    "not retrying"
+                ) from self._last_error
             assert self._provider is not None
+            try:
+                value = self._provider()
+            except Exception as error:
+                self._failures += 1
+                self._last_error = error
+                raise
             if self.label is not None:
                 sink = _SINK.get()
                 if sink is not None:
                     sink.count(f"component.{self.label}.materialized")
-            self._value = self._provider()
+            self._value = value
             self._provider = None  # allow the closure to be collected
+            self._last_error = None
         return self._value
 
     def __repr__(self) -> str:
         if self.is_forced:
             return f"LazyValue({self._value!r})"
+        if self.is_failed:
+            return f"LazyValue(<failed {self._failures}x>)"
         return "LazyValue(<unforced>)"
 
 

@@ -39,11 +39,20 @@ class Dataspace:
                  feeds: FeedServer | None = None,
                  reference_datetime: datetime | None = None,
                  policy=None, optimizer: str = "rule",
-                 expansion: str = "forward"):
+                 expansion: str = "forward",
+                 resilience=None):
         self.vfs = vfs
         self.imap = imap
         self.feeds = feeds
-        self.rvm = ResourceViewManager(policy=policy)
+        # resilience: True → default config; a ResilienceConfig → a hub
+        # with it; a ready ResilienceHub passes through; None → off.
+        from .resilience import ResilienceConfig, ResilienceHub
+        if resilience is True:
+            resilience = ResilienceHub(ResilienceConfig())
+        elif isinstance(resilience, ResilienceConfig):
+            resilience = ResilienceHub(resilience)
+        self.resilience = resilience
+        self.rvm = ResourceViewManager(policy=policy, resilience=resilience)
         self.converter = default_content_converter()
         if vfs is not None:
             self.rvm.register_plugin(FilesystemPlugin(
@@ -158,6 +167,32 @@ class Dataspace:
         from .service import DataspaceService
         return DataspaceService(self, workers=workers,
                                 max_queue_depth=max_queue_depth, **kwargs)
+
+    # -- resilience -------------------------------------------------------------------
+
+    def inject_faults(self, authority: str, plan) -> None:
+        """Wrap a registered source with a fault plan (chaos testing).
+
+        The :class:`~repro.resilience.FaultyPluginWrapper` sits *inside*
+        the source guard (when resilience is on), so injected faults
+        exercise the real retry/breaker path.
+        """
+        from .resilience import FaultyPluginWrapper
+        from .resilience.engine import GuardedPlugin
+        plugin = self.rvm.proxy.plugin_for(authority)
+        if isinstance(plugin, GuardedPlugin):
+            plugin.inner = FaultyPluginWrapper(plugin.inner, plan)
+        else:
+            self.rvm.proxy.swap(
+                authority, FaultyPluginWrapper(plugin, plan)
+            )
+
+    def health(self) -> dict[str, dict[str, object]]:
+        """Per-source availability: breaker state, retries, failures.
+
+        Empty when the dataspace was built without ``resilience``.
+        """
+        return self.rvm.health_snapshot()
 
     # -- introspection ----------------------------------------------------------------------
 

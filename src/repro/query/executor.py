@@ -15,9 +15,18 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from datetime import datetime
 
-from ..core.errors import QueryExecutionError
+from ..core.errors import (
+    ComponentError,
+    DataSourceError,
+    QueryExecutionError,
+)
 from ..core.resource_view import ResourceView
 from ..fulltext.query import Phrase, Term, Wildcard
+from ..resilience.engine import (
+    install_resilience_sink,
+    uninstall_resilience_sink,
+)
+from ..resilience.report import DegradationReport
 from ..rvm.manager import ResourceViewManager
 from .ast import (
     Axis,
@@ -71,6 +80,27 @@ def canonical_attribute(name: str) -> str:
     return ATTRIBUTE_ALIASES.get(name.lower(), name)
 
 
+def _authority_of(uri: str) -> str:
+    """The source authority of a view URI ("imap://inbox/3" → "imap")."""
+    return uri.split("://", 1)[0] if "://" in uri else uri
+
+
+class _ResilienceObserver:
+    """Per-execution resilience sink: forwards retry/breaker counters
+    into the trace (when tracing) and tallies retries spent into the
+    execution's degradation report."""
+
+    __slots__ = ("ctx",)
+
+    def __init__(self, ctx: "ExecutionContext"):
+        self.ctx = ctx
+
+    def count(self, name: str, amount: int = 1) -> None:
+        self.ctx.count(name, amount)
+        if name.endswith(".retry"):
+            self.ctx.degradation.retries_spent += amount
+
+
 class ExecutionContext:
     """Index accessors shared by all plan nodes of one execution.
 
@@ -95,12 +125,23 @@ class ExecutionContext:
         self.trace = trace
         self.group_replica = rvm.indexes.group_replica
         self.expanded_views = 0  # intermediate-result accounting (Q8!)
+        #: what this execution had to do without: every survived source
+        #: failure lands here, and the result carries it to the caller
+        self.degradation = DegradationReport()
         self._all_uris: set[str] | None = None
 
     def count(self, name: str, amount: int = 1) -> None:
         """Record one substrate call into the trace, if tracing."""
         if self.trace is not None:
             self.trace.count(name, amount)
+
+    def degrade(self, authority: str, operation: str,
+                error: BaseException, *, views_unavailable: int = 0) -> None:
+        """Survive one source failure: record it and count it, so the
+        query completes over the remaining sources instead of dying."""
+        self.degradation.record(authority, operation, error,
+                                views_unavailable=views_unavailable)
+        self.count("ctx.source_degraded")
 
     def checkpoint(self) -> None:
         """Raise if this execution was cancelled or missed its deadline."""
@@ -117,7 +158,12 @@ class ExecutionContext:
         self.count("ctx.root_uris")
         roots = set()
         for plugin in self.rvm.proxy.plugins():
-            for view in plugin.root_views():
+            try:
+                views = plugin.root_views()
+            except DataSourceError as error:
+                self.degrade(plugin.authority, "root_views", error)
+                continue
+            for view in views:
                 roots.add(view.view_id.uri)
         return roots
 
@@ -143,9 +189,14 @@ class ExecutionContext:
         probe = InvertedIndex()
         for uri, view in self.rvm.sync.live_views.items():
             self.checkpoint()
-            content = view.content
-            body = (content.text() if content.is_finite
-                    else content.take(4096))
+            try:
+                content = view.content
+                body = (content.text() if content.is_finite
+                        else content.take(4096))
+            except (DataSourceError, ComponentError) as error:
+                self.degrade(_authority_of(uri), "content_scan", error,
+                             views_unavailable=1)
+                continue
             if body:
                 probe.add(uri, body)
         if wildcard:
@@ -246,12 +297,17 @@ class ExecutionContext:
         self.count("ctx.children_of")
         if self.rvm.indexes.policy.replicate_groups:
             return self.group_replica.children(uri)
-        view = self.rvm.view(uri)
-        if view is None:
+        try:
+            view = self.rvm.view(uri)
+            if view is None:
+                return ()
+            group = view.group
+            members = (group.related() if group.is_finite
+                       else tuple(group.take(256)))
+        except (DataSourceError, ComponentError) as error:
+            self.degrade(_authority_of(uri), "children_of", error,
+                         views_unavailable=1)
             return ()
-        group = view.group
-        members = (group.related() if group.is_finite
-                   else tuple(group.take(256)))
         return tuple(v.view_id.uri for v in members)
 
     def parents_of(self, uri: str) -> set[str]:
@@ -309,7 +365,12 @@ class ExecutionContext:
         self.count("ctx.tuple_scan")
         matched: set[str] = set()
         for uri, view in self.rvm.sync.live_views.items():
-            candidate = view.tuple_component.get(attribute)
+            try:
+                candidate = view.tuple_component.get(attribute)
+            except (DataSourceError, ComponentError) as error:
+                self.degrade(_authority_of(uri), "tuple_scan", error,
+                             views_unavailable=1)
+                continue
             if candidate is None:
                 continue
             try:
@@ -334,11 +395,17 @@ class ExecutionContext:
                 return None
             return component.get(canonical_attribute(ref.attribute or ""))
         if ref.kind == "content":
-            view = self.rvm.view(uri)
-            if view is None:
+            try:
+                view = self.rvm.view(uri)
+                if view is None:
+                    return None
+                content = view.content
+                return (content.text() if content.is_finite
+                        else content.take(4096))
+            except (DataSourceError, ComponentError) as error:
+                self.degrade(_authority_of(uri), "component_value", error,
+                             views_unavailable=1)
                 return None
-            content = view.content
-            return content.text() if content.is_finite else content.take(4096)
         raise QueryExecutionError(f"unknown component reference {ref.kind!r}")
 
 
@@ -378,6 +445,16 @@ class QueryResult:
     plan_text: str = ""
     #: the TraceCollector of a traced execution (None otherwise)
     trace: object = None
+    #: what this execution had to do without (empty when healthy)
+    degradation: DegradationReport = field(
+        default_factory=DegradationReport
+    )
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when the answer is partial: at least one source was
+        skipped or a view's components were unreachable."""
+        return self.degradation.is_degraded
 
     @property
     def is_join(self) -> bool:
@@ -478,27 +555,34 @@ class QueryProcessor:
                                cancel_token=cancel_token, trace=trace)
         scope = trace.activate() if trace is not None else nullcontext()
         started = time.perf_counter()
-        with scope:
-            if isinstance(prepared.ast, JoinExpr):
-                plan = self._prepared_join(prepared, ctx, trace=trace)
-                pairs = plan.execute_pairs(ctx)
-                elapsed = time.perf_counter() - started
-                return QueryResult(
-                    query=prepared.text,
-                    pairs=[JoinHit(self._hit(l), self._hit(r))
-                           for l, r in pairs],
-                    elapsed_seconds=elapsed,
-                    expanded_views=ctx.expanded_views,
-                    plan_text=plan.explain(),
-                    trace=trace,
-                )
-            plan = prepared.plan
-            if plan is None:
-                plan = self._optimize(self._build(prepared.ast), ctx,
-                                      trace=trace)
-                if self.optimizer_mode == "rule":
-                    prepared.plan = plan
-            uris = plan.execute(ctx)
+        # retries/breaker events fired by source guards during this
+        # execution land in the trace counters and the degradation report
+        sink_token = install_resilience_sink(_ResilienceObserver(ctx))
+        try:
+            with scope:
+                if isinstance(prepared.ast, JoinExpr):
+                    plan = self._prepared_join(prepared, ctx, trace=trace)
+                    pairs = plan.execute_pairs(ctx)
+                    elapsed = time.perf_counter() - started
+                    return QueryResult(
+                        query=prepared.text,
+                        pairs=[JoinHit(self._hit(l), self._hit(r))
+                               for l, r in pairs],
+                        elapsed_seconds=elapsed,
+                        expanded_views=ctx.expanded_views,
+                        plan_text=plan.explain(),
+                        trace=trace,
+                        degradation=ctx.degradation,
+                    )
+                plan = prepared.plan
+                if plan is None:
+                    plan = self._optimize(self._build(prepared.ast), ctx,
+                                          trace=trace)
+                    if self.optimizer_mode == "rule":
+                        prepared.plan = plan
+                uris = plan.execute(ctx)
+        finally:
+            uninstall_resilience_sink(sink_token)
         elapsed = time.perf_counter() - started
         hits = sorted((self._hit(uri) for uri in uris),
                       key=lambda h: h.uri)
@@ -506,6 +590,7 @@ class QueryProcessor:
             query=prepared.text, hits=hits, elapsed_seconds=elapsed,
             expanded_views=ctx.expanded_views, plan_text=plan.explain(),
             trace=trace,
+            degradation=ctx.degradation,
         )
 
     def _prepared_join(self, prepared: PreparedQuery,

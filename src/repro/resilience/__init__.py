@@ -1,0 +1,46 @@
+"""``repro.resilience`` — surviving flaky data sources.
+
+iDM's defining property is lazy computation over *external* data
+sources; in a real personal dataspace those are routinely slow, flaky
+or offline. This package makes the system degrade instead of die:
+
+* :mod:`faults` — deterministic, seedable fault injection
+  (:class:`FaultPlan`, :class:`FaultyPluginWrapper`,
+  :class:`FaultyProvider`) for chaos tests and demos;
+* :mod:`policy` — :class:`RetryPolicy` (bounded retries, exponential
+  backoff + jitter, per-call deadlines) and :class:`CircuitBreaker`
+  (closed → open → half-open);
+* :mod:`engine` — :class:`SourceGuard` / :class:`ResilienceHub`
+  applying the policies uniformly at the Data Source Proxy boundary;
+* :mod:`report` — :class:`DegradationReport`, the "what this answer is
+  missing" attachment on query results and sync reports.
+
+See ``DESIGN.md`` § "Surviving flaky sources".
+"""
+
+from .engine import (
+    GuardedPlugin,
+    GuardStats,
+    ResilienceConfig,
+    ResilienceHub,
+    SourceGuard,
+    install_resilience_sink,
+    uninstall_resilience_sink,
+)
+from .faults import (
+    Fault,
+    FaultKind,
+    FaultPlan,
+    FaultyPluginWrapper,
+    FaultyProvider,
+)
+from .policy import BreakerState, CircuitBreaker, RetryPolicy
+from .report import DegradationReport, SourceIncident
+
+__all__ = [
+    "BreakerState", "CircuitBreaker", "DegradationReport", "Fault",
+    "FaultKind", "FaultPlan", "FaultyPluginWrapper", "FaultyProvider",
+    "GuardStats", "GuardedPlugin", "ResilienceConfig", "ResilienceHub",
+    "RetryPolicy", "SourceGuard", "SourceIncident",
+    "install_resilience_sink", "uninstall_resilience_sink",
+]

@@ -1,0 +1,294 @@
+"""The resilience engine: guards applied at the Data Source Proxy.
+
+One :class:`ResilienceHub` per RVM owns a :class:`SourceGuard` per
+registered authority. The guard applies, in order, on every
+source-touching call:
+
+1. the **circuit breaker** — an open breaker fails fast with
+   :class:`~repro.core.errors.SourceUnavailable` (no source round-trip,
+   no retries), half-opening after its cool-down;
+2. the **retry policy** — retryable errors (transient, timeout) are
+   retried with exponential backoff + seeded jitter, up to the budget;
+3. the **per-call deadline** — a call whose wall time exceeds
+   ``RetryPolicy.call_deadline`` is treated as a timeout failure even
+   though it returned.
+
+Plugins are wrapped once at registration (:class:`GuardedPlugin`), so
+the Synchronization Manager, the proxy's ``resolve`` routing and the
+query executor's live fall-backs are all protected by the same guard
+and share one breaker per source — a query storm and a sync pass see
+the same availability picture.
+
+Observability reuses the PR-2 trace-counter substrate: while a query
+trace is active it is installed as this thread's *resilience sink*
+(mirroring the lazy-materialization sink), so retries and breaker
+events show up as ``resilience.*`` counters in EXPLAIN ANALYZE and the
+service metrics. Outside traces, per-guard lifetime stats feed
+:meth:`ResilienceHub.health_snapshot`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from contextvars import ContextVar, Token
+from dataclasses import dataclass, field, replace
+from typing import Callable, TypeVar
+
+from ..core.errors import DataSourceError, SourceUnavailable
+from ..core.identity import ViewId
+from ..core.resource_view import ResourceView
+from .policy import BreakerState, CircuitBreaker, RetryPolicy
+
+T = TypeVar("T")
+
+
+# -- the trace sink (same shape as the lazy-materialization sink) ----------
+
+class ResilienceSink:  # pragma: no cover - typing only
+    def count(self, name: str, amount: int = 1) -> None: ...
+
+
+_SINK: ContextVar[ResilienceSink | None] = ContextVar(
+    "idm-resilience-sink", default=None
+)
+
+
+def install_resilience_sink(sink: ResilienceSink) -> Token:
+    """Route this thread's retry/breaker events to ``sink``."""
+    return _SINK.set(sink)
+
+
+def uninstall_resilience_sink(token: Token) -> None:
+    _SINK.reset(token)
+
+
+def _emit(name: str) -> None:
+    sink = _SINK.get()
+    if sink is not None:
+        sink.count(name)
+
+
+# -- configuration ---------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything a :class:`ResilienceHub` needs, in one value.
+
+    ``sleep`` and ``clock`` are injectable for tests (and the chaos
+    suite injects a no-op sleep so seeded runs finish in milliseconds).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker_failure_threshold: int = 5
+    breaker_cooldown_seconds: float = 30.0
+    breaker_half_open_probes: int = 1
+    seed: int = 0
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+
+    def with_fast_backoff(self) -> "ResilienceConfig":
+        """A copy that never sleeps — for tests and benchmarks."""
+        return replace(self, sleep=lambda _s: None)
+
+
+@dataclass
+class GuardStats:
+    """Lifetime counters of one source guard (health snapshot row)."""
+
+    calls: int = 0
+    successes: int = 0
+    failures: int = 0
+    retries: int = 0
+    short_circuits: int = 0
+    deadline_overruns: int = 0
+
+
+class SourceGuard:
+    """Retry + breaker + deadline protection for one source.
+
+    Thread-safe: breaker/stat updates take the guard's lock; the
+    guarded call itself runs unlocked so slow sources do not serialize
+    the worker pool.
+    """
+
+    def __init__(self, authority: str, config: ResilienceConfig):
+        self.authority = authority
+        self.config = config
+        self.retry = config.retry
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_failure_threshold,
+            cooldown_seconds=config.breaker_cooldown_seconds,
+            half_open_probes=config.breaker_half_open_probes,
+            clock=config.clock,
+        )
+        self.stats = GuardStats()
+        # str seeds hash deterministically (unlike tuple hashes, which
+        # vary with PYTHONHASHSEED) — jitter must replay across runs
+        self._rng = random.Random(f"{config.seed}:{authority}")
+        self._lock = threading.Lock()
+
+    # -- the one entry point -------------------------------------------------
+
+    def call(self, operation: str, fn: Callable[[], T]) -> T:
+        """Run ``fn`` under this guard; raises
+        :class:`SourceUnavailable` when the breaker is open or the
+        retry budget is spent."""
+        with self._lock:
+            self.stats.calls += 1
+            if not self.breaker.allow():
+                self.stats.short_circuits += 1
+                retry_after = self.breaker.retry_after
+                _emit(f"resilience.{self.authority}.short_circuit")
+                raise SourceUnavailable(
+                    f"{self.authority}.{operation}: circuit open "
+                    f"(retry in {retry_after:.3f}s)"
+                    if retry_after is not None else
+                    f"{self.authority}.{operation}: circuit open",
+                    authority=self.authority, retry_after=retry_after,
+                )
+        last_error: BaseException | None = None
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if attempt > 1:
+                with self._lock:
+                    # the breaker may have opened mid-budget (its own
+                    # threshold can be lower than the retry budget, or
+                    # another thread may have tripped it)
+                    if not self.breaker.allow():
+                        self.stats.short_circuits += 1
+                        break
+                    self.stats.retries += 1
+                _emit(f"resilience.{self.authority}.retry")
+                self.config.sleep(self.retry.delay(attempt - 1, self._rng))
+            started = self.config.clock()
+            try:
+                result = fn()
+            except DataSourceError as error:
+                last_error = error
+                with self._lock:
+                    self.stats.failures += 1
+                    self.breaker.record_failure()
+                _emit(f"resilience.{self.authority}.failure")
+                if not self.retry.is_retryable(error):
+                    raise
+                continue
+            elapsed = self.config.clock() - started
+            deadline = self.retry.call_deadline
+            if deadline is not None and elapsed > deadline:
+                # the call answered, but too late to be trusted as a
+                # healthy source: count it against the breaker, yet
+                # return the data we paid for
+                with self._lock:
+                    self.stats.deadline_overruns += 1
+                    self.breaker.record_failure()
+                _emit(f"resilience.{self.authority}.deadline_overrun")
+                return result
+            with self._lock:
+                self.stats.successes += 1
+                self.breaker.record_success()
+            return result
+        raise SourceUnavailable(
+            f"{self.authority}.{operation}: retries exhausted "
+            f"({self.retry.max_attempts} attempts)",
+            authority=self.authority,
+            retry_after=self.breaker.retry_after,
+        ) from last_error
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        return self.breaker.state
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {
+                "state": self.breaker.state.value,
+                "consecutive_failures": self.breaker.consecutive_failures,
+                "times_opened": self.breaker.times_opened,
+                "calls": self.stats.calls,
+                "successes": self.stats.successes,
+                "failures": self.stats.failures,
+                "retries": self.stats.retries,
+                "short_circuits": self.stats.short_circuits,
+                "deadline_overruns": self.stats.deadline_overruns,
+            }
+
+
+class GuardedPlugin:
+    """A registered plugin, re-routed through its source guard.
+
+    Subscription is a local registration and never faulted;
+    ``data_source_seconds`` is pure accounting. Everything else goes
+    through :meth:`SourceGuard.call`.
+    """
+
+    def __init__(self, inner, guard: SourceGuard):
+        self.inner = inner
+        self.guard = guard
+        self.authority = inner.authority
+
+    def root_views(self) -> list[ResourceView]:
+        return self.guard.call("root_views", self.inner.root_views)
+
+    def resolve(self, view_id: ViewId) -> ResourceView | None:
+        return self.guard.call("resolve",
+                               lambda: self.inner.resolve(view_id))
+
+    def subscribe_changes(self, callback: Callable[[ViewId], None]) -> bool:
+        return self.inner.subscribe_changes(callback)
+
+    def poll_changes(self) -> list[ViewId]:
+        return self.guard.call("poll_changes", self.inner.poll_changes)
+
+    def data_source_seconds(self) -> float:
+        return self.inner.data_source_seconds()
+
+
+class ResilienceHub:
+    """Per-RVM registry of source guards.
+
+    Created from a :class:`ResilienceConfig` and handed to
+    :class:`~repro.rvm.manager.ResourceViewManager`, which wraps every
+    plugin at registration. ``health_snapshot`` is the serving layer's
+    per-source availability picture.
+    """
+
+    def __init__(self, config: ResilienceConfig | None = None):
+        self.config = config if config is not None else ResilienceConfig()
+        self._guards: dict[str, SourceGuard] = {}
+        self._lock = threading.Lock()
+
+    def guard_for(self, authority: str) -> SourceGuard:
+        with self._lock:
+            guard = self._guards.get(authority)
+            if guard is None:
+                guard = SourceGuard(authority, self.config)
+                self._guards[authority] = guard
+            return guard
+
+    def wrap(self, plugin) -> GuardedPlugin:
+        if isinstance(plugin, GuardedPlugin):
+            return plugin
+        return GuardedPlugin(plugin, self.guard_for(plugin.authority))
+
+    # -- availability --------------------------------------------------------
+
+    def open_sources(self) -> list[str]:
+        """Authorities currently failing fast (breaker open and still
+        cooling down)."""
+        with self._lock:
+            guards = list(self._guards.items())
+        down = []
+        for authority, guard in guards:
+            if (guard.breaker.state is BreakerState.OPEN
+                    and (guard.breaker.retry_after or 0.0) > 0.0):
+                down.append(authority)
+        return sorted(down)
+
+    def health_snapshot(self) -> dict[str, dict[str, object]]:
+        with self._lock:
+            guards = list(self._guards.items())
+        return {authority: guard.snapshot()
+                for authority, guard in sorted(guards)}

@@ -1,0 +1,250 @@
+"""Deterministic fault injection for data sources.
+
+A real personal dataspace reaches into filesystems, IMAP servers and
+feeds that are routinely slow, flaky or offline. This module makes
+those conditions *reproducible*: a :class:`FaultPlan` is a seedable
+schedule of faults, and :class:`FaultyPluginWrapper` applies it to any
+:class:`~repro.rvm.proxy.DataSourcePlugin` without the plugin knowing.
+:class:`FaultyProvider` does the same for a single lazy component
+provider, so query-time component forcing can fail too.
+
+Two scheduling styles compose:
+
+* **scripted** — ``plan.fail_calls(3, 4)`` injects a fault on exactly
+  the 3rd and 4th data-source calls, and ``plan.outage(after=10)``
+  takes the source down permanently from call 10 on; chaos tests use
+  these for exact breaker-transition assertions;
+* **probabilistic** — ``FaultPlan(seed=7, transient_rate=0.3)`` fails
+  ~30% of calls, deterministically for a given seed (one private
+  ``random.Random``), which is what the seeded chaos matrix runs.
+
+Faults are exceptions from the real hierarchy
+(:class:`~repro.core.errors.TransientSourceError`,
+:class:`~repro.core.errors.SourceTimeout`,
+:class:`~repro.core.errors.SourceUnavailable`), so the system under
+test cannot tell injected faults from genuine ones. Latency spikes are
+charged to the wrapper's simulated-latency account (visible through
+``data_source_seconds``) rather than actually sleeping, keeping chaos
+runs fast and deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from ..core.errors import (
+    SourceTimeout,
+    SourceUnavailable,
+    TransientSourceError,
+)
+from ..core.identity import ViewId
+from ..core.resource_view import ResourceView
+
+T = TypeVar("T")
+
+
+class FaultKind(enum.Enum):
+    """What an injected fault does to the call it lands on."""
+
+    TRANSIENT = "transient"   # TransientSourceError: retryable
+    TIMEOUT = "timeout"       # SourceTimeout: retryable, deadline-shaped
+    OUTAGE = "outage"         # SourceUnavailable: the source is down
+    LATENCY = "latency"       # slow call: simulated seconds charged
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault occurrence."""
+
+    kind: FaultKind
+    call_number: int
+    #: simulated extra seconds (LATENCY faults only)
+    latency_seconds: float = 0.0
+
+
+class FaultPlan:
+    """A seedable, inspectable schedule of faults for one source.
+
+    The plan counts *data-source calls* (across all operations of the
+    wrapped plugin/provider) and decides per call whether to inject.
+    Decision order: permanent outage, scripted calls, probabilistic
+    draw. All draws come from one ``random.Random(seed)``, so a plan is
+    fully determined by its constructor arguments plus the sequence of
+    calls made against it.
+    """
+
+    def __init__(self, *, seed: int = 0,
+                 transient_rate: float = 0.0,
+                 timeout_rate: float = 0.0,
+                 latency_rate: float = 0.0,
+                 latency_seconds: float = 0.05):
+        for name, rate in (("transient_rate", transient_rate),
+                           ("timeout_rate", timeout_rate),
+                           ("latency_rate", latency_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]: {rate}")
+        self.seed = seed
+        self.transient_rate = transient_rate
+        self.timeout_rate = timeout_rate
+        self.latency_rate = latency_rate
+        self.latency_seconds = latency_seconds
+        self._rng = random.Random(seed)
+        self._calls = 0
+        self._scripted: dict[int, FaultKind] = {}
+        self._outage_after: int | None = None
+        self._recovery_at: int | None = None
+        #: every fault injected so far, for test assertions
+        self.injected: list[Fault] = []
+
+    # -- scripting ----------------------------------------------------------
+
+    def fail_calls(self, *call_numbers: int,
+                   kind: FaultKind = FaultKind.TRANSIENT) -> "FaultPlan":
+        """Inject ``kind`` on exactly these 1-based call numbers."""
+        for number in call_numbers:
+            if number < 1:
+                raise ValueError("call numbers are 1-based")
+            self._scripted[number] = kind
+        return self
+
+    def outage(self, *, after: int = 0,
+               until: int | None = None) -> "FaultPlan":
+        """Permanent outage: every call past ``after`` fails with
+        :class:`SourceUnavailable` (until call ``until``, when given —
+        a recovering source)."""
+        self._outage_after = after
+        self._recovery_at = until
+        return self
+
+    # -- the decision -------------------------------------------------------
+
+    @property
+    def calls(self) -> int:
+        """Data-source calls decided so far."""
+        return self._calls
+
+    def next_fault(self) -> Fault | None:
+        """Decide the fate of the next call; None means it goes through.
+
+        Every path consumes exactly one draw from the plan's RNG, so
+        scripted faults do not shift the probabilistic schedule.
+        """
+        self._calls += 1
+        draw = self._rng.random()
+        fault = self._decide(draw)
+        if fault is not None:
+            self.injected.append(fault)
+        return fault
+
+    def _decide(self, draw: float) -> Fault | None:
+        number = self._calls
+        if (self._outage_after is not None and number > self._outage_after
+                and (self._recovery_at is None
+                     or number < self._recovery_at)):
+            return Fault(FaultKind.OUTAGE, number)
+        scripted = self._scripted.get(number)
+        if scripted is not None:
+            latency = (self.latency_seconds
+                       if scripted is FaultKind.LATENCY else 0.0)
+            return Fault(scripted, number, latency_seconds=latency)
+        if draw < self.transient_rate:
+            return Fault(FaultKind.TRANSIENT, number)
+        draw -= self.transient_rate
+        if draw < self.timeout_rate:
+            return Fault(FaultKind.TIMEOUT, number)
+        draw -= self.timeout_rate
+        if draw < self.latency_rate:
+            return Fault(FaultKind.LATENCY, number,
+                         latency_seconds=self.latency_seconds)
+        return None
+
+    def raise_or_charge(self, source: str) -> float:
+        """Apply the next scheduled fault: raise for error faults,
+        return simulated extra seconds for latency spikes (0.0 when the
+        call goes through clean)."""
+        fault = self.next_fault()
+        if fault is None:
+            return 0.0
+        if fault.kind is FaultKind.TRANSIENT:
+            raise TransientSourceError(
+                f"injected transient fault on {source} "
+                f"(call #{fault.call_number})"
+            )
+        if fault.kind is FaultKind.TIMEOUT:
+            raise SourceTimeout(
+                f"injected timeout on {source} (call #{fault.call_number})"
+            )
+        if fault.kind is FaultKind.OUTAGE:
+            raise SourceUnavailable(
+                f"injected outage on {source} (call #{fault.call_number})",
+                authority=source,
+            )
+        return fault.latency_seconds
+
+
+class FaultyPluginWrapper:
+    """A :class:`DataSourcePlugin` that injects faults around another.
+
+    Transparent when the plan injects nothing. Change subscription is a
+    local registration (no source round-trip), so it is never faulted;
+    everything that actually touches the source — ``root_views``,
+    ``resolve``, ``poll_changes`` — consults the plan first. Latency
+    spikes accumulate into this wrapper's simulated-seconds account, on
+    top of whatever the inner plugin simulates itself.
+    """
+
+    def __init__(self, inner, plan: FaultPlan):
+        self.inner = inner
+        self.plan = plan
+        self.authority = inner.authority
+        self._injected_seconds = 0.0
+
+    def _gate(self) -> None:
+        self._injected_seconds += self.plan.raise_or_charge(self.authority)
+
+    # -- DataSourcePlugin contract ------------------------------------------
+
+    def root_views(self) -> list[ResourceView]:
+        self._gate()
+        return self.inner.root_views()
+
+    def resolve(self, view_id: ViewId) -> ResourceView | None:
+        self._gate()
+        return self.inner.resolve(view_id)
+
+    def subscribe_changes(self, callback: Callable[[ViewId], None]) -> bool:
+        return self.inner.subscribe_changes(callback)
+
+    def poll_changes(self) -> list[ViewId]:
+        self._gate()
+        return self.inner.poll_changes()
+
+    def data_source_seconds(self) -> float:
+        return self.inner.data_source_seconds() + self._injected_seconds
+
+
+class FaultyProvider:
+    """Wrap a lazy component provider with a fault plan.
+
+    ``LazyValue(FaultyProvider(plan, provider, source="imap"))`` makes
+    query-time component forcing fail on the plan's schedule — the
+    other half of the paper's lazy-computation surface (a component may
+    be computed long after its view was synchronized).
+    """
+
+    __slots__ = ("plan", "provider", "source", "calls")
+
+    def __init__(self, plan: FaultPlan, provider: Callable[[], T],
+                 *, source: str = "provider"):
+        self.plan = plan
+        self.provider = provider
+        self.source = source
+        self.calls = 0
+
+    def __call__(self) -> T:
+        self.calls += 1
+        self.plan.raise_or_charge(self.source)
+        return self.provider()

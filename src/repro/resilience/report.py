@@ -1,0 +1,73 @@
+"""Degradation reporting: what a partial answer is missing.
+
+The dataspace vision's "pay-as-you-go" availability cuts both ways: a
+query over flaky sources should *answer* from what is reachable, and it
+should *say* what it could not reach. :class:`DegradationReport` is
+that second half — attached to every
+:class:`~repro.query.executor.QueryResult` (empty in the happy case)
+and rendered by the CLI, ``explain_analyze`` and the service metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SourceIncident:
+    """One degraded data-source interaction during an execution."""
+
+    authority: str
+    operation: str
+    error: str
+
+
+@dataclass
+class DegradationReport:
+    """What one execution (query or sync pass) had to do without."""
+
+    incidents: list[SourceIncident] = field(default_factory=list)
+    #: views whose components could not be reached (skipped, not stale)
+    views_unavailable: int = 0
+    #: retries spent against sources during this execution
+    retries_spent: int = 0
+
+    @property
+    def is_degraded(self) -> bool:
+        return bool(self.incidents) or self.views_unavailable > 0
+
+    @property
+    def sources_skipped(self) -> list[str]:
+        """Authorities that degraded at least once, sorted."""
+        return sorted({i.authority for i in self.incidents})
+
+    def record(self, authority: str, operation: str,
+               error: BaseException | str, *,
+               views_unavailable: int = 0) -> None:
+        self.incidents.append(SourceIncident(
+            authority=authority, operation=operation, error=str(error),
+        ))
+        self.views_unavailable += views_unavailable
+
+    def merge(self, other: "DegradationReport") -> None:
+        self.incidents.extend(other.incidents)
+        self.views_unavailable += other.views_unavailable
+        self.retries_spent += other.retries_spent
+
+    def summary(self) -> str:
+        """One line for CLI/log output."""
+        if not self.is_degraded:
+            return "complete (no sources skipped)"
+        skipped = ",".join(self.sources_skipped) or "-"
+        return (f"degraded: sources={skipped} "
+                f"incidents={len(self.incidents)} "
+                f"views_unavailable={self.views_unavailable} "
+                f"retries={self.retries_spent}")
+
+    def render(self) -> str:
+        """Multi-line report: the summary plus each incident."""
+        lines = [self.summary()]
+        for incident in self.incidents:
+            lines.append(f"  {incident.authority}.{incident.operation}: "
+                         f"{incident.error}")
+        return "\n".join(lines)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.errors import DataSourceError
 from ..core.identity import ViewId
 from ..core.resource_view import ResourceView
 from ..pushops import PushBus
@@ -21,7 +22,13 @@ from .sync import SourceReport, SynchronizationManager
 
 @dataclass
 class SyncReport:
-    """The combined report of one full synchronization pass."""
+    """The combined report of one full synchronization pass.
+
+    A pass over flaky sources is *reportable*, not all-or-nothing:
+    sources that could not be reached appear with ``skipped=True`` and
+    their error, sources that lost individual views carry them in
+    ``errors``, and everything reachable was indexed normally.
+    """
 
     sources: dict[str, SourceReport] = field(default_factory=dict)
 
@@ -32,6 +39,21 @@ class SyncReport:
     @property
     def total_seconds(self) -> float:
         return sum(r.total_seconds for r in self.sources.values())
+
+    @property
+    def sources_skipped(self) -> list[str]:
+        """Authorities that could not be scanned at all, sorted."""
+        return sorted(a for a, r in self.sources.items() if r.skipped)
+
+    @property
+    def errors(self) -> dict[str, list[str]]:
+        """Authority → survived errors (skipped sources included)."""
+        return {a: list(r.errors)
+                for a, r in self.sources.items() if r.errors}
+
+    @property
+    def is_degraded(self) -> bool:
+        return any(r.is_degraded for r in self.sources.values())
 
     def __getitem__(self, authority: str) -> SourceReport:
         return self.sources[authority]
@@ -52,12 +74,17 @@ class ResourceViewManager:
     """
 
     def __init__(self, *, infinite_group_window: int = 256,
-                 policy: "IndexingPolicy | None" = None):
+                 policy: "IndexingPolicy | None" = None,
+                 resilience=None):
         self.proxy = DataSourceProxy()
         self.catalog = ResourceViewCatalog()
         self.indexes = IndexSet(infinite_group_window=infinite_group_window,
                                 policy=policy)
         self.bus = PushBus()
+        #: optional :class:`~repro.resilience.ResilienceHub`; when set,
+        #: every registered plugin is wrapped in a source guard (retry,
+        #: backoff, circuit breaker) at the proxy boundary.
+        self.resilience = resilience
         self.sync = SynchronizationManager(
             self.proxy, self.catalog, self.indexes, bus=self.bus,
             infinite_group_window=infinite_group_window,
@@ -66,16 +93,36 @@ class ResourceViewManager:
     # -- setup ------------------------------------------------------------------
 
     def register_plugin(self, plugin: DataSourcePlugin) -> None:
+        if self.resilience is not None:
+            plugin = self.resilience.wrap(plugin)
         self.proxy.register(plugin)
 
     # -- synchronization ----------------------------------------------------------
 
     def sync_all(self) -> SyncReport:
-        """Scan every registered data source (initial indexing pass)."""
+        """Scan every registered data source (initial indexing pass).
+
+        An unreachable source does not abort the pass: its report is
+        marked ``skipped`` with the error, and the remaining sources
+        are indexed normally (``SyncReport.is_degraded`` flags it).
+        """
         report = SyncReport()
         for authority in self.proxy.authorities():
-            report.sources[authority] = self.sync.scan_source(authority)
+            try:
+                report.sources[authority] = self.sync.scan_source(authority)
+            except DataSourceError as error:
+                source = SourceReport(authority=authority, skipped=True)
+                source.errors.append(str(error))
+                report.sources[authority] = source
         return report
+
+    # -- resilience ---------------------------------------------------------------
+
+    def health_snapshot(self) -> dict[str, dict[str, object]]:
+        """Per-source guard state (empty without a resilience hub)."""
+        if self.resilience is None:
+            return {}
+        return self.resilience.health_snapshot()
 
     def sync_source(self, authority: str) -> SourceReport:
         return self.sync.scan_source(authority)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..core.errors import ComponentError, DataSourceError
 from ..core.identity import ViewId
 from ..core.resource_view import ResourceView
 from ..pushops import ChangeEvent, ChangeKind, ComponentKind, PushBus
@@ -63,11 +64,19 @@ class SourceReport:
     access_simulated_seconds: float = 0.0  # plugin latency model
     catalog_seconds: float = 0.0
     indexing_seconds: float = 0.0
+    #: per-view failures survived during the scan (degraded, not fatal)
+    errors: list[str] = field(default_factory=list)
+    #: True when the source could not be scanned at all this pass
+    skipped: bool = False
 
     @property
     def views_derived(self) -> int:
         return (self.views_derived_xml + self.views_derived_latex
                 + self.views_derived_other)
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.skipped or bool(self.errors)
 
     @property
     def total_seconds(self) -> float:
@@ -112,7 +121,13 @@ class SynchronizationManager:
             if uri in seen:
                 continue
             seen.add(uri)
-            children = self._process_view(view, report)
+            try:
+                children = self._process_view(view, report)
+            except (DataSourceError, ComponentError) as error:
+                # one unreachable view must not abort the whole scan:
+                # record it and keep indexing what the source can serve
+                report.errors.append(f"{uri}: {error}")
+                continue
             for child in reversed(children):
                 if child.view_id.uri not in seen:
                     stack.append(child)
@@ -214,6 +229,7 @@ class SynchronizationManager:
         dirties its parent) collapse to one application each.
         """
         processed = 0
+        deferred: list[ViewId] = []
         while self._pending:
             batch, self._pending = self._pending, []
             seen: set[str] = set()
@@ -221,8 +237,15 @@ class SynchronizationManager:
                 if view_id.uri in seen:
                     continue
                 seen.add(view_id.uri)
-                self.apply_change(view_id)
+                try:
+                    self.apply_change(view_id)
+                except (DataSourceError, ComponentError):
+                    # source down mid-change: defer to the next call so
+                    # the event is applied after recovery, not lost
+                    deferred.append(view_id)
+                    continue
                 processed += 1
+        self._pending.extend(deferred)
         return processed
 
     def apply_change(self, view_id: ViewId) -> None:

@@ -381,7 +381,12 @@ class DataspaceService:
             waited + elapsed
         )
         self.metrics.counter("queries.served").increment()
-        if request.use_cache:
+        if result.is_degraded:
+            # a partial answer is marked, and never cached: once the
+            # sources recover, the next execution must not replay the
+            # degraded result as if it were complete
+            self.metrics.counter("queries.degraded").increment()
+        elif request.use_cache:
             self.result_cache.put(request.key, result, epoch=epoch)
         ticket._resolve(result)
 
@@ -418,4 +423,13 @@ class DataspaceService:
         report["cache.plan.size"] = len(self.plan_cache)
         report["queue.depth"] = self.admission.depth
         report["sessions.open"] = self.session_count
+        health = self.dataspace.rvm.health_snapshot()
+        if health:
+            down = [a for a, row in health.items()
+                    if row["state"] == "open"]
+            report["resilience.sources_down"] = ",".join(down) or "-"
+            for authority, row in health.items():
+                for key in ("state", "retries", "failures",
+                            "short_circuits", "times_opened"):
+                    report[f"resilience.{authority}.{key}"] = row[key]
         return report

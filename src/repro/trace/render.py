@@ -68,6 +68,11 @@ class ExplainAnalyzeReport:
             lines.append("counters:")
             for name in sorted(self.trace.counters):
                 lines.append(f"  {name}: {self.trace.counters[name]}")
+        degradation = getattr(self.result, "degradation", None)
+        if degradation is not None and degradation.is_degraded:
+            lines.append("degradation:")
+            for line in degradation.render().splitlines():
+                lines.append(f"  {line}")
         elapsed = _format_time(self.result.elapsed_seconds,
                                redact=redact_timing)
         lines.append(f"-- {len(self.result)} result(s) in {elapsed}")

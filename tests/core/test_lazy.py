@@ -1,5 +1,8 @@
 """Tests for lazy values and counting providers (Section 4.1)."""
 
+import pytest
+
+from repro.core.errors import ProviderFailed
 from repro.core.lazy import CountingProvider, LazyValue
 
 
@@ -38,6 +41,61 @@ class TestLazyValue:
     def test_repr(self):
         assert "unforced" in repr(LazyValue(lambda: 1))
         assert "42" in repr(LazyValue.of(42))
+
+
+class TestFailedForcing:
+    """A raising provider must not poison the lazy (satellite of the
+    resilience PR): failures are recorded, re-forcing is bounded."""
+
+    def test_exception_propagates_and_marks_failed(self):
+        lazy = LazyValue(self._fail_times(1))
+        with pytest.raises(RuntimeError):
+            lazy.get()
+        assert lazy.is_failed
+        assert not lazy.is_forced
+        assert lazy.failures == 1
+        assert isinstance(lazy.last_error, RuntimeError)
+        assert "failed 1x" in repr(lazy)
+
+    def test_next_get_reforces_and_recovers(self):
+        lazy = LazyValue(self._fail_times(2))
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                lazy.get()
+        assert lazy.get() == "recovered"
+        assert lazy.is_forced
+        assert not lazy.is_failed
+        assert lazy.last_error is None  # a success clears the record
+
+    def test_reforce_budget_is_bounded(self):
+        counter = CountingProvider(self._fail_times(99))
+        lazy = LazyValue(counter, max_attempts=2)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                lazy.get()
+        # budget spent: ProviderFailed without touching the provider
+        with pytest.raises(ProviderFailed) as exc:
+            lazy.get()
+        assert counter.calls == 2
+        assert isinstance(exc.value.__cause__, RuntimeError)
+
+    def test_memoized_success_never_fails_again(self):
+        lazy = LazyValue(lambda: "v")
+        assert lazy.get() == "v"
+        assert not lazy.is_failed
+        assert lazy.get() == "v"
+
+    @staticmethod
+    def _fail_times(n):
+        remaining = [n]
+
+        def provider():
+            if remaining[0] > 0:
+                remaining[0] -= 1
+                raise RuntimeError("provider down")
+            return "recovered"
+
+        return provider
 
 
 class TestCountingProvider:

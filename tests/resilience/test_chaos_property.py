@@ -1,0 +1,149 @@
+"""Property-based chaos: arbitrary seeded storms, invariant behaviour.
+
+Two layers, both on the ``ci`` hypothesis profile (derandomized, so a
+CI failure replays locally):
+
+* **guard invariants** — for any fault schedule, the source guard never
+  exceeds its retry budget, never lets a retryable error escape raw,
+  and keeps its statistics consistent (cheap: no dataspace involved);
+* **end-to-end storms** — for any (seed, rates, victim source) over a
+  micro dataspace with all three plugin kinds (vfs, imapsim, rss):
+  sync and queries never raise, answers stay within the clean baseline,
+  and the healthy sources are always fully answered.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import (
+    DataSourceError,
+    SourceUnavailable,
+    TransientSourceError,
+)
+from repro.dataset import TINY_PROFILE, PersonalDataspaceGenerator
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+from repro.resilience import FaultPlan, FaultyProvider, SourceGuard
+
+from .conftest import CHAOS_SEED, fast_config
+
+#: A micro profile: big enough to give every source a few views, small
+#: enough that hypothesis can afford a sync per example.
+MICRO_PROFILE = dataclasses.replace(
+    TINY_PROFILE, name="micro", fs_entries=10, fs_latex_docs=1,
+    fs_xml_docs=1, emails=4, email_latex_docs=1, email_xml_docs=0,
+    large_files=0, feeds=1,
+)
+
+WORKLOAD = ["/*", '"database"']
+
+
+def micro_dataspace(*, resilience) -> Dataspace:
+    generated = PersonalDataspaceGenerator(
+        MICRO_PROFILE, seed=3, imap_latency=no_latency()
+    ).generate()
+    return Dataspace(vfs=generated.vfs, imap=generated.imap,
+                     feeds=generated.feeds, resilience=resilience)
+
+
+class TestGuardInvariants:
+    @given(
+        seed=st.integers(0, 2**16),
+        transient_rate=st.floats(0.0, 1.0),
+        timeout_rate=st.floats(0.0, 0.5),
+        max_attempts=st.integers(1, 5),
+        calls=st.integers(1, 30),
+    )
+    def test_budget_respected_and_stats_consistent(
+            self, seed, transient_rate, timeout_rate, max_attempts, calls):
+        if transient_rate + timeout_rate > 1.0:
+            timeout_rate = 1.0 - transient_rate
+        plan = FaultPlan(seed=CHAOS_SEED + seed,
+                         transient_rate=transient_rate,
+                         timeout_rate=timeout_rate)
+        guard = SourceGuard("chaos", fast_config(
+            seed=seed, max_attempts=max_attempts,
+            breaker_threshold=10_000,  # isolate the retry loop
+        ))
+        provider = FaultyProvider(plan, lambda: "ok", source="chaos")
+        answered = 0
+        for _ in range(calls):
+            before = provider.calls
+            try:
+                assert guard.call("op", provider) == "ok"
+                answered += 1
+            except SourceUnavailable as error:
+                # a retryable storm surfaces only after the full budget
+                assert isinstance(error.__cause__, TransientSourceError)
+                assert provider.calls - before == max_attempts
+            assert provider.calls - before <= max_attempts
+        stats = guard.stats
+        assert stats.successes == answered
+        assert stats.calls == calls
+        # every attempt lands in exactly one bucket, and a retry only
+        # ever follows a failed attempt
+        assert provider.calls == stats.successes + stats.failures
+        assert stats.retries <= stats.failures
+        assert stats.short_circuits == 0
+
+    @given(seed=st.integers(0, 2**16), calls=st.integers(1, 40))
+    def test_plans_are_replayable(self, seed, calls):
+        plan_a = FaultPlan(seed=seed, transient_rate=0.3, timeout_rate=0.2,
+                           latency_rate=0.1)
+        plan_b = FaultPlan(seed=seed, transient_rate=0.3, timeout_rate=0.2,
+                           latency_rate=0.1)
+        for _ in range(calls):
+            assert plan_a.next_fault() == plan_b.next_fault()
+
+
+class TestEndToEndStorms:
+    @given(
+        seed=st.integers(0, 2**10),
+        transient_rate=st.floats(0.0, 0.5),
+        timeout_rate=st.floats(0.0, 0.3),
+        victim=st.sampled_from(["fs", "imap", "rss"]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_storms_never_crash_and_answers_stay_sound(
+            self, seed, transient_rate, timeout_rate, victim):
+        dataspace = micro_dataspace(
+            resilience=fast_config(seed=seed, max_attempts=2)
+        )
+        dataspace.sync()
+        baseline = {iql: set(dataspace.query(iql).uris())
+                    for iql in WORKLOAD}
+        plan = FaultPlan(seed=CHAOS_SEED + seed,
+                         transient_rate=transient_rate,
+                         timeout_rate=timeout_rate)
+        dataspace.inject_faults(victim, plan)
+        for _ in range(3):
+            for iql in WORKLOAD:
+                result = dataspace.query(iql)  # the property: no raise
+                uris = set(result.uris())
+                assert uris <= baseline[iql]
+                healthy = {uri for uri in baseline[iql]
+                           if not uri.startswith(f"{victim}:")}
+                assert healthy <= uris
+                if not result.is_degraded:
+                    assert uris == baseline[iql]
+                else:
+                    assert {incident.authority for incident in
+                            result.degradation.incidents} == {victim}
+
+    @given(seed=st.integers(0, 2**10))
+    @settings(max_examples=5, deadline=None)
+    def test_outage_mid_sync_skips_only_the_victim(self, seed):
+        dataspace = micro_dataspace(
+            resilience=fast_config(seed=seed, max_attempts=1)
+        )
+        plan = FaultPlan(seed=CHAOS_SEED + seed).outage()
+        dataspace.inject_faults("imap", plan)
+        report = dataspace.sync()  # the property: no raise
+        assert report.sources_skipped == ["imap"]
+        assert report["fs"].views_total > 0
+        assert report["rss"].views_total > 0
+        with_errors = {a for a, r in report.sources.items() if r.errors}
+        assert with_errors == {"imap"}

@@ -1,0 +1,166 @@
+"""The acceptance scenario: degraded-but-answering queries.
+
+With a 30% transient-fault schedule injected on one of three registered
+sources, a representative iQL workload completes every query with
+partial results and an accurate :class:`DegradationReport`; with a
+permanent outage, the circuit breaker opens within its configured
+threshold and half-opens after its cool-down. Everything is seeded and
+deterministic.
+"""
+
+import pytest
+
+from repro.resilience import BreakerState, FaultPlan
+
+from .conftest import (
+    CHAOS_SEED,
+    FakeClock,
+    fast_config,
+    three_source_dataspace,
+)
+
+#: A representative workload: the two leading-child-axis shapes reach
+#: back to the live sources (RootViews) on every execution; the others
+#: answer from indexes built at sync time.
+WORKLOAD = [
+    "/*",
+    '/INBOX//*["database"]',
+    '"database"',
+    "//papers//*",
+]
+
+
+def _imap_free(uris):
+    return {uri for uri in uris if not uri.startswith("imap://")}
+
+
+class TestTransientSchedule:
+    def test_every_query_answers_under_thirty_percent_faults(self):
+        dataspace = three_source_dataspace(
+            resilience=fast_config(max_attempts=2, breaker_threshold=10_000)
+        )
+        dataspace.sync()
+        baseline = {iql: set(dataspace.query(iql).uris())
+                    for iql in WORKLOAD}
+
+        plan = FaultPlan(seed=CHAOS_SEED + 17, transient_rate=0.3)
+        dataspace.inject_faults("imap", plan)
+
+        saw_degraded = False
+        for _ in range(40):
+            for iql in WORKLOAD:
+                result = dataspace.query(iql)  # must never raise
+                uris = set(result.uris())
+                if result.is_degraded:
+                    saw_degraded = True
+                    # accurate report: only the faulty source appears
+                    assert result.degradation.sources_skipped == ["imap"]
+                    assert all(incident.authority == "imap"
+                               for incident in
+                               result.degradation.incidents)
+                    # partial result: a subset of the clean answer that
+                    # still covers everything the healthy sources hold
+                    assert uris <= baseline[iql]
+                    assert _imap_free(baseline[iql]) <= uris
+                else:
+                    assert uris == baseline[iql]
+            if saw_degraded:
+                break
+        # the schedule is seeded: 30% faults against a 2-attempt budget
+        # must exhaust at least one retry budget within 40 rounds
+        assert saw_degraded
+        health = dataspace.health()["imap"]
+        assert health["retries"] >= 1  # most faults were absorbed
+        assert health["state"] == "closed"  # threshold was out of reach
+
+    def test_degradation_summary_names_the_source(self):
+        dataspace = three_source_dataspace(
+            resilience=fast_config(max_attempts=1)
+        )
+        dataspace.sync()
+        dataspace.inject_faults(
+            "imap", FaultPlan(seed=CHAOS_SEED).fail_calls(1)
+        )
+        result = dataspace.query("/*")
+        assert result.is_degraded
+        assert "imap" in result.degradation.summary()
+        incident = result.degradation.incidents[0]
+        assert incident.operation == "root_views"
+
+    def test_clean_run_reports_no_degradation(self):
+        dataspace = three_source_dataspace(resilience=fast_config())
+        dataspace.sync()
+        for iql in WORKLOAD:
+            result = dataspace.query(iql)
+            assert not result.is_degraded
+            assert result.degradation.incidents == []
+
+
+class TestPermanentOutage:
+    def make_broken_dataspace(self, *, threshold=3, cooldown=60.0):
+        clock = FakeClock()
+        dataspace = three_source_dataspace(
+            resilience=fast_config(max_attempts=1,
+                                   breaker_threshold=threshold,
+                                   cooldown=cooldown, clock=clock)
+        )
+        dataspace.sync()
+        plan = FaultPlan(seed=CHAOS_SEED).outage()
+        dataspace.inject_faults("imap", plan)
+        return dataspace, plan, clock
+
+    def test_breaker_opens_within_threshold(self):
+        dataspace, plan, _clock = self.make_broken_dataspace(threshold=3)
+        for number in range(1, 4):
+            result = dataspace.query("/*")
+            assert result.is_degraded
+            assert plan.calls == number  # each query reached the source
+        assert dataspace.health()["imap"]["state"] == "open"
+        assert dataspace.rvm.resilience.open_sources() == ["imap"]
+
+    def test_open_breaker_short_circuits_but_still_answers(self):
+        dataspace, plan, _clock = self.make_broken_dataspace(threshold=3)
+        for _ in range(3):
+            dataspace.query("/*")
+        calls_when_opened = plan.calls
+        for _ in range(5):
+            result = dataspace.query("/*")
+            assert result.is_degraded
+            assert _imap_free(set(result.uris()))  # fs + rss still answer
+        # the dead source was not hammered: not one more source call
+        assert plan.calls == calls_when_opened
+        assert dataspace.health()["imap"]["short_circuits"] == 5
+
+    def test_half_open_probe_after_cooldown_then_recovery(self):
+        dataspace, plan, clock = self.make_broken_dataspace(
+            threshold=2, cooldown=30.0
+        )
+        for _ in range(2):
+            dataspace.query("/*")
+        assert dataspace.health()["imap"]["state"] == "open"
+
+        # cool-down passes: exactly one probe goes through, fails, and
+        # the breaker re-opens with a fresh cool-down
+        clock.advance(30.5)
+        calls_before_probe = plan.calls
+        result = dataspace.query("/*")
+        assert result.is_degraded
+        assert plan.calls == calls_before_probe + 1
+        assert dataspace.health()["imap"]["state"] == "open"
+        assert dataspace.health()["imap"]["times_opened"] == 2
+
+        # the source comes back: the next probe closes the breaker and
+        # the full answer returns
+        plan.outage(after=0, until=plan.calls + 1)
+        clock.advance(30.5)
+        result = dataspace.query("/*")
+        assert not result.is_degraded
+        assert dataspace.health()["imap"]["state"] == "closed"
+        assert any(uri.startswith("imap://") for uri in result.uris())
+
+    def test_explain_analyze_renders_degradation(self):
+        dataspace, _plan, _clock = self.make_broken_dataspace()
+        report = dataspace.explain_analyze("/*")
+        text = report.render()
+        assert "degradation:" in text
+        assert "imap" in text

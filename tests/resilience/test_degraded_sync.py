@@ -1,0 +1,102 @@
+"""Partially failed synchronization is reportable, not fatal."""
+
+from repro.resilience import FaultPlan
+
+from .conftest import CHAOS_SEED, fast_config, three_source_dataspace
+
+
+class TestDegradedSyncAll:
+    def test_clean_sync_reports_no_degradation(self):
+        dataspace = three_source_dataspace()
+        report = dataspace.sync()
+        assert not report.is_degraded
+        assert report.sources_skipped == []
+        assert report.errors == {}
+        for source in report.sources.values():
+            assert not source.skipped and source.errors == []
+
+    def test_dead_source_is_skipped_not_fatal(self):
+        dataspace = three_source_dataspace(
+            resilience=fast_config(max_attempts=2)
+        )
+        dataspace.inject_faults("imap", FaultPlan(seed=CHAOS_SEED).outage())
+        report = dataspace.sync()
+        assert report.is_degraded
+        assert report.sources_skipped == ["imap"]
+        assert report["imap"].skipped
+        assert report["imap"].views_total == 0
+        assert len(report["imap"].errors) == 1
+        # the reachable sources were indexed normally
+        assert report["fs"].views_total > 0
+        assert report["rss"].views_total > 0
+        assert dataspace.view_count == (report["fs"].views_total
+                                        + report["rss"].views_total)
+
+    def test_transient_faults_absorbed_by_retries(self):
+        dataspace = three_source_dataspace(
+            resilience=fast_config(max_attempts=4)
+        )
+        dataspace.inject_faults(
+            "imap", FaultPlan(seed=CHAOS_SEED).fail_calls(1, 3)
+        )
+        report = dataspace.sync()
+        assert not report.is_degraded
+        assert report["imap"].views_total > 0
+        health = dataspace.health()
+        assert health["imap"]["retries"] >= 1
+        assert health["imap"]["state"] == "closed"
+
+    def test_unguarded_dead_source_still_skipped(self):
+        """Degraded sync does not require the resilience hub: a raw
+        plugin exception is reported the same way."""
+        dataspace = three_source_dataspace()  # no hub
+        dataspace.inject_faults("rss", FaultPlan(seed=CHAOS_SEED).outage())
+        report = dataspace.sync()
+        assert report.sources_skipped == ["rss"]
+        assert report["fs"].views_total > 0
+
+    def test_resync_after_recovery_restores_the_source(self):
+        dataspace = three_source_dataspace(
+            resilience=fast_config(max_attempts=1, breaker_threshold=50)
+        )
+        plan = FaultPlan(seed=CHAOS_SEED).outage(after=0, until=2)
+        dataspace.inject_faults("imap", plan)
+        first = dataspace.sync()
+        assert first.sources_skipped == ["imap"]
+        second = dataspace.sync()  # the outage window has passed
+        assert second.sources_skipped == []
+        assert second["imap"].views_total > 0
+
+    def test_health_snapshot_after_degraded_sync(self):
+        dataspace = three_source_dataspace(
+            resilience=fast_config(max_attempts=2, breaker_threshold=2)
+        )
+        dataspace.inject_faults("imap", FaultPlan(seed=CHAOS_SEED).outage())
+        dataspace.sync()
+        health = dataspace.health()
+        assert set(health) == {"fs", "imap", "rss"}
+        assert health["imap"]["failures"] >= 1
+        assert health["fs"]["state"] == "closed"
+
+
+class TestPendingChanges:
+    def test_failed_change_is_deferred_not_lost(self):
+        dataspace = three_source_dataspace(
+            resilience=fast_config(max_attempts=1)
+        )
+        dataspace.sync()
+        # take imap down, then queue a change against it
+        plan = FaultPlan(seed=CHAOS_SEED).outage()
+        dataspace.inject_faults("imap", plan)
+        sync = dataspace.rvm.sync
+        victim_uri = next(uri for uri in sync.live_views
+                          if uri.startswith("imap://") and "#" not in uri)
+        victim = sync.live_views[victim_uri].view_id
+        sync._pending.append(victim)
+        processed = sync.process_pending()
+        assert processed == 0
+        assert sync.pending_count == 1  # deferred for the next round
+        # source recovers: the deferred change now applies
+        plan.outage(after=0, until=plan.calls + 1)
+        assert sync.process_pending() == 1
+        assert sync.pending_count == 0

@@ -1,0 +1,157 @@
+"""The fault-injection layer itself: deterministic, scripted, honest."""
+
+import pytest
+
+from repro.core.errors import (
+    SourceTimeout,
+    SourceUnavailable,
+    TransientSourceError,
+)
+from repro.core.identity import ViewId
+from repro.core.lazy import LazyValue
+from repro.core.resource_view import ResourceView
+from repro.resilience import (
+    FaultKind,
+    FaultPlan,
+    FaultyPluginWrapper,
+    FaultyProvider,
+)
+
+from .conftest import CHAOS_SEED
+
+
+class _StubPlugin:
+    authority = "stub"
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def root_views(self):
+        self.calls += 1
+        return [ResourceView(name="root", view_id=ViewId("stub", "/"))]
+
+    def resolve(self, view_id):
+        self.calls += 1
+        return None
+
+    def subscribe_changes(self, callback):
+        return False
+
+    def poll_changes(self):
+        self.calls += 1
+        return []
+
+    def data_source_seconds(self):
+        return 0.0
+
+
+class TestFaultPlan:
+    def test_same_seed_same_schedule(self):
+        plan_a = FaultPlan(seed=CHAOS_SEED + 3, transient_rate=0.4)
+        plan_b = FaultPlan(seed=CHAOS_SEED + 3, transient_rate=0.4)
+        decisions_a = [plan_a.next_fault() is not None for _ in range(200)]
+        decisions_b = [plan_b.next_fault() is not None for _ in range(200)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seeds_differ(self):
+        plans = [FaultPlan(seed=CHAOS_SEED + s, transient_rate=0.5)
+                 for s in (1, 2)]
+        schedules = [[p.next_fault() is not None for _ in range(100)]
+                     for p in plans]
+        assert schedules[0] != schedules[1]
+
+    def test_scripted_calls_fire_exactly(self):
+        plan = FaultPlan(seed=CHAOS_SEED).fail_calls(2, 4)
+        fates = [plan.next_fault() for _ in range(5)]
+        assert [f.call_number for f in plan.injected] == [2, 4]
+        assert fates[0] is None and fates[2] is None and fates[4] is None
+        assert fates[1].kind is FaultKind.TRANSIENT
+
+    def test_scripting_does_not_shift_probabilistic_draws(self):
+        base = FaultPlan(seed=CHAOS_SEED + 9, transient_rate=0.3)
+        scripted = FaultPlan(seed=CHAOS_SEED + 9,
+                             transient_rate=0.3).fail_calls(
+            1, kind=FaultKind.TIMEOUT)
+        base_fates = [base.next_fault() for _ in range(50)]
+        scripted_fates = [scripted.next_fault() for _ in range(50)]
+        # call 1 differs (scripted); every later call is identical
+        assert ([f.kind if f else None for f in base_fates[1:]]
+                == [f.kind if f else None for f in scripted_fates[1:]])
+
+    def test_outage_and_recovery(self):
+        plan = FaultPlan(seed=CHAOS_SEED).outage(after=2, until=5)
+        fates = [plan.next_fault() for _ in range(6)]
+        assert fates[0] is None and fates[1] is None
+        assert fates[2].kind is FaultKind.OUTAGE
+        assert fates[3].kind is FaultKind.OUTAGE
+        assert fates[4] is None  # call 5: recovered
+        assert fates[5] is None
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=1.5)
+
+    def test_raise_or_charge_maps_kinds(self):
+        plan = FaultPlan(seed=CHAOS_SEED)
+        plan.fail_calls(1, kind=FaultKind.TRANSIENT)
+        plan.fail_calls(2, kind=FaultKind.TIMEOUT)
+        plan.fail_calls(3, kind=FaultKind.OUTAGE)
+        plan.fail_calls(4, kind=FaultKind.LATENCY)
+        with pytest.raises(TransientSourceError):
+            plan.raise_or_charge("s")
+        with pytest.raises(SourceTimeout):
+            plan.raise_or_charge("s")
+        with pytest.raises(SourceUnavailable) as exc:
+            plan.raise_or_charge("s")
+        assert exc.value.authority == "s"
+        assert plan.raise_or_charge("s") == plan.latency_seconds
+        assert plan.raise_or_charge("s") == 0.0
+
+
+class TestFaultyPluginWrapper:
+    def test_transparent_when_clean(self):
+        inner = _StubPlugin()
+        wrapper = FaultyPluginWrapper(inner, FaultPlan(seed=CHAOS_SEED))
+        assert wrapper.authority == "stub"
+        assert len(wrapper.root_views()) == 1
+        assert wrapper.poll_changes() == []
+        assert wrapper.data_source_seconds() == 0.0
+        assert inner.calls == 2
+
+    def test_faults_block_inner_call(self):
+        inner = _StubPlugin()
+        plan = FaultPlan(seed=CHAOS_SEED).fail_calls(1)
+        wrapper = FaultyPluginWrapper(inner, plan)
+        with pytest.raises(TransientSourceError):
+            wrapper.root_views()
+        assert inner.calls == 0  # the fault fired before the source
+        wrapper.root_views()     # call 2 goes through
+        assert inner.calls == 1
+
+    def test_latency_charged_to_simulated_seconds(self):
+        plan = FaultPlan(seed=CHAOS_SEED, latency_seconds=0.25)
+        plan.fail_calls(1, kind=FaultKind.LATENCY)
+        wrapper = FaultyPluginWrapper(_StubPlugin(), plan)
+        wrapper.root_views()
+        assert wrapper.data_source_seconds() == pytest.approx(0.25)
+
+    def test_subscription_never_faulted(self):
+        plan = FaultPlan(seed=CHAOS_SEED).outage()
+        wrapper = FaultyPluginWrapper(_StubPlugin(), plan)
+        assert wrapper.subscribe_changes(lambda _vid: None) is False
+        assert plan.calls == 0
+
+
+class TestFaultyProvider:
+    def test_wraps_lazy_component_forcing(self):
+        plan = FaultPlan(seed=CHAOS_SEED).fail_calls(1)
+        provider = FaultyProvider(plan, lambda: "the text",
+                                  source="chaos")
+        lazy = LazyValue(provider)
+        with pytest.raises(TransientSourceError):
+            lazy.get()
+        assert lazy.is_failed and not lazy.is_forced
+        assert lazy.get() == "the text"  # re-force succeeds
+        assert lazy.is_forced and not lazy.is_failed
+        assert provider.calls == 2

@@ -1,0 +1,208 @@
+"""The source guard: retries, budgets, breaker integration, sinks."""
+
+import pytest
+
+from repro.core.errors import (
+    DataSourceError,
+    SourceUnavailable,
+    TransientSourceError,
+)
+from repro.resilience import (
+    BreakerState,
+    FaultPlan,
+    ResilienceHub,
+    SourceGuard,
+    install_resilience_sink,
+    uninstall_resilience_sink,
+)
+
+from .conftest import FakeClock, fast_config
+
+
+class _Flaky:
+    """A callable that fails the first N calls, then succeeds."""
+
+    def __init__(self, failures: int,
+                 error: type = TransientSourceError) -> None:
+        self.remaining = failures
+        self.error = error
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.error("boom")
+        return "ok"
+
+
+class TestSourceGuard:
+    def test_retries_absorb_transient_faults(self):
+        guard = SourceGuard("imap", fast_config(max_attempts=3))
+        flaky = _Flaky(2)
+        assert guard.call("op", flaky) == "ok"
+        assert flaky.calls == 3
+        assert guard.stats.retries == 2
+        assert guard.stats.successes == 1
+        assert guard.breaker.state is BreakerState.CLOSED
+
+    def test_budget_exhaustion_raises_source_unavailable(self):
+        guard = SourceGuard("imap", fast_config(max_attempts=3,
+                                                breaker_threshold=10))
+        flaky = _Flaky(99)
+        with pytest.raises(SourceUnavailable) as exc:
+            guard.call("op", flaky)
+        assert exc.value.authority == "imap"
+        assert isinstance(exc.value.__cause__, TransientSourceError)
+        assert flaky.calls == 3  # the budget, not one more
+        assert guard.stats.retries == 2
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        guard = SourceGuard("imap", fast_config(max_attempts=3))
+        flaky = _Flaky(99, error=DataSourceError)
+        with pytest.raises(DataSourceError):
+            guard.call("op", flaky)
+        assert flaky.calls == 1
+        assert guard.stats.failures == 1
+
+    def test_breaker_opens_within_threshold_and_short_circuits(self):
+        clock = FakeClock()
+        guard = SourceGuard("imap", fast_config(
+            max_attempts=1, breaker_threshold=3, cooldown=30.0,
+            clock=clock,
+        ))
+        for _ in range(3):
+            with pytest.raises(SourceUnavailable):
+                guard.call("op", _Flaky(99))
+        assert guard.breaker.state is BreakerState.OPEN
+        # the 4th call never reaches the source
+        probe = _Flaky(0)
+        with pytest.raises(SourceUnavailable) as exc:
+            guard.call("op", probe)
+        assert probe.calls == 0
+        assert guard.stats.short_circuits == 1
+        assert exc.value.retry_after == pytest.approx(30.0)
+
+    def test_breaker_half_opens_after_cooldown_and_recovers(self):
+        clock = FakeClock()
+        guard = SourceGuard("imap", fast_config(
+            max_attempts=1, breaker_threshold=2, cooldown=10.0,
+            clock=clock,
+        ))
+        for _ in range(2):
+            with pytest.raises(SourceUnavailable):
+                guard.call("op", _Flaky(99))
+        assert guard.breaker.state is BreakerState.OPEN
+        clock.advance(10.5)
+        healthy = _Flaky(0)
+        assert guard.call("op", healthy) == "ok"  # the half-open probe
+        assert guard.breaker.state is BreakerState.CLOSED
+
+    def test_breaker_opening_mid_budget_stops_retrying(self):
+        guard = SourceGuard("imap", fast_config(
+            max_attempts=5, breaker_threshold=2,
+        ))
+        flaky = _Flaky(99)
+        with pytest.raises(SourceUnavailable):
+            guard.call("op", flaky)
+        # threshold 2 < budget 5: the breaker tripped after 2 failures
+        # and the guard stopped instead of hammering a dead source
+        assert flaky.calls == 2
+
+    def test_deadline_overrun_counts_against_breaker(self):
+        clock = FakeClock()
+        from dataclasses import replace
+        from repro.resilience import RetryPolicy
+        config = replace(
+            fast_config(clock=clock),
+            retry=RetryPolicy(max_attempts=1, call_deadline=0.5),
+        )
+        guard = SourceGuard("imap", config)
+
+        def slow() -> str:
+            clock.advance(1.0)
+            return "late"
+
+        assert guard.call("op", slow) == "late"  # data returned...
+        assert guard.stats.deadline_overruns == 1
+        assert guard.breaker.consecutive_failures == 1  # ...but counted
+
+    def test_retry_events_reach_the_installed_sink(self):
+        events: list[str] = []
+
+        class Sink:
+            def count(self, name: str, amount: int = 1) -> None:
+                events.append(name)
+
+        guard = SourceGuard("rss", fast_config(max_attempts=2))
+        token = install_resilience_sink(Sink())
+        try:
+            guard.call("op", _Flaky(1))
+        finally:
+            uninstall_resilience_sink(token)
+        assert "resilience.rss.failure" in events
+        assert "resilience.rss.retry" in events
+
+
+class TestResilienceHub:
+    def test_one_guard_per_authority(self):
+        hub = ResilienceHub(fast_config())
+        assert hub.guard_for("imap") is hub.guard_for("imap")
+        assert hub.guard_for("imap") is not hub.guard_for("fs")
+
+    def test_wrap_is_idempotent(self):
+        hub = ResilienceHub(fast_config())
+
+        class P:
+            authority = "fs"
+
+            def subscribe_changes(self, cb):
+                return False
+
+        wrapped = hub.wrap(P())
+        assert hub.wrap(wrapped) is wrapped
+        assert wrapped.guard is hub.guard_for("fs")
+
+    def test_health_snapshot_and_open_sources(self):
+        hub = ResilienceHub(fast_config(max_attempts=1,
+                                        breaker_threshold=1))
+        guard = hub.guard_for("imap")
+        with pytest.raises(SourceUnavailable):
+            guard.call("op", _Flaky(9))
+        snapshot = hub.health_snapshot()
+        assert snapshot["imap"]["state"] == "open"
+        assert snapshot["imap"]["failures"] == 1
+        assert hub.open_sources() == ["imap"]
+
+    def test_guarded_plugin_round_trip_with_faults(self):
+        """A faulty plugin behind a guard: transient faults are invisible
+        to the caller; the plan's schedule is still honoured."""
+        from repro.resilience import FaultyPluginWrapper
+        from repro.core.identity import ViewId
+        from repro.core.resource_view import ResourceView
+
+        class P:
+            authority = "stub"
+
+            def root_views(self):
+                return [ResourceView(name="r",
+                                     view_id=ViewId("stub", "/"))]
+
+            def resolve(self, view_id):
+                return None
+
+            def subscribe_changes(self, cb):
+                return True
+
+            def poll_changes(self):
+                return []
+
+            def data_source_seconds(self):
+                return 0.0
+
+        plan = FaultPlan(seed=0).fail_calls(1, 2)
+        hub = ResilienceHub(fast_config(max_attempts=3))
+        guarded = hub.wrap(FaultyPluginWrapper(P(), plan))
+        views = guarded.root_views()  # 2 faults absorbed by 2 retries
+        assert len(views) == 1
+        assert hub.guard_for("stub").stats.retries == 2

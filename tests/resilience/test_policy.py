@@ -1,0 +1,113 @@
+"""Retry backoff schedules and circuit-breaker state transitions."""
+
+import random
+
+import pytest
+
+from repro.core.errors import (
+    DataSourceError,
+    SourceTimeout,
+    TransientSourceError,
+)
+from repro.resilience import BreakerState, CircuitBreaker, RetryPolicy
+
+from .conftest import FakeClock
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_multiplier=2.0,
+                             backoff_max=0.5, jitter=0.0)
+        rng = random.Random(0)
+        delays = [policy.delay(n, rng) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.5)
+        delays_a = [policy.delay(1, random.Random(42)) for _ in range(3)]
+        delays_b = [policy.delay(1, random.Random(42)) for _ in range(3)]
+        assert delays_a == delays_b  # same rng seed, same jitter
+        for delay in delays_a:
+            assert 0.1 <= delay <= 0.1 * 1.5
+
+    def test_retryable_classification(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(TransientSourceError("x"))
+        assert policy.is_retryable(SourceTimeout("x"))
+        assert not policy.is_retryable(DataSourceError("x"))
+        assert not policy.is_retryable(ValueError("x"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0, random.Random(0))
+
+
+class TestCircuitBreaker:
+    def make(self, clock, *, threshold=3, cooldown=10.0, probes=1):
+        return CircuitBreaker(failure_threshold=threshold,
+                              cooldown_seconds=cooldown,
+                              half_open_probes=probes, clock=clock)
+
+    def test_opens_after_consecutive_failures(self, fake_clock):
+        breaker = self.make(fake_clock, threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_success_resets_the_streak(self, fake_clock):
+        breaker = self.make(fake_clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_opens_after_cooldown(self, fake_clock):
+        breaker = self.make(fake_clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        fake_clock.advance(9.99)
+        assert not breaker.allow()
+        assert breaker.retry_after == pytest.approx(0.01)
+        fake_clock.advance(0.02)
+        assert breaker.allow()  # the probe is admitted
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_probe_budget(self, fake_clock):
+        breaker = self.make(fake_clock, threshold=1, cooldown=1.0, probes=2)
+        breaker.record_failure()
+        fake_clock.advance(1.5)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # budget of 2 spent, result pending
+
+    def test_probe_success_closes(self, fake_clock):
+        breaker = self.make(fake_clock, threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        fake_clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, fake_clock):
+        breaker = self.make(fake_clock, threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        fake_clock.advance(11.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 2
+        fake_clock.advance(5.0)
+        assert not breaker.allow()  # fresh cool-down, not the stale one
+        fake_clock.advance(6.0)
+        assert breaker.allow()
