@@ -1,0 +1,159 @@
+"""Batched-engine benchmarks: LIMIT early termination, parallel scan.
+
+Run as a script (CI smokes ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick
+
+Two experiments:
+
+**LIMIT flatness.** A name-pattern scan is the engine's streaming worst
+case — every catalog name is regex-tested. Without a limit its cost
+grows with the corpus; with ``limit=10`` planned in, ``LimitOp`` closes
+the scan after the first satisfied batch, so latency must stay flat
+(< 2x) while the corpus grows several-fold. The script *asserts* this.
+
+**Parallel scan honesty.** ``partitioned_filter`` fans a predicate over
+contiguous row partitions on a thread pool. Under the GIL a pure-Python
+(CPU-bound) predicate gains ~nothing — threads serialize on the
+interpreter — while a latency-bound predicate (one that waits on I/O,
+here simulated with a GIL-releasing sleep) gains ~Nx. Both regimes are
+measured and reported; only the latency regime's speedup is asserted,
+because that is the only speedup the engine honestly claims.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import time
+
+from repro.bench import format_table
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+from repro.query.engine import partitioned_filter
+
+#: The streaming scan under test: regex-matches every catalog name.
+SCAN_QUERY = "//*e*"
+
+#: Corpus growth ladder (generator scale factors). The generator's
+#: structural floor is ~1.8k views; 0.25 yields ~12k.
+FULL_SCALES = (0.001, 0.1, 0.25)
+QUICK_SCALES = (0.001, 0.1)
+
+REPEAT = 5
+LIMIT = 10
+
+
+def _best(fn, repeat: int = REPEAT) -> float:
+    fn()  # warm
+    return min(_timed(fn) for _ in range(repeat))
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+# -- experiment 1: LIMIT early termination ----------------------------------
+
+def bench_limit_flatness(scales) -> bool:
+    rows = []
+    views, full_ms, limit_ms = [], [], []
+    for scale in scales:
+        dataspace = Dataspace.generate(scale=scale, seed=42,
+                                       imap_latency=no_latency())
+        dataspace.sync()
+        full = _best(lambda: dataspace.query(SCAN_QUERY))
+        limited = _best(lambda: dataspace.query(SCAN_QUERY, limit=LIMIT))
+        views.append(dataspace.view_count)
+        full_ms.append(full * 1000)
+        limit_ms.append(limited * 1000)
+        rows.append([dataspace.view_count, full * 1000, limited * 1000])
+    print(format_table(
+        ["views", "full scan [ms]", f"limit {LIMIT} [ms]"],
+        rows,
+        title=f"LIMIT early termination on {SCAN_QUERY!r}",
+    ))
+    growth = views[-1] / views[0]
+    full_growth = full_ms[-1] / full_ms[0]
+    limit_growth = limit_ms[-1] / limit_ms[0]
+    print(f"corpus x{growth:.1f}: full scan x{full_growth:.1f}, "
+          f"limit {LIMIT} x{limit_growth:.1f}")
+    ok = True
+    if limit_growth >= 2.0 and (limit_ms[-1] - limit_ms[0]) > 1.0:
+        print(f"FAIL: limit-{LIMIT} latency grew x{limit_growth:.1f} "
+              f"(>= 2x) over a x{growth:.1f} corpus")
+        ok = False
+    if full_growth <= limit_growth:
+        print("WARN: full scan did not outgrow the limited query; "
+              "the corpus ladder is too shallow to show termination")
+    return ok
+
+
+# -- experiment 2: parallel partitioned scan ---------------------------------
+
+def bench_parallel(rows_cpu: int, rows_latency: int,
+                   threads: int = 4) -> bool:
+    names = [f"msg-{i:06d}{'.tex' if i % 7 == 0 else '.txt'}"
+             for i in range(rows_cpu)]
+    regex = re.compile(r"msg-\d+\.tex$")
+
+    def cpu_bound(name: str) -> bool:
+        return regex.match(name) is not None
+
+    def latency_bound(name: str) -> bool:
+        time.sleep(0.0002)  # a live-source probe; the GIL is released
+        return name.endswith(".tex")
+
+    table = []
+    speedups = {}
+    for label, predicate, rows in (
+        ("cpu-bound (regex)", cpu_bound, names),
+        ("latency-bound (0.2ms probe)", latency_bound,
+         names[:rows_latency]),
+    ):
+        serial = _best(
+            lambda: partitioned_filter(rows, predicate, threads=1),
+            repeat=3)
+        pooled = _best(
+            lambda: partitioned_filter(rows, predicate, threads=threads),
+            repeat=3)
+        speedups[label] = serial / pooled
+        table.append([label, len(rows), serial * 1000, pooled * 1000,
+                      serial / pooled])
+    print(format_table(
+        ["predicate regime", "rows", "1 thread [ms]",
+         f"{threads} threads [ms]", "speedup"],
+        table,
+        title="partitioned parallel scan (GIL honesty)",
+    ))
+    latency_speedup = speedups["latency-bound (0.2ms probe)"]
+    if latency_speedup < 1.5:
+        print(f"FAIL: latency-bound speedup {latency_speedup:.1f}x < 1.5x "
+              f"on {threads} threads")
+        return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small corpora / fewer rows (CI smoke)")
+    parser.add_argument("--threads", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    scales = QUICK_SCALES if args.quick else FULL_SCALES
+    rows_cpu = 20_000 if args.quick else 100_000
+    rows_latency = 500 if args.quick else 2_000
+
+    ok = bench_limit_flatness(scales)
+    print()
+    ok = bench_parallel(rows_cpu, rows_latency,
+                        threads=args.threads) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

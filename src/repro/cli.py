@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from .bench import (
@@ -27,7 +28,7 @@ from .bench import (
     PAPER_TABLE4,
     format_table,
 )
-from .core.errors import QuerySyntaxError
+from .core.errors import QueryExecutionError, QuerySyntaxError
 from .facade import Dataspace
 from .imapsim.latency import no_latency
 
@@ -86,10 +87,37 @@ def _cmd_query(args: argparse.Namespace) -> int:
         if args.explain:
             print(dataspace.explain(args.iql))
             return 0
-        result = dataspace.query(args.iql)
+        try:
+            # --limit plans into the query, so the engine stops pulling
+            # once satisfied; rows print as their batches arrive
+            stream = dataspace.query_iter(args.iql, limit=args.limit)
+        except QueryExecutionError:
+            return _print_materialized(dataspace, args)
     except QuerySyntaxError as error:
         print(f"iql parse error: {error}", file=sys.stderr)
         return EXIT_PARSE_ERROR
+    started = time.perf_counter()
+    shown = 0
+    with stream:
+        for uri in stream:
+            record = dataspace.rvm.catalog.get(uri)
+            label = (f"  ({record.name})"
+                     if record is not None and record.name else "")
+            print(f"{uri}{label}")
+            shown += 1
+    elapsed = time.perf_counter() - started
+    print(f"-- {shown} result(s) ({shown} shown), "
+          f"{elapsed * 1000:.1f} ms, "
+          f"{stream.expanded_views} views expanded")
+    if stream.degradation.is_degraded:
+        print(f"-- {stream.degradation.summary()}", file=sys.stderr)
+    return 0
+
+
+def _print_materialized(dataspace: Dataspace,
+                        args: argparse.Namespace) -> int:
+    """Joins have no streaming plan shape: materialize, then print."""
+    result = dataspace.query(args.iql)
     if result.pairs:
         for pair in result.pairs[:args.limit]:
             print(f"{pair.left.uri}  <->  {pair.right.uri}")
@@ -275,7 +303,8 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser("query", help="run one iQL query")
     query.add_argument("iql", help="the iQL query text")
     query.add_argument("--limit", type=int, default=20,
-                       help="max results to print (default 20)")
+                       help="max results (default 20; planned into the "
+                            "query, so execution stops early)")
     query.add_argument("--explain", action="store_true",
                        help="print the physical plan instead of executing")
     query.add_argument("--analyze", action="store_true",

@@ -121,11 +121,31 @@ class Dataspace:
 
     # -- queries ------------------------------------------------------------------------
 
-    def query(self, iql: str) -> QueryResult:
-        """Execute one iQL query (auto-syncs on first use)."""
+    def query(self, iql: str, *, limit: int | None = None) -> QueryResult:
+        """Execute one iQL query (auto-syncs on first use).
+
+        ``limit`` caps the result *with early termination*: the limit is
+        planned into the query (pushed through unions) and the engine
+        stops pulling from its scans once satisfied, so a small limit
+        costs a small amount of work regardless of corpus size.
+        """
         if not self._synced:
             self.sync()
-        return self.processor.execute(iql)
+        return self.processor.execute(iql, limit=limit)
+
+    def query_iter(self, iql: str, *, limit: int | None = None):
+        """Execute one iQL query as a lazy batch stream.
+
+        Returns a :class:`~repro.query.executor.StreamingResult`:
+        iterate it for URIs (or call ``.batches()`` for the raw
+        :class:`~repro.query.engine.Batch` stream) — rows arrive as the
+        engine pulls them, and abandoning the iteration (``close()``, or
+        leaving the ``with`` block) stops the execution early. Joins
+        have no streaming plan shape; use :meth:`query` for those.
+        """
+        if not self._synced:
+            self.sync()
+        return self.processor.execute_iter(iql, limit=limit)
 
     def explain(self, iql: str) -> str:
         return self.processor.explain(iql)

@@ -1,0 +1,67 @@
+"""The batched, pull-based query engine (Volcano over URI vectors).
+
+Plans still come from :mod:`repro.query.plan` / the optimizer; this
+package executes them: :func:`compile_plan` lowers the node tree to
+``open()/next_batch()/close()`` operators, :func:`iter_batches` drives
+the root, and :func:`materialize_set` is the compatibility shim that
+gives the old "a plan yields a ``set[str]``" contract to callers that
+still want it (``PlanNode.execute`` delegates here).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .batch import Batch, DEFAULT_BATCH_SIZE, chunked
+from .compile import compile_plan
+from .config import DEFAULT_ENGINE, EngineConfig
+from .operators import Operator
+from .parallel import partitioned_filter
+from .reference import reference_execute
+from .topk import TopKHeap
+
+__all__ = [
+    "Batch",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_ENGINE",
+    "EngineConfig",
+    "Operator",
+    "TopKHeap",
+    "chunked",
+    "compile_plan",
+    "iter_batches",
+    "materialize_set",
+    "partitioned_filter",
+    "reference_execute",
+]
+
+
+def iter_batches(plan, ctx, *, require_ordered: bool = False
+                 ) -> Iterator[Batch]:
+    """Compile ``plan`` and stream its non-empty result batches.
+
+    The operator tree is closed when the stream exhausts, when the
+    consumer abandons the generator, or when a pull raises — so spans
+    seal and scans release in every exit path.
+    """
+    op = compile_plan(plan, ctx, require_ordered=require_ordered)
+    op.open(ctx)
+    try:
+        while True:
+            batch = op.next_batch()
+            if batch is None:
+                return
+            if batch.uris:
+                yield batch
+    finally:
+        op.close()
+
+
+def materialize_set(plan, ctx) -> set[str]:
+    """The compatibility shim: run the batched engine to completion and
+    collect the distinct URIs, restoring the old ``set[str]`` root
+    contract."""
+    out: set[str] = set()
+    for batch in iter_batches(plan, ctx):
+        out.update(batch.uris)
+    return out

@@ -1,0 +1,66 @@
+"""The unit of data flow in the batched engine: a vector of URIs.
+
+A :class:`Batch` is an immutable chunk of view URIs, optionally carrying
+a parallel score column (top-k ranking flows scores alongside URIs
+instead of re-looking them up). ``ordered=True`` asserts the stream
+property the merge operators rely on: URIs are strictly increasing
+*within the batch and across consecutive batches of the same stream*.
+Unordered streams still never repeat a URI — every operator's output is
+a set, delivered in chunks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+#: Default rows per batch. Large enough to amortize per-batch overhead
+#: (one checkpoint, one counter bump), small enough that a ``LIMIT 10``
+#: pulls a sliver of the corpus.
+DEFAULT_BATCH_SIZE = 256
+
+
+@dataclass(frozen=True)
+class Batch:
+    """One chunk of an operator's output stream."""
+
+    uris: tuple[str, ...]
+    scores: tuple[float, ...] | None = None
+    ordered: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scores is not None and len(self.scores) != len(self.uris):
+            raise ValueError("score column length must match uris")
+
+    def __len__(self) -> int:
+        return len(self.uris)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.uris)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.uris
+
+    def truncated(self, count: int) -> "Batch":
+        """The first ``count`` rows (for LIMIT's final partial batch)."""
+        if count >= len(self.uris):
+            return self
+        return Batch(
+            uris=self.uris[:count],
+            scores=self.scores[:count] if self.scores is not None else None,
+            ordered=self.ordered,
+        )
+
+
+def chunked(uris: Iterable[str], size: int, *,
+            ordered: bool = False) -> Iterator[Batch]:
+    """Slice a URI sequence into :class:`Batch` es of ``size`` rows."""
+    buffer: list[str] = []
+    for uri in uris:
+        buffer.append(uri)
+        if len(buffer) >= size:
+            yield Batch(uris=tuple(buffer), ordered=ordered)
+            buffer = []
+    if buffer:
+        yield Batch(uris=tuple(buffer), ordered=ordered)

@@ -1,0 +1,728 @@
+"""Batched physical operators: the Volcano protocol over URI vectors.
+
+Every operator implements ``open(ctx)`` / ``next_batch()`` / ``close()``
+and streams :class:`~repro.query.engine.batch.Batch` es to its parent.
+``next_batch()`` returning ``None`` means exhausted; ``close()`` is
+idempotent and releases children (a parent may close early — that is
+how ``Limit`` stops a scan mid-corpus).
+
+Two stream disciplines coexist (see DESIGN.md §4e):
+
+* **ordered** streams emit strictly increasing URIs across batches —
+  the sorted-merge operators (:class:`MergeIntersect`,
+  :class:`MergeUnion`, :class:`MergeDiff`) require it of their inputs
+  and preserve it;
+* **unordered** streams emit distinct URIs in pipeline order — cheaper
+  (no sort barrier), and what :class:`Limit` wants above a scan.
+
+The compiler (:mod:`.compile`) inserts :class:`Sort` enforcers where an
+ordered input is required but not provided.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Iterator
+
+from ..ast import Axis
+from .batch import Batch, chunked
+from .parallel import partitioned_filter
+
+
+class Operator:
+    """Base of the pull-based operator protocol."""
+
+    #: True when this operator's output stream is strictly increasing.
+    ordered = False
+
+    def open(self, ctx) -> None:
+        """Bind the execution context. Must be cheap: no substrate work
+        happens until the first ``next_batch()`` pull."""
+        raise NotImplementedError
+
+    def next_batch(self) -> Batch | None:
+        """The next output chunk, or ``None`` once exhausted."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources and close children (idempotent)."""
+
+
+def drain(op: Operator) -> Iterator[str]:
+    """Pull ``op`` to exhaustion, yielding URIs, then close it."""
+    try:
+        while True:
+            batch = op.next_batch()
+            if batch is None:
+                return
+            yield from batch.uris
+    finally:
+        op.close()
+
+
+class _Cursor:
+    """A row cursor over an *ordered* operator's batch stream."""
+
+    __slots__ = ("op", "_uris", "_pos", "exhausted", "_started")
+
+    def __init__(self, op: Operator):
+        self.op = op
+        self._uris: tuple[str, ...] = ()
+        self._pos = 0
+        self.exhausted = False
+        self._started = False
+
+    @property
+    def value(self) -> str:
+        return self._uris[self._pos]
+
+    def _load(self) -> bool:
+        while True:
+            batch = self.op.next_batch()
+            if batch is None:
+                self.exhausted = True
+                return False
+            if batch.uris:
+                self._uris = batch.uris
+                self._pos = 0
+                return True
+
+    def ensure(self) -> bool:
+        """Position on the first row (no-op afterwards)."""
+        if not self._started:
+            self._started = True
+            return self._load()
+        return not self.exhausted
+
+    def advance(self) -> bool:
+        self._pos += 1
+        if self._pos >= len(self._uris):
+            return self._load()
+        return True
+
+    def advance_to(self, target: str) -> bool:
+        """Skip rows < ``target`` (binary search within each batch)."""
+        while not self.exhausted:
+            index = bisect_left(self._uris, target, lo=self._pos)
+            if index < len(self._uris):
+                self._pos = index
+                return True
+            if not self._load():
+                return False
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+class SetScan(Operator):
+    """An index lookup delivered in sorted batches.
+
+    ``fetch`` runs once, on the first pull — a ``SetScan`` that is
+    opened but never pulled (an intersection short-circuited by an
+    earlier empty input) does no substrate work at all, matching the
+    pre-engine executor's sequential short-circuit behaviour.
+    """
+
+    ordered = True
+
+    def __init__(self, fetch: Callable[[object], set[str]]):
+        self._fetch = fetch
+        self._chunks: Iterator[Batch] | None = None
+        self._ctx = None
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        self._chunks = None
+
+    def next_batch(self) -> Batch | None:
+        if self._chunks is None:
+            uris = sorted(self._fetch(self._ctx))
+            self._chunks = chunked(uris, self._ctx.engine.batch_size,
+                                   ordered=True)
+        return next(self._chunks, None)
+
+
+class CatalogScan(Operator):
+    """Stream every registered URI in catalog (storage) order.
+
+    Unordered but deterministic; one checkpoint per pull so a deadline
+    can fire between batches of a long scan.
+    """
+
+    ordered = False
+
+    def __init__(self) -> None:
+        self._records = None
+        self._ctx = None
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        self._records = None
+
+    def next_batch(self) -> Batch | None:
+        ctx = self._ctx
+        if self._records is None:
+            ctx.count("ctx.catalog_scan")
+            self._records = ctx.rvm.catalog.all_records()
+        ctx.checkpoint()
+        size = ctx.engine.batch_size
+        out: list[str] = []
+        for record in self._records:
+            out.append(record.uri)
+            if len(out) >= size:
+                break
+        if not out:
+            return None
+        ctx.count("engine.rows_scanned", len(out))
+        return Batch(tuple(out))
+
+
+class NameScan(Operator):
+    """Wildcard name match as a streaming (or partitioned parallel)
+    scan over the name replica — the catalog's metadata when no replica
+    is kept.
+
+    Sequential mode matches incrementally per pull, so a ``Limit``
+    above stops the scan after a sliver of the corpus. With
+    ``EngineConfig.scan_threads > 1`` and a corpus past
+    ``parallel_threshold``, the row list is partitioned across worker
+    threads instead (matches arrive in one burst, input order kept).
+    """
+
+    ordered = False
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self._ctx = None
+        self._rows = None
+        self._regex = None
+        self._parallel_chunks: Iterator[Batch] | None = None
+        self._done = False
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        self._rows = None
+        self._parallel_chunks = None
+        self._done = False
+
+    def _row_source(self):
+        rvm = self._ctx.rvm
+        if rvm.indexes.policy.index_names:
+            return iter(rvm.indexes.name_index.stored_items())
+        return ((record.uri, record.name)
+                for record in rvm.catalog.all_records() if record.name)
+
+    def _start(self) -> None:
+        from ..plan import wildcard_regex
+        ctx = self._ctx
+        ctx.count("ctx.name_pattern")
+        self._regex = wildcard_regex(self.pattern)
+        config = ctx.engine
+        if config.scan_threads > 1:
+            rows = list(self._row_source())
+            if len(rows) >= config.parallel_threshold:
+                ctx.count("ctx.name_scan_parallel")
+                ctx.count("engine.rows_scanned", len(rows))
+                regex = self._regex
+                matched = partitioned_filter(
+                    rows, lambda row: regex.match(row[1]) is not None,
+                    threads=config.scan_threads,
+                )
+                self._parallel_chunks = chunked(
+                    (uri for uri, _ in matched), config.batch_size
+                )
+                return
+            self._rows = iter(rows)
+            return
+        self._rows = self._row_source()
+
+    def next_batch(self) -> Batch | None:
+        if self._done:
+            return None
+        ctx = self._ctx
+        if self._rows is None and self._parallel_chunks is None:
+            self._start()
+        if self._parallel_chunks is not None:
+            batch = next(self._parallel_chunks, None)
+            if batch is None:
+                self._done = True
+            return batch
+        ctx.checkpoint()
+        size = ctx.engine.batch_size
+        regex = self._regex
+        matched: list[str] = []
+        scanned = 0
+        for uri, name in self._rows:
+            scanned += 1
+            if regex.match(name):
+                matched.append(uri)
+                if len(matched) >= size:
+                    break
+        else:
+            self._done = True
+        if scanned:
+            ctx.count("engine.rows_scanned", scanned)
+        if not matched:
+            return None
+        return Batch(tuple(matched))
+
+
+# ---------------------------------------------------------------------------
+# Streaming set combinators (sorted-merge family)
+# ---------------------------------------------------------------------------
+
+class MergeIntersect(Operator):
+    """K-way sorted-merge intersection.
+
+    Inputs advance in plan order, so an empty first input finishes the
+    operator before later inputs do any work (the classic sequential
+    short-circuit), and a ``Limit`` above stops the merge after k
+    matches instead of materializing every side.
+    """
+
+    ordered = True
+
+    def __init__(self, children: list[Operator]):
+        self.children = children
+        self._cursors: list[_Cursor] | None = None
+        self._done = False
+        self._ctx = None
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        for child in self.children:
+            child.open(ctx)
+        self._cursors = [_Cursor(c) for c in self.children]
+        self._done = False
+
+    def next_batch(self) -> Batch | None:
+        if self._done:
+            return None
+        cursors = self._cursors
+        for cursor in cursors:  # plan order: empty-first short-circuits
+            if not cursor.ensure():
+                self._finish()
+                return None
+        size = self._ctx.engine.batch_size
+        out: list[str] = []
+        while len(out) < size:
+            high = max(cursor.value for cursor in cursors)
+            if all(cursor.value == high for cursor in cursors):
+                out.append(high)
+                if not all(cursor.advance() for cursor in cursors):
+                    self._finish()
+                    break
+            elif not all(cursor.advance_to(high) for cursor in cursors):
+                self._finish()
+                break
+        if not out:
+            return None
+        return Batch(tuple(out), ordered=True)
+
+    def _finish(self) -> None:
+        self._done = True
+        self.close()
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()
+
+
+class MergeUnion(Operator):
+    """K-way sorted-merge union with duplicate elimination (ordered)."""
+
+    ordered = True
+
+    def __init__(self, children: list[Operator]):
+        self.children = children
+        self._heap: list[tuple[str, int]] | None = None
+        self._cursors: list[_Cursor] | None = None
+        self._ctx = None
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        for child in self.children:
+            child.open(ctx)
+        self._cursors = [_Cursor(c) for c in self.children]
+        self._heap = None
+
+    def next_batch(self) -> Batch | None:
+        import heapq
+        if self._heap is None:
+            self._heap = []
+            for index, cursor in enumerate(self._cursors):
+                if cursor.ensure():
+                    heapq.heappush(self._heap, (cursor.value, index))
+        heap = self._heap
+        size = self._ctx.engine.batch_size
+        out: list[str] = []
+        while heap and len(out) < size:
+            value, index = heapq.heappop(heap)
+            if not out or out[-1] != value:
+                # equal keys from other inputs are popped and dropped on
+                # later iterations — that is the duplicate elimination
+                out.append(value)
+            cursor = self._cursors[index]
+            if cursor.advance():
+                heapq.heappush(heap, (cursor.value, index))
+        # a popped duplicate may equal the previous batch's last row;
+        # strict cross-batch monotonicity is kept by construction since
+        # duplicates are dropped against out[-1] before emission
+        if not out:
+            return None
+        return Batch(tuple(out), ordered=True)
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()
+
+
+class ConcatUnion(Operator):
+    """Sequential union: children stream one after another, a seen-set
+    drops duplicates. Unordered, but fully lazy — later children are
+    not even pulled until earlier ones exhaust, which keeps span and
+    substrate accounting identical to the pre-engine executor and lets
+    ``Limit`` skip trailing children entirely."""
+
+    ordered = False
+
+    def __init__(self, children: list[Operator]):
+        self.children = children
+        self._index = 0
+        self._seen: set[str] = set()
+
+    def open(self, ctx) -> None:
+        for child in self.children:
+            child.open(ctx)
+        self._index = 0
+        self._seen = set()
+
+    def next_batch(self) -> Batch | None:
+        while self._index < len(self.children):
+            child = self.children[self._index]
+            batch = child.next_batch()
+            if batch is None:
+                child.close()
+                self._index += 1
+                continue
+            fresh = tuple(u for u in batch.uris if u not in self._seen)
+            if fresh:
+                self._seen.update(fresh)
+                return Batch(fresh)
+        return None
+
+    def close(self) -> None:
+        for child in self.children:
+            child.close()
+
+
+class MergeDiff(Operator):
+    """Sorted-merge anti-join: ``universe`` rows absent from ``child``
+    (the Complement). Streams both sides — no materialized difference
+    set, and early termination under ``Limit`` works."""
+
+    ordered = True
+
+    def __init__(self, universe: Operator, child: Operator):
+        self.universe = universe
+        self.child = child
+        self._ctx = None
+        self._u: _Cursor | None = None
+        self._c: _Cursor | None = None
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        self.universe.open(ctx)
+        self.child.open(ctx)
+        self._u = _Cursor(self.universe)
+        self._c = _Cursor(self.child)
+
+    def next_batch(self) -> Batch | None:
+        u, c = self._u, self._c
+        if not u.ensure():
+            return None
+        c.ensure()
+        size = self._ctx.engine.batch_size
+        out: list[str] = []
+        while not u.exhausted and len(out) < size:
+            value = u.value
+            if not c.exhausted and c.advance_to(value) and c.value == value:
+                u.advance()
+                continue
+            out.append(value)
+            u.advance()
+        if not out:
+            return None
+        return Batch(tuple(out), ordered=True)
+
+    def close(self) -> None:
+        self.universe.close()
+        self.child.close()
+
+
+class Sort(Operator):
+    """Order enforcer: drain the child, dedup, sort, re-chunk. The
+    barrier the merge operators need below an unordered input."""
+
+    ordered = True
+
+    def __init__(self, child: Operator):
+        self.child = child
+        self._chunks: Iterator[Batch] | None = None
+        self._ctx = None
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        self.child.open(ctx)
+        self._chunks = None
+
+    def next_batch(self) -> Batch | None:
+        if self._chunks is None:
+            uris = sorted(set(drain(self.child)))
+            self._chunks = chunked(uris, self._ctx.engine.batch_size,
+                                   ordered=True)
+        return next(self._chunks, None)
+
+    def close(self) -> None:
+        self.child.close()
+
+
+# ---------------------------------------------------------------------------
+# Limit / top-k
+# ---------------------------------------------------------------------------
+
+class LimitOp(Operator):
+    """Genuine early termination: after ``count`` rows the child is
+    closed and never pulled again — a streaming scan below stops
+    mid-corpus."""
+
+    def __init__(self, child: Operator, count: int):
+        self.child = child
+        self.count = count
+        self._remaining = count
+
+    @property
+    def ordered(self) -> bool:  # type: ignore[override]
+        return self.child.ordered
+
+    def open(self, ctx) -> None:
+        self.child.open(ctx)
+        self._remaining = self.count
+
+    def next_batch(self) -> Batch | None:
+        if self._remaining <= 0:
+            return None
+        batch = self.child.next_batch()
+        if batch is None:
+            self._remaining = 0
+            return None
+        if len(batch) >= self._remaining:
+            batch = batch.truncated(self._remaining)
+            self._remaining = 0
+            self.child.close()  # stop pulling: the scan below halts
+            return batch
+        self._remaining -= len(batch)
+        return batch
+
+    def close(self) -> None:
+        self.child.close()
+
+
+class TopKOperator(Operator):
+    """Bounded-heap top-k over a score-carrying batch stream.
+
+    Emits the k best rows best-first (score desc, URI asc tie-break),
+    scores attached. Rows without a score column rank at 0.0.
+    """
+
+    ordered = False  # score order, not URI order
+
+    def __init__(self, child: Operator, k: int):
+        self.child = child
+        self.k = k
+        self._chunks: Iterator[Batch] | None = None
+        self._ctx = None
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        self.child.open(ctx)
+        self._chunks = None
+
+    def next_batch(self) -> Batch | None:
+        from .topk import TopKHeap
+        if self._chunks is None:
+            heap = TopKHeap(self.k)
+            try:
+                while True:
+                    batch = self.child.next_batch()
+                    if batch is None:
+                        break
+                    scores = batch.scores or (0.0,) * len(batch)
+                    for uri, score in zip(batch.uris, scores):
+                        heap.push(uri, score)
+            finally:
+                self.child.close()
+            best = heap.best_first()
+            size = self._ctx.engine.batch_size
+            self._chunks = iter([
+                Batch(uris=tuple(u for u, _ in best[i:i + size]),
+                      scores=tuple(s for _, s in best[i:i + size]))
+                for i in range(0, len(best), size)
+            ])
+        return next(self._chunks, None)
+
+    def close(self) -> None:
+        self.child.close()
+
+
+# ---------------------------------------------------------------------------
+# Expansion (group navigation)
+# ---------------------------------------------------------------------------
+
+class ExpandOperator(Operator):
+    """Path-step navigation re-seated on the batch protocol.
+
+    Forward expansion is *pipelined*: input batches feed a multi-source
+    BFS whose discoveries stream out as they are made, with the shared
+    reached/processed sets doubling as the cycle guard (a group cycle
+    terminates because no URI is expanded twice). Backward and
+    bidirectional strategies need both frontiers materialized, so they
+    keep the pre-engine algorithms and emit their result sorted.
+    """
+
+    def __init__(self, input_op: Operator, candidates_op: Operator | None,
+                 axis: Axis, strategy: str):
+        self.input_op = input_op
+        self.candidates_op = candidates_op
+        self.axis = axis
+        self.strategy = strategy
+        self.ordered = (strategy in ("backward", "auto")
+                        and candidates_op is not None)
+        self._batches: Iterator[Batch] | None = None
+        self._ctx = None
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        self.input_op.open(ctx)
+        if self.candidates_op is not None:
+            self.candidates_op.open(ctx)
+        self._batches = None
+
+    def next_batch(self) -> Batch | None:
+        if self._batches is None:
+            size = self._ctx.engine.batch_size
+            if self.ordered:
+                uris = sorted(self._materialized())
+                self._batches = chunked(uris, size, ordered=True)
+            else:
+                self._batches = chunked(self._forward_stream(), size)
+        return next(self._batches, None)
+
+    def close(self) -> None:
+        self.input_op.close()
+        if self.candidates_op is not None:
+            self.candidates_op.close()
+
+    # -- pipelined forward expansion ---------------------------------------
+
+    def _forward_stream(self) -> Iterator[str]:
+        ctx = self._ctx
+        candidates = (set(drain(self.candidates_op))
+                      if self.candidates_op is not None else None)
+        reached: set[str] = set()
+        if self.axis is Axis.CHILD:
+            while True:
+                batch = self.input_op.next_batch()
+                if batch is None:
+                    break
+                for uri in batch:
+                    for child in ctx.children_of(uri):
+                        if child not in reached:
+                            reached.add(child)
+                            ctx.expanded_views += 1
+                            if candidates is None or child in candidates:
+                                yield child
+            return
+        # descendant axis: incremental multi-source BFS. ``reached`` is
+        # the cycle guard — a URI discovered once is never re-expanded.
+        processed: set[str] = set()
+        while True:
+            batch = self.input_op.next_batch()
+            if batch is None:
+                return
+            for source in batch:
+                frontier = [source]
+                while frontier:
+                    uri = frontier.pop()
+                    if uri in processed:
+                        continue
+                    processed.add(uri)
+                    for child in ctx.children_of(uri):
+                        if child not in reached:
+                            reached.add(child)
+                            ctx.expanded_views += 1
+                            frontier.append(child)
+                            if candidates is None or child in candidates:
+                                yield child
+
+    # -- materialized strategies (backward / bidirectional) ----------------
+
+    def _materialized(self) -> set[str]:
+        ctx = self._ctx
+        sources = set(drain(self.input_op))
+        candidates = set(drain(self.candidates_op))
+        if self.strategy == "backward" or len(candidates) < len(sources):
+            return self._backward(ctx, sources, candidates)
+        return self._forward_into(ctx, sources, candidates)
+
+    def _forward_into(self, ctx, sources: set[str],
+                      candidates: set[str]) -> set[str]:
+        reached: set[str] = set()
+        if self.axis is Axis.CHILD:
+            for uri in sources:
+                reached.update(ctx.children_of(uri))
+        else:
+            processed: set[str] = set()
+            frontier = list(sources)
+            while frontier:
+                uri = frontier.pop()
+                if uri in processed:
+                    continue
+                processed.add(uri)
+                for child in ctx.children_of(uri):
+                    if child not in reached:
+                        reached.add(child)
+                        frontier.append(child)
+        ctx.expanded_views += len(reached)
+        return reached & candidates
+
+    def _backward(self, ctx, sources: set[str],
+                  candidates: set[str]) -> set[str]:
+        out: set[str] = set()
+        if self.axis is Axis.CHILD:
+            for uri in candidates:
+                parents = ctx.parents_of(uri)
+                ctx.expanded_views += len(parents)
+                if parents & sources:
+                    out.add(uri)
+            return out
+        for uri in candidates:
+            # BFS up the reverse edges, early-exiting on the first source
+            seen: set[str] = set()
+            frontier = [uri]
+            hit = False
+            while frontier and not hit:
+                current = frontier.pop()
+                for parent in ctx.parents_of(current):
+                    if parent in sources:
+                        hit = True
+                        break
+                    if parent not in seen:
+                        seen.add(parent)
+                        frontier.append(parent)
+            ctx.expanded_views += len(seen)
+            if hit:
+                out.add(uri)
+        return out

@@ -1,0 +1,139 @@
+"""The pre-engine materializing evaluator, kept as a differential
+oracle.
+
+This is the executor the repo shipped before the batched engine: every
+node recursively materializes a complete ``set[str]``. It stays here —
+deliberately independent of the operator implementations — so the
+property harness can assert, for hundreds of generated queries, that
+the streaming engine and the old semantics agree exactly.
+"""
+
+from __future__ import annotations
+
+from ...core.errors import QueryExecutionError
+from ..ast import Axis
+from ..plan import (
+    AllViews,
+    ClassLookup,
+    Complement,
+    ContentSearch,
+    ExpandStep,
+    Intersect,
+    Limit,
+    NameEquals,
+    NamePattern,
+    PlanNode,
+    RootViews,
+    TupleCompare,
+    Union,
+)
+
+
+def reference_execute(node: PlanNode, ctx) -> set[str]:
+    """Evaluate ``node`` with the original set-at-a-time semantics."""
+    if isinstance(node, AllViews):
+        return set(ctx.all_uris())
+    if isinstance(node, RootViews):
+        return ctx.root_uris()
+    if isinstance(node, ContentSearch):
+        return ctx.content_search(node.text, is_phrase=node.is_phrase,
+                                  wildcard=node.wildcard)
+    if isinstance(node, NameEquals):
+        return ctx.name_equals(node.name)
+    if isinstance(node, NamePattern):
+        return ctx.name_pattern(node.pattern)
+    if isinstance(node, ClassLookup):
+        return ctx.class_lookup(node.class_name)
+    if isinstance(node, TupleCompare):
+        return ctx.tuple_compare(node.attribute, node.op, node.value)
+    if isinstance(node, Intersect):
+        result: set[str] | None = None
+        for part in node.parts:
+            uris = reference_execute(part, ctx)
+            result = uris if result is None else result & uris
+            if not result:
+                return set()
+        return result if result is not None else set()
+    if isinstance(node, Union):
+        out: set[str] = set()
+        for part in node.parts:
+            out |= reference_execute(part, ctx)
+        return out
+    if isinstance(node, Complement):
+        return set(ctx.all_uris()) - reference_execute(node.part, ctx)
+    if isinstance(node, ExpandStep):
+        return _reference_expand(node, ctx)
+    if isinstance(node, Limit):
+        # LIMIT has no set-semantics counterpart beyond the subset
+        # property; the oracle returns the unlimited result and the
+        # harness checks containment separately.
+        return reference_execute(node.part, ctx)
+    raise QueryExecutionError(
+        f"reference evaluator cannot run {type(node).__name__}"
+    )
+
+
+def _reference_expand(node: ExpandStep, ctx) -> set[str]:
+    sources = reference_execute(node.input, ctx)
+    if node.strategy == "forward" or node.candidates is None:
+        return _forward(node, ctx, sources)
+    candidates = reference_execute(node.candidates, ctx)
+    if node.strategy == "backward" or len(candidates) < len(sources):
+        return _backward(node, ctx, sources, candidates)
+    return _forward(node, ctx, sources, candidates)
+
+
+def _forward(node: ExpandStep, ctx, sources: set[str],
+             candidates: set[str] | None = None) -> set[str]:
+    if node.axis is Axis.CHILD:
+        reached: set[str] = set()
+        for uri in sources:
+            reached.update(ctx.children_of(uri))
+    else:
+        reached = set()
+        processed: set[str] = set()
+        frontier = list(sources)
+        while frontier:
+            uri = frontier.pop()
+            if uri in processed:
+                continue
+            processed.add(uri)
+            for child in ctx.children_of(uri):
+                if child not in reached:
+                    reached.add(child)
+                    frontier.append(child)
+    ctx.expanded_views += len(reached)
+    if candidates is not None:
+        return reached & candidates
+    if node.candidates is None:
+        return reached
+    return reached & reference_execute(node.candidates, ctx)
+
+
+def _backward(node: ExpandStep, ctx, sources: set[str],
+              candidates: set[str]) -> set[str]:
+    out: set[str] = set()
+    if node.axis is Axis.CHILD:
+        for uri in candidates:
+            parents = ctx.parents_of(uri)
+            ctx.expanded_views += len(parents)
+            if parents & sources:
+                out.add(uri)
+        return out
+    for uri in candidates:
+        seen: set[str] = set()
+        frontier = [uri]
+        hit = False
+        while frontier and not hit:
+            current = frontier.pop()
+            for parent in ctx.parents_of(current):
+                if parent in sources:
+                    hit = True
+                    break
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        ctx.expanded_views += len(seen)
+        if hit:
+            out.add(uri)
+    return out

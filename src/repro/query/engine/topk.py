@@ -1,0 +1,63 @@
+"""Bounded-heap top-k selection with deterministic tie-breaking.
+
+Ranking used to sort *every* scored URI and slice the head; the heap
+keeps only the k best seen so far, so selecting 10 of 100 000 costs
+O(n log k) time and O(k) memory. Ties are broken by URI ascending —
+of two equal-score hits the lexicographically smaller URI wins — which
+is the engine-wide determinism rule (see DESIGN.md §4e).
+"""
+
+from __future__ import annotations
+
+import heapq
+from functools import total_ordering
+
+
+@total_ordering
+class _WorstFirst:
+    """Heap key ordering entries worst-first: lower score is worse; at
+    equal score the lexicographically *larger* URI is worse (so the
+    smaller URI survives eviction — the tie-break rule)."""
+
+    __slots__ = ("score", "uri")
+
+    def __init__(self, score: float, uri: str):
+        self.score = score
+        self.uri = uri
+
+    def __lt__(self, other: "_WorstFirst") -> bool:
+        if self.score != other.score:
+            return self.score < other.score
+        return self.uri > other.uri
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, _WorstFirst)
+                and self.score == other.score and self.uri == other.uri)
+
+
+class TopKHeap:
+    """Keep the ``k`` best (score desc, URI asc) of a pushed stream."""
+
+    def __init__(self, k: int):
+        if k < 0:
+            raise ValueError("k must be >= 0")
+        self.k = k
+        self._heap: list[_WorstFirst] = []
+
+    def push(self, uri: str, score: float) -> None:
+        if self.k == 0:
+            return
+        entry = _WorstFirst(score, uri)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif self._heap[0] < entry:
+            heapq.heapreplace(self._heap, entry)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def best_first(self) -> list[tuple[str, float]]:
+        """The retained entries, best first (score desc, URI asc)."""
+        return [(e.uri, e.score)
+                for e in sorted(self._heap,
+                                key=lambda e: (-e.score, e.uri))]

@@ -1,0 +1,99 @@
+"""Tracing at the iterator boundary.
+
+The pre-engine executor wrapped each node's monolithic ``_run()`` in a
+span; with pipelined operators there is no single run to wrap, so the
+span moves to the batch protocol: it opens lazily on the operator's
+*first pull* (an operator that is opened but never pulled — an
+intersection input behind an empty sibling — emits no span at all,
+matching the old sequential short-circuit), accumulates wall time per
+``next_batch()`` call, counts rows and batches, and seals when the
+stream exhausts, the parent closes early (LIMIT), or a pull raises.
+
+Span nesting cannot rely on the collector's LIFO stack — pipelined
+pulls interleave — so the collector carries an ``active_operator``
+pointer: whichever span's ``next_batch()`` is on the call stack is the
+parent of any span that begins inside it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .batch import Batch
+from .operators import Operator
+
+
+class TracedOperator(Operator):
+    """Wraps one physical operator with a span at the pull boundary."""
+
+    def __init__(self, inner: Operator, *, operator: str, detail: str,
+                 estimate: Callable[[object], int]):
+        self.inner = inner
+        self._operator = operator
+        self._detail = detail
+        self._estimate = estimate
+        self._ctx = None
+        self._trace = None
+        self._span = None
+        self._rows = 0
+        self._batches = 0
+        self._elapsed = 0.0
+        self._sealed = False
+
+    @property
+    def ordered(self) -> bool:  # type: ignore[override]
+        return self.inner.ordered
+
+    def open(self, ctx) -> None:
+        self._ctx = ctx
+        self._trace = ctx.trace
+        self.inner.open(ctx)
+
+    def next_batch(self) -> Batch | None:
+        trace = self._trace
+        if self._span is None and not self._sealed:
+            with trace.paused():  # estimates must not pollute counters
+                estimate = self._estimate(self._ctx)
+            self._span = trace.begin_operator(
+                self._operator, self._detail, estimate=estimate,
+                parent=trace.active_operator,
+            )
+        previous = trace.active_operator
+        trace.active_operator = self._span
+        started = time.perf_counter()
+        try:
+            batch = self.inner.next_batch()
+        except BaseException as error:
+            self._elapsed += time.perf_counter() - started
+            trace.active_operator = previous
+            self._seal_abort(error)
+            raise
+        self._elapsed += time.perf_counter() - started
+        trace.active_operator = previous
+        if batch is None:
+            self._seal_ok()
+            return None
+        self._rows += len(batch)
+        self._batches += 1
+        return batch
+
+    def close(self) -> None:
+        self._seal_ok()
+        self.inner.close()
+
+    def _seal_ok(self) -> None:
+        if self._span is not None and not self._sealed:
+            self._sealed = True
+            self._trace.finish_operator(
+                self._span, rows=self._rows, batches=self._batches,
+                elapsed=self._elapsed,
+            )
+
+    def _seal_abort(self, error: BaseException) -> None:
+        if self._span is not None and not self._sealed:
+            self._sealed = True
+            self._trace.abort_operator(
+                self._span, error, rows=self._rows, batches=self._batches,
+                elapsed=self._elapsed,
+            )

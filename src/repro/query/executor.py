@@ -47,6 +47,12 @@ from .ast import (
     QueryExpr,
     UnionExpr,
 )
+from .engine import (
+    Batch,
+    DEFAULT_ENGINE,
+    EngineConfig,
+    iter_batches,
+)
 from .functions import FunctionTable
 from .optimizer import optimize
 from .parser import parse_iql
@@ -58,6 +64,7 @@ from .plan import (
     ExpandStep,
     Intersect,
     JoinPlan,
+    Limit,
     NameEquals,
     NamePattern,
     PlanNode,
@@ -112,17 +119,22 @@ class ExecutionContext:
 
     ``trace`` is an optional :class:`~repro.trace.TraceCollector`: when
     present, every substrate call below records a ``ctx.*`` counter and
-    every plan node wraps itself in a span, turning the execution into
-    an EXPLAIN ANALYZE. When absent the accounting costs one ``is None``
-    check per call site.
+    the engine compiler wraps every operator in a span, turning the
+    execution into an EXPLAIN ANALYZE. When absent the accounting costs
+    one ``is None`` check per call site.
+
+    ``engine`` tunes the batched engine (vector width, parallel scan
+    threads); see :class:`repro.query.engine.EngineConfig`.
     """
 
     def __init__(self, rvm: ResourceViewManager, functions: FunctionTable,
-                 *, cancel_token=None, trace=None):
+                 *, cancel_token=None, trace=None,
+                 engine: EngineConfig | None = None):
         self.rvm = rvm
         self.functions = functions
         self.cancel_token = cancel_token
         self.trace = trace
+        self.engine = engine if engine is not None else DEFAULT_ENGINE
         self.group_replica = rvm.indexes.group_replica
         self.expanded_views = 0  # intermediate-result accounting (Q8!)
         #: what this execution had to do without: every survived source
@@ -443,6 +455,10 @@ class QueryResult:
     elapsed_seconds: float = 0.0
     expanded_views: int = 0
     plan_text: str = ""
+    #: the engine's materialized result batches, in pipeline emission
+    #: order (empty for joins) — the serving layer's result cache keeps
+    #: these so cached streams replay without re-execution
+    batches: tuple[Batch, ...] = ()
     #: the TraceCollector of a traced execution (None otherwise)
     trace: object = None
     #: what this execution had to do without (empty when healthy)
@@ -461,10 +477,67 @@ class QueryResult:
         return self.plan_text.startswith("Join")
 
     def __len__(self) -> int:
-        return len(self.pairs) if self.pairs else len(self.hits)
+        """Result cardinality: join hits for a join, hits otherwise.
+
+        A join result counts its pairs even when that count is zero —
+        it never falls back to the (always empty) unary hit list.
+        """
+        return len(self.pairs) if self.is_join else len(self.hits)
 
     def uris(self) -> list[str]:
+        """The distinct matched URIs, sorted.
+
+        For a join these are the deduplicated pair members (a URI
+        appearing on both sides, or in several pairs, is listed once).
+        """
+        if self.is_join:
+            members = {hit.uri for pair in self.pairs
+                       for hit in (pair.left, pair.right)}
+            return sorted(members)
         return [h.uri for h in self.hits]
+
+
+class StreamingResult:
+    """A lazily-evaluated query result: batches arrive as the engine
+    pulls them, so the first rows are available before the scan
+    finishes and an abandoned iteration stops the execution early.
+
+    ``degradation`` and ``expanded_views`` reflect work done *so far*;
+    they are complete once the stream is exhausted.
+    """
+
+    def __init__(self, query: str, plan_text: str, ctx: "ExecutionContext",
+                 batches):
+        self.query = query
+        self.plan_text = plan_text
+        self._ctx = ctx
+        self._batches = batches
+
+    @property
+    def degradation(self) -> DegradationReport:
+        return self._ctx.degradation
+
+    @property
+    def expanded_views(self) -> int:
+        return self._ctx.expanded_views
+
+    def batches(self):
+        """The underlying batch iterator (consumes the stream)."""
+        return self._batches
+
+    def __iter__(self):
+        for batch in self._batches:
+            yield from batch.uris
+
+    def close(self) -> None:
+        """Abandon the stream; the engine closes its operators."""
+        self._batches.close()
+
+    def __enter__(self) -> "StreamingResult":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass
@@ -533,26 +606,36 @@ class QueryProcessor:
 
     # -- public API -----------------------------------------------------------
 
-    def execute(self, query_text: str, *, cancel_token=None) -> QueryResult:
+    def execute(self, query_text: str, *, cancel_token=None,
+                limit: int | None = None,
+                engine: EngineConfig | None = None) -> QueryResult:
         return self.execute_prepared(self.prepare(query_text),
-                                     cancel_token=cancel_token)
+                                     cancel_token=cancel_token,
+                                     limit=limit, engine=engine)
 
     def prepare(self, query_text: str) -> PreparedQuery:
         """Parse once; the result can be executed many times."""
         return PreparedQuery(text=query_text, ast=parse_iql(query_text))
 
     def execute_prepared(self, prepared: PreparedQuery, *,
-                         cancel_token=None, trace=None) -> QueryResult:
+                         cancel_token=None, trace=None,
+                         limit: int | None = None,
+                         engine: EngineConfig | None = None) -> QueryResult:
         """Execute a prepared query.
 
         ``trace`` is an optional :class:`~repro.trace.TraceCollector`;
-        when given, plan nodes record spans, substrate calls record
-        counters, and lazy component materializations are observed for
-        the duration (the collector is installed as this thread's
-        materialization sink).
+        when given, engine operators record spans, substrate calls
+        record counters, and lazy component materializations are
+        observed for the duration (the collector is installed as this
+        thread's materialization sink).
+
+        ``limit`` truncates the result after that many rows *with early
+        termination*: the engine stops pulling from its scans, so the
+        cost is bounded by the limit, not the corpus.
         """
         ctx = ExecutionContext(self.rvm, self.functions,
-                               cancel_token=cancel_token, trace=trace)
+                               cancel_token=cancel_token, trace=trace,
+                               engine=engine)
         scope = trace.activate() if trace is not None else nullcontext()
         started = time.perf_counter()
         # retries/breaker events fired by source guards during this
@@ -563,6 +646,8 @@ class QueryProcessor:
                 if isinstance(prepared.ast, JoinExpr):
                     plan = self._prepared_join(prepared, ctx, trace=trace)
                     pairs = plan.execute_pairs(ctx)
+                    if limit is not None:
+                        pairs = pairs[:limit]
                     elapsed = time.perf_counter() - started
                     return QueryResult(
                         query=prepared.text,
@@ -574,13 +659,13 @@ class QueryProcessor:
                         trace=trace,
                         degradation=ctx.degradation,
                     )
-                plan = prepared.plan
-                if plan is None:
-                    plan = self._optimize(self._build(prepared.ast), ctx,
-                                          trace=trace)
-                    if self.optimizer_mode == "rule":
-                        prepared.plan = plan
-                uris = plan.execute(ctx)
+                plan = self._prepared_plan(prepared, ctx, trace=trace,
+                                           limit=limit)
+                uris: set[str] = set()
+                batches: list[Batch] = []
+                for batch in iter_batches(plan, ctx):
+                    batches.append(batch)
+                    uris.update(batch.uris)
         finally:
             uninstall_resilience_sink(sink_token)
         elapsed = time.perf_counter() - started
@@ -589,9 +674,58 @@ class QueryProcessor:
         return QueryResult(
             query=prepared.text, hits=hits, elapsed_seconds=elapsed,
             expanded_views=ctx.expanded_views, plan_text=plan.explain(),
+            batches=tuple(batches),
             trace=trace,
             degradation=ctx.degradation,
         )
+
+    def execute_iter(self, query, *, cancel_token=None, trace=None,
+                     limit: int | None = None,
+                     engine: EngineConfig | None = None) -> StreamingResult:
+        """Execute a (non-join) query as a batch stream.
+
+        Returns a :class:`StreamingResult` whose batches materialize on
+        demand — iterate it (or call ``batches()``) to pull; abandoning
+        the iteration closes the operator tree early. Joins have no
+        streaming plan shape; use :meth:`execute_prepared`.
+        """
+        prepared = (query if isinstance(query, PreparedQuery)
+                    else self.prepare(query))
+        if isinstance(prepared.ast, JoinExpr):
+            raise QueryExecutionError(
+                "joins do not stream; use execute()/execute_prepared()"
+            )
+        ctx = ExecutionContext(self.rvm, self.functions,
+                               cancel_token=cancel_token, trace=trace,
+                               engine=engine)
+        plan = self._prepared_plan(prepared, ctx, trace=trace, limit=limit)
+
+        def stream():
+            scope = trace.activate() if trace is not None else nullcontext()
+            sink_token = install_resilience_sink(_ResilienceObserver(ctx))
+            try:
+                with scope:
+                    yield from iter_batches(plan, ctx)
+            finally:
+                uninstall_resilience_sink(sink_token)
+
+        return StreamingResult(prepared.text, plan.explain(), ctx, stream())
+
+    def _prepared_plan(self, prepared: PreparedQuery, ctx: ExecutionContext,
+                       *, trace=None, limit: int | None = None) -> PlanNode:
+        """The (memoized) optimized plan, wrapped with ``Limit`` when
+        requested. The limit wrap happens after memoization — the cached
+        plan stays limit-free, and the extra rule pass (limit pushdown)
+        is idempotent over the already-optimized tree."""
+        plan = prepared.plan
+        if plan is None:
+            plan = self._optimize(self._build(prepared.ast), ctx,
+                                  trace=trace)
+            if self.optimizer_mode == "rule":
+                prepared.plan = plan
+        if limit is not None:
+            plan = optimize(Limit(part=plan, count=limit), trace=trace)
+        return plan
 
     def _prepared_join(self, prepared: PreparedQuery,
                        ctx: ExecutionContext, trace=None) -> JoinPlan:

@@ -8,7 +8,13 @@ work); we implement the same flavour:
   (class, exact name) run before full-text search, tuple ranges, name
   scans, and complements — the first input seeds the running
   intersection, and every later input benefits from early emptiness;
-* **short-circuit** degenerate shapes (single-child inner nodes).
+* **short-circuit** degenerate shapes (single-child inner nodes);
+* **push limits down**: nested limits collapse to the smaller count,
+  and a limit over a union caps each branch (sound because every
+  operator emits distinct rows, so k distinct union results need at
+  most the first k of any branch) — together with the engine's
+  early-terminating ``LimitOp`` this keeps LIMIT cost independent of
+  corpus size.
 
 Every rewrite may be recorded into a
 :class:`~repro.trace.TraceCollector` (pass ``trace=``), which is how
@@ -23,6 +29,7 @@ from .plan import (
     Complement,
     ExpandStep,
     Intersect,
+    Limit,
     PlanNode,
     Union,
 )
@@ -85,7 +92,30 @@ def _rewrite(node: PlanNode, trace=None) -> PlanNode:
             candidates = None
         return ExpandStep(input=_rewrite(node.input, trace), axis=node.axis,
                           candidates=candidates, strategy=node.strategy)
+    if isinstance(node, Limit):
+        return _limit(_rewrite(node.part, trace), node.count, trace)
     return node
+
+
+def _limit(part: PlanNode, count: int, trace=None) -> PlanNode:
+    """Place a limit of ``count`` over ``part``, pushing it down."""
+    if isinstance(part, Limit):
+        merged = min(count, part.count)
+        _record(trace, "collapse-limit",
+                f"Limit({count})(Limit({part.count})) -> Limit({merged})")
+        return _limit(part.part, merged, trace)
+    if isinstance(part, Union) and len(part.parts) > 1:
+        capped = tuple(
+            p if isinstance(p, Limit) and p.count <= count
+            else _limit(p, count, trace)
+            for p in part.parts
+        )
+        if capped != part.parts:
+            _record(trace, "push-limit-into-union",
+                    f"Limit({count}) pushed into "
+                    f"{len(part.parts)} union branches")
+        return Limit(part=Union(capped), count=count)
+    return Limit(part=part, count=count)
 
 
 def optimize_with_statistics(plan: PlanNode, ctx, trace=None) -> PlanNode:
@@ -121,6 +151,9 @@ def _reorder_by_estimates(node: PlanNode, ctx, trace=None) -> PlanNode:
         return ExpandStep(input=_reorder_by_estimates(node.input, ctx, trace),
                           axis=node.axis, candidates=candidates,
                           strategy=node.strategy)
+    if isinstance(node, Limit):
+        return Limit(part=_reorder_by_estimates(node.part, ctx, trace),
+                     count=node.count)
     return node
 
 

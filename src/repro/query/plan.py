@@ -1,10 +1,16 @@
 """Physical query plans over the RVM's indexes and replicas.
 
-Every plan node computes a set of view URIs. Leaf nodes hit one index:
-the content full-text index, the name index/replica, the catalog's class
-index, or the vertically partitioned tuple index. Inner nodes combine
-sets (intersect/union/complement) or navigate the group replica
-(:class:`ExpandStep` — the prototype's *forward expansion*).
+Every plan node *describes* a set of view URIs. Leaf nodes name one
+index access: the content full-text index, the name index/replica, the
+catalog's class index, or the vertically partitioned tuple index. Inner
+nodes combine sets (intersect/union/complement), navigate the group
+replica (:class:`ExpandStep` — the prototype's *forward expansion*), or
+truncate (:class:`Limit`).
+
+Execution lives in :mod:`repro.query.engine`: the compiler lowers this
+node tree to batched pull-based operators. :meth:`PlanNode.execute`
+remains as the materializing compatibility shim — it runs the engine to
+completion and returns the old ``set[str]``.
 
 Cost estimates are deliberately coarse (rule-based optimization, like
 the 2006 prototype — "cost based optimization will be explored as
@@ -40,36 +46,24 @@ def wildcard_regex(pattern: str) -> re.Pattern[str]:
 
 
 class PlanNode:
-    """Base class: :meth:`execute` returns matching URIs.
+    """Base class: a logical description the engine compiles and runs.
 
-    :meth:`execute` is the traced entry point: when the execution
-    context carries a :class:`~repro.trace.TraceCollector` it wraps the
-    node's :meth:`_run` in a span (pre-execution estimate, actual rows,
-    wall time); without one it dispatches straight through, so disabled
-    tracing costs a single ``is None`` check per node.
+    :meth:`execute` is the compatibility shim kept at the root of the
+    old contract: it drives the batched engine
+    (:func:`repro.query.engine.materialize_set`) to completion and
+    returns the full URI set. Tracing, cancellation and degradation all
+    live at the engine's iterator boundary now — when the execution
+    context carries a :class:`~repro.trace.TraceCollector`, the
+    compiler wraps every operator in a span; without one, execution has
+    no tracing overhead at all.
     """
 
     #: ordinal cost class; lower executes earlier inside intersections
     COST = 5
 
     def execute(self, ctx: "ExecutionContext") -> set[str]:
-        trace = ctx.trace
-        if trace is None:
-            return self._run(ctx)
-        with trace.paused():  # estimates must not pollute work counters
-            estimate = self.estimate(ctx)
-        span = trace.begin(type(self).__name__, self.describe(),
-                           estimate=estimate)
-        try:
-            result = self._run(ctx)
-        except BaseException as error:
-            trace.abort(span, error)
-            raise
-        trace.finish(span, rows=len(result))
-        return result
-
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        raise NotImplementedError
+        from .engine import materialize_set
+        return materialize_set(self, ctx)
 
     def estimate(self, ctx: "ExecutionContext") -> int:
         """Estimated result cardinality (for cost-based ordering and
@@ -91,9 +85,6 @@ class AllViews(PlanNode):
 
     COST = 6
 
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        return set(ctx.all_uris())
-
     def estimate(self, ctx: "ExecutionContext") -> int:
         return len(ctx.all_uris())  # exact: the universe itself
 
@@ -106,9 +97,6 @@ class RootViews(PlanNode):
     """The data sources' root views (a leading child-axis step)."""
 
     COST = 1
-
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        return ctx.root_uris()
 
     def estimate(self, ctx: "ExecutionContext") -> int:
         return len(ctx.root_uris())  # exact: one view per data source
@@ -125,10 +113,6 @@ class ContentSearch(PlanNode):
     text: str = ""
     is_phrase: bool = True
     wildcard: bool = False
-
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        return ctx.content_search(self.text, is_phrase=self.is_phrase,
-                                  wildcard=self.wildcard)
 
     def estimate(self, ctx: "ExecutionContext") -> int:
         return ctx.content_estimate(self.text, is_phrase=self.is_phrase,
@@ -147,9 +131,6 @@ class NameEquals(PlanNode):
     COST = 1
     name: str = ""
 
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        return ctx.name_equals(self.name)
-
     def estimate(self, ctx: "ExecutionContext") -> int:
         return len(ctx.name_equals(self.name))
 
@@ -163,9 +144,6 @@ class NamePattern(PlanNode):
 
     COST = 4
     pattern: str = ""
-
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        return ctx.name_pattern(self.pattern)
 
     def estimate(self, ctx: "ExecutionContext") -> int:
         return ctx.name_pattern_estimate(self.pattern)
@@ -181,9 +159,6 @@ class ClassLookup(PlanNode):
 
     COST = 1
     class_name: str = ""
-
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        return ctx.class_lookup(self.class_name)
 
     def estimate(self, ctx: "ExecutionContext") -> int:
         return ctx.class_estimate(self.class_name)
@@ -201,9 +176,6 @@ class TupleCompare(PlanNode):
     op: CompareOp = CompareOp.EQ
     value: object = None
 
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        return ctx.tuple_compare(self.attribute, self.op, self.value)
-
     def estimate(self, ctx: "ExecutionContext") -> int:
         return ctx.tuple_estimate(self.attribute, self.op)
 
@@ -218,15 +190,6 @@ class Intersect(PlanNode):
     @property
     def COST(self) -> int:  # type: ignore[override]
         return min((p.COST for p in self.parts), default=5)
-
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        result: set[str] | None = None
-        for part in self.parts:
-            uris = part.execute(ctx)
-            result = uris if result is None else result & uris
-            if not result:
-                return set()
-        return result if result is not None else set()
 
     def estimate(self, ctx: "ExecutionContext") -> int:
         return min((p.estimate(ctx) for p in self.parts),
@@ -246,12 +209,6 @@ class Union(PlanNode):
     def COST(self) -> int:  # type: ignore[override]
         return max((p.COST for p in self.parts), default=5)
 
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        result: set[str] = set()
-        for part in self.parts:
-            result |= part.execute(ctx)
-        return result
-
     def estimate(self, ctx: "ExecutionContext") -> int:
         return min(len(ctx.all_uris()),
                    sum(p.estimate(ctx) for p in self.parts))
@@ -269,14 +226,40 @@ class Complement(PlanNode):
     part: PlanNode = field(default_factory=AllViews)
     COST = 6
 
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        return set(ctx.all_uris()) - self.part.execute(ctx)
-
     def estimate(self, ctx: "ExecutionContext") -> int:
         return max(0, len(ctx.all_uris()) - self.part.estimate(ctx))
 
     def explain(self, indent: int = 0) -> str:
         return "  " * indent + "Complement\n" + self.part.explain(indent + 1)
+
+
+@dataclass
+class Limit(PlanNode):
+    """Truncate the inner stream after ``count`` rows.
+
+    The engine's :class:`~repro.query.engine.operators.LimitOp` stops
+    pulling its child once satisfied, so a streaming scan below halts
+    mid-corpus — LIMIT cost no longer scales with dataspace size. Rows
+    kept are the first ``count`` in the child's deterministic pipeline
+    order (sorted order when the child stream is ordered).
+    """
+
+    part: PlanNode = field(default_factory=AllViews)
+    count: int = 0
+
+    @property
+    def COST(self) -> int:  # type: ignore[override]
+        return self.part.COST
+
+    def estimate(self, ctx: "ExecutionContext") -> int:
+        return min(self.count, self.part.estimate(ctx))
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+    def explain(self, indent: int = 0) -> str:
+        return ("  " * indent + f"Limit({self.count})\n"
+                + self.part.explain(indent + 1))
 
 
 @dataclass
@@ -292,7 +275,8 @@ class ExpandStep(PlanNode):
     names as the planned fix for Q8's forward-expansion cost:
 
     * ``forward`` — the 2006 prototype's strategy: multi-source BFS from
-      the input set, intersect with the candidates;
+      the input set, intersect with the candidates; the engine runs it
+      *pipelined*, streaming discoveries as they are made;
     * ``backward`` — start from the (index-computed) candidates and walk
       *up* the reverse edges until an input is met;
     * ``auto`` (bidirectional heuristic) — materialize both sides and
@@ -304,81 +288,6 @@ class ExpandStep(PlanNode):
     candidates: PlanNode | None = None
     strategy: str = "forward"  # forward | backward | auto
     COST = 5
-
-    def _run(self, ctx: "ExecutionContext") -> set[str]:
-        sources = self.input.execute(ctx)
-        if self.strategy == "forward" or self.candidates is None:
-            return self._forward(ctx, sources)
-        candidates = self.candidates.execute(ctx)
-        if self.strategy == "backward":
-            return self._backward(ctx, sources, candidates)
-        # auto: pick the smaller frontier (bidirectional heuristic)
-        if len(candidates) < len(sources):
-            return self._backward(ctx, sources, candidates)
-        return self._forward(ctx, sources, candidates)
-
-    # -- forward expansion -------------------------------------------------
-
-    def _forward(self, ctx: "ExecutionContext", sources: set[str],
-                 candidates: set[str] | None = None) -> set[str]:
-        if self.axis is Axis.CHILD:
-            reached: set[str] = set()
-            for uri in sources:
-                reached.update(ctx.children_of(uri))
-        else:
-            # Multi-source BFS. A node reachable over >= 1 edge belongs in
-            # the result even when it is itself a source (e.g. a figure
-            # view that is both environment-classed and inside a center
-            # environment), so the processed-set is tracked separately.
-            reached = set()
-            processed: set[str] = set()
-            frontier = list(sources)
-            while frontier:
-                uri = frontier.pop()
-                if uri in processed:
-                    continue
-                processed.add(uri)
-                for child in ctx.children_of(uri):
-                    if child not in reached:
-                        reached.add(child)
-                        frontier.append(child)
-        ctx.expanded_views += len(reached)
-        if candidates is not None:
-            return reached & candidates
-        if self.candidates is None:
-            return reached
-        return reached & self.candidates.execute(ctx)
-
-    # -- backward expansion --------------------------------------------------
-
-    def _backward(self, ctx: "ExecutionContext", sources: set[str],
-                  candidates: set[str]) -> set[str]:
-        out: set[str] = set()
-        if self.axis is Axis.CHILD:
-            for uri in candidates:
-                parents = ctx.parents_of(uri)
-                ctx.expanded_views += len(parents)
-                if parents & sources:
-                    out.add(uri)
-            return out
-        for uri in candidates:
-            # BFS up the reverse edges, early-exiting on the first source
-            seen: set[str] = set()
-            frontier = [uri]
-            hit = False
-            while frontier and not hit:
-                current = frontier.pop()
-                for parent in ctx.parents_of(current):
-                    if parent in sources:
-                        hit = True
-                        break
-                    if parent not in seen:
-                        seen.add(parent)
-                        frontier.append(parent)
-            ctx.expanded_views += len(seen)
-            if hit:
-                out.add(uri)
-        return out
 
     def estimate(self, ctx: "ExecutionContext") -> int:
         """With a candidate filter the expansion returns a subset of the
@@ -409,7 +318,9 @@ class JoinPlan:
 
     Equality conditions run as hash joins (build on the smaller side);
     inequalities fall back to a nested loop. Key extraction follows the
-    qualified references of the condition.
+    qualified references of the condition. The join inputs execute
+    through the batched engine (their operator spans nest under the
+    Join span).
     """
 
     left: PlanNode

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from ..fulltext.scoring import score_tfidf
 from ..rvm.manager import ResourceViewManager
+from .engine import TopKHeap
 
 #: Weight of a name-component match relative to a content match.
 NAME_BOOST = 2.0
@@ -38,6 +39,10 @@ def ranked_search(rvm: ResourceViewManager, text: str, *,
 
     ``within`` restricts scoring to a pre-computed URI set (typically an
     iQL query's result — structure filters, ranking orders).
+
+    Selection uses the engine's bounded :class:`TopKHeap` — O(n log k)
+    over the scored stream instead of a full sort — and equal-score
+    hits tie-break by URI ascending, the engine-wide determinism rule.
     """
     scores: dict[str, float] = {}
     for uri, score in score_tfidf(rvm.indexes.content_index, text):
@@ -47,9 +52,11 @@ def ranked_search(rvm: ResourceViewManager, text: str, *,
         if within is None or uri in within:
             scores[uri] = scores.get(uri, 0.0) + name_boost * score
 
-    ranked = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    heap = TopKHeap(limit)
+    for uri, score in scores.items():
+        heap.push(uri, score)
     out = []
-    for uri, score in ranked[:limit]:
+    for uri, score in heap.best_first():
         record = rvm.catalog.get(uri)
         out.append(ScoredHit(
             uri=uri,

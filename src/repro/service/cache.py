@@ -6,7 +6,10 @@ Two LRU caches sit in front of the query processor:
   :class:`~repro.query.executor.PreparedQuery`, so each distinct query
   text is parsed (and, under the rule optimizer, planned) once;
 * the **result cache** maps the same key to a finished
-  :class:`~repro.query.QueryResult`.
+  :class:`~repro.query.QueryResult` — which, since the batched engine,
+  carries the execution's materialized :class:`~repro.query.engine.Batch`
+  sequence, so a cache hit can replay the result as a stream without
+  re-running the operator tree.
 
 Results must never go stale. The result cache therefore subscribes to
 the RVM's push bus — the same :class:`~repro.pushops.PushBus` the

@@ -59,7 +59,10 @@ class QueryTicket:
         return self._done.is_set()
 
     def cancel(self, reason: str = "cancelled by client") -> None:
-        """Request cooperative cancellation (queued or running)."""
+        """Request cooperative cancellation (queued or running). A
+        running query notices at the engine's next batch boundary —
+        streaming scans checkpoint once per vector pulled — so a
+        cancelled scan stops mid-corpus instead of finishing."""
         self.token.cancel(reason)
 
     def result(self, timeout: float | None = None) -> QueryResult:

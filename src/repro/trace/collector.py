@@ -34,6 +34,11 @@ class TraceCollector:
         self.cancelled = False
         self._stack: list[tuple[Span, float]] = []
         self._paused = 0
+        #: the engine operator span whose ``next_batch()`` is currently
+        #: on the call stack — the parent of any span begun inside it
+        #: (pipelined pulls interleave, so LIFO stack order cannot be
+        #: assumed for operator spans)
+        self.active_operator: Span | None = None
 
     # -- spans ---------------------------------------------------------------
 
@@ -73,6 +78,54 @@ class TraceCollector:
                 return
             # an inner span was left open (its operator raised without
             # aborting); seal it with the same status and keep unwinding
+
+    # -- engine operator spans (explicit parent, no stack) ---------------------
+
+    def begin_operator(self, operator: str, detail: str, *,
+                       estimate: int | None = None,
+                       parent: Span | None = None) -> Span:
+        """Open a span for a batched-engine operator.
+
+        Unlike :meth:`begin`, nesting is explicit: ``parent`` is the
+        span of the operator whose pull is driving this one (the
+        collector's :attr:`active_operator`). Without a parent, the span
+        nests under the innermost *stack* span if one is open (a Join
+        driving its inputs) and becomes a root otherwise.
+        """
+        if parent is not None:
+            span = Span(operator=operator, detail=detail,
+                        depth=parent.depth + 1, estimate=estimate)
+            parent.children.append(span)
+        elif self._stack:
+            top = self._stack[-1][0]
+            span = Span(operator=operator, detail=detail,
+                        depth=top.depth + 1, estimate=estimate)
+            top.children.append(span)
+        else:
+            span = Span(operator=operator, detail=detail, depth=0,
+                        estimate=estimate)
+            self.roots.append(span)
+        return span
+
+    def finish_operator(self, span: Span, *, rows: int, batches: int,
+                        elapsed: float) -> None:
+        """Seal an operator span at stream exhaustion or early close."""
+        span.actual_rows = rows
+        span.batches = batches
+        span.elapsed_seconds = elapsed
+        span.status = "ok"
+
+    def abort_operator(self, span: Span, error: BaseException, *,
+                       rows: int, batches: int, elapsed: float) -> None:
+        """Seal an operator span whose pull raised."""
+        if isinstance(error, (QueryCancelled, DeadlineExceeded)):
+            self.cancelled = True
+            span.status = "cancelled"
+        else:
+            span.status = "error"
+        span.actual_rows = rows
+        span.batches = batches
+        span.elapsed_seconds = elapsed
 
     # -- counters ------------------------------------------------------------
 

@@ -30,8 +30,12 @@ def format_span(span: Span, *, redact_timing: bool = False) -> str:
     fields = [
         f"est={span.estimate if span.estimate is not None else '?'}",
         f"rows={span.actual_rows if span.actual_rows is not None else '?'}",
-        f"time={_format_time(span.elapsed_seconds, redact=redact_timing)}",
     ]
+    if span.batches is not None:
+        fields.append(f"batches={span.batches}")
+    fields.append(
+        f"time={_format_time(span.elapsed_seconds, redact=redact_timing)}"
+    )
     line = f"{span.detail}  [{' '.join(fields)}]"
     if span.status not in ("ok", "running"):
         line += f"  !{span.status}"

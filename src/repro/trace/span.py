@@ -1,10 +1,12 @@
 """The span model: one record per plan-node execution.
 
-A span is written in two steps — :meth:`TraceCollector.begin` creates it
-(with the operator's *pre-execution* cardinality estimate) and
-:meth:`TraceCollector.finish`/:meth:`TraceCollector.abort` seal it with
-the actual row count, wall time and final status. Spans nest exactly as
-plan nodes do, so the span forest mirrors the physical plan tree.
+A span is written in two steps — it is created with the operator's
+*pre-execution* cardinality estimate (on the first batch pulled, for
+engine operators) and sealed with the actual row count, batches pulled,
+wall time and final status. Spans nest exactly as plan nodes do, so the
+span forest mirrors the physical plan tree; with the batched engine,
+the wall time is the sum of the operator's ``next_batch()`` calls
+(inclusive of its inputs' pull time, exclusive of its siblings').
 """
 
 from __future__ import annotations
@@ -22,6 +24,9 @@ class Span:
     depth: int                        #: nesting depth (0 = plan root)
     estimate: int | None = None       #: pre-execution cardinality estimate
     actual_rows: int | None = None    #: rows actually produced
+    #: batches pulled from this operator (None for non-engine spans,
+    #: e.g. the Join driver); rows/batches gives rows-per-batch
+    batches: int | None = None
     elapsed_seconds: float | None = None
     status: str = "running"           #: running | ok | cancelled | error
     children: list["Span"] = field(default_factory=list)

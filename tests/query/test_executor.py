@@ -289,3 +289,74 @@ class TestResultShape:
         result = qp.execute('//notes.txt')
         view = result.hits[0].view(rvm)
         assert view is not None and "tuning" in view.text()
+
+    def test_result_carries_its_batches(self, qp):
+        result = qp.execute('"database"')
+        assert result.batches
+        streamed = {uri for batch in result.batches for uri in batch.uris}
+        assert streamed == set(result.uris())
+
+
+class TestJoinResultShape:
+    """Pins the ``__len__``/``uris()`` contract for joins. The old
+    asymmetry: ``len()`` counted pairs while ``uris()`` read the unary
+    hit list — always empty for a join."""
+
+    QUERY = ('join ( //*[class = "emailmessage"]//*.tex as A, '
+             "//papers//*.tex as B, A.name = B.name )")
+
+    def test_len_counts_pairs_and_uris_lists_pair_members(self, qp):
+        result = qp.execute(self.QUERY)
+        assert result.is_join
+        assert len(result) == len(result.pairs) == 1
+        members = {hit.uri for pair in result.pairs
+                   for hit in (pair.left, pair.right)}
+        assert set(result.uris()) == members
+        assert result.uris() == sorted(result.uris())
+
+    def test_empty_join_counts_zero_not_the_hit_list(self, qp):
+        result = qp.execute(
+            'join( //no_such_name as A, //also_missing as B, '
+            "A.name = B.name )"
+        )
+        assert result.is_join
+        assert len(result) == 0
+        assert result.uris() == []
+
+
+class TestLimit:
+    def test_limit_caps_the_result(self, qp):
+        full = qp.execute('"database"')
+        limited = qp.execute('"database"', limit=2)
+        assert len(limited) == 2
+        assert set(limited.uris()) <= set(full.uris())
+
+    def test_limit_zero(self, qp):
+        assert len(qp.execute('"database"', limit=0)) == 0
+
+    def test_limit_applies_to_joins(self, qp):
+        result = qp.execute(TestJoinResultShape.QUERY, limit=0)
+        assert result.is_join and len(result) == 0
+
+
+class TestStreaming:
+    def test_execute_iter_matches_materialized_execution(self, qp):
+        streamed = list(qp.execute_iter('"database"'))
+        assert len(streamed) == len(set(streamed))  # distinct rows
+        assert sorted(streamed) == qp.execute('"database"').uris()
+
+    def test_abandoning_the_stream_closes_it(self, qp):
+        from repro.query.engine import EngineConfig
+        stream = qp.execute_iter("//*e*", engine=EngineConfig(batch_size=2))
+        batches = stream.batches()
+        first = next(batches)
+        assert first.uris
+        stream.close()
+        assert next(batches, None) is None  # generator is closed
+
+    def test_execute_iter_rejects_joins(self, qp):
+        with pytest.raises(QueryExecutionError):
+            qp.execute_iter(TestJoinResultShape.QUERY)
+
+    def test_streaming_respects_limit(self, qp):
+        assert len(list(qp.execute_iter('"database"', limit=3))) == 3

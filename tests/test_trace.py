@@ -141,6 +141,65 @@ class TestCancellationTracing:
             assert span.elapsed_seconds is not None
 
 
+class TestEarlyTermination:
+    """The engine's work counters prove LIMIT and cancellation stop the
+    scan mid-corpus — latency flatness is benchmarked, but *these* pin
+    the mechanism: ``engine.rows_scanned`` is the rows the streaming
+    scans actually consumed."""
+
+    QUERY = "//*e*"  # a streaming NameScan over every catalog name
+
+    def _scanned(self, dataspace, *, limit=None, engine=None,
+                 cancel_token=None) -> tuple[TraceCollector, int]:
+        trace = TraceCollector()
+        processor = dataspace.processor
+        processor.execute_prepared(processor.prepare(self.QUERY),
+                                   trace=trace, limit=limit, engine=engine,
+                                   cancel_token=cancel_token)
+        return trace, trace.counters.get("engine.rows_scanned", 0)
+
+    def test_limit_scans_rows_proportional_to_k_not_the_corpus(
+            self, tiny_dataspace):
+        from repro.query.engine import EngineConfig
+        _, full_scan = self._scanned(tiny_dataspace)
+        corpus = tiny_dataspace.view_count
+        assert full_scan >= corpus // 2  # the unlimited query scans all
+        # limit 10 with a 16-row vector: the scan stops after one batch
+        trace, limited_scan = self._scanned(
+            tiny_dataspace, limit=10, engine=EngineConfig(batch_size=16))
+        assert limited_scan <= 200, (
+            f"LIMIT 10 scanned {limited_scan} of {corpus} rows")
+        assert limited_scan * 5 < full_scan
+        # the sealed scan span records its bounded batch count
+        scan = next(s for s in trace.spans()
+                    if s.operator == "NamePattern")
+        assert scan.status == "ok" and scan.batches == 1
+
+    def test_cancellation_between_batches_stops_the_scan(
+            self, tiny_dataspace):
+        from repro.query.engine import EngineConfig
+        with pytest.raises(QueryCancelled):
+            self._scanned(tiny_dataspace,
+                          engine=EngineConfig(batch_size=32),
+                          cancel_token=_TripAfter(checks=2))
+        # re-run to inspect: the token admits two pulls, so only ~two
+        # vectors of rows are consumed before the abort
+        trace = TraceCollector()
+        processor = tiny_dataspace.processor
+        with pytest.raises(QueryCancelled):
+            processor.execute_prepared(
+                processor.prepare(self.QUERY), trace=trace,
+                engine=EngineConfig(batch_size=32),
+                cancel_token=_TripAfter(checks=2))
+        assert trace.cancelled
+        scanned = trace.counters.get("engine.rows_scanned", 0)
+        assert scanned < tiny_dataspace.view_count // 4, (
+            f"cancelled scan still consumed {scanned} rows")
+        for span in trace.spans():
+            assert span.status in ("ok", "cancelled")
+            assert span.elapsed_seconds is not None
+
+
 class TestEstimateContract:
     #: queries that together cover every plan-node type: AllViews,
     #: RootViews, ContentSearch, NameEquals, NamePattern, ClassLookup,
