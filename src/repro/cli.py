@@ -28,7 +28,7 @@ from .bench import (
     PAPER_TABLE4,
     format_table,
 )
-from .core.errors import QueryExecutionError, QuerySyntaxError
+from .core.errors import QuerySyntaxError, StreamingUnsupportedError
 from .facade import Dataspace
 from .imapsim.latency import no_latency
 
@@ -91,7 +91,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             # --limit plans into the query, so the engine stops pulling
             # once satisfied; rows print as their batches arrive
             stream = dataspace.query_iter(args.iql, limit=args.limit)
-        except QueryExecutionError:
+        except StreamingUnsupportedError:
+            # joins only — any other execution failure propagates rather
+            # than silently re-running the query materialized
             return _print_materialized(dataspace, args)
     except QuerySyntaxError as error:
         print(f"iql parse error: {error}", file=sys.stderr)
@@ -106,7 +108,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(f"{uri}{label}")
             shown += 1
     elapsed = time.perf_counter() - started
-    print(f"-- {shown} result(s) ({shown} shown), "
+    # the limit is planned into the query, so the total result count is
+    # unknown here — report only what streamed out
+    print(f"-- {shown} result(s), "
           f"{elapsed * 1000:.1f} ms, "
           f"{stream.expanded_views} views expanded")
     if stream.degradation.is_degraded:

@@ -76,6 +76,15 @@ class QueryExecutionError(QueryError):
     """A runtime failure while executing a query plan."""
 
 
+class StreamingUnsupportedError(QueryExecutionError):
+    """The query has no streaming plan shape (currently: joins).
+
+    Raised by ``execute_iter()``/``query_iter()`` so callers can fall
+    back to the materialized path without swallowing real execution
+    failures.
+    """
+
+
 class StoreError(IdmError):
     """Base class for the embedded relational store."""
 

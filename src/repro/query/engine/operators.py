@@ -242,6 +242,7 @@ class NameScan(Operator):
         if self._done:
             return None
         ctx = self._ctx
+        ctx.checkpoint()  # both paths: cancellation observed once per pull
         if self._rows is None and self._parallel_chunks is None:
             self._start()
         if self._parallel_chunks is not None:
@@ -249,7 +250,6 @@ class NameScan(Operator):
             if batch is None:
                 self._done = True
             return batch
-        ctx.checkpoint()
         size = ctx.engine.batch_size
         regex = self._regex
         matched: list[str] = []
@@ -339,6 +339,7 @@ class MergeUnion(Operator):
         self.children = children
         self._heap: list[tuple[str, int]] | None = None
         self._cursors: list[_Cursor] | None = None
+        self._last: str | None = None
         self._ctx = None
 
     def open(self, ctx) -> None:
@@ -347,6 +348,7 @@ class MergeUnion(Operator):
             child.open(ctx)
         self._cursors = [_Cursor(c) for c in self.children]
         self._heap = None
+        self._last = None
 
     def next_batch(self) -> Batch | None:
         import heapq
@@ -360,16 +362,17 @@ class MergeUnion(Operator):
         out: list[str] = []
         while heap and len(out) < size:
             value, index = heapq.heappop(heap)
-            if not out or out[-1] != value:
+            if value != self._last:
                 # equal keys from other inputs are popped and dropped on
-                # later iterations — that is the duplicate elimination
+                # later iterations — that is the duplicate elimination.
+                # _last spans batches: a batch may fill exactly at a value
+                # another child still holds on the heap, and that leftover
+                # must not reopen the next batch.
                 out.append(value)
+                self._last = value
             cursor = self._cursors[index]
             if cursor.advance():
                 heapq.heappush(heap, (cursor.value, index))
-        # a popped duplicate may equal the previous batch's last row;
-        # strict cross-batch monotonicity is kept by construction since
-        # duplicates are dropped against out[-1] before emission
         if not out:
             return None
         return Batch(tuple(out), ordered=True)

@@ -19,6 +19,7 @@ from ..core.errors import (
     ComponentError,
     DataSourceError,
     QueryExecutionError,
+    StreamingUnsupportedError,
 )
 from ..core.resource_view import ResourceView
 from ..fulltext.query import Phrase, Term, Wildcard
@@ -692,7 +693,7 @@ class QueryProcessor:
         prepared = (query if isinstance(query, PreparedQuery)
                     else self.prepare(query))
         if isinstance(prepared.ast, JoinExpr):
-            raise QueryExecutionError(
+            raise StreamingUnsupportedError(
                 "joins do not stream; use execute()/execute_prepared()"
             )
         ctx = ExecutionContext(self.rvm, self.functions,

@@ -208,6 +208,22 @@ class TestMergeOperators:
                   FakeCtx(batch_size=2))
         assert out == ["a", "b", "c", "d"]
 
+    def test_union_dedups_across_batch_boundaries(self):
+        # batch fills exactly at "b" while the other child's equal "b"
+        # is still on the heap — the next batch must not re-emit it
+        union = MergeUnion([_ordered("a", "b"), _ordered("b", "c")])
+        union.open(FakeCtx(batch_size=2))
+        batches = []
+        while (batch := union.next_batch()) is not None:
+            batches.append(batch.uris)
+        assert batches == [("a", "b"), ("c",)]
+
+    def test_union_stream_is_strictly_increasing(self):
+        union = MergeUnion([_ordered("a", "b", "c"), _ordered("b", "c", "d")])
+        union.open(FakeCtx(batch_size=1))
+        out = list(drain(union))
+        assert out == sorted(set(out)) == ["a", "b", "c", "d"]
+
     def test_diff_streams_the_anti_join(self):
         universe = _ordered("a", "b", "c", "d", "e")
         assert run(MergeDiff(universe, _ordered("b", "d"))) == ["a", "c", "e"]

@@ -4,7 +4,7 @@ from datetime import datetime
 
 import pytest
 
-from repro.core.errors import QueryExecutionError
+from repro.core.errors import QueryExecutionError, StreamingUnsupportedError
 from repro.imapsim import Attachment, EmailMessage, ImapServer
 from repro.imapsim.latency import no_latency
 from repro.query import QueryProcessor
@@ -355,7 +355,9 @@ class TestStreaming:
         assert next(batches, None) is None  # generator is closed
 
     def test_execute_iter_rejects_joins(self, qp):
-        with pytest.raises(QueryExecutionError):
+        # the dedicated subclass: callers fall back to the materialized
+        # path on this without swallowing real execution failures
+        with pytest.raises(StreamingUnsupportedError):
             qp.execute_iter(TestJoinResultShape.QUERY)
 
     def test_streaming_respects_limit(self, qp):

@@ -43,7 +43,9 @@ class TestCommands:
     def test_query_limit(self, capsys, tiny_args):
         assert main(["query", '"database"', "--limit", "1", *tiny_args]) == 0
         out = capsys.readouterr().out
-        assert "(1 shown)" in out
+        assert "-- 1 result(s)" in out
+        lines = [l for l in out.splitlines() if not l.startswith("--")]
+        assert len(lines) == 1  # the limit streamed exactly one row
 
     def test_query_explain(self, capsys, tiny_args):
         assert main(["query", '//papers//*.tex', "--explain",
