@@ -1,0 +1,103 @@
+"""Telemetry overhead on the hot query path.
+
+The instrumentation contract of ``repro.obs``: recording is a handful
+of counter bumps and one histogram observation per executed query, and
+the disabled mode short-circuits before touching any registry. This
+script times the Table 4 query mix with telemetry enabled and disabled
+(interleaved rounds, medians) and **asserts the spread stays under
+5 %** — the acceptance bound for the observability layer.
+
+Run as a script (CI smokes ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+
+from repro import obs
+from repro.bench import PAPER_QUERIES, format_table
+from repro.dataset import TINY_PROFILE
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+
+#: Allowed enabled-over-disabled spread on the query mix.
+MAX_OVERHEAD = 0.05
+#: Absolute slack (seconds) so sub-millisecond mixes cannot flake the
+#: relative bound on scheduler noise alone.
+ABSOLUTE_SLACK = 0.005
+
+
+def _time_mix(processor, prepared) -> float:
+    start = time.perf_counter()
+    for query in prepared:
+        processor.execute_prepared(query)
+    return time.perf_counter() - start
+
+
+def measure(*, quick: bool, rounds: int, scale: float,
+            seed: int = 42) -> tuple[float, float]:
+    """Median mix time with telemetry (enabled, disabled)."""
+    if quick:
+        dataspace = Dataspace.generate(profile=TINY_PROFILE, seed=seed,
+                                       imap_latency=no_latency())
+    else:
+        dataspace = Dataspace.generate(scale=scale, seed=seed,
+                                       imap_latency=no_latency())
+    dataspace.sync()
+    processor = dataspace.processor
+    prepared = [processor.prepare(text) for text in PAPER_QUERIES.values()]
+
+    was_enabled = obs.enabled()
+    enabled_times: list[float] = []
+    disabled_times: list[float] = []
+    try:
+        obs.configure(enabled=True)
+        _time_mix(processor, prepared)  # warm caches under either mode
+        for _ in range(rounds):  # interleave so drift hits both alike
+            obs.configure(enabled=True)
+            enabled_times.append(_time_mix(processor, prepared))
+            obs.configure(enabled=False)
+            disabled_times.append(_time_mix(processor, prepared))
+    finally:
+        obs.configure(enabled=was_enabled)
+    return (statistics.median(enabled_times),
+            statistics.median(disabled_times))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny profile, fewer rounds (CI smoke)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="measurement rounds (default 15 quick, 9 full)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="dataset scale for the full run")
+    args = parser.parse_args(argv)
+    # the quick mix is sub-10ms, so it needs more rounds for a stable
+    # median than the full-scale run does
+    rounds = args.rounds if args.rounds else (15 if args.quick else 9)
+
+    on, off = measure(quick=args.quick, rounds=rounds, scale=args.scale)
+    overhead = (on - off) / off if off > 0 else 0.0
+    print(format_table(
+        ["mode", f"median of {rounds} [ms]", "vs disabled"],
+        [["telemetry disabled", off * 1000, "--"],
+         ["telemetry enabled", on * 1000, f"{overhead:+.1%}"]],
+        title="telemetry overhead on the Table 4 mix",
+    ))
+    if on > off * (1 + MAX_OVERHEAD) + ABSOLUTE_SLACK:
+        print(f"FAIL: enabled telemetry costs {overhead:+.1%} "
+              f"(bound {MAX_OVERHEAD:.0%} + {ABSOLUTE_SLACK * 1000:.0f} ms)")
+        return 1
+    print(f"ok: telemetry overhead {overhead:+.1%} within the "
+          f"{MAX_OVERHEAD:.0%} + {ABSOLUTE_SLACK * 1000:.0f} ms bound")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    sys.exit(main())

@@ -3,6 +3,8 @@
 Usage (module form)::
 
     python -m repro stats  --scale 0.02
+    python -m repro stats  --format prometheus
+    python -m repro stats  --watch --interval 2
     python -m repro query  '//papers//*Vision/*["Franklin"]'
     python -m repro query  '"database tuning"' --explain
     python -m repro query  '"database tuning"' --explain --analyze
@@ -50,8 +52,18 @@ def _build(args: argparse.Namespace) -> Dataspace:
     return dataspace
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    dataspace = _build(args)
+def _exercise_telemetry(dataspace: Dataspace) -> None:
+    """Run the paper's query mix through a short serve session so the
+    telemetry snapshot covers every namespace (``query.*``, ``sync.*``,
+    ``index.*``, ``resilience.*``, ``service.*``), not just the sync
+    that :func:`_build` already performed."""
+    with dataspace.serve(workers=2) as service:
+        for iql in PAPER_QUERIES.values():
+            service.execute(iql, timeout=60.0)
+
+
+def _render_stats_tables(dataspace: Dataspace,
+                         args: argparse.Namespace) -> str:
     report = dataspace.last_sync_report
     assert report is not None
     rows = []
@@ -59,19 +71,54 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         rows.append([authority, source.views_base,
                      source.views_derived_xml, source.views_derived_latex,
                      source.views_total])
-    print(format_table(
+    parts = [format_table(
         ["source", "base", "xml-derived", "latex-derived", "total"],
         rows, title=f"dataspace (scale={args.scale}, seed={args.seed})",
-    ))
+    )]
     sizes = dataspace.index_sizes()
-    print()
-    print(format_table(
+    parts.append(format_table(
         ["structure", "bytes"],
         [[key, int(sizes[key])]
          for key in ("name", "tuple", "content", "group", "catalog",
                      "total", "net_input")],
         title="index sizes",
     ))
+    return "\n\n".join(parts)
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from . import obs
+
+    dataspace = Dataspace.generate(scale=args.scale, seed=args.seed,
+                                   imap_latency=no_latency(),
+                                   resilience=True)
+    dataspace.sync()
+    if not args.no_exercise:
+        _exercise_telemetry(dataspace)
+
+    def render_once() -> str:
+        registry = obs.global_metrics()
+        if args.format == "prometheus":
+            return registry.render_prometheus()
+        if args.format == "json":
+            return registry.render_json()
+        return (_render_stats_tables(dataspace, args)
+                + "\n\n" + registry.render())
+
+    if not args.watch:
+        print(render_once())
+        return 0
+    try:
+        while True:
+            # each tick applies pending source changes, so the gauges
+            # and counters move between frames
+            dataspace.refresh()
+            print(render_once())
+            print(f"-- watching (every {args.interval:g}s, Ctrl-C to stop)",
+                  flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -300,7 +347,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    stats = commands.add_parser("stats", help="dataset and index statistics")
+    stats = commands.add_parser(
+        "stats", help="dataset, index and telemetry statistics"
+    )
+    stats.add_argument("--format", choices=("table", "json", "prometheus"),
+                       default="table",
+                       help="output format (default table; json and "
+                            "prometheus print the telemetry snapshot)")
+    stats.add_argument("--watch", action="store_true",
+                       help="re-render every --interval seconds until "
+                            "interrupted")
+    stats.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period for --watch (default 2s)")
+    stats.add_argument("--no-exercise", action="store_true",
+                       help="skip the warm-up query mix (telemetry then "
+                            "covers only the sync)")
     _add_dataset_options(stats)
     stats.set_defaults(handler=_cmd_stats)
 

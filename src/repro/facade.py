@@ -222,3 +222,25 @@ class Dataspace:
 
     def index_sizes(self) -> dict[str, int]:
         return self.rvm.index_size_report()
+
+    def telemetry(self) -> dict[str, object]:
+        """Flat snapshot of the process-global telemetry registry
+        (:mod:`repro.obs`): every ``query.*``/``sync.*``/``index.*``/
+        ``resilience.*``/``service.*`` series this process recorded."""
+        from . import obs
+        return obs.global_metrics().snapshot()
+
+    def slow_queries(self):
+        """Captured :class:`~repro.obs.SlowQuery` entries (newest last)
+        from the process-global slow-query log."""
+        from . import obs
+        return obs.global_slowlog().entries()
+
+    def events(self, *, subsystem: str | None = None,
+               min_severity: int | None = None,
+               limit: int | None = None):
+        """Recent structured :class:`~repro.obs.Event` records."""
+        from . import obs
+        return obs.global_events().snapshot(
+            subsystem=subsystem, min_severity=min_severity, limit=limit,
+        )

@@ -151,10 +151,17 @@ class InvertedIndex:
         keymap = sum(len(k.encode("utf-8")) + 4 for k in self._key_to_doc)
         return dictionary + postings + stored + keymap
 
-    def stats(self) -> dict[str, int]:
-        return {
-            "documents": self.document_count,
-            "terms": self.term_count,
-            "size_bytes": self.size_bytes(),
-            "input_bytes": self.total_input_bytes,
-        }
+    def stats(self) -> "IndexStats":
+        """The shared :class:`~repro.obs.IndexStats` shape: entries are
+        indexed documents; term and net-input counts ride in
+        ``detail``."""
+        from ..obs import IndexStats
+        return IndexStats(
+            name="fulltext",
+            entries=self.document_count,
+            bytes_estimate=self.size_bytes(),
+            detail={
+                "terms": self.term_count,
+                "input_bytes": self.total_input_bytes,
+            },
+        )

@@ -1,0 +1,178 @@
+"""The structured event log: what happened, as JSON-ready records.
+
+Metrics answer "how much"; events answer "what, exactly, and when".
+Every subsystem emits :class:`Event` records — a severity, the emitting
+subsystem, a dotted event name and free-form fields — into one
+process-global :class:`EventLog` (``repro.obs.global_events()``), which
+keeps a bounded ring buffer (old events evict silently) and optionally
+forwards each accepted event to a sink callable (a file writer, a test
+collector, a real log shipper).
+
+Emission is cheap and thread-safe: a severity check, an optional
+deterministic sampling check, one lock-guarded deque append. Sampling
+is per event *name* (``sampling={"query.executed": 100}`` keeps every
+100th), counter-based rather than random so runs replay exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping
+
+#: Severities, ordered. Kept as plain ints for cheap comparison.
+DEBUG, INFO, WARNING, ERROR = 10, 20, 30, 40
+
+_SEVERITY_NAMES = {DEBUG: "debug", INFO: "info",
+                   WARNING: "warning", ERROR: "error"}
+_SEVERITY_VALUES = {name: value for value, name in _SEVERITY_NAMES.items()}
+
+
+def severity_name(severity: int) -> str:
+    return _SEVERITY_NAMES.get(severity, str(severity))
+
+
+def severity_value(name: str | int) -> int:
+    if isinstance(name, int):
+        return name
+    return _SEVERITY_VALUES[name.lower()]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured occurrence."""
+
+    timestamp: float
+    severity: int
+    subsystem: str
+    name: str
+    message: str
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "ts": round(self.timestamp, 6),
+            "severity": severity_name(self.severity),
+            "subsystem": self.subsystem,
+            "event": self.name,
+            "message": self.message,
+            **{k: v for k, v in self.fields.items()},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+Sink = Callable[[Event], None]
+
+
+class EventLog:
+    """A bounded, thread-safe ring buffer of structured events."""
+
+    def __init__(self, *, capacity: int = 1024,
+                 min_severity: int = INFO,
+                 sink: Sink | None = None,
+                 sampling: Mapping[str, int] | None = None,
+                 clock: Callable[[], float] = time.time):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.min_severity = min_severity
+        self.sink = sink
+        #: event name -> keep one in N (deterministic, counter-based)
+        self.sampling = dict(sampling or {})
+        self._clock = clock
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._seen: dict[str, int] = {}
+        self._dropped = 0
+        self._emitted = 0
+        self._lock = threading.Lock()
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, severity: int, subsystem: str, name: str,
+             message: str = "", **fields: object) -> Event | None:
+        """Record one event; returns it, or None when filtered out."""
+        if severity < self.min_severity:
+            return None
+        rate = self.sampling.get(name)
+        with self._lock:
+            if rate is not None and rate > 1:
+                seen = self._seen.get(name, 0)
+                self._seen[name] = seen + 1
+                if seen % rate != 0:
+                    self._dropped += 1
+                    return None
+            event = Event(timestamp=self._clock(), severity=severity,
+                          subsystem=subsystem, name=name, message=message,
+                          fields=dict(fields))
+            self._ring.append(event)
+            self._emitted += 1
+            sink = self.sink
+        if sink is not None:
+            try:
+                sink(event)
+            except Exception:
+                pass  # a broken sink must never break the caller
+        return event
+
+    def debug(self, subsystem: str, name: str, message: str = "",
+              **fields: object) -> Event | None:
+        return self.emit(DEBUG, subsystem, name, message, **fields)
+
+    def info(self, subsystem: str, name: str, message: str = "",
+             **fields: object) -> Event | None:
+        return self.emit(INFO, subsystem, name, message, **fields)
+
+    def warning(self, subsystem: str, name: str, message: str = "",
+                **fields: object) -> Event | None:
+        return self.emit(WARNING, subsystem, name, message, **fields)
+
+    def error(self, subsystem: str, name: str, message: str = "",
+              **fields: object) -> Event | None:
+        return self.emit(ERROR, subsystem, name, message, **fields)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def emitted(self) -> int:
+        """Events accepted into the ring over the log's lifetime."""
+        with self._lock:
+            return self._emitted
+
+    @property
+    def dropped_by_sampling(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def snapshot(self, *, subsystem: str | None = None,
+                 min_severity: int | None = None,
+                 limit: int | None = None) -> list[Event]:
+        """The buffered events, oldest first, optionally filtered."""
+        with self._lock:
+            events = list(self._ring)
+        if subsystem is not None:
+            events = [e for e in events if e.subsystem == subsystem]
+        if min_severity is not None:
+            events = [e for e in events if e.severity >= min_severity]
+        if limit is not None:
+            events = events[-limit:]
+        return events
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.snapshot())
+
+    def render_json_lines(self, **filters) -> str:
+        """The buffered events as newline-delimited JSON."""
+        return "\n".join(e.to_json() for e in self.snapshot(**filters))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()

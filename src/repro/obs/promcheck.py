@@ -1,0 +1,113 @@
+"""Line-by-line validation of Prometheus text exposition output.
+
+A minimal, dependency-free parser for the subset of the exposition
+format :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`
+emits: ``# TYPE``/``# HELP`` comments and sample lines of the shape
+``name{label="value",...} float``. The CI ``obs`` job pipes
+``repro stats --format prometheus`` through ``python -m
+repro.obs.promcheck`` so a rendering regression (bad escaping, a
+non-numeric value, an illegal metric name) fails the build instead of
+silently breaking scrapers.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL = rf'{_NAME}="(?:[^"\\]|\\.)*"'
+_SAMPLE = re.compile(
+    rf"^(?P<name>{_NAME})"
+    rf"(?:\{{(?P<labels>{_LABEL}(?:,{_LABEL})*)?\}})?"
+    rf" (?P<value>\S+)$"
+)
+_COMMENT = re.compile(
+    rf"^# (?:TYPE {_NAME} (?:counter|gauge|summary|histogram|untyped)"
+    rf"|HELP {_NAME} .*)$"
+)
+
+
+def validate_line(line: str) -> str | None:
+    """Validate one exposition line; returns an error message or None."""
+    if not line.strip():
+        return None
+    if line.startswith("#"):
+        if _COMMENT.match(line):
+            return None
+        return f"malformed comment: {line!r}"
+    match = _SAMPLE.match(line)
+    if match is None:
+        return f"malformed sample: {line!r}"
+    value = match.group("value")
+    if value not in ("+Inf", "-Inf", "NaN"):
+        try:
+            float(value)
+        except ValueError:
+            return f"non-numeric value {value!r} in: {line!r}"
+    return None
+
+
+def validate(text: str) -> list[str]:
+    """All validation errors in ``text`` (empty list = valid)."""
+    errors = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        error = validate_line(line)
+        if error is not None:
+            errors.append(f"line {number}: {error}")
+    return errors
+
+
+def parse_samples(text: str) -> list[tuple[str, dict[str, str], float]]:
+    """Parse all sample lines into ``(name, labels, value)`` triples.
+
+    Raises :class:`ValueError` on the first malformed line — the strict
+    entry point tests use to assert every rendered line round-trips.
+    """
+    samples = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        error = validate_line(line)
+        if error is not None:
+            raise ValueError(f"line {number}: {error}")
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        assert match is not None
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for pair in re.findall(_LABEL, match.group("labels")):
+                key, _, raw = pair.partition("=")
+                value = raw[1:-1]
+                labels[key] = (value.replace(r"\"", '"')
+                               .replace(r"\n", "\n")
+                               .replace("\\\\", "\\"))
+        raw_value = match.group("value")
+        numeric = {"+Inf": float("inf"), "-Inf": float("-inf"),
+                   "NaN": float("nan")}.get(raw_value)
+        samples.append((match.group("name"), labels,
+                        numeric if numeric is not None
+                        else float(raw_value)))
+    return samples
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate exposition text from stdin (or a file argument)."""
+    argv = sys.argv[1:] if argv is None else argv
+    if argv:
+        with open(argv[0], encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    errors = validate(text)
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        return 1
+    samples = parse_samples(text)
+    print(f"ok: {len(samples)} samples, "
+          f"{len(text.splitlines())} lines")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

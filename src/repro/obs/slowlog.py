@@ -1,0 +1,194 @@
+"""The slow-query log: automatic EXPLAIN ANALYZE for outliers.
+
+Any query whose wall time crosses the configured threshold lands here
+with its full span tree, so "why was that slow" is answerable after the
+fact without re-running anything by hand. Two capture paths:
+
+* the execution was already traced (EXPLAIN ANALYZE, ``serve(...,
+  trace_queries=True)``) — its span forest is rendered directly, free;
+* the execution was untraced (the common fast path) — the log
+  **recaptures** by re-executing the query once under a fresh trace,
+  the way ``auto_explain`` would have instrumented it up front, but
+  paying the instrumentation cost only for queries that already proved
+  slow. Recaptures are rate-limited (at most one per
+  ``recapture_interval_seconds``) so a storm of slow queries cannot
+  double the system's load, and re-entrancy is guarded so a recapture
+  can never recapture itself.
+
+The log is a bounded ring: old entries evict as new slow queries
+arrive.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class SlowQuery:
+    """One captured slow execution."""
+
+    query: str
+    elapsed_seconds: float
+    threshold_seconds: float
+    captured_at: float
+    #: the rendered EXPLAIN ANALYZE plan tree ("" when capture failed)
+    span_tree: str = ""
+    plan_text: str = ""
+    counters: Mapping[str, int] = field(default_factory=dict)
+    #: True when the tree came from a rate-limited re-execution rather
+    #: than the original (traced) run
+    recaptured: bool = False
+    degraded: bool = False
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "query": self.query,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "threshold_seconds": self.threshold_seconds,
+            "recaptured": self.recaptured,
+            "degraded": self.degraded,
+            "span_tree": self.span_tree,
+        }
+
+    def render(self) -> str:
+        lines = [f"slow query ({self.elapsed_seconds * 1000:.1f} ms, "
+                 f"threshold {self.threshold_seconds * 1000:.1f} ms"
+                 + (", recaptured" if self.recaptured else "")
+                 + "): " + self.query]
+        if self.span_tree:
+            lines.extend("  " + line
+                         for line in self.span_tree.splitlines())
+        elif self.plan_text:
+            lines.extend("  " + line
+                         for line in self.plan_text.splitlines())
+        return "\n".join(lines)
+
+
+_recapturing = threading.local()
+
+
+def in_recapture() -> bool:
+    """True while this thread is re-executing a slow query under a
+    trace — instrumentation skips recording so a recapture never
+    inflates the very metrics that flagged it."""
+    return getattr(_recapturing, "active", False)
+
+
+class SlowQueryLog:
+    """A bounded ring of :class:`SlowQuery` captures."""
+
+    def __init__(self, *, threshold_seconds: float | None = 1.0,
+                 capacity: int = 64,
+                 recapture: bool = True,
+                 recapture_interval_seconds: float = 10.0,
+                 clock=time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        #: queries at or above this wall time are captured; None
+        #: disables the log entirely
+        self.threshold_seconds = threshold_seconds
+        self.capacity = capacity
+        self.recapture = recapture
+        self.recapture_interval_seconds = recapture_interval_seconds
+        self._clock = clock
+        self._ring: deque[SlowQuery] = deque(maxlen=capacity)
+        self._last_recapture: float | None = None
+        self._captured = 0
+        self._lock = threading.Lock()
+
+    # -- capture -------------------------------------------------------------
+
+    def is_slow(self, elapsed_seconds: float) -> bool:
+        threshold = self.threshold_seconds
+        return threshold is not None and elapsed_seconds >= threshold
+
+    def record(self, query: str, elapsed_seconds: float, *,
+               trace=None, plan_text: str = "", processor=None,
+               degraded: bool = False) -> SlowQuery | None:
+        """Capture one execution if it crossed the threshold.
+
+        ``trace`` is the execution's own
+        :class:`~repro.trace.TraceCollector` when it ran traced;
+        otherwise ``processor`` (a
+        :class:`~repro.query.executor.QueryProcessor`) enables the
+        rate-limited recapture path. Returns the entry, or None when
+        the query was fast, the log is disabled, or this thread is
+        itself inside a recapture.
+        """
+        if not self.is_slow(elapsed_seconds):
+            return None
+        if getattr(_recapturing, "active", False):
+            return None  # a recapture must never capture itself
+        threshold = self.threshold_seconds
+        span_tree = ""
+        counters: dict[str, int] = {}
+        recaptured = False
+        if trace is not None:
+            span_tree = self._render_trace(trace)
+            counters = dict(trace.counters)
+        elif processor is not None and self.recapture:
+            captured = self._try_recapture(query, processor)
+            if captured is not None:
+                span_tree, counters = captured
+                recaptured = True
+        entry = SlowQuery(
+            query=query, elapsed_seconds=elapsed_seconds,
+            threshold_seconds=threshold, captured_at=self._clock(),
+            span_tree=span_tree, plan_text=plan_text,
+            counters=counters, recaptured=recaptured, degraded=degraded,
+        )
+        with self._lock:
+            self._ring.append(entry)
+            self._captured += 1
+        return entry
+
+    def _try_recapture(self, query: str,
+                       processor) -> tuple[str, dict[str, int]] | None:
+        """Re-execute under a trace, at most once per interval."""
+        now = self._clock()
+        with self._lock:
+            last = self._last_recapture
+            if (last is not None
+                    and now - last < self.recapture_interval_seconds):
+                return None
+            self._last_recapture = now
+        _recapturing.active = True
+        try:
+            report = processor.explain_analyze(query)
+        except Exception:
+            return None  # the slow entry still records, tree-less
+        finally:
+            _recapturing.active = False
+        return (self._render_trace(report.trace),
+                dict(report.trace.counters))
+
+    @staticmethod
+    def _render_trace(trace) -> str:
+        from ..trace.render import render_spans
+        return render_spans(trace.roots)
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def captured(self) -> int:
+        """Slow queries seen over the log's lifetime (evicted included)."""
+        with self._lock:
+            return self._captured
+
+    def entries(self) -> list[SlowQuery]:
+        """The buffered captures, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()

@@ -12,6 +12,7 @@ import enum
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from .. import obs
 from ..core.identity import ViewId
 
 
@@ -88,4 +89,8 @@ class PushBus:
             callback(event)
             receivers += 1
         self.delivered += receivers
+        if obs.enabled():
+            obs.increment("sync.bus.events")
+            if receivers:
+                obs.increment("sync.bus.deliveries", receivers)
         return receivers

@@ -42,19 +42,30 @@ def iter_batches(plan, ctx, *, require_ordered: bool = False
 
     The operator tree is closed when the stream exhausts, when the
     consumer abandons the generator, or when a pull raises — so spans
-    seal and scans release in every exit path.
+    seal and scans release in every exit path. Rows and batches emitted
+    at the root feed the global ``query.engine.rows`` /
+    ``query.engine.batches`` counters on close — the same names whether
+    the run is traced or not, so live dashboards and EXPLAIN ANALYZE
+    agree (two counter bumps per execution, off the per-row path).
     """
+    from ... import obs
     op = compile_plan(plan, ctx, require_ordered=require_ordered)
     op.open(ctx)
+    rows = batches = 0
     try:
         while True:
             batch = op.next_batch()
             if batch is None:
                 return
             if batch.uris:
+                rows += len(batch.uris)
+                batches += 1
                 yield batch
     finally:
         op.close()
+        if batches and obs.enabled():
+            obs.increment("query.engine.rows", rows)
+            obs.increment("query.engine.batches", batches)
 
 
 def materialize_set(plan, ctx) -> set[str]:

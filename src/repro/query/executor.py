@@ -15,6 +15,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from datetime import datetime
 
+from .. import obs
 from ..core.errors import (
     ComponentError,
     DataSourceError,
@@ -650,6 +651,11 @@ class QueryProcessor:
                     if limit is not None:
                         pairs = pairs[:limit]
                     elapsed = time.perf_counter() - started
+                    self._record_execution(
+                        prepared.text, elapsed, rows=len(pairs),
+                        trace=trace, plan_text=plan.explain(),
+                        degradation=ctx.degradation,
+                    )
                     return QueryResult(
                         query=prepared.text,
                         pairs=[JoinHit(self._hit(l), self._hit(r))
@@ -670,6 +676,9 @@ class QueryProcessor:
         finally:
             uninstall_resilience_sink(sink_token)
         elapsed = time.perf_counter() - started
+        self._record_execution(prepared.text, elapsed, rows=len(uris),
+                               trace=trace, plan_text=plan.explain(),
+                               degradation=ctx.degradation)
         hits = sorted((self._hit(uri) for uri in uris),
                       key=lambda h: h.uri)
         return QueryResult(
@@ -704,13 +713,71 @@ class QueryProcessor:
         def stream():
             scope = trace.activate() if trace is not None else nullcontext()
             sink_token = install_resilience_sink(_ResilienceObserver(ctx))
+            started = time.perf_counter()
+            rows = 0
             try:
                 with scope:
-                    yield from iter_batches(plan, ctx)
+                    for batch in iter_batches(plan, ctx):
+                        rows += len(batch.uris)
+                        yield batch
             finally:
                 uninstall_resilience_sink(sink_token)
+                self._record_execution(
+                    prepared.text, time.perf_counter() - started,
+                    rows=rows, trace=trace, plan_text=plan.explain(),
+                    degradation=ctx.degradation, streamed=True,
+                )
 
         return StreamingResult(prepared.text, plan.explain(), ctx, stream())
+
+    def _record_execution(self, query_text: str, elapsed: float, *,
+                          rows: int, trace, plan_text: str,
+                          degradation: DegradationReport,
+                          streamed: bool = False) -> None:
+        """Feed one finished execution into the global telemetry spine:
+        ``query.*`` counters/histograms, a traced run's per-operator
+        aggregates (the same ``query.op.*`` names the service folds
+        traced requests into), and the slow-query log.
+
+        A streamed execution's wall time includes consumer think-time
+        between pulls, so it lands in ``query.stream_seconds`` instead
+        of ``query.latency_seconds`` and never triggers slow-query
+        capture. Recapture re-executions record nothing at all.
+        """
+        if not obs.enabled() or obs.in_recapture():
+            return
+        obs.increment("query.executions")
+        obs.increment("query.rows", rows)
+        if streamed:
+            obs.increment("query.streamed")
+            obs.observe("query.stream_seconds", elapsed)
+        else:
+            obs.observe("query.latency_seconds", elapsed)
+        if degradation.is_degraded:
+            obs.increment("query.degraded")
+            obs.emit_event(
+                obs.WARNING, "query", "query.degraded",
+                "query answered partially",
+                query=query_text,
+                sources_skipped=list(degradation.sources_skipped),
+                retries_spent=degradation.retries_spent,
+            )
+        if trace is not None:
+            for operator, agg in trace.aggregates().items():
+                obs.increment(f"query.op.{operator}.calls",
+                              int(agg["calls"]))
+                obs.increment(f"query.op.{operator}.rows",
+                              int(agg["rows"]))
+                obs.observe(f"query.op.{operator}.seconds", agg["seconds"])
+            for name, value in trace.counters.items():
+                # resilience.* counters are already recorded globally at
+                # the source guard; re-folding them would double count
+                if not name.startswith("resilience."):
+                    obs.increment(f"query.{name}", value)
+        if not streamed:
+            obs.record_slow_query(query_text, elapsed, trace=trace,
+                                  plan_text=plan_text, processor=self,
+                                  degraded=degradation.is_degraded)
 
     def _prepared_plan(self, prepared: PreparedQuery, ctx: ExecutionContext,
                        *, trace=None, limit: int | None = None) -> PlanNode:

@@ -36,10 +36,19 @@ from contextvars import ContextVar, Token
 from dataclasses import dataclass, field, replace
 from typing import Callable, TypeVar
 
+from .. import obs
 from ..core.errors import DataSourceError, SourceUnavailable
 from ..core.identity import ViewId
 from ..core.resource_view import ResourceView
 from .policy import BreakerState, CircuitBreaker, RetryPolicy
+
+#: numeric encoding of breaker states for the ``resilience.breaker_state``
+#: gauge (Prometheus cannot carry enum strings as sample values)
+_STATE_CODES = {
+    BreakerState.CLOSED: 0,
+    BreakerState.OPEN: 1,
+    BreakerState.HALF_OPEN: 2,
+}
 
 T = TypeVar("T")
 
@@ -128,6 +137,48 @@ class SourceGuard:
         # vary with PYTHONHASHSEED) — jitter must replay across runs
         self._rng = random.Random(f"{config.seed}:{authority}")
         self._lock = threading.Lock()
+        obs.gauge_callback(
+            "resilience.breaker_state",
+            lambda guard: _STATE_CODES[guard.breaker.state],
+            owner=self, labels={"source": authority},
+        )
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        """Bump the process-global labeled counter for this source."""
+        if obs.enabled():
+            obs.increment(f"resilience.{key}",
+                          amount, labels={"source": self.authority})
+
+    def _breaker_outcome(self, record: Callable[[], None]) -> None:
+        """Apply a breaker outcome, announcing state transitions.
+
+        Must be called with the guard lock held; the open/close counter
+        and event carry the transition the lock just made atomic.
+        """
+        before = self.breaker.state
+        record()
+        after = self.breaker.state
+        if after is before or not obs.enabled():
+            return
+        if after is BreakerState.OPEN:
+            obs.increment("resilience.breaker_opened",
+                          labels={"source": self.authority})
+            obs.emit_event(
+                obs.WARNING, "resilience", "resilience.breaker_opened",
+                f"circuit for {self.authority} opened "
+                f"(cooling {self.config.breaker_cooldown_seconds:g}s)",
+                source=self.authority,
+                consecutive_failures=self.breaker.consecutive_failures,
+                times_opened=self.breaker.times_opened,
+            )
+        elif after is BreakerState.CLOSED:
+            obs.increment("resilience.breaker_closed",
+                          labels={"source": self.authority})
+            obs.emit_event(
+                obs.INFO, "resilience", "resilience.breaker_closed",
+                f"circuit for {self.authority} closed after probe success",
+                source=self.authority,
+            )
 
     # -- the one entry point -------------------------------------------------
 
@@ -135,12 +186,14 @@ class SourceGuard:
         """Run ``fn`` under this guard; raises
         :class:`SourceUnavailable` when the breaker is open or the
         retry budget is spent."""
+        self._count("calls")
         with self._lock:
             self.stats.calls += 1
             if not self.breaker.allow():
                 self.stats.short_circuits += 1
                 retry_after = self.breaker.retry_after
                 _emit(f"resilience.{self.authority}.short_circuit")
+                self._count("short_circuits")
                 raise SourceUnavailable(
                     f"{self.authority}.{operation}: circuit open "
                     f"(retry in {retry_after:.3f}s)"
@@ -157,9 +210,11 @@ class SourceGuard:
                     # another thread may have tripped it)
                     if not self.breaker.allow():
                         self.stats.short_circuits += 1
+                        self._count("short_circuits")
                         break
                     self.stats.retries += 1
                 _emit(f"resilience.{self.authority}.retry")
+                self._count("retries")
                 self.config.sleep(self.retry.delay(attempt - 1, self._rng))
             started = self.config.clock()
             try:
@@ -168,8 +223,9 @@ class SourceGuard:
                 last_error = error
                 with self._lock:
                     self.stats.failures += 1
-                    self.breaker.record_failure()
+                    self._breaker_outcome(self.breaker.record_failure)
                 _emit(f"resilience.{self.authority}.failure")
+                self._count("failures")
                 if not self.retry.is_retryable(error):
                     raise
                 continue
@@ -181,12 +237,13 @@ class SourceGuard:
                 # return the data we paid for
                 with self._lock:
                     self.stats.deadline_overruns += 1
-                    self.breaker.record_failure()
+                    self._breaker_outcome(self.breaker.record_failure)
                 _emit(f"resilience.{self.authority}.deadline_overrun")
+                self._count("deadline_overruns")
                 return result
             with self._lock:
                 self.stats.successes += 1
-                self.breaker.record_success()
+                self._breaker_outcome(self.breaker.record_success)
             return result
         raise SourceUnavailable(
             f"{self.authority}.{operation}: retries exhausted "

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..core.errors import DataSourceError
 from ..core.identity import ViewId
 from ..core.resource_view import ResourceView
@@ -88,6 +89,53 @@ class ResourceViewManager:
         self.sync = SynchronizationManager(
             self.proxy, self.catalog, self.indexes, bus=self.bus,
             infinite_group_window=infinite_group_window,
+        )
+        self._register_index_gauges()
+
+    def _register_index_gauges(self) -> None:
+        """Expose every structure's size as ``index.*`` gauges.
+
+        Callback gauges evaluate only when telemetry is snapshotted and
+        hold this RVM weakly, so indexing pays nothing and a discarded
+        dataspace's series vanish on their own. Each structure's
+        existing ``stats()``/size accessors are the single source of
+        truth — the gauges just read them.
+        """
+        def _entry_counters(rvm: "ResourceViewManager"):
+            indexes = rvm.indexes
+            return {
+                "name": lambda: indexes.name_index.stats(),
+                "tuple": lambda: indexes.tuple_index.stats(),
+                "content": lambda: indexes.content_index.stats(),
+            }
+
+        for key in ("name", "tuple", "content"):
+            obs.gauge_callback(
+                "index.entries",
+                lambda rvm, k=key: _entry_counters(rvm)[k]().entries,
+                owner=self, labels={"index": key},
+            )
+            obs.gauge_callback(
+                "index.bytes",
+                lambda rvm, k=key: _entry_counters(rvm)[k]().bytes_estimate,
+                owner=self, labels={"index": key},
+            )
+        obs.gauge_callback(
+            "index.entries", lambda rvm: len(rvm.indexes.group_replica),
+            owner=self, labels={"index": "group"},
+        )
+        obs.gauge_callback(
+            "index.bytes",
+            lambda rvm: rvm.indexes.group_replica.size_bytes(),
+            owner=self, labels={"index": "group"},
+        )
+        obs.gauge_callback(
+            "index.entries", lambda rvm: len(rvm.catalog),
+            owner=self, labels={"index": "catalog"},
+        )
+        obs.gauge_callback(
+            "index.bytes", lambda rvm: rvm.catalog.size_bytes(),
+            owner=self, labels={"index": "catalog"},
         )
 
     # -- setup ------------------------------------------------------------------

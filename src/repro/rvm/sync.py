@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..core.errors import ComponentError, DataSourceError
 from ..core.identity import ViewId
 from ..core.resource_view import ResourceView
@@ -100,6 +101,12 @@ class SynchronizationManager:
         self.live_views: dict[str, ResourceView] = {}
         self._pending: list[ViewId] = []
         self._subscribed: set[str] = set()
+        # bus lag, live: queued change events not yet applied to the
+        # indexes (evaluated only when telemetry is snapshotted)
+        obs.gauge_callback("sync.pending_changes",
+                           lambda sync: sync.pending_count, owner=self)
+        obs.gauge_callback("sync.live_views",
+                           lambda sync: len(sync.live_views), owner=self)
 
     # -- initial scan ------------------------------------------------------------
 
@@ -135,6 +142,20 @@ class SynchronizationManager:
         report.access_simulated_seconds = (
             plugin.data_source_seconds() - simulated_before
         )
+        if obs.enabled():
+            obs.increment("sync.sources_scanned")
+            obs.increment("sync.views_synced", report.views_total)
+            obs.observe("sync.scan_seconds", report.total_seconds)
+            if report.errors:
+                obs.increment("sync.view_errors", len(report.errors))
+            obs.emit_event(
+                obs.WARNING if report.is_degraded else obs.INFO,
+                "sync", "sync.source_scanned",
+                f"scanned {authority}: {report.views_total} views",
+                authority=authority, views=report.views_total,
+                errors=len(report.errors),
+                seconds=round(report.total_seconds, 6),
+            )
         return report
 
     def _process_view(self, view: ResourceView,
@@ -216,6 +237,8 @@ class SynchronizationManager:
             for view_id in plugin.poll_changes():
                 self._pending.append(view_id)
                 found += 1
+        if found:
+            obs.increment("sync.changes_polled", found)
         return found
 
     @property
@@ -246,6 +269,16 @@ class SynchronizationManager:
                     continue
                 processed += 1
         self._pending.extend(deferred)
+        if obs.enabled():
+            if processed:
+                obs.increment("sync.changes_processed", processed)
+            if deferred:
+                obs.increment("sync.changes_deferred", len(deferred))
+                obs.emit_event(
+                    obs.WARNING, "sync", "sync.changes_deferred",
+                    f"{len(deferred)} change(s) deferred: source down",
+                    deferred=len(deferred), processed=processed,
+                )
         return processed
 
     def apply_change(self, view_id: ViewId) -> None:

@@ -1,162 +1,27 @@
-"""A lightweight metrics registry: counters and latency histograms.
+"""Compatibility shim — the metrics registry moved to ``repro.obs``.
 
-No external dependency — the registry keeps raw observations (bounded
-by a reservoir size) and computes p50/p95/p99 on snapshot, which is
-exact for the request volumes the benchmarks drive and plenty for a
-reproduction. All types are thread-safe; workers record from the pool
-threads while clients snapshot from theirs.
+The service's private registry grew into the process-global telemetry
+spine (:mod:`repro.obs.metrics`): counters, gauges, labeled histograms,
+Prometheus/JSON exposition. Everything importable from here before the
+move still is; new code should import from :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
+from ..obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    _percentile,
+)
 
-
-class Counter:
-    """A monotonically increasing counter."""
-
-    def __init__(self, name: str):
-        self.name = name
-        self._value = 0
-        self._lock = threading.Lock()
-
-    def increment(self, amount: int = 1) -> None:
-        with self._lock:
-            self._value += amount
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
-
-
-@dataclass(frozen=True)
-class HistogramSnapshot:
-    """One histogram's summary statistics at a point in time."""
-
-    count: int
-    minimum: float
-    maximum: float
-    mean: float
-    p50: float
-    p95: float
-    p99: float
-
-    @classmethod
-    def empty(cls) -> "HistogramSnapshot":
-        return cls(count=0, minimum=0.0, maximum=0.0, mean=0.0,
-                   p50=0.0, p95=0.0, p99=0.0)
-
-
-def _percentile(ordered: list[float], fraction: float) -> float:
-    """Nearest-rank percentile over a pre-sorted list."""
-    if not ordered:
-        return 0.0
-    rank = max(0, min(len(ordered) - 1,
-                      round(fraction * (len(ordered) - 1))))
-    return ordered[rank]
-
-
-class Histogram:
-    """Latency histogram over a sliding reservoir of observations."""
-
-    def __init__(self, name: str, *, reservoir: int = 4096):
-        self.name = name
-        self.reservoir = reservoir
-        self._observations: list[float] = []
-        self._count = 0
-        self._total = 0.0
-        self._minimum = float("inf")
-        self._maximum = 0.0
-        self._lock = threading.Lock()
-
-    def observe(self, value: float) -> None:
-        with self._lock:
-            self._count += 1
-            self._total += value
-            self._minimum = min(self._minimum, value)
-            self._maximum = max(self._maximum, value)
-            self._observations.append(value)
-            if len(self._observations) > self.reservoir:
-                # drop the oldest half; recent traffic dominates tails
-                del self._observations[:self.reservoir // 2]
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    def snapshot(self) -> HistogramSnapshot:
-        with self._lock:
-            if self._count == 0:
-                return HistogramSnapshot.empty()
-            ordered = sorted(self._observations)
-            return HistogramSnapshot(
-                count=self._count,
-                minimum=self._minimum,
-                maximum=self._maximum,
-                mean=self._total / self._count,
-                p50=_percentile(ordered, 0.50),
-                p95=_percentile(ordered, 0.95),
-                p99=_percentile(ordered, 0.99),
-            )
-
-
-class MetricsRegistry:
-    """Named counters and histograms, created on first use."""
-
-    def __init__(self) -> None:
-        self._counters: dict[str, Counter] = {}
-        self._histograms: dict[str, Histogram] = {}
-        self._lock = threading.Lock()
-
-    def counter(self, name: str) -> Counter:
-        with self._lock:
-            counter = self._counters.get(name)
-            if counter is None:
-                counter = self._counters[name] = Counter(name)
-            return counter
-
-    def histogram(self, name: str) -> Histogram:
-        with self._lock:
-            histogram = self._histograms.get(name)
-            if histogram is None:
-                histogram = self._histograms[name] = Histogram(name)
-            return histogram
-
-    def increment(self, name: str, amount: int = 1) -> None:
-        """Shorthand: bump a named counter."""
-        self.counter(name).increment(amount)
-
-    def observe(self, name: str, value: float) -> None:
-        """Shorthand: record one observation into a named histogram."""
-        self.histogram(name).observe(value)
-
-    def snapshot(self) -> dict[str, object]:
-        """Every metric's current value, flat: counters as ints,
-        histograms as :class:`HistogramSnapshot`."""
-        with self._lock:
-            counters = list(self._counters.values())
-            histograms = list(self._histograms.values())
-        report: dict[str, object] = {}
-        for counter in counters:
-            report[counter.name] = counter.value
-        for histogram in histograms:
-            report[histogram.name] = histogram.snapshot()
-        return report
-
-    def render(self) -> str:
-        """A human-readable dump (for the CLI's serve report)."""
-        lines = []
-        for name, value in sorted(self.snapshot().items()):
-            if isinstance(value, HistogramSnapshot):
-                lines.append(
-                    f"{name}: n={value.count} mean={value.mean * 1000:.2f}ms "
-                    f"p50={value.p50 * 1000:.2f}ms "
-                    f"p95={value.p95 * 1000:.2f}ms "
-                    f"p99={value.p99 * 1000:.2f}ms"
-                )
-            else:
-                lines.append(f"{name}: {value}")
-        return "\n".join(lines)
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "_percentile",
+]

@@ -29,6 +29,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..core.errors import (
     DeadlineExceeded,
     IdmError,
@@ -193,6 +194,23 @@ class DataspaceService:
         if autostart:
             self.start()
 
+    # -- metric plumbing -----------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a service counter, mirrored process-globally.
+
+        The per-service registry keeps the legacy flat name (pinned by
+        existing dashboards and tests); the global registry gets the
+        same series under the dotted ``service.*`` namespace so one
+        ``repro stats`` scrape sees every service in the process.
+        """
+        self.metrics.counter(name).increment(amount)
+        obs.increment(f"service.{name}", amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+        obs.observe(f"service.{name}", value)
+
     # -- lifecycle -----------------------------------------------------------
 
     @property
@@ -211,6 +229,9 @@ class DataspaceService:
             )
             thread.start()
             self._threads.append(thread)
+        obs.emit_event(obs.INFO, "service", "service.started",
+                       f"service started with {self.workers} worker(s)",
+                       workers=self.workers)
         return self
 
     def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
@@ -233,6 +254,10 @@ class DataspaceService:
             thread.join(timeout=timeout)
         self._threads.clear()
         self.result_cache.detach()
+        obs.emit_event(
+            obs.INFO, "service", "service.closed", "service shut down",
+            served=self.metrics.counter("queries.served").value,
+        )
 
     def __enter__(self) -> "DataspaceService":
         return self.start()
@@ -256,7 +281,7 @@ class DataspaceService:
             session = Session(session_id=session_id, service=self,
                               default_deadline=deadline, use_cache=use_cache)
             self._sessions[session_id] = session
-        self.metrics.counter("sessions.opened").increment()
+        self._count("sessions.opened")
         return session
 
     @property
@@ -275,7 +300,7 @@ class DataspaceService:
         """
         if self._closed:
             raise ServiceClosed("service is closed")
-        self.metrics.counter("queries.submitted").increment()
+        self._count("queries.submitted")
         ticket = QueryTicket(iql, session=session)
         key = QueryKey(text=iql, optimizer=self.processor.optimizer_mode,
                        expansion=self.processor.expansion)
@@ -283,13 +308,13 @@ class DataspaceService:
         if use_cache:
             cached = self.result_cache.get(key)
             if cached is not None:
-                self.metrics.counter("cache.result.hits").increment()
-                self.metrics.counter("queries.served").increment()
-                self.metrics.histogram("latency.total_seconds").observe(0.0)
+                self._count("cache.result.hits")
+                self._count("queries.served")
+                self._observe("latency.total_seconds", 0.0)
                 ticket.cached = True
                 ticket._resolve(cached)
                 return ticket
-            self.metrics.counter("cache.result.misses").increment()
+            self._count("cache.result.misses")
         if deadline is None:
             deadline = self.default_deadline
         absolute = (time.monotonic() + deadline
@@ -304,7 +329,7 @@ class DataspaceService:
         except Exception:
             with self._state_lock:
                 self._outstanding -= 1
-            self.metrics.counter("admission.rejected").increment()
+            self._count("admission.rejected")
             raise
         if self._stopping:
             # lost the race against close(): the workers are gone, so
@@ -341,7 +366,7 @@ class DataspaceService:
         ticket = request.ticket
         waited = time.monotonic() - request.enqueued_at
         ticket.queue_wait_seconds = waited
-        self.metrics.histogram("latency.queue_seconds").observe(waited)
+        self._observe("latency.queue_seconds", waited)
         try:
             ticket.token.check()  # cancelled or expired while queued
         except (DeadlineExceeded, QueryCancelled) as error:
@@ -350,16 +375,16 @@ class DataspaceService:
             return
         prepared = self.plan_cache.get(request.key)
         if prepared is None:
-            self.metrics.counter("cache.plan.misses").increment()
+            self._count("cache.plan.misses")
             try:
                 prepared = self.processor.prepare(request.key.text)
             except IdmError as error:
-                self.metrics.counter("queries.failed").increment()
+                self._count("queries.failed")
                 ticket._fail(error)
                 return
             self.plan_cache.put(request.key, prepared)
         else:
-            self.metrics.counter("cache.plan.hits").increment()
+            self._count("cache.plan.hits")
         epoch = self.result_cache.epoch
         trace = None
         if self.trace_queries:
@@ -379,16 +404,14 @@ class DataspaceService:
         elapsed = time.monotonic() - started
         if trace is not None:
             self._fold_trace(trace)
-        self.metrics.histogram("latency.execute_seconds").observe(elapsed)
-        self.metrics.histogram("latency.total_seconds").observe(
-            waited + elapsed
-        )
-        self.metrics.counter("queries.served").increment()
+        self._observe("latency.execute_seconds", elapsed)
+        self._observe("latency.total_seconds", waited + elapsed)
+        self._count("queries.served")
         if result.is_degraded:
             # a partial answer is marked, and never cached: once the
             # sources recover, the next execution must not replay the
             # degraded result as if it were complete
-            self.metrics.counter("queries.degraded").increment()
+            self._count("queries.degraded")
         elif request.use_cache:
             self.result_cache.put(request.key, result, epoch=epoch)
         ticket._resolve(result)
@@ -412,16 +435,28 @@ class DataspaceService:
 
     def _count_failure(self, error: BaseException) -> None:
         if isinstance(error, DeadlineExceeded):
-            self.metrics.counter("queries.deadline_missed").increment()
+            self._count("queries.deadline_missed")
         elif isinstance(error, QueryCancelled):
-            self.metrics.counter("queries.cancelled").increment()
-        self.metrics.counter("queries.failed").increment()
+            self._count("queries.cancelled")
+        self._count("queries.failed")
 
     # -- introspection -------------------------------------------------------
 
-    def stats(self) -> dict[str, object]:
-        """Counters, cache sizes and latency snapshots in one dict."""
+    def stats(self, *, include_global: bool = True) -> dict[str, object]:
+        """Counters, cache sizes and latency snapshots in one dict.
+
+        Legacy flat keys (``queries.served``, ``trace.op.*``,
+        ``resilience.<authority>.<key>``) are kept for one release;
+        each also appears under the dotted convention (``query.op.*``,
+        ``resilience.source.<authority>.<key>`` — the alias table lives
+        in DESIGN.md §4f). With ``include_global`` the process-global
+        telemetry snapshot is folded in, never overriding a
+        service-local key.
+        """
         report = self.metrics.snapshot()
+        # dotted-convention aliases for the serve-side trace fold
+        for name in [n for n in report if n.startswith("trace.")]:
+            report.setdefault("query." + name[len("trace."):], report[name])
         report["cache.result.size"] = len(self.result_cache)
         report["cache.plan.size"] = len(self.plan_cache)
         report["queue.depth"] = self.admission.depth
@@ -435,4 +470,8 @@ class DataspaceService:
                 for key in ("state", "retries", "failures",
                             "short_circuits", "times_opened"):
                     report[f"resilience.{authority}.{key}"] = row[key]
+                    report[f"resilience.source.{authority}.{key}"] = row[key]
+        if include_global:
+            for name, value in obs.global_metrics().snapshot().items():
+                report.setdefault(name, value)
         return report

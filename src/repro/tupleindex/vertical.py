@@ -226,9 +226,13 @@ class TupleIndex:
         columns = sum(c.size_bytes() for c in self._columns.values())
         return replica + columns
 
-    def stats(self) -> dict[str, int]:
-        return {
-            "tuples": len(self._replica),
-            "attributes": len(self._columns),
-            "size_bytes": self.size_bytes(),
-        }
+    def stats(self) -> "IndexStats":
+        """The shared :class:`~repro.obs.IndexStats` shape: entries are
+        replicated tuples; the column count rides in ``detail``."""
+        from ..obs import IndexStats
+        return IndexStats(
+            name="tuple",
+            entries=len(self._replica),
+            bytes_estimate=self.size_bytes(),
+            detail={"attributes": len(self._columns)},
+        )

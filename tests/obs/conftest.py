@@ -1,0 +1,18 @@
+"""Isolation for telemetry tests: the obs spine is process-global, so
+every test here starts from fresh registries and leaves the default
+configuration behind for whoever runs next."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def fresh_obs():
+    saved = dict(vars(obs.config()))
+    obs.reset()
+    yield
+    obs.configure(**saved)
+    obs.reset()

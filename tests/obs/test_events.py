@@ -1,0 +1,99 @@
+"""The structured event log: ring, severities, sinks, sampling."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import DEBUG, ERROR, INFO, WARNING, EventLog, severity_name
+
+
+class TestEmission:
+    def test_emit_returns_the_event(self):
+        log = EventLog(clock=lambda: 12.5)
+        event = log.emit(INFO, "sync", "sync.done", "all synced", views=4)
+        assert event is not None
+        assert event.timestamp == 12.5
+        assert event.fields == {"views": 4}
+        assert log.snapshot() == [event]
+
+    def test_below_min_severity_filtered(self):
+        log = EventLog(min_severity=WARNING)
+        assert log.emit(INFO, "x", "x.info") is None
+        assert log.emit(WARNING, "x", "x.warn") is not None
+        assert len(log) == 1
+
+    def test_shorthands_map_to_severities(self):
+        log = EventLog(min_severity=DEBUG)
+        assert log.debug("s", "n").severity == DEBUG
+        assert log.info("s", "n").severity == INFO
+        assert log.warning("s", "n").severity == WARNING
+        assert log.error("s", "n").severity == ERROR
+
+
+class TestRing:
+    def test_old_events_evict_at_capacity(self):
+        log = EventLog(capacity=3)
+        for index in range(5):
+            log.info("test", f"event.{index}")
+        names = [event.name for event in log.snapshot()]
+        assert names == ["event.2", "event.3", "event.4"]
+        assert log.emitted == 5  # lifetime count survives eviction
+
+    def test_snapshot_filters(self):
+        log = EventLog()
+        log.info("sync", "a")
+        log.warning("query", "b")
+        log.info("query", "c")
+        assert [e.name for e in log.snapshot(subsystem="query")] == ["b", "c"]
+        assert [e.name for e in log.snapshot(min_severity=WARNING)] == ["b"]
+        assert [e.name for e in log.snapshot(limit=1)] == ["c"]
+
+
+class TestSink:
+    def test_sink_receives_accepted_events(self):
+        received = []
+        log = EventLog(sink=received.append, min_severity=WARNING)
+        log.info("x", "filtered.out")
+        kept = log.warning("x", "kept")
+        assert received == [kept]
+
+    def test_broken_sink_never_breaks_the_caller(self):
+        def explode(_event):
+            raise RuntimeError("sink down")
+
+        log = EventLog(sink=explode)
+        event = log.info("x", "survives")
+        assert event is not None
+        assert len(log) == 1
+
+
+class TestSampling:
+    def test_keep_one_in_n_deterministically(self):
+        log = EventLog(sampling={"noisy": 10})
+        kept = sum(1 for _ in range(100)
+                   if log.emit(INFO, "x", "noisy") is not None)
+        assert kept == 10
+        assert log.dropped_by_sampling == 90
+
+    def test_unsampled_names_unaffected(self):
+        log = EventLog(sampling={"noisy": 10})
+        for _ in range(20):
+            log.emit(INFO, "x", "quiet")
+        assert log.emitted == 20
+
+
+class TestJson:
+    def test_render_json_lines_round_trips(self):
+        log = EventLog(clock=lambda: 1.0)
+        log.info("sync", "sync.done", "ok", views=3)
+        log.warning("query", "query.slow", "1.2s", elapsed_ms=1200)
+        lines = log.render_json_lines().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"ts": 1.0, "severity": "info",
+                         "subsystem": "sync", "event": "sync.done",
+                         "message": "ok", "views": 3}
+
+    def test_severity_name(self):
+        assert severity_name(INFO) == "info"
+        assert severity_name(99) == "99"

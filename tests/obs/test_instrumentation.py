@@ -1,0 +1,168 @@
+"""End-to-end telemetry: every subsystem feeds the global registry.
+
+One tiny dataspace with resilience, synced and queried through a serve
+session, must light up all five namespaces; the slow-query log must
+capture slow executions (span tree included) and ignore fast ones; the
+service ``stats()`` must carry both the legacy flat keys and their
+dotted-convention aliases.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.dataset import TINY_PROFILE, PersonalDataspaceGenerator
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+from repro.resilience import FaultPlan, ResilienceConfig, RetryPolicy
+
+
+def build_dataspace() -> Dataspace:
+    generated = PersonalDataspaceGenerator(
+        TINY_PROFILE, seed=7, imap_latency=no_latency()
+    ).generate()
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=2)
+    ).with_fast_backoff()
+    return Dataspace(vfs=generated.vfs, imap=generated.imap,
+                     feeds=generated.feeds, resilience=config)
+
+
+class TestNamespaceCoverage:
+    def test_sync_and_serve_light_up_all_namespaces(self):
+        dataspace = build_dataspace()
+        dataspace.sync()
+        with dataspace.serve(workers=2) as service:
+            service.execute('"database"')
+            service.execute("/*")
+        snapshot = obs.global_metrics().snapshot()
+        namespaces = {name.split(".", 1)[0].split("{", 1)[0]
+                      for name in snapshot}
+        assert {"query", "sync", "index",
+                "resilience", "service"} <= namespaces
+        # a few load-bearing series, by name
+        assert snapshot["sync.sources_scanned"] == 3
+        assert snapshot["sync.views_synced"] > 0
+        assert snapshot["query.executions"] >= 2
+        assert snapshot["service.queries.served"] >= 2
+        assert snapshot['index.entries{index="catalog"}'] > 0
+        assert snapshot['resilience.breaker_state{source="imap"}'] == 0
+        assert snapshot['resilience.calls{source="fs"}'] > 0
+
+    def test_sync_emits_structured_events(self):
+        dataspace = build_dataspace()
+        dataspace.sync()
+        events = obs.global_events().snapshot(subsystem="sync")
+        assert any(e.name == "sync.source_scanned" for e in events)
+
+    def test_engine_counts_rows_for_traced_and_untraced_alike(self):
+        dataspace = build_dataspace()
+        dataspace.sync()
+        dataspace.query('"database"')
+        untraced = obs.global_metrics().snapshot()["query.engine.rows"]
+        assert untraced > 0
+        dataspace.explain_analyze('"database"')
+        traced = obs.global_metrics().snapshot()["query.engine.rows"]
+        assert traced == 2 * untraced  # same names, same counts
+
+    def test_telemetry_facade_accessors(self):
+        dataspace = build_dataspace()
+        dataspace.sync()
+        assert dataspace.telemetry()["sync.sources_scanned"] == 3
+        assert dataspace.slow_queries() == []
+        assert any(e.subsystem == "sync" for e in dataspace.events())
+
+
+class TestSlowQueryCapture:
+    def test_slow_queries_capture_with_span_tree(self):
+        obs.configure(slow_query_seconds=0.0)
+        dataspace = build_dataspace()
+        dataspace.sync()
+        dataspace.query('"database"')
+        entries = obs.global_slowlog().entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.query == '"database"'
+        assert entry.recaptured  # untraced run re-executed under a trace
+        assert "ContentSearch" in entry.span_tree
+        assert obs.global_metrics().snapshot()["query.slow"] == 1
+        warnings = obs.global_events().snapshot(min_severity=obs.WARNING)
+        assert any(e.name == "query.slow" for e in warnings)
+
+    def test_fast_queries_stay_out_of_the_slow_log(self):
+        obs.configure(slow_query_seconds=1000.0)
+        dataspace = build_dataspace()
+        dataspace.sync()
+        dataspace.query('"database"')
+        assert obs.global_slowlog().entries() == []
+        assert "query.slow" not in obs.global_metrics().snapshot()
+
+    def test_traced_executions_capture_without_recapture(self):
+        obs.configure(slow_query_seconds=0.0,
+                      slow_query_recapture=False)
+        dataspace = build_dataspace()
+        dataspace.sync()
+        dataspace.explain_analyze('"database"')
+        entries = obs.global_slowlog().entries()
+        assert len(entries) == 1
+        assert not entries[0].recaptured
+        assert "ContentSearch" in entries[0].span_tree
+
+    def test_streamed_executions_never_trigger_capture(self):
+        obs.configure(slow_query_seconds=0.0)
+        dataspace = build_dataspace()
+        dataspace.sync()
+        with dataspace.query_iter('"database"') as stream:
+            list(stream)
+        assert obs.global_slowlog().entries() == []
+        snapshot = obs.global_metrics().snapshot()
+        assert snapshot["query.streamed"] == 1
+        assert snapshot["query.stream_seconds"].count == 1
+
+
+class TestServiceStatsAliases:
+    def test_trace_keys_alias_to_query_namespace(self):
+        dataspace = build_dataspace()
+        with dataspace.serve(workers=1, trace_queries=True) as service:
+            service.execute('"database"', use_cache=False)
+            stats = service.stats()
+        assert stats["trace.op.ContentSearch.calls"] >= 1  # legacy
+        assert (stats["query.op.ContentSearch.calls"]
+                == stats["trace.op.ContentSearch.calls"])
+
+    def test_resilience_keys_alias_to_source_namespace(self):
+        dataspace = build_dataspace()
+        with dataspace.serve(workers=1) as service:
+            service.execute("/*")
+            stats = service.stats()
+        assert stats["resilience.imap.state"] == "closed"  # legacy
+        assert stats["resilience.source.imap.state"] == "closed"
+
+    def test_global_snapshot_folds_into_stats(self):
+        dataspace = build_dataspace()
+        with dataspace.serve(workers=1) as service:
+            service.execute('"database"')
+            stats = service.stats()
+            local_only = service.stats(include_global=False)
+        assert "sync.views_synced" in stats
+        assert "sync.views_synced" not in local_only
+
+    def test_breaker_transitions_count_and_announce(self):
+        generated = PersonalDataspaceGenerator(
+            TINY_PROFILE, seed=7, imap_latency=no_latency()
+        ).generate()
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1),
+            breaker_failure_threshold=2,
+        ).with_fast_backoff()
+        dataspace = Dataspace(vfs=generated.vfs, imap=generated.imap,
+                              feeds=generated.feeds, resilience=config)
+        dataspace.sync()
+        dataspace.inject_faults("imap", FaultPlan(seed=1).outage())
+        for _ in range(3):
+            dataspace.query("/*")
+        snapshot = obs.global_metrics().snapshot()
+        assert snapshot['resilience.breaker_opened{source="imap"}'] == 1
+        assert snapshot['resilience.breaker_state{source="imap"}'] == 1
+        assert snapshot['resilience.failures{source="imap"}'] >= 2
+        events = obs.global_events().snapshot(subsystem="resilience")
+        assert any(e.name == "resilience.breaker_opened" for e in events)

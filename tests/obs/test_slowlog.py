@@ -1,0 +1,126 @@
+"""The slow-query log: thresholds, ring eviction, recapture."""
+
+from __future__ import annotations
+
+from repro.obs import SlowQueryLog, in_recapture
+from repro.obs.slowlog import _recapturing
+
+
+class FakeTrace:
+    def __init__(self, counters=None):
+        self.roots = []
+        self.counters = dict(counters or {})
+
+
+class FakeReport:
+    def __init__(self):
+        self.trace = FakeTrace({"ctx.content_search": 2})
+
+
+class FakeProcessor:
+    def __init__(self, fail=False):
+        self.fail = fail
+        self.calls = 0
+
+    def explain_analyze(self, query):
+        self.calls += 1
+        assert in_recapture()  # the guard must be up during re-execution
+        if self.fail:
+            raise RuntimeError("source down")
+        return FakeReport()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestThreshold:
+    def test_fast_queries_are_not_captured(self):
+        log = SlowQueryLog(threshold_seconds=1.0)
+        assert log.record("//fast", 0.2) is None
+        assert len(log) == 0
+
+    def test_slow_queries_are_captured(self):
+        log = SlowQueryLog(threshold_seconds=1.0)
+        entry = log.record("//slow", 1.5)
+        assert entry is not None
+        assert entry.elapsed_seconds == 1.5
+        assert entry.threshold_seconds == 1.0
+        assert log.entries() == [entry]
+
+    def test_none_threshold_disables_capture(self):
+        log = SlowQueryLog(threshold_seconds=None)
+        assert not log.is_slow(1e9)
+        assert log.record("//any", 1e9) is None
+
+
+class TestRing:
+    def test_old_entries_evict_at_capacity(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=2,
+                           recapture=False)
+        for index in range(4):
+            log.record(f"//q{index}", 1.0)
+        assert [e.query for e in log.entries()] == ["//q2", "//q3"]
+        assert log.captured == 4  # lifetime count survives eviction
+
+
+class TestCapture:
+    def test_traced_execution_renders_directly(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        trace = FakeTrace({"engine.batches": 3})
+        entry = log.record("//traced", 0.9, trace=trace)
+        assert entry.counters == {"engine.batches": 3}
+        assert not entry.recaptured
+
+    def test_untraced_execution_recaptures_via_processor(self):
+        clock = FakeClock()
+        processor = FakeProcessor()
+        log = SlowQueryLog(threshold_seconds=0.5, clock=clock)
+        entry = log.record("//untraced", 0.9, processor=processor)
+        assert processor.calls == 1
+        assert entry.recaptured
+        assert entry.counters == {"ctx.content_search": 2}
+
+    def test_recapture_is_rate_limited(self):
+        clock = FakeClock()
+        processor = FakeProcessor()
+        log = SlowQueryLog(threshold_seconds=0.5, clock=clock,
+                           recapture_interval_seconds=10.0)
+        first = log.record("//a", 0.9, processor=processor)
+        second = log.record("//b", 0.9, processor=processor)
+        assert processor.calls == 1  # second capture skipped the re-run
+        assert first.recaptured and not second.recaptured
+        assert len(log) == 2  # the entry itself still records, tree-less
+        clock.now += 11.0
+        third = log.record("//c", 0.9, processor=processor)
+        assert processor.calls == 2
+        assert third.recaptured
+
+    def test_failed_recapture_still_records_the_entry(self):
+        log = SlowQueryLog(threshold_seconds=0.5,
+                           clock=FakeClock())
+        entry = log.record("//x", 0.9, processor=FakeProcessor(fail=True))
+        assert entry is not None
+        assert entry.span_tree == ""
+        assert not entry.recaptured
+
+    def test_reentrant_recapture_never_captures_itself(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        _recapturing.active = True
+        try:
+            assert log.record("//inner", 5.0) is None
+        finally:
+            _recapturing.active = False
+        assert len(log) == 0
+
+    def test_render_mentions_timing_and_query(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        entry = log.record("//slow", 1.5, plan_text="Scan(//slow)")
+        text = entry.render()
+        assert "1500.0 ms" in text
+        assert "//slow" in text
+        assert "Scan(//slow)" in text

@@ -209,7 +209,13 @@ class TestSizeAccounting:
         idx.add("a", "abcd")
         assert idx.total_input_bytes == 4
 
-    def test_stats_keys(self, index):
-        assert set(index.stats()) == {
-            "documents", "terms", "size_bytes", "input_bytes"
+    def test_stats_shape(self, index):
+        stats = index.stats()
+        assert stats.name == "fulltext"
+        assert stats.entries == index.document_count
+        assert stats.bytes_estimate == index.size_bytes()
+        assert stats.detail["terms"] == index.term_count
+        assert stats.detail["input_bytes"] == index.total_input_bytes
+        assert set(stats.as_dict()) == {
+            "name", "entries", "bytes_estimate", "terms", "input_bytes"
         }

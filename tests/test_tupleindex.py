@@ -125,8 +125,10 @@ class TestTupleIndex:
 
     def test_stats(self, index):
         stats = index.stats()
-        assert stats["tuples"] == 4
-        assert stats["attributes"] == 3
+        assert stats.name == "tuple"
+        assert stats.entries == 4
+        assert stats.detail["attributes"] == 3
+        assert stats.bytes_estimate == index.size_bytes()
 
     def test_equivalence_with_naive_scan(self):
         """Property-ish: vertical index answers match a full scan."""
