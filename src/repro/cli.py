@@ -12,6 +12,10 @@ Usage (module form)::
     python -m repro tables --scale 0.05
     python -m repro serve  --clients 1,4,16 --requests 25
     python -m repro chaos  --target imap --transient-rate 0.3
+    python -m repro checkpoint /tmp/space --scale 0.02
+    python -m repro recover /tmp/space --verify
+    python -m repro snapshot save /tmp/snap --scale 0.02
+    python -m repro snapshot load /tmp/snap
 
 Dataspaces are generated in memory, deterministically from
 ``--scale``/``--seed``, so every invocation is reproducible.
@@ -36,6 +40,8 @@ from .imapsim.latency import no_latency
 
 #: Exit code for a rejected iQL query (argparse itself uses 2).
 EXIT_PARSE_ERROR = 3
+#: Exit code when ``recover --verify`` finds engine/oracle divergence.
+EXIT_VERIFY_FAILED = 4
 
 
 def _add_dataset_options(parser: argparse.ArgumentParser) -> None:
@@ -340,6 +346,65 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Make (or reopen) a durable dataspace and checkpoint it."""
+    from .durability import load_config
+
+    if load_config(args.directory) is not None:
+        # an existing durability directory: recover, then checkpoint it
+        dataspace = Dataspace.open(args.directory)
+        assert dataspace.last_recovery is not None
+        print(dataspace.last_recovery.summary())
+    else:
+        dataspace = Dataspace.generate(scale=args.scale, seed=args.seed,
+                                       imap_latency=no_latency(),
+                                       durability=args.directory)
+        report = dataspace.sync()
+        print(f"synced {report.views_total} views into {args.directory}")
+    with dataspace:
+        info = dataspace.checkpoint()
+    print(f"checkpoint at lsn {info.lsn}: {info.path.name}, "
+          f"{info.segments_truncated} WAL segment(s) truncated, "
+          f"{info.seconds * 1000:.1f} ms")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Recover a durability directory and optionally verify the engine."""
+    from .durability import verify_engine_matches_oracle
+
+    with Dataspace.open(args.directory) as dataspace:
+        assert dataspace.last_recovery is not None
+        print(dataspace.last_recovery.summary())
+        if not args.verify:
+            return 0
+        report = verify_engine_matches_oracle(
+            dataspace, seed=args.verify_seed, count=args.verify_count)
+    print(report.summary())
+    if not report.ok:
+        for iql, diff in report.mismatches:
+            print(f"  MISMATCH {iql}: {diff}", file=sys.stderr)
+        return EXIT_VERIFY_FAILED
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    """Save or load a plain (WAL-free) snapshot of the indexed state."""
+    if args.action == "save":
+        dataspace = _build(args)
+        manifest = dataspace.save(args.directory)
+        print(f"saved {manifest['counts']['catalog']} views to "
+              f"{args.directory} "
+              f"(snapshot format v{manifest['format_version']})")
+        return 0
+    dataspace = Dataspace()
+    manifest = dataspace.load(args.directory)
+    sizes = dataspace.index_sizes()
+    print(f"loaded {manifest['counts']['catalog']} views from "
+          f"{args.directory} ({sizes['total']} index bytes)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -436,6 +501,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="breaker cool-down seconds (default 30)")
     _add_dataset_options(chaos)
     chaos.set_defaults(handler=_cmd_chaos)
+
+    checkpoint = commands.add_parser(
+        "checkpoint", help="checkpoint a durable dataspace (snapshot + "
+                           "truncate the applied WAL prefix)"
+    )
+    checkpoint.add_argument("directory",
+                            help="durability directory (created and synced "
+                                 "from --scale/--seed when empty)")
+    _add_dataset_options(checkpoint)
+    checkpoint.set_defaults(handler=_cmd_checkpoint)
+
+    recover = commands.add_parser(
+        "recover", help="recover a durability directory (latest checkpoint "
+                        "+ WAL tail) and report what came back"
+    )
+    recover.add_argument("directory", help="durability directory")
+    recover.add_argument("--verify", action="store_true",
+                         help="check the batched engine against the "
+                              "reference oracle on the recovered state")
+    recover.add_argument("--verify-seed", type=int, default=0,
+                         help="query-generator seed for --verify")
+    recover.add_argument("--verify-count", type=int, default=40,
+                         help="generated queries for --verify (default 40)")
+    recover.set_defaults(handler=_cmd_recover)
+
+    snapshot = commands.add_parser(
+        "snapshot", help="save/load a plain snapshot of the indexed state "
+                         "(no WAL; see `checkpoint` for durability)"
+    )
+    snapshot.add_argument("action", choices=("save", "load"))
+    snapshot.add_argument("directory", help="snapshot directory")
+    _add_dataset_options(snapshot)
+    snapshot.set_defaults(handler=_cmd_snapshot)
 
     return parser
 

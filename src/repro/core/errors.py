@@ -104,6 +104,16 @@ class FullTextError(IdmError):
     """A failure inside the full-text engine."""
 
 
+class DurabilityError(IdmError):
+    """A failure in the durability layer (WAL, checkpoint, recovery).
+
+    Torn WAL tails are *not* errors — they are truncated on open; this
+    is raised for conditions that would silently lose acknowledged
+    data, such as corruption in a non-final segment or an unreadable
+    checkpoint.
+    """
+
+
 class DataSourceError(IdmError):
     """A data-source plugin failed to enumerate or fetch items."""
 

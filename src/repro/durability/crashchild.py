@@ -1,0 +1,59 @@
+"""Crash-test child: die by SIGKILL mid-``sync_all``, deterministically.
+
+The crash-recovery suite runs this module as a subprocess::
+
+    python -m repro.durability.crashchild <dir> --seed 1 --kill-after 40
+
+It builds a generated dataspace with durability into ``<dir>``
+(``fsync="always"``, so every acknowledged frame is on disk), arms the
+WAL's crash hook, and starts ``sync_all()``. After the configured
+number of WAL appends the hook delivers a real ``SIGKILL`` to this
+process — no atexit, no flush, no cleanup — leaving a torn durability
+directory exactly as a power failure would. The parent test then
+recovers from it and checks engine ≡ oracle on the recovered state.
+
+Exits 0 (with ``SURVIVED`` on stdout) only if the sync finishes before
+the hook fires, which the parent treats as a mis-tuned ``--kill-after``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.durability.crashchild")
+    parser.add_argument("directory", help="durability directory to tear")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="dataset generator seed")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale (default: the tiny profile)")
+    parser.add_argument("--kill-after", type=int, default=40,
+                        help="SIGKILL this process after N WAL appends")
+    args = parser.parse_args(argv)
+
+    from ..dataset import TINY_PROFILE
+    from ..facade import Dataspace
+    from ..imapsim.latency import no_latency
+    from .manager import DurabilityConfig
+
+    config = DurabilityConfig(directory=args.directory, fsync="always")
+    if args.scale is not None:
+        dataspace = Dataspace.generate(
+            scale=args.scale, seed=args.seed,
+            imap_latency=no_latency(), durability=config,
+        )
+    else:
+        dataspace = Dataspace.generate(
+            profile=TINY_PROFILE, seed=args.seed,
+            imap_latency=no_latency(), durability=config,
+        )
+    dataspace.durability.wal.crash_after_appends = args.kill_after
+    dataspace.sync()          # the hook SIGKILLs us somewhere in here
+    print("SURVIVED")         # pragma: no cover - only on mis-tuned N
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,170 @@
+"""The durability manager: one dataspace's WAL + checkpoint lifecycle.
+
+:class:`DurabilityManager` owns a durability *directory*::
+
+    <directory>/
+        config.json                # indexing-policy flags, format version
+        wal/00000000000000000001.wal ...
+        checkpoint-<lsn>/          # save_state snapshots
+        CHECKPOINT                 # pointer: which checkpoint is live
+
+and plugs into the RVM as the synchronization manager's durability
+sink: every view the sync path indexes or unregisters is captured as
+typed records (:mod:`.records`) and appended to the WAL as one commit
+unit *after* the in-memory mutation completed — the structures are the
+source of truth, the log is their replayable history.
+
+``config.json`` pins the :class:`~repro.rvm.indexes.IndexingPolicy`
+the log was written under: WAL replay re-runs the indexing dispatch,
+so recovery must construct the RVM with the same policy —
+:func:`load_config` / ``Dataspace.open`` restore it automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.errors import DurabilityError
+from ..core.resource_view import ResourceView
+from ..rvm.indexes import IndexingPolicy
+from .checkpoint import Checkpointer, CheckpointInfo
+from .records import capture_view_delete, capture_view_upsert
+from .recovery import WAL_DIRNAME, RecoveryReport, recover_state
+from .wal import WriteAheadLog
+
+CONFIG_NAME = "config.json"
+CONFIG_VERSION = 1
+
+_POLICY_FLAGS = ("index_names", "index_content", "index_tuples",
+                 "replicate_groups", "index_media")
+
+
+@dataclass(frozen=True)
+class DurabilityConfig:
+    """How a dataspace's mutations are made durable."""
+
+    #: the durability directory (created on first use)
+    directory: str | Path = ""
+    #: fsync policy: "always" | "interval" | "off"
+    fsync: str = "interval"
+    #: max staleness of the durable tail under the "interval" policy
+    fsync_interval_seconds: float = 0.25
+    #: WAL segment rotation threshold
+    segment_max_bytes: int = 4 * 1024 * 1024
+    #: completed checkpoints retained
+    checkpoint_keep: int = 2
+
+    def with_directory(self, directory: str | Path) -> "DurabilityConfig":
+        from dataclasses import replace
+        return replace(self, directory=directory)
+
+
+def _policy_to_dict(policy: IndexingPolicy) -> dict:
+    return {flag: getattr(policy, flag) for flag in _POLICY_FLAGS}
+
+
+def load_config(directory: str | Path) -> dict | None:
+    """The persisted ``config.json`` of a durability directory, if any."""
+    path = Path(directory) / CONFIG_NAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def policy_from_config(config: dict | None) -> IndexingPolicy | None:
+    """Reconstruct the logged indexing policy (None when unrecorded)."""
+    if not config or "policy" not in config:
+        return None
+    flags = config["policy"]
+    return IndexingPolicy(**{flag: bool(flags.get(flag, True))
+                             for flag in _POLICY_FLAGS})
+
+
+class DurabilityManager:
+    """Wires one RVM's mutation stream into a WAL + checkpoints."""
+
+    def __init__(self, rvm, config: DurabilityConfig):
+        if not config.directory:
+            raise DurabilityError(
+                "DurabilityConfig.directory must name the durability "
+                "directory"
+            )
+        self.rvm = rvm
+        self.config = config
+        self.directory = Path(config.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._check_or_write_config()
+        self.wal = WriteAheadLog(
+            self.directory / WAL_DIRNAME,
+            segment_max_bytes=config.segment_max_bytes,
+            fsync=config.fsync,
+            fsync_interval_seconds=config.fsync_interval_seconds,
+        )
+        self.checkpointer = Checkpointer(self.directory,
+                                         keep=config.checkpoint_keep)
+        rvm.attach_durability(self)
+
+    def _check_or_write_config(self) -> None:
+        persisted = load_config(self.directory)
+        mine = _policy_to_dict(self.rvm.indexes.policy)
+        if persisted is None:
+            staging = self.directory / f"{CONFIG_NAME}.tmp-{os.getpid()}"
+            staging.write_text(json.dumps(
+                {"config_version": CONFIG_VERSION, "policy": mine},
+                indent=2,
+            ))
+            os.replace(staging, self.directory / CONFIG_NAME)
+            return
+        theirs = persisted.get("policy")
+        if theirs is not None and theirs != mine:
+            raise DurabilityError(
+                f"durability directory {self.directory} was written under "
+                f"indexing policy {theirs}, but this RVM uses {mine}; "
+                f"replaying the log under a different policy would "
+                f"diverge — open with the recorded policy"
+            )
+
+    # -- the sync manager's durability sink --------------------------------
+
+    def record_upsert(self, view: ResourceView,
+                      raw_content: str | None) -> None:
+        """Log one just-indexed view (called after the mutation)."""
+        records = capture_view_upsert(view, self.rvm, raw_content)
+        if records:
+            self.wal.append(records)
+
+    def record_remove(self, uri: str) -> None:
+        """Log one just-unregistered view."""
+        self.wal.append(capture_view_delete(uri))
+
+    # -- checkpoints & recovery --------------------------------------------
+
+    def checkpoint(self) -> CheckpointInfo:
+        """Snapshot the RVM and truncate the applied WAL prefix."""
+        return self.checkpointer.checkpoint(self.rvm, self.wal)
+
+    def recover_into(self, rvm) -> RecoveryReport:
+        """Replay this directory's state into a fresh RVM.
+
+        Uses the manager's own open WAL, so subsequent mutations append
+        at the recovered tail.
+        """
+        return recover_state(self.directory, rvm, wal=self.wal)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def sync(self) -> None:
+        """Force the WAL tail to stable storage now."""
+        self.wal.sync()
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def __enter__(self) -> "DurabilityManager":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

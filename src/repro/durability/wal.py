@@ -1,0 +1,308 @@
+"""The segmented write-ahead log.
+
+The WAL is a directory of append-only segment files. Each segment is
+named after the LSN of its first frame (``00000000000000000001.wal``)
+and holds a sequence of CRC-framed records::
+
+    +----------------+----------------+----------------+---------....
+    | lsn   (8 B LE) | length (4 B)   | crc32  (4 B)   | payload
+    +----------------+----------------+----------------+---------....
+
+The payload is one UTF-8 JSON object ``{"r": [record, ...]}`` — a
+*commit unit*: all records of one logical mutation (e.g. every
+structure touched while indexing one resource view) share one frame,
+so recovery applies them all or none of them. LSNs number frames,
+monotonically across segments.
+
+Durability is governed by the fsync policy:
+
+* ``"always"`` — flush + fsync after every append (no committed frame
+  is ever lost, slowest);
+* ``"interval"`` — fsync at most once per ``fsync_interval_seconds``
+  (bounded loss window, near-off cost);
+* ``"off"`` — never fsync explicitly (the OS decides; crash loses the
+  page-cache tail).
+
+On open, the last segment is scanned frame by frame; the first frame
+that is short, CRC-corrupt, or out of LSN sequence marks a *torn tail*
+from a crash mid-append — everything from there on is truncated away,
+and appends continue from the last intact frame. Corruption discovered
+in a *non-final* segment during replay is not a torn tail (intact data
+follows it) and raises :class:`~repro.core.errors.DurabilityError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import struct
+import time
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from .. import obs
+from ..core.errors import DurabilityError
+
+#: Frame header: lsn, payload length, crc32(payload).
+FRAME_HEADER = struct.Struct("<QII")
+
+SEGMENT_SUFFIX = ".wal"
+
+#: Valid fsync policies.
+FSYNC_POLICIES = ("always", "interval", "off")
+
+#: Hard cap on a single frame's payload, as a corruption sanity bound:
+#: a "length" beyond this is treated as a torn/corrupt frame rather
+#: than attempted as an allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def _segment_name(first_lsn: int) -> str:
+    return f"{first_lsn:020d}{SEGMENT_SUFFIX}"
+
+
+def _first_lsn_of(path: Path) -> int:
+    return int(path.name[: -len(SEGMENT_SUFFIX)])
+
+
+class WriteAheadLog:
+    """An append-only, segmented, CRC-framed log of JSON records."""
+
+    def __init__(self, directory: str | Path, *,
+                 segment_max_bytes: int = 4 * 1024 * 1024,
+                 fsync: str = "interval",
+                 fsync_interval_seconds: float = 0.25):
+        if fsync not in FSYNC_POLICIES:
+            raise DurabilityError(
+                f"unknown fsync policy {fsync!r}; pick one of "
+                f"{', '.join(FSYNC_POLICIES)}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_max_bytes = segment_max_bytes
+        self.fsync_policy = fsync
+        self.fsync_interval_seconds = fsync_interval_seconds
+        #: crash-testing hook: SIGKILL this process after N appends
+        #: (a real, uncatchable kill — the durability suite uses it to
+        #: land a crash deterministically mid-``sync_all``).
+        self.crash_after_appends: int | None = None
+        self.appends = 0
+        self.bytes_written = 0
+        self.fsyncs = 0
+        self.rotations = 0
+        self._last_fsync = time.monotonic()
+        self._handle = None
+        self._open_tail()
+
+    # -- opening & torn-tail repair ---------------------------------------
+
+    def _segments(self) -> list[Path]:
+        return sorted(
+            p for p in self.directory.iterdir()
+            if p.name.endswith(SEGMENT_SUFFIX)
+            and p.name[: -len(SEGMENT_SUFFIX)].isdigit()
+        )
+
+    def _open_tail(self) -> None:
+        segments = self._segments()
+        if not segments:
+            self._next_lsn = 1
+            self._start_segment(first_lsn=1)
+            return
+        tail = segments[-1]
+        last_good, good_bytes = self._scan_segment(tail)
+        size = tail.stat().st_size
+        if good_bytes < size:
+            # torn tail: a crash mid-append left a partial/corrupt
+            # frame — drop it so the log ends on a committed frame
+            with tail.open("r+b") as handle:
+                handle.truncate(good_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if obs.enabled():
+                obs.increment("wal.torn_tail_truncations")
+                obs.emit_event(
+                    obs.WARNING, "durability", "wal.torn_tail",
+                    f"truncated torn tail of {tail.name}: "
+                    f"{size - good_bytes} byte(s) dropped",
+                    segment=tail.name, dropped=size - good_bytes,
+                )
+        self._next_lsn = (last_good + 1 if last_good
+                          else _first_lsn_of(tail))
+        self._segment_path = tail
+        self._handle = tail.open("ab")
+
+    def _scan_segment(self, path: Path) -> tuple[int, int]:
+        """Validate ``path`` frame by frame.
+
+        Returns ``(last_good_lsn, good_bytes)`` — the LSN of the last
+        intact frame (0 when none) and the byte offset it ends at.
+        """
+        expected = _first_lsn_of(path)
+        last_good = 0
+        good_bytes = 0
+        with path.open("rb") as handle:
+            while True:
+                frame = self._read_frame(handle, expected)
+                if frame is None:
+                    break
+                lsn, _payload, end = frame
+                last_good = lsn
+                good_bytes = end
+                expected = lsn + 1
+        return last_good, good_bytes
+
+    @staticmethod
+    def _read_frame(handle, expected_lsn: int):
+        """Read one frame; None on EOF, torn tail, or corruption."""
+        header = handle.read(FRAME_HEADER.size)
+        if len(header) < FRAME_HEADER.size:
+            return None
+        lsn, length, crc = FRAME_HEADER.unpack(header)
+        if lsn != expected_lsn or length > MAX_FRAME_BYTES:
+            return None
+        payload = handle.read(length)
+        if len(payload) < length or zlib.crc32(payload) != crc:
+            return None
+        return lsn, payload, handle.tell()
+
+    def _start_segment(self, *, first_lsn: int) -> None:
+        if self._handle is not None:
+            self._flush(force=True)
+            self._handle.close()
+            self.rotations += 1
+            if obs.enabled():
+                obs.increment("wal.rotations")
+        self._segment_path = self.directory / _segment_name(first_lsn)
+        self._handle = self._segment_path.open("ab")
+
+    # -- appending ---------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """The LSN of the last committed frame (0 when empty)."""
+        return self._next_lsn - 1
+
+    def append(self, records: list[dict]) -> int:
+        """Append one commit unit; returns its LSN."""
+        if self._handle is None:
+            raise DurabilityError("write-ahead log is closed")
+        if self._handle.tell() >= self.segment_max_bytes:
+            self._start_segment(first_lsn=self._next_lsn)
+        lsn = self._next_lsn
+        payload = json.dumps({"r": records}, ensure_ascii=False,
+                             separators=(",", ":")).encode("utf-8")
+        frame = FRAME_HEADER.pack(lsn, len(payload),
+                                  zlib.crc32(payload)) + payload
+        self._handle.write(frame)
+        self._next_lsn += 1
+        self.appends += 1
+        self.bytes_written += len(frame)
+        self._flush()
+        if obs.enabled():
+            obs.increment("wal.appends")
+            obs.increment("wal.bytes", len(frame))
+        if (self.crash_after_appends is not None
+                and self.appends >= self.crash_after_appends):
+            os.kill(os.getpid(), signal.SIGKILL)  # crash-test hook
+        return lsn
+
+    def _flush(self, *, force: bool = False) -> None:
+        policy = self.fsync_policy
+        if policy == "off" and not force:
+            return
+        now = time.monotonic()
+        if (not force and policy == "interval"
+                and now - self._last_fsync < self.fsync_interval_seconds):
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._last_fsync = now
+        self.fsyncs += 1
+        if obs.enabled():
+            obs.increment("wal.fsyncs")
+
+    def sync(self) -> None:
+        """Force the buffered tail to stable storage now."""
+        if self._handle is not None:
+            self._flush(force=True)
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self, *, after_lsn: int = 0) -> Iterator[tuple[int, dict]]:
+        """Yield ``(lsn, commit_unit)`` for every frame past ``after_lsn``.
+
+        The commit unit is the decoded ``{"r": [...]}`` payload.
+        Corruption in the final segment ends the iteration (torn tail);
+        corruption with intact segments after it raises
+        :class:`DurabilityError` — records provably exist beyond the
+        damage, so silently dropping them would lose acknowledged data.
+        """
+        self.sync()
+        segments = self._segments()
+        for index, segment in enumerate(segments):
+            is_last = index == len(segments) - 1
+            next_first = (_first_lsn_of(segments[index + 1])
+                          if not is_last else None)
+            if next_first is not None and next_first <= after_lsn + 1:
+                continue  # fully covered by the checkpoint
+            expected = _first_lsn_of(segment)
+            size = segment.stat().st_size
+            with segment.open("rb") as handle:
+                while True:
+                    frame = self._read_frame(handle, expected)
+                    if frame is None:
+                        if not is_last and handle.tell() < size:
+                            raise DurabilityError(
+                                f"corrupt frame in non-final WAL segment "
+                                f"{segment.name} at offset {handle.tell()}"
+                            )
+                        break
+                    lsn, payload, _end = frame
+                    expected = lsn + 1
+                    if lsn <= after_lsn:
+                        continue
+                    yield lsn, json.loads(payload.decode("utf-8"))
+            if not is_last and next_first != expected:
+                raise DurabilityError(
+                    f"WAL segment {segment.name} ends at lsn "
+                    f"{expected - 1} but {_segment_name(next_first)} "
+                    f"follows"
+                )
+
+    # -- truncation --------------------------------------------------------
+
+    def truncate_through(self, lsn: int) -> int:
+        """Delete segments whose every frame is at or below ``lsn``.
+
+        The active tail segment always survives. Returns the number of
+        segments removed.
+        """
+        segments = self._segments()
+        removed = 0
+        for index, segment in enumerate(segments[:-1]):
+            next_first = _first_lsn_of(segments[index + 1])
+            if next_first <= lsn + 1:
+                segment.unlink()
+                removed += 1
+            else:
+                break
+        if removed and obs.enabled():
+            obs.increment("wal.segments_truncated", removed)
+        return removed
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._flush(force=True)
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -40,7 +40,7 @@ class Dataspace:
                  reference_datetime: datetime | None = None,
                  policy=None, optimizer: str = "rule",
                  expansion: str = "forward",
-                 resilience=None):
+                 resilience=None, durability=None):
         self.vfs = vfs
         self.imap = imap
         self.feeds = feeds
@@ -53,6 +53,16 @@ class Dataspace:
             resilience = ResilienceHub(resilience)
         self.resilience = resilience
         self.rvm = ResourceViewManager(policy=policy, resilience=resilience)
+        # durability: a directory path → default config over it; a
+        # DurabilityConfig → a manager with it; None → off (in-memory).
+        # Attached before any sync so the WAL covers the initial scan.
+        from pathlib import Path
+        from .durability import DurabilityConfig, DurabilityManager
+        if isinstance(durability, (str, Path)):
+            durability = DurabilityConfig(directory=durability)
+        self.durability = (DurabilityManager(self.rvm, durability)
+                           if isinstance(durability, DurabilityConfig)
+                           else durability)
         self.converter = default_content_converter()
         if vfs is not None:
             self.rvm.register_plugin(FilesystemPlugin(
@@ -70,6 +80,7 @@ class Dataspace:
         )
         self._synced = False
         self.last_sync_report: SyncReport | None = None
+        self.last_recovery = None
         self.generated: GeneratedDataspace | None = None
 
     # -- constructors -----------------------------------------------------------
@@ -100,6 +111,47 @@ class Dataspace:
         dataspace.generated = generated
         return dataspace
 
+    @classmethod
+    def open(cls, path, *, durable: bool = True, **kwargs) -> "Dataspace":
+        """Reopen a dataspace from its durability directory.
+
+        Loads the latest checkpoint and replays the WAL tail into a
+        fresh RVM — no data sources needed, no re-sync: the recovered
+        structures answer queries immediately. The indexing policy the
+        directory was written under is restored automatically.
+
+        With ``durable=True`` (the default) the directory stays
+        attached: further mutations append at the recovered WAL tail
+        and :meth:`checkpoint` keeps working. ``durable=False`` gives a
+        read-only-ish in-memory copy. The recovery statistics are left
+        on ``last_recovery``.
+        """
+        from .durability import (
+            DurabilityConfig,
+            DurabilityManager,
+            load_config,
+            policy_from_config,
+            recover_state,
+        )
+        policy = kwargs.pop("policy", None)
+        if policy is None:
+            policy = policy_from_config(load_config(path))
+        dataspace = cls(policy=policy, **kwargs)
+        if durable:
+            manager = DurabilityManager(
+                dataspace.rvm, DurabilityConfig(directory=path))
+            dataspace.durability = manager
+            # detach while replaying: recovery must not re-log itself
+            dataspace.rvm.attach_durability(None)
+            try:
+                dataspace.last_recovery = manager.recover_into(dataspace.rvm)
+            finally:
+                dataspace.rvm.attach_durability(manager)
+        else:
+            dataspace.last_recovery = recover_state(path, dataspace.rvm)
+        dataspace._synced = True
+        return dataspace
+
     # -- lifecycle ------------------------------------------------------------------
 
     def sync(self) -> SyncReport:
@@ -107,6 +159,9 @@ class Dataspace:
         report = self.rvm.sync_all()
         self.last_sync_report = report
         self._synced = True
+        if self.durability is not None:
+            # a finished scan is durable regardless of the fsync policy
+            self.durability.sync()
         return report
 
     def watch(self) -> dict[str, bool]:
@@ -118,6 +173,60 @@ class Dataspace:
         processed = self.rvm.process_notifications()
         processed += self.rvm.poll_and_process()
         return processed
+
+    # -- persistence --------------------------------------------------------------------
+
+    def save(self, path) -> dict:
+        """Snapshot the indexed state to a directory (crash-safe).
+
+        Writes the catalog and all index/replica structures with
+        :func:`repro.rvm.persistence.save_state`; the snapshot appears
+        atomically (staged beside the target, then renamed over it).
+        Returns the snapshot manifest.
+        """
+        from .rvm.persistence import save_state
+        if not self._synced:
+            self.sync()
+        return save_state(self.rvm, path)
+
+    def load(self, path, *, merge: bool = False) -> dict:
+        """Restore a :meth:`save` snapshot into this dataspace.
+
+        Refuses to load into a non-empty RVM unless ``merge=True``
+        (raises :class:`~repro.core.errors.StoreError`). Queries work
+        immediately on the restored structures; no re-sync happens.
+        """
+        from .rvm.persistence import load_state
+        manifest = load_state(self.rvm, path, merge=merge)
+        self._synced = True
+        return manifest
+
+    def checkpoint(self):
+        """Checkpoint the durable dataspace: snapshot + truncate the WAL.
+
+        Requires the dataspace to have been built with ``durability=``
+        (or reopened via :meth:`open`).
+        """
+        from .core.errors import DurabilityError
+        if self.durability is None:
+            raise DurabilityError(
+                "this dataspace has no durability manager; build it with "
+                "Dataspace(durability=...) or Dataspace.open(path)"
+            )
+        if not self._synced:
+            self.sync()
+        return self.durability.checkpoint()
+
+    def close(self) -> None:
+        """Release durable resources (flushes and closes the WAL)."""
+        if self.durability is not None:
+            self.durability.close()
+
+    def __enter__(self) -> "Dataspace":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- queries ------------------------------------------------------------------------
 

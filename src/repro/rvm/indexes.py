@@ -89,8 +89,14 @@ class IndexSet:
 
     # -- writes ------------------------------------------------------------------
 
-    def add_view(self, view: ResourceView) -> None:
-        """Index the components the policy covers."""
+    def add_view(self, view: ResourceView) -> str | None:
+        """Index the components the policy covers.
+
+        Returns the raw content text the content/media branch examined
+        (``None`` when the policy skips content entirely) — the
+        durability layer logs it, since the content index stores
+        postings only and the raw text cannot be read back.
+        """
         uri = view.view_id.uri
         if self.policy.index_names:
             name = view.name
@@ -98,19 +104,31 @@ class IndexSet:
                 self.name_index.add(uri, name)
         if self.policy.index_tuples:
             self.tuple_index.add(uri, view.tuple_component)
+        raw = None
         if self.policy.index_content or self.policy.index_media:
             content = view.content
             raw = (content.text() if content.is_finite
                    else content.take(self.infinite_content_window))
-            is_text = bool(raw) and _looks_like_text(raw)
-            if self.policy.index_content and is_text:
-                self.content_index.add(uri, raw)
-                self._net_input_bytes += len(raw.encode("utf-8", "replace"))
-            if self.policy.index_media and raw and not is_text:
-                # non-text content: similarity-index its histogram
-                self.media_index.add(uri, raw)
+            self.index_content_raw(uri, raw)
         if self.policy.replicate_groups:
             self.group_replica.add(view)
+        return raw
+
+    def index_content_raw(self, uri: str, raw: str) -> None:
+        """Index one view's already-extracted content text.
+
+        The single content dispatch point: text goes to the full-text
+        index (and into the net-input accounting), non-text to the
+        media index when enabled. WAL replay re-applies logged content
+        through here, so replayed state matches live indexing exactly.
+        """
+        is_text = bool(raw) and _looks_like_text(raw)
+        if self.policy.index_content and is_text:
+            self.content_index.add(uri, raw)
+            self._net_input_bytes += len(raw.encode("utf-8", "replace"))
+        if self.policy.index_media and raw and not is_text:
+            # non-text content: similarity-index its histogram
+            self.media_index.add(uri, raw)
 
     def remove_view(self, view_id: ViewId | str) -> None:
         uri = view_id if isinstance(view_id, str) else view_id.uri

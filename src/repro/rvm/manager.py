@@ -145,6 +145,21 @@ class ResourceViewManager:
             plugin = self.resilience.wrap(plugin)
         self.proxy.register(plugin)
 
+    def attach_durability(self, sink) -> None:
+        """Attach a durability sink (WAL capture) to the mutation path.
+
+        ``sink`` is any object with ``record_upsert(view, raw_content)``
+        and ``record_remove(uri)`` — in practice a
+        :class:`repro.durability.DurabilityManager`. Attach it *before*
+        the first sync so the log covers the initial scan.
+        """
+        self.sync.durability = sink
+
+    @property
+    def durability(self):
+        """The attached durability sink (None when not durable)."""
+        return self.sync.durability
+
     # -- synchronization ----------------------------------------------------------
 
     def sync_all(self) -> SyncReport:

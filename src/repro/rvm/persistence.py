@@ -15,12 +15,21 @@ restart of the original system.
 
 The format is deliberately plain: one ``manifest.json`` plus one
 ``.jsonl`` file per structure, with ISO-tagged datetimes. It is a
-snapshot format, not a WAL — call :func:`save_state` after syncs.
+snapshot format, not a WAL — :mod:`repro.durability` layers the WAL,
+checkpoints and crash recovery on top of it.
+
+Snapshots are *crash-safe*: :func:`save_state` writes into a sibling
+temporary directory, fsyncs every file, and atomically renames it into
+place, so a crash mid-snapshot can never leave a half-written state
+that :func:`load_state` would partially apply — the target either
+holds the complete previous snapshot or the complete new one.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from datetime import date, datetime
 from pathlib import Path
 from typing import Any
@@ -38,7 +47,8 @@ FORMAT_VERSION = 1
 # value (de)serialization
 # ---------------------------------------------------------------------------
 
-def _encode_value(value: Any) -> Any:
+def encode_value(value: Any) -> Any:
+    """JSON-encode one tuple-component value (datetimes ISO-tagged)."""
     if isinstance(value, datetime):
         return {"__dt__": value.isoformat()}
     if isinstance(value, date):
@@ -46,7 +56,8 @@ def _encode_value(value: Any) -> Any:
     return value
 
 
-def _decode_value(value: Any) -> Any:
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value`."""
     if isinstance(value, dict):
         if "__dt__" in value:
             return datetime.fromisoformat(value["__dt__"])
@@ -61,6 +72,8 @@ def _write_jsonl(path: Path, rows) -> int:
         for row in rows:
             handle.write(json.dumps(row, ensure_ascii=False) + "\n")
             count += 1
+        handle.flush()
+        os.fsync(handle.fileno())
     return count
 
 
@@ -72,18 +85,69 @@ def _read_jsonl(path: Path):
                 yield json.loads(line)
 
 
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 # ---------------------------------------------------------------------------
 # save
 # ---------------------------------------------------------------------------
 
-def save_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
+def save_state(rvm: ResourceViewManager, directory: str | Path, *,
+               extra: dict | None = None) -> dict:
     """Serialize the RVM's catalog and indexes under ``directory``.
 
-    Returns the manifest that was written.
+    The snapshot is staged in a temporary sibling directory and
+    atomically renamed into place, replacing any previous snapshot at
+    ``directory``. ``extra`` keys are merged into the manifest (the
+    checkpointer records the WAL position this way). Returns the
+    manifest that was written.
     """
-    base = Path(directory)
-    base.mkdir(parents=True, exist_ok=True)
+    target = Path(directory)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    staging = target.parent / f"{target.name}.tmp-{os.getpid()}"
+    if staging.exists():
+        shutil.rmtree(staging)
+    staging.mkdir()
+    try:
+        manifest = _write_snapshot(rvm, staging, extra=extra)
+        _fsync_dir(staging)
+        _replace_directory(staging, target)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+    return manifest
 
+
+def _replace_directory(staging: Path, target: Path) -> None:
+    """Atomically swap ``staging`` into ``target``'s place.
+
+    ``os.replace`` cannot overwrite a non-empty directory, so an
+    existing snapshot is first moved aside and removed only after the
+    new one is in place — a crash at any point leaves either the old
+    or the new snapshot complete at ``target`` (or, in the narrow
+    window between the two renames, the old one intact aside, which
+    recovery treats as "no snapshot at the primary path" and the
+    checkpoint pointer never references).
+    """
+    doomed = None
+    if target.exists():
+        doomed = target.parent / f"{target.name}.old-{os.getpid()}"
+        if doomed.exists():
+            shutil.rmtree(doomed)
+        os.replace(target, doomed)
+    os.replace(staging, target)
+    _fsync_dir(target.parent)
+    if doomed is not None:
+        shutil.rmtree(doomed, ignore_errors=True)
+
+
+def _write_snapshot(rvm: ResourceViewManager, base: Path, *,
+                    extra: dict | None) -> dict:
     catalog_rows = (
         {
             "uri": record.uri, "name": record.name,
@@ -125,7 +189,7 @@ def save_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
         assert component is not None
         tuple_rows.append({
             "uri": uri,
-            "values": {k: _encode_value(v)
+            "values": {k: encode_value(v)
                        for k, v in component.as_dict().items()},
         })
     counts["tuples"] = _write_jsonl(base / "tuples.jsonl", iter(tuple_rows))
@@ -146,7 +210,15 @@ def save_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
         "net_input_bytes": indexes.net_input_bytes,
         "counts": counts,
     }
-    (base / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    if extra:
+        manifest.update(extra)
+    # the manifest is written last: a snapshot without one is invisible
+    # to load_state, so a torn write can never be half-applied
+    manifest_path = base / "manifest.json"
+    with manifest_path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(manifest, indent=2))
+        handle.flush()
+        os.fsync(handle.fileno())
     return manifest
 
 
@@ -154,12 +226,24 @@ def save_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
 # load
 # ---------------------------------------------------------------------------
 
-def load_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
+def rvm_is_empty(rvm: ResourceViewManager) -> bool:
+    """True when no structure of ``rvm`` holds any state yet."""
+    indexes = rvm.indexes
+    return (len(rvm.catalog) == 0
+            and len(indexes.name_index) == 0
+            and len(indexes.content_index) == 0
+            and not indexes.tuple_index.all_keys()
+            and len(indexes.group_replica) == 0)
+
+
+def load_state(rvm: ResourceViewManager, directory: str | Path, *,
+               merge: bool = False) -> dict:
     """Restore a snapshot written by :func:`save_state` into ``rvm``.
 
-    The RVM should be freshly constructed (existing index contents are
-    kept, so loading into a used RVM merges — usually not what you
-    want). Returns the manifest.
+    The RVM must be freshly constructed: loading into a used RVM keeps
+    its existing contents, silently merging the two states, which is
+    almost never intended — pass ``merge=True`` to do it anyway.
+    Returns the manifest.
     """
     base = Path(directory)
     manifest_path = base / "manifest.json"
@@ -169,6 +253,12 @@ def load_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
     if manifest.get("format_version") != FORMAT_VERSION:
         raise StoreError(
             f"unsupported snapshot version {manifest.get('format_version')}"
+        )
+    if not merge and not rvm_is_empty(rvm):
+        raise StoreError(
+            f"refusing to load snapshot {base} into a non-empty RVM "
+            f"({len(rvm.catalog)} catalog entries): loading would merge "
+            f"the two states; pass merge=True if that is intended"
         )
 
     for row in _read_jsonl(base / "catalog.jsonl"):
@@ -206,16 +296,16 @@ def load_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
             content._doc_lengths[doc] = length  # noqa: SLF001
 
     for row in _read_jsonl(base / "tuples.jsonl"):
-        values = {k: _decode_value(v) for k, v in row["values"].items()}
+        values = {k: decode_value(v) for k, v in row["values"].items()}
         component = (TupleComponent.from_dict(values) if values
                      else TupleComponent.empty())
         rvm.indexes.tuple_index.add(row["uri"], component)
 
     replica = rvm.indexes.group_replica
     for row in _read_jsonl(base / "groups.jsonl"):
-        children = [_StubView(uri) for uri in row["children"]
+        children = [StubView(uri) for uri in row["children"]
                     if uri not in row["sequence"]]
-        sequence = [_StubView(uri) for uri in row["sequence"]]
+        sequence = [StubView(uri) for uri in row["sequence"]]
         from ..core.components import GroupComponent, ViewSequence
         replica.add_group(
             ViewId.parse(row["uri"]),
@@ -227,7 +317,7 @@ def load_state(rvm: ResourceViewManager, directory: str | Path) -> dict:
     return manifest
 
 
-class _StubView:
+class StubView:
     """A minimal view-shaped carrier of an id, for replica restoration."""
 
     __slots__ = ("view_id",)

@@ -99,6 +99,10 @@ class SynchronizationManager:
         #: live view objects by URI, so queries can go back to the
         #: original (lazily computed) components.
         self.live_views: dict[str, ResourceView] = {}
+        #: optional durability sink (:class:`repro.durability.DurabilityManager`):
+        #: when attached, every view indexed or unregistered here is
+        #: captured as typed WAL records *after* the in-memory mutation.
+        self.durability = None
         self._pending: list[ViewId] = []
         self._subscribed: set[str] = set()
         # bus lag, live: queued change events not yet applied to the
@@ -187,7 +191,7 @@ class SynchronizationManager:
 
         # Phase 3: component indexing.
         t0 = time.perf_counter()
-        self.indexes.add_view(view)
+        raw_content = self.indexes.add_view(view)
         report.indexing_seconds += time.perf_counter() - t0
 
         is_new = uri not in self.live_views
@@ -206,6 +210,8 @@ class SynchronizationManager:
             ChangeKind.ADDED if is_new else ChangeKind.MODIFIED,
             payload=view,
         ))
+        if self.durability is not None:
+            self.durability.record_upsert(view, raw_content)
         return children
 
     # -- change handling ------------------------------------------------------------
@@ -324,3 +330,5 @@ class SynchronizationManager:
         self.bus.publish(ChangeEvent(
             ViewId.parse(uri), ComponentKind.GROUP, ChangeKind.REMOVED,
         ))
+        if self.durability is not None:
+            self.durability.record_remove(uri)

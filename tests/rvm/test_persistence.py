@@ -128,3 +128,48 @@ class TestErrors:
         (tmp_path / "manifest.json").write_text('{"format_version": 99}')
         with pytest.raises(StoreError):
             load_state(ResourceViewManager(), tmp_path)
+
+    def test_load_into_non_empty_rvm_refused(self, populated_rvm, tmp_path):
+        save_state(populated_rvm, tmp_path)
+        with pytest.raises(StoreError, match="non-empty"):
+            load_state(populated_rvm, tmp_path)
+
+    def test_load_into_non_empty_rvm_with_merge(self, populated_rvm,
+                                                tmp_path):
+        save_state(populated_rvm, tmp_path)
+        before = len(populated_rvm.catalog)
+        load_state(populated_rvm, tmp_path, merge=True)
+        # re-adds replace: merging a snapshot of yourself is idempotent
+        assert len(populated_rvm.catalog) == before
+
+
+class TestCrashSafety:
+    def test_save_replaces_previous_snapshot_atomically(self, populated_rvm,
+                                                        tmp_path):
+        target = tmp_path / "snap"
+        save_state(populated_rvm, target)
+        first = (target / "manifest.json").read_text()
+        save_state(populated_rvm, target)
+        assert (target / "manifest.json").read_text() == first
+        # no staging or old directories left behind
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["snap"]
+
+    def test_failed_save_leaves_target_untouched(self, populated_rvm,
+                                                 tmp_path, monkeypatch):
+        target = tmp_path / "snap"
+        save_state(populated_rvm, target)
+        manifest = (target / "manifest.json").read_text()
+
+        from repro.rvm import persistence
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence, "_write_snapshot", explode)
+        with pytest.raises(OSError):
+            save_state(populated_rvm, target)
+        # the old snapshot is intact and still loads
+        assert (target / "manifest.json").read_text() == manifest
+        restored = ResourceViewManager()
+        load_state(restored, target)
+        assert len(restored.catalog) == len(populated_rvm.catalog)

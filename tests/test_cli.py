@@ -102,3 +102,34 @@ class TestParseErrors:
         assert main(["query", "//[[broken", "--explain",
                      *tiny_args]) == EXIT_PARSE_ERROR
         assert "iql parse error:" in capsys.readouterr().err
+
+
+class TestDurabilityCommands:
+    def test_checkpoint_then_recover_verify(self, capsys, tmp_path,
+                                            tiny_args):
+        space = str(tmp_path / "space")
+        assert main(["checkpoint", space, *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "synced" in out and "checkpoint at lsn" in out
+        assert main(["recover", space, "--verify",
+                     "--verify-count", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "engine ≡ reference oracle" in out
+
+    def test_checkpoint_reopens_existing_directory(self, capsys, tmp_path,
+                                                   tiny_args):
+        space = str(tmp_path / "space")
+        assert main(["checkpoint", space, *tiny_args]) == 0
+        capsys.readouterr()
+        # second run recovers instead of regenerating
+        assert main(["checkpoint", space, *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+
+    def test_snapshot_save_load(self, capsys, tmp_path, tiny_args):
+        snap = str(tmp_path / "snap")
+        assert main(["snapshot", "save", snap, *tiny_args]) == 0
+        assert "saved" in capsys.readouterr().out
+        assert main(["snapshot", "load", snap]) == 0
+        assert "loaded" in capsys.readouterr().out

@@ -104,3 +104,57 @@ class TestLifecycle:
         sizes = dataspace.index_sizes()
         assert sizes["total"] > 0
         assert sizes["net_input"] > 0
+
+
+class TestPersistenceSurface:
+    def _small(self):
+        fs = VirtualFileSystem()
+        fs.write_file("/a/notes.txt", "database tuning notes", parents=True)
+        fs.write_file("/a/more.txt", "durable dataspace", parents=True)
+        return Dataspace(vfs=fs)
+
+    def test_save_load_round_trip(self, tmp_path):
+        dataspace = self._small()
+        manifest = dataspace.save(tmp_path / "snap")  # auto-syncs
+        assert manifest["counts"]["catalog"] == dataspace.view_count
+        restored = Dataspace()
+        restored.load(tmp_path / "snap")
+        assert restored.view_count == dataspace.view_count
+        # no sync needed: the restored indexes answer directly
+        assert set(restored.query('"database"').uris()) \
+            == set(dataspace.query('"database"').uris())
+
+    def test_load_refuses_non_empty(self, tmp_path):
+        from repro.core.errors import StoreError
+        dataspace = self._small()
+        dataspace.save(tmp_path / "snap")
+        with pytest.raises(StoreError):
+            dataspace.load(tmp_path / "snap")
+        dataspace.load(tmp_path / "snap", merge=True)
+
+    def test_durable_dataspace_reopens(self, tmp_path):
+        fs = VirtualFileSystem()
+        fs.write_file("/a/notes.txt", "database tuning notes", parents=True)
+        with Dataspace(vfs=fs, durability=tmp_path / "space") as dataspace:
+            dataspace.sync()
+            count = dataspace.view_count
+            hits = set(dataspace.query('"database"').uris())
+        with Dataspace.open(tmp_path / "space") as reopened:
+            assert reopened.view_count == count
+            assert set(reopened.query('"database"').uris()) == hits
+            assert reopened.last_recovery is not None
+
+    def test_checkpoint_requires_durability(self):
+        from repro.core.errors import DurabilityError
+        with pytest.raises(DurabilityError):
+            self._small().checkpoint()
+
+    def test_durability_accepts_config_object(self, tmp_path):
+        from repro.durability import DurabilityConfig
+        dataspace = Dataspace(
+            vfs=VirtualFileSystem(),
+            durability=DurabilityConfig(directory=tmp_path / "d",
+                                        fsync="off"),
+        )
+        assert dataspace.durability.wal.fsync_policy == "off"
+        dataspace.close()
