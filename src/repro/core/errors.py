@@ -85,6 +85,17 @@ class StreamingUnsupportedError(QueryExecutionError):
     """
 
 
+class StaleDictionaryError(QueryExecutionError):
+    """A URI-dictionary key could not be resolved consistently.
+
+    Raised when an execution's dictionary view cannot place a
+    late-arriving URI between its neighbours (the gap between two
+    sort keys is exhausted) — the caller should retry on a fresh
+    view, which the next execution gets automatically after the
+    dictionary remaps.
+    """
+
+
 class StoreError(IdmError):
     """Base class for the embedded relational store."""
 

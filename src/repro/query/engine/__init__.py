@@ -1,4 +1,4 @@
-"""The batched, pull-based query engine (Volcano over URI vectors).
+"""The batched, pull-based query engine (Volcano over key vectors).
 
 Plans still come from :mod:`repro.query.plan` / the optimizer; this
 package executes them: :func:`compile_plan` lowers the node tree to
@@ -57,8 +57,8 @@ def iter_batches(plan, ctx, *, require_ordered: bool = False
             batch = op.next_batch()
             if batch is None:
                 return
-            if batch.uris:
-                rows += len(batch.uris)
+            if len(batch):
+                rows += len(batch)
                 batches += 1
                 yield batch
     finally:

@@ -1,66 +1,124 @@
-"""The unit of data flow in the batched engine: a vector of URIs.
+"""The unit of data flow in the batched engine: a vector of sort keys.
 
-A :class:`Batch` is an immutable chunk of view URIs, optionally carrying
-a parallel score column (top-k ranking flows scores alongside URIs
-instead of re-looking them up). ``ordered=True`` asserts the stream
-property the merge operators rely on: URIs are strictly increasing
-*within the batch and across consecutive batches of the same stream*.
-Unordered streams still never repeat a URI — every operator's output is
-a set, delivered in chunks.
+A :class:`Batch` is an immutable chunk of an operator's output. Since
+the URI dictionary (DESIGN.md §4h) the column the operators move is
+``keys`` — dictionary *sort keys*, dense ``int64`` values packed in an
+``array('q')``, whose integer order equals URI lexicographic order.
+Merges compare ints, seen-sets hash ints, sorts sort ints; only the
+result boundary materializes strings, through the lazy :attr:`uris`
+property and the batch's captured
+:class:`~repro.rvm.uridict.DictionaryView`.
+
+The operators themselves are representation-generic: any ordered,
+hashable key type flows through them, so a batch built without a view
+(``view=None``) carries its key values — URI strings in the operator
+unit tests — straight through to :attr:`uris`.
+
+``ordered=True`` asserts the stream property the merge operators rely
+on: keys are strictly increasing *within the batch and across
+consecutive batches of the same stream*. Unordered streams still never
+repeat a key — every operator's output is a set, delivered in chunks.
+
+A ``scores`` column optionally rides along (top-k ranking flows scores
+alongside keys instead of re-looking them up).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator
+from array import array
+from typing import Iterable, Iterator, Sequence
 
 #: Default rows per batch. Large enough to amortize per-batch overhead
 #: (one checkpoint, one counter bump), small enough that a ``LIMIT 10``
 #: pulls a sliver of the corpus.
 DEFAULT_BATCH_SIZE = 256
 
+_UNSET = object()
 
-@dataclass(frozen=True)
+
+def make_keys(values, view) -> Sequence:
+    """Pack ``values`` as a key column: ``array('q')`` under a
+    dictionary view, a plain tuple in string (view-less) mode."""
+    if view is not None:
+        return values if isinstance(values, array) else array("q", values)
+    return values if isinstance(values, tuple) else tuple(values)
+
+
 class Batch:
     """One chunk of an operator's output stream."""
 
-    uris: tuple[str, ...]
-    scores: tuple[float, ...] | None = None
-    ordered: bool = False
+    __slots__ = ("keys", "scores", "ordered", "view", "_uris")
 
-    def __post_init__(self) -> None:
-        if self.scores is not None and len(self.scores) != len(self.uris):
-            raise ValueError("score column length must match uris")
+    def __init__(self, keys=None, scores=None, ordered: bool = False,
+                 *, view=None, uris=None):
+        if keys is None:
+            keys = () if uris is None else uris
+        self.keys = keys
+        self.scores = scores
+        self.ordered = ordered
+        self.view = view
+        self._uris = _UNSET
+        if scores is not None and len(scores) != len(keys):
+            raise ValueError("score column length must match keys")
+
+    @property
+    def uris(self) -> tuple[str, ...]:
+        """The batch's rows as URI strings (materialized lazily, once).
+
+        This is the engine's *result boundary*: everything below it
+        moves integer keys; callers that need surface syntax — result
+        assembly, streaming iteration, cached-batch replay — pay the
+        dictionary indirection here and only here.
+        """
+        uris = self._uris
+        if uris is _UNSET:
+            if self.view is None:
+                uris = tuple(self.keys)
+            else:
+                uris = self.view.uris_for(self.keys)
+            self._uris = uris
+        return uris
 
     def __len__(self) -> int:
-        return len(self.uris)
+        return len(self.keys)
 
-    def __iter__(self) -> Iterator[str]:
-        return iter(self.uris)
+    def __iter__(self) -> Iterator:
+        return iter(self.keys)
 
     @property
     def is_empty(self) -> bool:
-        return not self.uris
+        return not len(self.keys)
 
     def truncated(self, count: int) -> "Batch":
         """The first ``count`` rows (for LIMIT's final partial batch)."""
-        if count >= len(self.uris):
+        if count >= len(self.keys):
             return self
         return Batch(
-            uris=self.uris[:count],
+            self.keys[:count],
             scores=self.scores[:count] if self.scores is not None else None,
             ordered=self.ordered,
+            view=self.view,
         )
 
 
-def chunked(uris: Iterable[str], size: int, *,
-            ordered: bool = False) -> Iterator[Batch]:
-    """Slice a URI sequence into :class:`Batch` es of ``size`` rows."""
-    buffer: list[str] = []
-    for uri in uris:
-        buffer.append(uri)
+def chunked(keys: Iterable, size: int, *, ordered: bool = False,
+            view=None) -> Iterator[Batch]:
+    """Slice a key sequence into :class:`Batch` es of ``size`` rows.
+
+    A sliceable sequence (an ``array('q')`` from a scan, a sorted list)
+    is sliced directly — an ``array`` slice stays an ``array``; other
+    iterables are buffered.
+    """
+    if isinstance(keys, (array, tuple, list)):
+        for start in range(0, len(keys), size):
+            yield Batch(keys[start:start + size], ordered=ordered,
+                        view=view)
+        return
+    buffer: list = []
+    for key in keys:
+        buffer.append(key)
         if len(buffer) >= size:
-            yield Batch(uris=tuple(buffer), ordered=ordered)
+            yield Batch(make_keys(buffer, view), ordered=ordered, view=view)
             buffer = []
     if buffer:
-        yield Batch(uris=tuple(buffer), ordered=ordered)
+        yield Batch(make_keys(buffer, view), ordered=ordered, view=view)

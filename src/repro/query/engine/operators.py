@@ -1,4 +1,4 @@
-"""Batched physical operators: the Volcano protocol over URI vectors.
+"""Batched physical operators: the Volcano protocol over key vectors.
 
 Every operator implements ``open(ctx)`` / ``next_batch()`` / ``close()``
 and streams :class:`~repro.query.engine.batch.Batch` es to its parent.
@@ -6,13 +6,22 @@ and streams :class:`~repro.query.engine.batch.Batch` es to its parent.
 idempotent and releases children (a parent may close early — that is
 how ``Limit`` stops a scan mid-corpus).
 
+The operators are *representation-generic*: they compare, hash and sort
+whatever the batches' ``keys`` column holds. In production that is the
+URI dictionary's ``int64`` sort keys (DESIGN.md §4h) — the scans convert
+URIs to keys at the leaves via the execution context, and only the
+result boundary maps keys back to strings. In the operator unit tests
+the very same code runs over plain URI strings (``view=None``), because
+string order and key order obey the same contract.
+
 Two stream disciplines coexist (see DESIGN.md §4e):
 
-* **ordered** streams emit strictly increasing URIs across batches —
+* **ordered** streams emit strictly increasing keys across batches —
   the sorted-merge operators (:class:`MergeIntersect`,
   :class:`MergeUnion`, :class:`MergeDiff`) require it of their inputs
-  and preserve it;
-* **unordered** streams emit distinct URIs in pipeline order — cheaper
+  and preserve it; key order equals URI lexicographic order, so this is
+  the same URI-ascending invariant as before the dictionary;
+* **unordered** streams emit distinct keys in pipeline order — cheaper
   (no sort barrier), and what :class:`Limit` wants above a scan.
 
 The compiler (:mod:`.compile`) inserts :class:`Sort` enforcers where an
@@ -21,11 +30,12 @@ ordered input is required but not provided.
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
 from typing import Callable, Iterator
 
 from ..ast import Axis
-from .batch import Batch, chunked
+from .batch import Batch, chunked, make_keys
 from .parallel import partitioned_filter
 
 
@@ -48,14 +58,17 @@ class Operator:
         """Release resources and close children (idempotent)."""
 
 
-def drain(op: Operator) -> Iterator[str]:
-    """Pull ``op`` to exhaustion, yielding URIs, then close it."""
+def drain(op: Operator) -> Iterator:
+    """Pull ``op`` to exhaustion, yielding keys, then close it."""
     try:
         while True:
             batch = op.next_batch()
             if batch is None:
                 return
-            yield from batch.uris
+            keys = batch.keys
+            # unbox int64 columns once per batch (see _Cursor._load)
+            yield from (keys.tolist() if isinstance(keys, array)
+                        else keys)
     finally:
         op.close()
 
@@ -63,18 +76,18 @@ def drain(op: Operator) -> Iterator[str]:
 class _Cursor:
     """A row cursor over an *ordered* operator's batch stream."""
 
-    __slots__ = ("op", "_uris", "_pos", "exhausted", "_started")
+    __slots__ = ("op", "_keys", "_pos", "exhausted", "_started")
 
     def __init__(self, op: Operator):
         self.op = op
-        self._uris: tuple[str, ...] = ()
+        self._keys = ()
         self._pos = 0
         self.exhausted = False
         self._started = False
 
     @property
-    def value(self) -> str:
-        return self._uris[self._pos]
+    def value(self):
+        return self._keys[self._pos]
 
     def _load(self) -> bool:
         while True:
@@ -82,8 +95,13 @@ class _Cursor:
             if batch is None:
                 self.exhausted = True
                 return False
-            if batch.uris:
-                self._uris = batch.uris
+            if len(batch):
+                keys = batch.keys
+                # int64 columns are unboxed once per batch: indexing an
+                # array boxes a fresh int object on every access, which
+                # would cost more than the integer compares save
+                self._keys = keys.tolist() if isinstance(keys, array) \
+                    else keys
                 self._pos = 0
                 return True
 
@@ -96,15 +114,15 @@ class _Cursor:
 
     def advance(self) -> bool:
         self._pos += 1
-        if self._pos >= len(self._uris):
+        if self._pos >= len(self._keys):
             return self._load()
         return True
 
-    def advance_to(self, target: str) -> bool:
+    def advance_to(self, target) -> bool:
         """Skip rows < ``target`` (binary search within each batch)."""
         while not self.exhausted:
-            index = bisect_left(self._uris, target, lo=self._pos)
-            if index < len(self._uris):
+            index = bisect_left(self._keys, target, lo=self._pos)
+            if index < len(self._keys):
                 self._pos = index
                 return True
             if not self._load():
@@ -138,9 +156,10 @@ class SetScan(Operator):
 
     def next_batch(self) -> Batch | None:
         if self._chunks is None:
-            uris = sorted(self._fetch(self._ctx))
-            self._chunks = chunked(uris, self._ctx.engine.batch_size,
-                                   ordered=True)
+            ctx = self._ctx
+            keys = ctx.keys_for_set(self._fetch(ctx))
+            self._chunks = chunked(keys, ctx.engine.batch_size,
+                                   ordered=True, view=ctx.dict_view)
         return next(self._chunks, None)
 
 
@@ -176,7 +195,7 @@ class CatalogScan(Operator):
         if not out:
             return None
         ctx.count("engine.rows_scanned", len(out))
-        return Batch(tuple(out))
+        return Batch(ctx.keys_in_order(out), view=ctx.dict_view)
 
 
 class NameScan(Operator):
@@ -231,7 +250,8 @@ class NameScan(Operator):
                     threads=config.scan_threads,
                 )
                 self._parallel_chunks = chunked(
-                    (uri for uri, _ in matched), config.batch_size
+                    ctx.keys_in_order([uri for uri, _ in matched]),
+                    config.batch_size, view=ctx.dict_view,
                 )
                 return
             self._rows = iter(rows)
@@ -266,7 +286,7 @@ class NameScan(Operator):
             ctx.count("engine.rows_scanned", scanned)
         if not matched:
             return None
-        return Batch(tuple(matched))
+        return Batch(ctx.keys_in_order(matched), view=ctx.dict_view)
 
 
 # ---------------------------------------------------------------------------
@@ -305,8 +325,9 @@ class MergeIntersect(Operator):
             if not cursor.ensure():
                 self._finish()
                 return None
-        size = self._ctx.engine.batch_size
-        out: list[str] = []
+        ctx = self._ctx
+        size = ctx.engine.batch_size
+        out: list = []
         while len(out) < size:
             high = max(cursor.value for cursor in cursors)
             if all(cursor.value == high for cursor in cursors):
@@ -319,7 +340,8 @@ class MergeIntersect(Operator):
                 break
         if not out:
             return None
-        return Batch(tuple(out), ordered=True)
+        return Batch(make_keys(out, ctx.dict_view), ordered=True,
+                     view=ctx.dict_view)
 
     def _finish(self) -> None:
         self._done = True
@@ -337,9 +359,9 @@ class MergeUnion(Operator):
 
     def __init__(self, children: list[Operator]):
         self.children = children
-        self._heap: list[tuple[str, int]] | None = None
+        self._heap: list | None = None
         self._cursors: list[_Cursor] | None = None
-        self._last: str | None = None
+        self._last = None
         self._ctx = None
 
     def open(self, ctx) -> None:
@@ -358,8 +380,9 @@ class MergeUnion(Operator):
                 if cursor.ensure():
                     heapq.heappush(self._heap, (cursor.value, index))
         heap = self._heap
-        size = self._ctx.engine.batch_size
-        out: list[str] = []
+        ctx = self._ctx
+        size = ctx.engine.batch_size
+        out: list = []
         while heap and len(out) < size:
             value, index = heapq.heappop(heap)
             if value != self._last:
@@ -375,7 +398,8 @@ class MergeUnion(Operator):
                 heapq.heappush(heap, (cursor.value, index))
         if not out:
             return None
-        return Batch(tuple(out), ordered=True)
+        return Batch(make_keys(out, ctx.dict_view), ordered=True,
+                     view=ctx.dict_view)
 
     def close(self) -> None:
         for child in self.children:
@@ -394,7 +418,7 @@ class ConcatUnion(Operator):
     def __init__(self, children: list[Operator]):
         self.children = children
         self._index = 0
-        self._seen: set[str] = set()
+        self._seen: set = set()
 
     def open(self, ctx) -> None:
         for child in self.children:
@@ -410,10 +434,13 @@ class ConcatUnion(Operator):
                 child.close()
                 self._index += 1
                 continue
-            fresh = tuple(u for u in batch.uris if u not in self._seen)
+            keys = batch.keys
+            if isinstance(keys, array):  # unbox once (see _Cursor._load)
+                keys = keys.tolist()
+            fresh = [k for k in keys if k not in self._seen]
             if fresh:
                 self._seen.update(fresh)
-                return Batch(fresh)
+                return Batch(make_keys(fresh, batch.view), view=batch.view)
         return None
 
     def close(self) -> None:
@@ -447,8 +474,9 @@ class MergeDiff(Operator):
         if not u.ensure():
             return None
         c.ensure()
-        size = self._ctx.engine.batch_size
-        out: list[str] = []
+        ctx = self._ctx
+        size = ctx.engine.batch_size
+        out: list = []
         while not u.exhausted and len(out) < size:
             value = u.value
             if not c.exhausted and c.advance_to(value) and c.value == value:
@@ -458,7 +486,8 @@ class MergeDiff(Operator):
             u.advance()
         if not out:
             return None
-        return Batch(tuple(out), ordered=True)
+        return Batch(make_keys(out, ctx.dict_view), ordered=True,
+                     view=ctx.dict_view)
 
     def close(self) -> None:
         self.universe.close()
@@ -483,9 +512,10 @@ class Sort(Operator):
 
     def next_batch(self) -> Batch | None:
         if self._chunks is None:
-            uris = sorted(set(drain(self.child)))
-            self._chunks = chunked(uris, self._ctx.engine.batch_size,
-                                   ordered=True)
+            ctx = self._ctx
+            keys = make_keys(sorted(set(drain(self.child))), ctx.dict_view)
+            self._chunks = chunked(keys, ctx.engine.batch_size,
+                                   ordered=True, view=ctx.dict_view)
         return next(self._chunks, None)
 
     def close(self) -> None:
@@ -536,11 +566,12 @@ class LimitOp(Operator):
 class TopKOperator(Operator):
     """Bounded-heap top-k over a score-carrying batch stream.
 
-    Emits the k best rows best-first (score desc, URI asc tie-break),
-    scores attached. Rows without a score column rank at 0.0.
+    Emits the k best rows best-first (score desc, key asc tie-break —
+    key order is URI order, so ties still break URI-ascending), scores
+    attached. Rows without a score column rank at 0.0.
     """
 
-    ordered = False  # score order, not URI order
+    ordered = False  # score order, not key order
 
     def __init__(self, child: Operator, k: int):
         self.child = child
@@ -563,15 +594,17 @@ class TopKOperator(Operator):
                     if batch is None:
                         break
                     scores = batch.scores or (0.0,) * len(batch)
-                    for uri, score in zip(batch.uris, scores):
-                        heap.push(uri, score)
+                    for key, score in zip(batch.keys, scores):
+                        heap.push(key, score)
             finally:
                 self.child.close()
             best = heap.best_first()
+            view = self._ctx.dict_view
             size = self._ctx.engine.batch_size
             self._chunks = iter([
-                Batch(uris=tuple(u for u, _ in best[i:i + size]),
-                      scores=tuple(s for _, s in best[i:i + size]))
+                Batch(make_keys([k for k, _ in best[i:i + size]], view),
+                      scores=tuple(s for _, s in best[i:i + size]),
+                      view=view)
                 for i in range(0, len(best), size)
             ])
         return next(self._chunks, None)
@@ -615,12 +648,15 @@ class ExpandOperator(Operator):
 
     def next_batch(self) -> Batch | None:
         if self._batches is None:
-            size = self._ctx.engine.batch_size
+            ctx = self._ctx
+            size = ctx.engine.batch_size
             if self.ordered:
-                uris = sorted(self._materialized())
-                self._batches = chunked(uris, size, ordered=True)
+                keys = ctx.keys_for_set(self._materialized())
+                self._batches = chunked(keys, size, ordered=True,
+                                        view=ctx.dict_view)
             else:
-                self._batches = chunked(self._forward_stream(), size)
+                self._batches = chunked(self._forward_stream(), size,
+                                        view=ctx.dict_view)
         return next(self._batches, None)
 
     def close(self) -> None:
@@ -630,27 +666,38 @@ class ExpandOperator(Operator):
 
     # -- pipelined forward expansion ---------------------------------------
 
-    def _forward_stream(self) -> Iterator[str]:
+    def _forward_stream(self) -> Iterator:
+        """Yield *keys* of discovered views; the graph itself is walked
+        in URI space (``children_of`` speaks URIs), so each hop converts
+        key→URI at the input edge and URI→key at the output edge."""
         ctx = self._ctx
+        # per-edge conversions dominate the walk; bind them once
+        view = ctx.dict_view
+        if view is not None:
+            uri_of, key_of = view.uri_for, view.key_for
+        else:
+            uri_of, key_of = ctx.uri_of_key, ctx.key_for_uri
+        children_of = ctx.children_of
         candidates = (set(drain(self.candidates_op))
                       if self.candidates_op is not None else None)
-        reached: set[str] = set()
+        reached: set = set()  # keys
         if self.axis is Axis.CHILD:
             while True:
                 batch = self.input_op.next_batch()
                 if batch is None:
                     break
-                for uri in batch:
-                    for child in ctx.children_of(uri):
-                        if child not in reached:
-                            reached.add(child)
+                for key in batch:
+                    for child in children_of(uri_of(key)):
+                        child_key = key_of(child)
+                        if child_key not in reached:
+                            reached.add(child_key)
                             ctx.expanded_views += 1
-                            if candidates is None or child in candidates:
-                                yield child
+                            if candidates is None or child_key in candidates:
+                                yield child_key
             return
         # descendant axis: incremental multi-source BFS. ``reached`` is
-        # the cycle guard — a URI discovered once is never re-expanded.
-        processed: set[str] = set()
+        # the cycle guard — a key discovered once is never re-expanded.
+        processed: set = set()
         while True:
             batch = self.input_op.next_batch()
             if batch is None:
@@ -658,24 +705,28 @@ class ExpandOperator(Operator):
             for source in batch:
                 frontier = [source]
                 while frontier:
-                    uri = frontier.pop()
-                    if uri in processed:
+                    key = frontier.pop()
+                    if key in processed:
                         continue
-                    processed.add(uri)
-                    for child in ctx.children_of(uri):
-                        if child not in reached:
-                            reached.add(child)
+                    processed.add(key)
+                    for child in children_of(uri_of(key)):
+                        child_key = key_of(child)
+                        if child_key not in reached:
+                            reached.add(child_key)
                             ctx.expanded_views += 1
-                            frontier.append(child)
-                            if candidates is None or child in candidates:
-                                yield child
+                            frontier.append(child_key)
+                            if candidates is None or child_key in candidates:
+                                yield child_key
 
     # -- materialized strategies (backward / bidirectional) ----------------
 
     def _materialized(self) -> set[str]:
+        """Both frontiers materialized as URI sets — these strategies
+        run the pre-engine graph algorithms unchanged in string space;
+        the caller converts the result back to sorted keys."""
         ctx = self._ctx
-        sources = set(drain(self.input_op))
-        candidates = set(drain(self.candidates_op))
+        sources = {ctx.uri_of_key(k) for k in drain(self.input_op)}
+        candidates = {ctx.uri_of_key(k) for k in drain(self.candidates_op)}
         if self.strategy == "backward" or len(candidates) < len(sources):
             return self._backward(ctx, sources, candidates)
         return self._forward_into(ctx, sources, candidates)

@@ -30,6 +30,7 @@ from ..resilience.engine import (
 )
 from ..resilience.report import DegradationReport
 from ..rvm.manager import ResourceViewManager
+from ..rvm.uridict import global_uri_dictionary
 from .ast import (
     Axis,
     CompareOp,
@@ -143,6 +144,35 @@ class ExecutionContext:
         #: failure lands here, and the result carries it to the caller
         self.degradation = DegradationReport()
         self._all_uris: set[str] | None = None
+        self._dict_view = None
+
+    # -- the URI dictionary (DESIGN.md §4h) ----------------------------------
+
+    @property
+    def dict_view(self):
+        """This execution's URI-dictionary snapshot, captured lazily at
+        the first scan. One view per execution: every key flowing
+        through this execution's operators is consistent with every
+        other, and result batches carry the view so their URIs
+        materialize correctly even after later remaps."""
+        view = self._dict_view
+        if view is None:
+            view = self._dict_view = global_uri_dictionary().view()
+        return view
+
+    def keys_for_set(self, uris) -> "object":
+        """Sorted key column for a URI set (scan leaves)."""
+        return self.dict_view.keys_for_set(uris)
+
+    def keys_in_order(self, uris) -> "object":
+        """Key column for an already-ordered URI sequence."""
+        return self.dict_view.keys_in_order(uris)
+
+    def key_for_uri(self, uri: str) -> int:
+        return self.dict_view.key_for(uri)
+
+    def uri_of_key(self, key: int) -> str:
+        return self.dict_view.uri_for(key)
 
     def count(self, name: str, amount: int = 1) -> None:
         """Record one substrate call into the trace, if tracing."""
@@ -718,7 +748,7 @@ class QueryProcessor:
             try:
                 with scope:
                     for batch in iter_batches(plan, ctx):
-                        rows += len(batch.uris)
+                        rows += len(batch)
                         yield batch
             finally:
                 uninstall_resilience_sink(sink_token)

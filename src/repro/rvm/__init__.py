@@ -22,9 +22,11 @@ from .indexes import IndexingPolicy, IndexSet
 from .manager import ResourceViewManager, SyncReport
 from .proxy import DataSourcePlugin, DataSourceProxy
 from .replicas import GroupReplica
+from .uridict import DictionaryView, UriDictionary, global_uri_dictionary
 
 __all__ = [
     "CatalogRecord", "ResourceViewCatalog", "default_content_converter",
     "IndexingPolicy", "IndexSet", "ResourceViewManager", "SyncReport",
     "DataSourcePlugin", "DataSourceProxy", "GroupReplica",
+    "DictionaryView", "UriDictionary", "global_uri_dictionary",
 ]

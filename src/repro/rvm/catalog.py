@@ -16,6 +16,7 @@ from typing import Iterator
 from ..core.identity import ViewId
 from ..core.resource_view import ResourceView
 from ..store import Column, Database, INT, TEXT
+from .uridict import global_uri_dictionary
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +85,11 @@ class ResourceViewCatalog:
             self._table.update(record.uri, row)
         else:
             self._table.insert(row)
+        # every registered view is interned: sync, snapshot load and WAL
+        # recovery all pass here, so the engine's integer batches always
+        # have a dictionary entry (ids are derived state — never saved,
+        # always rebuilt deterministically from the catalog)
+        global_uri_dictionary().intern(record.uri)
         return record
 
     def unregister(self, view_id: ViewId | str) -> bool:

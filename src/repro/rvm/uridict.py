@@ -1,0 +1,288 @@
+"""The process-wide URI dictionary: dense integer ids for view URIs.
+
+The batched engine (PR 4) moved ``Batch`` vectors of URI *strings*
+through its operators: every sorted-merge compared strings and every
+seen-set hashed them — the dominant cost on the engine benchmarks,
+because view URIs share long prefixes (``imap://inbox/…``) and each
+comparison re-walks them. Real columnar engines separate *identity*
+from *representation*: operators move opaque dense integers, and only
+the result boundary materializes surface syntax.
+
+Two mappings live here:
+
+* **ids** — ``intern(uri)`` assigns a dense, append-only ``int`` id in
+  first-seen order. Ids are *stable for the process lifetime*: they
+  never change, which makes them the handle future bitmap/roaring set
+  representations can index by. Interning is thread-safe.
+* **sort keys** — the engine's merge operators need keys whose integer
+  order equals URI lexicographic order (the URI-ascending stream
+  invariant). Ids arrive in sync order, not sorted order, so a second,
+  lazily rebuilt indirection provides it: a :class:`DictionaryView`
+  snapshot maps ``uri ↔ sort key`` where ``key = rank * KEY_GAP`` over
+  the sorted URI list. The gap leaves room for URIs that surface
+  *after* the snapshot (a mid-execution sync, an unregistered plugin
+  root): they are placed between their neighbours' keys in a private
+  per-view overlay, so one execution stays self-consistent without
+  shifting anybody else's keys.
+
+Rebuilding the view (a **remap**) happens lazily, at the first
+execution after the interned set grew. Executions hold the snapshot
+they started with — a remap never mutates a live view's arrays, it
+replaces them — so cached result batches materialize correctly forever,
+and ``view.is_stale`` tells a holder that fresher keys exist.
+
+Durability: ids are *not* persisted. Snapshot load, WAL replay and
+crash recovery all re-register views through the catalog, which
+re-interns every URI — the dictionary is derived state, rebuilt
+deterministically from the recovered catalog (see DESIGN.md §4h).
+
+Telemetry (``query.dict.*``): ``query.dict.size`` (interned URIs),
+``query.dict.lookups`` (batch key/URI conversions), and
+``query.dict.remaps`` (sort-view rebuilds) flow through
+:mod:`repro.obs` at batch granularity — never per row.
+"""
+
+from __future__ import annotations
+
+import threading
+from array import array
+from bisect import bisect_left, insort
+from typing import Iterable, Sequence
+
+from ..core.errors import StaleDictionaryError
+
+#: Distance between consecutive base sort keys. A late-arriving URI is
+#: placed by repeated halving of the gap between its neighbours, so one
+#: gap absorbs ~log2(KEY_GAP) adversarially nested arrivals (and far
+#: more in the typical scattered case) before a remap is forced.
+KEY_GAP = 1 << 20
+
+
+class DictionaryView:
+    """An immutable sort-key snapshot of the dictionary.
+
+    One execution captures one view: every key it hands out is
+    consistent with every other key from the same view, and the arrays
+    are never mutated afterwards (a dictionary remap *replaces* them),
+    so result batches that outlive the execution — the service result
+    cache replays them — keep materializing the right URIs.
+    """
+
+    __slots__ = ("_dictionary", "version", "_sorted_uris", "_key_of",
+                 "_overlay", "_overlay_rev", "_overlay_sorted", "_lock")
+
+    def __init__(self, dictionary: "UriDictionary", version: int,
+                 sorted_uris: list[str], key_of: dict[str, int]):
+        self._dictionary = dictionary
+        self.version = version
+        self._sorted_uris = sorted_uris
+        self._key_of = key_of
+        #: late arrivals: uri -> key, key -> uri, plus a sorted (uri,
+        #: key) list for neighbour search. Small by construction.
+        self._overlay: dict[str, int] = {}
+        self._overlay_rev: dict[int, str] = {}
+        self._overlay_sorted: list[tuple[str, int]] = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._sorted_uris) + len(self._overlay)
+
+    @property
+    def is_stale(self) -> bool:
+        """True when the dictionary has remapped (or grown) since this
+        view was captured — a fresh execution would see newer keys."""
+        dictionary = self._dictionary
+        return dictionary.version != self.version or dictionary.dirty
+
+    # -- uri -> key ---------------------------------------------------------
+
+    def key_for(self, uri: str) -> int:
+        """The sort key of ``uri`` (key order == URI lexicographic
+        order). Unknown URIs get an overlay key between their
+        neighbours; an exhausted gap raises
+        :class:`~repro.core.errors.StaleDictionaryError`."""
+        key = self._key_of.get(uri)
+        if key is not None:
+            return key
+        key = self._overlay.get(uri)
+        if key is not None:
+            return key
+        return self._assign_overlay_key(uri)
+
+    def keys_for_set(self, uris: Iterable[str]) -> array:
+        """Sorted ``array('q')`` of keys for a URI set (a scan's
+        sorted-batch source)."""
+        key_of = self._key_of
+        out = array("q", sorted(
+            key_of[u] if u in key_of else self.key_for(u) for u in uris
+        ))
+        self._dictionary.count_lookups(len(out))
+        return out
+
+    def keys_in_order(self, uris: Sequence[str]) -> array:
+        """Keys for an already-ordered URI sequence (unordered scans:
+        pipeline order preserved, no sort)."""
+        key_of = self._key_of
+        out = array("q", (
+            key_of[u] if u in key_of else self.key_for(u) for u in uris
+        ))
+        self._dictionary.count_lookups(len(out))
+        return out
+
+    # -- key -> uri ---------------------------------------------------------
+
+    def uri_for(self, key: int) -> str:
+        """The URI a key stands for (base rank or overlay)."""
+        if key >= 0 and not key % KEY_GAP:
+            rank = key // KEY_GAP
+            if rank < len(self._sorted_uris):
+                return self._sorted_uris[rank]
+        return self._overlay_rev[key]
+
+    def uris_for(self, keys: Sequence[int]) -> tuple[str, ...]:
+        """Materialize a key column back to URI strings (the result
+        boundary — the only place strings reappear)."""
+        sorted_uris = self._sorted_uris
+        n = len(sorted_uris)
+        out = tuple(
+            sorted_uris[k // KEY_GAP]
+            if k >= 0 and not k % KEY_GAP and k // KEY_GAP < n
+            else self._overlay_rev[k]
+            for k in keys
+        )
+        self._dictionary.count_lookups(len(out))
+        return out
+
+    # -- overlay ------------------------------------------------------------
+
+    def _assign_overlay_key(self, uri: str) -> int:
+        with self._lock:
+            key = self._overlay.get(uri)
+            if key is not None:  # lost a race: another thread placed it
+                return key
+            position = bisect_left(self._sorted_uris, uri)
+            low = (position - 1) * KEY_GAP if position else -KEY_GAP
+            high = (position * KEY_GAP if position < len(self._sorted_uris)
+                    else len(self._sorted_uris) * KEY_GAP)
+            # narrow by overlay members already placed in this gap
+            for other, other_key in self._overlay_sorted:
+                if low < other_key < high:
+                    if other < uri:
+                        low = other_key
+                    else:
+                        high = other_key
+            key = (low + high) // 2
+            if key == low or key == high:
+                raise StaleDictionaryError(
+                    f"sort-key gap exhausted placing {uri!r}; "
+                    f"retry on a fresh dictionary view"
+                )
+            self._overlay[uri] = key
+            self._overlay_rev[key] = uri
+            insort(self._overlay_sorted, (uri, key))
+        # self-heal: the *next* view gets this URI as a base key
+        self._dictionary.intern(uri)
+        return key
+
+
+class UriDictionary:
+    """Process-wide interner: URI ↔ dense stable id, plus the sort-key
+    view factory. All methods are thread-safe."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._id_of: dict[str, int] = {}
+        self._uri_of: list[str] = []
+        self._view: DictionaryView | None = None
+        self._dirty = True
+        self.version = 0       # bumps on every remap
+        self.remaps = 0
+        self.lookups = 0
+
+    # -- interning ----------------------------------------------------------
+
+    def intern(self, uri: str) -> int:
+        """The dense id of ``uri``, assigning one on first sight."""
+        existing = self._id_of.get(uri)
+        if existing is not None:
+            return existing
+        with self._lock:
+            existing = self._id_of.get(uri)
+            if existing is not None:
+                return existing
+            new_id = len(self._uri_of)
+            self._uri_of.append(uri)
+            self._id_of[uri] = new_id
+            self._dirty = True
+            return new_id
+
+    def intern_many(self, uris: Iterable[str]) -> None:
+        for uri in uris:
+            if uri not in self._id_of:
+                self.intern(uri)
+
+    def id_of(self, uri: str) -> int | None:
+        return self._id_of.get(uri)
+
+    def uri_of(self, view_id: int) -> str:
+        return self._uri_of[view_id]
+
+    def __len__(self) -> int:
+        return len(self._uri_of)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self._id_of
+
+    @property
+    def dirty(self) -> bool:
+        """True when URIs were interned since the last remap."""
+        return self._dirty
+
+    # -- the sort-key view --------------------------------------------------
+
+    def view(self) -> DictionaryView:
+        """The current sort-key snapshot, remapping first if the
+        interned set grew since the last one."""
+        view = self._view
+        if view is not None and not self._dirty:
+            return view
+        with self._lock:
+            if self._view is None or self._dirty:
+                self._remap_locked()
+            return self._view
+
+    def _remap_locked(self) -> None:
+        sorted_uris = sorted(self._uri_of)
+        key_of = {uri: rank * KEY_GAP
+                  for rank, uri in enumerate(sorted_uris)}
+        self.version += 1
+        self.remaps += 1
+        self._view = DictionaryView(self, self.version, sorted_uris, key_of)
+        self._dirty = False
+        from .. import obs
+        if obs.enabled():
+            obs.increment("query.dict.remaps")
+            obs.set_gauge("query.dict.size", len(sorted_uris))
+
+    # -- telemetry ----------------------------------------------------------
+
+    def count_lookups(self, amount: int) -> None:
+        """Tally ``amount`` key/URI conversions (batch granularity)."""
+        self.lookups += amount  # GIL-atomic enough for a statistic
+        from .. import obs
+        if obs.enabled():
+            obs.increment("query.dict.lookups", amount)
+
+    def stats(self) -> dict[str, int]:
+        return {"size": len(self._uri_of), "remaps": self.remaps,
+                "lookups": self.lookups, "version": self.version}
+
+
+#: The process-wide dictionary every dataspace in this process shares —
+#: ids are identity, not ownership, so sharing across dataspaces is
+#: harmless and keeps the engine's batch columns uniform.
+GLOBAL_DICTIONARY = UriDictionary()
+
+
+def global_uri_dictionary() -> UriDictionary:
+    return GLOBAL_DICTIONARY

@@ -72,6 +72,29 @@ class TestNamespaceCoverage:
         assert any(e.subsystem == "sync" for e in dataspace.events())
 
 
+class TestDictionaryMetrics:
+    def test_query_dict_series_populate(self):
+        """The URI dictionary reports size, lookups and remaps under
+        ``query.dict.*`` — at batch granularity, so a single query adds
+        a handful of increments, not one per row."""
+        from repro.rvm.uridict import global_uri_dictionary
+
+        dataspace = build_dataspace()
+        dataspace.sync()
+        # the process-global dictionary may already cover this corpus
+        # from earlier tests; a probe intern forces the next execution
+        # to remap inside this test's fresh registry
+        global_uri_dictionary().intern("probe://dict-metrics")
+        dataspace.query('"database"')
+        snapshot = obs.global_metrics().snapshot()
+        assert snapshot["query.dict.size"] > 0
+        assert snapshot["query.dict.lookups"] > 0
+        assert snapshot["query.dict.remaps"] >= 1
+        # and the dictionary namespace rides inside query.*
+        assert {"query.dict.size", "query.dict.lookups",
+                "query.dict.remaps"} <= set(snapshot)
+
+
 class TestSlowQueryCapture:
     def test_slow_queries_capture_with_span_tree(self):
         obs.configure(slow_query_seconds=0.0)

@@ -1,0 +1,173 @@
+"""Differential properties for the dictionary-encoded engine.
+
+The batched engine now moves ``int64`` dictionary sort keys through its
+operators and materializes URI strings only at the result boundary
+(DESIGN.md §4h); :func:`repro.query.engine.reference_execute` stays
+deliberately string-based. These properties pin the encoding against
+that independent oracle:
+
+* on generated queries the integer engine returns exactly the oracle's
+  URI set (the acceptance bar: >= 200 queries, zero mismatches);
+* result batches really are ``array('q')`` columns whose key order is
+  URI order, and whose lazy ``uris`` materialization round-trips;
+* ``LIMIT`` early termination through integer batches stays a subset of
+  the full result;
+* interleaving sync mutations with queries never leaves a stale id
+  behind: executions that started on an old dictionary view keep
+  materializing correctly, and new views see the new URIs.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataset import TINY_PROFILE
+from repro.durability.verify import verify_engine_matches_oracle
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+from repro.query.engine import iter_batches, reference_execute
+from repro.query.executor import ExecutionContext
+from repro.query.optimizer import optimize
+from repro.query.plan import Limit
+from repro.rvm.uridict import KEY_GAP, global_uri_dictionary
+
+from .queries import QUERIES, SEEDS, space
+
+
+def _ctx(dataspace) -> ExecutionContext:
+    return ExecutionContext(dataspace.rvm, dataspace.processor.functions)
+
+
+class TestIntegerEngineDifferential:
+    """int-key batched engine ≡ string reference oracle."""
+
+    @given(QUERIES, st.integers(0, len(SEEDS) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_integer_engine_matches_string_oracle(self, query, index):
+        dataspace = space(index)
+        plan = optimize(dataspace.processor._build(query))
+        assert plan.execute(_ctx(dataspace)) \
+            == reference_execute(plan, _ctx(dataspace))
+
+    @given(QUERIES, st.integers(0, len(SEEDS) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_batches_carry_int64_keys_in_uri_order(self, query, index):
+        """Every result batch is an ``array('q')`` column bound to a
+        dictionary view; ordered batches ascend in key order, and key
+        order reproduces URI lexicographic order exactly."""
+        dataspace = space(index)
+        plan = optimize(dataspace.processor._build(query))
+        ctx = _ctx(dataspace)
+        for batch in iter_batches(plan, ctx):
+            assert isinstance(batch.keys, array)
+            assert batch.keys.typecode == "q"
+            assert batch.view is not None
+            assert batch.uris == batch.view.uris_for(batch.keys)
+            if batch.ordered:
+                keys = list(batch.keys)
+                assert keys == sorted(keys)
+                assert list(batch.uris) == sorted(batch.uris)
+
+    @given(QUERIES, st.integers(0, len(SEEDS) - 1), st.integers(0, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_limit_through_integer_batches_is_a_subset(self, query, index,
+                                                       k):
+        """Early termination over int batches returns min(k, |full|)
+        rows, all drawn from the full result."""
+        dataspace = space(index)
+        raw = dataspace.processor._build(query)
+        full = optimize(raw).execute(_ctx(dataspace))
+        limited = optimize(Limit(part=raw, count=k)).execute(
+            _ctx(dataspace)
+        )
+        assert len(limited) == min(k, len(full))
+        assert limited <= full
+
+
+class TestMutationInterleaving:
+    """Sync mutations interleaved with queries: no stale ids.
+
+    A dedicated dataspace (not the shared strategy cache — these tests
+    mutate it) grows across rounds; after every sync the engine must
+    agree with the oracle, old dictionary views must keep materializing
+    the batches they produced, and the new URIs must be findable.
+    """
+
+    # one dataspace per test class instantiation is too slow; module
+    # state mirrors the strategy cache's build-once pattern
+    _dataspace = None
+
+    @classmethod
+    def _mutable_space(cls) -> Dataspace:
+        if cls._dataspace is None:
+            cls._dataspace = Dataspace.generate(
+                profile=TINY_PROFILE, seed=17, imap_latency=no_latency()
+            )
+            cls._dataspace.sync()
+            cls._dataspace.watch()  # event-driven incremental sync
+        return cls._dataspace
+
+    def test_interleaved_syncs_and_queries_stay_differential(self):
+        dataspace = self._mutable_space()
+        for round_number in range(4):
+            # a query executed before the mutation pins its view
+            before = dataspace.query('"database"')
+            old_batches = before.batches
+            old_uris = [b.uris for b in old_batches]
+
+            path = f"/Projects/dict-round-{round_number}.txt"
+            dataspace.vfs.write_file(
+                path, f"interleaved dictionary round {round_number} "
+                      f"database views",
+            )
+            dataspace.refresh()
+
+            # engine ≡ oracle on the grown corpus, every round
+            report = verify_engine_matches_oracle(
+                dataspace, seed=round_number, count=15
+            )
+            assert report.ok, report.mismatches
+
+            # the new view is queryable through the integer engine
+            hits = dataspace.query(f'name = "dict-round-{round_number}.txt"')
+            assert len(hits) == 1
+
+            # batches captured before the sync still materialize the
+            # same URIs: remaps replace arrays, they never mutate a
+            # live view's
+            assert [b.uris for b in old_batches] == old_uris
+
+    def test_old_view_self_heals_on_late_arrivals(self):
+        """A view captured before a sync resolves post-sync URIs via
+        its overlay — order-consistently — and flags itself stale."""
+        dataspace = self._mutable_space()
+        dictionary = global_uri_dictionary()
+        old_view = dictionary.view()
+        assert not old_view.is_stale
+
+        dataspace.vfs.write_file("/Projects/late-arrival.txt",
+                                 "a late arrival")
+        dataspace.refresh()
+        assert old_view.is_stale  # the dictionary grew past the snapshot
+
+        late = next(uri for uri in dataspace.rvm.catalog.all_uris()
+                    if "late-arrival" in uri)
+        key = old_view.key_for(late)
+        assert old_view.uri_for(key) == late
+        # the overlay key lands in URI order relative to base keys
+        neighbours = sorted(
+            uri for uri in dataspace.rvm.catalog.all_uris()
+            if "late-arrival" not in uri and "dict-round" not in uri
+        )
+        smaller = [u for u in neighbours if u < late]
+        larger = [u for u in neighbours if u > late]
+        if smaller:
+            assert old_view.key_for(smaller[-1]) < key
+        if larger:
+            assert key < old_view.key_for(larger[0])
+        # and the *next* view has it as a base (gap-aligned) key
+        fresh = dictionary.view()
+        assert not fresh.is_stale
+        assert fresh.key_for(late) % KEY_GAP == 0

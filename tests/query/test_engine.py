@@ -67,7 +67,15 @@ class StaticSource(Operator):
 
 
 class FakeCtx:
-    """The slice of ExecutionContext the operators touch."""
+    """The slice of ExecutionContext the operators touch.
+
+    Runs the operators in *string mode*: ``dict_view`` is ``None`` and
+    the key helpers are identities, so batch keys are URI strings and
+    the ordered-stream contract is plain lexicographic order — the same
+    ordering the dictionary's integer sort keys encode in production.
+    """
+
+    dict_view = None
 
     def __init__(self, batch_size: int = 4, graph=None):
         self.engine = EngineConfig(batch_size=batch_size)
@@ -82,6 +90,20 @@ class FakeCtx:
 
     def children_of(self, uri: str):
         return tuple(self._graph.get(uri, ()))
+
+    # identity key mapping (production converts URIs to int64 keys)
+
+    def keys_for_set(self, uris):
+        return tuple(sorted(uris))
+
+    def keys_in_order(self, uris):
+        return tuple(uris)
+
+    def key_for_uri(self, uri):
+        return uri
+
+    def uri_of_key(self, key):
+        return key
 
 
 def run(op: Operator, ctx=None) -> list[str]:
