@@ -11,9 +11,11 @@ Usage (module form)::
     python -m repro search 'indexing time' --limit 5
     python -m repro tables --scale 0.05
     python -m repro serve  --clients 1,4,16 --requests 25
+    python -m repro serve  --shards 3 --kill-shard 0
     python -m repro chaos  --target imap --transient-rate 0.3
     python -m repro checkpoint /tmp/space --scale 0.02
     python -m repro recover /tmp/space --verify
+    python -m repro fsck /tmp/space
     python -m repro snapshot save /tmp/snap --scale 0.02
     python -m repro snapshot load /tmp/snap
 
@@ -249,6 +251,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Closed-loop load against the concurrent query service."""
     from .service import run_closed_loop
 
+    if args.shards:
+        return _cmd_serve_sharded(args)
     dataspace = _build(args)
     queries = list(PAPER_QUERIES.values())
     deadline = args.deadline_ms / 1000.0 if args.deadline_ms else None
@@ -287,6 +291,85 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if service is not None:
         print()
         print(service.metrics.render())
+    return 0
+
+
+def _cmd_serve_sharded(args: argparse.Namespace) -> int:
+    """Drive the supervised multi-process sharded service.
+
+    Requests route by a synthetic client key over the consistent-hash
+    ring; ``--kill-shard`` SIGKILLs one worker mid-workload so the
+    supervised failover (fail-fast, recovery, re-dispatch) is visible
+    from the command line.
+    """
+    import shutil
+    import statistics
+    import tempfile
+
+    from .core.errors import ShardUnavailable
+    from .supervise import ShardSupervisor
+
+    directory = args.directory or tempfile.mkdtemp(prefix="repro-shards-")
+    cleanup = args.directory is None
+    queries = list(PAPER_QUERIES.values())
+    supervisor = ShardSupervisor(
+        directory, shards=args.shards, seed=args.seed, scale=args.scale,
+    )
+    total = args.requests * max(4, args.shards)
+    kill_at = (args.kill_after if args.kill_after is not None
+               else total // 3)
+    latencies: dict[int, list] = {i: [] for i in range(args.shards)}
+    served = unavailable = 0
+    try:
+        with supervisor:
+            print(f"supervisor up: {args.shards} shard worker(s) under "
+                  f"{directory}")
+            for n in range(total):
+                if args.kill_shard is not None and n == kill_at:
+                    pid = supervisor.kill_shard(args.kill_shard)
+                    print(f"-- SIGKILL shard {args.kill_shard} "
+                          f"(pid {pid}) at request {n}")
+                iql = queries[n % len(queries)]
+                key = f"client-{n % (args.shards * 4)}"
+                started = time.perf_counter()
+                try:
+                    result = supervisor.query(iql, key=key, timeout=120.0)
+                except ShardUnavailable as error:
+                    unavailable += 1
+                    if args.kill_shard is None:
+                        print(f"shard {error.shard} unavailable: {error}",
+                              file=sys.stderr)
+                    continue
+                served += 1
+                latencies[result.shard].append(
+                    time.perf_counter() - started)
+            if args.kill_shard is not None:
+                recovered = supervisor.wait_until_up(args.kill_shard,
+                                                     timeout=120.0)
+                print(f"-- shard {args.kill_shard} "
+                      f"{'recovered' if recovered else 'DID NOT recover'}")
+            stats = supervisor.stats()
+            rows = []
+            for index in range(args.shards):
+                times = latencies[index]
+                rows.append([
+                    index, stats[f"shard.{index}.state"],
+                    stats[f"shard.{index}.epoch"],
+                    stats[f"shard.{index}.restarts"],
+                    stats[f"shard.{index}.views"], len(times),
+                    statistics.median(times) * 1000 if times else 0.0,
+                    max(times) * 1000 if times else 0.0,
+                ])
+            print(format_table(
+                ["shard", "state", "epoch", "restarts", "views",
+                 "served", "p50 [ms]", "max [ms]"],
+                rows,
+                title=(f"supervised shards (requests={total}, "
+                       f"served={served}, fail-fast={unavailable})"),
+            ))
+    finally:
+        if cleanup:
+            shutil.rmtree(directory, ignore_errors=True)
     return 0
 
 
@@ -388,6 +471,33 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """Consistency-check a durability directory: recover it into memory
+    and prove engine ≡ oracle on the recovered state.
+
+    This is ``recover --verify`` as a first-class check: exit 0 when
+    consistent, :data:`EXIT_VERIFY_FAILED` on divergence — usable from
+    cron or a post-crash runbook without mutating the directory.
+    """
+    from .durability import load_config, verify_engine_matches_oracle
+
+    if load_config(args.directory) is None:
+        print(f"fsck: {args.directory} is not a durability directory "
+              f"(no config.json)", file=sys.stderr)
+        return 2
+    with Dataspace.open(args.directory, durable=False) as dataspace:
+        assert dataspace.last_recovery is not None
+        print(dataspace.last_recovery.summary())
+        report = verify_engine_matches_oracle(
+            dataspace, seed=args.verify_seed, count=args.verify_count)
+    print(report.summary())
+    if not report.ok:
+        for iql, diff in report.mismatches:
+            print(f"  MISMATCH {iql}: {diff}", file=sys.stderr)
+        return EXIT_VERIFY_FAILED
+    return 0
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     """Save or load a plain (WAL-free) snapshot of the indexed state."""
     if args.action == "save":
@@ -476,6 +586,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace every executed query and fold "
                             "per-operator aggregates into the metrics "
                             "report")
+    serve.add_argument("--shards", type=int, default=0,
+                       help="serve from N supervised shard worker "
+                            "processes instead of one in-process pool "
+                            "(default 0: single-process)")
+    serve.add_argument("--directory", default=None,
+                       help="parent directory for the shard durability "
+                            "directories (--shards only; default: a "
+                            "temp dir, removed afterwards)")
+    serve.add_argument("--kill-shard", type=int, default=None,
+                       help="SIGKILL this shard's worker mid-workload "
+                            "to demo supervised failover (--shards "
+                            "only)")
+    serve.add_argument("--kill-after", type=int, default=None,
+                       help="request count at which --kill-shard fires "
+                            "(default: a third of the workload)")
     _add_dataset_options(serve)
     serve.set_defaults(handler=_cmd_serve)
 
@@ -525,6 +650,18 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--verify-count", type=int, default=40,
                          help="generated queries for --verify (default 40)")
     recover.set_defaults(handler=_cmd_recover)
+
+    fsck = commands.add_parser(
+        "fsck", help="consistency-check a durability directory "
+                     "(recover in memory, prove engine ≡ oracle; "
+                     "exits 4 on divergence)"
+    )
+    fsck.add_argument("directory", help="durability directory")
+    fsck.add_argument("--verify-seed", type=int, default=0,
+                      help="query-generator seed (default 0)")
+    fsck.add_argument("--verify-count", type=int, default=40,
+                      help="generated queries to check (default 40)")
+    fsck.set_defaults(handler=_cmd_fsck)
 
     snapshot = commands.add_parser(
         "snapshot", help="save/load a plain snapshot of the indexed state "

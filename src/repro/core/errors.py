@@ -218,3 +218,28 @@ class QueryCancelled(ServiceError):
 
 class ServiceClosed(ServiceError):
     """The service is shut down (or draining) and accepts no new work."""
+
+
+class ShardUnavailable(ServiceError):
+    """A supervised shard cannot serve right now.
+
+    Raised by ``repro.supervise`` while a shard worker is recovering
+    from a crash, or fail-fast once its restart circuit breaker opened
+    after repeated crash-looping. Carries the shard index and, when the
+    breaker knows its cool-down, ``retry_after`` seconds.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None,
+                 retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.retry_after = retry_after
+
+
+class WireError(ServiceError):
+    """A malformed frame on the supervisor/worker control pipe.
+
+    Oversized lengths, truncated payloads and undecodable JSON raise
+    this on the *reading* side; the supervisor treats it as a worker
+    failure (the stream is unrecoverable once framing is lost).
+    """

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import enum
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -79,6 +80,13 @@ class CircuitBreaker:
     and admits up to ``half_open_probes`` probe calls. A probe success
     closes the circuit; a probe failure re-opens it and restarts the
     cool-down.
+
+    All transitions run under an internal lock: concurrent service
+    threads (and the shard supervisor's monitor) race :meth:`allow`
+    freely, and the half-open probe budget admits exactly
+    ``half_open_probes`` callers no matter how many arrive at once —
+    the check-then-increment on the probe slot would otherwise let a
+    thundering herd through together.
     """
 
     failure_threshold: int = 5
@@ -92,6 +100,8 @@ class CircuitBreaker:
     #: lifetime transition counts, for health snapshots
     times_opened: int = field(default=0, init=False)
     _probes_in_flight: int = field(default=0, init=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.failure_threshold < 1:
@@ -103,44 +113,52 @@ class CircuitBreaker:
 
     def allow(self) -> bool:
         """May the next call go through to the source?"""
-        if self.state is BreakerState.CLOSED:
-            return True
-        if self.state is BreakerState.OPEN:
-            assert self.opened_at is not None
-            if self.clock() - self.opened_at < self.cooldown_seconds:
+        with self._lock:
+            if self.state is BreakerState.CLOSED:
+                return True
+            if self.state is BreakerState.OPEN:
+                assert self.opened_at is not None
+                if self.clock() - self.opened_at < self.cooldown_seconds:
+                    return False
+                self.state = BreakerState.HALF_OPEN
+                self._probes_in_flight = 0
+            # HALF_OPEN: admit a bounded number of probes
+            if self._probes_in_flight >= self.half_open_probes:
                 return False
-            self.state = BreakerState.HALF_OPEN
-            self._probes_in_flight = 0
-        # HALF_OPEN: admit a bounded number of probes
-        if self._probes_in_flight >= self.half_open_probes:
-            return False
-        self._probes_in_flight += 1
-        return True
+            self._probes_in_flight += 1
+            return True
 
     @property
     def retry_after(self) -> float | None:
         """Seconds until the cool-down elapses (None unless open)."""
-        if self.state is not BreakerState.OPEN or self.opened_at is None:
-            return None
-        return max(0.0,
-                   self.cooldown_seconds - (self.clock() - self.opened_at))
+        with self._lock:
+            if (self.state is not BreakerState.OPEN
+                    or self.opened_at is None):
+                return None
+            return max(
+                0.0,
+                self.cooldown_seconds - (self.clock() - self.opened_at),
+            )
 
     # -- outcomes -----------------------------------------------------------
 
     def record_success(self) -> None:
-        if self.state is BreakerState.HALF_OPEN:
-            self._probes_in_flight = 0
-        self.state = BreakerState.CLOSED
-        self.consecutive_failures = 0
-        self.opened_at = None
+        with self._lock:
+            if self.state is BreakerState.HALF_OPEN:
+                self._probes_in_flight = 0
+            self.state = BreakerState.CLOSED
+            self.consecutive_failures = 0
+            self.opened_at = None
 
     def record_failure(self) -> None:
-        self.consecutive_failures += 1
-        if self.state is BreakerState.HALF_OPEN:
-            self._trip()
-        elif (self.state is BreakerState.CLOSED
-                and self.consecutive_failures >= self.failure_threshold):
-            self._trip()
+        with self._lock:
+            self.consecutive_failures += 1
+            if self.state is BreakerState.HALF_OPEN:
+                self._trip()
+            elif (self.state is BreakerState.CLOSED
+                    and self.consecutive_failures
+                    >= self.failure_threshold):
+                self._trip()
 
     def _trip(self) -> None:
         self.state = BreakerState.OPEN

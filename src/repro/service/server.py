@@ -187,6 +187,9 @@ class DataspaceService:
         self._state_lock = threading.Lock()
         self._closed = False
         self._stopping = False
+        #: set by close(drain=False): workers fail anything they dequeue
+        #: instead of executing it (abort now, not after the backlog)
+        self._fail_fast = False
         # Index before any worker touches the RVM, so the pool only ever
         # reads shared structures.
         if not dataspace._synced:
@@ -240,15 +243,24 @@ class DataspaceService:
         if self._closed:
             return
         self._closed = True  # no new submissions
+        if not drain:
+            # abort now: anything a worker dequeues from here on fails
+            # with ServiceClosed instead of executing — without this, a
+            # queued slow query the workers race out of the admission
+            # queue would keep its caller blocked until it finished
+            self._fail_fast = True
         if drain and self._threads:
             deadline = time.monotonic() + timeout
             while self._outstanding > 0 and time.monotonic() < deadline:
                 time.sleep(0.002)
+        # _stopping must be set before the final queue drain: a submit
+        # that raced past the _closed check self-drains when it sees
+        # _stopping, so a ticket enqueued after this drain cannot strand
+        self._stopping = True
         for request in self.admission.drain():
             request.ticket._fail(ServiceClosed("service shut down"))
             with self._state_lock:
                 self._outstanding -= 1
-        self._stopping = True
         self.admission.poison(len(self._threads) or 1)
         for thread in self._threads:
             thread.join(timeout=timeout)
@@ -364,6 +376,13 @@ class DataspaceService:
 
     def _process(self, request: _Request) -> None:
         ticket = request.ticket
+        if self._fail_fast:
+            # close(drain=False) aborted the service: fail the ticket
+            # instead of executing a request the caller no longer wants
+            self._count("queries.failed")
+            ticket._fail(ServiceClosed("service shut down before "
+                                       "execution"))
+            return
         waited = time.monotonic() - request.enqueued_at
         ticket.queue_wait_seconds = waited
         self._observe("latency.queue_seconds", waited)

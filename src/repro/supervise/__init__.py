@@ -1,0 +1,37 @@
+"""``repro.supervise`` — crash-contained shard workers, supervised failover.
+
+The multi-process serving layer: shard workers are subprocesses each
+owning a durability-backed :class:`~repro.facade.Dataspace`
+(checkpoint + WAL under its own directory); the
+:class:`ShardSupervisor` in the parent routes requests by consistent
+hashing, detects worker death, restarts workers through
+``Dataspace.open`` recovery with bounded backoff and a per-shard
+circuit breaker, and fences replies by shard epoch so failover never
+loses an acknowledged result or delivers a duplicate one.
+
+Quick use::
+
+    from repro.supervise import ShardSupervisor
+
+    with ShardSupervisor("/tmp/space", shards=4, seed=42) as sup:
+        result = sup.query('"database"', key="tenant-17")
+        sup.kill_shard(0)                  # chaos: SIGKILL one worker
+        sup.wait_until_up(0)               # supervised recovery
+        report = sup.verify_shard(0)       # engine ≡ oracle, in-worker
+"""
+
+from .router import HashRing, stable_hash
+from .supervisor import (
+    PendingCall,
+    ShardResult,
+    ShardState,
+    ShardSupervisor,
+    SupervisorConfig,
+)
+from .wire import MAX_FRAME_BYTES, read_frame, write_frame
+
+__all__ = [
+    "HashRing", "MAX_FRAME_BYTES", "PendingCall", "ShardResult",
+    "ShardState", "ShardSupervisor", "SupervisorConfig",
+    "read_frame", "stable_hash", "write_frame",
+]

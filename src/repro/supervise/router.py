@@ -1,0 +1,81 @@
+"""Consistent-hash request routing: key → shard.
+
+The supervisor routes every request by a *routing key* (a tenant id, a
+session id, or by default the query text) through a classic
+consistent-hash ring: each shard owns ``replicas`` virtual points on a
+2^64 circle, a key lands on the first point clockwise of its own hash.
+Adding or removing one shard therefore moves only ~1/N of the keyspace
+— the property the ROADMAP's "shards can move" tenancy item needs, and
+the reason this is a ring rather than ``hash(key) % shards``.
+
+Hashes come from :func:`hashlib.blake2b`, not the builtin ``hash`` —
+placement must be stable across processes and runs regardless of
+``PYTHONHASHSEED``, because a supervisor restart must route the same
+tenants to the same durable shard directories.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+
+def stable_hash(text: str) -> int:
+    """A process-independent 64-bit hash of ``text``."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over integer shard ids."""
+
+    def __init__(self, shards: int = 0, *, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._points: list[int] = []     # sorted virtual-node hashes
+        self._owners: dict[int, int] = {}  # point hash -> shard id
+        for shard in range(shards):
+            self.add(shard)
+
+    def __len__(self) -> int:
+        return len({shard for shard in self._owners.values()})
+
+    @property
+    def shards(self) -> list[int]:
+        return sorted(set(self._owners.values()))
+
+    def add(self, shard: int) -> None:
+        """Place ``shard``'s virtual points on the ring (idempotent)."""
+        for replica in range(self.replicas):
+            point = stable_hash(f"shard-{shard}/vnode-{replica}")
+            # blake2b collisions across our tiny point sets are
+            # effectively impossible; first placement wins if one occurs
+            if point not in self._owners:
+                self._owners[point] = shard
+                bisect.insort(self._points, point)
+
+    def remove(self, shard: int) -> None:
+        """Take ``shard`` off the ring; its keyspace falls to the
+        clockwise neighbours."""
+        points = [p for p, owner in self._owners.items() if owner == shard]
+        for point in points:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def lookup(self, key: str) -> int:
+        """The shard owning ``key`` (first point clockwise of its hash)."""
+        if not self._points:
+            raise ValueError("hash ring is empty")
+        index = bisect.bisect_right(self._points, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def spread(self, keys: list[str]) -> dict[int, int]:
+        """How many of ``keys`` land on each shard (balance diagnostics)."""
+        counts: dict[int, int] = {shard: 0 for shard in self.shards}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts

@@ -1,0 +1,753 @@
+"""The shard supervisor: crash-contained workers, supervised failover.
+
+:class:`ShardSupervisor` turns the one-process serving story into a
+tree of processes: each shard is a subprocess
+(:mod:`repro.supervise.worker`) owning a durability-backed
+:class:`~repro.facade.Dataspace` under its own directory, and the
+parent routes requests to shards by consistent hashing
+(:class:`~repro.supervise.router.HashRing`), watches for worker death,
+and restarts dead workers through ``Dataspace.open`` recovery.
+
+The failure contract, in order of the failover timeline:
+
+* **containment** — a SIGKILL, poison query, or OOM in one worker
+  cannot touch the other shards: they are separate processes, and the
+  supervisor keeps routing to them throughout;
+* **detection** — death is noticed the moment the worker's stdout hits
+  EOF (a dead process closes its pipes), backstopped by a heartbeat
+  ping and ``Popen.wait`` reaping;
+* **fencing** — every spawn bumps the shard's *epoch*; the worker
+  stamps each reply with the epoch it was started under, and the
+  supervisor discards any frame from a stale epoch, so a reply
+  buffered by a dead incarnation can never race its re-dispatched
+  duplicate (no double replies, ever);
+* **exactly-once re-dispatch** — queries that were in flight on the
+  dead incarnation (written, unanswered) are parked and re-sent *once*
+  after recovery; queries are read-only and idempotent, so the second
+  execution is safe, and a second crash fails them with
+  :class:`~repro.core.errors.ShardUnavailable` instead of looping;
+* **fail-fast during recovery** — new requests for a recovering shard
+  get an immediate typed :class:`ShardUnavailable` (with
+  ``retry_after`` when the breaker knows it) instead of queueing behind
+  an absent worker;
+* **bounded restart** — restarts back off exponentially (seeded
+  jitter), and a per-shard :class:`~repro.resilience.CircuitBreaker`
+  (the same class guarding flaky sources) opens after repeated crash
+  loops, degrading the shard to fail-fast until the cool-down admits a
+  half-open restart probe.
+
+Locking discipline: each shard has a *state* lock (pending table,
+epoch, lifecycle) and a *write* lock (frame writes to the worker's
+stdin). A blocking pipe write is never performed under the state lock —
+otherwise a full pipe could wedge the reader thread (which needs the
+state lock to resolve replies) into a three-way deadlock with a busy
+worker.
+
+Telemetry lands in ``repro.obs`` under ``supervise.*``:
+``supervise.shard.restarts``, per-shard ``epoch``/``inflight`` gauges,
+breaker-state gauges, fenced-reply and re-dispatch counters, and the
+``supervise.failover_seconds`` histogram (death detected → ready
+again).
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import random
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .. import obs
+from ..core import errors as _errors
+from ..core.errors import (
+    ServiceClosed,
+    ServiceError,
+    ShardUnavailable,
+    WireError,
+)
+from ..resilience.policy import BreakerState, CircuitBreaker, RetryPolicy
+from .router import HashRing
+from .wire import read_frame, write_frame
+
+#: numeric breaker-state encoding for the ``supervise.breaker.*`` gauges
+#: (same codes as the ``resilience.breaker_state`` gauge)
+_BREAKER_CODES = {
+    BreakerState.CLOSED: 0,
+    BreakerState.OPEN: 1,
+    BreakerState.HALF_OPEN: 2,
+}
+
+
+class ShardState(enum.Enum):
+    STARTING = "starting"      # spawned, waiting for the ready frame
+    UP = "up"                  # serving
+    RECOVERING = "recovering"  # dead, restart scheduled (backoff)
+    BROKEN = "broken"          # crash-looping, breaker open: fail fast
+    STOPPING = "stopping"      # close() in progress
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Tunables for the supervision loop."""
+
+    #: dataset generator seed; shard ``i`` uses ``seed + i``
+    seed: int = 42
+    #: dataset scale for first spawns (None: the tiny profile)
+    scale: float | None = None
+    #: virtual nodes per shard on the hash ring
+    ring_replicas: int = 64
+    #: monitor tick (restart scheduling, heartbeats)
+    tick_seconds: float = 0.02
+    #: ping a quiet UP shard this often
+    heartbeat_interval: float = 0.5
+    #: a shard silent this long (no frame, ping unanswered) is killed
+    heartbeat_timeout: float = 30.0
+    #: restart backoff: delay before restart n is
+    #: ``base * multiplier**(n-1)`` capped at max, plus seeded jitter
+    restart_backoff: RetryPolicy = field(default_factory=lambda: RetryPolicy(
+        max_attempts=1, backoff_base=0.05, backoff_multiplier=2.0,
+        backoff_max=2.0, jitter=0.5,
+    ))
+    #: consecutive crashes (without an intervening ready) that open the
+    #: shard's restart breaker
+    breaker_failure_threshold: int = 5
+    #: breaker cool-down before a half-open restart probe
+    breaker_cooldown_seconds: float = 5.0
+    #: how long start()/restarts may wait for a worker's ready frame
+    ready_timeout: float = 180.0
+    #: jitter seed (chaos runs stay reproducible)
+    jitter_seed: int = 0
+    #: extra argv appended to every worker spawn (chaos hooks)
+    worker_extra_args: tuple = ()
+
+
+class PendingCall:
+    """One request written to a shard: a minimal future with fencing
+    metadata (the epoch it was dispatched under, whether it has already
+    been re-dispatched once)."""
+
+    def __init__(self, call_id: int, op: str, payload: dict, shard: int):
+        self.id = call_id
+        self.op = op
+        self.payload = payload
+        self.shard = shard
+        self.epoch = -1           # set at each (re-)dispatch
+        self.redispatched = False
+        self._done = threading.Event()
+        self._reply: dict | None = None
+        self._error: BaseException | None = None
+        self._resolved = False    # guards against any double resolution
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> dict:
+        """Block for the reply frame's fields; raises typed errors."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"shard {self.shard} did not answer {self.op} call "
+                f"{self.id} within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._reply is not None
+        return self._reply
+
+    # -- supervisor side -----------------------------------------------------
+
+    def _resolve(self, frame: dict) -> bool:
+        """Resolve from a reply frame; False if already resolved (the
+        exactly-once guard — callers count these as protocol bugs)."""
+        if self._resolved:
+            return False
+        self._resolved = True
+        if frame.get("ok", False):
+            self._reply = frame
+        else:
+            self._error = _typed_error(frame)
+        self._done.set()
+        return True
+
+    def _fail(self, error: BaseException) -> None:
+        if self._resolved:
+            return
+        self._resolved = True
+        self._error = error
+        self._done.set()
+
+
+def _typed_error(frame: dict) -> BaseException:
+    """Rehydrate a worker-side error by its exception name."""
+    name = frame.get("error", "ServiceError")
+    message = frame.get("message", "worker call failed")
+    candidate = getattr(_errors, name, None)
+    if (isinstance(candidate, type)
+            and issubclass(candidate, _errors.IdmError)):
+        try:
+            return candidate(message)
+        except TypeError:  # exotic constructor signature
+            pass
+    return ServiceError(f"{name}: {message}")
+
+
+@dataclass
+class ShardResult:
+    """One routed query's answer."""
+
+    shard: int
+    epoch: int
+    uris: list
+    count: int
+    elapsed_seconds: float
+    degraded: bool = False
+    redispatched: bool = False
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class _Shard:
+    """Supervisor-side state for one shard.
+
+    ``lock`` guards lifecycle state and the pending table; ``write_lock``
+    serializes frame writes to the worker's stdin. Never write a frame
+    while holding ``lock`` (see the module docstring).
+    """
+
+    def __init__(self, index: int, directory: Path,
+                 breaker: CircuitBreaker):
+        self.index = index
+        self.directory = directory
+        self.lock = threading.RLock()
+        self.write_lock = threading.Lock()
+        self.state = ShardState.STOPPED
+        self.epoch = 0
+        self.proc: subprocess.Popen | None = None
+        self.pending: dict[int, PendingCall] = {}
+        self.parked: list[PendingCall] = []
+        self.breaker = breaker
+        self.restarts = 0          # respawns after a death (not the first)
+        self.views = 0
+        self.recovered_last = False
+        self.died_at: float | None = None
+        self.backoff_until = 0.0
+        self.last_frame_at = 0.0
+        self.ping_outstanding = False
+        self.ready_event = threading.Event()
+
+
+class ShardSupervisor:
+    """Routes requests over crash-contained shard worker processes."""
+
+    def __init__(self, directory, *, shards: int = 2,
+                 config: SupervisorConfig | None = None, **overrides):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if config is None:
+            config = SupervisorConfig(**overrides)
+        elif overrides:
+            from dataclasses import replace
+            config = replace(config, **overrides)
+        self.config = config
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.ring = HashRing(shards, replicas=config.ring_replicas)
+        self._rng = random.Random(config.jitter_seed)
+        self._shards = [
+            _Shard(
+                index, self.directory / f"shard-{index:02d}",
+                CircuitBreaker(
+                    failure_threshold=config.breaker_failure_threshold,
+                    cooldown_seconds=config.breaker_cooldown_seconds,
+                ),
+            )
+            for index in range(shards)
+        ]
+        self._call_seq = 0
+        self._seq_lock = threading.Lock()
+        self._closed = False
+        self._monitor: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- metric plumbing -----------------------------------------------------
+
+    @staticmethod
+    def _count(name: str, amount: int = 1) -> None:
+        obs.increment(f"supervise.{name}", amount)
+
+    def _publish_shard_gauges(self, shard: _Shard) -> None:
+        prefix = f"supervise.shard.{shard.index}"
+        obs.set_gauge(f"{prefix}.epoch", shard.epoch)
+        obs.set_gauge(f"{prefix}.inflight", len(shard.pending))
+        obs.set_gauge(f"supervise.breaker.{shard.index}.state",
+                      _BREAKER_CODES[shard.breaker.state])
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ShardSupervisor":
+        """Spawn every shard worker and wait until all are serving."""
+        if self._closed:
+            raise ServiceClosed("cannot restart a closed supervisor")
+        for shard in self._shards:
+            with shard.lock:
+                if shard.state is ShardState.STOPPED:
+                    self._spawn(shard)
+        deadline = time.monotonic() + self.config.ready_timeout
+        for shard in self._shards:
+            remaining = deadline - time.monotonic()
+            if not shard.ready_event.wait(max(0.0, remaining)):
+                self.close(drain=False)
+                raise ServiceError(
+                    f"shard {shard.index} did not become ready within "
+                    f"{self.config.ready_timeout}s"
+                )
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="shard-monitor", daemon=True)
+        self._monitor.start()
+        obs.emit_event(obs.INFO, "supervise", "supervise.started",
+                       f"supervisor serving {len(self._shards)} shard(s)",
+                       shards=len(self._shards))
+        return self
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def close(self, *, drain: bool = True, timeout: float = 30.0) -> None:
+        """Stop serving and reap every worker.
+
+        With ``drain`` (the default) each shard's in-flight requests
+        finish first; without it they fail with :class:`ServiceClosed`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+        deadline = time.monotonic() + timeout
+        for shard in self._shards:
+            self._close_shard(shard, drain=drain, deadline=deadline)
+        obs.emit_event(obs.INFO, "supervise", "supervise.closed",
+                       "supervisor shut down")
+
+    def _close_shard(self, shard: _Shard, *, drain: bool,
+                     deadline: float) -> None:
+        if drain:
+            while time.monotonic() < deadline:
+                with shard.lock:
+                    busy = (shard.state is ShardState.UP
+                            and (shard.pending or shard.parked))
+                if not busy:
+                    break
+                time.sleep(0.005)
+        with shard.lock:
+            was_up = shard.state is ShardState.UP
+            shard.state = ShardState.STOPPING
+            stranded = list(shard.pending.values()) + shard.parked
+            shard.pending.clear()
+            shard.parked.clear()
+            proc = shard.proc
+        for call in stranded:
+            call._fail(ServiceClosed("supervisor shut down"))
+        if proc is not None and proc.poll() is None:
+            if was_up:
+                try:
+                    with shard.write_lock:
+                        write_frame(proc.stdin,
+                                    {"op": "shutdown", "id": -1})
+                except (OSError, ValueError):
+                    pass
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+        with shard.lock:
+            shard.state = ShardState.STOPPED
+
+    # -- spawning and the reader thread --------------------------------------
+
+    def _spawn(self, shard: _Shard) -> None:
+        """(Re)start one worker. Caller holds ``shard.lock``."""
+        shard.epoch += 1
+        shard.state = ShardState.STARTING
+        shard.ready_event.clear()
+        shard.ping_outstanding = False
+        import repro
+        src_root = Path(repro.__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(src_root) + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        argv = [
+            sys.executable, "-m", "repro.supervise.worker",
+            str(shard.directory),
+            "--shard", str(shard.index),
+            "--epoch", str(shard.epoch),
+            "--seed", str(self.config.seed + shard.index),
+        ]
+        if self.config.scale is not None:
+            argv += ["--scale", str(self.config.scale)]
+        argv += list(self.config.worker_extra_args)
+        shard.directory.mkdir(parents=True, exist_ok=True)
+        # worker stderr goes to a per-shard log for post-mortems; the
+        # protocol pipes stay clean
+        with open(shard.directory / "worker.log", "ab") as log:
+            shard.proc = subprocess.Popen(
+                argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                stderr=log, env=env,
+            )
+        shard.last_frame_at = time.monotonic()
+        reader = threading.Thread(
+            target=self._reader_loop,
+            args=(shard, shard.epoch, shard.proc),
+            name=f"shard-{shard.index}-reader-e{shard.epoch}", daemon=True,
+        )
+        reader.start()
+
+    def _reader_loop(self, shard: _Shard, epoch: int,
+                     proc: subprocess.Popen) -> None:
+        """Drain one incarnation's stdout until EOF, then report death."""
+        while True:
+            try:
+                frame = read_frame(proc.stdout)
+            except WireError:
+                break
+            if frame is None:
+                break
+            self._handle_frame(shard, frame)
+        proc.kill()  # no-op when already dead; covers torn-frame exits
+        proc.wait()  # reap: no zombies, and poll() turns truthful
+        self._on_worker_death(shard, epoch)
+
+    def _handle_frame(self, shard: _Shard, frame: dict) -> None:
+        call: PendingCall | None = None
+        to_redispatch: list[PendingCall] = []
+        with shard.lock:
+            if frame.get("epoch") != shard.epoch:
+                # the fence: a stale incarnation's buffered reply must
+                # not resolve (or double-resolve) anything
+                self._count("replies.fenced")
+                return
+            shard.last_frame_at = time.monotonic()
+            op = frame.get("op")
+            if op == "ready":
+                to_redispatch = self._on_ready(shard, frame)
+            else:
+                call = shard.pending.pop(frame.get("id"), None)
+                if call is not None and call.op == "ping":
+                    shard.ping_outstanding = False
+                self._publish_shard_gauges(shard)
+        # frame writes happen outside the state lock (see class docstring)
+        for parked in to_redispatch:
+            parked.redispatched = True
+            self._count("queries.redispatched")
+            try:
+                self._dispatch(shard, parked)
+            except (ShardUnavailable, ServiceClosed) as error:
+                parked._fail(error)
+        if op == "ready":
+            return
+        if call is None:
+            self._count("replies.orphaned")
+            return
+        if not call._resolve(frame):
+            self._count("replies.duplicate")  # fencing keeps this at 0
+
+    def _on_ready(self, shard: _Shard, frame: dict) -> list[PendingCall]:
+        """Caller holds ``shard.lock``: the incarnation is serving.
+        Returns the parked calls to re-dispatch (outside the lock)."""
+        shard.state = ShardState.UP
+        shard.views = int(frame.get("views", 0))
+        shard.recovered_last = bool(frame.get("recovered", False))
+        shard.breaker.record_success()
+        if shard.died_at is not None:
+            failover = time.monotonic() - shard.died_at
+            shard.died_at = None
+            obs.observe("supervise.failover_seconds", failover)
+            obs.emit_event(
+                obs.INFO, "supervise", "supervise.shard.recovered",
+                f"shard {shard.index} recovered in {failover:.3f}s "
+                f"(epoch {shard.epoch}, {shard.views} views)",
+                shard=shard.index, epoch=shard.epoch,
+            )
+        parked, shard.parked = shard.parked, []
+        self._publish_shard_gauges(shard)
+        shard.ready_event.set()
+        return parked
+
+    def _on_worker_death(self, shard: _Shard, epoch: int) -> None:
+        with shard.lock:
+            if shard.epoch != epoch or shard.state in (
+                    ShardState.STOPPING, ShardState.STOPPED):
+                return  # stale incarnation, or we are shutting down
+            if self._closed:
+                shard.state = ShardState.STOPPED
+                stranded = list(shard.pending.values()) + shard.parked
+                shard.pending.clear()
+                shard.parked.clear()
+                for call in stranded:
+                    call._fail(ServiceClosed("supervisor shut down"))
+                return
+            died_starting = shard.state is ShardState.STARTING
+            shard.state = ShardState.RECOVERING
+            if shard.died_at is None:
+                shard.died_at = time.monotonic()
+            shard.ready_event.clear()
+            inflight = list(shard.pending.values())
+            shard.pending.clear()
+            for call in inflight:
+                if call.op != "query" or call.redispatched:
+                    # exactly-once: a call that already got its one
+                    # re-dispatch fails instead of looping; control
+                    # calls (ping/verify/checkpoint) never re-dispatch
+                    call._fail(ShardUnavailable(
+                        f"shard {shard.index} crashed"
+                        + (" again during re-dispatch"
+                           if call.redispatched else ""),
+                        shard=shard.index,
+                    ))
+                else:
+                    shard.parked.append(call)
+            shard.breaker.record_failure()
+            attempt = max(1, shard.breaker.consecutive_failures)
+            delay = self.config.restart_backoff.delay(attempt, self._rng)
+            shard.backoff_until = time.monotonic() + delay
+            self._count("shard.restarts" if not died_starting
+                        else "shard.start_failures")
+            self._count(f"shard.{shard.index}.deaths")
+            self._publish_shard_gauges(shard)
+            obs.emit_event(
+                obs.WARNING, "supervise", "supervise.shard.died",
+                f"shard {shard.index} worker died (epoch {epoch}); "
+                f"restart in {delay:.3f}s",
+                shard=shard.index, epoch=epoch,
+            )
+
+    # -- the monitor (restarts, heartbeats) ----------------------------------
+
+    def _monitor_loop(self) -> None:
+        interval = self.config.tick_seconds
+        while not self._stop.wait(interval):
+            now = time.monotonic()
+            for shard in self._shards:
+                ping = False
+                with shard.lock:
+                    if shard.state is ShardState.RECOVERING:
+                        if now < shard.backoff_until:
+                            continue
+                        if shard.breaker.allow():
+                            shard.restarts += 1
+                            self._spawn(shard)
+                        else:
+                            self._break_shard(shard)
+                    elif shard.state is ShardState.BROKEN:
+                        if shard.breaker.allow():
+                            # the half-open probe: one restart attempt
+                            shard.restarts += 1
+                            self._spawn(shard)
+                    elif shard.state is ShardState.UP:
+                        ping = self._heartbeat_due(shard, now)
+                if ping:
+                    try:
+                        self._dispatch(
+                            shard, self._new_call("ping", {}, shard.index))
+                    except (ShardUnavailable, ServiceClosed):
+                        pass
+
+    def _break_shard(self, shard: _Shard) -> None:
+        """Caller holds ``shard.lock``: crash loop → fail fast."""
+        shard.state = ShardState.BROKEN
+        parked, shard.parked = shard.parked, []
+        for call in parked:
+            call._fail(ShardUnavailable(
+                f"shard {shard.index} is crash-looping "
+                f"(breaker open)", shard=shard.index,
+                retry_after=shard.breaker.retry_after,
+            ))
+        self._publish_shard_gauges(shard)
+        obs.emit_event(
+            obs.ERROR, "supervise", "supervise.shard.broken",
+            f"shard {shard.index} is crash-looping; breaker open",
+            shard=shard.index,
+        )
+
+    def _heartbeat_due(self, shard: _Shard, now: float) -> bool:
+        """Caller holds ``shard.lock``: liveness for quiet shards.
+        Returns True when a ping should be dispatched (by the caller,
+        outside the lock)."""
+        silent_for = now - shard.last_frame_at
+        if silent_for > self.config.heartbeat_timeout:
+            # hung worker (alive but mute): kill it, the reader's EOF
+            # drives the normal death path
+            if shard.proc is not None and shard.proc.poll() is None:
+                shard.proc.send_signal(signal.SIGKILL)
+            return False
+        if (silent_for >= self.config.heartbeat_interval
+                and not shard.ping_outstanding):
+            shard.ping_outstanding = True
+            return True
+        return False
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _new_call(self, op: str, payload: dict, shard: int) -> PendingCall:
+        with self._seq_lock:
+            self._call_seq += 1
+            return PendingCall(self._call_seq, op, payload, shard)
+
+    def _dispatch(self, shard: _Shard, call: PendingCall) -> None:
+        """Register ``call`` and write its frame (fail-fast when down)."""
+        with shard.lock:
+            if shard.state is not ShardState.UP:
+                raise ShardUnavailable(
+                    f"shard {shard.index} is {shard.state.value}",
+                    shard=shard.index,
+                    retry_after=shard.breaker.retry_after,
+                )
+            call.epoch = shard.epoch
+            shard.pending[call.id] = call
+            proc = shard.proc
+            self._publish_shard_gauges(shard)
+        frame = {"op": call.op, "id": call.id, **call.payload}
+        try:
+            with shard.write_lock:
+                write_frame(proc.stdin, frame)
+        except (OSError, ValueError) as error:
+            # the pipe died under us: the reader thread will notice the
+            # EOF and run the death path; this call was never received
+            with shard.lock:
+                shard.pending.pop(call.id, None)
+                if call in shard.parked:
+                    shard.parked.remove(call)
+            raise ShardUnavailable(
+                f"shard {shard.index} control pipe is down: {error}",
+                shard=shard.index,
+            ) from error
+
+    def submit(self, op: str, payload: dict, shard_index: int) -> PendingCall:
+        """Dispatch one call to a specific shard (fail-fast when down)."""
+        if self._closed:
+            raise ServiceClosed("supervisor is closed")
+        call = self._new_call(op, payload, shard_index)
+        self._dispatch(self._shards[shard_index], call)
+        return call
+
+    # -- the serving surface -------------------------------------------------
+
+    def shard_for(self, key: str) -> int:
+        return self.ring.lookup(key)
+
+    def _to_result(self, shard_index: int, call: PendingCall,
+                   reply: dict) -> ShardResult:
+        return ShardResult(
+            shard=shard_index, epoch=reply.get("epoch", -1),
+            uris=reply.get("uris", []), count=reply.get("count", 0),
+            elapsed_seconds=reply.get("elapsed", 0.0),
+            degraded=reply.get("degraded", False),
+            redispatched=call.redispatched,
+        )
+
+    def query(self, iql: str, *, key: str | None = None,
+              limit: int | None = None,
+              timeout: float | None = None) -> ShardResult:
+        """Route one query by its key (default: the query text)."""
+        shard_index = self.shard_for(key if key is not None else iql)
+        call = self.submit("query", {"iql": iql, "limit": limit},
+                           shard_index)
+        try:
+            reply = call.result(timeout)
+        except Exception:
+            self._count("queries.failed")
+            raise
+        self._count("queries.served")
+        return self._to_result(shard_index, call, reply)
+
+    def query_all(self, iql: str, *, limit: int | None = None,
+                  timeout: float | None = None) -> dict[int, ShardResult]:
+        """Fan one query out to every UP shard (scatter, no gather
+        ordering); shards that are down are skipped."""
+        calls: dict[int, PendingCall] = {}
+        for shard in self._shards:
+            try:
+                calls[shard.index] = self.submit(
+                    "query", {"iql": iql, "limit": limit}, shard.index)
+            except ShardUnavailable:
+                continue
+        return {index: self._to_result(index, call, call.result(timeout))
+                for index, call in calls.items()}
+
+    def verify_shard(self, shard_index: int, *, seed: int = 0,
+                     count: int = 25, timeout: float | None = 120.0) -> dict:
+        """Run engine ≡ oracle verification inside the worker."""
+        call = self.submit("verify", {"seed": seed, "count": count},
+                           shard_index)
+        return call.result(timeout)
+
+    def checkpoint_shard(self, shard_index: int, *,
+                         timeout: float | None = 120.0) -> dict:
+        call = self.submit("checkpoint", {}, shard_index)
+        return call.result(timeout)
+
+    # -- chaos + introspection ----------------------------------------------
+
+    def kill_shard(self, shard_index: int) -> int:
+        """SIGKILL one worker (the chaos hook); returns the dead pid."""
+        shard = self._shards[shard_index]
+        with shard.lock:
+            proc = shard.proc
+        if proc is None or proc.poll() is not None:
+            raise ServiceError(f"shard {shard_index} has no live worker")
+        proc.send_signal(signal.SIGKILL)
+        return proc.pid
+
+    def wait_until_up(self, shard_index: int,
+                      timeout: float = 60.0) -> bool:
+        """Block until a shard is serving again (True) or timeout."""
+        shard = self._shards[shard_index]
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with shard.lock:
+                if shard.state is ShardState.UP:
+                    return True
+            time.sleep(0.01)
+        return False
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def shard_states(self) -> dict[int, str]:
+        states = {}
+        for shard in self._shards:
+            with shard.lock:
+                states[shard.index] = shard.state.value
+        return states
+
+    def stats(self) -> dict[str, object]:
+        """Per-shard supervision counters for dashboards and tests."""
+        report: dict[str, object] = {"shards": len(self._shards)}
+        for shard in self._shards:
+            with shard.lock:
+                prefix = f"shard.{shard.index}"
+                report[f"{prefix}.state"] = shard.state.value
+                report[f"{prefix}.epoch"] = shard.epoch
+                report[f"{prefix}.restarts"] = shard.restarts
+                report[f"{prefix}.inflight"] = len(shard.pending)
+                report[f"{prefix}.parked"] = len(shard.parked)
+                report[f"{prefix}.views"] = shard.views
+                report[f"{prefix}.breaker"] = shard.breaker.state.value
+                report[f"{prefix}.pid"] = (shard.proc.pid
+                                           if shard.proc is not None
+                                           else None)
+        return report

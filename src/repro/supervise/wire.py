@@ -1,0 +1,104 @@
+"""The supervisor/worker wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON. The framing is symmetric — the supervisor writes
+request frames to the worker's stdin, the worker writes response frames
+to its stdout — and deliberately minimal: no negotiation, no streaming
+bodies, one JSON object per frame.
+
+Every frame carries:
+
+``op``
+    the operation (``query``, ``ping``, ``checkpoint``, ``verify``,
+    ``stats``, ``shutdown``, ``crash``) or, worker → supervisor,
+    ``ready`` / ``reply``;
+``id``
+    the request id replies echo (``ready`` frames have no id);
+``epoch``
+    the shard incarnation that produced the frame — the fencing token:
+    the supervisor discards any reply whose epoch is not the shard's
+    current one, so a buffered reply from a dead incarnation can never
+    resolve a re-dispatched request twice.
+
+Reading is strict: a length over :data:`MAX_FRAME_BYTES`, a truncated
+payload, or undecodable JSON raises
+:class:`~repro.core.errors.WireError` — once framing is lost the stream
+cannot be resynchronized, and the supervisor treats it like a worker
+death. EOF before the first length byte is the one *clean* end of
+stream and returns ``None``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import BinaryIO
+
+from ..core.errors import WireError
+
+#: Hard ceiling on one frame's JSON payload. Query results are URI
+#: lists, so this allows ~100k URIs per reply while still catching a
+#: desynchronized stream (whose "length" is effectively random bytes).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def write_frame(stream: BinaryIO, payload: dict) -> None:
+    """Serialize ``payload`` and write one frame, flushed.
+
+    The flush matters: both ends block on :func:`read_frame`, so a
+    frame sitting in a userspace buffer is a deadlock, not a delay.
+    """
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    stream.write(_LENGTH.pack(len(body)) + body)
+    stream.flush()
+
+
+def _read_exact(stream: BinaryIO, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on immediate EOF."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise WireError(
+                f"stream truncated: wanted {count} bytes, "
+                f"got {count - remaining}"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(stream: BinaryIO) -> dict | None:
+    """Read one frame; ``None`` on clean EOF (stream closed at a frame
+    boundary). Raises :class:`WireError` on anything torn."""
+    header = _read_exact(stream, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte "
+            f"limit (desynchronized stream?)"
+        )
+    body = _read_exact(stream, length)
+    if body is None:
+        raise WireError("stream truncated between length and payload")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"undecodable frame payload: {error}") from error
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload

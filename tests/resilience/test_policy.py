@@ -111,3 +111,64 @@ class TestCircuitBreaker:
         assert not breaker.allow()  # fresh cool-down, not the stale one
         fake_clock.advance(6.0)
         assert breaker.allow()
+
+
+class TestHalfOpenConcurrency:
+    """The half-open probe slot under a thundering herd.
+
+    Without the breaker's internal lock, eight threads racing
+    :meth:`allow` at the end of the cool-down all read
+    ``_probes_in_flight == 0`` and all pass — eight probes hammer a
+    source that has earned exactly one. The shard supervisor leans on
+    this: its monitor loop and every submitting thread share one
+    breaker per shard.
+    """
+
+    def race(self, breaker, threads=8):
+        import threading
+
+        barrier = threading.Barrier(threads)
+        admitted = []
+
+        def probe():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        pool = [threading.Thread(target=probe) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        return admitted
+
+    def test_exactly_one_probe_admitted(self, fake_clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                                 half_open_probes=1, clock=fake_clock)
+        breaker.record_failure()
+        fake_clock.advance(6.0)
+        admitted = self.race(breaker)
+        assert len(admitted) == 1
+        # every loser saw the same transition: half-open, slot taken
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker._probes_in_flight == 1
+        # and a second herd wins nothing while the probe is pending
+        assert len(self.race(breaker)) == 0
+
+    def test_probe_budget_holds_under_concurrency(self, fake_clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                                 half_open_probes=3, clock=fake_clock)
+        breaker.record_failure()
+        fake_clock.advance(6.0)
+        assert len(self.race(breaker, threads=8)) == 3
+
+    def test_admitted_probe_outcome_settles_the_state(self, fake_clock):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=5.0,
+                                 clock=fake_clock)
+        breaker.record_failure()
+        fake_clock.advance(6.0)
+        assert len(self.race(breaker)) == 1
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        # closed again: the herd flows freely
+        assert len(self.race(breaker)) == 8

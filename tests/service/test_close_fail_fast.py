@@ -1,0 +1,85 @@
+"""close(drain=False) must abort, not execute, the queued backlog.
+
+The failure this pins: a no-drain close used to let workers race
+requests out of the admission queue and *execute* them, so a caller
+blocked in ``ticket.result()`` behind a slow backlog stayed blocked
+until the backlog finished — the opposite of "abort now". Every ticket
+alive at close time must resolve promptly, either with its result (it
+ran before close) or with a typed :class:`ServiceClosed`.
+"""
+
+import time
+
+import pytest
+
+from repro.core.errors import ServiceClosed
+from repro.facade import Dataspace
+from repro.service import DataspaceService
+
+
+@pytest.fixture(scope="module")
+def demo_dataspace():
+    dataspace = Dataspace.demo()
+    dataspace.sync()
+    return dataspace
+
+
+class TestNoDrainClose:
+    def test_queued_tickets_fail_fast_not_block(self, demo_dataspace):
+        service = demo_dataspace.serve(workers=1, max_queue_depth=64,
+                                       cache_results=False)
+        with service as service:
+            tickets = [service.submit('"database" and "tuning"',
+                                      use_cache=False)
+                       for _ in range(16)]
+            started = time.monotonic()
+            service.close(drain=False)
+            outcomes = []
+            for ticket in tickets:
+                try:
+                    ticket.result(timeout=5.0)   # must NOT hang
+                    outcomes.append("served")
+                except ServiceClosed:
+                    outcomes.append("closed")
+            elapsed = time.monotonic() - started
+        # the single worker cannot have burned through 16 uncached
+        # queries in the instant before close: most were aborted
+        assert "closed" in outcomes
+        assert elapsed < 5.0
+        assert len(outcomes) == 16
+
+    def test_dequeued_request_is_failed_not_executed(self, demo_dataspace):
+        # white-box: the worker-side guard. A request already pulled
+        # off the queue when fail-fast flips must fail, not execute.
+        service = DataspaceService(demo_dataspace, workers=1,
+                                   autostart=False)
+        ticket = service.submit('"database"', use_cache=False)
+        request = service.admission.take(timeout=1.0)
+        assert request is not None and request.ticket is ticket
+        service._fail_fast = True
+        service._process(request)
+        with pytest.raises(ServiceClosed, match="before execution"):
+            ticket.result(0)
+        assert service.metrics.counter("queries.failed").value == 1
+
+    def test_drain_close_still_serves_the_backlog(self, demo_dataspace):
+        service = demo_dataspace.serve(workers=1, cache_results=False)
+        with service as service:
+            tickets = [service.submit('"database"', use_cache=False)
+                       for _ in range(4)]
+            service.close(drain=True)
+        for ticket in tickets:
+            assert len(ticket.result(timeout=5.0)) >= 0
+
+    def test_submit_racing_close_cannot_strand_its_ticket(
+            self, demo_dataspace):
+        # the strand race: a submit that passed the _closed check while
+        # close() was between its final drain and returning must
+        # self-drain — its ticket resolves instead of blocking forever
+        service = demo_dataspace.serve(workers=1, cache_results=False)
+        with service as service:
+            service.close(drain=False)
+            service._closed = False      # replay the lost race
+            ticket = service.submit('"database"', use_cache=False)
+            with pytest.raises(ServiceClosed):
+                ticket.result(timeout=5.0)

@@ -1,0 +1,245 @@
+"""The SIGKILL failover contract, end to end with real worker processes.
+
+The acceptance story, per shard death: no acknowledged result is lost
+(anything a client already saw is identical after recovery), no reply
+is ever delivered twice (epoch fencing), the *other* shards keep
+answering throughout, and the killed shard comes back on its own via
+``Dataspace.open`` recovery and passes in-worker engine ≡ oracle
+verification.
+
+``REPRO_CHAOS_SEED`` varies the shard datasets per CI matrix job; all
+assertions are equalities across incarnations, never absolute counts.
+"""
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core.errors import (
+    QuerySyntaxError,
+    ServiceClosed,
+    ShardUnavailable,
+)
+from repro.supervise import ShardSupervisor
+
+from .conftest import CHAOS_SEED, QUERIES, counter, histogram_count
+
+
+def key_for_shard(sup: ShardSupervisor, shard: int) -> str:
+    """A routing key the ring sends to ``shard`` (probed, stable)."""
+    for n in range(256):
+        key = f"client-{n}"
+        if sup.shard_for(key) == shard:
+            return key
+    raise AssertionError(f"no probe key routed to shard {shard}")
+
+
+@pytest.fixture(scope="module")
+def duo(tmp_path_factory):
+    """Two shard workers under one supervisor, shared by this module.
+
+    Tests run top to bottom and may kill workers, but each one leaves
+    every shard UP again; assertions tolerate epochs > 1.
+    """
+    sup = ShardSupervisor(
+        tmp_path_factory.mktemp("duo"), shards=2,
+        seed=300 + CHAOS_SEED, heartbeat_interval=0.2,
+    ).start()
+    yield sup
+    sup.close(drain=False)
+
+
+class TestServing:
+    def test_both_shards_come_up_and_serve(self, duo):
+        states = duo.shard_states()
+        assert states == {0: "up", 1: "up"}
+        stats = duo.stats()
+        assert stats["shards"] == 2
+        assert stats["shard.0.views"] > 0 and stats["shard.1.views"] > 0
+
+    def test_query_routes_by_ring(self, duo):
+        for n in range(6):
+            key = f"client-{n}"
+            result = duo.query('"database"', key=key)
+            assert result.shard == duo.shard_for(key)
+            assert result.epoch >= 1
+
+    def test_repeat_query_is_deterministic(self, duo):
+        key = key_for_shard(duo, 0)
+        first = duo.query('[size > 1000]', key=key)
+        second = duo.query('[size > 1000]', key=key)
+        assert first.uris == second.uris
+
+    def test_query_all_fans_out(self, duo):
+        results = duo.query_all('"database"')
+        assert sorted(results) == [0, 1]
+        # distinct per-shard datasets (seeded seed+index): the fan-out
+        # really hit two different dataspaces
+        assert all(r.count == len(r.uris) for r in results.values())
+
+    def test_limit_is_honored(self, duo):
+        unlimited = duo.query('"database"', key=key_for_shard(duo, 1))
+        if unlimited.count < 2:
+            pytest.skip("dataset too small to exercise limit")
+        limited = duo.query('"database"', key=key_for_shard(duo, 1), limit=1)
+        assert limited.count == 1
+
+    def test_worker_errors_come_back_typed(self, duo):
+        with pytest.raises(QuerySyntaxError):
+            duo.query('//[[broken', key=key_for_shard(duo, 0))
+
+    def test_checkpoint_shard(self, duo):
+        reply = duo.checkpoint_shard(0)
+        assert reply["lsn"] >= 0
+
+
+class TestSigkillFailover:
+    def test_failover_contract(self, duo):
+        """Kill shard 0 with a burst in flight; prove the full contract."""
+        key0, key1 = key_for_shard(duo, 0), key_for_shard(duo, 1)
+
+        # 1. acknowledged baseline: the client has SEEN these answers
+        acked = {iql: duo.query(iql, key=key0).uris for iql in QUERIES}
+        epoch_before = duo.stats()["shard.0.epoch"]
+        duplicates_before = counter("supervise.replies.duplicate")
+        failovers_before = histogram_count("supervise.failover_seconds")
+
+        # 2. a burst of in-flight queries, then SIGKILL mid-burst
+        burst = [duo.submit("query", {"iql": QUERIES[n % len(QUERIES)]}, 0)
+                 for n in range(6)]
+        duo.kill_shard(0)
+
+        # 3. the OTHER shard answers throughout the failover window
+        while not all(call.done for call in burst):
+            assert duo.query('"database"', key=key1).shard == 1
+            time.sleep(0.01)
+
+        # 4. every in-flight call resolves exactly once, with the same
+        #    answer the healthy incarnation gave (some re-dispatched)
+        for call in burst:
+            reply = call.result(timeout=60)
+            assert reply["uris"] == acked[call.payload["iql"]]
+        assert counter("supervise.replies.duplicate") == duplicates_before
+
+        # 5. the shard recovered on its own, epoch fenced forward
+        assert duo.wait_until_up(0, timeout=60)
+        stats = duo.stats()
+        assert stats["shard.0.epoch"] == epoch_before + 1
+        assert stats["shard.0.restarts"] >= 1
+        assert histogram_count("supervise.failover_seconds") == \
+            failovers_before + 1
+
+        # 6. no acknowledged-result loss: recovery reproduced the state
+        for iql, uris in acked.items():
+            assert duo.query(iql, key=key0).uris == uris, iql
+
+        # 7. the recovered engine still matches the reference oracle
+        report = duo.verify_shard(0, seed=CHAOS_SEED, count=15)
+        assert report["verify_ok"] and report["mismatches"] == 0
+
+    def test_fail_fast_while_recovering(self, duo):
+        duo.kill_shard(1)
+        deadline = time.monotonic() + 10
+        while duo.shard_states()[1] == "up":
+            assert time.monotonic() < deadline, "death never detected"
+            time.sleep(0.002)
+        # a request during the outage gets a typed refusal, instantly
+        with pytest.raises(ShardUnavailable) as info:
+            duo.submit("query", {"iql": '"database"'}, 1)
+        assert info.value.shard == 1
+        assert duo.wait_until_up(1, timeout=60)
+        assert duo.query('"database"', key=key_for_shard(duo, 1)).count >= 0
+
+
+class TestExactlyOnce:
+    @pytest.fixture()
+    def solo(self, tmp_path):
+        """One shard whose worker SIGKILLs itself on the 4th query."""
+        sup = ShardSupervisor(
+            tmp_path / "solo", shards=1, seed=400 + CHAOS_SEED,
+            worker_extra_args=("--crash-after-queries", "3"),
+        ).start()
+        yield sup
+        sup.close(drain=False)
+
+    def test_inflight_query_redispatched_exactly_once(self, solo):
+        # queries 1..3 are acknowledged by the first incarnation
+        acked = [solo.query(QUERIES[n % len(QUERIES)]).uris
+                 for n in range(3)]
+        redispatched_before = counter("supervise.queries.redispatched")
+        # query 4 arrives, the worker dies with it unanswered; the
+        # supervisor parks it and re-dispatches it once after recovery
+        result = solo.query(QUERIES[0], timeout=60)
+        assert result.redispatched is True
+        assert result.epoch == 2
+        assert result.uris == acked[0]
+        assert counter("supervise.queries.redispatched") == \
+            redispatched_before + 1
+        assert solo.stats()["shard.0.restarts"] == 1
+
+    def test_second_crash_fails_typed_instead_of_looping(self, tmp_path):
+        # every incarnation dies on its first query: the re-dispatch
+        # crashes too, and the call must fail rather than retry forever
+        with ShardSupervisor(
+            tmp_path / "loop", shards=1, seed=500 + CHAOS_SEED,
+            worker_extra_args=("--crash-after-queries", "0"),
+        ) as sup:
+            with pytest.raises(ShardUnavailable, match="again"):
+                sup.query('"database"', timeout=60)
+            # the shard itself still recovers (crashes only on queries)
+            assert sup.wait_until_up(0, timeout=60)
+
+
+class TestCrashLoopBreaker:
+    def test_start_crash_loop_opens_breaker_then_half_open_heals(
+            self, tmp_path):
+        """A shard that cannot even start degrades to BROKEN (breaker
+        open, fail-fast with retry_after), then heals through the
+        half-open restart probe once the cool-down elapses."""
+        sup = ShardSupervisor(
+            tmp_path / "broken", shards=1, seed=600 + CHAOS_SEED,
+            breaker_failure_threshold=3, breaker_cooldown_seconds=1.0,
+        ).start()
+        try:
+            # poison every respawn: an argv the worker rejects at parse
+            healthy = sup.config
+            sup.config = replace(healthy,
+                                 worker_extra_args=("--no-such-flag",))
+            sup.kill_shard(0)
+            deadline = time.monotonic() + 30
+            while sup.shard_states()[0] != "broken":
+                assert time.monotonic() < deadline, \
+                    f"breaker never opened: {sup.stats()}"
+                time.sleep(0.01)
+            with pytest.raises(ShardUnavailable) as info:
+                sup.submit("query", {"iql": '"database"'}, 0)
+            assert info.value.retry_after is not None
+            assert sup.stats()["shard.0.breaker"] == "open"
+            # heal the spawn recipe; the half-open probe restarts it
+            sup.config = healthy
+            assert sup.wait_until_up(0, timeout=60)
+            assert sup.stats()["shard.0.breaker"] == "closed"
+            assert sup.query('"database"').count >= 0
+        finally:
+            sup.close(drain=False)
+
+
+class TestCloseSemantics:
+    def test_drain_close_and_closed_submit(self, tmp_path):
+        sup = ShardSupervisor(tmp_path / "one", shards=1,
+                              seed=700 + CHAOS_SEED).start()
+        calls = [sup.submit("query", {"iql": QUERIES[n % len(QUERIES)]}, 0)
+                 for n in range(4)]
+        sup.close(drain=True)
+        # drain: every in-flight call finished before the worker died
+        assert all(call.result(0)["ok"] for call in calls)
+        assert sup.shard_states() == {0: "stopped"}
+        with pytest.raises(ServiceClosed):
+            sup.submit("query", {"iql": '"database"'}, 0)
+
+    def test_context_manager_lifecycle(self, tmp_path):
+        with ShardSupervisor(tmp_path / "ctx", shards=1,
+                             seed=800 + CHAOS_SEED) as sup:
+            assert sup.query('"database"').shard == 0
+        assert sup.shard_states() == {0: "stopped"}

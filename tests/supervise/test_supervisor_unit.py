@@ -1,0 +1,161 @@
+"""Supervisor internals, no subprocesses: fencing, futures, config.
+
+The epoch fence is pinned white-box here — :meth:`_handle_frame` fed
+hand-built frames — because the integration suite can only prove the
+fence *held* (``replies.duplicate == 0``), not exercise the discard
+branch deterministically.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.errors import (
+    QuerySyntaxError,
+    ServiceClosed,
+    ServiceError,
+    ShardUnavailable,
+)
+from repro.supervise import PendingCall, ShardSupervisor, SupervisorConfig
+from repro.supervise.supervisor import ShardState, _typed_error
+
+from .conftest import counter
+
+
+@pytest.fixture()
+def sup(tmp_path):
+    """A supervisor that never spawned: pure in-parent state."""
+    return ShardSupervisor(tmp_path / "space", shards=1)
+
+
+def pending_query(sup, shard, *, epoch):
+    call = sup._new_call("query", {"iql": '"database"'}, shard.index)
+    call.epoch = epoch
+    shard.pending[call.id] = call
+    return call
+
+
+class TestEpochFencing:
+    def test_stale_epoch_frame_is_discarded(self, sup):
+        shard = sup._shards[0]
+        shard.epoch = 2
+        call = pending_query(sup, shard, epoch=1)
+        fenced_before = counter("supervise.replies.fenced")
+        sup._handle_frame(shard, {"op": "reply", "id": call.id,
+                                  "epoch": 1, "ok": True, "count": 99})
+        assert not call.done                    # the old reply resolved nothing
+        assert call.id in shard.pending         # still awaiting epoch 2
+        assert counter("supervise.replies.fenced") == fenced_before + 1
+
+    def test_current_epoch_frame_resolves(self, sup):
+        shard = sup._shards[0]
+        shard.epoch = 2
+        call = pending_query(sup, shard, epoch=2)
+        sup._handle_frame(shard, {"op": "reply", "id": call.id,
+                                  "epoch": 2, "ok": True, "count": 4})
+        assert call.done
+        assert call.result(0)["count"] == 4
+        assert call.id not in shard.pending
+
+    def test_replayed_reply_is_orphaned_not_double_resolved(self, sup):
+        shard = sup._shards[0]
+        shard.epoch = 1
+        call = pending_query(sup, shard, epoch=1)
+        frame = {"op": "reply", "id": call.id, "epoch": 1, "ok": True}
+        sup._handle_frame(shard, frame)
+        orphaned = counter("supervise.replies.orphaned")
+        sup._handle_frame(shard, dict(frame))   # replay: id no longer pending
+        assert counter("supervise.replies.orphaned") == orphaned + 1
+
+    def test_duplicate_resolution_is_counted_not_applied(self, sup):
+        shard = sup._shards[0]
+        shard.epoch = 1
+        call = pending_query(sup, shard, epoch=1)
+        call._resolve({"ok": True, "count": 1})
+        duplicates = counter("supervise.replies.duplicate")
+        # a protocol bug would re-register a resolved call; the frame
+        # must bounce off the guard and only bump the counter
+        sup._handle_frame(shard, {"op": "reply", "id": call.id,
+                                  "epoch": 1, "ok": True, "count": 2})
+        assert call.result(0)["count"] == 1
+        assert counter("supervise.replies.duplicate") == duplicates + 1
+
+
+class TestPendingCall:
+    def test_resolve_exactly_once(self):
+        call = PendingCall(1, "query", {}, 0)
+        assert call._resolve({"ok": True, "count": 1}) is True
+        assert call._resolve({"ok": True, "count": 2}) is False
+        assert call.result(0)["count"] == 1
+
+    def test_fail_after_resolve_is_a_noop(self):
+        call = PendingCall(1, "query", {}, 0)
+        call._resolve({"ok": True, "count": 1})
+        call._fail(ShardUnavailable("too late", shard=0))
+        assert call.result(0)["count"] == 1
+
+    def test_error_reply_raises_typed(self):
+        call = PendingCall(1, "query", {}, 0)
+        call._resolve({"ok": False, "error": "QuerySyntaxError",
+                       "message": "bad token"})
+        with pytest.raises(QuerySyntaxError, match="bad token"):
+            call.result(0)
+
+    def test_result_timeout(self):
+        call = PendingCall(1, "query", {}, 3)
+        with pytest.raises(TimeoutError, match="shard 3"):
+            call.result(0.01)
+
+
+class TestTypedErrors:
+    def test_known_exception_rehydrates(self):
+        error = _typed_error({"error": "QuerySyntaxError", "message": "x"})
+        assert isinstance(error, QuerySyntaxError)
+
+    def test_unknown_name_degrades_to_service_error(self):
+        error = _typed_error({"error": "NoSuchThing", "message": "boom"})
+        assert isinstance(error, ServiceError)
+        assert "NoSuchThing" in str(error) and "boom" in str(error)
+
+    def test_non_idm_names_are_not_instantiated(self):
+        # names resolving to non-IdmError attributes must not be called
+        error = _typed_error({"error": "annotations", "message": "m"})
+        assert isinstance(error, ServiceError)
+
+
+class TestAdmission:
+    def test_submit_to_down_shard_fails_fast(self, sup):
+        with pytest.raises(ShardUnavailable, match="stopped") as info:
+            sup.submit("query", {"iql": '"x"'}, 0)
+        assert info.value.shard == 0
+
+    def test_submit_after_close_raises_service_closed(self, sup):
+        sup.close()
+        with pytest.raises(ServiceClosed):
+            sup.submit("query", {"iql": '"x"'}, 0)
+
+    def test_close_is_idempotent(self, sup):
+        sup.close()
+        sup.close()
+        assert sup.shard_states() == {0: ShardState.STOPPED.value}
+
+
+class TestConfig:
+    def test_shard_count_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="shards"):
+            ShardSupervisor(tmp_path, shards=0)
+
+    def test_kwarg_overrides(self, tmp_path):
+        sup = ShardSupervisor(tmp_path, shards=1, seed=7,
+                              heartbeat_interval=0.1)
+        assert sup.config.seed == 7
+        assert sup.config.heartbeat_interval == 0.1
+
+    def test_explicit_config_plus_overrides(self, tmp_path):
+        config = SupervisorConfig(seed=5, tick_seconds=0.5)
+        sup = ShardSupervisor(tmp_path, shards=1, config=config, seed=9)
+        assert sup.config.seed == 9
+        assert sup.config.tick_seconds == 0.5
+
+    def test_routing_key_defaults_to_query_text(self, tmp_path):
+        sup = ShardSupervisor(tmp_path, shards=3)
+        assert sup.shard_for('"database"') == sup.ring.lookup('"database"')

@@ -1,0 +1,84 @@
+"""The length-prefixed frame protocol: round trips and torn streams."""
+
+import io
+import struct
+
+import pytest
+
+from repro.core.errors import WireError
+from repro.supervise import MAX_FRAME_BYTES, read_frame, write_frame
+
+
+def roundtrip(*payloads: dict) -> list[dict]:
+    buffer = io.BytesIO()
+    for payload in payloads:
+        write_frame(buffer, payload)
+    buffer.seek(0)
+    frames = []
+    while True:
+        frame = read_frame(buffer)
+        if frame is None:
+            break
+        frames.append(frame)
+    return frames
+
+
+class TestRoundTrip:
+    def test_single_frame(self):
+        assert roundtrip({"op": "ping", "id": 7}) == [{"op": "ping", "id": 7}]
+
+    def test_many_frames_in_order(self):
+        frames = [{"op": "query", "id": n, "iql": f"q{n}"} for n in range(20)]
+        assert roundtrip(*frames) == frames
+
+    def test_unicode_payload_survives(self):
+        payload = {"op": "reply", "uris": ["imap://boîte/mé™"], "ok": True}
+        assert roundtrip(payload) == [payload]
+
+    def test_nested_values_survive(self):
+        payload = {"op": "reply", "id": 1, "uris": ["a", "b"],
+                   "stats": {"count": 2, "elapsed": 0.25}, "ok": True}
+        assert roundtrip(payload) == [payload]
+
+    def test_eof_at_frame_boundary_is_clean(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+
+class TestTornStreams:
+    def test_truncated_header(self):
+        with pytest.raises(WireError, match="truncated"):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_truncated_payload(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"op": "ping", "id": 1})
+        torn = buffer.getvalue()[:-3]
+        with pytest.raises(WireError, match="truncated"):
+            read_frame(io.BytesIO(torn))
+
+    def test_missing_payload_after_length(self):
+        header = struct.pack(">I", 10)
+        with pytest.raises(WireError, match="truncated"):
+            read_frame(io.BytesIO(header))
+
+    def test_oversized_declared_length(self):
+        header = struct.pack(">I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(WireError, match="exceeds"):
+            read_frame(io.BytesIO(header))
+
+    def test_undecodable_json(self):
+        body = b"not json at all"
+        framed = struct.pack(">I", len(body)) + body
+        with pytest.raises(WireError, match="undecodable"):
+            read_frame(io.BytesIO(framed))
+
+    def test_non_object_payload(self):
+        body = b"[1,2,3]"
+        framed = struct.pack(">I", len(body)) + body
+        with pytest.raises(WireError, match="JSON object"):
+            read_frame(io.BytesIO(framed))
+
+    def test_write_rejects_oversized_frame(self):
+        huge = {"blob": "x" * (MAX_FRAME_BYTES + 16)}
+        with pytest.raises(WireError, match="exceeds"):
+            write_frame(io.BytesIO(), huge)

@@ -133,3 +133,40 @@ class TestDurabilityCommands:
         assert "saved" in capsys.readouterr().out
         assert main(["snapshot", "load", snap]) == 0
         assert "loaded" in capsys.readouterr().out
+
+
+class TestFsck:
+    def test_fsck_clean_directory_exits_zero(self, capsys, tmp_path,
+                                             tiny_args):
+        space = str(tmp_path / "space")
+        assert main(["checkpoint", space, *tiny_args]) == 0
+        capsys.readouterr()
+        assert main(["fsck", space, "--verify-count", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "engine ≡ reference oracle" in out
+
+    def test_fsck_rejects_non_durability_directory(self, capsys, tmp_path):
+        assert main(["fsck", str(tmp_path)]) == 2
+        assert "not a durability directory" in capsys.readouterr().err
+
+    def test_fsck_leaves_the_directory_untouched(self, capsys, tmp_path,
+                                                 tiny_args):
+        space = tmp_path / "space"
+        assert main(["checkpoint", str(space), *tiny_args]) == 0
+        before = sorted(p.name for p in space.rglob("*"))
+        assert main(["fsck", str(space)]) == 0
+        assert sorted(p.name for p in space.rglob("*")) == before
+
+
+class TestServeSharded:
+    def test_serve_sharded_survives_a_sigkill(self, capsys, tmp_path,
+                                              tiny_args):
+        assert main(["serve", "--shards", "2", "--requests", "2",
+                     "--directory", str(tmp_path / "shards"),
+                     "--kill-shard", "0", *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "supervisor up: 2 shard worker(s)" in out
+        assert "SIGKILL shard 0" in out
+        assert "shard 0 recovered" in out
+        assert "supervised shards" in out
