@@ -9,6 +9,13 @@ call the live path made, the recovered RVM equals the pre-crash RVM up
 to the last durable WAL frame — the crash-recovery suite pins this by
 checking the batched query engine against the set-at-a-time reference
 oracle on the recovered state.
+
+Catalog ids and every id-keyed keyset (DESIGN.md §4j) are derived
+state: neither checkpoints nor WAL records carry ids. Snapshot load and
+record replay go through the same catalog/index ``add`` calls as live
+writes, which re-intern each URI and rebuild the keysets, so the
+recovered id-space structures are exactly as queryable as before the
+crash even though the id assignment itself need not be identical.
 """
 
 from __future__ import annotations

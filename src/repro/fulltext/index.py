@@ -1,13 +1,22 @@
 """The inverted index.
 
 Documents are added under an external string key (in iMeMex: the view
-id's URI); the index assigns dense internal ids and maintains one
-positional postings list per term. Optionally the index also *stores*
-the original text per document, turning it into an index+replica (the
-paper's Name Index & Replica does this; the Content Index does not).
+id's URI); the key is interned in the process-wide URI dictionary and
+the resulting dense **catalog id** is the document id everywhere —
+postings, lengths, stored text. There is no per-index id space (the
+keyset refactor, DESIGN.md §4j, deleted it): the same integer
+identifies a view in the catalog, in every index, in the group replica
+and in the engine's key sets, so index results flow to the query engine
+as :class:`~repro.rvm.keyset.KeySet` s with no translation step.
 
-Size accounting (:meth:`InvertedIndex.size_bytes`) approximates an
-uncompressed on-disk layout and feeds Table 3 of the evaluation.
+Optionally the index also *stores* the original text per document,
+turning it into an index+replica (the paper's Name Index & Replica does
+this; the Content Index does not).
+
+Size accounting (:meth:`InvertedIndex.size_bytes`) reports the
+compressed keyset layout and feeds Table 3 of the evaluation. The URI ↔
+id dictionary itself is shared process state (the catalog's) and is not
+double-counted here.
 """
 
 from __future__ import annotations
@@ -19,31 +28,42 @@ from .analyzer import DEFAULT_ANALYZER, Analyzer
 from .postings import PostingsList
 
 
+def _global_dictionary():
+    # deferred: repro.rvm imports this module (indexes -> InvertedIndex);
+    # importing the rvm package at module scope would cycle when the
+    # fulltext package is imported first
+    from ..rvm.uridict import global_uri_dictionary
+    return global_uri_dictionary()
+
+
+def _new_keyset():
+    from ..rvm.keyset import KeySet
+    return KeySet()
+
+
 class InvertedIndex:
-    """A positional inverted index over string-keyed documents."""
+    """A positional inverted index keyed by catalog ids."""
 
     def __init__(self, *, analyzer: Analyzer | None = None,
                  store_text: bool = False):
         self.analyzer = analyzer if analyzer is not None else DEFAULT_ANALYZER
         self.store_text = store_text
+        self._dictionary = _global_dictionary()
         self._terms: dict[str, PostingsList] = {}
-        self._key_to_doc: dict[str, int] = {}
-        self._doc_to_key: dict[int, str] = {}
+        self._docs = _new_keyset()
         self._doc_lengths: dict[int, int] = {}
         self._stored_text: dict[int, str] = {}
-        self._next_doc = 0
         self._total_input_bytes = 0
 
     # -- write path -----------------------------------------------------------
 
     def add(self, key: str, text: str) -> int:
-        """Index ``text`` under ``key``; re-adding a key replaces it."""
-        if key in self._key_to_doc:
-            self.remove(key)
-        doc = self._next_doc
-        self._next_doc += 1
-        self._key_to_doc[key] = doc
-        self._doc_to_key[doc] = key
+        """Index ``text`` under ``key``; re-adding a key replaces it.
+        Returns the document's catalog id."""
+        doc = self._dictionary.intern(key)
+        if doc in self._doc_lengths:
+            self._remove_doc(doc)
+        self._docs.add(doc)
         length = 0
         for token in self.analyzer.tokens(text):
             self._terms.setdefault(token.term, PostingsList()).add(
@@ -58,10 +78,13 @@ class InvertedIndex:
 
     def remove(self, key: str) -> bool:
         """Remove a document; returns True when it was present."""
-        doc = self._key_to_doc.pop(key, None)
-        if doc is None:
+        doc = self._dictionary.id_of(key)
+        if doc is None or doc not in self._doc_lengths:
             return False
-        del self._doc_to_key[doc]
+        return self._remove_doc(doc)
+
+    def _remove_doc(self, doc: int) -> bool:
+        self._docs.discard(doc)
         self._doc_lengths.pop(doc, None)
         self._stored_text.pop(doc, None)
         empty_terms = []
@@ -75,21 +98,25 @@ class InvertedIndex:
     # -- read path --------------------------------------------------------------
 
     def __contains__(self, key: object) -> bool:
-        return key in self._key_to_doc
+        if not isinstance(key, str):
+            return False
+        doc = self._dictionary.id_of(key)
+        return doc is not None and doc in self._doc_lengths
 
     def __len__(self) -> int:
-        return len(self._key_to_doc)
+        return len(self._doc_lengths)
 
     @property
     def document_count(self) -> int:
-        return len(self._key_to_doc)
+        return len(self._doc_lengths)
 
     @property
     def term_count(self) -> int:
         return len(self._terms)
 
     def keys(self) -> Iterator[str]:
-        return iter(self._key_to_doc)
+        uri_of = self._dictionary.uri_of
+        return (uri_of(doc) for doc in self._doc_lengths)
 
     def postings(self, term: str) -> PostingsList | None:
         """The postings list for an *analyzed* term, or None."""
@@ -100,13 +127,15 @@ class InvertedIndex:
         return (term for term in self._terms if predicate(term))
 
     def key_of(self, doc: int) -> str:
-        try:
-            return self._doc_to_key[doc]
-        except KeyError:
-            raise FullTextError(f"unknown internal doc id {doc}") from None
+        if doc not in self._doc_lengths:
+            raise FullTextError(f"unknown doc id {doc}")
+        return self._dictionary.uri_of(doc)
 
     def doc_of(self, key: str) -> int | None:
-        return self._key_to_doc.get(key)
+        doc = self._dictionary.id_of(key)
+        if doc is None or doc not in self._doc_lengths:
+            return None
+        return doc
 
     def doc_length(self, doc: int) -> int:
         return self._doc_lengths.get(doc, 0)
@@ -117,22 +146,32 @@ class InvertedIndex:
             raise FullTextError(
                 "this index is not a replica: original text is not stored"
             )
-        doc = self._key_to_doc.get(key)
+        doc = self.doc_of(key)
         if doc is None:
             raise FullTextError(f"unknown document key {key!r}")
         return self._stored_text[doc]
 
     def all_doc_ids(self) -> list[int]:
-        return sorted(self._doc_to_key)
+        return self._docs.to_list()
+
+    def doc_set(self):
+        """The live :class:`~repro.rvm.keyset.KeySet` of every indexed
+        document's catalog id (read-only by convention)."""
+        return self._docs
 
     def stored_items(self) -> Iterator[tuple[str, str]]:
         """Iterate ``(key, original text)`` pairs (replica indexes only)."""
+        uri_of = self._dictionary.uri_of
+        return ((uri_of(doc), text) for doc, text in self.stored_id_items())
+
+    def stored_id_items(self) -> Iterator[tuple[int, str]]:
+        """Iterate ``(catalog id, original text)`` pairs — the id-keyed
+        row source the engine's name scan partitions over."""
         if not self.store_text:
             raise FullTextError(
                 "this index is not a replica: original text is not stored"
             )
-        for doc, text in self._stored_text.items():
-            yield self._doc_to_key[doc], text
+        return iter(self._stored_text.items())
 
     # -- statistics -----------------------------------------------------------
 
@@ -143,13 +182,15 @@ class InvertedIndex:
         return self._total_input_bytes
 
     def size_bytes(self) -> int:
-        """Approximate index size: dictionary + postings (+ stored text)."""
+        """Compressed index size: term dictionary + keyset postings
+        (+ stored text) + the per-document length table. The URI ↔ id
+        mapping is the shared catalog dictionary — not counted here."""
         dictionary = sum(len(term.encode("utf-8")) + 8 for term in self._terms)
         postings = sum(p.size_bytes() for p in self._terms.values())
-        stored = sum(len(t.encode("utf-8", "replace"))
+        stored = sum(len(t.encode("utf-8", "replace")) + 8
                      for t in self._stored_text.values())
-        keymap = sum(len(k.encode("utf-8")) + 4 for k in self._key_to_doc)
-        return dictionary + postings + stored + keymap
+        doc_table = self._docs.size_bytes() + 12 * len(self._doc_lengths)
+        return dictionary + postings + stored + doc_table
 
     def stats(self) -> "IndexStats":
         """The shared :class:`~repro.obs.IndexStats` shape: entries are

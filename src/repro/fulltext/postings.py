@@ -1,15 +1,26 @@
-"""Positional postings lists.
+"""Positional postings lists over compressed doc-id sets.
 
 A postings list maps one term to the documents containing it, keeping
 per-document occurrence positions for phrase matching. Documents are
-identified by dense integer ids assigned by the index; lists stay sorted
-by doc id so boolean operations can merge efficiently.
+identified by the process-wide *catalog ids* of the URI dictionary
+(since the keyset refactor, DESIGN.md §4j — there is no per-index doc
+id space any more), and the membership set is a
+:class:`~repro.rvm.keyset.KeySet`: boolean queries combine postings
+with word-parallel bitmap algebra, and the query engine receives the
+id set as-is, with no string conversion.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, insort
+from bisect import insort
 from dataclasses import dataclass, field
+
+
+def _new_keyset():
+    # deferred: repro.rvm imports repro.fulltext (indexes -> InvertedIndex),
+    # so a module-level import here would cycle when fulltext loads first
+    from ..rvm.keyset import KeySet
+    return KeySet()
 
 
 @dataclass(slots=True)
@@ -24,66 +35,77 @@ class Posting:
         return len(self.positions)
 
     def size_bytes(self) -> int:
-        """Approximate serialized size: 4-byte doc id + 4 bytes/position.
+        """Approximate serialized size: 4 bytes per position.
 
-        The estimate mirrors an uncompressed on-disk layout; Table 3 of
-        the paper reports index sizes, and this is what we sum there.
+        Document membership is *not* counted here — the list's
+        compressed keyset accounts for it (see
+        :meth:`PostingsList.size_bytes`); Table 3 of the paper reports
+        index sizes, and this is what we sum there.
         """
-        return 4 + 4 * len(self.positions)
+        return 4 * len(self.positions)
 
 
 class PostingsList:
-    """The postings of one term, sorted by document id."""
+    """The postings of one term: a compressed doc-id set plus the
+    per-document position lists."""
 
-    __slots__ = ("_postings", "_doc_ids")
+    __slots__ = ("_docs", "_by_doc")
 
     def __init__(self) -> None:
-        self._postings: list[Posting] = []
-        self._doc_ids: list[int] = []
+        self._docs = _new_keyset()
+        self._by_doc: dict[int, Posting] = {}
 
     def add(self, doc: int, position: int) -> None:
         """Record one occurrence of the term in ``doc`` at ``position``.
 
-        Occurrences for one document may arrive in any order; documents
-        are kept sorted by id.
+        Occurrences for one document may arrive in any order; the doc
+        set keeps itself sorted (it is a keyset).
         """
-        index = bisect_left(self._doc_ids, doc)
-        if index < len(self._doc_ids) and self._doc_ids[index] == doc:
-            insort(self._postings[index].positions, position)
+        posting = self._by_doc.get(doc)
+        if posting is None:
+            self._docs.add(doc)
+            self._by_doc[doc] = Posting(doc, [position])
         else:
-            self._doc_ids.insert(index, doc)
-            self._postings.insert(index, Posting(doc, [position]))
+            insort(posting.positions, position)
 
     def remove_doc(self, doc: int) -> bool:
         """Drop a document's posting; returns True when it existed."""
-        index = bisect_left(self._doc_ids, doc)
-        if index < len(self._doc_ids) and self._doc_ids[index] == doc:
-            del self._doc_ids[index]
-            del self._postings[index]
-            return True
-        return False
+        if self._by_doc.pop(doc, None) is None:
+            return False
+        self._docs.discard(doc)
+        return True
 
     def get(self, doc: int) -> Posting | None:
-        index = bisect_left(self._doc_ids, doc)
-        if index < len(self._doc_ids) and self._doc_ids[index] == doc:
-            return self._postings[index]
-        return None
+        return self._by_doc.get(doc)
 
     def doc_ids(self) -> list[int]:
-        return list(self._doc_ids)
+        return self._docs.to_list()
+
+    def doc_set(self):
+        """The live :class:`~repro.rvm.keyset.KeySet` of doc ids.
+
+        Shared, not copied — callers must treat it as read-only (the
+        boolean query operators do: every keyset op allocates a fresh
+        result).
+        """
+        return self._docs
 
     @property
     def document_frequency(self) -> int:
-        return len(self._postings)
+        return len(self._by_doc)
 
     def __iter__(self):
-        return iter(self._postings)
+        by_doc = self._by_doc
+        return (by_doc[doc] for doc in self._docs)
 
     def __len__(self) -> int:
-        return len(self._postings)
+        return len(self._by_doc)
 
     def __bool__(self) -> bool:
-        return bool(self._postings)
+        return bool(self._by_doc)
 
     def size_bytes(self) -> int:
-        return sum(p.size_bytes() for p in self._postings)
+        """Compressed layout: the keyset's footprint plus positions."""
+        return self._docs.size_bytes() + sum(
+            p.size_bytes() for p in self._by_doc.values()
+        )

@@ -22,11 +22,29 @@ from ..core.errors import FullTextError, QuerySyntaxError
 from .index import InvertedIndex
 
 
+def _new_keyset():
+    # deferred import: see repro.fulltext.postings
+    from ..rvm.keyset import KeySet
+    return KeySet()
+
+
+def _keyset_of(ids) -> "object":
+    from ..rvm.keyset import KeySet
+    return KeySet.from_iterable(ids)
+
+
 class Query:
-    """Base class; :meth:`docs` returns matching internal doc ids."""
+    """Base class; :meth:`docs` returns matching catalog (doc) ids."""
 
     def docs(self, index: InvertedIndex) -> set[int]:
         raise NotImplementedError
+
+    def ids(self, index: InvertedIndex):
+        """Matching doc ids as a :class:`~repro.rvm.keyset.KeySet` —
+        the engine-facing form. Boolean nodes override this with
+        word-parallel keyset algebra; positional queries fall back to
+        wrapping :meth:`docs` (the position work dominates there)."""
+        return _keyset_of(self.docs(index))
 
     def keys(self, index: InvertedIndex) -> set[str]:
         """Matching external document keys."""
@@ -39,6 +57,9 @@ class MatchAll(Query):
 
     def docs(self, index: InvertedIndex) -> set[int]:
         return set(index.all_doc_ids())
+
+    def ids(self, index: InvertedIndex):
+        return index.doc_set().copy()
 
 
 @dataclass(frozen=True)
@@ -56,6 +77,15 @@ class Term(Query):
             return Phrase(tuple(analyzed)).docs(index)
         postings = index.postings(analyzed[0])
         return set(postings.doc_ids()) if postings else set()
+
+    def ids(self, index: InvertedIndex):
+        analyzed = index.analyzer.terms(self.term)
+        if not analyzed:
+            return _new_keyset()
+        if len(analyzed) > 1:
+            return Phrase(tuple(analyzed)).ids(index)
+        postings = index.postings(analyzed[0])
+        return postings.doc_set().copy() if postings else _new_keyset()
 
 
 @dataclass(frozen=True)
@@ -127,6 +157,15 @@ class Wildcard(Query):
                 matched.update(postings.doc_ids())
         return matched
 
+    def ids(self, index: InvertedIndex):
+        regex = self._regex()
+        matched = _new_keyset()
+        for term in index.terms_matching(lambda t: regex.match(t)):
+            postings = index.postings(term)
+            if postings:
+                matched = matched.or_(postings.doc_set())
+        return matched
+
 
 @dataclass(frozen=True)
 class And(Query):
@@ -143,6 +182,17 @@ class And(Query):
                 return set()
         return result or set()
 
+    def ids(self, index: InvertedIndex):
+        if not self.parts:
+            return _new_keyset()
+        result = None
+        for part in self.parts:
+            ids = part.ids(index)
+            result = ids if result is None else result.and_(ids)
+            if not result:
+                return _new_keyset()
+        return result
+
 
 @dataclass(frozen=True)
 class Or(Query):
@@ -154,6 +204,12 @@ class Or(Query):
             result |= part.docs(index)
         return result
 
+    def ids(self, index: InvertedIndex):
+        result = _new_keyset()
+        for part in self.parts:
+            result = result.or_(part.ids(index))
+        return result
+
 
 @dataclass(frozen=True)
 class Not(Query):
@@ -163,6 +219,9 @@ class Not(Query):
 
     def docs(self, index: InvertedIndex) -> set[int]:
         return set(index.all_doc_ids()) - self.part.docs(index)
+
+    def ids(self, index: InvertedIndex):
+        return index.doc_set().andnot(self.part.ids(index))
 
 
 # ---------------------------------------------------------------------------

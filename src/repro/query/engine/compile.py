@@ -70,27 +70,27 @@ def _compile(node: PlanNode, ctx, ordered: bool) -> Operator:
 
 def _physical(node: PlanNode, ctx, ordered: bool) -> Operator:
     if isinstance(node, AllViews):
-        if ordered:
-            return SetScan(lambda c: c.all_uris())
+        # the catalog scan streams the id keyset in sort-key order, so
+        # it serves ordered and unordered parents alike
         return CatalogScan()
     if isinstance(node, RootViews):
         return SetScan(lambda c: c.root_uris())
     if isinstance(node, ContentSearch):
-        return SetScan(lambda c: c.content_search(
+        return SetScan(lambda c: c.content_search_ids(
             node.text, is_phrase=node.is_phrase, wildcard=node.wildcard
         ))
     if isinstance(node, NameEquals):
-        return SetScan(lambda c: c.name_equals(node.name))
+        return SetScan(lambda c: c.name_equals_ids(node.name))
     if isinstance(node, NamePattern):
         if ordered:
             # the substrate lookup already materializes; sorting it
             # directly beats a Sort enforcer over the streaming scan
-            return SetScan(lambda c: c.name_pattern(node.pattern))
+            return SetScan(lambda c: c.name_pattern_ids(node.pattern))
         return NameScan(node.pattern)
     if isinstance(node, ClassLookup):
-        return SetScan(lambda c: c.class_lookup(node.class_name))
+        return SetScan(lambda c: c.class_lookup_ids(node.class_name))
     if isinstance(node, TupleCompare):
-        return SetScan(lambda c: c.tuple_compare(
+        return SetScan(lambda c: c.tuple_compare_ids(
             node.attribute, node.op, node.value
         ))
     if isinstance(node, Intersect):
@@ -100,7 +100,8 @@ def _physical(node: PlanNode, ctx, ordered: bool) -> Operator:
             return MergeUnion([_compile(p, ctx, True) for p in node.parts])
         return ConcatUnion([_compile(p, ctx, False) for p in node.parts])
     if isinstance(node, Complement):
-        return MergeDiff(universe=SetScan(lambda c: c.all_uris()),
+        # the universe keyset hands off to sort keys with no string work
+        return MergeDiff(universe=SetScan(lambda c: c.all_ids()),
                          child=_compile(node.part, ctx, True))
     if isinstance(node, ExpandStep):
         candidates = (_compile(node.candidates, ctx, False)

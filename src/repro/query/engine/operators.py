@@ -34,6 +34,7 @@ from array import array
 from bisect import bisect_left
 from typing import Callable, Iterator
 
+from ...rvm.keyset import KeySet
 from ..ast import Axis
 from .batch import Batch, chunked, make_keys
 from .parallel import partitioned_filter
@@ -140,12 +141,15 @@ class SetScan(Operator):
     ``fetch`` runs once, on the first pull — a ``SetScan`` that is
     opened but never pulled (an intersection short-circuited by an
     earlier empty input) does no substrate work at all, matching the
-    pre-engine executor's sequential short-circuit behaviour.
+    pre-engine executor's sequential short-circuit behaviour. It may
+    return a :class:`~repro.rvm.keyset.KeySet` of catalog ids (the
+    id-keyed indexes; zero-copy handoff to sort keys) or a ``set[str]``
+    (fallback scans); ``ctx.keys_for_set`` dispatches on the type.
     """
 
     ordered = True
 
-    def __init__(self, fetch: Callable[[object], set[str]]):
+    def __init__(self, fetch: Callable[[object], object]):
         self._fetch = fetch
         self._chunks: Iterator[Batch] | None = None
         self._ctx = None
@@ -164,38 +168,38 @@ class SetScan(Operator):
 
 
 class CatalogScan(Operator):
-    """Stream every registered URI in catalog (storage) order.
+    """Stream every registered view in dictionary sort-key order.
 
-    Unordered but deterministic; one checkpoint per pull so a deadline
-    can fire between batches of a long scan.
+    The catalog's id keyset is handed to the dictionary view whole —
+    one integer gather, no per-URI string work — and sliced into
+    ordered batches, so the scan now satisfies merge parents directly
+    (no Sort enforcer). One checkpoint per pull so a deadline can fire
+    between batches of a long scan; rows are counted per emitted batch,
+    keeping the accounting O(k) under an early-terminating ``Limit``.
     """
 
-    ordered = False
+    ordered = True
 
     def __init__(self) -> None:
-        self._records = None
+        self._chunks: Iterator[Batch] | None = None
         self._ctx = None
 
     def open(self, ctx) -> None:
         self._ctx = ctx
-        self._records = None
+        self._chunks = None
 
     def next_batch(self) -> Batch | None:
         ctx = self._ctx
-        if self._records is None:
-            ctx.count("ctx.catalog_scan")
-            self._records = ctx.rvm.catalog.all_records()
         ctx.checkpoint()
-        size = ctx.engine.batch_size
-        out: list[str] = []
-        for record in self._records:
-            out.append(record.uri)
-            if len(out) >= size:
-                break
-        if not out:
-            return None
-        ctx.count("engine.rows_scanned", len(out))
-        return Batch(ctx.keys_in_order(out), view=ctx.dict_view)
+        if self._chunks is None:
+            ctx.count("ctx.catalog_scan")
+            keys = ctx.keys_for_set(ctx.all_ids())
+            self._chunks = chunked(keys, ctx.engine.batch_size,
+                                   ordered=True, view=ctx.dict_view)
+        batch = next(self._chunks, None)
+        if batch is not None and len(batch):
+            ctx.count("engine.rows_scanned", len(batch))
+        return batch
 
 
 class NameScan(Operator):
@@ -219,19 +223,32 @@ class NameScan(Operator):
         self._regex = None
         self._parallel_chunks: Iterator[Batch] | None = None
         self._done = False
+        self._rows_are_ids = False
 
     def open(self, ctx) -> None:
         self._ctx = ctx
         self._rows = None
         self._parallel_chunks = None
         self._done = False
+        self._rows_are_ids = False
 
     def _row_source(self):
+        """``(row key, name)`` pairs: catalog ids straight off the name
+        replica when it exists (the matched rows then bind to sort keys
+        by integer indexing), URIs off the catalog otherwise."""
         rvm = self._ctx.rvm
         if rvm.indexes.policy.index_names:
-            return iter(rvm.indexes.name_index.stored_items())
+            self._rows_are_ids = True
+            return iter(rvm.indexes.name_index.stored_id_items())
         return ((record.uri, record.name)
                 for record in rvm.catalog.all_records() if record.name)
+
+    def _bind(self, row_keys):
+        """Matched row keys to a sort-key column, in input order."""
+        ctx = self._ctx
+        if self._rows_are_ids:
+            return ctx.keys_in_order_ids(row_keys)
+        return ctx.keys_in_order(row_keys)
 
     def _start(self) -> None:
         from ..plan import wildcard_regex
@@ -250,7 +267,7 @@ class NameScan(Operator):
                     threads=config.scan_threads,
                 )
                 self._parallel_chunks = chunked(
-                    ctx.keys_in_order([uri for uri, _ in matched]),
+                    self._bind([key for key, _ in matched]),
                     config.batch_size, view=ctx.dict_view,
                 )
                 return
@@ -272,12 +289,12 @@ class NameScan(Operator):
             return batch
         size = ctx.engine.batch_size
         regex = self._regex
-        matched: list[str] = []
+        matched: list = []
         scanned = 0
-        for uri, name in self._rows:
+        for row_key, name in self._rows:
             scanned += 1
             if regex.match(name):
-                matched.append(uri)
+                matched.append(row_key)
                 if len(matched) >= size:
                     break
         else:
@@ -286,7 +303,7 @@ class NameScan(Operator):
             ctx.count("engine.rows_scanned", scanned)
         if not matched:
             return None
-        return Batch(ctx.keys_in_order(matched), view=ctx.dict_view)
+        return Batch(self._bind(matched), view=ctx.dict_view)
 
 
 # ---------------------------------------------------------------------------
@@ -667,12 +684,21 @@ class ExpandOperator(Operator):
     # -- pipelined forward expansion ---------------------------------------
 
     def _forward_stream(self) -> Iterator:
-        """Yield *keys* of discovered views; the graph itself is walked
-        in URI space (``children_of`` speaks URIs), so each hop converts
+        """Yield *keys* of discovered views.
+
+        With the group replica available the walk runs entirely in id
+        space (:meth:`_forward_stream_ids`) — catalog ids in, catalog
+        ids out, compressed keysets as the cycle guard. Without it (or
+        in the operator unit tests' string mode) the graph is walked in
+        URI space: ``children_of`` speaks URIs, so each hop converts
         key→URI at the input edge and URI→key at the output edge."""
         ctx = self._ctx
         # per-edge conversions dominate the walk; bind them once
         view = ctx.dict_view
+        if view is not None and getattr(ctx, "supports_id_expansion",
+                                        False):
+            yield from self._forward_stream_ids(view)
+            return
         if view is not None:
             uri_of, key_of = view.uri_for, view.key_for
         else:
@@ -715,6 +741,51 @@ class ExpandOperator(Operator):
                             reached.add(child_key)
                             ctx.expanded_views += 1
                             frontier.append(child_key)
+                            if candidates is None or child_key in candidates:
+                                yield child_key
+
+    def _forward_stream_ids(self, view) -> Iterator:
+        """The pipelined forward walk in id space: input sort keys
+        invert to catalog ids, the replica hands back child *ids*, and
+        the reached/processed guards are compressed keysets. The only
+        per-row conversion left is the id→sort-key array index on
+        emitted discoveries."""
+        ctx = self._ctx
+        id_for_key, key_for_id = view.id_for_key, view.key_for_id
+        children_ids_of = ctx.children_ids_of
+        candidates = (set(drain(self.candidates_op))
+                      if self.candidates_op is not None else None)
+        reached = KeySet()  # ids; .add doubles as the membership test
+        if self.axis is Axis.CHILD:
+            while True:
+                batch = self.input_op.next_batch()
+                if batch is None:
+                    return
+                for key in batch:
+                    for child in children_ids_of(id_for_key(key)):
+                        if reached.add(child):
+                            ctx.expanded_views += 1
+                            child_key = key_for_id(child)
+                            if candidates is None or child_key in candidates:
+                                yield child_key
+        # descendant axis: incremental multi-source BFS; ``reached`` is
+        # the cycle guard — an id discovered once is never re-expanded.
+        processed = KeySet()
+        while True:
+            batch = self.input_op.next_batch()
+            if batch is None:
+                return
+            for source in batch:
+                frontier = [id_for_key(source)]
+                while frontier:
+                    node = frontier.pop()
+                    if not processed.add(node):
+                        continue
+                    for child in children_ids_of(node):
+                        if reached.add(child):
+                            ctx.expanded_views += 1
+                            frontier.append(child)
+                            child_key = key_for_id(child)
                             if candidates is None or child_key in candidates:
                                 yield child_key
 

@@ -29,6 +29,7 @@ from ..resilience.engine import (
     uninstall_resilience_sink,
 )
 from ..resilience.report import DegradationReport
+from ..rvm.keyset import KeySet
 from ..rvm.manager import ResourceViewManager
 from ..rvm.uridict import global_uri_dictionary
 from .ast import (
@@ -144,6 +145,7 @@ class ExecutionContext:
         #: failure lands here, and the result carries it to the caller
         self.degradation = DegradationReport()
         self._all_uris: set[str] | None = None
+        self._all_ids: KeySet | None = None
         self._dict_view = None
 
     # -- the URI dictionary (DESIGN.md §4h) ----------------------------------
@@ -161,12 +163,24 @@ class ExecutionContext:
         return view
 
     def keys_for_set(self, uris) -> "object":
-        """Sorted key column for a URI set (scan leaves)."""
+        """Sorted key column for a scan leaf's result.
+
+        A :class:`~repro.rvm.keyset.KeySet` of catalog ids (what the
+        id-keyed indexes return) is handed off by integer array
+        indexing — no per-URI string hashing; a ``set[str]`` (fallback
+        scans, external callers) takes the string path.
+        """
+        if isinstance(uris, KeySet):
+            return self.dict_view.keys_for_ids(uris)
         return self.dict_view.keys_for_set(uris)
 
     def keys_in_order(self, uris) -> "object":
         """Key column for an already-ordered URI sequence."""
         return self.dict_view.keys_in_order(uris)
+
+    def keys_in_order_ids(self, ids) -> "object":
+        """Key column for an already-ordered catalog-id sequence."""
+        return self.dict_view.keys_in_order_ids(ids)
 
     def key_for_uri(self, uri: str) -> int:
         return self.dict_view.key_for(uri)
@@ -198,6 +212,23 @@ class ExecutionContext:
             self._all_uris = set(self.rvm.catalog.all_uris())
         return self._all_uris
 
+    def all_ids(self) -> KeySet:
+        """The registered universe as a catalog-id keyset (the engine's
+        form of :meth:`all_uris` — no strings touched)."""
+        if self._all_ids is None:
+            self.count("ctx.all_uris_materialized")
+            self._all_ids = self.rvm.catalog.all_ids()
+        return self._all_ids
+
+    def _materialize(self, ids) -> set[str]:
+        """Ids back to URIs for the string-facing wrappers (uncounted:
+        the ``ctx.*`` counter already fired in the ``*_ids`` method,
+        and these conversions are not engine-path dictionary work)."""
+        if isinstance(ids, set):
+            return ids  # a fallback scan already returned strings
+        uri_of = global_uri_dictionary().uri_of
+        return {uri_of(i) for i in ids}
+
     def root_uris(self) -> set[str]:
         self.count("ctx.root_uris")
         roots = set()
@@ -213,6 +244,14 @@ class ExecutionContext:
 
     def content_search(self, text: str, *, is_phrase: bool,
                        wildcard: bool) -> set[str]:
+        return self._materialize(self.content_search_ids(
+            text, is_phrase=is_phrase, wildcard=wildcard
+        ))
+
+    def content_search_ids(self, text: str, *, is_phrase: bool,
+                           wildcard: bool):
+        """Content match as a catalog-id :class:`KeySet` (a ``set[str]``
+        when query shipping scans live views instead)."""
         self.checkpoint()
         self.count("ctx.content_search")
         if not self.rvm.indexes.policy.index_content:
@@ -220,10 +259,10 @@ class ExecutionContext:
                                       wildcard=wildcard)
         index = self.rvm.indexes.content_index
         if wildcard:
-            return Wildcard(text).keys(index)
+            return Wildcard(text).ids(index)
         if is_phrase:
-            return Phrase.of(text, index).keys(index)
-        return Term(text).keys(index)
+            return Phrase.of(text, index).ids(index)
+        return Term(text).ids(index)
 
     def _content_scan(self, text: str, *, is_phrase: bool,
                       wildcard: bool) -> set[str]:
@@ -315,26 +354,49 @@ class ExecutionContext:
         return min(total, int(input_estimate * fanout) + 1)
 
     def name_equals(self, name: str) -> set[str]:
+        return self._materialize(self.name_equals_ids(name))
+
+    def name_equals_ids(self, name: str) -> KeySet:
         self.count("ctx.name_equals")
-        return {record.uri for record in self.rvm.catalog.by_name(name)}
+        return self.rvm.catalog.ids_by_name(name)
 
     def name_pattern(self, pattern: str) -> set[str]:
+        return self._materialize(self.name_pattern_ids(pattern))
+
+    def name_pattern_ids(self, pattern: str) -> KeySet:
         self.checkpoint()
         self.count("ctx.name_pattern")
         regex = wildcard_regex(pattern)
-        matched = set()
+        matched = KeySet()
         if self.rvm.indexes.policy.index_names:
-            for uri, name in self.rvm.indexes.name_index.stored_items():
+            items = self.rvm.indexes.name_index.stored_id_items()
+            for doc, name in items:
                 if regex.match(name):
-                    matched.add(uri)
+                    matched.add(doc)
             return matched
-        # no name replica: fall back to the catalog's metadata
+        # no name replica: fall back to the catalog's metadata (every
+        # registered URI is interned, so id_of never misses here)
+        id_of = global_uri_dictionary().id_of
         for record in self.rvm.catalog.all_records():
             if record.name and regex.match(record.name):
-                matched.add(record.uri)
+                matched.add(id_of(record.uri))
         return matched
 
     # -- group navigation (replica or live fallback) -------------------------
+
+    @property
+    def supports_id_expansion(self) -> bool:
+        """True when expansion can walk the replica in id space (the
+        engine's fast path); without the replica the walk must go
+        through live views, which speak URIs."""
+        return self.rvm.indexes.policy.replicate_groups
+
+    def children_ids_of(self, view_id: int) -> tuple[int, ...]:
+        """Directly related catalog ids off the group replica (only
+        valid when :attr:`supports_id_expansion`)."""
+        self.checkpoint()
+        self.count("ctx.children_of")
+        return self.group_replica.children_ids(view_id)
 
     def children_of(self, uri: str) -> tuple[str, ...]:
         self.checkpoint()
@@ -364,6 +426,9 @@ class ExecutionContext:
         return self.group_replica.parents(uri)
 
     def class_lookup(self, class_name: str) -> set[str]:
+        return self._materialize(self.class_lookup_ids(class_name))
+
+    def class_lookup_ids(self, class_name: str) -> KeySet:
         self.checkpoint()
         self.count("ctx.class_lookup")
         from ..core.classes import BUILTIN_REGISTRY
@@ -373,13 +438,20 @@ class ExecutionContext:
                 cls.name for cls in BUILTIN_REGISTRY
                 if BUILTIN_REGISTRY.is_subclass(cls.name, class_name)
             ]
-        matched: set[str] = set()
+        matched = KeySet()
         for name in names:
-            matched.update(r.uri for r in self.rvm.catalog.by_class(name))
+            matched = matched.or_(self.rvm.catalog.ids_by_class(name))
         return matched
 
     def tuple_compare(self, attribute: str, op: CompareOp,
                       value: object) -> set[str]:
+        return self._materialize(self.tuple_compare_ids(attribute, op,
+                                                        value))
+
+    def tuple_compare_ids(self, attribute: str, op: CompareOp,
+                          value: object):
+        """Tuple predicate as a catalog-id :class:`KeySet` (a
+        ``set[str]`` when query shipping scans live views instead)."""
         self.checkpoint()
         self.count("ctx.tuple_compare")
         attribute = canonical_attribute(attribute)
@@ -387,19 +459,19 @@ class ExecutionContext:
             return self._tuple_scan(attribute, op, value)
         index = self.rvm.indexes.tuple_index
         if op is CompareOp.EQ:
-            return index.equals(attribute, value)
+            return index.equals_ids(attribute, value)
         if op is CompareOp.NE:
-            return index.keys_with_attribute(attribute) - index.equals(
-                attribute, value
+            return index.ids_with_attribute(attribute).andnot(
+                index.equals_ids(attribute, value)
             )
         if op is CompareOp.GT:
-            return index.greater_than(attribute, value)
+            return index.greater_than_ids(attribute, value)
         if op is CompareOp.GE:
-            return index.greater_than(attribute, value, inclusive=True)
+            return index.greater_than_ids(attribute, value, inclusive=True)
         if op is CompareOp.LT:
-            return index.less_than(attribute, value)
+            return index.less_than_ids(attribute, value)
         if op is CompareOp.LE:
-            return index.less_than(attribute, value, inclusive=True)
+            return index.less_than_ids(attribute, value, inclusive=True)
         raise QueryExecutionError(f"unsupported operator {op}")
 
     def _tuple_scan(self, attribute: str, op: CompareOp,

@@ -16,6 +16,7 @@ from typing import Iterator
 from ..core.identity import ViewId
 from ..core.resource_view import ResourceView
 from ..store import Column, Database, INT, TEXT
+from .keyset import KeySet
 from .uridict import global_uri_dictionary
 
 
@@ -57,6 +58,14 @@ class ResourceViewCatalog:
         self._table.create_index("by_name", "name", kind="hash")
         self._table.create_index("by_class", "class_name", kind="hash")
         self._table.create_index("by_authority", "authority", kind="hash")
+        # compressed id sets mirroring the hash indexes: the query engine
+        # consumes these directly (catalog scans, class/authority lookups)
+        # with no per-URI string work. Ids are derived state — rebuilt on
+        # recovery by re-registering, never persisted.
+        self._ids = KeySet()
+        self._ids_by_name: dict[str, KeySet] = {}
+        self._ids_by_class: dict[str, KeySet] = {}
+        self._ids_by_authority: dict[str, KeySet] = {}
 
     # -- registration ---------------------------------------------------------
 
@@ -81,7 +90,8 @@ class ResourceViewCatalog:
             "size": record.size,
             "child_count": record.child_count,
         }
-        if self._table.get(record.uri) is not None:
+        old = self._table.get(record.uri)
+        if old is not None:
             self._table.update(record.uri, row)
         else:
             self._table.insert(row)
@@ -89,12 +99,43 @@ class ResourceViewCatalog:
         # recovery all pass here, so the engine's integer batches always
         # have a dictionary entry (ids are derived state — never saved,
         # always rebuilt deterministically from the catalog)
-        global_uri_dictionary().intern(record.uri)
+        view_id = global_uri_dictionary().intern(record.uri)
+        if old is not None:
+            self._drop_from_buckets(view_id, old)
+        self._ids.add(view_id)
+        self._bucket(self._ids_by_name, record.name).add(view_id)
+        self._bucket(self._ids_by_class, record.class_name).add(view_id)
+        self._bucket(self._ids_by_authority, record.authority).add(view_id)
         return record
 
     def unregister(self, view_id: ViewId | str) -> bool:
         uri = view_id if isinstance(view_id, str) else view_id.uri
-        return self._table.delete(uri)
+        row = self._table.get(uri)
+        if not self._table.delete(uri):
+            return False
+        interned = global_uri_dictionary().id_of(uri)
+        if interned is not None:
+            self._ids.discard(interned)
+            if row is not None:
+                self._drop_from_buckets(interned, row)
+        return True
+
+    @staticmethod
+    def _bucket(buckets: dict[str, KeySet], key: str) -> KeySet:
+        keyset = buckets.get(key)
+        if keyset is None:
+            keyset = buckets[key] = KeySet()
+        return keyset
+
+    def _drop_from_buckets(self, view_id: int, row: dict) -> None:
+        for buckets, key in ((self._ids_by_name, row["name"]),
+                             (self._ids_by_class, row["class_name"]),
+                             (self._ids_by_authority, row["authority"])):
+            keyset = buckets.get(key)
+            if keyset is not None:
+                keyset.discard(view_id)
+                if not keyset:
+                    del buckets[key]
 
     # -- lookups -----------------------------------------------------------------
 
@@ -125,7 +166,31 @@ class ResourceViewCatalog:
         return (self._record(row) for row in self._table.scan())
 
     def all_uris(self) -> list[str]:
-        return [row["uri"] for row in self._table.scan()]
+        """Every registered URI in dictionary sort-key order.
+
+        The order is plain lexicographic on the URI — URIs are unique,
+        so no tie-break is needed — which is exactly the order of the
+        dictionary's sort keys. Catalog scans can therefore bind their
+        key column straight off this list without re-sorting.
+        """
+        return sorted(row["uri"] for row in self._table.scan())
+
+    # id-space lookups (the engine's zero-copy path) --------------------------
+
+    def all_ids(self) -> KeySet:
+        return self._ids.copy()
+
+    def ids_by_name(self, name: str) -> KeySet:
+        keyset = self._ids_by_name.get(name)
+        return keyset.copy() if keyset is not None else KeySet()
+
+    def ids_by_class(self, class_name: str) -> KeySet:
+        keyset = self._ids_by_class.get(class_name)
+        return keyset.copy() if keyset is not None else KeySet()
+
+    def ids_by_authority(self, authority: str) -> KeySet:
+        keyset = self._ids_by_authority.get(authority)
+        return keyset.copy() if keyset is not None else KeySet()
 
     @staticmethod
     def _record(row: dict) -> CatalogRecord:
@@ -138,7 +203,13 @@ class ResourceViewCatalog:
     # -- statistics -----------------------------------------------------------------
 
     def size_bytes(self) -> int:
-        return self._db.size_bytes()
+        keysets = self._ids.size_bytes() + sum(
+            ks.size_bytes()
+            for buckets in (self._ids_by_name, self._ids_by_class,
+                            self._ids_by_authority)
+            for ks in buckets.values()
+        )
+        return self._db.size_bytes() + keysets
 
     def counts_by_authority(self) -> dict[str, int]:
         counts: dict[str, int] = {}

@@ -11,7 +11,12 @@ The paper's initial implementation uses exactly these:
 4. **Group Replica** — an in-memory replica of group components.
 
 :class:`IndexSet` bundles them behind one ``add_view``/``remove_view``
-API and produces the per-structure size report of Table 3.
+API and produces the per-structure size report of Table 3. Since the
+keyset refactor (DESIGN.md §4j) every structure here keys its entries by
+the URI dictionary's dense catalog ids and stores its id sets as
+compressed :class:`~repro.rvm.keyset.KeySet` s, so the size report
+reflects the compressed layouts and query results flow to the engine as
+id sets with no per-URI string work.
 """
 
 from __future__ import annotations

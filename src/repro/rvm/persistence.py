@@ -18,6 +18,14 @@ The format is deliberately plain: one ``manifest.json`` plus one
 snapshot format, not a WAL — :mod:`repro.durability` layers the WAL,
 checkpoints and crash recovery on top of it.
 
+Catalog ids are **derived state** and never appear in a snapshot: every
+structure serializes URIs, and the load path re-interns them through
+the catalog and the index ``add`` methods, deterministically rebuilding
+the id-keyed keysets (DESIGN.md §4j). A snapshot written before the
+keyset refactor therefore loads unchanged, and two processes restoring
+the same snapshot may assign different ids without disagreeing on any
+query answer.
+
 Snapshots are *crash-safe*: :func:`save_state` writes into a sibling
 temporary directory, fsyncs every file, and atomically renames it into
 place, so a crash mid-snapshot can never leave a half-written state

@@ -6,13 +6,16 @@ views ... queries referring to the group component can then be executed
 exploiting the replicas only", avoiding lookups at the data source.
 
 :class:`GroupReplica` replicates group components as adjacency lists.
-URIs are dictionary-encoded to dense integer OIDs (the URI↔OID mapping
-is logically the Resource View Catalog's; a replica edge costs 8 bytes,
-which is how the paper's group replica stays the smallest structure of
-Table 3 at 3.5 MB). Reverse edges are kept too: the prototype's forward
-expansion only needs the forward direction, but the paper's future-work
-backward/bidirectional expansion [30] needs parents, and so do our
-ablation benchmarks.
+URIs are dictionary-encoded through the process-wide URI dictionary, so
+a node here carries the same dense **catalog id** as the same view in
+the catalog keysets and the inverted index (the keyset refactor,
+DESIGN.md §4j — the replica's private OID space is gone). A replica
+edge costs 8 bytes, which is how the paper's group replica stays the
+smallest structure of Table 3 at 3.5 MB. Reverse edges are kept too:
+the prototype's forward expansion only needs the forward direction, but
+the paper's future-work backward/bidirectional expansion [30] needs
+parents, and so do our ablation benchmarks. Parent sets are compressed
+:class:`~repro.rvm.keyset.KeySet` s.
 """
 
 from __future__ import annotations
@@ -22,6 +25,8 @@ from typing import Iterator
 from ..core.components import GroupComponent
 from ..core.identity import ViewId
 from ..core.resource_view import ResourceView
+from .keyset import KeySet
+from .uridict import global_uri_dictionary
 
 
 class GroupReplica:
@@ -30,25 +35,16 @@ class GroupReplica:
     def __init__(self, *, infinite_window: int = 256):
         #: how many members of an infinite group part are replicated
         self.infinite_window = infinite_window
-        self._oid_of: dict[str, int] = {}
-        self._uri_of: list[str] = []
+        self._dictionary = global_uri_dictionary()
         self._set_children: dict[int, tuple[int, ...]] = {}
         self._seq_children: dict[int, tuple[int, ...]] = {}
-        self._parents: dict[int, set[int]] = {}
+        self._parents: dict[int, KeySet] = {}
 
     # -- interning ---------------------------------------------------------------
 
-    def _intern(self, uri: str) -> int:
-        oid = self._oid_of.get(uri)
-        if oid is None:
-            oid = len(self._uri_of)
-            self._oid_of[uri] = oid
-            self._uri_of.append(uri)
-        return oid
-
     def _oid(self, view_id: ViewId | str) -> int | None:
         uri = view_id if isinstance(view_id, str) else view_id.uri
-        return self._oid_of.get(uri)
+        return self._dictionary.id_of(uri)
 
     # -- writes -----------------------------------------------------------------
 
@@ -56,20 +52,23 @@ class GroupReplica:
         self.add_group(view.view_id, view.group)
 
     def add_group(self, view_id: ViewId, group: GroupComponent) -> None:
-        oid = self._intern(view_id.uri)
+        intern = self._dictionary.intern
+        oid = intern(view_id.uri)
         if oid in self._set_children:
             self.remove(view_id.uri)
-            oid = self._intern(view_id.uri)
         set_part = (group.set_part.items() if group.set_part.is_finite
                     else group.set_part.take(self.infinite_window))
         seq_part = (group.seq_part.items() if group.seq_part.is_finite
                     else group.seq_part.take(self.infinite_window))
-        set_oids = tuple(self._intern(v.view_id.uri) for v in set_part)
-        seq_oids = tuple(self._intern(v.view_id.uri) for v in seq_part)
+        set_oids = tuple(intern(v.view_id.uri) for v in set_part)
+        seq_oids = tuple(intern(v.view_id.uri) for v in seq_part)
         self._set_children[oid] = set_oids
         self._seq_children[oid] = seq_oids
         for child in set_oids + seq_oids:
-            self._parents.setdefault(child, set()).add(oid)
+            parents = self._parents.get(child)
+            if parents is None:
+                parents = self._parents[child] = KeySet()
+            parents.add(oid)
 
     def remove(self, view_id: ViewId | str) -> bool:
         oid = self._oid(view_id)
@@ -89,33 +88,65 @@ class GroupReplica:
 
     def __contains__(self, view_id: object) -> bool:
         uri = view_id.uri if isinstance(view_id, ViewId) else view_id
-        oid = self._oid_of.get(uri)  # type: ignore[arg-type]
+        if not isinstance(uri, str):
+            return False
+        oid = self._dictionary.id_of(uri)
         return oid is not None and oid in self._set_children
 
     def __len__(self) -> int:
         return len(self._set_children)
+
+    # id-space reads (the engine's expansion path) ------------------------------
+
+    def children_ids(self, oid: int) -> tuple[int, ...]:
+        """Directly related catalog ids (set part then sequence part)."""
+        return (self._set_children.get(oid, ())
+                + self._seq_children.get(oid, ()))
+
+    def parent_ids(self, oid: int) -> KeySet:
+        parents = self._parents.get(oid)
+        return parents.copy() if parents is not None else KeySet()
+
+    def descendant_ids(self, oid: int, *,
+                       max_depth: int | None = None) -> KeySet:
+        """Forward expansion entirely in id space."""
+        seen = KeySet()
+        if oid not in self._set_children and oid not in self._seq_children:
+            return seen
+        frontier = [(oid, 0)]
+        while frontier:
+            node, depth = frontier.pop()
+            if max_depth is not None and depth >= max_depth:
+                continue
+            for child in (self._set_children.get(node, ())
+                          + self._seq_children.get(node, ())):
+                if seen.add(child):
+                    frontier.append((child, depth + 1))
+        return seen
+
+    # URI-space reads (sync, durability records, external callers) --------------
 
     def children(self, view_id: ViewId | str) -> tuple[str, ...]:
         """All directly related URIs (set part then sequence part)."""
         oid = self._oid(view_id)
         if oid is None:
             return ()
-        oids = (self._set_children.get(oid, ())
-                + self._seq_children.get(oid, ()))
-        return tuple(self._uri_of[o] for o in oids)
+        uri_of = self._dictionary.uri_of
+        return tuple(uri_of(o) for o in self.children_ids(oid))
 
     def sequence_children(self, view_id: ViewId | str) -> tuple[str, ...]:
         oid = self._oid(view_id)
         if oid is None:
             return ()
-        return tuple(self._uri_of[o]
-                     for o in self._seq_children.get(oid, ()))
+        uri_of = self._dictionary.uri_of
+        return tuple(uri_of(o) for o in self._seq_children.get(oid, ()))
 
     def parents(self, view_id: ViewId | str) -> set[str]:
         oid = self._oid(view_id)
         if oid is None:
             return set()
-        return {self._uri_of[o] for o in self._parents.get(oid, ())}
+        uri_of = self._dictionary.uri_of
+        return {uri_of(o) for o in self._parents.get(oid, ())}
 
     def descendants(self, view_id: ViewId | str, *,
                     max_depth: int | None = None) -> set[str]:
@@ -123,38 +154,30 @@ class GroupReplica:
         start = self._oid(view_id)
         if start is None:
             return set()
-        seen: set[int] = set()
-        frontier = [(start, 0)]
-        while frontier:
-            oid, depth = frontier.pop()
-            if max_depth is not None and depth >= max_depth:
-                continue
-            for child in (self._set_children.get(oid, ())
-                          + self._seq_children.get(oid, ())):
-                if child not in seen:
-                    seen.add(child)
-                    frontier.append((child, depth + 1))
         # `start` stays in the result only when an edge leads back to it
         # (a view on a cycle is indirectly related to itself).
-        return {self._uri_of[o] for o in seen}
+        seen = self.descendant_ids(start, max_depth=max_depth)
+        uri_of = self._dictionary.uri_of
+        return {uri_of(o) for o in seen}
 
     def ancestors(self, view_id: ViewId | str) -> set[str]:
         """Backward expansion (extension beyond the 2006 prototype)."""
         start = self._oid(view_id)
         if start is None:
             return set()
-        seen: set[int] = set()
+        seen = KeySet()
         frontier = [start]
         while frontier:
             oid = frontier.pop()
             for parent in self._parents.get(oid, ()):
-                if parent not in seen:
-                    seen.add(parent)
+                if seen.add(parent):
                     frontier.append(parent)
-        return {self._uri_of[o] for o in seen}
+        uri_of = self._dictionary.uri_of
+        return {uri_of(o) for o in seen}
 
     def uris(self) -> Iterator[str]:
-        return (self._uri_of[o] for o in self._set_children)
+        uri_of = self._dictionary.uri_of
+        return (uri_of(o) for o in self._set_children)
 
     # -- statistics -----------------------------------------------------------------
 
@@ -164,14 +187,15 @@ class GroupReplica:
                        self._seq_children.values()))
 
     def size_bytes(self) -> int:
-        """Replica footprint: 8-byte OIDs per edge plus node headers.
+        """Replica footprint: 8-byte ids per edge plus node headers.
 
-        The URI↔OID dictionary is the catalog's (every URI here is also
+        The URI↔id dictionary is the catalog's (every URI here is also
         registered there), so it is not double-counted; this mirrors how
         the prototype's group replica stays the smallest structure in
-        the paper's Table 3.
+        the paper's Table 3. Reverse edges are compressed keysets and
+        report their actual layout.
         """
         nodes = 16 * len(self._set_children)
         edges = 8 * self.edge_count()
-        reverse = 8 * sum(len(p) for p in self._parents.values())
+        reverse = sum(p.size_bytes() for p in self._parents.values())
         return nodes + edges + reverse

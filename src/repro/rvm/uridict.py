@@ -36,8 +36,17 @@ crash recovery all re-register views through the catalog, which
 re-interns every URI — the dictionary is derived state, rebuilt
 deterministically from the recovered catalog (see DESIGN.md §4h).
 
+Since the keyset refactor (DESIGN.md §4j) the view also bridges **ids**
+to sort keys: a remap builds two dense arrays — ``id → sort key`` and
+``rank → id`` — so an index that hands the engine a
+:class:`~repro.rvm.keyset.KeySet` of catalog ids gets its key column by
+integer array indexing (:meth:`DictionaryView.keys_for_ids`), with *no
+per-URI string hashing*. Only ids interned after the snapshot fall back
+through the string overlay.
+
 Telemetry (``query.dict.*``): ``query.dict.size`` (interned URIs),
-``query.dict.lookups`` (batch key/URI conversions), and
+``query.dict.lookups`` (string key/URI conversions),
+``query.dict.handoffs`` (id→key conversions that bypassed strings), and
 ``query.dict.remaps`` (sort-view rebuilds) flow through
 :mod:`repro.obs` at batch granularity — never per row.
 """
@@ -69,14 +78,21 @@ class DictionaryView:
     """
 
     __slots__ = ("_dictionary", "version", "_sorted_uris", "_key_of",
+                 "_key_of_id", "_id_at_rank",
                  "_overlay", "_overlay_rev", "_overlay_sorted", "_lock")
 
     def __init__(self, dictionary: "UriDictionary", version: int,
-                 sorted_uris: list[str], key_of: dict[str, int]):
+                 sorted_uris: list[str], key_of: dict[str, int],
+                 key_of_id: array, id_at_rank: array):
         self._dictionary = dictionary
         self.version = version
         self._sorted_uris = sorted_uris
         self._key_of = key_of
+        #: dense id -> sort key (every id < len is covered: ids and the
+        #: sorted URI list are two orderings of the same interned set)
+        self._key_of_id = key_of_id
+        #: rank -> id (inverts key // KEY_GAP back to the catalog id)
+        self._id_at_rank = id_at_rank
         #: late arrivals: uri -> key, key -> uri, plus a sorted (uri,
         #: key) list for neighbour search. Small by construction.
         self._overlay: dict[str, int] = {}
@@ -128,6 +144,68 @@ class DictionaryView:
         ))
         self._dictionary.count_lookups(len(out))
         return out
+
+    # -- id <-> key (the zero-copy keyset handoff, DESIGN.md §4j) -----------
+
+    def keys_for_ids(self, ids) -> array:
+        """Sorted ``array('q')`` of sort keys for a set of catalog ids
+        (a :class:`~repro.rvm.keyset.KeySet` or any iterable of ids).
+
+        The common case — ids interned before this snapshot — is pure
+        integer array indexing and never touches a URI string; only ids
+        interned *after* the snapshot (a mid-execution sync) detour
+        through the string overlay, and only those count as dictionary
+        ``lookups``.
+        """
+        key_of_id = self._key_of_id
+        n = len(key_of_id)
+        id_list = ids.to_list() if hasattr(ids, "to_list") else list(ids)
+        late: list[int] | None = None
+        out: list[int] = []
+        append = out.append
+        for i in id_list:
+            if 0 <= i < n:
+                append(key_of_id[i])
+            else:
+                if late is None:
+                    late = []
+                late.append(i)
+        if late:
+            uri_of = self._dictionary.uri_of
+            out.extend(self.key_for(uri_of(i)) for i in late)
+            self._dictionary.count_lookups(len(late))
+        out.sort()
+        self._dictionary.count_handoffs(len(out))
+        return array("q", out)
+
+    def keys_in_order_ids(self, ids) -> array:
+        """Keys for an already-ordered id sequence (order preserved)."""
+        key_of_id = self._key_of_id
+        n = len(key_of_id)
+        out = array("q", (
+            key_of_id[i] if 0 <= i < n else self.key_for_id(i)
+            for i in ids
+        ))
+        self._dictionary.count_handoffs(len(out))
+        return out
+
+    def key_for_id(self, view_id: int) -> int:
+        """One id's sort key (array hit, or overlay for late ids)."""
+        key_of_id = self._key_of_id
+        if 0 <= view_id < len(key_of_id):
+            return key_of_id[view_id]
+        return self.key_for(self._dictionary.uri_of(view_id))
+
+    def id_for_key(self, key: int) -> int:
+        """Invert a sort key to its catalog id (base rank or overlay)."""
+        if key >= 0 and not key % KEY_GAP:
+            rank = key // KEY_GAP
+            id_at_rank = self._id_at_rank
+            if rank < len(id_at_rank):
+                return id_at_rank[rank]
+        # overlay key: the self-heal in _assign_overlay_key interned the
+        # URI, so an id exists (intern() is an idempotent lookup here)
+        return self._dictionary.intern(self._overlay_rev[key])
 
     # -- key -> uri ---------------------------------------------------------
 
@@ -198,6 +276,7 @@ class UriDictionary:
         self.version = 0       # bumps on every remap
         self.remaps = 0
         self.lookups = 0
+        self.handoffs = 0
 
     # -- interning ----------------------------------------------------------
 
@@ -255,9 +334,18 @@ class UriDictionary:
         sorted_uris = sorted(self._uri_of)
         key_of = {uri: rank * KEY_GAP
                   for rank, uri in enumerate(sorted_uris)}
+        # the id bridge: ids are first-seen order, ranks are sorted
+        # order — two permutations of the same set, so both arrays are
+        # dense and total (no sentinel slots)
+        id_of = self._id_of
+        id_at_rank = array("q", (id_of[uri] for uri in sorted_uris))
+        key_of_id = array("q", bytes(8 * len(sorted_uris)))
+        for rank, view_id in enumerate(id_at_rank):
+            key_of_id[view_id] = rank * KEY_GAP
         self.version += 1
         self.remaps += 1
-        self._view = DictionaryView(self, self.version, sorted_uris, key_of)
+        self._view = DictionaryView(self, self.version, sorted_uris, key_of,
+                                    key_of_id, id_at_rank)
         self._dirty = False
         from .. import obs
         if obs.enabled():
@@ -273,9 +361,17 @@ class UriDictionary:
         if obs.enabled():
             obs.increment("query.dict.lookups", amount)
 
+    def count_handoffs(self, amount: int) -> None:
+        """Tally ``amount`` id→key conversions that bypassed strings."""
+        self.handoffs += amount
+        from .. import obs
+        if obs.enabled():
+            obs.increment("query.dict.handoffs", amount)
+
     def stats(self) -> dict[str, int]:
         return {"size": len(self._uri_of), "remaps": self.remaps,
-                "lookups": self.lookups, "version": self.version}
+                "lookups": self.lookups, "handoffs": self.handoffs,
+                "version": self.version}
 
 
 #: The process-wide dictionary every dataspace in this process shares —

@@ -43,19 +43,24 @@ def _sort_key(value: Any) -> tuple[int, Any]:
 
 
 class VerticalColumn:
-    """One attribute's sorted column of ``(value, key)`` pairs."""
+    """One attribute's sorted column of ``(value, key)`` pairs.
+
+    Key-generic: :class:`TupleIndex` stores int catalog ids, the unit
+    tests (and any standalone use) may store strings — one column must
+    keep a single key type so equal-value runs stay comparable.
+    """
 
     __slots__ = ("name", "_entries")
 
     def __init__(self, name: str):
         self.name = name
         # entries are ((group, comparable), key, original_value)
-        self._entries: list[tuple[tuple[int, Any], str, Any]] = []
+        self._entries: list[tuple[tuple[int, Any], Any, Any]] = []
 
-    def insert(self, key: str, value: Any) -> None:
+    def insert(self, key: Any, value: Any) -> None:
         insort(self._entries, (_sort_key(value), key, value))
 
-    def remove(self, key: str, value: Any) -> bool:
+    def remove(self, key: Any, value: Any) -> bool:
         probe = (_sort_key(value), key, value)
         index = bisect_left(self._entries, probe)
         if index < len(self._entries) and self._entries[index] == probe:
@@ -71,7 +76,7 @@ class VerticalColumn:
             index += 1
         return False
 
-    def equals(self, value: Any) -> list[str]:
+    def equals(self, value: Any) -> list[Any]:
         sort_key = _sort_key(value)
         low = bisect_left(self._entries, (sort_key,))
         out = []
@@ -81,7 +86,7 @@ class VerticalColumn:
         return out
 
     def range(self, low: Any = None, high: Any = None, *,
-              include_low: bool = True, include_high: bool = True) -> list[str]:
+              include_low: bool = True, include_high: bool = True) -> list[Any]:
         """Keys with ``low <= value <= high`` (one type group only)."""
         if low is None and high is None:
             return [key for _, key, _ in self._entries]
@@ -105,7 +110,7 @@ class VerticalColumn:
             out.append(key)
         return out
 
-    def values(self) -> Iterator[tuple[Any, str]]:
+    def values(self) -> Iterator[tuple[Any, Any]]:
         for _, key, value in self._entries:
             yield value, key
 
@@ -115,7 +120,10 @@ class VerticalColumn:
     def size_bytes(self) -> int:
         total = 0
         for _, key, value in self._entries:
-            total += len(key.encode("utf-8")) + 8
+            # int keys are the catalog ids of the keyset layout (8
+            # bytes); the column stays key-generic for string callers
+            total += (8 if isinstance(key, int)
+                      else len(key.encode("utf-8"))) + 8
             if isinstance(value, str):
                 total += len(value.encode("utf-8", "replace")) + 4
             else:
@@ -123,26 +131,47 @@ class VerticalColumn:
         return total
 
 
+def _global_dictionary():
+    # deferred: repro.rvm imports this package (indexes -> TupleIndex)
+    from ..rvm.uridict import global_uri_dictionary
+    return global_uri_dictionary()
+
+
+def _new_keyset():
+    from ..rvm.keyset import KeySet
+    return KeySet()
+
+
 class TupleIndex:
     """Replica + vertically partitioned index of tuple components.
 
     ``add(key, tuple_component)`` replicates the component and spreads
-    its attributes over the per-attribute sorted columns. Lookups return
-    external keys; :meth:`tuple_of` serves the replica (this structure,
-    unlike the content index, *is* a replica — queries can read tuple
-    values back without touching the data source).
+    its attributes over the per-attribute sorted columns. Internally
+    everything is keyed by the URI dictionary's dense **catalog ids**
+    (the keyset refactor, DESIGN.md §4j): columns store int keys, the
+    replica dict is id-keyed, and each ``*_ids`` lookup returns a
+    :class:`~repro.rvm.keyset.KeySet` the query engine consumes with no
+    string conversion. The string-returning lookups remain for the
+    reference oracle and external callers; :meth:`tuple_of` serves the
+    replica (this structure, unlike the content index, *is* a replica —
+    queries can read tuple values back without touching the data
+    source).
     """
 
     def __init__(self) -> None:
+        self._dictionary = _global_dictionary()
         self._columns: dict[str, VerticalColumn] = {}
-        self._replica: dict[str, TupleComponent] = {}
+        self._replica: dict[int, TupleComponent] = {}
+        self._ids = _new_keyset()
 
     # -- writes -----------------------------------------------------------------
 
     def add(self, key: str, component: TupleComponent) -> None:
-        if key in self._replica:
-            self.remove(key)
-        self._replica[key] = component
+        view_id = self._dictionary.intern(key)
+        if view_id in self._replica:
+            self._remove_id(view_id)
+        self._replica[view_id] = component
+        self._ids.add(view_id)
         if component.is_empty:
             return
         for attribute, value in component.as_dict().items():
@@ -151,19 +180,26 @@ class TupleIndex:
             column = self._columns.get(attribute)
             if column is None:
                 column = self._columns[attribute] = VerticalColumn(attribute)
-            column.insert(key, value)
+            column.insert(view_id, value)
 
     def remove(self, key: str) -> bool:
-        component = self._replica.pop(key, None)
+        view_id = self._dictionary.id_of(key)
+        if view_id is None or view_id not in self._replica:
+            return False
+        return self._remove_id(view_id)
+
+    def _remove_id(self, view_id: int) -> bool:
+        component = self._replica.pop(view_id, None)
         if component is None:
             return False
+        self._ids.discard(view_id)
         if not component.is_empty:
             for attribute, value in component.as_dict().items():
                 if value is None:
                     continue
                 column = self._columns.get(attribute)
                 if column is not None:
-                    column.remove(key, value)
+                    column.remove(view_id, value)
                     if not len(column):
                         del self._columns[attribute]
         return True
@@ -171,26 +207,79 @@ class TupleIndex:
     # -- reads -------------------------------------------------------------------
 
     def __contains__(self, key: object) -> bool:
-        return key in self._replica
+        if not isinstance(key, str):
+            return False
+        view_id = self._dictionary.id_of(key)
+        return view_id is not None and view_id in self._replica
 
     def __len__(self) -> int:
         return len(self._replica)
 
     def tuple_of(self, key: str) -> TupleComponent | None:
         """Serve the replicated tuple component."""
-        return self._replica.get(key)
+        view_id = self._dictionary.id_of(key)
+        if view_id is None:
+            return None
+        return self._replica.get(view_id)
+
+    def tuple_of_id(self, view_id: int) -> TupleComponent | None:
+        return self._replica.get(view_id)
 
     def attributes(self) -> list[str]:
         return sorted(self._columns)
 
+    # id-returning lookups (the engine's zero-copy path) ----------------------
+
+    def equals_ids(self, attribute: str, value: Any):
+        column = self._columns.get(attribute)
+        if column is None:
+            return _new_keyset()
+        from ..rvm.keyset import KeySet
+        return KeySet.from_iterable(column.equals(value))
+
+    def range_ids(self, attribute: str, low: Any = None, high: Any = None,
+                  **bounds: bool):
+        column = self._columns.get(attribute)
+        if column is None:
+            return _new_keyset()
+        from ..rvm.keyset import KeySet
+        return KeySet.from_iterable(column.range(low, high, **bounds))
+
+    def greater_than_ids(self, attribute: str, value: Any, *,
+                         inclusive: bool = False):
+        return self.range_ids(attribute, low=value, include_low=inclusive)
+
+    def less_than_ids(self, attribute: str, value: Any, *,
+                      inclusive: bool = False):
+        return self.range_ids(attribute, high=value, include_high=inclusive)
+
+    def ids_with_attribute(self, attribute: str):
+        column = self._columns.get(attribute)
+        if column is None:
+            return _new_keyset()
+        from ..rvm.keyset import KeySet
+        return KeySet.from_iterable(key for _, key in column.values())
+
+    def all_ids(self):
+        """The live keyset of replicated ids (read-only by convention)."""
+        return self._ids
+
+    # string-returning lookups (reference oracle, external callers) -----------
+
+    def _uris(self, ids) -> set[str]:
+        uri_of = self._dictionary.uri_of
+        return {uri_of(i) for i in ids}
+
     def equals(self, attribute: str, value: Any) -> set[str]:
         column = self._columns.get(attribute)
-        return set(column.equals(value)) if column else set()
+        return self._uris(column.equals(value)) if column else set()
 
     def range(self, attribute: str, low: Any = None, high: Any = None,
               **bounds: bool) -> set[str]:
         column = self._columns.get(attribute)
-        return set(column.range(low, high, **bounds)) if column else set()
+        if column is None:
+            return set()
+        return self._uris(column.range(low, high, **bounds))
 
     def greater_than(self, attribute: str, value: Any, *,
                      inclusive: bool = False) -> set[str]:
@@ -204,18 +293,20 @@ class TupleIndex:
         column = self._columns.get(attribute)
         if column is None:
             return set()
-        return {key for _, key in column.values()}
+        return self._uris(key for _, key in column.values())
 
     def all_keys(self) -> set[str]:
-        return set(self._replica)
+        return self._uris(self._replica)
 
     # -- statistics -----------------------------------------------------------------
 
     def size_bytes(self) -> int:
-        """Replica + columns footprint (the Tuple column of Table 3)."""
-        replica = 0
-        for key, component in self._replica.items():
-            replica += len(key.encode("utf-8")) + 16
+        """Replica + columns footprint (the Tuple column of Table 3).
+        Keys are 8-byte catalog ids plus the keyset's compressed id
+        set; the URI strings live once, in the shared dictionary."""
+        replica = self._ids.size_bytes()
+        for component in self._replica.values():
+            replica += 16  # id + component header
             if not component.is_empty:
                 for attribute, value in component.as_dict().items():
                     replica += len(attribute.encode("utf-8")) + 4

@@ -15,18 +15,30 @@ that independent oracle:
 * interleaving sync mutations with queries never leaves a stale id
   behind: executions that started on an old dictionary view keep
   materializing correctly, and new views see the new URIs.
+
+Since the keyset refactor (DESIGN.md §4j) the index layer hands the
+engine compressed :class:`~repro.rvm.keyset.KeySet` s of catalog ids,
+so the 200-query differential above now also pins engine-over-keyset-
+postings against the string oracle. :class:`TestKeySetHandoff` adds the
+acceptance counter pin — index-backed scans perform *zero* per-URI
+string conversions (``query.dict.lookups`` flat, ``handoffs`` moving) —
+and :class:`TestKeySetRecovery` proves the keysets rebuild as derived
+state across ``Dataspace.open``.
 """
 
 from __future__ import annotations
 
 from array import array
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.dataset import TINY_PROFILE
+from repro.durability import DurabilityConfig
 from repro.durability.verify import verify_engine_matches_oracle
 from repro.facade import Dataspace
 from repro.imapsim.latency import no_latency
+from repro.query.ast import CompareOp, Comparison, Literal, PredicateExpr
 from repro.query.engine import iter_batches, reference_execute
 from repro.query.executor import ExecutionContext
 from repro.query.optimizer import optimize
@@ -171,3 +183,130 @@ class TestMutationInterleaving:
         fresh = dictionary.view()
         assert not fresh.is_stale
         assert fresh.key_for(late) % KEY_GAP == 0
+
+    def test_stale_execution_resolves_late_keyset_ids(self):
+        """An execution whose dictionary view predates a sync still
+        answers index-backed plans whose keysets contain post-snapshot
+        catalog ids: those ids fall past the view's id bridge and
+        detour through the string overlay (DESIGN.md §4j), and the
+        result still matches the string oracle."""
+        dataspace = self._mutable_space()
+        dictionary = global_uri_dictionary()
+        ctx = _ctx(dataspace)
+        stale_view = ctx.dict_view  # pin the pre-sync snapshot
+
+        dataspace.vfs.write_file("/Projects/late-keyset.txt",
+                                 "a late keyset arrival database")
+        dataspace.refresh()
+        assert stale_view.is_stale
+
+        # the name-index keyset really carries the post-snapshot id
+        late_uri = next(uri for uri in dataspace.rvm.catalog.all_uris()
+                        if "late-keyset" in uri)
+        late_id = dictionary.intern(late_uri)
+        assert late_id in dataspace.rvm.catalog.ids_by_name(
+            "late-keyset.txt"
+        )
+
+        query = PredicateExpr(Comparison("name", CompareOp.EQ,
+                                         Literal("late-keyset.txt")))
+        plan = optimize(dataspace.processor._build(query))
+        engine = plan.execute(ctx)  # stale view: overlay path
+        assert engine == reference_execute(plan, _ctx(dataspace))
+        assert engine == {late_uri}
+
+
+class TestKeySetHandoff:
+    """THE keyset acceptance pin (DESIGN.md §4j): index-backed scans
+    hand compressed id sets straight to the engine.
+
+    ``query.dict.lookups`` counts key↔URI string conversions;
+    ``query.dict.handoffs`` counts id→key conversions that bypassed
+    strings entirely. Draining an index-backed execution's batches —
+    *without* materializing ``.uris`` — must leave the lookup counter
+    flat while the handoff counter moves: no per-URI string hashing
+    anywhere on the scan path.
+    """
+
+    #: every index/replica structure gets exercised: content postings,
+    #: intersection and complement (catalog-universe) merges, the tuple
+    #: index, and a class-bucket path scan
+    INDEXED_QUERIES = (
+        '"database"',
+        '"the" and "paper"',
+        'not "database"',
+        '[size > 1000]',
+        '//*[class = "emailmessage"]',
+    )
+
+    def test_indexed_scans_do_no_string_hashing(self):
+        dataspace = space(0)
+        dictionary = global_uri_dictionary()
+        dictionary.view()  # settle any pending remap outside the window
+        total_rows = 0
+        handoffs_before = dictionary.handoffs
+        for iql in self.INDEXED_QUERIES:
+            stream = dataspace.query_iter(iql)
+            lookups = dictionary.lookups
+            total_rows += sum(len(batch) for batch in stream.batches())
+            assert dictionary.lookups == lookups, iql  # flat: stringless
+        assert total_rows > 0
+        assert dictionary.handoffs > handoffs_before
+
+    def test_uris_property_is_the_only_string_boundary(self):
+        """Touching ``.uris`` on a drained batch is what converts keys
+        back to strings — and only then does the lookup counter move."""
+        dataspace = space(0)
+        dictionary = global_uri_dictionary()
+        dictionary.view()
+        stream = dataspace.query_iter('not "database"')
+        batches = list(stream.batches())
+        assert batches
+        lookups = dictionary.lookups
+        materialized = sum(len(batch.uris) for batch in batches)
+        assert materialized > 0
+        assert dictionary.lookups == lookups + materialized
+
+
+class TestKeySetRecovery:
+    """Recovery via ``Dataspace.open`` rebuilds the id-keyed keysets.
+
+    Ids never appear in snapshots or the WAL — the load path re-interns
+    every URI and rebuilds the keysets as derived state. The reopened
+    dataspace must answer identically to its pre-close self, agree with
+    the string oracle on generated queries, and still scan stringlessly.
+    """
+
+    @pytest.fixture(scope="class")
+    def reopened(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("keyset-durable") / "space"
+        config = DurabilityConfig(directory=directory, fsync="off")
+        dataspace = Dataspace.generate(profile=TINY_PROFILE, seed=29,
+                                       imap_latency=no_latency(),
+                                       durability=config)
+        dataspace.sync()
+        answers = {q: set(dataspace.query(q).uris())
+                   for q in TestKeySetHandoff.INDEXED_QUERIES}
+        dataspace.checkpoint()
+        dataspace.close()
+        return answers, Dataspace.open(directory, durable=False)
+
+    def test_recovered_engine_matches_oracle(self, reopened):
+        _, dataspace = reopened
+        report = verify_engine_matches_oracle(dataspace, seed=29, count=40)
+        assert report.ok, report.mismatches
+
+    def test_recovered_answers_match_pre_close(self, reopened):
+        answers, dataspace = reopened
+        for query, expected in answers.items():
+            assert set(dataspace.query(query).uris()) == expected, query
+
+    def test_recovered_scans_stay_stringless(self, reopened):
+        _, dataspace = reopened
+        dictionary = global_uri_dictionary()
+        dictionary.view()
+        stream = dataspace.query_iter('not "database"')
+        lookups = dictionary.lookups
+        rows = sum(len(batch) for batch in stream.batches())
+        assert rows > 0
+        assert dictionary.lookups == lookups
