@@ -5,9 +5,12 @@ Usage (module form)::
     python -m repro stats  --scale 0.02
     python -m repro stats  --format prometheus
     python -m repro stats  --watch --interval 2
+    python -m repro stats  --shards 4 --format prometheus
+    python -m repro stats  --shards 4 --watch --frames 3
     python -m repro query  '//papers//*Vision/*["Franklin"]'
     python -m repro query  '"database tuning"' --explain
     python -m repro query  '"database tuning"' --explain --analyze
+    python -m repro query  '"database tuning"' --analyze --shards 2
     python -m repro search 'indexing time' --limit 5
     python -m repro tables --scale 0.05
     python -m repro serve  --clients 1,4,16 --requests 25
@@ -94,9 +97,104 @@ def _render_stats_tables(dataspace: Dataspace,
     return "\n\n".join(parts)
 
 
+def _render_fleet_table(supervisor) -> str:
+    """One row per shard from the supervisor's merged view: supervision
+    state plus the federated ``{shard=N}`` latency series."""
+    stats = supervisor.stats()
+    rows = []
+    for index in range(int(stats["shards"])):
+        prefix = f"shard.{index}"
+        p99 = stats.get(f"{prefix}.p99_seconds")
+        rows.append([
+            index, stats[f"{prefix}.state"], stats[f"{prefix}.epoch"],
+            stats[f"{prefix}.restarts"], stats[f"{prefix}.inflight"],
+            stats.get(f"{prefix}.served", 0),
+            p99 * 1000 if p99 is not None else 0.0,
+            "stale" if stats.get(f"{prefix}.stale") else "live",
+        ])
+    return format_table(
+        ["shard", "state", "epoch", "restarts", "inflight", "served",
+         "p99 [ms]", "export"],
+        rows, title=f"fleet ({stats['shards']} shards)",
+    )
+
+
+def _cmd_stats_fleet(args: argparse.Namespace) -> int:
+    """Fleet statistics: supervised shard workers, federated registry.
+
+    Spins up ``--shards`` worker processes, drives the paper's query
+    mix through the ring (unless ``--no-exercise``), and renders the
+    *merged* telemetry — every worker's series under its ``{shard=N}``
+    label — plus a per-shard supervision table. ``--watch`` re-runs the
+    mix and re-renders each frame (``--frames`` bounds the loop, for
+    scripts and tests)."""
+    import shutil
+    import tempfile
+
+    from . import obs
+    from .core.errors import ShardUnavailable
+    from .supervise import ShardSupervisor
+
+    directory = tempfile.mkdtemp(prefix="repro-stats-")
+    queries = list(PAPER_QUERIES.values())
+    # a short export interval so each reply piggybacks fresh deltas;
+    # flush_telemetry() then makes the final render complete
+    supervisor = ShardSupervisor(
+        directory, shards=args.shards, seed=args.seed, scale=args.scale,
+        metrics_interval=0.05,
+    )
+
+    # Rotating tenants so the rendered export demonstrates the full
+    # label composition: {shard=N} from federation, {tenant=...} from
+    # admission, side by side with the unlabeled totals.
+    tenants = ("acme", "globex", "initech")
+
+    def exercise() -> None:
+        for n, iql in enumerate(queries):
+            try:
+                supervisor.query(iql, key=f"client-{n}", timeout=120.0,
+                                 tenant=tenants[n % len(tenants)])
+            except ShardUnavailable:
+                continue
+
+    def render_once() -> str:
+        registry = obs.global_metrics()
+        if args.format == "prometheus":
+            return registry.render_prometheus()
+        if args.format == "json":
+            return registry.render_json()
+        return _render_fleet_table(supervisor) + "\n\n" + registry.render()
+
+    frames = 0
+    try:
+        with supervisor:
+            while True:
+                if not args.no_exercise:
+                    exercise()
+                supervisor.flush_telemetry()
+                if args.watch and sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")  # one-screen refresh
+                print(render_once())
+                frames += 1
+                if not args.watch:
+                    break
+                if args.frames is not None and frames >= args.frames:
+                    break
+                print(f"-- watching fleet (every {args.interval:g}s, "
+                      f"Ctrl-C to stop)", flush=True)
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from . import obs
 
+    if args.shards:
+        return _cmd_stats_fleet(args)
     dataspace = Dataspace.generate(scale=args.scale, seed=args.seed,
                                    imap_latency=no_latency(),
                                    resilience=True)
@@ -130,7 +228,48 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_query_sharded(args: argparse.Namespace) -> int:
+    """Route one query through supervised shard workers.
+
+    With ``--analyze`` the worker executes under its own collector and
+    the supervisor grafts the shipped span tree under its dispatch
+    spans — the printed tree covers both processes (ring lookup, pipe
+    round-trip, executor-queue wait, then the worker's operators)."""
+    import shutil
+    import tempfile
+
+    from .supervise import ShardSupervisor
+
+    directory = tempfile.mkdtemp(prefix="repro-query-")
+    try:
+        with ShardSupervisor(directory, shards=args.shards,
+                             seed=args.seed, scale=args.scale) as supervisor:
+            try:
+                if args.analyze:
+                    report = supervisor.explain_analyze(
+                        args.iql, limit=args.limit, tenant=args.tenant,
+                        timeout=120.0)
+                    print(report.render())
+                    return 0
+                result = supervisor.query(
+                    args.iql, limit=args.limit, tenant=args.tenant,
+                    timeout=120.0)
+            except QuerySyntaxError as error:
+                print(f"iql parse error: {error}", file=sys.stderr)
+                return EXIT_PARSE_ERROR
+            for uri in result.uris[:args.limit]:
+                print(uri)
+            print(f"-- {result.count} result(s) from shard {result.shard} "
+                  f"(epoch {result.epoch}), "
+                  f"{result.elapsed_seconds * 1000:.1f} ms")
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.shards:
+        return _cmd_query_sharded(args)
     dataspace = _build(args)
     try:
         if args.analyze:
@@ -537,6 +676,13 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--no-exercise", action="store_true",
                        help="skip the warm-up query mix (telemetry then "
                             "covers only the sync)")
+    stats.add_argument("--shards", type=int, default=0,
+                       help="report on a fleet of N supervised shard "
+                            "worker processes (federated {shard=N} "
+                            "telemetry; default 0: single-process)")
+    stats.add_argument("--frames", type=int, default=None,
+                       help="stop --watch after N frames (--shards only; "
+                            "default: until Ctrl-C)")
     _add_dataset_options(stats)
     stats.set_defaults(handler=_cmd_stats)
 
@@ -551,6 +697,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execute under a trace and print the annotated "
                             "plan (per-node rows, wall time, estimate); "
                             "implies --explain")
+    query.add_argument("--shards", type=int, default=0,
+                       help="route through N supervised shard worker "
+                            "processes; with --analyze the printed tree "
+                            "is stitched across both processes "
+                            "(default 0: in-process)")
+    query.add_argument("--tenant", default=None,
+                       help="tenant label stamped onto the query's "
+                            "telemetry (--shards only)")
     _add_dataset_options(query)
     query.set_defaults(handler=_cmd_query)
 

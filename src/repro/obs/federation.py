@@ -1,0 +1,204 @@
+"""Metrics federation: shipping one registry's deltas to another.
+
+The sharded service runs one :class:`~repro.obs.MetricsRegistry` per
+worker *process*, so the supervisor's process-global registry — the one
+``repro stats`` and ``serve().stats()`` read — would be blind to query
+execution without a transport. This module is that transport's payload
+layer, deliberately wire-agnostic (the supervise control pipe carries
+the dicts as JSON frame fields, but nothing here knows about frames):
+
+* :class:`RegistryExporter` (worker side) walks the registry and emits
+  a **delta snapshot**: counters as exact increments since the last
+  export, gauges as last-value (shipped only when changed), histograms
+  as a mergeable reservoir export — exact ``count``/``sum`` deltas plus
+  the newest reservoir tail for percentile merging. An export with
+  nothing changed is ``None``, so idle workers ship nothing.
+* :func:`merge_export` (supervisor side) folds one export into a
+  registry under extra labels (``{shard="3"}``), so every worker series
+  appears in the fleet snapshot as its own labeled time series.
+* :class:`ForwardingEventBuffer` rides along: an event-log sink that
+  buffers records at/above a severity for the next export, so worker
+  warnings surface in the supervisor's event log instead of dying with
+  the process.
+
+Because exports are *deltas against the exporter's own lifetime*, a
+respawned worker (fresh registry, fresh exporter) restarts from zero
+and can never re-ship increments its dead incarnation already shipped —
+merged counters are never double-counted across a SIGKILL.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Mapping
+
+from .events import WARNING, Event, EventLog
+from .metrics import MetricsRegistry
+
+#: Newest reservoir observations shipped per histogram per export; the
+#: percentile sample, not the count (counts merge exactly regardless).
+EXPORT_TAIL = 256
+
+
+class RegistryExporter:
+    """Computes periodic delta snapshots of one registry.
+
+    One exporter per process lifetime: it remembers the last exported
+    counter values and histogram ``(count, total)`` pairs, so each
+    :meth:`export` ships exactly the increments since the previous one.
+    Thread-safe — the worker's reply path may export from either of its
+    threads.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 callback_gauge_interval: float = 2.0):
+        self.registry = registry
+        #: Callback gauges (index sizes and the like) recompute their
+        #: value on every read — a full index walk costs milliseconds,
+        #: which would dwarf the query itself on a per-reply export. The
+        #: underlying figures change on sync, not per query, so the
+        #: exporter re-reads them at most this often (0 = every export).
+        self.callback_gauge_interval = callback_gauge_interval
+        self._lock = threading.Lock()
+        self._counters: dict[tuple, int] = {}
+        self._gauges: dict[tuple, float] = {}
+        self._histograms: dict[tuple, tuple[int, float]] = {}
+        self._callback_gauges_read = float("-inf")
+
+    def export(self) -> dict | None:
+        """The delta snapshot since the last call, or ``None`` when no
+        series moved. Shape (all JSON-ready)::
+
+            {"c": [[name, [[k, v], ...], delta], ...],
+             "g": [[name, labels, value], ...],
+             "h": [[name, labels, {"n": count_delta, "s": sum_delta,
+                                   "mn": min, "mx": max,
+                                   "o": [obs, ...]}], ...]}
+        """
+        import time
+
+        counters: list[list] = []
+        gauges: list[list] = []
+        histograms: list[list] = []
+        with self._lock:
+            now = time.monotonic()
+            read_callbacks = (now - self._callback_gauges_read
+                              >= self.callback_gauge_interval)
+            if read_callbacks:
+                self._callback_gauges_read = now
+            for kind, name, labels, metric in self.registry.series():
+                key = (name, labels)
+                if kind == "counter":
+                    value = metric.value
+                    delta = value - self._counters.get(key, 0)
+                    if delta:
+                        self._counters[key] = value
+                        counters.append([name, list(labels), delta])
+                elif kind == "gauge":
+                    if metric.has_callback and not read_callbacks:
+                        continue
+                    value = float(metric.value)
+                    if value != self._gauges.get(key):
+                        self._gauges[key] = value
+                        gauges.append([name, list(labels), value])
+                else:
+                    count, total, mn, mx, tail = metric.export_state(
+                        EXPORT_TAIL)
+                    last_count, last_total = self._histograms.get(
+                        key, (0, 0.0))
+                    delta = count - last_count
+                    if delta:
+                        self._histograms[key] = (count, total)
+                        histograms.append([name, list(labels), {
+                            "n": delta, "s": total - last_total,
+                            "mn": mn, "mx": mx,
+                            "o": tail[-delta:] if delta < len(tail)
+                            else tail,
+                        }])
+        if not (counters or gauges or histograms):
+            return None
+        out: dict = {}
+        if counters:
+            out["c"] = counters
+        if gauges:
+            out["g"] = gauges
+        if histograms:
+            out["h"] = histograms
+        return out
+
+
+def _labels_with(pairs, extra: Mapping[str, str]) -> dict[str, str]:
+    labels = {str(k): str(v) for k, v in pairs}
+    labels.update(extra)
+    return labels
+
+
+def merge_export(registry: MetricsRegistry, export: Mapping,
+                 extra_labels: Mapping[str, str]) -> int:
+    """Fold one :meth:`RegistryExporter.export` payload into
+    ``registry``, adding ``extra_labels`` to every series (the
+    supervisor passes ``{"shard": "N"}``). Returns the series count
+    merged. Counter deltas add exactly; gauges overwrite (last-value
+    semantics); histograms merge via
+    :meth:`~repro.obs.metrics.Histogram.merge`."""
+    merged = 0
+    for name, labels, delta in export.get("c", ()):
+        registry.counter(str(name), _labels_with(labels, extra_labels)
+                         ).increment(int(delta))
+        merged += 1
+    for name, labels, value in export.get("g", ()):
+        registry.gauge(str(name), _labels_with(labels, extra_labels)
+                       ).set(float(value))
+        merged += 1
+    for name, labels, data in export.get("h", ()):
+        registry.histogram(str(name), _labels_with(labels, extra_labels)
+                           ).merge(
+            count=int(data.get("n", 0)),
+            total=float(data.get("s", 0.0)),
+            minimum=float(data.get("mn", 0.0)),
+            maximum=float(data.get("mx", 0.0)),
+            observations=[float(x) for x in data.get("o", ())],
+        )
+        merged += 1
+    return merged
+
+
+class ForwardingEventBuffer:
+    """An :class:`~repro.obs.EventLog` sink buffering records for
+    forwarding: events at/above ``min_severity`` queue (bounded — the
+    oldest drop first under pressure) until :meth:`drain` ships them.
+    """
+
+    def __init__(self, *, min_severity: int = WARNING,
+                 capacity: int = 256):
+        self.min_severity = min_severity
+        self._pending: deque[Event] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def __call__(self, event: Event) -> None:
+        if event.severity < self.min_severity:
+            return
+        with self._lock:
+            self._pending.append(event)
+
+    def attach(self, log: EventLog) -> None:
+        """Install as ``log``'s sink (composing with any existing one —
+        both get every accepted event)."""
+        existing = log.sink
+        if existing is None:
+            log.sink = self
+        else:
+            def fanout(event: Event, _prior=existing, _self=self) -> None:
+                _prior(event)
+                _self(event)
+            log.sink = fanout
+
+    def drain(self) -> list[dict]:
+        """The buffered events as JSON-ready dicts, oldest first."""
+        with self._lock:
+            pending, self._pending = list(self._pending), deque(
+                maxlen=self._pending.maxlen)
+        return [{"sev": e.severity, "sub": e.subsystem, "name": e.name,
+                 "msg": e.message, "ts": e.timestamp,
+                 "fields": dict(e.fields)} for e in pending]

@@ -116,6 +116,12 @@ class Gauge:
             return self._value
 
     @property
+    def has_callback(self) -> bool:
+        """True when reading ``value`` runs a callback (which may be
+        arbitrarily expensive — e.g. an index-size walk)."""
+        return self._callback is not None
+
+    @property
     def dead(self) -> bool:
         """True for a callback gauge whose owner was collected."""
         return (self._callback is not None
@@ -181,6 +187,39 @@ class Histogram:
     def count(self) -> int:
         with self._lock:
             return self._count
+
+    # -- federation (mergeable reservoir export) -----------------------------
+
+    def export_state(self, tail: int) -> tuple[int, float, float, float,
+                                               list[float]]:
+        """A consistent ``(count, total, min, max, tail)`` snapshot for
+        delta export: ``tail`` is a copy of the newest observations
+        still in the reservoir (at most ``tail`` of them). The exporter
+        subtracts its last-seen count/total to ship exact deltas and
+        the sampled tail for percentile merging."""
+        with self._lock:
+            observations = (self._observations[-tail:] if tail > 0 else [])
+            minimum = self._minimum if self._count else 0.0
+            return (self._count, self._total, minimum, self._maximum,
+                    list(observations))
+
+    def merge(self, *, count: int, total: float, minimum: float,
+              maximum: float, observations: list[float]) -> None:
+        """Fold another histogram's exported delta into this one.
+
+        Count and sum merge exactly; ``observations`` is the exporter's
+        reservoir tail, so merged percentiles are approximate in
+        exactly the way one registry's own reservoir already is."""
+        if count <= 0:
+            return
+        with self._lock:
+            self._count += count
+            self._total += total
+            self._minimum = min(self._minimum, minimum)
+            self._maximum = max(self._maximum, maximum)
+            self._observations.extend(observations)
+            if len(self._observations) > self.reservoir:
+                del self._observations[:self.reservoir // 2]
 
     def snapshot(self) -> HistogramSnapshot:
         with self._lock:
@@ -343,6 +382,20 @@ class MetricsRegistry:
                       if not gauge.dead]
             histograms = list(self._histograms.items())
         return counters, gauges, histograms
+
+    def series(self):
+        """Every live series as ``(kind, name, labels, metric)`` tuples
+        (labels in normalized :data:`LabelKey` form) — the iteration
+        surface the federation exporter walks."""
+        counters, gauges, histograms = self._collect()
+        out = []
+        for (name, labels), metric in counters:
+            out.append(("counter", name, labels, metric))
+        for (name, labels), metric in gauges:
+            out.append(("gauge", name, labels, metric))
+        for (name, labels), metric in histograms:
+            out.append(("histogram", name, labels, metric))
+        return out
 
     def snapshot(self) -> dict[str, object]:
         """Every metric's current value, flat: counters as ints, gauges

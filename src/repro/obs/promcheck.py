@@ -91,10 +91,23 @@ def parse_samples(text: str) -> list[tuple[str, dict[str, str], float]]:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Validate exposition text from stdin (or a file argument)."""
-    argv = sys.argv[1:] if argv is None else argv
-    if argv:
-        with open(argv[0], encoding="utf-8") as handle:
+    """Validate exposition text from stdin (or a file argument).
+
+    ``--require-label NAME`` (repeatable) additionally demands at least
+    one sample carrying that label — how CI asserts the sharded stats
+    output really federated ``{shard=...}`` series instead of silently
+    rendering an unlabeled registry."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro.obs.promcheck")
+    parser.add_argument("path", nargs="?", default=None,
+                        help="exposition text file (default: stdin)")
+    parser.add_argument("--require-label", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless some sample carries this label")
+    args = parser.parse_args(argv)
+    if args.path:
+        with open(args.path, encoding="utf-8") as handle:
             text = handle.read()
     else:
         text = sys.stdin.read()
@@ -104,6 +117,13 @@ def main(argv: list[str] | None = None) -> int:
             print(error, file=sys.stderr)
         return 1
     samples = parse_samples(text)
+    for name in args.require_label:
+        hits = sum(1 for _, labels, _ in samples if name in labels)
+        if not hits:
+            print(f"required label {name!r} appears in no sample",
+                  file=sys.stderr)
+            return 1
+        print(f"label {name!r}: {hits} samples")
     print(f"ok: {len(samples)} samples, "
           f"{len(text.splitlines())} lines")
     return 0

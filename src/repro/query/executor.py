@@ -129,15 +129,22 @@ class ExecutionContext:
 
     ``engine`` tunes the batched engine (vector width, parallel scan
     threads); see :class:`repro.query.engine.EngineConfig`.
+
+    ``tenant`` is the admission-time tenant label (multi-tenant serving):
+    purely observational — it changes no execution behaviour, but the
+    post-execution accounting additionally records the ``query.*``
+    series under ``{tenant="..."}``.
     """
 
     def __init__(self, rvm: ResourceViewManager, functions: FunctionTable,
                  *, cancel_token=None, trace=None,
-                 engine: EngineConfig | None = None):
+                 engine: EngineConfig | None = None,
+                 tenant: str | None = None):
         self.rvm = rvm
         self.functions = functions
         self.cancel_token = cancel_token
         self.trace = trace
+        self.tenant = tenant
         self.engine = engine if engine is not None else DEFAULT_ENGINE
         self.group_replica = rvm.indexes.group_replica
         self.expanded_views = 0  # intermediate-result accounting (Q8!)
@@ -712,10 +719,12 @@ class QueryProcessor:
 
     def execute(self, query_text: str, *, cancel_token=None,
                 limit: int | None = None,
-                engine: EngineConfig | None = None) -> QueryResult:
+                engine: EngineConfig | None = None,
+                tenant: str | None = None) -> QueryResult:
         return self.execute_prepared(self.prepare(query_text),
                                      cancel_token=cancel_token,
-                                     limit=limit, engine=engine)
+                                     limit=limit, engine=engine,
+                                     tenant=tenant)
 
     def prepare(self, query_text: str) -> PreparedQuery:
         """Parse once; the result can be executed many times."""
@@ -724,7 +733,8 @@ class QueryProcessor:
     def execute_prepared(self, prepared: PreparedQuery, *,
                          cancel_token=None, trace=None,
                          limit: int | None = None,
-                         engine: EngineConfig | None = None) -> QueryResult:
+                         engine: EngineConfig | None = None,
+                         tenant: str | None = None) -> QueryResult:
         """Execute a prepared query.
 
         ``trace`` is an optional :class:`~repro.trace.TraceCollector`;
@@ -736,10 +746,13 @@ class QueryProcessor:
         ``limit`` truncates the result after that many rows *with early
         termination*: the engine stops pulling from its scans, so the
         cost is bounded by the limit, not the corpus.
+
+        ``tenant`` labels this execution's ``query.*`` telemetry (see
+        :class:`ExecutionContext`); it does not affect the result.
         """
         ctx = ExecutionContext(self.rvm, self.functions,
                                cancel_token=cancel_token, trace=trace,
-                               engine=engine)
+                               engine=engine, tenant=tenant)
         scope = trace.activate() if trace is not None else nullcontext()
         started = time.perf_counter()
         # retries/breaker events fired by source guards during this
@@ -756,7 +769,7 @@ class QueryProcessor:
                     self._record_execution(
                         prepared.text, elapsed, rows=len(pairs),
                         trace=trace, plan_text=plan.explain(),
-                        degradation=ctx.degradation,
+                        degradation=ctx.degradation, tenant=tenant,
                     )
                     return QueryResult(
                         query=prepared.text,
@@ -780,7 +793,7 @@ class QueryProcessor:
         elapsed = time.perf_counter() - started
         self._record_execution(prepared.text, elapsed, rows=len(uris),
                                trace=trace, plan_text=plan.explain(),
-                               degradation=ctx.degradation)
+                               degradation=ctx.degradation, tenant=tenant)
         hits = sorted((self._hit(uri) for uri in uris),
                       key=lambda h: h.uri)
         return QueryResult(
@@ -793,7 +806,8 @@ class QueryProcessor:
 
     def execute_iter(self, query, *, cancel_token=None, trace=None,
                      limit: int | None = None,
-                     engine: EngineConfig | None = None) -> StreamingResult:
+                     engine: EngineConfig | None = None,
+                     tenant: str | None = None) -> StreamingResult:
         """Execute a (non-join) query as a batch stream.
 
         Returns a :class:`StreamingResult` whose batches materialize on
@@ -809,7 +823,7 @@ class QueryProcessor:
             )
         ctx = ExecutionContext(self.rvm, self.functions,
                                cancel_token=cancel_token, trace=trace,
-                               engine=engine)
+                               engine=engine, tenant=tenant)
         plan = self._prepared_plan(prepared, ctx, trace=trace, limit=limit)
 
         def stream():
@@ -828,6 +842,7 @@ class QueryProcessor:
                     prepared.text, time.perf_counter() - started,
                     rows=rows, trace=trace, plan_text=plan.explain(),
                     degradation=ctx.degradation, streamed=True,
+                    tenant=tenant,
                 )
 
         return StreamingResult(prepared.text, plan.explain(), ctx, stream())
@@ -835,7 +850,8 @@ class QueryProcessor:
     def _record_execution(self, query_text: str, elapsed: float, *,
                           rows: int, trace, plan_text: str,
                           degradation: DegradationReport,
-                          streamed: bool = False) -> None:
+                          streamed: bool = False,
+                          tenant: str | None = None) -> None:
         """Feed one finished execution into the global telemetry spine:
         ``query.*`` counters/histograms, a traced run's per-operator
         aggregates (the same ``query.op.*`` names the service folds
@@ -845,16 +861,30 @@ class QueryProcessor:
         between pulls, so it lands in ``query.stream_seconds`` instead
         of ``query.latency_seconds`` and never triggers slow-query
         capture. Recapture re-executions record nothing at all.
+
+        With a ``tenant``, the headline series record *twice*: the
+        unlabeled fleet-wide series (existing dashboards keep working)
+        plus a ``{tenant="..."}`` -labeled series per metric.
         """
         if not obs.enabled() or obs.in_recapture():
             return
+        by_tenant = {"tenant": tenant} if tenant else None
         obs.increment("query.executions")
         obs.increment("query.rows", rows)
+        if by_tenant:
+            obs.increment("query.executions", labels=by_tenant)
+            obs.increment("query.rows", rows, labels=by_tenant)
         if streamed:
             obs.increment("query.streamed")
             obs.observe("query.stream_seconds", elapsed)
+            if by_tenant:
+                obs.observe("query.stream_seconds", elapsed,
+                            labels=by_tenant)
         else:
             obs.observe("query.latency_seconds", elapsed)
+            if by_tenant:
+                obs.observe("query.latency_seconds", elapsed,
+                            labels=by_tenant)
         if degradation.is_degraded:
             obs.increment("query.degraded")
             obs.emit_event(

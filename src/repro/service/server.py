@@ -45,9 +45,11 @@ from .metrics import MetricsRegistry
 class QueryTicket:
     """A handle on one submitted query (a minimal future)."""
 
-    def __init__(self, iql: str, *, session: "Session | None" = None):
+    def __init__(self, iql: str, *, session: "Session | None" = None,
+                 tenant: str | None = None):
         self.iql = iql
         self.session = session
+        self.tenant = tenant
         self.token = CancellationToken()
         self.cached = False
         self.queue_wait_seconds = 0.0
@@ -115,6 +117,10 @@ class Session:
     service: "DataspaceService"
     default_deadline: float | None = None
     use_cache: bool = True
+    #: admission-time tenant label: stamped on every query this session
+    #: submits, flowing into ``service.*``/``query.*`` telemetry as a
+    #: ``{tenant="..."}`` series (observational only)
+    tenant: str | None = None
     submitted: int = 0
     served: int = 0
     failed: int = 0
@@ -133,6 +139,7 @@ class Session:
             deadline=deadline if deadline is not None
             else self.default_deadline,
             use_cache=self.use_cache if use_cache is None else use_cache,
+            tenant=self.tenant,
         )
 
     def query(self, iql: str, *, deadline: float | None = None,
@@ -199,20 +206,30 @@ class DataspaceService:
 
     # -- metric plumbing -----------------------------------------------------
 
-    def _count(self, name: str, amount: int = 1) -> None:
+    def _count(self, name: str, amount: int = 1,
+               tenant: str | None = None) -> None:
         """Bump a service counter, mirrored process-globally.
 
         The per-service registry keeps the legacy flat name (pinned by
         existing dashboards and tests); the global registry gets the
         same series under the dotted ``service.*`` namespace so one
-        ``repro stats`` scrape sees every service in the process.
+        ``repro stats`` scrape sees every service in the process. With
+        a ``tenant``, a ``{tenant="..."}`` -labeled global series
+        records alongside (never instead of) the unlabeled one.
         """
         self.metrics.counter(name).increment(amount)
         obs.increment(f"service.{name}", amount)
+        if tenant:
+            obs.increment(f"service.{name}", amount,
+                          labels={"tenant": tenant})
 
-    def _observe(self, name: str, value: float) -> None:
+    def _observe(self, name: str, value: float,
+                 tenant: str | None = None) -> None:
         self.metrics.histogram(name).observe(value)
         obs.observe(f"service.{name}", value)
+        if tenant:
+            obs.observe(f"service.{name}", value,
+                        labels={"tenant": tenant})
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -281,7 +298,8 @@ class DataspaceService:
 
     def open_session(self, session_id: str | None = None, *,
                      deadline: float | None = None,
-                     use_cache: bool = True) -> Session:
+                     use_cache: bool = True,
+                     tenant: str | None = None) -> Session:
         if self._closed:
             raise ServiceClosed("service is closed")
         with self._state_lock:
@@ -291,7 +309,8 @@ class DataspaceService:
             if session_id in self._sessions:
                 raise ValueError(f"session {session_id!r} already open")
             session = Session(session_id=session_id, service=self,
-                              default_deadline=deadline, use_cache=use_cache)
+                              default_deadline=deadline, use_cache=use_cache,
+                              tenant=tenant)
             self._sessions[session_id] = session
         self._count("sessions.opened")
         return session
@@ -304,16 +323,21 @@ class DataspaceService:
 
     def submit(self, iql: str, *, session: Session | None = None,
                deadline: float | None = None,
-               use_cache: bool = True) -> QueryTicket:
+               use_cache: bool = True,
+               tenant: str | None = None) -> QueryTicket:
         """Admit one query; returns immediately with a ticket.
 
-        Raises :class:`~repro.core.errors.Overloaded` when the queue is
-        full and :class:`ServiceClosed` after shutdown began.
+        ``tenant`` labels the query's telemetry (defaults to the
+        session's tenant). Raises
+        :class:`~repro.core.errors.Overloaded` when the queue is full
+        and :class:`ServiceClosed` after shutdown began.
         """
         if self._closed:
             raise ServiceClosed("service is closed")
-        self._count("queries.submitted")
-        ticket = QueryTicket(iql, session=session)
+        if tenant is None and session is not None:
+            tenant = session.tenant
+        self._count("queries.submitted", tenant=tenant)
+        ticket = QueryTicket(iql, session=session, tenant=tenant)
         key = QueryKey(text=iql, optimizer=self.processor.optimizer_mode,
                        expansion=self.processor.expansion)
         use_cache = use_cache and self.cache_results
@@ -321,8 +345,8 @@ class DataspaceService:
             cached = self.result_cache.get(key)
             if cached is not None:
                 self._count("cache.result.hits")
-                self._count("queries.served")
-                self._observe("latency.total_seconds", 0.0)
+                self._count("queries.served", tenant=tenant)
+                self._observe("latency.total_seconds", 0.0, tenant=tenant)
                 ticket.cached = True
                 ticket._resolve(cached)
                 return ticket
@@ -389,7 +413,7 @@ class DataspaceService:
         try:
             ticket.token.check()  # cancelled or expired while queued
         except (DeadlineExceeded, QueryCancelled) as error:
-            self._count_failure(error)
+            self._count_failure(error, tenant=ticket.tenant)
             ticket._fail(error)
             return
         prepared = self.plan_cache.get(request.key)
@@ -412,20 +436,23 @@ class DataspaceService:
         started = time.monotonic()
         try:
             result = self.processor.execute_prepared(
-                prepared, cancel_token=ticket.token, trace=trace
+                prepared, cancel_token=ticket.token, trace=trace,
+                tenant=ticket.tenant,
             )
         except BaseException as error:  # noqa: BLE001 — fail the ticket
             if trace is not None:
                 self._fold_trace(trace)  # partial traces still count
-            self._count_failure(error)
+            self._count_failure(error, tenant=ticket.tenant)
             ticket._fail(error)
             return
         elapsed = time.monotonic() - started
         if trace is not None:
             self._fold_trace(trace)
-        self._observe("latency.execute_seconds", elapsed)
-        self._observe("latency.total_seconds", waited + elapsed)
-        self._count("queries.served")
+        self._observe("latency.execute_seconds", elapsed,
+                      tenant=ticket.tenant)
+        self._observe("latency.total_seconds", waited + elapsed,
+                      tenant=ticket.tenant)
+        self._count("queries.served", tenant=ticket.tenant)
         if result.is_degraded:
             # a partial answer is marked, and never cached: once the
             # sources recover, the next execution must not replay the
@@ -452,12 +479,13 @@ class DataspaceService:
         for name, value in trace.counters.items():
             self.metrics.increment(f"trace.{name}", value)
 
-    def _count_failure(self, error: BaseException) -> None:
+    def _count_failure(self, error: BaseException,
+                       tenant: str | None = None) -> None:
         if isinstance(error, DeadlineExceeded):
             self._count("queries.deadline_missed")
         elif isinstance(error, QueryCancelled):
             self._count("queries.cancelled")
-        self._count("queries.failed")
+        self._count("queries.failed", tenant=tenant)
 
     # -- introspection -------------------------------------------------------
 

@@ -22,6 +22,7 @@ Quick use::
 
 from .router import HashRing, stable_hash
 from .supervisor import (
+    FleetExplainReport,
     PendingCall,
     ShardResult,
     ShardState,
@@ -31,7 +32,7 @@ from .supervisor import (
 from .wire import MAX_FRAME_BYTES, read_frame, write_frame
 
 __all__ = [
-    "HashRing", "MAX_FRAME_BYTES", "PendingCall", "ShardResult",
-    "ShardState", "ShardSupervisor", "SupervisorConfig",
+    "FleetExplainReport", "HashRing", "MAX_FRAME_BYTES", "PendingCall",
+    "ShardResult", "ShardState", "ShardSupervisor", "SupervisorConfig",
     "read_frame", "stable_hash", "write_frame",
 ]

@@ -48,6 +48,27 @@ Telemetry lands in ``repro.obs`` under ``supervise.*``:
 breaker-state gauges, fenced-reply and re-dispatch counters, and the
 ``supervise.failover_seconds`` histogram (death detected → ready
 again).
+
+The supervisor is also the fleet's observability root (DESIGN.md §4k):
+
+* **metrics federation** — workers piggyback delta exports of their
+  own registries on reply frames (:mod:`repro.obs.federation`); the
+  supervisor merges each into the process-global registry under
+  ``{shard=N}`` labels, so one ``repro stats`` scrape covers every
+  worker. ``supervise.obs.*`` meta-metrics count the merges, and the
+  ``supervise.obs.stale{shard=N}`` gauge flips to 1 between a worker's
+  death and its successor's first export.
+* **event forwarding** — worker events at warning or above ride the
+  same frames and re-emit into the supervisor's event log tagged with
+  their shard, so a failover reads as one timeline (``shard.died`` →
+  ``shard.respawn`` → ``shard.recovered``) in ``Dataspace.events()``.
+* **trace stitching** — a query dispatched with ``trace`` runs under a
+  worker-side collector; the reply carries the span tree in wire form,
+  and the supervisor grafts it under its own dispatch spans (ring
+  lookup, per-incarnation dispatch, worker-queue wait), so EXPLAIN
+  ANALYZE renders one tree across both processes — including both
+  incarnations of a re-dispatched query, with fenced stale replies
+  reduced to a marker (their spans are never adopted).
 """
 
 from __future__ import annotations
@@ -126,6 +147,15 @@ class SupervisorConfig:
     jitter_seed: int = 0
     #: extra argv appended to every worker spawn (chaos hooks)
     worker_extra_args: tuple = ()
+    #: merge worker metric/event exports into the global registry
+    federate_metrics: bool = True
+    #: min seconds between a worker's piggybacked metric exports
+    metrics_interval: float = 1.0
+    #: rotate a shard's ``worker.log`` at spawn once it exceeds this
+    #: many bytes (<= 0 disables rotation)
+    log_max_bytes: int = 1 << 20
+    #: rotated generations kept (``worker.log.1`` .. ``.N``)
+    log_keep: int = 3
 
 
 class PendingCall:
@@ -140,10 +170,22 @@ class PendingCall:
         self.shard = shard
         self.epoch = -1           # set at each (re-)dispatch
         self.redispatched = False
+        #: per-incarnation dispatch records (kept only for traced
+        #: calls): ``{"epoch", "started", "ended", "status", "spans",
+        #: "counters", "queue_wait"}`` — one entry per dispatch, so a
+        #: re-dispatched query carries both incarnations' stories
+        self.dispatches: list[dict] = []
+        #: stale (epoch-fenced) replies whose id matched this call —
+        #: rendered as a fence marker; their spans are never adopted
+        self.fenced = 0
         self._done = threading.Event()
         self._reply: dict | None = None
         self._error: BaseException | None = None
         self._resolved = False    # guards against any double resolution
+
+    @property
+    def traced(self) -> bool:
+        return bool(self.payload.get("trace"))
 
     @property
     def done(self) -> bool:
@@ -169,6 +211,13 @@ class PendingCall:
         if self._resolved:
             return False
         self._resolved = True
+        if self.dispatches:
+            record = self.dispatches[-1]
+            record["ended"] = time.perf_counter()
+            record["status"] = "ok" if frame.get("ok", False) else "error"
+            record["spans"] = frame.get("spans")
+            record["counters"] = frame.get("counters")
+            record["queue_wait"] = frame.get("queue_wait")
         if frame.get("ok", False):
             self._reply = frame
         else:
@@ -196,6 +245,37 @@ def _typed_error(frame: dict) -> BaseException:
         except TypeError:  # exotic constructor signature
             pass
     return ServiceError(f"{name}: {message}")
+
+
+@dataclass
+class FleetExplainReport:
+    """A stitched cross-process EXPLAIN ANALYZE: the routed query's
+    :class:`ShardResult` plus the supervisor-side collector holding the
+    grafted tree (``ShardedQuery`` → ``RingLookup`` / per-incarnation
+    ``Dispatch`` → ``WorkerQueue`` + the worker's own operator spans)."""
+
+    result: "ShardResult"
+    trace: object  # TraceCollector (kept untyped: no import cycle)
+
+    def render(self, *, redact_timing: bool = False) -> str:
+        from ..trace import render_spans
+        lines = [render_spans(self.trace.roots,
+                              redact_timing=redact_timing)]
+        if self.trace.counters:
+            lines.append("counters:")
+            for name in sorted(self.trace.counters):
+                lines.append(f"  {name}: {self.trace.counters[name]}")
+        elapsed = ("-" if redact_timing
+                   else f"{self.result.elapsed_seconds * 1000:.2f}ms")
+        lines.append(
+            f"-- {self.result.count} result(s) from shard "
+            f"{self.result.shard} (epoch {self.result.epoch}) "
+            f"in {elapsed}"
+        )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
 
 
 @dataclass
@@ -398,10 +478,15 @@ class ShardSupervisor:
         ]
         if self.config.scale is not None:
             argv += ["--scale", str(self.config.scale)]
+        argv += ["--metrics-interval",
+                 str(self.config.metrics_interval
+                     if self.config.federate_metrics else 0)]
         argv += list(self.config.worker_extra_args)
         shard.directory.mkdir(parents=True, exist_ok=True)
         # worker stderr goes to a per-shard log for post-mortems; the
-        # protocol pipes stay clean
+        # protocol pipes stay clean. Rotation happens here, at spawn,
+        # because Popen holds the fd for the incarnation's whole life.
+        self._rotate_log(shard.directory / "worker.log")
         with open(shard.directory / "worker.log", "ab") as log:
             shard.proc = subprocess.Popen(
                 argv, stdin=subprocess.PIPE, stdout=subprocess.PIPE,
@@ -414,6 +499,25 @@ class ShardSupervisor:
             name=f"shard-{shard.index}-reader-e{shard.epoch}", daemon=True,
         )
         reader.start()
+
+    def _rotate_log(self, path: Path) -> None:
+        """Size-capped ``worker.log`` rotation: shift ``.1`` .. ``.N``
+        and truncate, keeping ``log_keep`` generations."""
+        keep = self.config.log_keep
+        limit = self.config.log_max_bytes
+        if keep < 1 or limit <= 0:
+            return
+        try:
+            if path.stat().st_size < limit:
+                return
+        except OSError:
+            return  # first spawn: nothing to rotate
+        for generation in range(keep, 1, -1):
+            older = path.with_name(f"{path.name}.{generation - 1}")
+            if older.exists():
+                os.replace(older, path.with_name(f"{path.name}.{generation}"))
+        os.replace(path, path.with_name(f"{path.name}.1"))
+        self._count("log.rotations")
 
     def _reader_loop(self, shard: _Shard, epoch: int,
                      proc: subprocess.Popen) -> None:
@@ -436,10 +540,20 @@ class ShardSupervisor:
         with shard.lock:
             if frame.get("epoch") != shard.epoch:
                 # the fence: a stale incarnation's buffered reply must
-                # not resolve (or double-resolve) anything
+                # not resolve (or double-resolve) anything — and its
+                # piggybacked metrics/spans are dropped with it. A
+                # traced call re-dispatched under the same id records
+                # the hit so the stitched trace shows the fence.
                 self._count("replies.fenced")
+                stale = shard.pending.get(frame.get("id"))
+                if stale is not None:
+                    stale.fenced += 1
                 return
             shard.last_frame_at = time.monotonic()
+            # detach the piggybacked observability payloads under the
+            # lock; the (slower) merge happens outside it
+            metrics = frame.pop("metrics", None)
+            events = frame.pop("events", None)
             op = frame.get("op")
             if op == "ready":
                 to_redispatch = self._on_ready(shard, frame)
@@ -448,6 +562,8 @@ class ShardSupervisor:
                 if call is not None and call.op == "ping":
                     shard.ping_outstanding = False
                 self._publish_shard_gauges(shard)
+        if metrics is not None or events is not None:
+            self._merge_observability(shard, metrics, events)
         # frame writes happen outside the state lock (see class docstring)
         for parked in to_redispatch:
             parked.redispatched = True
@@ -463,6 +579,42 @@ class ShardSupervisor:
             return
         if not call._resolve(frame):
             self._count("replies.duplicate")  # fencing keeps this at 0
+
+    def _merge_observability(self, shard: _Shard, metrics: dict | None,
+                             events: list | None) -> None:
+        """Fold one worker's piggybacked export into this process:
+        metric deltas under ``{shard=N}`` labels, forwarded events
+        re-emitted shard-tagged. Never called for fenced frames."""
+        from ..obs.federation import merge_export
+        label = str(shard.index)
+        if metrics is not None:
+            started = time.perf_counter()
+            merged = merge_export(obs.global_metrics(), metrics,
+                                  {"shard": label})
+            self._count("obs.merges")
+            self._count("obs.series_merged", merged)
+            obs.observe("supervise.obs.merge_seconds",
+                        time.perf_counter() - started)
+            # the shard is exporting again: its series are live
+            obs.set_gauge("supervise.obs.stale", 0,
+                          labels={"shard": label})
+        if events:
+            self._count("obs.events_forwarded", len(events))
+            for record in events:
+                fields = dict(record.get("fields") or {})
+                fields.setdefault("shard", shard.index)
+                fields.setdefault("origin", "worker")
+                try:
+                    obs.emit_event(
+                        int(record.get("sev", obs.WARNING)),
+                        str(record.get("sub", "worker")),
+                        str(record.get("name", "worker.event")),
+                        str(record.get("msg", "")), **fields,
+                    )
+                except TypeError:
+                    # a field name colliding with a positional — drop
+                    # the event rather than the reply that carried it
+                    self._count("obs.events_dropped")
 
     def _on_ready(self, shard: _Shard, frame: dict) -> list[PendingCall]:
         """Caller holds ``shard.lock``: the incarnation is serving.
@@ -507,6 +659,13 @@ class ShardSupervisor:
             inflight = list(shard.pending.values())
             shard.pending.clear()
             for call in inflight:
+                if call.dispatches:
+                    # the incarnation this dispatch went to is gone:
+                    # seal its record so the stitched trace shows it
+                    record = call.dispatches[-1]
+                    if record.get("ended") is None:
+                        record["ended"] = time.perf_counter()
+                        record["status"] = "died"
                 if call.op != "query" or call.redispatched:
                     # exactly-once: a call that already got its one
                     # re-dispatch fails instead of looping; control
@@ -526,6 +685,10 @@ class ShardSupervisor:
             self._count("shard.restarts" if not died_starting
                         else "shard.start_failures")
             self._count(f"shard.{shard.index}.deaths")
+            # the shard's federated series stop updating until its
+            # successor's first export: mark them stale
+            obs.set_gauge("supervise.obs.stale", 1,
+                          labels={"shard": str(shard.index)})
             self._publish_shard_gauges(shard)
             obs.emit_event(
                 obs.WARNING, "supervise", "supervise.shard.died",
@@ -547,15 +710,13 @@ class ShardSupervisor:
                         if now < shard.backoff_until:
                             continue
                         if shard.breaker.allow():
-                            shard.restarts += 1
-                            self._spawn(shard)
+                            self._respawn(shard)
                         else:
                             self._break_shard(shard)
                     elif shard.state is ShardState.BROKEN:
                         if shard.breaker.allow():
                             # the half-open probe: one restart attempt
-                            shard.restarts += 1
-                            self._spawn(shard)
+                            self._respawn(shard, probe=True)
                     elif shard.state is ShardState.UP:
                         ping = self._heartbeat_due(shard, now)
                 if ping:
@@ -564,6 +725,22 @@ class ShardSupervisor:
                             shard, self._new_call("ping", {}, shard.index))
                     except (ShardUnavailable, ServiceClosed):
                         pass
+
+    def _respawn(self, shard: _Shard, *, probe: bool = False) -> None:
+        """Caller holds ``shard.lock``: restart a dead worker, with the
+        failover timeline's middle event (died → **respawn** →
+        recovered) so the story reads whole in the event log."""
+        shard.restarts += 1
+        obs.emit_event(
+            obs.INFO, "supervise", "supervise.shard.respawn",
+            f"restarting shard {shard.index} "
+            f"(epoch {shard.epoch} -> {shard.epoch + 1}, "
+            f"restart #{shard.restarts}"
+            + (", half-open probe" if probe else "") + ")",
+            shard=shard.index, epoch=shard.epoch + 1,
+            restarts=shard.restarts, probe=probe,
+        )
+        self._spawn(shard)
 
     def _break_shard(self, shard: _Shard) -> None:
         """Caller holds ``shard.lock``: crash loop → fail fast."""
@@ -616,6 +793,12 @@ class ShardSupervisor:
                     retry_after=shard.breaker.retry_after,
                 )
             call.epoch = shard.epoch
+            if call.traced:
+                call.dispatches.append({
+                    "epoch": shard.epoch,
+                    "started": time.perf_counter(),
+                    "ended": None, "status": "inflight",
+                })
             shard.pending[call.id] = call
             proc = shard.proc
             self._publish_shard_gauges(shard)
@@ -660,32 +843,147 @@ class ShardSupervisor:
 
     def query(self, iql: str, *, key: str | None = None,
               limit: int | None = None,
-              timeout: float | None = None) -> ShardResult:
-        """Route one query by its key (default: the query text)."""
+              timeout: float | None = None,
+              tenant: str | None = None,
+              trace=None) -> ShardResult:
+        """Route one query by its key (default: the query text).
+
+        ``tenant`` rides the frame into the worker's telemetry (the
+        shard's ``query.*``/``service.*`` series gain a
+        ``{tenant="..."}`` variant, federated back with the shard
+        label). ``trace`` is an optional
+        :class:`~repro.trace.TraceCollector`: the worker executes under
+        its own collector, ships the span tree back in the reply, and
+        the stitched cross-process tree is grafted into ``trace``.
+        """
+        lookup_started = time.perf_counter()
         shard_index = self.shard_for(key if key is not None else iql)
-        call = self.submit("query", {"iql": iql, "limit": limit},
-                           shard_index)
+        lookup_seconds = time.perf_counter() - lookup_started
+        payload: dict = {"iql": iql, "limit": limit}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        if trace is not None:
+            payload["trace"] = True
+        started = time.perf_counter()
         try:
+            call = self.submit("query", payload, shard_index)
             reply = call.result(timeout)
         except Exception:
             self._count("queries.failed")
             raise
         self._count("queries.served")
+        if trace is not None:
+            self._stitch_trace(
+                trace, call, iql=iql, shard_index=shard_index,
+                lookup_seconds=lookup_seconds,
+                total_seconds=time.perf_counter() - started,
+                rows=reply.get("count"),
+            )
         return self._to_result(shard_index, call, reply)
 
+    def _stitch_trace(self, trace, call: PendingCall, *, iql: str,
+                      shard_index: int, lookup_seconds: float,
+                      total_seconds: float,
+                      rows: int | None = None) -> None:
+        """Assemble the cross-process tree for one routed query and
+        graft it into ``trace``: ring lookup, one dispatch span per
+        incarnation (pipe round-trip; a dead incarnation is sealed as
+        an error, the re-dispatch labeled), the worker's executor-queue
+        wait, the worker's own adopted span tree, and a fence marker
+        when stale replies were dropped."""
+        from ..trace import Span, span_from_wire
+        root = Span(operator="ShardedQuery",
+                    detail=f"ShardedQuery({iql!r})", depth=0,
+                    actual_rows=rows, elapsed_seconds=total_seconds,
+                    status="ok")
+        root.children.append(Span(
+            operator="RingLookup",
+            detail=f"RingLookup(shard {shard_index} of "
+                   f"{len(self._shards)})",
+            depth=1, elapsed_seconds=lookup_seconds, status="ok"))
+        for attempt, record in enumerate(call.dispatches):
+            status = record.get("status", "inflight")
+            note = ", re-dispatch" if attempt else ""
+            if status == "died":
+                note += ", worker died"
+            dispatch = Span(
+                operator="Dispatch",
+                detail=f"Dispatch(epoch={record['epoch']}, "
+                       f"pipe round-trip{note})",
+                depth=1,
+                elapsed_seconds=(record["ended"] - record["started"]
+                                 if record.get("ended") is not None
+                                 else None),
+                status={"ok": "ok", "died": "error",
+                        "error": "error"}.get(status, "running"),
+            )
+            queue_wait = record.get("queue_wait")
+            if queue_wait is not None:
+                dispatch.children.append(Span(
+                    operator="WorkerQueue",
+                    detail="WorkerQueue(executor hand-off)",
+                    depth=2, elapsed_seconds=queue_wait, status="ok"))
+            for wire in record.get("spans") or ():
+                dispatch.children.append(span_from_wire(wire, depth=2))
+            root.children.append(dispatch)
+            for name, value in (record.get("counters") or {}).items():
+                trace.counters[name] = (trace.counters.get(name, 0)
+                                        + int(value))
+        if call.fenced:
+            root.children.append(Span(
+                operator="EpochFence",
+                detail=f"EpochFence(dropped {call.fenced} stale "
+                       f"reply frame(s))",
+                depth=1, status="ok"))
+        trace.graft(root)
+
+    def explain_analyze(self, iql: str, *, key: str | None = None,
+                        limit: int | None = None,
+                        timeout: float | None = None,
+                        tenant: str | None = None) -> "FleetExplainReport":
+        """Execute one routed query under a stitched cross-process
+        trace and return a renderable report (the sharded counterpart
+        of ``QueryProcessor.explain_analyze``)."""
+        from ..trace import TraceCollector
+        trace = TraceCollector()
+        result = self.query(iql, key=key, limit=limit, timeout=timeout,
+                            tenant=tenant, trace=trace)
+        return FleetExplainReport(result=result, trace=trace)
+
     def query_all(self, iql: str, *, limit: int | None = None,
-                  timeout: float | None = None) -> dict[int, ShardResult]:
+                  timeout: float | None = None,
+                  tenant: str | None = None) -> dict[int, ShardResult]:
         """Fan one query out to every UP shard (scatter, no gather
         ordering); shards that are down are skipped."""
+        payload: dict = {"iql": iql, "limit": limit}
+        if tenant is not None:
+            payload["tenant"] = tenant
         calls: dict[int, PendingCall] = {}
         for shard in self._shards:
             try:
                 calls[shard.index] = self.submit(
-                    "query", {"iql": iql, "limit": limit}, shard.index)
+                    "query", dict(payload), shard.index)
             except ShardUnavailable:
                 continue
         return {index: self._to_result(index, call, call.result(timeout))
                 for index, call in calls.items()}
+
+    def flush_telemetry(self, timeout: float | None = 30.0) -> None:
+        """Nudge every UP shard with a ping so pending piggybacked
+        exports land now (a worker's last deltas otherwise wait for the
+        next reply or heartbeat). Best-effort: down shards are skipped,
+        failures ignored."""
+        calls = []
+        for shard in self._shards:
+            try:
+                calls.append(self.submit("ping", {}, shard.index))
+            except (ShardUnavailable, ServiceClosed):
+                continue
+        for call in calls:
+            try:
+                call.result(timeout)
+            except Exception:
+                continue
 
     def verify_shard(self, shard_index: int, *, seed: int = 0,
                      count: int = 25, timeout: float | None = 120.0) -> dict:
@@ -735,7 +1033,10 @@ class ShardSupervisor:
         return states
 
     def stats(self) -> dict[str, object]:
-        """Per-shard supervision counters for dashboards and tests."""
+        """Per-shard supervision counters for dashboards and tests,
+        including each shard's federated query p99 (from the merged
+        ``{shard=N}`` series) and export staleness."""
+        snapshot = obs.global_metrics().snapshot()
         report: dict[str, object] = {"shards": len(self._shards)}
         for shard in self._shards:
             with shard.lock:
@@ -750,4 +1051,13 @@ class ShardSupervisor:
                 report[f"{prefix}.pid"] = (shard.proc.pid
                                            if shard.proc is not None
                                            else None)
+            latency = snapshot.get(
+                f'query.latency_seconds{{shard="{shard.index}"}}')
+            if latency is not None:
+                report[f"{prefix}.p99_seconds"] = latency.p99
+                report[f"{prefix}.served"] = latency.count
+            stale = snapshot.get(
+                f'supervise.obs.stale{{shard="{shard.index}"}}')
+            if stale is not None:
+                report[f"{prefix}.stale"] = bool(stale)
         return report

@@ -20,6 +20,16 @@ Every frame carries:
     current one, so a buffered reply from a dead incarnation can never
     resolve a re-dispatched request twice.
 
+Frames may carry observability payloads (all optional; DESIGN.md §4k):
+``query`` requests take ``trace`` (bool: execute under a collector)
+and ``tenant`` (label for the worker's telemetry); query replies then
+carry ``spans`` (the worker's span tree in the compact wire form of
+:func:`repro.trace.span_to_wire`), ``counters`` and ``queue_wait``.
+Any worker → supervisor frame may piggyback ``metrics`` (a
+:class:`repro.obs.federation.RegistryExporter` delta export) and
+``events`` (pending warning+ event records) — fenced frames are
+dropped whole, piggybacked payloads included.
+
 Reading is strict: a length over :data:`MAX_FRAME_BYTES`, a truncated
 payload, or undecodable JSON raises
 :class:`~repro.core.errors.WireError` — once framing is lost the stream

@@ -24,6 +24,18 @@ number the supervisor fences replies with. The ``crash`` op and
 ``--crash-after-queries N`` deliver a real ``SIGKILL`` to this process
 (the :mod:`repro.durability.crashchild` pattern): no flush, no atexit —
 exactly the failure the supervisor exists to contain.
+
+The worker is also the fleet's telemetry origin. A query frame with
+``"trace": true`` executes under a :class:`~repro.trace.TraceCollector`
+and the reply carries the span tree in compact wire form (plus the
+substrate counters and the executor-queue wait), which the supervisor
+grafts under its own dispatch span — one stitched EXPLAIN ANALYZE
+across both processes. Independently, every reply may piggyback a
+``metrics`` delta export of this process's registry and any pending
+``events`` (severity >= warning) — see :mod:`repro.obs.federation`; the
+supervisor merges them under ``{shard=N}`` labels. Piggybacking rides
+existing replies (heartbeat pongs guarantee flow while idle), so
+federation adds no frames of its own.
 """
 
 from __future__ import annotations
@@ -46,7 +58,8 @@ class ShardWorker:
 
     def __init__(self, dataspace, *, shard: int, epoch: int,
                  recovered: bool, crash_after_queries: int | None = None,
-                 stdin=None, stdout=None):
+                 stdin=None, stdout=None,
+                 metrics_interval: float | None = 1.0):
         self.dataspace = dataspace
         self.shard = shard
         self.epoch = epoch
@@ -59,6 +72,19 @@ class ShardWorker:
         self._write_lock = threading.Lock()
         self._work: queue.Queue = queue.Queue()
         self._stopping = threading.Event()
+        #: metrics/event piggybacking (None / <= 0 disables federation);
+        #: a fresh exporter per process is what makes counter deltas
+        #: crash-safe — see repro.obs.federation
+        self.metrics_interval = metrics_interval
+        self._exporter = None
+        self._event_buffer = None
+        self._last_export = 0.0
+        if metrics_interval is not None and metrics_interval > 0:
+            from .. import obs
+            from ..obs.federation import ForwardingEventBuffer, RegistryExporter
+            self._exporter = RegistryExporter(obs.global_metrics())
+            self._event_buffer = ForwardingEventBuffer()
+            self._event_buffer.attach(obs.global_events())
 
     # -- frames --------------------------------------------------------------
 
@@ -68,13 +94,34 @@ class ShardWorker:
         with self._write_lock:
             write_frame(self.stdout, payload)
 
+    def _attach_observability(self, payload: dict, *,
+                              force: bool = False) -> None:
+        """Piggyback a metrics delta + pending events on an outgoing
+        reply when the export interval elapsed (or on ``force``)."""
+        if self._exporter is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_export < self.metrics_interval:
+            return
+        self._last_export = now
+        export = self._exporter.export()
+        if export is not None:
+            payload["metrics"] = export
+        events = self._event_buffer.drain()
+        if events:
+            payload["events"] = events
+
     def _reply_ok(self, request: dict, **fields) -> None:
-        self._send({"op": "reply", "id": request.get("id"),
-                    "ok": True, **fields})
+        payload = {"op": "reply", "id": request.get("id"),
+                   "ok": True, **fields}
+        self._attach_observability(payload)
+        self._send(payload)
 
     def _reply_error(self, request: dict, error: BaseException) -> None:
-        self._send({"op": "reply", "id": request.get("id"), "ok": False,
-                    "error": type(error).__name__, "message": str(error)})
+        payload = {"op": "reply", "id": request.get("id"), "ok": False,
+                   "error": type(error).__name__, "message": str(error)}
+        self._attach_observability(payload)
+        self._send(payload)
 
     # -- the executor thread (queries, checkpoints, verification) -----------
 
@@ -91,15 +138,7 @@ class ShardWorker:
     def _execute(self, request: dict) -> None:
         op = request["op"]
         if op == "query":
-            started = time.perf_counter()
-            result = self.dataspace.query(request["iql"],
-                                          limit=request.get("limit"))
-            self.queries_served += 1
-            self._reply_ok(
-                request, uris=list(result.uris()), count=len(result),
-                elapsed=time.perf_counter() - started,
-                degraded=bool(result.is_degraded),
-            )
+            self._execute_query(request)
         elif op == "checkpoint":
             info = self.dataspace.checkpoint()
             self._reply_ok(request, lsn=info.lsn,
@@ -121,16 +160,69 @@ class ShardWorker:
             self._reply_error(request,
                               ValueError(f"unknown operation {op!r}"))
 
+    def _execute_query(self, request: dict) -> None:
+        """One routed query: traced when the frame asks for it, with
+        worker-side ``service.*`` accounting so the federated fleet
+        snapshot carries serving metrics from every shard."""
+        from .. import obs
+
+        queue_wait = None
+        enqueued = request.get("_enqueued")
+        if enqueued is not None:
+            queue_wait = time.perf_counter() - enqueued
+        tenant = request.get("tenant")
+        trace = None
+        if request.get("trace"):
+            from ..trace import TraceCollector
+            trace = TraceCollector()
+        if not self.dataspace._synced:
+            self.dataspace.sync()
+        processor = self.dataspace.processor
+        started = time.perf_counter()
+        result = processor.execute_prepared(
+            processor.prepare(request["iql"]), limit=request.get("limit"),
+            trace=trace, tenant=tenant,
+        )
+        elapsed = time.perf_counter() - started
+        self.queries_served += 1
+        obs.increment("service.queries.served")
+        obs.observe("service.latency.execute_seconds", elapsed)
+        if queue_wait is not None:
+            obs.observe("service.latency.queue_seconds", queue_wait)
+            obs.observe("service.latency.total_seconds",
+                        queue_wait + elapsed)
+        if tenant:
+            obs.increment("service.queries.served",
+                          labels={"tenant": tenant})
+            obs.observe("service.latency.execute_seconds", elapsed,
+                        labels={"tenant": tenant})
+        extra: dict = {}
+        if trace is not None:
+            from ..trace import span_to_wire
+            extra["spans"] = [span_to_wire(root) for root in trace.roots]
+            if trace.counters:
+                extra["counters"] = dict(trace.counters)
+        if queue_wait is not None:
+            extra["queue_wait"] = queue_wait
+        self._reply_ok(
+            request, uris=list(result.uris()), count=len(result),
+            elapsed=elapsed, degraded=bool(result.is_degraded), **extra,
+        )
+
     # -- the main loop (reads frames, keeps liveness) ------------------------
 
     def serve(self) -> int:
         executor = threading.Thread(target=self._executor_loop,
                                     name="shard-executor", daemon=True)
         executor.start()
-        self._send({"op": "ready", "shard": self.shard,
-                    "pid": os.getpid(),
-                    "views": self.dataspace.view_count,
-                    "recovered": self.recovered})
+        ready = {"op": "ready", "shard": self.shard,
+                 "pid": os.getpid(),
+                 "views": self.dataspace.view_count,
+                 "recovered": self.recovered}
+        # force an export on ready: the generation/recovery metrics ship
+        # immediately instead of waiting out the first interval
+        self._attach_observability(ready, force=True)
+        self._send(ready)
         from ..core.errors import WireError
         from .wire import read_frame
         try:
@@ -157,6 +249,9 @@ class ShardWorker:
                         # die with the request unanswered: the supervisor
                         # must re-dispatch it exactly once after recovery
                         _sigkill_self()
+                    # stamp the hand-off so the executor can report how
+                    # long the query sat in the worker's queue
+                    request["_enqueued"] = time.perf_counter()
                     self._work.put(request)
                 else:
                     self._work.put(request)
@@ -207,6 +302,9 @@ def main(argv=None) -> int:
     parser.add_argument("--crash-after-queries", type=int, default=None,
                         help="SIGKILL self when query N+1 arrives, before "
                              "replying (chaos hook)")
+    parser.add_argument("--metrics-interval", type=float, default=1.0,
+                        help="min seconds between piggybacked metric "
+                             "exports (<= 0 disables federation)")
     args = parser.parse_args(argv)
 
     dataspace, recovered = open_or_generate(
@@ -215,6 +313,7 @@ def main(argv=None) -> int:
     worker = ShardWorker(
         dataspace, shard=args.shard, epoch=args.epoch, recovered=recovered,
         crash_after_queries=args.crash_after_queries,
+        metrics_interval=args.metrics_interval,
     )
     return worker.serve()
 

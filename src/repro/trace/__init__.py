@@ -18,7 +18,7 @@ pays one ``is None`` check per plan node and nothing else (see
 
 from .collector import TraceCollector
 from .render import ExplainAnalyzeReport, render_spans
-from .span import RewriteEvent, Span
+from .span import RewriteEvent, Span, span_from_wire, span_to_wire
 
 __all__ = [
     "ExplainAnalyzeReport",
@@ -26,4 +26,6 @@ __all__ = [
     "Span",
     "TraceCollector",
     "render_spans",
+    "span_from_wire",
+    "span_to_wire",
 ]

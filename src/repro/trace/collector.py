@@ -127,6 +127,20 @@ class TraceCollector:
         span.batches = batches
         span.elapsed_seconds = elapsed
 
+    # -- cross-process stitching ---------------------------------------------
+
+    def graft(self, span: Span, *, parent: Span | None = None) -> Span:
+        """Attach an externally-built span tree — typically deserialized
+        from another process's reply frame via
+        :func:`~repro.trace.span.span_from_wire` — under ``parent`` (a
+        new root when None). Depths are re-derived from the graft
+        point, so the adopted tree renders at the right indentation."""
+        if parent is not None:
+            parent.children.append(span.rebase(parent.depth + 1))
+        else:
+            self.roots.append(span.rebase(0))
+        return span
+
     # -- counters ------------------------------------------------------------
 
     def count(self, name: str, amount: int = 1) -> None:

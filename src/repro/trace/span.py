@@ -7,6 +7,13 @@ wall time and final status. Spans nest exactly as plan nodes do, so the
 span forest mirrors the physical plan tree; with the batched engine,
 the wall time is the sum of the operator's ``next_batch()`` calls
 (inclusive of its inputs' pull time, exclusive of its siblings').
+
+Spans also cross process boundaries: a shard worker executes its slice
+of a routed query under its own collector and ships the resulting tree
+back in the reply frame as the compact wire form
+(:func:`span_to_wire` / :func:`span_from_wire`), and the supervisor
+grafts it under its own dispatch span (:meth:`Span.rebase`), so one
+stitched EXPLAIN ANALYZE tree covers both processes.
 """
 
 from __future__ import annotations
@@ -43,6 +50,48 @@ class Span:
         if self.estimate is None or self.actual_rows is None:
             return None
         return self.actual_rows / max(1, self.estimate)
+
+    def rebase(self, depth: int) -> "Span":
+        """Re-anchor this tree at ``depth`` (grafting under a parent
+        from another process re-derives every nesting level)."""
+        self.depth = depth
+        for child in self.children:
+            child.rebase(depth + 1)
+        return self
+
+
+#: wire-form field order: short keys keep reply frames compact without
+#: a binary format (the frames are JSON end to end)
+_WIRE_KEYS = (("o", "operator"), ("d", "detail"), ("e", "estimate"),
+              ("r", "actual_rows"), ("b", "batches"),
+              ("t", "elapsed_seconds"))
+
+
+def span_to_wire(span: Span) -> dict:
+    """One span tree as a compact JSON-ready dict (depth is implied by
+    nesting and re-derived by the receiver's :meth:`Span.rebase`)."""
+    out: dict = {}
+    for short, attr in _WIRE_KEYS:
+        value = getattr(span, attr)
+        if value is not None:
+            out[short] = value
+    if span.status != "ok":
+        out["s"] = span.status
+    if span.children:
+        out["c"] = [span_to_wire(child) for child in span.children]
+    return out
+
+
+def span_from_wire(data: dict, *, depth: int = 0) -> Span:
+    """Rebuild a span tree from its wire form."""
+    span = Span(operator=str(data.get("o", "?")),
+                detail=str(data.get("d", "")), depth=depth,
+                estimate=data.get("e"), actual_rows=data.get("r"),
+                batches=data.get("b"), elapsed_seconds=data.get("t"),
+                status=str(data.get("s", "ok")))
+    span.children = [span_from_wire(child, depth=depth + 1)
+                     for child in data.get("c", ())]
+    return span
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,171 @@
+"""Metrics federation: delta exports, labeled merges, event buffering.
+
+The contract under test is the one the sharded service leans on: an
+exporter ships exact counter/histogram deltas against its own lifetime
+(so a respawned worker's fresh exporter can never re-ship what the dead
+incarnation already sent), and :func:`merge_export` folds an export
+into another registry under extra labels without disturbing the
+unlabeled series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import EventLog, MetricsRegistry, WARNING
+from repro.obs.federation import (
+    ForwardingEventBuffer,
+    RegistryExporter,
+    merge_export,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestExporter:
+    def test_empty_registry_exports_nothing(self, registry):
+        assert RegistryExporter(registry).export() is None
+
+    def test_counter_deltas_are_exact(self, registry):
+        exporter = RegistryExporter(registry)
+        registry.increment("queries", 5)
+        first = exporter.export()
+        assert first["c"] == [["queries", [], 5]]
+        registry.increment("queries", 2)
+        second = exporter.export()
+        assert second["c"] == [["queries", [], 2]]
+        # nothing moved since: the export is None, not an empty dict
+        assert exporter.export() is None
+
+    def test_labeled_series_round_trip(self, registry):
+        exporter = RegistryExporter(registry)
+        registry.increment("retries", 3, labels={"source": "imap"})
+        export = exporter.export()
+        [(name, labels, delta)] = export["c"]
+        assert (name, delta) == ("retries", 3)
+        # in memory the pairs are tuples; over the wire JSON makes
+        # them lists — merge_export accepts either
+        assert [list(pair) for pair in labels] == [["source", "imap"]]
+
+    def test_gauge_ships_only_on_change(self, registry):
+        exporter = RegistryExporter(registry)
+        registry.set_gauge("depth", 4.0)
+        assert exporter.export()["g"] == [["depth", [], 4.0]]
+        registry.increment("tick")  # some other movement
+        assert "g" not in exporter.export()
+        registry.set_gauge("depth", 5.0)
+        registry.increment("tick")
+        assert exporter.export()["g"] == [["depth", [], 5.0]]
+
+    def test_histogram_delta_count_and_sum(self, registry):
+        exporter = RegistryExporter(registry)
+        registry.observe("latency", 0.5)
+        registry.observe("latency", 1.5)
+        [(_, _, data)] = exporter.export()["h"]
+        assert data["n"] == 2 and data["s"] == pytest.approx(2.0)
+        registry.observe("latency", 0.25)
+        [(_, _, data)] = exporter.export()["h"]
+        assert data["n"] == 1 and data["s"] == pytest.approx(0.25)
+        assert data["o"] == [0.25]  # only the new tail ships
+
+    def test_callback_gauges_rate_limited(self, registry):
+        # reading a callback gauge may walk an index — the exporter
+        # must not do that on every per-reply export
+        reads = []
+        registry.register_gauge_callback(
+            "index.bytes", lambda: reads.append(1) or 7.0)
+        throttled = RegistryExporter(registry,
+                                     callback_gauge_interval=3600.0)
+        assert throttled.export()["g"] == [["index.bytes", [], 7.0]]
+        registry.increment("tick")
+        throttled.export()
+        assert len(reads) == 1  # second export skipped the callback
+
+        eager = RegistryExporter(registry, callback_gauge_interval=0.0)
+        eager.export()
+        registry.increment("tick")
+        eager.export()
+        assert len(reads) == 3  # every export re-read it
+
+
+class TestMerge:
+    def test_merge_adds_extra_labels(self, registry):
+        source = MetricsRegistry()
+        exporter = RegistryExporter(source)
+        source.increment("queries", 4)
+        source.observe("latency", 0.5)
+        merged = merge_export(registry, exporter.export(), {"shard": "3"})
+        assert merged == 2
+        snap = registry.snapshot()
+        assert snap['queries{shard="3"}'] == 4
+        assert snap['latency{shard="3"}'].count == 1
+        assert "queries" not in snap  # unlabeled series untouched
+
+    def test_merged_counters_accumulate_across_exports(self, registry):
+        source = MetricsRegistry()
+        exporter = RegistryExporter(source)
+        for round_increments in (5, 2):
+            source.increment("queries", round_increments)
+            merge_export(registry, exporter.export(), {"shard": "0"})
+        assert registry.snapshot()['queries{shard="0"}'] == 7
+
+    def test_respawn_cannot_double_count(self, registry):
+        # incarnation 1: records 5, exports, dies
+        first = MetricsRegistry()
+        first.increment("queries", 5)
+        merge_export(registry, RegistryExporter(first).export(),
+                     {"shard": "0"})
+        # incarnation 2: a FRESH registry and exporter — its deltas
+        # restart from zero, so the merged total is 5 + 3, never 5 + 8
+        second = MetricsRegistry()
+        second.increment("queries", 3)
+        merge_export(registry, RegistryExporter(second).export(),
+                     {"shard": "0"})
+        assert registry.snapshot()['queries{shard="0"}'] == 8
+
+    def test_histogram_merge_preserves_extremes(self, registry):
+        source = MetricsRegistry()
+        exporter = RegistryExporter(source)
+        for value in (0.010, 0.500, 0.020):
+            source.observe("latency", value)
+        merge_export(registry, exporter.export(), {"shard": "1"})
+        snap = registry.snapshot()['latency{shard="1"}']
+        assert snap.count == 3
+        assert snap.minimum == pytest.approx(0.010)
+        assert snap.maximum == pytest.approx(0.500)
+
+
+class TestForwardingEventBuffer:
+    def test_buffers_only_warning_and_above(self):
+        log = EventLog()
+        buffer = ForwardingEventBuffer()
+        buffer.attach(log)
+        log.info("sync", "sync.done", "fine")
+        log.warning("sync", "sync.slow", "source lagging", source="imap")
+        log.error("wal", "wal.torn", "truncated tail")
+        records = buffer.drain()
+        assert [r["name"] for r in records] == ["sync.slow", "wal.torn"]
+        assert records[0]["sev"] >= WARNING
+        assert records[0]["fields"] == {"source": "imap"}
+        assert buffer.drain() == []  # drain empties
+
+    def test_attach_composes_with_existing_sink(self):
+        seen = []
+        log = EventLog(sink=seen.append)
+        buffer = ForwardingEventBuffer()
+        buffer.attach(log)
+        log.warning("x", "x.warn", "both sinks fire")
+        assert len(seen) == 1
+        assert len(buffer.drain()) == 1
+
+    def test_bounded_under_pressure(self):
+        log = EventLog(capacity=64)
+        buffer = ForwardingEventBuffer(capacity=4)
+        buffer.attach(log)
+        for n in range(10):
+            log.warning("x", f"x.{n}", "flood")
+        names = [r["name"] for r in buffer.drain()]
+        assert names == ["x.6", "x.7", "x.8", "x.9"]  # oldest dropped

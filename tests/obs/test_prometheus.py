@@ -89,3 +89,34 @@ class TestValidator:
 
     def test_accepts_special_values(self):
         assert validate("m +Inf\nm2 NaN\nm3 -Inf") == []
+
+
+class TestPromcheckCLI:
+    def test_main_validates_stdin_text(self, tmp_path, capsys):
+        from repro.obs.promcheck import main
+        registry = MetricsRegistry()
+        registry.increment("queries", 3, labels={"shard": "0"})
+        path = tmp_path / "metrics.prom"
+        path.write_text(registry.render_prometheus(), encoding="utf-8")
+        assert main([str(path)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_require_label_present(self, tmp_path, capsys):
+        from repro.obs.promcheck import main
+        registry = MetricsRegistry()
+        registry.increment("queries", labels={"shard": "0"})
+        registry.increment("plain")
+        path = tmp_path / "metrics.prom"
+        path.write_text(registry.render_prometheus(), encoding="utf-8")
+        assert main([str(path), "--require-label", "shard"]) == 0
+        out = capsys.readouterr().out
+        assert "label 'shard':" in out
+
+    def test_require_label_missing_fails(self, tmp_path, capsys):
+        from repro.obs.promcheck import main
+        registry = MetricsRegistry()
+        registry.increment("plain")
+        path = tmp_path / "metrics.prom"
+        path.write_text(registry.render_prometheus(), encoding="utf-8")
+        assert main([str(path), "--require-label", "shard"]) == 1
+        assert "shard" in capsys.readouterr().err

@@ -1,0 +1,84 @@
+"""Per-tenant telemetry labels, admission through execution.
+
+The labeling contract is *additive*: the unlabeled ``query.*`` /
+``service.*`` series record exactly as before (existing dashboards see
+no change), and a ``{tenant="..."}`` variant records alongside them
+only when a tenant is attached — at ``open_session`` (every query of
+the session inherits it) or per ``submit``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.dataset import TINY_PROFILE
+from repro.facade import Dataspace
+from repro.imapsim.latency import no_latency
+
+
+@pytest.fixture
+def dataspace():
+    space = Dataspace.generate(profile=TINY_PROFILE, seed=7,
+                               imap_latency=no_latency())
+    space.sync()
+    return space
+
+
+def snapshot():
+    return obs.global_metrics().snapshot()
+
+
+class TestExecutorLabels:
+    def test_tenant_records_labeled_and_unlabeled(self, dataspace):
+        processor = dataspace.processor
+        prepared = processor.prepare('"database"')
+        processor.execute_prepared(prepared, tenant="acme")
+        snap = snapshot()
+        assert snap['query.executions{tenant="acme"}'] == 1
+        assert snap["query.executions"] == 1  # the unlabeled twin
+        assert snap['query.latency_seconds{tenant="acme"}'].count == 1
+        assert snap['query.rows{tenant="acme"}'] == snap["query.rows"]
+
+    def test_no_tenant_means_no_labeled_series(self, dataspace):
+        dataspace.query('"database"')
+        assert not any("tenant=" in name for name in snapshot())
+
+    def test_tenants_get_distinct_series(self, dataspace):
+        processor = dataspace.processor
+        prepared = processor.prepare('"database"')
+        processor.execute_prepared(prepared, tenant="acme")
+        processor.execute_prepared(prepared, tenant="acme")
+        processor.execute_prepared(prepared, tenant="globex")
+        snap = snapshot()
+        assert snap['query.executions{tenant="acme"}'] == 2
+        assert snap['query.executions{tenant="globex"}'] == 1
+        assert snap["query.executions"] == 3
+
+
+class TestServiceLabels:
+    def test_session_tenant_inherited_by_queries(self, dataspace):
+        with dataspace.serve(workers=2) as service:
+            session = service.open_session(tenant="acme")
+            session.submit('"database"').result(timeout=60.0)
+        snap = snapshot()
+        assert snap['service.queries.submitted{tenant="acme"}'] == 1
+        assert snap['service.queries.served{tenant="acme"}'] == 1
+        assert snap['service.latency.total_seconds{tenant="acme"}'].count == 1
+        # the executor-side series carry the same label end to end
+        assert snap['query.executions{tenant="acme"}'] == 1
+
+    def test_submit_tenant_overrides_session(self, dataspace):
+        with dataspace.serve(workers=2) as service:
+            service.submit('"database"',
+                           tenant="globex").result(timeout=60.0)
+        snap = snapshot()
+        assert snap['service.queries.served{tenant="globex"}'] == 1
+
+    def test_cached_hits_count_under_the_tenant(self, dataspace):
+        with dataspace.serve(workers=2, cache_results=True) as service:
+            service.submit('"database"', tenant="acme").result(timeout=60.0)
+            service.submit('"database"', tenant="acme").result(timeout=60.0)
+        snap = snapshot()
+        assert snap['service.queries.served{tenant="acme"}'] == 2
+        assert snap['service.queries.submitted{tenant="acme"}'] == 2

@@ -1,0 +1,242 @@
+"""Fleet observability over real worker processes.
+
+Three contracts, end to end: stitched traces (one EXPLAIN ANALYZE tree
+spanning the supervisor and the worker — both incarnations when the
+query was re-dispatched, never a fenced incarnation's spans), metrics
+federation (every worker's series appear under ``{shard=N}`` labels,
+and a SIGKILL can never double-count a merged counter, because a
+respawned worker's exporter restarts its deltas from zero), and the
+failover timeline (died → respawn → recovered) in the event log.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.supervise import PendingCall, ShardSupervisor
+from repro.trace import TraceCollector, span_to_wire
+from repro.trace.span import Span
+
+from .conftest import CHAOS_SEED
+
+#: Series the federated fleet snapshot must carry per shard.
+LABELED = ('query.executions{{shard="{0}"}}',
+           'service.queries.served{{shard="{0}"}}')
+
+
+def labeled_counter(name: str, **labels) -> int:
+    key = (name + "{"
+           + ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+           + "}")
+    value = obs.global_metrics().snapshot().get(key, 0)
+    return int(value)
+
+
+def key_for_shard(sup: ShardSupervisor, shard: int) -> str:
+    for n in range(256):
+        key = f"client-{n}"
+        if sup.shard_for(key) == shard:
+            return key
+    raise AssertionError(f"no probe key routed to shard {shard}")
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """Two shard workers exporting aggressively (every reply)."""
+    sup = ShardSupervisor(
+        tmp_path_factory.mktemp("obsfleet"), shards=2,
+        seed=500 + CHAOS_SEED, heartbeat_interval=0.2,
+        metrics_interval=0.0001,
+    ).start()
+    yield sup
+    sup.close(drain=False)
+
+
+class TestStitchedTraces:
+    def test_tree_spans_both_processes(self, fleet):
+        report = fleet.explain_analyze('"database"', tenant="acme")
+        text = report.render()
+        # supervisor-side spans
+        assert "ShardedQuery" in text
+        assert "RingLookup(shard" in text
+        assert "Dispatch(epoch=" in text
+        assert "WorkerQueue(executor hand-off)" in text
+        # the worker's own operator tree, grafted under the dispatch
+        assert "ContentSearch" in text
+        # the worker's substrate counters federate into the report
+        assert report.trace.counters.get("ctx.content_search", 0) >= 1
+        assert report.result.count >= 0
+
+    def test_untraced_queries_ship_no_spans(self, fleet):
+        result = fleet.query('"database"', key=key_for_shard(fleet, 0))
+        assert result.count == len(result.uris)
+        # no collector was passed, so nothing was stitched anywhere —
+        # cheap sanity that tracing is strictly opt-in per query
+
+    def test_fenced_dispatches_contribute_no_spans(self, fleet):
+        """A stale incarnation's reply is dropped whole: the stitched
+        tree marks the fence but adopts spans only from live replies."""
+        call = PendingCall(99, "query", {"iql": '"x"', "trace": True}, 0)
+        worker_span = Span(operator="ContentSearch",
+                           detail="ContentSearch(phrase: 'x')", depth=0,
+                           actual_rows=3, elapsed_seconds=0.001,
+                           status="ok")
+        call.dispatches = [
+            {"epoch": 1, "started": 0.0, "ended": 0.1, "status": "died",
+             "spans": None, "counters": None, "queue_wait": None},
+            {"epoch": 2, "started": 0.1, "ended": 0.2, "status": "ok",
+             "spans": [span_to_wire(worker_span)],
+             "counters": {"ctx.content_search": 1}, "queue_wait": 0.0001},
+        ]
+        call.fenced = 2
+        trace = TraceCollector()
+        fleet._stitch_trace(trace, call, iql='"x"', shard_index=0,
+                            lookup_seconds=0.0, total_seconds=0.2, rows=3)
+        [root] = trace.roots
+        dispatches = [s for s in root.children if s.operator == "Dispatch"]
+        assert len(dispatches) == 2
+        died, redispatched = dispatches
+        assert died.status == "error" and "worker died" in died.detail
+        # the dead incarnation contributed NO worker spans
+        assert [c.operator for c in died.children] == []
+        assert "re-dispatch" in redispatched.detail
+        assert [c.operator for c in redispatched.children] == [
+            "WorkerQueue", "ContentSearch"]
+        [fence] = [s for s in root.children if s.operator == "EpochFence"]
+        assert "dropped 2 stale" in fence.detail
+        assert trace.counters["ctx.content_search"] == 1
+
+
+class TestFederation:
+    def test_every_shard_federates_labeled_series(self, fleet):
+        for shard in (0, 1):
+            fleet.query('"database"', key=key_for_shard(fleet, shard),
+                        tenant="acme")
+        fleet.flush_telemetry()
+        snapshot = obs.global_metrics().snapshot()
+        for shard in (0, 1):
+            for template in LABELED:
+                assert snapshot.get(template.format(shard), 0) >= 1, \
+                    f"missing {template.format(shard)}"
+        # tenant and shard labels compose on one series
+        assert labeled_counter("query.executions",
+                               shard=0, tenant="acme") >= 1
+
+    def test_stats_carries_federated_p99(self, fleet):
+        fleet.query('"database"', key=key_for_shard(fleet, 0))
+        fleet.flush_telemetry()
+        stats = fleet.stats()
+        assert stats["shard.0.served"] >= 1
+        assert stats["shard.0.p99_seconds"] > 0
+        assert stats["shard.0.stale"] is False
+
+    def test_sigkill_cannot_double_count(self, fleet):
+        """Counters merged across a SIGKILL are the sum of what each
+        incarnation actually served — never re-shipped lifetime totals."""
+        key = key_for_shard(fleet, 0)
+        fleet.flush_telemetry()
+        before = labeled_counter("service.queries.served", shard=0)
+
+        for _ in range(3):
+            fleet.query('"database"', key=key)
+        fleet.flush_telemetry()
+        after_first = labeled_counter("service.queries.served", shard=0)
+        assert after_first == before + 3
+
+        fleet.kill_shard(0)
+        # the shard's series go stale the moment the worker dies
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            stale = obs.global_metrics().snapshot().get(
+                'supervise.obs.stale{shard="0"}', 0)
+            if stale:
+                break
+            time.sleep(0.01)
+        else:
+            raise AssertionError("stale gauge never rose after SIGKILL")
+
+        assert fleet.wait_until_up(0, timeout=120.0)
+        for _ in range(2):
+            fleet.query('"database"', key=key)
+        fleet.flush_telemetry()
+        after_failover = labeled_counter("service.queries.served", shard=0)
+        # the fresh incarnation's deltas restarted from zero: exactly
+        # the two new queries arrived, nothing replayed
+        assert after_failover == after_first + 2
+        assert fleet.stats()["shard.0.stale"] is False
+
+    def test_failover_timeline_reads_whole(self, fleet):
+        def shard1_names(marker: int) -> list[str]:
+            return [e.name for e in obs.global_events().snapshot()[marker:]
+                    if e.subsystem == "supervise"
+                    and e.fields.get("shard") == 1]
+
+        marker = len(obs.global_events().snapshot())
+        fleet.kill_shard(1)
+        # wait_until_up alone can win the race against death detection,
+        # so first wait for the supervisor to notice the corpse
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if "supervise.shard.died" in shard1_names(marker):
+                break
+            time.sleep(0.01)
+        assert fleet.wait_until_up(1, timeout=120.0)
+        names = shard1_names(marker)
+        died = names.index("supervise.shard.died")
+        respawn = names.index("supervise.shard.respawn")
+        recovered = names.index("supervise.shard.recovered")
+        assert died < respawn < recovered
+
+
+class TestLogRotation:
+    def test_rotation_shifts_generations(self, tmp_path):
+        sup = ShardSupervisor(tmp_path / "space", shards=1,
+                              log_max_bytes=64, log_keep=2)
+        path = tmp_path / "space" / "shard-00" / "worker.log"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for generation in (b"first", b"second", b"third"):
+            path.write_bytes(generation * 64)
+            sup._rotate_log(path)
+        assert not path.exists()
+        assert path.with_name("worker.log.1").read_bytes().startswith(
+            b"third")
+        assert path.with_name("worker.log.2").read_bytes().startswith(
+            b"second")
+        # keep=2: the oldest generation fell off the end
+        assert not path.with_name("worker.log.3").exists()
+
+    def test_small_logs_left_alone(self, tmp_path):
+        sup = ShardSupervisor(tmp_path / "space", shards=1,
+                              log_max_bytes=1 << 20, log_keep=2)
+        path = tmp_path / "space" / "shard-00" / "worker.log"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"tiny")
+        sup._rotate_log(path)
+        assert path.read_bytes() == b"tiny"
+        assert not path.with_name("worker.log.1").exists()
+
+
+class TestRedispatchTrace:
+    def test_both_incarnations_in_one_tree(self, tmp_path):
+        """Crash the worker mid-query under a trace: the stitched tree
+        shows the dead epoch as an error and the re-dispatch (with the
+        worker's spans) under the new epoch."""
+        sup = ShardSupervisor(
+            tmp_path / "space", shards=1, seed=700 + CHAOS_SEED,
+            worker_extra_args=("--crash-after-queries", "1"),
+        )
+        with sup:
+            first = sup.query('"database"', timeout=120.0)
+            assert first.epoch == 1
+            report = sup.explain_analyze('"database"', timeout=120.0)
+        assert report.result.redispatched
+        assert report.result.epoch == 2
+        text = report.render()
+        assert "Dispatch(epoch=1, pipe round-trip, worker died)" in text
+        assert "Dispatch(epoch=2, pipe round-trip, re-dispatch)" in text
+        # the worker spans hang under the SURVIVING incarnation only
+        assert text.count("ContentSearch") == 1
+        assert "!error" in text

@@ -170,3 +170,44 @@ class TestServeSharded:
         assert "SIGKILL shard 0" in out
         assert "shard 0 recovered" in out
         assert "supervised shards" in out
+
+
+class TestFleetObservability:
+    def test_stats_fleet_watch_renders_bounded_frames(self, capsys,
+                                                      tiny_args):
+        assert main(["stats", "--shards", "2", "--watch", "--frames", "2",
+                     "--interval", "0.05", *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert out.count("fleet (2 shards)") == 2  # --frames bounded it
+        # the per-shard supervision columns
+        for column in ("state", "epoch", "restarts", "inflight",
+                       "p99 [ms]", "export"):
+            assert column in out
+        # the merged registry carries federated {shard=N} series
+        assert 'query.executions{shard="0"}' in out
+        assert 'query.executions{shard="1"}' in out
+
+    def test_stats_fleet_prometheus_is_scrapable(self, capsys, tiny_args):
+        from repro.obs.promcheck import parse_samples
+
+        assert main(["stats", "--shards", "1", "--format", "prometheus",
+                     *tiny_args]) == 0
+        out = capsys.readouterr().out
+        samples = parse_samples(out)  # raises on any malformed line
+        assert any(labels.get("shard") == "0" for _, labels, _ in samples)
+
+    def test_query_sharded_analyze_prints_stitched_tree(self, capsys,
+                                                        tiny_args):
+        assert main(["query", '"database"', "--analyze", "--shards", "1",
+                     "--tenant", "acme", *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "ShardedQuery" in out
+        assert "RingLookup" in out
+        assert "Dispatch(epoch=" in out
+        assert "result(s) from shard" in out
+
+    def test_query_sharded_routes_and_prints(self, capsys, tiny_args):
+        assert main(["query", '"database"', "--shards", "1",
+                     *tiny_args]) == 0
+        out = capsys.readouterr().out
+        assert "result(s) from shard 0 (epoch 1)" in out
